@@ -1,0 +1,139 @@
+// Design-choice ablations (DESIGN.md §6) and the paper's §VI
+// limitation experiments:
+//   A. SELECTTAILCALL's two conditions toggled independently.
+//   B. -mmanual-endbr builds (paper predicts ~1.24% recall loss).
+//   C. Inline data in .text (the linear-sweep hazard).
+//   D. FETCH-like with its tail-call verification disabled (accuracy
+//      side of the 5x run-time story; timing lives in bench_speed).
+#include <cstdio>
+
+#include "baselines/fetch_like.hpp"
+#include "bench_common.hpp"
+#include "elf/reader.hpp"
+#include "eval/runner.hpp"
+#include "eval/tables.hpp"
+#include "funseeker/disassemble.hpp"
+#include "util/stopwatch.hpp"
+#include "util/str.hpp"
+
+using namespace fsr;
+
+namespace {
+
+funseeker::Options tail_variant(bool cross_region, bool multi_ref) {
+  funseeker::Options o;  // full config 4
+  o.tail_call_cross_region = cross_region;
+  o.tail_call_multi_ref = multi_ref;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  const auto configs = bench::corpus();
+
+  // ---- A: SELECTTAILCALL condition ablation ---------------------------
+  {
+    struct Variant {
+      const char* name;
+      funseeker::Options opts;
+    };
+    const Variant variants[] = {
+        {"both conditions (paper)", tail_variant(true, true)},
+        {"cross-region only", tail_variant(true, false)},
+        {"multi-ref only", tail_variant(false, true)},
+        {"no conditions (= config 3)", funseeker::Options::config(3)},
+    };
+    eval::Score scores[4];
+    synth::for_each_binary(configs, [&](const synth::DatasetEntry& entry) {
+      for (int v = 0; v < 4; ++v)
+        scores[v] += eval::run_tool(eval::Tool::kFunSeeker, entry, variants[v].opts).score;
+    });
+    eval::Table table({"SELECTTAILCALL variant", "Prec %", "Rec %"});
+    for (int v = 0; v < 4; ++v)
+      table.add_row({variants[v].name, util::pct(scores[v].precision(), 3),
+                     util::pct(scores[v].recall(), 3)});
+    std::printf("Ablation A: SELECTTAILCALL conditions (paper §IV-D)\n\n%s\n",
+                table.render().c_str());
+  }
+
+  // ---- B: -mmanual-endbr ------------------------------------------------
+  {
+    eval::Score normal, manual;
+    synth::for_each_binary(configs, [&](const synth::DatasetEntry& entry) {
+      normal += eval::run_tool(eval::Tool::kFunSeeker, entry).score;
+      const synth::DatasetEntry variant =
+          synth::make_binary_variant(entry.config, /*manual_endbr=*/true, 0.0);
+      manual += eval::run_tool(eval::Tool::kFunSeeker, variant).score;
+    });
+    eval::Table table({"Build mode", "Prec %", "Rec %"});
+    table.add_row({"default CET (-fcf-protection=full)",
+                   util::pct(normal.precision(), 3), util::pct(normal.recall(), 3)});
+    table.add_row({"-mmanual-endbr", util::pct(manual.precision(), 3),
+                   util::pct(manual.recall(), 3)});
+    std::printf("Ablation B: -mmanual-endbr (paper §VI predicts ~1.24%% loss)\n\n%s\n",
+                table.render().c_str());
+    std::printf("recall change: %+.2f points\n\n",
+                (manual.recall() - normal.recall()) * 100.0);
+  }
+
+  // ---- C: inline data in .text -------------------------------------------
+  {
+    funseeker::Options refined;  // full config + §VI superset+recursive recovery
+    refined.recursive_refine = true;
+    refined.superset_endbr_scan = true;
+    eval::Table table({"data-in-text density", "Prec %", "Rec %", "resyncs/binary",
+                       "+superset Prec %", "Rec %"});
+    for (double density : {0.0, 0.05, 0.2, 0.5}) {
+      eval::Score s, sr;
+      std::size_t resyncs = 0, binaries = 0;
+      synth::for_each_binary(configs, [&](const synth::DatasetEntry& clean) {
+        const synth::DatasetEntry entry =
+            synth::make_binary_variant(clean.config, false, density);
+        s += eval::run_tool(eval::Tool::kFunSeeker, entry).score;
+        sr += eval::run_tool(eval::Tool::kFunSeeker, entry, refined).score;
+        const elf::Image img = elf::read_elf(entry.stripped_bytes());
+        resyncs += funseeker::disassemble(img).bad_bytes;
+        ++binaries;
+      });
+      table.add_row({util::fixed(density, 2), util::pct(s.precision(), 3),
+                     util::pct(s.recall(), 3),
+                     util::fixed(static_cast<double>(resyncs) /
+                                     static_cast<double>(binaries), 1),
+                     util::pct(sr.precision(), 3), util::pct(sr.recall(), 3)});
+    }
+    std::printf("Ablation C: inline data in .text (paper §VI linear-sweep hazard)\n"
+                "and the §VI future-work fix: recursive re-decode from candidates\n\n%s\n",
+                table.render().c_str());
+  }
+
+  // ---- D: FETCH-like verification -----------------------------------------
+  {
+    eval::Score with, without;
+    double t_with = 0, t_without = 0;
+    synth::for_each_binary(configs, [&](const synth::DatasetEntry& entry) {
+      const auto bytes = entry.stripped_bytes();
+      util::Stopwatch w1;
+      auto f1 = baselines::fetch_like_functions(elf::read_elf(bytes));
+      t_with += w1.seconds();
+      with += eval::score(f1, entry.truth.functions);
+      baselines::FetchOptions off;
+      off.verify_tail_calls = false;
+      util::Stopwatch w2;
+      auto f2 = baselines::fetch_like_functions(elf::read_elf(bytes), off);
+      t_without += w2.seconds();
+      without += eval::score(f2, entry.truth.functions);
+    });
+    eval::Table table({"FETCH-like variant", "Prec %", "Rec %", "total s"});
+    table.add_row({"with frame-height verification", util::pct(with.precision(), 3),
+                   util::pct(with.recall(), 3), util::fixed(t_with, 2)});
+    table.add_row({"without (harvest only)", util::pct(without.precision(), 3),
+                   util::pct(without.recall(), 3), util::fixed(t_without, 2)});
+    std::printf("Ablation D: FETCH-like tail-call verification (the 5x cost, §V-D)\n\n%s\n",
+                table.render().c_str());
+    std::printf("verification costs %.1fx of the harvest-only run\n",
+                t_with / (t_without > 0 ? t_without : 1.0));
+  }
+
+  return 0;
+}

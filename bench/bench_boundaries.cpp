@@ -1,0 +1,59 @@
+// Function-boundary accuracy of the CFG layer.
+//
+// The paper identifies function *entries*; downstream consumers (CFG
+// recovery, §VII-B) also need extents. This bench measures how well the
+// next-entry-minus-padding heuristic recovers true function ends,
+// scored against the generator's symbol sizes — the boundary-detection
+// follow-up problem of Bao et al. / Shin et al. quantified on this
+// corpus.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "cfg/cfg.hpp"
+#include "elf/reader.hpp"
+#include "eval/runner.hpp"
+#include "eval/tables.hpp"
+#include "util/str.hpp"
+
+using namespace fsr;
+
+int main() {
+  std::size_t funcs = 0, exact = 0, within8 = 0;
+  double total_err = 0.0;
+  std::size_t entry_and_end_exact = 0;
+
+  synth::for_each_binary(bench::corpus(), [&](const synth::DatasetEntry& entry) {
+    if (entry.config.machine != elf::Machine::kX8664) return;  // one arch suffices
+    if (entry.config.opt != synth::OptLevel::kO2) return;      // keep runtime modest
+    // True extents from the unstripped symbol table.
+    std::map<std::uint64_t, std::uint64_t> true_end;
+    for (const auto& sym : entry.image.function_symbols())
+      true_end[sym.value] = sym.value + sym.size;
+
+    const elf::Image img = elf::read_elf(entry.stripped_bytes());
+    const auto found = funseeker::analyze(img).functions;
+    const cfg::ProgramCfg prog = cfg::build_cfg(img, found);
+    for (const auto& fn : prog.functions) {
+      auto it = true_end.find(fn.entry);
+      if (it == true_end.end()) continue;  // fragment or FP: no boundary truth
+      ++funcs;
+      const std::int64_t err = static_cast<std::int64_t>(fn.end) -
+                               static_cast<std::int64_t>(it->second);
+      if (err == 0) ++exact;
+      if (err >= -8 && err <= 8) ++within8;
+      total_err += static_cast<double>(err < 0 ? -err : err);
+      if (err == 0) ++entry_and_end_exact;
+    }
+  });
+
+  eval::Table table({"Boundary metric", "Value"});
+  table.add_row({"functions scored", std::to_string(funcs)});
+  table.add_row({"end exact", util::pct(static_cast<double>(exact) / funcs, 2) + "%"});
+  table.add_row({"end within 8 bytes",
+                 util::pct(static_cast<double>(within8) / funcs, 2) + "%"});
+  table.add_row({"mean |error| (bytes)", util::fixed(total_err / funcs, 2)});
+  std::printf("Function boundary recovery (x86-64 / O2 slice, vs symbol sizes)\n\n%s\n",
+              table.render().c_str());
+  return 0;
+}

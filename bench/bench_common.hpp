@@ -1,0 +1,37 @@
+// Shared helpers for the table/figure regeneration harness.
+//
+// Every bench streams the same deterministic corpus; REPRO_SCALE (a
+// float, default 1.0) multiplies the number of programs per suite for
+// larger or quicker runs.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "synth/corpus.hpp"
+
+namespace fsr::bench {
+
+inline double corpus_scale() {
+  const char* env = std::getenv("REPRO_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline std::vector<synth::BinaryConfig> corpus() {
+  return synth::corpus_configs(corpus_scale());
+}
+
+/// Row label matching the paper's per-suite grouping.
+inline std::string suite_label(synth::Suite s) {
+  switch (s) {
+    case synth::Suite::kCoreutils: return "Coreutils";
+    case synth::Suite::kBinutils: return "Binutils";
+    case synth::Suite::kSpec: return "SPEC CPU 2017";
+  }
+  return "?";
+}
+
+}  // namespace fsr::bench

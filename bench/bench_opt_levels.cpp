@@ -1,0 +1,44 @@
+// Accuracy by optimization level — a slice the paper aggregates away.
+//
+// The corpus covers O0..Ofast; this bench shows how each tool's
+// accuracy moves with optimization. Expected shapes: FunSeeker is flat
+// (end-branch placement does not depend on optimization); the IDA-like
+// baseline tracks the frame-pointer fraction (prologue signatures die
+// at -O2); GCC rows cost FunSeeker a little precision at -O2+ when
+// .part/.cold splitting starts.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "eval/runner.hpp"
+#include "eval/tables.hpp"
+#include "util/str.hpp"
+
+using namespace fsr;
+
+int main() {
+  constexpr eval::Tool kTools[] = {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
+                                   eval::Tool::kGhidraLike, eval::Tool::kFetchLike};
+  std::map<synth::OptLevel, eval::Score> scores[4];
+
+  synth::for_each_binary(bench::corpus(), [&](const synth::DatasetEntry& entry) {
+    if (entry.config.machine != elf::Machine::kX8664) return;  // isolate the opt axis
+    for (std::size_t t = 0; t < 4; ++t)
+      scores[t][entry.config.opt] += eval::run_tool(kTools[t], entry).score;
+  });
+
+  eval::Table table({"Opt", "FunSeeker P %", "R %", "IDA-like P %", "R %",
+                     "Ghidra-like P %", "R %", "FETCH-like P %", "R %"});
+  for (synth::OptLevel opt : synth::kAllOptLevels) {
+    std::vector<std::string> row{synth::to_string(opt)};
+    for (std::size_t t = 0; t < 4; ++t) {
+      const eval::Score& s = scores[t][opt];
+      row.push_back(util::pct(s.precision(), 2));
+      row.push_back(util::pct(s.recall(), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("Accuracy by optimization level (x86-64 slice)\n\n%s\n",
+              table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) backing the §V-D run-time
+// comparison: per-stage costs of FunSeeker and the end-to-end cost of
+// every tool on a representative binary, plus the FETCH ablation with
+// its tail-call verification disabled (isolating where the 5x goes).
+#include <benchmark/benchmark.h>
+
+#include "baselines/fetch_like.hpp"
+#include "baselines/ghidra_like.hpp"
+#include "baselines/ida_like.hpp"
+#include "elf/reader.hpp"
+#include "funseeker/disassemble.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/corpus.hpp"
+#include "x86/sweep.hpp"
+
+namespace {
+
+using namespace fsr;
+
+synth::DatasetEntry representative_entry() {
+  synth::BinaryConfig cfg;
+  cfg.compiler = synth::Compiler::kGcc;
+  cfg.suite = synth::Suite::kSpec;
+  cfg.program_index = 2;
+  cfg.machine = elf::Machine::kX8664;
+  cfg.kind = elf::BinaryKind::kPie;
+  cfg.opt = synth::OptLevel::kO2;
+  return synth::make_binary(cfg);
+}
+
+const std::vector<std::uint8_t>& file_bytes() {
+  static const std::vector<std::uint8_t> bytes = representative_entry().stripped_bytes();
+  return bytes;
+}
+
+const elf::Image& image() {
+  static const elf::Image img = elf::read_elf(file_bytes());
+  return img;
+}
+
+void BM_ParseElf(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(elf::read_elf(file_bytes()));
+}
+BENCHMARK(BM_ParseElf);
+
+void BM_LinearSweep(benchmark::State& state) {
+  const elf::Section& text = image().text();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(x86::linear_sweep(text.data, text.addr, x86::Mode::k64));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.data.size()));
+}
+BENCHMARK(BM_LinearSweep);
+
+void BM_FunSeekerEndToEnd(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(funseeker::analyze_bytes(file_bytes()));
+}
+BENCHMARK(BM_FunSeekerEndToEnd);
+
+void BM_FunSeekerConfig(benchmark::State& state) {
+  const auto opts = funseeker::Options::config(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(funseeker::analyze(image(), opts));
+}
+BENCHMARK(BM_FunSeekerConfig)->DenseRange(1, 4);
+
+void BM_IdaLike(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(baselines::ida_like_functions(image()));
+}
+BENCHMARK(BM_IdaLike);
+
+void BM_GhidraLike(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(baselines::ghidra_like_functions(image()));
+}
+BENCHMARK(BM_GhidraLike);
+
+void BM_FetchLike(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(baselines::fetch_like_functions(image()));
+}
+BENCHMARK(BM_FetchLike);
+
+void BM_FetchLikeNoVerify(benchmark::State& state) {
+  baselines::FetchOptions opts;
+  opts.verify_tail_calls = false;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(baselines::fetch_like_functions(image(), opts));
+}
+BENCHMARK(BM_FetchLikeNoVerify);
+
+void BM_GenerateBinary(benchmark::State& state) {
+  synth::BinaryConfig cfg;
+  cfg.suite = synth::Suite::kCoreutils;
+  for (auto _ : state) benchmark::DoNotOptimize(synth::make_binary(cfg));
+}
+BENCHMARK(BM_GenerateBinary);
+
+}  // namespace

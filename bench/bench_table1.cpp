@@ -1,0 +1,82 @@
+// Table I — distribution of end-branch instruction locations.
+//
+// Paper reference values (share of all end-branch instructions):
+//            GCC                          Clang
+//            entry   ind-ret  exception   entry   ind-ret  exception
+// Coreutils  99.98%  0.02%    0.00%       99.98%  0.02%    0.00%
+// Binutils   99.99%  0.01%    0.00%       99.99%  0.01%    0.00%
+// SPEC       79.60%  0.02%    20.38%      72.10%  0.02%    27.88%
+//
+// The bench sweeps every binary of the corpus, classifies each
+// end-branch found in .text against the ground truth, and prints the
+// same rows.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "elf/reader.hpp"
+#include "eval/tables.hpp"
+#include "funseeker/disassemble.hpp"
+#include "util/str.hpp"
+
+using namespace fsr;
+
+namespace {
+
+struct Counts {
+  std::size_t entry = 0;
+  std::size_t indirect_return = 0;
+  std::size_t exception = 0;
+  std::size_t other = 0;  // should stay zero; a canary for generator bugs
+
+  [[nodiscard]] std::size_t total() const {
+    return entry + indirect_return + exception + other;
+  }
+};
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+}  // namespace
+
+int main() {
+  std::map<std::pair<synth::Compiler, synth::Suite>, Counts> groups;
+
+  synth::for_each_binary(bench::corpus(), [&](const synth::DatasetEntry& entry) {
+    const elf::Image image = elf::read_elf(entry.stripped_bytes());
+    const funseeker::DisasmSets sets = funseeker::disassemble(image);
+    Counts& c = groups[{entry.config.compiler, entry.config.suite}];
+    for (std::uint64_t e : sets.endbrs) {
+      if (contains(entry.truth.setjmp_pads, e))
+        ++c.indirect_return;
+      else if (contains(entry.truth.landing_pads, e))
+        ++c.exception;
+      else if (contains(entry.truth.endbr_entries, e))
+        ++c.entry;
+      else
+        ++c.other;
+    }
+  });
+
+  eval::Table table({"Compiler / Suite", "Func. Entry", "Indirect Ret.", "Exception",
+                     "Unclassified", "#endbr"});
+  for (synth::Compiler compiler : synth::kAllCompilers) {
+    for (synth::Suite suite : synth::kAllSuites) {
+      const Counts& c = groups[{compiler, suite}];
+      const double n = static_cast<double>(c.total());
+      table.add_row({synth::to_string(compiler) + " " + bench::suite_label(suite),
+                     util::pct(c.entry / n, 2) + "%",
+                     util::pct(c.indirect_return / n, 2) + "%",
+                     util::pct(c.exception / n, 2) + "%",
+                     util::pct(c.other / n, 2) + "%",
+                     std::to_string(c.total())});
+    }
+    table.add_rule();
+  }
+
+  std::printf("Table I reproduction: distribution of end-branch locations\n");
+  std::printf("(paper: C suites ~99.98%% at entries; SPEC 20.38%%/27.88%% at exception blocks for GCC/Clang)\n\n");
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

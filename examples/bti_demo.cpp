@@ -1,0 +1,52 @@
+// ARM BTI demo (paper §VI): generate the same synthetic program for
+// x86-64/CET and AArch64/BTI, run the matching identifier on each, and
+// show that the algorithm carries over — minus the FILTERENDBR stage,
+// which the ARM marker design makes unnecessary.
+#include <cstdio>
+
+#include "bti/btiseeker.hpp"
+#include "eval/metrics.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/corpus.hpp"
+#include "util/str.hpp"
+
+using namespace fsr;
+
+int main() {
+  synth::BinaryConfig cfg;
+  cfg.compiler = synth::Compiler::kGcc;
+  cfg.suite = synth::Suite::kSpec;
+  cfg.program_index = 1;  // a C++ program: landing pads in play
+  cfg.kind = elf::BinaryKind::kPie;
+  cfg.opt = synth::OptLevel::kO2;
+
+  // x86-64 / CET.
+  cfg.machine = elf::Machine::kX8664;
+  const synth::DatasetEntry x86 = synth::make_binary(cfg);
+  const funseeker::Result rx = funseeker::analyze_bytes(x86.stripped_bytes());
+  const eval::Score sx = eval::score(rx.functions, x86.truth.functions);
+
+  // AArch64 / BTI — same program model, different marker architecture.
+  cfg.machine = elf::Machine::kArm64;
+  const synth::DatasetEntry arm = synth::make_binary(cfg);
+  const bti::Result ra = bti::analyze_bytes(arm.stripped_bytes());
+  const eval::Score sa = eval::score(ra.functions, arm.truth.functions);
+
+  std::printf("program %s, built twice:\n\n", synth::to_string(cfg.suite).c_str());
+
+  std::printf("x86-64 + CET   : %zu endbr (%zu filtered away: %zu landing pads, "
+              "%zu setjmp pads)\n",
+              rx.endbrs.size(), rx.endbrs.size() - rx.endbrs_kept.size(),
+              rx.removed_landing_pads.size(), rx.removed_indirect_return.size());
+  std::printf("                 precision %s%%  recall %s%%\n\n",
+              util::pct(sx.precision(), 2).c_str(), util::pct(sx.recall(), 2).c_str());
+
+  std::printf("AArch64 + BTI  : %zu `bti c` call pads, %zu `bti j` jump pads\n",
+              ra.call_pads.size(), ra.jump_pads.size());
+  std::printf("                 (jump pads cover the landing pads and setjmp returns —\n");
+  std::printf("                  no FILTERENDBR stage exists: the ISA already separates\n");
+  std::printf("                  call-landing from jump-landing markers)\n");
+  std::printf("                 precision %s%%  recall %s%%\n",
+              util::pct(sa.precision(), 2).c_str(), util::pct(sa.recall(), 2).c_str());
+  return 0;
+}

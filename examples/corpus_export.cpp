@@ -1,0 +1,71 @@
+// Corpus export: materialize the synthetic dataset to disk, the way
+// the paper publicizes its benchmark ("both original and stripped
+// binary datasets", §III-A). For every dataset cell this writes
+//
+//   <dir>/<name>.elf            unstripped (symbols = ground truth)
+//   <dir>/<name>.stripped.elf   what analyzers are evaluated on
+//   <dir>/<name>.truth          text ground truth (entries, fragments,
+//                               endbr/pad classification)
+//
+//   $ ./corpus_export <dir> [scale]      (default scale 0.1)
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "elf/writer.hpp"
+#include "synth/corpus.hpp"
+#include "util/str.hpp"
+
+using namespace fsr;
+
+namespace {
+
+void write_file(const std::filesystem::path& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void write_truth(const std::filesystem::path& path, const synth::GroundTruth& truth) {
+  std::ofstream out(path);
+  auto dump = [&](const char* tag, const std::vector<std::uint64_t>& v) {
+    for (std::uint64_t a : v) out << tag << " " << util::hex(a) << "\n";
+  };
+  dump("function", truth.functions);
+  dump("fragment", truth.fragments);
+  dump("endbr_entry", truth.endbr_entries);
+  dump("setjmp_pad", truth.setjmp_pads);
+  dump("landing_pad", truth.landing_pads);
+  dump("dead_function", truth.dead_functions);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <output-dir> [scale]\n", argv[0]);
+    return 1;
+  }
+  const std::filesystem::path dir = argv[1];
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+  std::filesystem::create_directories(dir);
+
+  std::size_t count = 0, bytes_total = 0;
+  synth::for_each_binary(synth::corpus_configs(scale > 0 ? scale : 0.1),
+                         [&](const synth::DatasetEntry& entry) {
+    const std::string name = entry.config.name();
+    const auto unstripped = elf::write_elf(entry.image);
+    const auto stripped = entry.stripped_bytes();
+    write_file(dir / (name + ".elf"), unstripped);
+    write_file(dir / (name + ".stripped.elf"), stripped);
+    write_truth(dir / (name + ".truth"), entry.truth);
+    ++count;
+    bytes_total += unstripped.size() + stripped.size();
+  });
+
+  std::printf("exported %zu binaries (%.1f MiB) to %s\n", count,
+              static_cast<double>(bytes_total) / (1024.0 * 1024.0), dir.c_str());
+  std::printf("verify one with: ./quickstart %s/<name>.stripped.elf\n", dir.c_str());
+  return 0;
+}

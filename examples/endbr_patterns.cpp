@@ -1,0 +1,183 @@
+// Reproduces the paper's illustrative listings (Figures 1 and 2): the
+// three places an end-branch instruction appears in a CET binary —
+//   (1) a function entry that may be reached through a function pointer,
+//   (2) the return pad after an indirect-return call (setjmp),
+//   (3) a C++ exception catch block (landing pad).
+// Each pattern is assembled, disassembled back, and printed annotated.
+#include <cstdio>
+#include <string>
+
+#include "eh/lsda.hpp"
+#include "elf/types.hpp"
+#include "funseeker/disassemble.hpp"
+#include "funseeker/filter_endbr.hpp"
+#include "x86/assembler.hpp"
+#include "x86/sweep.hpp"
+
+using namespace fsr;
+using x86::Assembler;
+using x86::Cond;
+using x86::Label;
+using x86::Mode;
+using x86::Reg;
+
+namespace {
+
+constexpr std::uint64_t kText = 0x401000;
+constexpr std::uint64_t kPlt = 0x400400;
+
+void dump(const char* title, const std::vector<std::uint8_t>& code,
+          std::uint64_t base, const std::vector<std::pair<std::uint64_t, const char*>>& notes) {
+  std::printf("--- %s ---\n", title);
+  x86::SweepResult sweep = x86::linear_sweep(code, base, Mode::k64);
+  for (const auto& insn : sweep.insns) {
+    std::string bytes;
+    for (std::size_t i = 0; i < insn.length; ++i) {
+      char b[4];
+      std::snprintf(b, sizeof(b), "%02x ", code[insn.addr - base + i]);
+      bytes += b;
+    }
+    const char* note = "";
+    for (const auto& [addr, text] : notes)
+      if (addr == insn.addr) note = text;
+    std::printf("  0x%06llx: %-30s %-8s%s%s\n",
+                static_cast<unsigned long long>(insn.addr), bytes.c_str(),
+                x86::kind_name(insn.kind).c_str(), *note ? "  ; " : "", note);
+  }
+  std::printf("\n");
+}
+
+elf::Image wrap(std::vector<std::uint8_t> code) {
+  elf::Image img;
+  img.machine = elf::Machine::kX8664;
+  img.kind = elf::BinaryKind::kExec;
+  img.entry = kText;
+  elf::Section text;
+  text.name = ".text";
+  text.type = elf::kShtProgbits;
+  text.flags = elf::kShfAlloc | elf::kShfExecinstr;
+  text.addr = kText;
+  text.data = std::move(code);
+  img.sections.push_back(std::move(text));
+  return img;
+}
+
+// Figure 1: `foo` starts with endbr64 because main takes its address
+// (`fp = &foo`) and calls through the spilled pointer; the switch
+// lowers to a NOTRACK indirect jump, so its case blocks need no marker.
+void figure1() {
+  Assembler a(Mode::k64, kText);
+  Label foo = a.make_label();
+  Label cases = a.make_label();
+  std::vector<std::pair<std::uint64_t, const char*>> notes;
+
+  a.bind(foo);
+  notes.emplace_back(a.here(), "foo: endbr64 (address-taken function)");
+  a.endbr();
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  a.leave();
+  a.ret();
+
+  notes.emplace_back(a.here(), "main: endbr64");
+  a.endbr();
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  notes.emplace_back(a.here(), "lea rcx, [rip + foo]  (fp = &foo)");
+  a.load_addr(Reg::kCx, foo);
+  a.mov_frame_reg(-16, Reg::kCx);
+  notes.emplace_back(a.here(), "notrack jmp (switch dispatch)");
+  a.jmp_table(Reg::kAx, cases, /*notrack=*/true);
+  a.bind_to(cases, 0x500000);
+  notes.emplace_back(a.here(), "call qword ptr [rbp-16]  (fp())");
+  a.call_frame(-16);
+  a.leave();
+  a.ret();
+
+  dump("Figure 1: IBT protection (entry endbr, NOTRACK switch, fp call)", a.finish(),
+       kText, notes);
+}
+
+// Figure 2a: the compiler plants endbr64 right after `call setjmp@plt`
+// because longjmp returns there with an indirect jump.
+void figure2a() {
+  Assembler a(Mode::k64, kText);
+  std::vector<std::pair<std::uint64_t, const char*>> notes;
+  notes.emplace_back(a.here(), "sort_files: endbr64");
+  a.endbr();
+  a.mov_ri(Reg::kDi, 0x3000);
+  notes.emplace_back(a.here(), "call setjmp@plt");
+  a.call_addr(kPlt + 16);
+  const std::uint64_t pad = a.here();
+  notes.emplace_back(pad, "endbr64  <-- longjmp lands here (NOT a function)");
+  a.endbr();
+  a.test_rr(Reg::kAx, Reg::kAx);
+  Label skip = a.make_label();
+  a.jcc(Cond::kNe, skip);
+  a.nop(3);
+  a.bind(skip);
+  a.ret();
+  auto code = a.finish();
+  dump("Figure 2a: setjmp return pad (ls from Coreutils)", code, kText, notes);
+
+  // Show FILTERENDBR telling the two end-branches apart.
+  elf::Image img = wrap(code);
+  elf::Section plt;
+  plt.name = ".plt";
+  plt.type = elf::kShtProgbits;
+  plt.flags = elf::kShfAlloc | elf::kShfExecinstr;
+  plt.addr = kPlt;
+  plt.data.assign(32, 0x90);
+  img.sections.push_back(std::move(plt));
+  img.plt.push_back({kPlt + 16, "setjmp"});
+
+  funseeker::DisasmSets sets = funseeker::disassemble(img);
+  funseeker::FilterResult fr = funseeker::filter_endbr(img, sets);
+  std::printf("FILTERENDBR kept %zu end-branch(es), removed %zu indirect-return pad(s)\n\n",
+              fr.kept.size(), fr.removed_indirect_return.size());
+}
+
+// Figure 2b: a catch block begins with endbr64 right after the ret of
+// the happy path (508.namd's _ZN8MoleculeC2Ev).
+void figure2b() {
+  Assembler a(Mode::k64, kText);
+  std::vector<std::pair<std::uint64_t, const char*>> notes;
+  Label cold = a.make_label();
+  notes.emplace_back(a.here(), "_ZN8MoleculeC2Ev: endbr64");
+  a.endbr();
+  a.push(Reg::kR12);
+  const std::uint64_t call_at = a.here();
+  a.call_addr(kText + 0x100);  // some callee inside a try block
+  a.pop(Reg::kR12);
+  a.ret();
+  const std::uint64_t pad = a.here();
+  notes.emplace_back(pad, "endbr64  <-- catch block starts here (NOT a function)");
+  a.endbr();
+  a.mov_rr(Reg::kR12, Reg::kAx);
+  notes.emplace_back(a.here(), "jmp _ZN8MoleculeC2Ev_cold");
+  a.jmp(cold);
+  a.align(16);
+  a.bind(cold);
+  a.nop(2);
+  a.ret();
+  auto code = a.finish();
+  dump("Figure 2b: exception landing pad (508.namd from SPEC)", code, kText, notes);
+
+  eh::Lsda lsda;
+  lsda.func_start = kText;
+  lsda.call_sites = {{call_at, 5, pad, 1}};
+  auto bytes = eh::build_lsda(lsda);
+  std::printf("the LSDA maps call site 0x%llx+5 to landing pad 0x%llx (%zu-byte table)\n\n",
+              static_cast<unsigned long long>(call_at),
+              static_cast<unsigned long long>(pad), bytes.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("End-branch usage patterns from the paper (Figures 1-2)\n\n");
+  figure1();
+  figure2a();
+  figure2b();
+  return 0;
+}

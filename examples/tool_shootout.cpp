@@ -1,0 +1,66 @@
+// Tool shootout: run FunSeeker and the three baseline analyzers on one
+// binary and diff their answers — a single-binary version of Table III.
+//
+//   $ ./tool_shootout [program_index] [x86|x64]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+#include "eval/runner.hpp"
+#include "eval/tables.hpp"
+#include "util/str.hpp"
+
+using namespace fsr;
+
+int main(int argc, char** argv) {
+  synth::BinaryConfig cfg;
+  cfg.compiler = synth::Compiler::kGcc;
+  cfg.suite = synth::Suite::kSpec;
+  cfg.program_index = argc > 1 ? std::atoi(argv[1]) : 1;
+  cfg.machine = (argc > 2 && std::strcmp(argv[2], "x86") == 0) ? elf::Machine::kX86
+                                                               : elf::Machine::kX8664;
+  cfg.kind = elf::BinaryKind::kPie;
+  cfg.opt = synth::OptLevel::kO2;
+
+  const synth::DatasetEntry entry = synth::make_binary(cfg);
+  std::printf("binary %s: %zu true functions, %zu fragments\n\n", cfg.name().c_str(),
+              entry.truth.functions.size(), entry.truth.fragments.size());
+
+  eval::Table table({"Tool", "found", "TP", "FP", "FN", "Prec %", "Rec %", "ms"});
+  for (eval::Tool tool : {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
+                          eval::Tool::kGhidraLike, eval::Tool::kFetchLike}) {
+    const eval::RunResult r = eval::run_tool(tool, entry);
+    table.add_row({to_string(tool), std::to_string(r.found.size()),
+                   std::to_string(r.score.tp), std::to_string(r.score.fp),
+                   std::to_string(r.score.fn), util::pct(r.score.precision(), 2),
+                   util::pct(r.score.recall(), 2), util::fixed(r.seconds * 1e3, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Diff: what FunSeeker reports that the truth disputes, and misses.
+  const eval::RunResult fs = eval::run_tool(eval::Tool::kFunSeeker, entry);
+  std::printf("FunSeeker false positives:");
+  std::size_t shown = 0;
+  for (std::uint64_t f : fs.found) {
+    if (std::binary_search(entry.truth.functions.begin(), entry.truth.functions.end(), f))
+      continue;
+    const bool frag = std::binary_search(entry.truth.fragments.begin(),
+                                         entry.truth.fragments.end(), f);
+    std::printf(" %s%s", util::hex(f).c_str(), frag ? "(.part/.cold)" : "(?)");
+    if (++shown >= 6) break;
+  }
+  if (shown == 0) std::printf(" none");
+  std::printf("\nFunSeeker false negatives:");
+  shown = 0;
+  for (std::uint64_t f : entry.truth.functions) {
+    if (std::binary_search(fs.found.begin(), fs.found.end(), f)) continue;
+    const bool dead = std::binary_search(entry.truth.dead_functions.begin(),
+                                         entry.truth.dead_functions.end(), f);
+    std::printf(" %s%s", util::hex(f).c_str(), dead ? "(dead)" : "(tail-only)");
+    if (++shown >= 6) break;
+  }
+  if (shown == 0) std::printf(" none");
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include "arm64/assembler.hpp"
+
+namespace fsr::arm64 {
+
+namespace {
+
+constexpr Reg kZr = 31;
+
+std::uint32_t hint(std::uint32_t imm7) { return 0xd503201f | (imm7 << 5); }
+
+}  // namespace
+
+Label Assembler::make_label() {
+  label_addrs_.push_back(UINT64_MAX);
+  return Label(static_cast<std::uint32_t>(label_addrs_.size() - 1));
+}
+
+void Assembler::bind(Label l) { bind_to(l, here()); }
+
+void Assembler::bind_to(Label l, std::uint64_t addr) {
+  if (l.id_ == 0 || l.id_ > label_addrs_.size()) throw UsageError("bind of invalid label");
+  if (label_addrs_[l.id_ - 1] != UINT64_MAX) throw UsageError("label bound twice");
+  label_addrs_[l.id_ - 1] = addr;
+}
+
+std::uint64_t Assembler::address_of(Label l) const {
+  if (l.id_ == 0 || l.id_ > label_addrs_.size())
+    throw UsageError("address_of invalid label");
+  const std::uint64_t a = label_addrs_[l.id_ - 1];
+  if (a == UINT64_MAX) throw UsageError("address_of unbound label");
+  return a;
+}
+
+void Assembler::bti(Kind which) {
+  switch (which) {
+    case Kind::kBtiPlain: word(hint(32)); return;
+    case Kind::kBtiC: word(hint(34)); return;
+    case Kind::kBtiJ: word(hint(36)); return;
+    case Kind::kBtiJc: word(hint(38)); return;
+    default: throw UsageError("bti() takes a BTI kind");
+  }
+}
+
+void Assembler::paciasp() { word(hint(25)); }
+void Assembler::autiasp() { word(hint(29)); }
+void Assembler::nop() { word(hint(0)); }
+
+void Assembler::stp_fp_lr_pre() { word(0xa9bf7bfd); }
+void Assembler::ldp_fp_lr_post() { word(0xa8c17bfd); }
+void Assembler::mov_fp_sp() { word(0x910003fd); }
+
+void Assembler::sub_sp(std::uint16_t imm12) {
+  word(0xd1000000 | (static_cast<std::uint32_t>(imm12 & 0xfff) << 10) | (31u << 5) | 31u);
+}
+
+void Assembler::add_sp(std::uint16_t imm12) {
+  word(0x91000000 | (static_cast<std::uint32_t>(imm12 & 0xfff) << 10) | (31u << 5) | 31u);
+}
+
+void Assembler::movz(Reg rd, std::uint16_t imm16) {
+  word(0xd2800000 | (static_cast<std::uint32_t>(imm16) << 5) | (rd & 31));
+}
+
+void Assembler::mov_rr(Reg rd, Reg rm) {
+  // orr rd, xzr, rm
+  word(0xaa000000 | (static_cast<std::uint32_t>(rm & 31) << 16) |
+       (static_cast<std::uint32_t>(kZr) << 5) | (rd & 31));
+}
+
+void Assembler::add_rr(Reg rd, Reg rn, Reg rm) {
+  word(0x8b000000 | (static_cast<std::uint32_t>(rm & 31) << 16) |
+       (static_cast<std::uint32_t>(rn & 31) << 5) | (rd & 31));
+}
+
+void Assembler::sub_rr(Reg rd, Reg rn, Reg rm) {
+  word(0xcb000000 | (static_cast<std::uint32_t>(rm & 31) << 16) |
+       (static_cast<std::uint32_t>(rn & 31) << 5) | (rd & 31));
+}
+
+void Assembler::eor_rr(Reg rd, Reg rn, Reg rm) {
+  word(0xca000000 | (static_cast<std::uint32_t>(rm & 31) << 16) |
+       (static_cast<std::uint32_t>(rn & 31) << 5) | (rd & 31));
+}
+
+void Assembler::mul_rr(Reg rd, Reg rn, Reg rm) {
+  // madd rd, rn, rm, xzr
+  word(0x9b000000 | (static_cast<std::uint32_t>(rm & 31) << 16) |
+       (static_cast<std::uint32_t>(kZr) << 10) |
+       (static_cast<std::uint32_t>(rn & 31) << 5) | (rd & 31));
+}
+
+void Assembler::add_ri(Reg rd, Reg rn, std::uint16_t imm12) {
+  word(0x91000000 | (static_cast<std::uint32_t>(imm12 & 0xfff) << 10) |
+       (static_cast<std::uint32_t>(rn & 31) << 5) | (rd & 31));
+}
+
+void Assembler::cmp_ri(Reg rn, std::uint16_t imm12) {
+  // subs xzr, rn, #imm
+  word(0xf1000000 | (static_cast<std::uint32_t>(imm12 & 0xfff) << 10) |
+       (static_cast<std::uint32_t>(rn & 31) << 5) | kZr);
+}
+
+void Assembler::load_addr(Reg rd, Label target) {
+  fixups_.push_back({Fixup::Kind::kAdrp, words_.size(), target.id_});
+  word(0x90000000 | (rd & 31));  // adrp rd, <page>
+  fixups_.push_back({Fixup::Kind::kAddLo12, words_.size(), target.id_});
+  word(0x91000000 | (static_cast<std::uint32_t>(rd & 31) << 5) | (rd & 31));  // add rd, rd, #lo12
+}
+
+void Assembler::emit_branch(std::uint32_t opcode, Label target) {
+  fixups_.push_back({Fixup::Kind::kImm26, words_.size(), target.id_});
+  word(opcode);
+}
+
+void Assembler::bl(Label target) { emit_branch(0x94000000, target); }
+void Assembler::b(Label target) { emit_branch(0x14000000, target); }
+
+void Assembler::bl_addr(std::uint64_t target) {
+  const std::int64_t rel = (static_cast<std::int64_t>(target) -
+                            static_cast<std::int64_t>(here())) / 4;
+  word(0x94000000 | (static_cast<std::uint32_t>(rel) & 0x03ffffff));
+}
+
+void Assembler::b_addr(std::uint64_t target) {
+  const std::int64_t rel = (static_cast<std::int64_t>(target) -
+                            static_cast<std::int64_t>(here())) / 4;
+  word(0x14000000 | (static_cast<std::uint32_t>(rel) & 0x03ffffff));
+}
+
+void Assembler::b_cond(Cond cc, Label target) {
+  fixups_.push_back({Fixup::Kind::kImm19, words_.size(), target.id_});
+  word(0x54000000 | static_cast<std::uint32_t>(cc));
+}
+
+void Assembler::cbz(Reg rt, Label target) {
+  fixups_.push_back({Fixup::Kind::kImm19, words_.size(), target.id_});
+  word(0xb4000000 | (rt & 31));
+}
+
+void Assembler::cbnz(Reg rt, Label target) {
+  fixups_.push_back({Fixup::Kind::kImm19, words_.size(), target.id_});
+  word(0xb5000000 | (rt & 31));
+}
+
+void Assembler::ret() { word(0xd65f03c0); }
+void Assembler::br(Reg rn) { word(0xd61f0000 | (static_cast<std::uint32_t>(rn & 31) << 5)); }
+void Assembler::blr(Reg rn) { word(0xd63f0000 | (static_cast<std::uint32_t>(rn & 31) << 5)); }
+void Assembler::udf() { word(0); }
+
+std::vector<std::uint8_t> Assembler::finish() {
+  for (const auto& f : fixups_) {
+    if (f.label == 0 || f.label > label_addrs_.size())
+      throw EncodeError("fixup references invalid label");
+    const std::uint64_t target = label_addrs_[f.label - 1];
+    if (target == UINT64_MAX) throw EncodeError("fixup references unbound label");
+    const std::uint64_t at = base_ + f.index * 4;
+    std::uint32_t& w = words_[f.index];
+    switch (f.kind) {
+      case Fixup::Kind::kImm26: {
+        if ((target - at) % 4 != 0) throw EncodeError("branch target misaligned");
+        const std::int64_t rel = (static_cast<std::int64_t>(target) -
+                                  static_cast<std::int64_t>(at)) / 4;
+        if (rel > 0x1ffffff || rel < -0x2000000) throw EncodeError("imm26 out of range");
+        w |= static_cast<std::uint32_t>(rel) & 0x03ffffff;
+        break;
+      }
+      case Fixup::Kind::kImm19: {
+        if ((target - at) % 4 != 0) throw EncodeError("branch target misaligned");
+        const std::int64_t rel = (static_cast<std::int64_t>(target) -
+                                  static_cast<std::int64_t>(at)) / 4;
+        if (rel > 0x3ffff || rel < -0x40000) throw EncodeError("imm19 out of range");
+        w |= (static_cast<std::uint32_t>(rel) & 0x7ffff) << 5;
+        break;
+      }
+      case Fixup::Kind::kAdrp: {
+        const std::int64_t pages = (static_cast<std::int64_t>(target >> 12) -
+                                    static_cast<std::int64_t>(at >> 12));
+        if (pages > 0xfffff || pages < -0x100000) throw EncodeError("adrp out of range");
+        const auto imm = static_cast<std::uint32_t>(pages);
+        w |= ((imm & 3) << 29) | (((imm >> 2) & 0x7ffff) << 5);
+        break;
+      }
+      case Fixup::Kind::kAddLo12: {
+        w |= (static_cast<std::uint32_t>(target & 0xfff)) << 10;
+        break;
+      }
+    }
+  }
+  fixups_.clear();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(words_.size() * 4);
+  for (std::uint32_t w : words_) {
+    out.push_back(static_cast<std::uint8_t>(w));
+    out.push_back(static_cast<std::uint8_t>(w >> 8));
+    out.push_back(static_cast<std::uint8_t>(w >> 16));
+    out.push_back(static_cast<std::uint8_t>(w >> 24));
+  }
+  return out;
+}
+
+}  // namespace fsr::arm64

@@ -1,0 +1,116 @@
+// Minimal AArch64 assembler for the BTI corpus generator.
+//
+// Emits the instruction repertoire a compiler produces under
+// -mbranch-protection=bti/standard: BTI/PACIASP markers, frame
+// save/restore pairs, ALU filler, direct and indirect branches, and
+// ADRP+ADD address materialization. Label fixups mirror the x86
+// assembler's design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arm64/insn.hpp"
+#include "util/error.hpp"
+
+namespace fsr::arm64 {
+
+/// General-purpose register number (x0..x28 usable as scratch here).
+using Reg = std::uint8_t;
+inline constexpr Reg kFp = 29;  // x29
+inline constexpr Reg kLr = 30;  // x30
+
+/// Condition codes for b.cond.
+enum class Cond : std::uint8_t {
+  kEq = 0x0, kNe = 0x1, kHs = 0x2, kLo = 0x3,
+  kMi = 0x4, kPl = 0x5, kVs = 0x6, kVc = 0x7,
+  kHi = 0x8, kLs = 0x9, kGe = 0xa, kLt = 0xb,
+  kGt = 0xc, kLe = 0xd,
+};
+
+class Label {
+public:
+  Label() = default;
+
+private:
+  friend class Assembler;
+  explicit Label(std::uint32_t id) : id_(id + 1) {}
+  std::uint32_t id_ = 0;
+};
+
+class Assembler {
+public:
+  Assembler(std::uint64_t base) : base_(base) {}
+
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  [[nodiscard]] std::uint64_t here() const { return base_ + words_.size() * 4; }
+  [[nodiscard]] std::size_t size_bytes() const { return words_.size() * 4; }
+
+  Label make_label();
+  void bind(Label l);
+  void bind_to(Label l, std::uint64_t addr);
+  [[nodiscard]] std::uint64_t address_of(Label l) const;
+
+  // --- markers -----------------------------------------------------------
+  void bti(Kind which);  // kBtiPlain / kBtiC / kBtiJ / kBtiJc
+  void paciasp();
+  void autiasp();
+  void nop();
+
+  // --- prologue / epilogue --------------------------------------------------
+  /// stp x29, x30, [sp, #-16]!
+  void stp_fp_lr_pre();
+  /// ldp x29, x30, [sp], #16
+  void ldp_fp_lr_post();
+  /// mov x29, sp
+  void mov_fp_sp();
+  void sub_sp(std::uint16_t imm12);
+  void add_sp(std::uint16_t imm12);
+
+  // --- ALU filler -------------------------------------------------------------
+  void movz(Reg rd, std::uint16_t imm16);
+  void mov_rr(Reg rd, Reg rm);           // orr rd, xzr, rm
+  void add_rr(Reg rd, Reg rn, Reg rm);
+  void sub_rr(Reg rd, Reg rn, Reg rm);
+  void eor_rr(Reg rd, Reg rn, Reg rm);
+  void mul_rr(Reg rd, Reg rn, Reg rm);
+  void add_ri(Reg rd, Reg rn, std::uint16_t imm12);
+  void cmp_ri(Reg rn, std::uint16_t imm12);  // subs xzr, rn, #imm
+
+  // --- addresses ----------------------------------------------------------------
+  /// adrp rd, target_page ; add rd, rd, #lo12 — materialize an address.
+  void load_addr(Reg rd, Label target);
+
+  // --- control flow -----------------------------------------------------------
+  void bl(Label target);
+  void bl_addr(std::uint64_t target);
+  void b(Label target);
+  void b_addr(std::uint64_t target);
+  void b_cond(Cond cc, Label target);
+  void cbz(Reg rt, Label target);
+  void cbnz(Reg rt, Label target);
+  void ret();
+  void br(Reg rn);
+  void blr(Reg rn);
+  void udf();
+
+  /// Resolve fixups and return little-endian bytes.
+  std::vector<std::uint8_t> finish();
+
+private:
+  struct Fixup {
+    enum class Kind { kImm26, kImm19, kAdrp, kAddLo12 } kind;
+    std::size_t index;   // word index
+    std::uint32_t label;
+  };
+
+  void word(std::uint32_t w) { words_.push_back(w); }
+  void emit_branch(std::uint32_t opcode, Label target);
+
+  std::uint64_t base_;
+  std::vector<std::uint32_t> words_;
+  std::vector<std::uint64_t> label_addrs_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace fsr::arm64

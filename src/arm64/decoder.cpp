@@ -1,0 +1,85 @@
+#include "arm64/decoder.hpp"
+
+namespace fsr::arm64 {
+
+namespace {
+
+std::int64_t sext(std::uint64_t value, unsigned bits) {
+  const std::uint64_t sign = 1ULL << (bits - 1);
+  return static_cast<std::int64_t>((value ^ sign)) - static_cast<std::int64_t>(sign);
+}
+
+}  // namespace
+
+Insn decode(std::uint32_t w, std::uint64_t addr) {
+  Insn insn;
+  insn.addr = addr;
+  insn.word = w;
+
+  if (w == 0) {
+    insn.kind = Kind::kUdf;
+    return insn;
+  }
+
+  // Hint space: D503201F | imm7 << 5.
+  if ((w & 0xfffff01f) == 0xd503201f) {
+    const std::uint32_t imm7 = (w >> 5) & 0x7f;
+    switch (imm7) {
+      case 0: insn.kind = Kind::kNop; break;
+      case 25: insn.kind = Kind::kPaciasp; break;
+      case 32: insn.kind = Kind::kBtiPlain; break;
+      case 34: insn.kind = Kind::kBtiC; break;
+      case 36: insn.kind = Kind::kBtiJ; break;
+      case 38: insn.kind = Kind::kBtiJc; break;
+      default: insn.kind = Kind::kOther; break;  // other hints (yield, ...)
+    }
+    return insn;
+  }
+
+  // BL / B: imm26.
+  if ((w >> 26) == 0x25 || (w >> 26) == 0x05) {
+    insn.kind = (w >> 26) == 0x25 ? Kind::kBl : Kind::kB;
+    insn.target = addr + static_cast<std::uint64_t>(sext(w & 0x03ffffff, 26) * 4);
+    return insn;
+  }
+
+  // B.cond: 0101 0100 ... 0 cond.
+  if ((w & 0xff000010) == 0x54000000) {
+    insn.kind = Kind::kBCond;
+    insn.target = addr + static_cast<std::uint64_t>(sext((w >> 5) & 0x7ffff, 19) * 4);
+    return insn;
+  }
+
+  // CBZ / CBNZ (32- and 64-bit forms).
+  if ((w & 0x7e000000) == 0x34000000) {
+    insn.kind = Kind::kCbz;
+    insn.target = addr + static_cast<std::uint64_t>(sext((w >> 5) & 0x7ffff, 19) * 4);
+    return insn;
+  }
+
+  // TBZ / TBNZ.
+  if ((w & 0x7e000000) == 0x36000000) {
+    insn.kind = Kind::kTbz;
+    insn.target = addr + static_cast<std::uint64_t>(sext((w >> 5) & 0x3fff, 14) * 4);
+    return insn;
+  }
+
+  // RET / BR / BLR: D65F03C0-style (rn in bits 5..9).
+  if ((w & 0xfffffc1f) == 0xd65f0000) {
+    insn.kind = Kind::kRet;
+    return insn;
+  }
+  if ((w & 0xfffffc1f) == 0xd61f0000) {
+    insn.kind = Kind::kBr;
+    return insn;
+  }
+  if ((w & 0xfffffc1f) == 0xd63f0000) {
+    insn.kind = Kind::kBlr;
+    return insn;
+  }
+
+  insn.kind = Kind::kOther;
+  return insn;
+}
+
+}  // namespace fsr::arm64

@@ -1,0 +1,16 @@
+// AArch64 decoder for the BTI study: classifies the instructions that
+// matter to function identification (BTI/PACIASP markers, direct and
+// indirect branches) and treats everything else as kOther. Fixed
+// 4-byte width means a sweep can never desynchronize.
+#pragma once
+
+#include <cstdint>
+
+#include "arm64/insn.hpp"
+
+namespace fsr::arm64 {
+
+/// Decode the 32-bit instruction word at `addr`.
+Insn decode(std::uint32_t word, std::uint64_t addr);
+
+}  // namespace fsr::arm64

@@ -1,0 +1,27 @@
+#include "arm64/insn.hpp"
+
+namespace fsr::arm64 {
+
+std::string kind_name(Kind k) {
+  switch (k) {
+    case Kind::kOther: return "other";
+    case Kind::kNop: return "nop";
+    case Kind::kBtiPlain: return "bti";
+    case Kind::kBtiC: return "bti c";
+    case Kind::kBtiJ: return "bti j";
+    case Kind::kBtiJc: return "bti jc";
+    case Kind::kPaciasp: return "paciasp";
+    case Kind::kBl: return "bl";
+    case Kind::kB: return "b";
+    case Kind::kBCond: return "b.cond";
+    case Kind::kCbz: return "cbz";
+    case Kind::kTbz: return "tbz";
+    case Kind::kRet: return "ret";
+    case Kind::kBr: return "br";
+    case Kind::kBlr: return "blr";
+    case Kind::kUdf: return "udf";
+  }
+  return "?";
+}
+
+}  // namespace fsr::arm64

@@ -1,0 +1,61 @@
+// AArch64 instruction model (paper §VI extension).
+//
+// ARMv8.5 BTI (Branch Target Identification) plays the role Intel's
+// end-branch plays on x86: indirect branches (BR/BLR) may only land on
+// a BTI whose target filter matches — `bti c` accepts calls, `bti j`
+// accepts jumps, `bti jc` both. PACIASP is an implicit `bti c` under
+// -mbranch-protection=standard. Unlike x86, the marker therefore tells
+// the analyzer *which kind* of indirect transfer can land there, which
+// BtiSeeker exploits (bti c / paciasp → function entry candidate;
+// bti j → jump target such as a switch case or landing pad).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fsr::arm64 {
+
+enum class Kind : std::uint8_t {
+  kOther,     // decoded, not relevant
+  kNop,
+  kBtiPlain,  // bti   (no landing permitted via BR/BLR with BTI enforced)
+  kBtiC,      // bti c (call landing pad: function entry)
+  kBtiJ,      // bti j (jump landing pad: switch case / EH pad)
+  kBtiJc,     // bti jc
+  kPaciasp,   // implicit bti c
+  kBl,        // direct call, imm26
+  kB,         // direct jump, imm26
+  kBCond,     // conditional branch, imm19
+  kCbz,       // compare-and-branch (cbz/cbnz), imm19
+  kTbz,       // test-and-branch (tbz/tbnz), imm14
+  kRet,
+  kBr,        // indirect jump
+  kBlr,       // indirect call
+  kUdf,       // permanently undefined (zero word)
+};
+
+/// One decoded instruction. AArch64 instructions are uniformly 4 bytes,
+/// so no length field is needed.
+struct Insn {
+  std::uint64_t addr = 0;
+  std::uint32_t word = 0;
+  Kind kind = Kind::kOther;
+  /// Absolute target for kBl/kB/kBCond/kCbz/kTbz; 0 otherwise.
+  std::uint64_t target = 0;
+
+  /// Valid landing pad for an indirect call (function entry evidence).
+  [[nodiscard]] bool is_call_pad() const {
+    return kind == Kind::kBtiC || kind == Kind::kBtiJc || kind == Kind::kPaciasp;
+  }
+  /// Valid landing pad for an indirect jump only.
+  [[nodiscard]] bool is_jump_pad() const { return kind == Kind::kBtiJ; }
+  [[nodiscard]] bool is_terminator() const {
+    return kind == Kind::kRet || kind == Kind::kB || kind == Kind::kBr ||
+           kind == Kind::kUdf;
+  }
+  [[nodiscard]] std::uint64_t end() const { return addr + 4; }
+};
+
+std::string kind_name(Kind k);
+
+}  // namespace fsr::arm64

@@ -1,0 +1,20 @@
+#include "arm64/sweep.hpp"
+
+#include "arm64/decoder.hpp"
+
+namespace fsr::arm64 {
+
+std::vector<Insn> linear_sweep(std::span<const std::uint8_t> code, std::uint64_t base) {
+  std::vector<Insn> out;
+  out.reserve(code.size() / 4);
+  for (std::size_t off = 0; off + 4 <= code.size(); off += 4) {
+    const std::uint32_t w = static_cast<std::uint32_t>(code[off]) |
+                            static_cast<std::uint32_t>(code[off + 1]) << 8 |
+                            static_cast<std::uint32_t>(code[off + 2]) << 16 |
+                            static_cast<std::uint32_t>(code[off + 3]) << 24;
+    out.push_back(decode(w, base + off));
+  }
+  return out;
+}
+
+}  // namespace fsr::arm64

@@ -1,0 +1,18 @@
+// AArch64 linear sweep: fixed 4-byte stride, no resynchronization
+// needed (the property that makes BTI-based identification even
+// simpler than the x86 case, paper §VI).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arm64/insn.hpp"
+
+namespace fsr::arm64 {
+
+/// Decode `code` (loaded at `base`) word by word. A trailing partial
+/// word, if any, is ignored.
+std::vector<Insn> linear_sweep(std::span<const std::uint8_t> code, std::uint64_t base);
+
+}  // namespace fsr::arm64

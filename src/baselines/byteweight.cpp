@@ -1,0 +1,61 @@
+#include "baselines/byteweight.hpp"
+
+#include <algorithm>
+
+#include "baselines/common.hpp"
+
+namespace fsr::baselines {
+
+namespace {
+
+/// Extract the byte prefix of length `len` at `addr` from .text.
+std::string prefix_at(const elf::Section& text, std::uint64_t addr, std::size_t len) {
+  const std::size_t off = static_cast<std::size_t>(addr - text.addr);
+  const std::size_t avail = text.data.size() - off;
+  const std::size_t take = std::min(len, avail);
+  return std::string(reinterpret_cast<const char*>(text.data.data() + off), take);
+}
+
+}  // namespace
+
+void ByteWeightModel::train(const elf::Image& bin,
+                            const std::vector<std::uint64_t>& entries) {
+  const elf::Section& text = bin.text();
+  const CodeView view = build_code_view(bin);
+  for (const x86::Insn& insn : view.insns) {
+    const bool positive =
+        std::binary_search(entries.begin(), entries.end(), insn.addr);
+    for (std::size_t len = 1; len <= kMaxPrefix; ++len) {
+      Counts& c = counts_[prefix_at(text, insn.addr, len)];
+      if (positive)
+        ++c.positive;
+      else
+        ++c.negative;
+    }
+  }
+}
+
+std::vector<std::uint64_t> ByteWeightModel::classify(const elf::Image& bin,
+                                                     double threshold) const {
+  std::vector<std::uint64_t> out;
+  const elf::Section& text = bin.text();
+  const CodeView view = build_code_view(bin);
+  for (const x86::Insn& insn : view.insns) {
+    // Longest known prefix wins (most specific evidence).
+    for (std::size_t len = kMaxPrefix; len >= 1; --len) {
+      auto it = counts_.find(prefix_at(text, insn.addr, len));
+      if (it == counts_.end()) continue;
+      const Counts& c = it->second;
+      const std::uint32_t total = c.positive + c.negative;
+      if (total < 3) continue;  // too rare to trust
+      if (static_cast<double>(c.positive) / static_cast<double>(total) >= threshold)
+        out.push_back(insn.addr);
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace fsr::baselines

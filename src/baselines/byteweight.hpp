@@ -1,0 +1,51 @@
+// ByteWeight-like baseline (Bao et al., USENIX Security 2014 — the
+// paper's Related Work §VII-B).
+//
+// ByteWeight learns a weighted prefix tree over the byte sequences
+// that start functions and classifies every candidate address by the
+// longest matching prefix's empirical start probability. Koo et al.
+// (ACSAC 2021) — cited by the paper — showed such models are "prone to
+// errors when handling unseen binary patterns"; bench_byteweight
+// reproduces that: trained on -O0/-O1 binaries, the model collapses on
+// optimized code whose entries no longer look like the training
+// prologues, while FunSeeker (no training phase) is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::baselines {
+
+class ByteWeightModel {
+public:
+  /// Maximum prefix depth (ByteWeight used 10; entry signatures in CET
+  /// binaries are discriminative well before that).
+  static constexpr std::size_t kMaxPrefix = 8;
+
+  /// Accumulate training evidence from one binary: `entries` are the
+  /// ground-truth function starts; every other instruction boundary is
+  /// a negative example.
+  void train(const elf::Image& bin, const std::vector<std::uint64_t>& entries);
+
+  /// Classify every instruction boundary of the binary; returns the
+  /// addresses whose longest matching prefix scores >= threshold.
+  [[nodiscard]] std::vector<std::uint64_t> classify(const elf::Image& bin,
+                                                    double threshold = 0.5) const;
+
+  [[nodiscard]] std::size_t prefix_count() const { return counts_.size(); }
+  [[nodiscard]] bool trained() const { return !counts_.empty(); }
+
+private:
+  struct Counts {
+    std::uint32_t positive = 0;
+    std::uint32_t negative = 0;
+  };
+  /// Prefix (raw bytes) -> occurrence counts at starts / non-starts.
+  std::map<std::string, Counts> counts_;
+};
+
+}  // namespace fsr::baselines

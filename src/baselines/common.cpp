@@ -1,0 +1,121 @@
+#include "baselines/common.hpp"
+
+#include "eh/eh_frame.hpp"
+#include "eh/eh_frame_hdr.hpp"
+#include "util/error.hpp"
+#include "x86/sweep.hpp"
+
+namespace fsr::baselines {
+
+const x86::Insn* CodeView::at(std::uint64_t addr) const {
+  auto it = index.find(addr);
+  return it == index.end() ? nullptr : &insns[it->second];
+}
+
+CodeView build_code_view(const elf::Image& bin) {
+  if (bin.machine == elf::Machine::kArm64)
+    throw UsageError("the baseline analyzers model x86/x86-64 tools only");
+  const elf::Section& text = bin.text();
+  const x86::Mode mode =
+      bin.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
+  CodeView view;
+  view.text_begin = text.addr;
+  view.text_end = text.end_addr();
+  view.bytes = text.data;
+  view.mode = mode;
+  x86::SweepResult sweep = x86::linear_sweep(text.data, text.addr, mode);
+  view.insns = std::move(sweep.insns);
+  for (std::size_t i = 0; i < view.insns.size(); ++i)
+    view.index.emplace(view.insns[i].addr, i);
+  return view;
+}
+
+Traversal recursive_traversal(const CodeView& view,
+                              const std::vector<std::uint64_t>& seeds) {
+  Traversal out;
+  std::vector<std::uint64_t> work;
+  for (std::uint64_t s : seeds) {
+    if (!view.in_text(s)) continue;
+    out.functions.insert(s);
+    work.push_back(s);
+  }
+
+  while (!work.empty()) {
+    std::uint64_t addr = work.back();
+    work.pop_back();
+    // Walk a straight-line run of instructions from addr.
+    while (view.in_text(addr)) {
+      if (out.visited.count(addr) != 0) break;
+      const x86::Insn* insn = view.at(addr);
+      if (insn == nullptr) break;  // landed inside an instruction / bad byte
+      out.visited.insert(addr);
+
+      switch (insn->kind) {
+        case x86::Kind::kCallDirect:
+          if (view.in_text(insn->target) && out.functions.insert(insn->target).second)
+            work.push_back(insn->target);
+          break;
+        case x86::Kind::kJmpDirect:
+          // Followed as code, not promoted to a function.
+          if (view.in_text(insn->target)) work.push_back(insn->target);
+          break;
+        case x86::Kind::kJcc:
+          if (view.in_text(insn->target)) work.push_back(insn->target);
+          break;
+        default:
+          break;
+      }
+      if (insn->is_terminator()) break;
+      addr = insn->end();
+    }
+  }
+  return out;
+}
+
+PrologueMatch match_frame_prologue(const CodeView& view, std::size_t i, bool endbr_aware) {
+  PrologueMatch m;
+  if (i + 1 >= view.insns.size()) return m;
+  const x86::Insn& a = view.insns[i];
+  const x86::Insn& b = view.insns[i + 1];
+
+  // push rBP ; mov rBP, rSP  (89 /r with ModRM E5).
+  const bool push_bp = a.kind == x86::Kind::kPush && a.reg == 5;
+  const bool mov_bp_sp = b.opcode == 0x89 && b.has_modrm && b.modrm == 0xe5;
+  if (!(push_bp && mov_bp_sp)) return m;
+  if (a.end() != b.addr) return m;
+
+  m.matched = true;
+  m.entry = a.addr;
+  if (endbr_aware && i > 0) {
+    const x86::Insn& pre = view.insns[i - 1];
+    if (pre.is_endbr() && pre.end() == a.addr) m.entry = pre.addr;
+  }
+  return m;
+}
+
+std::vector<std::uint64_t> fde_starts_via_hdr(const elf::Image& bin) {
+  std::vector<std::uint64_t> out;
+  const elf::Section* hdr = bin.find_section(".eh_frame_hdr");
+  if (hdr == nullptr || hdr->data.empty()) return out;
+  try {
+    eh::EhFrameHdr parsed = eh::parse_eh_frame_hdr(hdr->data, hdr->addr);
+    out.reserve(parsed.entries.size());
+    for (const auto& e : parsed.entries) out.push_back(e.pc_begin);
+  } catch (const ParseError&) {
+    out.clear();  // corrupt header: caller falls back to .eh_frame
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> fde_starts(const elf::Image& bin) {
+  std::vector<std::uint64_t> out;
+  const elf::Section* eh = bin.find_section(".eh_frame");
+  if (eh == nullptr || eh->data.empty()) return out;
+  const int ptr_size = bin.machine == elf::Machine::kX8664 ? 8 : 4;
+  eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size);
+  out.reserve(frame.fdes.size());
+  for (const eh::Fde& fde : frame.fdes) out.push_back(fde.pc_begin);
+  return out;
+}
+
+}  // namespace fsr::baselines

@@ -1,0 +1,73 @@
+// Shared machinery for the baseline analyzers (IDA-like, Ghidra-like,
+// FETCH-like). These re-implement the *mechanisms* the paper attributes
+// to each tool — recursive traversal, prologue signature scanning, and
+// .eh_frame FDE harvesting — so that each baseline inherits the failure
+// modes the paper measures (see DESIGN.md §2 for the mapping).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "elf/image.hpp"
+#include "x86/insn.hpp"
+
+namespace fsr::baselines {
+
+/// Decoded view of the image's .text with an address index.
+struct CodeView {
+  std::vector<x86::Insn> insns;
+  std::map<std::uint64_t, std::size_t> index;  // address -> insns position
+  std::uint64_t text_begin = 0;
+  std::uint64_t text_end = 0;
+  /// Raw section bytes, kept so analyses that re-decode (FETCH-like's
+  /// frame-height walks) can do so from the source of truth.
+  std::vector<std::uint8_t> bytes;
+  x86::Mode mode = x86::Mode::k64;
+
+  [[nodiscard]] const x86::Insn* at(std::uint64_t addr) const;
+  [[nodiscard]] bool in_text(std::uint64_t addr) const {
+    return addr >= text_begin && addr < text_end;
+  }
+};
+
+/// Linear-sweep the image and build the index.
+CodeView build_code_view(const elf::Image& bin);
+
+/// Recursive-traversal result.
+struct Traversal {
+  /// Discovered function entries (seeds + direct call targets).
+  std::set<std::uint64_t> functions;
+  /// Every instruction address reached as code.
+  std::set<std::uint64_t> visited;
+};
+
+/// Classic recursive traversal: explore code flow from the seeds,
+/// promoting every direct-call target to a function. Direct jumps are
+/// followed as code but do NOT create functions (the conservative
+/// behaviour whose recall cost the paper quantifies for IDA).
+Traversal recursive_traversal(const CodeView& view,
+                              const std::vector<std::uint64_t>& seeds);
+
+/// Prologue signature match at instruction position i.
+/// `endbr_aware` controls whether an end-branch immediately before the
+/// frame setup is folded into the match (the match address becomes the
+/// end-branch); tools predating CET match the push alone and misplace
+/// the entry by the end-branch's four bytes.
+struct PrologueMatch {
+  bool matched = false;
+  std::uint64_t entry = 0;
+};
+PrologueMatch match_frame_prologue(const CodeView& view, std::size_t i, bool endbr_aware);
+
+/// Harvest FDE pc_begin values from .eh_frame (empty when absent).
+std::vector<std::uint64_t> fde_starts(const elf::Image& bin);
+
+/// Fast path: read the pre-sorted pc_begin index from .eh_frame_hdr,
+/// the way real tools do when the header is present. Returns an empty
+/// vector when the section is absent or malformed (callers fall back
+/// to fde_starts).
+std::vector<std::uint64_t> fde_starts_via_hdr(const elf::Image& bin);
+
+}  // namespace fsr::baselines

@@ -1,0 +1,145 @@
+#include "baselines/fetch_like.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/common.hpp"
+#include "eh/eh_frame.hpp"
+#include "x86/decoder.hpp"
+
+namespace fsr::baselines {
+
+namespace {
+
+/// Accumulator that keeps the frame-height profiling from being
+/// optimized away (its values feed no decision, matching FETCH's
+/// behaviour of computing heights it frequently discards).
+volatile std::uint64_t benchmark_sink_ = 0;
+
+struct Region {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Region containing addr, or nullptr.
+const Region* region_of(const std::vector<Region>& regions, std::uint64_t addr) {
+  auto it = std::upper_bound(regions.begin(), regions.end(), addr,
+                             [](std::uint64_t a, const Region& r) { return a < r.begin; });
+  if (it == regions.begin()) return nullptr;
+  --it;
+  return addr < it->end ? &*it : nullptr;
+}
+
+/// Simulate the stack-pointer height over [from, to). This is FETCH's
+/// frame-height analysis; each query is a fresh decode-and-walk over the
+/// raw bytes (FETCH lifts instructions per candidate rather than reusing
+/// a shared decoded stream — the per-candidate cost the paper's run-time
+/// comparison attributes FETCH's slowness to, §V-D).
+std::int64_t stack_height(const CodeView& view, std::uint64_t from, std::uint64_t to) {
+  std::int64_t height = 0;
+  std::uint64_t addr = from;
+  const std::span<const std::uint8_t> bytes(view.bytes);
+  while (addr < to && view.in_text(addr)) {
+    const auto insn =
+        x86::decode(bytes.subspan(static_cast<std::size_t>(addr - view.text_begin)),
+                    addr, view.mode);
+    if (!insn.has_value() || insn->length == 0) {
+      ++addr;
+      continue;
+    }
+    height += insn->stack_delta;
+    if (insn->kind == x86::Kind::kLeave) height = 0;  // frame restored
+    addr = insn->end();
+  }
+  return height;
+}
+
+/// Calling-convention plausibility of a candidate entry: walk forward
+/// to the first return and require the stack to come back balanced.
+bool plausible_function_body(const CodeView& view, std::uint64_t entry,
+                             std::uint64_t limit) {
+  auto it = view.index.find(entry);
+  if (it == view.index.end()) return false;
+  std::int64_t height = 0;
+  for (std::size_t i = it->second; i < view.insns.size(); ++i) {
+    const x86::Insn& insn = view.insns[i];
+    if (insn.addr >= limit) break;
+    if (insn.kind == x86::Kind::kLeave) height = 0;
+    // A function body reaches a return (or chains into another tail
+    // call) without leaving callee frames behind.
+    if (insn.kind == x86::Kind::kRet) return height >= -8;
+    if (insn.kind == x86::Kind::kJmpDirect) return true;  // chained tail call
+    height += insn.stack_delta;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
+                                                const FetchOptions& opts) {
+  CodeView view = build_code_view(bin);
+  std::set<std::uint64_t> funcs;
+
+  // Pass 1: FDE harvest, the backbone of FETCH's detection.
+  const elf::Section* eh = bin.find_section(".eh_frame");
+  std::vector<Region> regions;
+  if (eh != nullptr && !eh->data.empty()) {
+    const int ptr_size = bin.machine == elf::Machine::kX8664 ? 8 : 4;
+    eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size);
+    for (const eh::Fde& fde : frame.fdes) {
+      if (!view.in_text(fde.pc_begin)) continue;
+      funcs.insert(fde.pc_begin);
+      regions.push_back({fde.pc_begin, fde.pc_end()});
+    }
+    std::sort(regions.begin(), regions.end(),
+              [](const Region& a, const Region& b) { return a.begin < b.begin; });
+  }
+  // Without call-frame information FETCH can do little beyond the entry
+  // point (the x86 Clang C failure mode).
+  if (view.in_text(bin.entry)) funcs.insert(bin.entry);
+
+  if (!opts.verify_tail_calls || regions.empty())
+    return {funcs.begin(), funcs.end()};
+
+  // Pass 2: frame-height profiling. FETCH evaluates the stack height at
+  // every potential transfer point of every FDE region (each evaluation
+  // is an independent walk from the region start — the per-candidate
+  // cost behind the ~5x slowdown the paper measures in §V-D).
+  for (const Region& r : regions) {
+    auto it = view.index.lower_bound(r.begin);
+    for (; it != view.index.end() && it->first < r.end; ++it) {
+      const x86::Insn& insn = view.insns[it->second];
+      if (insn.kind == x86::Kind::kJmpDirect || insn.kind == x86::Kind::kJcc ||
+          insn.kind == x86::Kind::kRet || insn.kind == x86::Kind::kCallDirect ||
+          insn.kind == x86::Kind::kPush || insn.kind == x86::Kind::kPop ||
+          insn.kind == x86::Kind::kLeave || insn.kind == x86::Kind::kMov) {
+        benchmark_sink_ =
+            benchmark_sink_ ^ static_cast<std::uint64_t>(stack_height(view, r.begin, insn.addr));
+      }
+    }
+  }
+
+  // Pass 3: tail-call candidates. For every direct jump leaving its
+  // region with a balanced frame, verify the target looks like a
+  // function under the calling convention, then promote it.
+  for (const x86::Insn& insn : view.insns) {
+    if (insn.kind != x86::Kind::kJmpDirect) continue;
+    const Region* src = region_of(regions, insn.addr);
+    if (src == nullptr) continue;
+    if (!view.in_text(insn.target)) continue;
+    const Region* dst = region_of(regions, insn.target);
+    if (dst != nullptr && dst->begin == insn.target) continue;  // already known
+    if (dst == src) continue;                                   // intra-function
+    if (dst != nullptr) continue;  // lands inside another function body
+    // Frame-height analysis: a genuine sibling call transfers with the
+    // caller's frame fully unwound.
+    if (stack_height(view, src->begin, insn.addr) != 0) continue;
+    if (plausible_function_body(view, insn.target, view.text_end))
+      funcs.insert(insn.target);
+  }
+
+  return {funcs.begin(), funcs.end()};
+}
+
+}  // namespace fsr::baselines

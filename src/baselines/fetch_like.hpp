@@ -1,0 +1,29 @@
+// FETCH-like baseline (paper §V-A2; Pang et al., DSN 2021).
+//
+// Mechanisms modelled: function detection driven by .eh_frame Frame
+// Description Entries (every FDE pc_begin is a function — including
+// .cold/.part fragment FDEs), followed by FETCH's heavier analyses:
+// per-FDE extent validation and stack-frame-height / calling-convention
+// verification of tail-call candidates. The heavy verification is what
+// makes FETCH ~5x slower than FunSeeker (§V-D); its dependence on FDEs
+// is what collapses recall on x86 Clang C binaries, which carry no
+// call-frame information at all (§V-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::baselines {
+
+struct FetchOptions {
+  /// Run the expensive frame-height / calling-convention verification.
+  /// Disabling it is the ablation that isolates FETCH's run-time cost.
+  bool verify_tail_calls = true;
+};
+
+std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
+                                                const FetchOptions& opts = {});
+
+}  // namespace fsr::baselines

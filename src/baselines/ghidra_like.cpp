@@ -1,0 +1,40 @@
+#include "baselines/ghidra_like.hpp"
+
+#include <algorithm>
+
+#include "baselines/common.hpp"
+
+namespace fsr::baselines {
+
+std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin) {
+  CodeView view = build_code_view(bin);
+
+  // Pass 1: .eh_frame is the primary evidence source. Prefer the
+  // pre-sorted .eh_frame_hdr index when present (the real tool's fast
+  // path); fall back to a full CIE/FDE walk.
+  std::vector<std::uint64_t> seeds = fde_starts_via_hdr(bin);
+  if (seeds.empty()) seeds = fde_starts(bin);
+  seeds.push_back(bin.entry);
+
+  Traversal trav = recursive_traversal(view, seeds);
+  std::set<std::uint64_t> funcs = trav.functions;
+  std::set<std::uint64_t> visited = trav.visited;
+
+  // Pass 2: prologue scan over bytes no function claimed yet. Not
+  // end-branch aware: entries land on the push, after the marker.
+  for (std::size_t i = 0; i < view.insns.size(); ++i) {
+    const x86::Insn& insn = view.insns[i];
+    if (visited.count(insn.addr) != 0) continue;
+    PrologueMatch m = match_frame_prologue(view, i, /*endbr_aware=*/false);
+    if (!m.matched) continue;
+    if (funcs.count(m.entry) != 0) continue;
+    funcs.insert(m.entry);
+    Traversal sub = recursive_traversal(view, {m.entry});
+    funcs.insert(sub.functions.begin(), sub.functions.end());
+    visited.insert(sub.visited.begin(), sub.visited.end());
+  }
+
+  return {funcs.begin(), funcs.end()};
+}
+
+}  // namespace fsr::baselines

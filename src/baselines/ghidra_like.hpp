@@ -1,0 +1,22 @@
+// Ghidra-like baseline (paper §V-A2).
+//
+// Mechanisms modelled: aggressive .eh_frame FDE harvesting (every
+// pc_begin becomes a function — including GCC's .cold/.part fragment
+// FDEs, a precision leak), recursive traversal, and a prologue scanner
+// that is NOT end-branch aware: when a frame prologue sits behind an
+// ENDBR marker the function is created at the push instruction, four
+// bytes late — wrong entry, counted as both a false positive and a
+// false negative. This reproduces the paper's observation that Ghidra's
+// recall and precision collapse on x86 binaries without FDEs (Clang C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::baselines {
+
+std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin);
+
+}  // namespace fsr::baselines

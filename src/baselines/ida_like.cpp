@@ -1,0 +1,41 @@
+#include "baselines/ida_like.hpp"
+
+#include <algorithm>
+
+#include "baselines/common.hpp"
+
+namespace fsr::baselines {
+
+std::vector<std::uint64_t> ida_like_functions(const elf::Image& bin) {
+  CodeView view = build_code_view(bin);
+
+  // Pass 1: recursive traversal from the ELF entry point.
+  Traversal trav = recursive_traversal(view, {bin.entry});
+  std::set<std::uint64_t> funcs = trav.functions;
+  std::set<std::uint64_t> visited = trav.visited;
+
+  // Pass 2: signature scan over unexplored code. Every match spawns a
+  // new traversal (IDA re-analyzes discovered functions, pulling in
+  // their callees as well). Iterate to a fixed point.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < view.insns.size(); ++i) {
+      const x86::Insn& insn = view.insns[i];
+      if (visited.count(insn.addr) != 0) continue;
+      PrologueMatch m = match_frame_prologue(view, i, /*endbr_aware=*/true);
+      if (!m.matched) continue;
+      if (funcs.count(m.entry) != 0) continue;
+      funcs.insert(m.entry);
+      Traversal sub = recursive_traversal(view, {m.entry});
+      for (std::uint64_t f : sub.functions)
+        if (funcs.insert(f).second) changed = true;
+      visited.insert(sub.visited.begin(), sub.visited.end());
+      changed = true;
+    }
+  }
+
+  return {funcs.begin(), funcs.end()};
+}
+
+}  // namespace fsr::baselines

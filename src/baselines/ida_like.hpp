@@ -1,0 +1,22 @@
+// IDA-Pro-like baseline (paper §V-A2).
+//
+// Mechanisms modelled: recursive traversal from the program entry plus
+// FLIRT-style prologue signature scanning over unexplored bytes. The
+// signature pass recognizes the CET end-branch in front of a frame
+// prologue (IDA 7.6 decodes ENDBR correctly) but has no concept of
+// using end-branches as entry evidence on their own — which is exactly
+// why the paper measures a 76% recall: functions reachable only through
+// indirect branches and functions without the canonical prologue are
+// never discovered (96% of IDA's false negatives, §V-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::baselines {
+
+std::vector<std::uint64_t> ida_like_functions(const elf::Image& bin);
+
+}  // namespace fsr::baselines

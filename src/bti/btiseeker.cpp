@@ -1,0 +1,104 @@
+#include "bti/btiseeker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "arm64/sweep.hpp"
+#include "elf/reader.hpp"
+#include "util/error.hpp"
+
+namespace fsr::bti {
+
+namespace {
+
+void sort_unique(std::vector<std::uint64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+std::vector<std::uint64_t> merge_sorted(const std::vector<std::uint64_t>& a,
+                                        const std::vector<std::uint64_t>& b) {
+  std::vector<std::uint64_t> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Candidate-region lookup, as in the x86 SELECTTAILCALL.
+std::ptrdiff_t region_of(const std::vector<std::uint64_t>& entries, std::uint64_t addr) {
+  auto it = std::upper_bound(entries.begin(), entries.end(), addr);
+  return std::distance(entries.begin(), it) - 1;
+}
+
+std::vector<std::uint64_t> select_tail_calls(const std::vector<arm64::Insn>& insns,
+                                             const std::vector<std::uint64_t>& entries) {
+  std::map<std::uint64_t, std::set<std::ptrdiff_t>> ref_regions;
+  for (const arm64::Insn& insn : insns) {
+    if (insn.kind != arm64::Kind::kBl && insn.kind != arm64::Kind::kB) continue;
+    ref_regions[insn.target].insert(region_of(entries, insn.addr));
+  }
+  std::set<std::uint64_t> selected;
+  for (const arm64::Insn& insn : insns) {
+    if (insn.kind != arm64::Kind::kB) continue;
+    const std::uint64_t target = insn.target;
+    if (std::binary_search(entries.begin(), entries.end(), target)) continue;
+    // Condition (1): leaves the containing function.
+    if (region_of(entries, insn.addr) == region_of(entries, target)) continue;
+    // Condition (2): referenced by more than the jumping function.
+    if (ref_regions[target].size() < 2) continue;
+    selected.insert(target);
+  }
+  return {selected.begin(), selected.end()};
+}
+
+}  // namespace
+
+Result analyze(const elf::Image& bin, const Options& opts) {
+  if (bin.machine != elf::Machine::kArm64)
+    throw UsageError("BtiSeeker analyzes AArch64 binaries; use fsr::funseeker for x86");
+
+  const elf::Section& text = bin.text();
+  const std::vector<arm64::Insn> insns = arm64::linear_sweep(text.data, text.addr);
+  const std::uint64_t lo = text.addr;
+  const std::uint64_t hi = text.end_addr();
+
+  Result r;
+  for (const arm64::Insn& insn : insns) {
+    if (insn.is_call_pad()) {
+      r.call_pads.push_back(insn.addr);
+    } else if (insn.is_jump_pad()) {
+      r.jump_pads.push_back(insn.addr);
+    } else if (insn.kind == arm64::Kind::kBl) {
+      if (insn.target >= lo && insn.target < hi) r.call_targets.push_back(insn.target);
+    } else if (insn.kind == arm64::Kind::kB) {
+      if (insn.target >= lo && insn.target < hi) r.jmp_targets.push_back(insn.target);
+    }
+  }
+  sort_unique(r.call_pads);
+  sort_unique(r.jump_pads);
+  sort_unique(r.call_targets);
+  sort_unique(r.jmp_targets);
+
+  // E ∪ C. No FILTERENDBR: `bti j` pads were never candidates.
+  std::vector<std::uint64_t> entries = merge_sorted(r.call_pads, r.call_targets);
+
+  if (opts.include_jump_targets) {
+    if (opts.select_tail_calls) {
+      r.tail_call_targets = select_tail_calls(insns, entries);
+      entries = merge_sorted(entries, r.tail_call_targets);
+    } else {
+      entries = merge_sorted(entries, r.jmp_targets);
+    }
+  }
+
+  r.functions = std::move(entries);
+  return r;
+}
+
+Result analyze_bytes(std::span<const std::uint8_t> file_bytes, const Options& opts) {
+  return analyze(elf::read_elf(file_bytes), opts);
+}
+
+}  // namespace fsr::bti

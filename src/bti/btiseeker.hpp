@@ -1,0 +1,49 @@
+// BtiSeeker — FunSeeker's algorithm transplanted to ARM BTI binaries
+// (the paper's §VI future work: "end-branch instructions in both
+// architectures behave almost the same").
+//
+// The AArch64 story is in fact *simpler* than x86:
+//   * `bti c` / `bti jc` / `paciasp` mark call landing pads — function
+//     entry evidence, the analogue of E.
+//   * `bti j` marks jump-only landing pads (switch cases, exception
+//     landing pads, setjmp return points). These can never be mistaken
+//     for entries, so the entire FILTERENDBR stage disappears: the
+//     architecture already separates the cases the x86 tool had to
+//     disambiguate through the PLT and the LSDAs.
+//   * C (BL targets) and J (B targets) play the same role, and
+//     SELECTTAILCALL is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::bti {
+
+struct Options {
+  /// Consider direct-branch (B) targets as tail-call candidates.
+  bool include_jump_targets = true;
+  /// Apply the two SELECTTAILCALL conditions to J.
+  bool select_tail_calls = true;
+};
+
+struct Result {
+  std::vector<std::uint64_t> functions;  // final set, sorted
+
+  std::vector<std::uint64_t> call_pads;     // bti c / bti jc / paciasp (E)
+  std::vector<std::uint64_t> jump_pads;     // bti j (never entries)
+  std::vector<std::uint64_t> call_targets;  // BL targets (C)
+  std::vector<std::uint64_t> jmp_targets;   // B targets (J)
+  std::vector<std::uint64_t> tail_call_targets;  // J'
+};
+
+/// Analyze a parsed AArch64 image. Throws fsr::UsageError for other
+/// machines.
+Result analyze(const elf::Image& bin, const Options& opts = {});
+
+/// Parse + analyze raw ELF bytes.
+Result analyze_bytes(std::span<const std::uint8_t> file_bytes, const Options& opts = {});
+
+}  // namespace fsr::bti

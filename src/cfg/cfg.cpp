@@ -1,0 +1,139 @@
+#include "cfg/cfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "funseeker/disassemble.hpp"
+
+namespace fsr::cfg {
+
+namespace {
+
+/// Build one function's CFG from its slice of the instruction stream.
+FunctionCfg build_function(const std::vector<x86::Insn>& insns, std::size_t first,
+                           std::size_t last, std::uint64_t entry,
+                           std::uint64_t region_end) {
+  FunctionCfg fn;
+  fn.entry = entry;
+
+  // Trim trailing alignment padding: walk back over nop/int3 runs.
+  std::size_t trimmed_last = last;
+  while (trimmed_last > first) {
+    const x86::Kind k = insns[trimmed_last - 1].kind;
+    if (k == x86::Kind::kNop || k == x86::Kind::kInt3)
+      --trimmed_last;
+    else
+      break;
+  }
+  if (trimmed_last == first) trimmed_last = last;  // all-padding region: keep as is
+  fn.end = insns[trimmed_last - 1].end();
+
+  // Leaders: the entry, every in-range branch target, and every
+  // instruction following a control transfer.
+  std::set<std::uint64_t> leaders;
+  leaders.insert(entry);
+  for (std::size_t i = first; i < trimmed_last; ++i) {
+    const x86::Insn& insn = insns[i];
+    const bool transfers = insn.is_direct_branch() || insn.is_terminator() ||
+                           insn.kind == x86::Kind::kCallIndirect;
+    if (insn.is_direct_branch() && insn.kind != x86::Kind::kCallDirect &&
+        insn.target >= entry && insn.target < fn.end)
+      leaders.insert(insn.target);
+    if (transfers && insn.kind != x86::Kind::kCallDirect &&
+        insn.kind != x86::Kind::kCallIndirect && i + 1 < trimmed_last)
+      leaders.insert(insns[i + 1].addr);
+  }
+
+  // Carve blocks between leaders.
+  for (std::size_t i = first; i < trimmed_last;) {
+    BasicBlock bb;
+    bb.start = insns[i].addr;
+    std::size_t j = i;
+    for (; j < trimmed_last; ++j) {
+      const x86::Insn& insn = insns[j];
+      if (j != i && leaders.count(insn.addr) != 0) break;  // next leader starts
+      ++bb.insn_count;
+      if (insn.kind == x86::Kind::kCallDirect) bb.calls.push_back(insn.target);
+      const bool is_last_of_block =
+          insn.is_terminator() || insn.kind == x86::Kind::kJcc ||
+          (j + 1 < trimmed_last && leaders.count(insns[j + 1].addr) != 0);
+      if (!is_last_of_block) continue;
+
+      bb.end = insn.end();
+      if (insn.kind == x86::Kind::kJcc) {
+        if (insn.target >= entry && insn.target < fn.end)
+          bb.successors.push_back(insn.target);
+        if (j + 1 < trimmed_last) bb.successors.push_back(insns[j + 1].addr);
+      } else if (insn.kind == x86::Kind::kJmpDirect) {
+        if (insn.target >= entry && insn.target < fn.end)
+          bb.successors.push_back(insn.target);
+        else
+          bb.tail_call = insn.target;
+      } else if (insn.kind == x86::Kind::kRet || insn.kind == x86::Kind::kHlt ||
+                 insn.kind == x86::Kind::kUd2) {
+        bb.returns = true;
+      } else if (!insn.is_terminator() && j + 1 < trimmed_last) {
+        bb.successors.push_back(insns[j + 1].addr);  // plain fallthrough split
+      }
+      ++j;
+      break;
+    }
+    if (bb.end == 0) bb.end = j < trimmed_last ? insns[j].addr : fn.end;
+    fn.blocks.push_back(std::move(bb));
+    i = j;
+  }
+
+  (void)region_end;
+  return fn;
+}
+
+}  // namespace
+
+const BasicBlock* FunctionCfg::block_at(std::uint64_t addr) const {
+  for (const auto& bb : blocks)
+    if (addr >= bb.start && addr < bb.end) return &bb;
+  return nullptr;
+}
+
+std::size_t FunctionCfg::instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& bb : blocks) n += bb.insn_count;
+  return n;
+}
+
+const FunctionCfg* ProgramCfg::function_at(std::uint64_t entry) const {
+  auto it = std::lower_bound(functions.begin(), functions.end(), entry,
+                             [](const FunctionCfg& f, std::uint64_t e) {
+                               return f.entry < e;
+                             });
+  return it != functions.end() && it->entry == entry ? &*it : nullptr;
+}
+
+ProgramCfg build_cfg(const elf::Image& bin, const std::vector<std::uint64_t>& entries) {
+  const funseeker::DisasmSets sets = funseeker::disassemble(bin);
+  const std::vector<x86::Insn>& insns = sets.insns;
+
+  ProgramCfg prog;
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const std::uint64_t entry = entries[e];
+    const std::uint64_t region_end =
+        e + 1 < entries.size() ? entries[e + 1] : bin.text().end_addr();
+    // Locate the instruction slice [first, last) of this region.
+    auto lo = std::lower_bound(insns.begin(), insns.end(), entry,
+                               [](const x86::Insn& i, std::uint64_t a) {
+                                 return i.addr < a;
+                               });
+    auto hi = std::lower_bound(lo, insns.end(), region_end,
+                               [](const x86::Insn& i, std::uint64_t a) {
+                                 return i.addr < a;
+                               });
+    if (lo == hi || lo->addr != entry) continue;  // entry not at a decoded boundary
+    prog.functions.push_back(build_function(
+        insns, static_cast<std::size_t>(lo - insns.begin()),
+        static_cast<std::size_t>(hi - insns.begin()), entry, region_end));
+  }
+  return prog;
+}
+
+}  // namespace fsr::cfg

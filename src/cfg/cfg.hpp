@@ -1,0 +1,59 @@
+// Intra-procedural CFG recovery on top of identified function entries.
+//
+// The paper motivates function identification as "the cornerstone of
+// binary analysis ... CFG recovery techniques often rely on the
+// assumption that function entries are known" (§VII-B). This module is
+// that downstream consumer: given a binary and a set of entries (from
+// FunSeeker or anything else), it derives per-function extents and
+// basic-block graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elf/image.hpp"
+#include "x86/insn.hpp"
+
+namespace fsr::cfg {
+
+/// Half-open address range of straight-line code with a single entry
+/// and a single terminator.
+struct BasicBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;  // exclusive
+  /// Intra-procedural successor block starts (fallthrough + branch).
+  std::vector<std::uint64_t> successors;
+  /// Direct call targets made from this block (inter-procedural edges).
+  std::vector<std::uint64_t> calls;
+  /// Direct jump leaving the function (tail call target), 0 if none.
+  std::uint64_t tail_call = 0;
+  /// Block ends in ret / hlt / ud2 (function exit).
+  bool returns = false;
+  std::size_t insn_count = 0;
+};
+
+struct FunctionCfg {
+  std::uint64_t entry = 0;
+  /// Exclusive end of the function's code, with trailing alignment
+  /// padding (nop / int3 ladders) trimmed off.
+  std::uint64_t end = 0;
+  /// Blocks sorted by start address; blocks[0].start == entry.
+  std::vector<BasicBlock> blocks;
+
+  [[nodiscard]] const BasicBlock* block_at(std::uint64_t addr) const;
+  [[nodiscard]] std::size_t instruction_count() const;
+};
+
+struct ProgramCfg {
+  std::vector<FunctionCfg> functions;  // sorted by entry
+
+  [[nodiscard]] const FunctionCfg* function_at(std::uint64_t entry) const;
+};
+
+/// Build CFGs for the given entries (sorted, deduplicated; typically
+/// funseeker::Result::functions). Function extents are approximated by
+/// the next entry, as the candidate-region logic of SELECTTAILCALL
+/// does, then trimmed at the last reachable instruction.
+ProgramCfg build_cfg(const elf::Image& bin, const std::vector<std::uint64_t>& entries);
+
+}  // namespace fsr::cfg

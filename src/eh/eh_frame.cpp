@@ -1,0 +1,183 @@
+#include "eh/eh_frame.hpp"
+
+#include <map>
+#include <string>
+
+#include "eh/encodings.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/leb128.hpp"
+
+namespace fsr::eh {
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+struct CieInfo {
+  std::uint8_t fde_encoding = kPeAbsptr;
+  std::uint8_t lsda_encoding = kPeOmit;
+  bool has_aug_data = false;  // 'z'
+};
+
+CieInfo parse_cie(ByteReader& r, std::uint64_t record_end, int ptr_size) {
+  CieInfo info;
+  const std::uint8_t version = r.u8();
+  if (version != 1 && version != 3)
+    throw ParseError("unsupported CIE version " + std::to_string(version));
+  const std::string aug = r.cstring();
+  util::read_uleb128(r);  // code alignment factor
+  util::read_sleb128(r);  // data alignment factor
+  if (version == 1)
+    r.u8();  // return address register (u8 in v1)
+  else
+    util::read_uleb128(r);
+
+  std::size_t i = 0;
+  if (i < aug.size() && aug[i] == 'z') {
+    info.has_aug_data = true;
+    util::read_uleb128(r);  // augmentation data length
+    ++i;
+  }
+  for (; i < aug.size(); ++i) {
+    switch (aug[i]) {
+      case 'L':
+        info.lsda_encoding = r.u8();
+        break;
+      case 'R':
+        info.fde_encoding = r.u8();
+        break;
+      case 'P': {
+        const std::uint8_t enc = r.u8();
+        // Skip the personality routine pointer.
+        if ((enc & 0x0f) == kPeUleb128 || (enc & 0x0f) == kPeSleb128)
+          util::read_uleb128(r);
+        else
+          r.skip(encoded_size(enc, ptr_size));
+        break;
+      }
+      case 'S':  // signal frame
+        break;
+      default:
+        throw ParseError(std::string("unsupported CIE augmentation '") + aug[i] + "'");
+    }
+  }
+  // Remaining bytes are CFI instructions / padding — skip to record end.
+  (void)record_end;
+  return info;
+}
+
+}  // namespace
+
+EhFrame parse_eh_frame(std::span<const std::uint8_t> data, std::uint64_t section_addr,
+                       int ptr_size) {
+  EhFrame out;
+  ByteReader r(data);
+  std::map<std::uint64_t, CieInfo> cies;  // keyed by section offset of the CIE
+
+  while (!r.eof()) {
+    const std::uint64_t record_off = r.pos();
+    std::uint64_t length = r.u32();
+    if (length == 0) break;  // terminator
+    if (length == 0xffffffffULL) length = r.u64();
+    const std::uint64_t body_start = r.pos();
+    const std::uint64_t record_end = body_start + length;
+    if (record_end > data.size()) throw ParseError(".eh_frame record overruns section");
+
+    const std::uint64_t id_field_off = r.pos();
+    const std::uint32_t cie_id = r.u32();
+    if (cie_id == 0) {
+      cies[record_off] = parse_cie(r, record_end, ptr_size);
+    } else {
+      // FDE: cie_id is the distance from this field back to its CIE.
+      const std::uint64_t cie_off = id_field_off - cie_id;
+      auto it = cies.find(cie_off);
+      if (it == cies.end()) throw ParseError("FDE references unknown CIE");
+      const CieInfo& cie = it->second;
+
+      Fde fde;
+      const std::uint64_t pc_field_addr = section_addr + r.pos();
+      fde.pc_begin = read_encoded(r, cie.fde_encoding, pc_field_addr, ptr_size);
+      // pc_range uses the value format of the FDE encoding but is
+      // always an absolute length.
+      const std::uint64_t range_field_addr = section_addr + r.pos();
+      fde.pc_range = read_encoded(r, cie.fde_encoding & 0x0f, range_field_addr, ptr_size);
+      if (cie.has_aug_data) {
+        const std::uint64_t aug_len = util::read_uleb128(r);
+        const std::uint64_t aug_end = r.pos() + aug_len;
+        if (cie.lsda_encoding != kPeOmit && aug_len > 0) {
+          const std::uint64_t lsda_field_addr = section_addr + r.pos();
+          const std::uint64_t lsda = read_encoded(r, cie.lsda_encoding, lsda_field_addr, ptr_size);
+          if (lsda != 0) fde.lsda = lsda;
+        }
+        r.seek(aug_end);
+      }
+      out.fdes.push_back(fde);
+    }
+    r.seek(record_end);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> build_eh_frame(const std::vector<Fde>& fdes,
+                                         std::uint64_t section_addr, int ptr_size,
+                                         std::vector<std::uint64_t>* fde_addrs_out) {
+  ByteWriter w;
+
+  // Two CIE flavours: "zR" for plain frames, "zLR" when an LSDA pointer
+  // is present. Emit lazily, remembering section offsets.
+  std::int64_t cie_plain_off = -1;
+  std::int64_t cie_lsda_off = -1;
+  const std::uint8_t fde_enc = kPePcrel | kPeSdata4;
+  const std::uint8_t lsda_enc = kPePcrel | kPeSdata4;
+
+  auto emit_cie = [&](bool with_lsda) -> std::uint64_t {
+    const std::uint64_t off = w.size();
+    const std::size_t len_at = w.size();
+    w.u32(0);  // patched below
+    w.u32(0);  // CIE id
+    w.u8(1);   // version
+    w.cstring(with_lsda ? "zLR" : "zR");
+    util::write_uleb128(w, 1);   // code alignment
+    util::write_sleb128(w, ptr_size == 8 ? -8 : -4);  // data alignment
+    w.u8(ptr_size == 8 ? 16 : 8);  // return address register (RA)
+    util::write_uleb128(w, with_lsda ? 2 : 1);  // aug data length
+    if (with_lsda) w.u8(lsda_enc);
+    w.u8(fde_enc);
+    // Initial CFI: DW_CFA_def_cfa (sp, word) — enough for structure.
+    w.u8(0x0c);
+    util::write_uleb128(w, ptr_size == 8 ? 7 : 4);
+    util::write_uleb128(w, static_cast<std::uint64_t>(ptr_size));
+    w.align(static_cast<std::size_t>(ptr_size));
+    w.patch_u32(len_at, static_cast<std::uint32_t>(w.size() - len_at - 4));
+    return off;
+  };
+
+  for (const auto& fde : fdes) {
+    const bool with_lsda = fde.lsda.has_value();
+    std::int64_t& cie_off = with_lsda ? cie_lsda_off : cie_plain_off;
+    if (cie_off < 0) cie_off = static_cast<std::int64_t>(emit_cie(with_lsda));
+
+    if (fde_addrs_out != nullptr) fde_addrs_out->push_back(section_addr + w.size());
+    const std::size_t len_at = w.size();
+    w.u32(0);  // patched below
+    const std::uint64_t id_field_off = w.size();
+    w.u32(static_cast<std::uint32_t>(id_field_off - static_cast<std::uint64_t>(cie_off)));
+    write_encoded(w, fde_enc, fde.pc_begin, section_addr + w.size(), ptr_size);
+    w.u32(static_cast<std::uint32_t>(fde.pc_range));  // sdata4 value format
+    if (with_lsda) {
+      util::write_uleb128(w, 4);  // aug data length (one sdata4 pointer)
+      write_encoded(w, lsda_enc, *fde.lsda, section_addr + w.size(), ptr_size);
+    } else {
+      util::write_uleb128(w, 0);
+    }
+    w.align(static_cast<std::size_t>(ptr_size));
+    w.patch_u32(len_at, static_cast<std::uint32_t>(w.size() - len_at - 4));
+  }
+
+  w.u32(0);  // terminator
+  return w.take();
+}
+
+}  // namespace fsr::eh

@@ -1,0 +1,50 @@
+// .eh_frame reader and writer (CIE/FDE records).
+//
+// The corpus generator emits one CIE per binary plus one FDE per
+// function that has call-frame information; the compiler profiles decide
+// who gets an FDE (notably, Clang omits FDEs for 32-bit C code, the
+// behaviour behind FETCH's recall collapse on x86 — paper §V-C).
+//
+// The FETCH-like and Ghidra-like baselines consume pc_begin values;
+// FunSeeker consumes only the LSDA pointers (to locate landing pads).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace fsr::eh {
+
+/// One Frame Description Entry, decoded to absolute addresses.
+struct Fde {
+  std::uint64_t pc_begin = 0;
+  std::uint64_t pc_range = 0;
+  /// Absolute address of the function's LSDA inside
+  /// .gcc_except_table, when the CIE carries an 'L' augmentation and
+  /// the FDE has a language-specific data area.
+  std::optional<std::uint64_t> lsda;
+
+  [[nodiscard]] std::uint64_t pc_end() const { return pc_begin + pc_range; }
+};
+
+struct EhFrame {
+  std::vector<Fde> fdes;
+};
+
+/// Parse a .eh_frame section located at `section_addr`.
+/// Throws fsr::ParseError on structural corruption.
+EhFrame parse_eh_frame(std::span<const std::uint8_t> data, std::uint64_t section_addr,
+                       int ptr_size);
+
+/// Serialize FDE descriptions into .eh_frame bytes. The section will be
+/// placed at `section_addr` (needed because pointers are PC-relative).
+/// Entries with an lsda produce an 'L' augmentation CIE ("zLR"); others
+/// share a plain "zR" CIE. When `fde_addrs_out` is non-null it receives
+/// the virtual address of each emitted FDE record, in input order (for
+/// building the .eh_frame_hdr search table).
+std::vector<std::uint8_t> build_eh_frame(const std::vector<Fde>& fdes,
+                                         std::uint64_t section_addr, int ptr_size,
+                                         std::vector<std::uint64_t>* fde_addrs_out = nullptr);
+
+}  // namespace fsr::eh

@@ -1,0 +1,76 @@
+#include "eh/eh_frame_hdr.hpp"
+
+#include <algorithm>
+
+#include "eh/encodings.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace fsr::eh {
+
+namespace {
+
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kFramePtrEnc = kPePcrel | kPeSdata4;
+constexpr std::uint8_t kCountEnc = kPeUdata4;
+constexpr std::uint8_t kTableEnc = kPeDatarel | kPeSdata4;
+
+}  // namespace
+
+std::vector<std::uint8_t> build_eh_frame_hdr(const EhFrameHdr& hdr,
+                                             std::uint64_t hdr_addr) {
+  std::vector<EhFrameHdrEntry> sorted = hdr.entries;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const EhFrameHdrEntry& a, const EhFrameHdrEntry& b) {
+              return a.pc_begin < b.pc_begin;
+            });
+
+  util::ByteWriter w;
+  w.u8(kVersion);
+  w.u8(kFramePtrEnc);
+  w.u8(kCountEnc);
+  w.u8(kTableEnc);
+  // eh_frame pointer, pcrel to this field.
+  write_encoded(w, kFramePtrEnc, hdr.eh_frame_addr, hdr_addr + w.size(), 8);
+  w.u32(static_cast<std::uint32_t>(sorted.size()));
+  for (const auto& e : sorted) {
+    // datarel = relative to the start of .eh_frame_hdr.
+    w.i32(static_cast<std::int32_t>(static_cast<std::int64_t>(e.pc_begin) -
+                                    static_cast<std::int64_t>(hdr_addr)));
+    w.i32(static_cast<std::int32_t>(static_cast<std::int64_t>(e.fde_addr) -
+                                    static_cast<std::int64_t>(hdr_addr)));
+  }
+  return w.take();
+}
+
+EhFrameHdr parse_eh_frame_hdr(std::span<const std::uint8_t> data,
+                              std::uint64_t hdr_addr) {
+  util::ByteReader r(data);
+  const std::uint8_t version = r.u8();
+  if (version != kVersion)
+    throw ParseError(".eh_frame_hdr version " + std::to_string(version));
+  const std::uint8_t frame_enc = r.u8();
+  const std::uint8_t count_enc = r.u8();
+  const std::uint8_t table_enc = r.u8();
+  if (frame_enc != kFramePtrEnc || count_enc != kCountEnc || table_enc != kTableEnc)
+    throw ParseError("unsupported .eh_frame_hdr encodings");
+
+  EhFrameHdr hdr;
+  hdr.eh_frame_addr = read_encoded(r, frame_enc, hdr_addr + r.pos(), 8);
+  const std::uint32_t count = r.u32();
+  hdr.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    EhFrameHdrEntry e;
+    e.pc_begin = hdr_addr + static_cast<std::uint64_t>(static_cast<std::int64_t>(r.i32()));
+    e.fde_addr = hdr_addr + static_cast<std::uint64_t>(static_cast<std::int64_t>(r.i32()));
+    hdr.entries.push_back(e);
+  }
+  if (!std::is_sorted(hdr.entries.begin(), hdr.entries.end(),
+                      [](const EhFrameHdrEntry& a, const EhFrameHdrEntry& b) {
+                        return a.pc_begin < b.pc_begin;
+                      }))
+    throw ParseError(".eh_frame_hdr table is not sorted");
+  return hdr;
+}
+
+}  // namespace fsr::eh

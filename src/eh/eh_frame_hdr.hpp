@@ -1,0 +1,38 @@
+// .eh_frame_hdr — the binary-search companion of .eh_frame.
+//
+// Real binaries carry this GNU_EH_FRAME header so the unwinder can find
+// the FDE for a PC in O(log n); binary-analysis tools (Ghidra, FETCH)
+// read it as a pre-sorted function index. The corpus generator emits
+// it, and the Ghidra-like baseline prefers it over a full .eh_frame
+// walk when present — mirroring the real tools' fast path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fsr::eh {
+
+/// One search-table row: function start -> its FDE.
+struct EhFrameHdrEntry {
+  std::uint64_t pc_begin = 0;
+  std::uint64_t fde_addr = 0;
+};
+
+struct EhFrameHdr {
+  std::uint64_t eh_frame_addr = 0;       // pointer to the .eh_frame section
+  std::vector<EhFrameHdrEntry> entries;  // sorted by pc_begin
+};
+
+/// Serialize a header (version 1, pcrel|sdata4 frame pointer,
+/// udata4 count, datarel|sdata4 table) to be placed at `hdr_addr`.
+/// Entries are sorted by pc_begin as the format requires.
+std::vector<std::uint8_t> build_eh_frame_hdr(const EhFrameHdr& hdr,
+                                             std::uint64_t hdr_addr);
+
+/// Parse a header located at `hdr_addr`. Throws fsr::ParseError on
+/// malformed input or unsupported encodings.
+EhFrameHdr parse_eh_frame_hdr(std::span<const std::uint8_t> data,
+                              std::uint64_t hdr_addr);
+
+}  // namespace fsr::eh

@@ -1,0 +1,119 @@
+#include "eh/encodings.hpp"
+
+#include "util/error.hpp"
+#include "util/leb128.hpp"
+
+namespace fsr::eh {
+
+std::uint64_t read_encoded(util::ByteReader& r, std::uint8_t encoding,
+                           std::uint64_t field_addr, int ptr_size) {
+  if (encoding == kPeOmit) throw ParseError("read_encoded called with DW_EH_PE_omit");
+  if ((encoding & kPeIndirect) != 0)
+    throw ParseError("indirect DW_EH_PE encodings are not supported");
+
+  std::uint64_t raw;
+  switch (encoding & 0x0f) {
+    case kPeAbsptr:
+      raw = ptr_size == 8 ? r.u64() : r.u32();
+      break;
+    case kPeUleb128:
+      raw = util::read_uleb128(r);
+      break;
+    case kPeUdata2:
+      raw = r.u16();
+      break;
+    case kPeUdata4:
+      raw = r.u32();
+      break;
+    case kPeUdata8:
+      raw = r.u64();
+      break;
+    case kPeSleb128:
+      raw = static_cast<std::uint64_t>(util::read_sleb128(r));
+      break;
+    case kPeSdata2:
+      raw = static_cast<std::uint64_t>(static_cast<std::int64_t>(r.i16()));
+      break;
+    case kPeSdata4:
+      raw = static_cast<std::uint64_t>(static_cast<std::int64_t>(r.i32()));
+      break;
+    case kPeSdata8:
+      raw = static_cast<std::uint64_t>(r.i64());
+      break;
+    default:
+      throw ParseError("unsupported DW_EH_PE value format");
+  }
+
+  switch (encoding & 0x70) {
+    case 0x00:  // absolute
+      return raw;
+    case kPePcrel:
+      return field_addr + raw;
+    default:
+      throw ParseError("unsupported DW_EH_PE application");
+  }
+}
+
+void write_encoded(util::ByteWriter& w, std::uint8_t encoding, std::uint64_t value,
+                   std::uint64_t field_addr, int ptr_size) {
+  if (encoding == kPeOmit) throw EncodeError("write_encoded called with DW_EH_PE_omit");
+  std::uint64_t raw = value;
+  switch (encoding & 0x70) {
+    case 0x00:
+      break;
+    case kPePcrel:
+      raw = value - field_addr;
+      break;
+    default:
+      throw EncodeError("unsupported DW_EH_PE application for writing");
+  }
+
+  switch (encoding & 0x0f) {
+    case kPeAbsptr:
+      if (ptr_size == 8)
+        w.u64(raw);
+      else
+        w.u32(static_cast<std::uint32_t>(raw));
+      break;
+    case kPeUleb128:
+      util::write_uleb128(w, raw);
+      break;
+    case kPeSleb128:
+      util::write_sleb128(w, static_cast<std::int64_t>(raw));
+      break;
+    case kPeUdata2:
+    case kPeSdata2:
+      w.u16(static_cast<std::uint16_t>(raw));
+      break;
+    case kPeUdata4:
+    case kPeSdata4:
+      w.u32(static_cast<std::uint32_t>(raw));
+      break;
+    case kPeUdata8:
+    case kPeSdata8:
+      w.u64(raw);
+      break;
+    default:
+      throw EncodeError("unsupported DW_EH_PE value format for writing");
+  }
+}
+
+std::size_t encoded_size(std::uint8_t encoding, int ptr_size) {
+  switch (encoding & 0x0f) {
+    case kPeAbsptr:
+      return static_cast<std::size_t>(ptr_size);
+    case kPeUdata2:
+    case kPeSdata2:
+      return 2;
+    case kPeUdata4:
+    case kPeSdata4:
+      return 4;
+    case kPeUdata8:
+    case kPeSdata8:
+      return 8;
+    default:
+      throw UsageError("encoded_size on variable-length encoding");
+  }
+}
+
+}  // namespace fsr::eh

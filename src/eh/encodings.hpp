@@ -1,0 +1,51 @@
+// DWARF exception-handling pointer encodings (DW_EH_PE_*).
+//
+// Used by .eh_frame CIEs/FDEs and by .gcc_except_table LSDAs to encode
+// addresses compactly and position-independently.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fsr::eh {
+
+// Value format (low nibble).
+inline constexpr std::uint8_t kPeAbsptr = 0x00;
+inline constexpr std::uint8_t kPeUleb128 = 0x01;
+inline constexpr std::uint8_t kPeUdata2 = 0x02;
+inline constexpr std::uint8_t kPeUdata4 = 0x03;
+inline constexpr std::uint8_t kPeUdata8 = 0x04;
+inline constexpr std::uint8_t kPeSleb128 = 0x09;
+inline constexpr std::uint8_t kPeSdata2 = 0x0a;
+inline constexpr std::uint8_t kPeSdata4 = 0x0b;
+inline constexpr std::uint8_t kPeSdata8 = 0x0c;
+
+// Application (high nibble).
+inline constexpr std::uint8_t kPePcrel = 0x10;
+inline constexpr std::uint8_t kPeDatarel = 0x30;
+inline constexpr std::uint8_t kPeFuncrel = 0x40;
+inline constexpr std::uint8_t kPeIndirect = 0x80;
+
+// Special: field is absent entirely.
+inline constexpr std::uint8_t kPeOmit = 0xff;
+
+/// Decode one encoded pointer.
+///   r          positioned at the encoded field
+///   encoding   DW_EH_PE_* byte
+///   field_addr virtual address of the field itself (for pcrel)
+///   ptr_size   4 or 8 (for absptr)
+/// Returns the absolute value. Throws fsr::ParseError on unsupported
+/// encodings (indirect, datarel without base, ...).
+std::uint64_t read_encoded(util::ByteReader& r, std::uint8_t encoding,
+                           std::uint64_t field_addr, int ptr_size);
+
+/// Encode one pointer; `field_addr` is the virtual address the field
+/// will occupy once the section is placed (needed for pcrel).
+void write_encoded(util::ByteWriter& w, std::uint8_t encoding, std::uint64_t value,
+                   std::uint64_t field_addr, int ptr_size);
+
+/// Byte width of a fixed-size encoding; throws for LEB encodings.
+std::size_t encoded_size(std::uint8_t encoding, int ptr_size);
+
+}  // namespace fsr::eh

@@ -1,0 +1,78 @@
+#include "eh/lsda.hpp"
+
+#include "eh/encodings.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/leb128.hpp"
+
+namespace fsr::eh {
+
+std::vector<std::uint64_t> Lsda::landing_pads() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& cs : call_sites)
+    if (cs.landing_pad != 0) out.push_back(cs.landing_pad);
+  return out;
+}
+
+std::vector<std::uint8_t> build_lsda(const Lsda& lsda) {
+  util::ByteWriter w;
+  w.u8(kPeOmit);      // LPStart encoding: omitted -> LPStart = func_start
+  w.u8(kPeOmit);      // TType encoding: omitted (no type table)
+  w.u8(kPeUleb128);   // call-site table encoding
+
+  util::ByteWriter body;
+  for (const auto& cs : lsda.call_sites) {
+    if (cs.start < lsda.func_start)
+      throw EncodeError("call site starts before its function");
+    if (cs.landing_pad != 0 && cs.landing_pad < lsda.func_start)
+      throw EncodeError("landing pad precedes its function");
+    util::write_uleb128(body, cs.start - lsda.func_start);
+    util::write_uleb128(body, cs.length);
+    util::write_uleb128(body, cs.landing_pad == 0 ? 0 : cs.landing_pad - lsda.func_start);
+    util::write_uleb128(body, cs.action);
+  }
+
+  util::write_uleb128(w, body.size());
+  w.bytes(body.data());
+  return w.take();
+}
+
+Lsda parse_lsda(std::span<const std::uint8_t> section, std::size_t offset,
+                std::uint64_t func_start, std::size_t& end_offset) {
+  util::ByteReader r(section, offset);
+  Lsda out;
+  out.func_start = func_start;
+
+  const std::uint8_t lpstart_enc = r.u8();
+  std::uint64_t lp_base = func_start;
+  if (lpstart_enc != kPeOmit)
+    lp_base = read_encoded(r, lpstart_enc, /*field_addr=*/0, /*ptr_size=*/8);
+
+  const std::uint8_t ttype_enc = r.u8();
+  if (ttype_enc != kPeOmit)
+    util::read_uleb128(r);  // ttype base offset (table itself not decoded)
+
+  const std::uint8_t cs_enc = r.u8();
+  if ((cs_enc & 0x0f) != kPeUleb128)
+    throw ParseError("unsupported LSDA call-site encoding");
+
+  const std::uint64_t table_len = util::read_uleb128(r);
+  const std::size_t table_end = r.pos() + table_len;
+  if (table_end > section.size()) throw ParseError("LSDA call-site table overruns section");
+
+  while (r.pos() < table_end) {
+    CallSite cs;
+    cs.start = func_start + util::read_uleb128(r);
+    cs.length = util::read_uleb128(r);
+    const std::uint64_t lp = util::read_uleb128(r);
+    cs.landing_pad = lp == 0 ? 0 : lp_base + lp;
+    cs.action = util::read_uleb128(r);
+    out.call_sites.push_back(cs);
+  }
+  if (r.pos() != table_end) throw ParseError("LSDA call-site table misaligned");
+
+  end_offset = r.pos();
+  return out;
+}
+
+}  // namespace fsr::eh

@@ -1,0 +1,45 @@
+// Language-Specific Data Area codec (.gcc_except_table).
+//
+// Each C++ function with exception-handling code owns one LSDA holding
+// a call-site table; entries with a nonzero landing pad mark the start
+// of a catch/cleanup block. In CET-enabled binaries, every landing pad
+// begins with an end-branch instruction (the unwinder reaches it via an
+// indirect jump), which is exactly the false-positive source FunSeeker's
+// FILTERENDBR removes (paper §III-B3, §IV-C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fsr::eh {
+
+/// One call-site table row, with addresses already made absolute.
+struct CallSite {
+  std::uint64_t start = 0;        // first address covered
+  std::uint64_t length = 0;       // bytes covered
+  std::uint64_t landing_pad = 0;  // absolute landing-pad address; 0 = none
+  std::uint64_t action = 0;       // action-table cookie (opaque here)
+};
+
+struct Lsda {
+  /// Function start; call-site offsets are encoded relative to it.
+  std::uint64_t func_start = 0;
+  std::vector<CallSite> call_sites;
+
+  /// Absolute addresses of all landing pads (nonzero entries).
+  [[nodiscard]] std::vector<std::uint64_t> landing_pads() const;
+};
+
+/// Serialize one LSDA (GCC layout: LPStart omitted = function start,
+/// TType omitted, ULEB128 call-site encoding).
+std::vector<std::uint8_t> build_lsda(const Lsda& lsda);
+
+/// Parse one LSDA starting at `offset` within the section. `func_start`
+/// is the owning function's entry (from the FDE); it anchors the
+/// relative call-site offsets. Returns the decoded LSDA; `end_offset`
+/// receives the offset one past the parsed bytes.
+Lsda parse_lsda(std::span<const std::uint8_t> section, std::size_t offset,
+                std::uint64_t func_start, std::size_t& end_offset);
+
+}  // namespace fsr::eh

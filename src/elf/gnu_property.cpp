@@ -1,0 +1,88 @@
+#include "elf/gnu_property.hpp"
+
+#include "elf/types.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace fsr::elf {
+
+namespace {
+
+constexpr std::uint32_t kNtGnuPropertyType0 = 5;
+constexpr std::uint32_t kPropX86Feature1And = 0xc0000002;
+constexpr std::uint32_t kPropAarch64Feature1And = 0xc0000000;
+
+std::uint32_t property_type(Machine machine) {
+  return machine == Machine::kArm64 ? kPropAarch64Feature1And : kPropX86Feature1And;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_gnu_property(Machine machine, std::uint32_t feature_bits) {
+  util::ByteWriter w;
+  w.u32(4);                    // namesz ("GNU\0")
+  const std::size_t descsz_at = w.size();
+  w.u32(0);                    // descsz (patched)
+  w.u32(kNtGnuPropertyType0);  // type
+  w.cstring("GNU");
+  w.align(is64(machine) ? 8 : 4);
+
+  const std::size_t desc_start = w.size();
+  w.u32(property_type(machine));
+  w.u32(4);  // pr_datasz
+  w.u32(feature_bits);
+  w.align(is64(machine) ? 8 : 4);
+  w.patch_u32(descsz_at, static_cast<std::uint32_t>(w.size() - desc_start));
+  return w.take();
+}
+
+std::optional<std::uint32_t> parse_gnu_property(std::span<const std::uint8_t> data,
+                                                Machine machine) {
+  util::ByteReader r(data);
+  const std::size_t align = is64(machine) ? 8 : 4;
+  auto seek_aligned = [&](std::size_t p) {
+    p = (p + align - 1) / align * align;
+    r.seek(p > data.size() ? data.size() : p);
+  };
+  while (r.remaining() >= 12) {
+    const std::uint32_t namesz = r.u32();
+    const std::uint32_t descsz = r.u32();
+    const std::uint32_t type = r.u32();
+    if (namesz > r.remaining()) throw ParseError("note name overruns section");
+    const std::vector<std::uint8_t> name = r.bytes(namesz);
+    seek_aligned(r.pos());
+    if (descsz > r.remaining()) throw ParseError("note desc overruns section");
+    const std::size_t desc_end = r.pos() + descsz;
+
+    const bool is_gnu = namesz == 4 && name[0] == 'G' && name[1] == 'N' &&
+                        name[2] == 'U' && name[3] == 0;
+    if (is_gnu && type == kNtGnuPropertyType0) {
+      // Walk the property array.
+      while (r.pos() + 8 <= desc_end) {
+        const std::uint32_t pr_type = r.u32();
+        const std::uint32_t pr_datasz = r.u32();
+        if (r.pos() + pr_datasz > desc_end) throw ParseError("property overruns note");
+        if (pr_type == property_type(machine) && pr_datasz >= 4) return r.u32();
+        seek_aligned(r.pos() + pr_datasz);
+      }
+    }
+    seek_aligned(desc_end);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> feature_bits(const Image& image) {
+  const Section* note = image.find_section(".note.gnu.property");
+  if (note == nullptr || note->data.empty()) return std::nullopt;
+  return parse_gnu_property(note->data, image.machine);
+}
+
+bool has_branch_tracking(const Image& image) {
+  const auto bits = feature_bits(image);
+  if (!bits.has_value()) return false;
+  const std::uint32_t want =
+      image.machine == Machine::kArm64 ? kFeatureArmBti : kFeatureX86Ibt;
+  return (*bits & want) != 0;
+}
+
+}  // namespace fsr::elf

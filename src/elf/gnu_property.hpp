@@ -1,0 +1,43 @@
+// .note.gnu.property — how a binary advertises its hardware-security
+// features. CET-enabled x86 binaries carry GNU_PROPERTY_X86_FEATURE_1
+// with the IBT and SHSTK bits; BTI-enabled AArch64 binaries carry
+// GNU_PROPERTY_AARCH64_FEATURE_1 with BTI/PAC. FunSeeker "operates only
+// on CET-enabled binaries" (paper §VI) — this note is how a tool can
+// tell, without heuristics, that the end-branch discipline applies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::elf {
+
+// Feature bits (x86: GNU_PROPERTY_X86_FEATURE_1_AND).
+inline constexpr std::uint32_t kFeatureX86Ibt = 1u << 0;
+inline constexpr std::uint32_t kFeatureX86Shstk = 1u << 1;
+// Feature bits (AArch64: GNU_PROPERTY_AARCH64_FEATURE_1_AND).
+inline constexpr std::uint32_t kFeatureArmBti = 1u << 0;
+inline constexpr std::uint32_t kFeatureArmPac = 1u << 1;
+
+/// Serialize a .note.gnu.property section advertising `feature_bits`
+/// under the architecture-appropriate property type.
+std::vector<std::uint8_t> build_gnu_property(Machine machine, std::uint32_t feature_bits);
+
+/// Extract the FEATURE_1_AND bits from raw note bytes; nullopt when the
+/// note carries no such property. Throws fsr::ParseError on malformed
+/// note structure.
+std::optional<std::uint32_t> parse_gnu_property(std::span<const std::uint8_t> data,
+                                                Machine machine);
+
+/// Convenience: the feature bits of an image's .note.gnu.property
+/// section, or nullopt when absent/irrelevant.
+std::optional<std::uint32_t> feature_bits(const Image& image);
+
+/// True when the image advertises the end-branch discipline this
+/// project's identifiers rely on (IBT on x86, BTI on AArch64).
+bool has_branch_tracking(const Image& image);
+
+}  // namespace fsr::elf

@@ -1,0 +1,58 @@
+#include "elf/image.hpp"
+
+#include <algorithm>
+
+#include "elf/types.hpp"
+#include "util/error.hpp"
+
+namespace fsr::elf {
+
+std::uint64_t default_base(Machine m, BinaryKind k) {
+  if (k == BinaryKind::kPie) return 0x1000;  // small nonzero link base
+  return m == Machine::kX86 ? 0x8048000ULL : 0x400000ULL;
+}
+
+bool Symbol::is_function() const { return st_type(info) == kSttFunc; }
+bool Symbol::is_global() const { return st_bind(info) == kStbGlobal; }
+
+const Section* Image::find_section(std::string_view name) const {
+  for (const auto& s : sections)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+Section* Image::find_section(std::string_view name) {
+  for (auto& s : sections)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Section& Image::text() const {
+  const Section* s = find_section(".text");
+  if (s == nullptr) throw ParseError("binary has no .text section");
+  return *s;
+}
+
+std::optional<std::string> Image::plt_symbol_at(std::uint64_t va) const {
+  for (const auto& e : plt)
+    if (e.addr == va) return e.symbol;
+  return std::nullopt;
+}
+
+std::vector<Symbol> Image::function_symbols() const {
+  std::vector<Symbol> out;
+  std::copy_if(symbols.begin(), symbols.end(), std::back_inserter(out),
+               [](const Symbol& s) { return s.is_function(); });
+  std::sort(out.begin(), out.end(),
+            [](const Symbol& a, const Symbol& b) { return a.value < b.value; });
+  return out;
+}
+
+void Image::strip() {
+  symbols.clear();
+  std::erase_if(sections, [](const Section& s) {
+    return s.name == ".symtab" || s.name == ".strtab";
+  });
+}
+
+}  // namespace fsr::elf

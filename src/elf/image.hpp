@@ -1,0 +1,101 @@
+// In-memory model of an ELF binary.
+//
+// Both sides of the project meet here: the corpus generator builds an
+// Image and serializes it with write_elf(); the analyzers get an Image
+// back from read_elf() and never touch raw file offsets again.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsr::elf {
+
+/// Target instruction set of the binary. kArm64 supports the paper's
+/// §VI extension (ARM BTI behaves like Intel's end-branch).
+enum class Machine { kX86, kX8664, kArm64 };
+
+/// Link-time kind. PIEs use ET_DYN with low base addresses; non-PIEs
+/// use ET_EXEC with a conventional fixed base.
+enum class BinaryKind { kExec, kPie };
+
+[[nodiscard]] constexpr bool is64(Machine m) { return m != Machine::kX86; }
+
+/// Canonical image base addresses used by the corpus generator, matching
+/// the defaults of GNU ld: non-PIE x86-64 at 0x400000, non-PIE x86 at
+/// 0x8048000, PIEs at 0 (link-time addresses; loaders relocate).
+[[nodiscard]] std::uint64_t default_base(Machine m, BinaryKind k);
+
+/// One ELF section: name, load address, and contents.
+struct Section {
+  std::string name;
+  std::uint32_t type = 0;      // SHT_*
+  std::uint64_t flags = 0;     // SHF_*
+  std::uint64_t addr = 0;      // virtual address (0 for non-alloc)
+  std::uint64_t align = 1;
+  std::uint64_t entsize = 0;
+  std::string link;            // name of the linked section ("" if none)
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] std::uint64_t end_addr() const { return addr + data.size(); }
+  [[nodiscard]] bool contains(std::uint64_t va) const {
+    return va >= addr && va < end_addr();
+  }
+};
+
+/// One symbol table entry (used for both .symtab and .dynsym).
+struct Symbol {
+  std::string name;
+  std::uint64_t value = 0;
+  std::uint64_t size = 0;
+  std::uint8_t info = 0;       // st_info(bind, type)
+  std::string section;         // name of defining section ("" = SHN_UNDEF)
+
+  [[nodiscard]] bool is_function() const;
+  [[nodiscard]] bool is_global() const;
+};
+
+/// A resolved Procedure Linkage Table entry: the virtual address of the
+/// PLT stub and the name of the dynamic symbol it dispatches to. The
+/// reader reconstructs these from .plt + .rel(a).plt + .dynsym; they are
+/// what FILTERENDBR consults to recognize indirect-return callees.
+struct PltEntry {
+  std::uint64_t addr = 0;
+  std::string symbol;
+};
+
+/// Whole-binary model.
+class Image {
+public:
+  Machine machine = Machine::kX8664;
+  BinaryKind kind = BinaryKind::kPie;
+  std::uint64_t entry = 0;
+
+  std::vector<Section> sections;
+  std::vector<Symbol> symbols;      // .symtab contents (empty if stripped)
+  std::vector<Symbol> dynsymbols;   // .dynsym contents
+  std::vector<PltEntry> plt;        // resolved PLT map
+
+  /// Find a section by name; nullptr if absent.
+  [[nodiscard]] const Section* find_section(std::string_view name) const;
+  [[nodiscard]] Section* find_section(std::string_view name);
+
+  /// The executable .text section; throws fsr::ParseError if missing.
+  [[nodiscard]] const Section& text() const;
+
+  /// PLT stub address -> symbol name; nullopt when va is not a PLT stub.
+  [[nodiscard]] std::optional<std::string> plt_symbol_at(std::uint64_t va) const;
+
+  /// Function symbols from .symtab (ground-truth side; empty if stripped).
+  [[nodiscard]] std::vector<Symbol> function_symbols() const;
+
+  /// Remove .symtab/.strtab, emulating `strip`. Dynamic symbol
+  /// information (.dynsym/.dynstr/.rel(a).plt) survives, as it does for
+  /// real stripped binaries.
+  void strip();
+};
+
+}  // namespace fsr::elf

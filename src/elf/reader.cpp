@@ -1,0 +1,238 @@
+#include "elf/reader.hpp"
+
+#include <string>
+
+#include "elf/types.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace fsr::elf {
+
+namespace {
+
+using util::ByteReader;
+
+struct RawShdr {
+  std::uint32_t name = 0;
+  std::uint32_t type = 0;
+  std::uint64_t flags = 0;
+  std::uint64_t addr = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t link = 0;
+  std::uint32_t info = 0;
+  std::uint64_t align = 0;
+  std::uint64_t entsize = 0;
+};
+
+std::string name_from(const std::vector<std::uint8_t>& strtab, std::uint64_t off) {
+  if (off >= strtab.size()) throw ParseError("string table offset out of range");
+  const char* p = reinterpret_cast<const char*>(strtab.data() + off);
+  std::size_t maxlen = strtab.size() - off;
+  std::size_t len = 0;
+  while (len < maxlen && p[len] != 0) ++len;
+  if (len == maxlen) throw ParseError("unterminated string table entry");
+  return std::string(p, len);
+}
+
+std::vector<Symbol> parse_symbols(const std::vector<std::uint8_t>& tab,
+                                  const std::vector<std::uint8_t>& strtab,
+                                  bool is64bit,
+                                  const std::vector<std::string>& section_names) {
+  const std::size_t entsize = is64bit ? kSymSize64 : kSymSize32;
+  if (tab.size() % entsize != 0) throw ParseError("symbol table size not a multiple of entry size");
+  std::vector<Symbol> out;
+  ByteReader r(tab);
+  const std::size_t n = tab.size() / entsize;
+  for (std::size_t i = 0; i < n; ++i) {
+    Symbol s;
+    std::uint16_t shndx;
+    if (is64bit) {
+      std::uint32_t name_off = r.u32();
+      s.info = r.u8();
+      r.skip(1);  // st_other
+      shndx = r.u16();
+      s.value = r.u64();
+      s.size = r.u64();
+      s.name = name_from(strtab, name_off);
+    } else {
+      std::uint32_t name_off = r.u32();
+      s.value = r.u32();
+      s.size = r.u32();
+      s.info = r.u8();
+      r.skip(1);
+      shndx = r.u16();
+      s.name = name_from(strtab, name_off);
+    }
+    if (i == 0) continue;  // null symbol
+    if (shndx != kShnUndef && shndx < section_names.size())
+      s.section = section_names[shndx];
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+Image read_elf(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.remaining() < 16) throw ParseError("file too small for ELF header");
+  if (r.u8() != kMag0 || r.u8() != kMag1 || r.u8() != kMag2 || r.u8() != kMag3)
+    throw ParseError("bad ELF magic");
+  const std::uint8_t klass = r.u8();
+  if (klass != kClass32 && klass != kClass64) throw ParseError("bad ELF class");
+  const bool is64bit = klass == kClass64;
+  if (r.u8() != kDataLsb) throw ParseError("only little-endian ELF supported");
+  if (r.u8() != kEvCurrent) throw ParseError("bad ELF version");
+  r.seek(16);
+
+  Image img;
+  const std::uint16_t etype = r.u16();
+  const std::uint16_t emach = r.u16();
+  if (etype == kEtExec)
+    img.kind = BinaryKind::kExec;
+  else if (etype == kEtDyn)
+    img.kind = BinaryKind::kPie;
+  else
+    throw ParseError("unsupported e_type " + std::to_string(etype));
+  if (emach == kEmX8664 && is64bit)
+    img.machine = Machine::kX8664;
+  else if (emach == kEmAarch64 && is64bit)
+    img.machine = Machine::kArm64;
+  else if (emach == kEm386 && !is64bit)
+    img.machine = Machine::kX86;
+  else
+    throw ParseError("unsupported e_machine/class combination");
+  r.skip(4);  // e_version
+
+  std::uint64_t shoff;
+  if (is64bit) {
+    img.entry = r.u64();
+    r.skip(8);  // e_phoff
+    shoff = r.u64();
+  } else {
+    img.entry = r.u32();
+    r.skip(4);
+    shoff = r.u32();
+  }
+  r.skip(4);  // e_flags
+  r.skip(2);  // e_ehsize
+  r.skip(2);  // e_phentsize
+  r.skip(2);  // e_phnum
+  const std::uint16_t shentsize = r.u16();
+  const std::uint16_t shnum = r.u16();
+  const std::uint16_t shstrndx = r.u16();
+
+  const std::size_t want_shentsize = is64bit ? kShdrSize64 : kShdrSize32;
+  if (shentsize != want_shentsize) throw ParseError("unexpected section header entry size");
+  if (shstrndx >= shnum) throw ParseError("e_shstrndx out of range");
+
+  // Section headers.
+  std::vector<RawShdr> shdrs(shnum);
+  for (std::uint16_t i = 0; i < shnum; ++i) {
+    r.seek(shoff + static_cast<std::uint64_t>(i) * shentsize);
+    RawShdr& h = shdrs[i];
+    if (is64bit) {
+      h.name = r.u32();
+      h.type = r.u32();
+      h.flags = r.u64();
+      h.addr = r.u64();
+      h.offset = r.u64();
+      h.size = r.u64();
+      h.link = r.u32();
+      h.info = r.u32();
+      h.align = r.u64();
+      h.entsize = r.u64();
+    } else {
+      h.name = r.u32();
+      h.type = r.u32();
+      h.flags = r.u32();
+      h.addr = r.u32();
+      h.offset = r.u32();
+      h.size = r.u32();
+      h.link = r.u32();
+      h.info = r.u32();
+      h.align = r.u32();
+      h.entsize = r.u32();
+    }
+  }
+
+  auto section_bytes = [&](const RawShdr& h) -> std::vector<std::uint8_t> {
+    if (h.type == kShtNobits) return std::vector<std::uint8_t>(h.size, 0);
+    if (h.offset + h.size > bytes.size()) throw ParseError("section extends past end of file");
+    return std::vector<std::uint8_t>(bytes.begin() + static_cast<std::ptrdiff_t>(h.offset),
+                                     bytes.begin() + static_cast<std::ptrdiff_t>(h.offset + h.size));
+  };
+
+  const std::vector<std::uint8_t> shstrtab = section_bytes(shdrs[shstrndx]);
+  std::vector<std::string> names(shnum);
+  for (std::uint16_t i = 0; i < shnum; ++i)
+    names[i] = i == 0 ? std::string() : name_from(shstrtab, shdrs[i].name);
+
+  for (std::uint16_t i = 1; i < shnum; ++i) {
+    const RawShdr& h = shdrs[i];
+    Section s;
+    s.name = names[i];
+    s.type = h.type;
+    s.flags = h.flags;
+    s.addr = h.addr;
+    s.align = h.align;
+    s.entsize = h.entsize;
+    if (h.link != 0 && h.link < shnum) s.link = names[h.link];
+    s.data = section_bytes(h);
+    img.sections.push_back(std::move(s));
+  }
+
+  // Decode symbol tables.
+  auto find = [&](const char* n) -> const Section* {
+    for (const auto& s : img.sections)
+      if (s.name == n) return &s;
+    return nullptr;
+  };
+  if (const Section* symtab = find(".symtab")) {
+    const Section* strtab = find(".strtab");
+    if (strtab == nullptr) throw ParseError(".symtab without .strtab");
+    img.symbols = parse_symbols(symtab->data, strtab->data, is64bit, names);
+  }
+  if (const Section* dynsym = find(".dynsym")) {
+    const Section* dynstr = find(".dynstr");
+    if (dynstr == nullptr) throw ParseError(".dynsym without .dynstr");
+    img.dynsymbols = parse_symbols(dynsym->data, dynstr->data, is64bit, names);
+  }
+
+  // Reconstruct the PLT map: relocation i <-> PLT stub i (after PLT0).
+  const Section* plt = find(".plt");
+  const Section* rel = is64bit ? find(".rela.plt") : find(".rel.plt");
+  if (plt != nullptr && rel != nullptr && !img.dynsymbols.empty()) {
+    const std::size_t relent = is64bit ? kRelaSize64 : kRelSize32;
+    if (rel->data.size() % relent != 0) throw ParseError("relocation section has partial entry");
+    const std::size_t nrel = rel->data.size() / relent;
+    const std::uint64_t stub_size = 16;
+    ByteReader rr(rel->data);
+    for (std::size_t i = 0; i < nrel; ++i) {
+      std::uint32_t symidx;
+      if (is64bit) {
+        rr.skip(8);  // r_offset (GOT slot)
+        const std::uint64_t info = rr.u64();
+        rr.skip(8);  // addend
+        symidx = static_cast<std::uint32_t>(info >> 32);
+      } else {
+        rr.skip(4);
+        const std::uint32_t info = rr.u32();
+        symidx = info >> 8;
+      }
+      if (symidx == 0 || symidx > img.dynsymbols.size())
+        throw ParseError("PLT relocation references invalid dynsym index");
+      PltEntry e;
+      e.addr = plt->addr + stub_size * (1 + i);  // skip PLT0
+      e.symbol = img.dynsymbols[symidx - 1].name;
+      if (e.addr + stub_size > plt->end_addr())
+        throw ParseError("PLT relocation count exceeds .plt size");
+      img.plt.push_back(std::move(e));
+    }
+  }
+
+  return img;
+}
+
+}  // namespace fsr::elf

@@ -1,0 +1,20 @@
+// ELF parser.
+//
+// Parses an ELF file back into an Image. Symbol tables are decoded from
+// .symtab/.dynsym, and the PLT map is reconstructed the way binary
+// analysis tools do it: relocation i of .rel(a).plt names the dynamic
+// symbol dispatched by PLT stub i (stub 0 is the shared PLT0 header).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::elf {
+
+/// Parse an ELF binary. Throws fsr::ParseError on malformed input.
+Image read_elf(std::span<const std::uint8_t> bytes);
+
+}  // namespace fsr::elf

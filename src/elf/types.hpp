@@ -1,0 +1,91 @@
+// ELF on-disk constants (subset used by this project).
+//
+// Values follow the System V ABI / Tool Interface Standard ELF
+// specification. Only the constants actually consumed by the reader,
+// writer, and analyzers are defined here.
+#pragma once
+
+#include <cstdint>
+
+namespace fsr::elf {
+
+// e_ident indices and values.
+inline constexpr std::uint8_t kMag0 = 0x7f;
+inline constexpr std::uint8_t kMag1 = 'E';
+inline constexpr std::uint8_t kMag2 = 'L';
+inline constexpr std::uint8_t kMag3 = 'F';
+inline constexpr std::uint8_t kClass32 = 1;
+inline constexpr std::uint8_t kClass64 = 2;
+inline constexpr std::uint8_t kDataLsb = 1;
+inline constexpr std::uint8_t kEvCurrent = 1;
+inline constexpr std::uint8_t kOsAbiSysV = 0;
+
+// e_type.
+inline constexpr std::uint16_t kEtExec = 2;
+inline constexpr std::uint16_t kEtDyn = 3;  // PIE / shared object
+
+// e_machine.
+inline constexpr std::uint16_t kEm386 = 3;
+inline constexpr std::uint16_t kEmX8664 = 62;
+inline constexpr std::uint16_t kEmAarch64 = 183;
+
+// sh_type.
+inline constexpr std::uint32_t kShtNull = 0;
+inline constexpr std::uint32_t kShtProgbits = 1;
+inline constexpr std::uint32_t kShtSymtab = 2;
+inline constexpr std::uint32_t kShtStrtab = 3;
+inline constexpr std::uint32_t kShtRela = 4;
+inline constexpr std::uint32_t kShtNote = 7;
+inline constexpr std::uint32_t kShtNobits = 8;
+inline constexpr std::uint32_t kShtRel = 9;
+inline constexpr std::uint32_t kShtDynsym = 11;
+
+// sh_flags.
+inline constexpr std::uint64_t kShfWrite = 0x1;
+inline constexpr std::uint64_t kShfAlloc = 0x2;
+inline constexpr std::uint64_t kShfExecinstr = 0x4;
+
+// p_type.
+inline constexpr std::uint32_t kPtLoad = 1;
+inline constexpr std::uint32_t kPtGnuEhFrame = 0x6474e550;
+
+// p_flags.
+inline constexpr std::uint32_t kPfX = 1;
+inline constexpr std::uint32_t kPfW = 2;
+inline constexpr std::uint32_t kPfR = 4;
+
+// Symbol binding / type (st_info).
+inline constexpr std::uint8_t kStbLocal = 0;
+inline constexpr std::uint8_t kStbGlobal = 1;
+inline constexpr std::uint8_t kSttNotype = 0;
+inline constexpr std::uint8_t kSttObject = 1;
+inline constexpr std::uint8_t kSttFunc = 2;
+inline constexpr std::uint8_t kSttSection = 3;
+
+inline constexpr std::uint8_t st_info(std::uint8_t bind, std::uint8_t type) {
+  return static_cast<std::uint8_t>((bind << 4) | (type & 0xf));
+}
+inline constexpr std::uint8_t st_bind(std::uint8_t info) { return info >> 4; }
+inline constexpr std::uint8_t st_type(std::uint8_t info) { return info & 0xf; }
+
+// Relocation types used for PLT slots.
+inline constexpr std::uint32_t kR386JmpSlot = 7;         // R_386_JMP_SLOT
+inline constexpr std::uint32_t kRX8664JmpSlot = 7;       // R_X86_64_JUMP_SLOT
+inline constexpr std::uint32_t kRAarch64JmpSlot = 1026;  // R_AARCH64_JUMP_SLOT
+
+// Special section header index.
+inline constexpr std::uint16_t kShnUndef = 0;
+
+// Fixed header sizes.
+inline constexpr std::size_t kEhdrSize64 = 64;
+inline constexpr std::size_t kEhdrSize32 = 52;
+inline constexpr std::size_t kShdrSize64 = 64;
+inline constexpr std::size_t kShdrSize32 = 40;
+inline constexpr std::size_t kPhdrSize64 = 56;
+inline constexpr std::size_t kPhdrSize32 = 32;
+inline constexpr std::size_t kSymSize64 = 24;
+inline constexpr std::size_t kSymSize32 = 16;
+inline constexpr std::size_t kRelaSize64 = 24;
+inline constexpr std::size_t kRelSize32 = 8;
+
+}  // namespace fsr::elf

@@ -1,0 +1,379 @@
+#include "elf/writer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "elf/types.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace fsr::elf {
+
+namespace {
+
+using util::ByteWriter;
+
+/// Builds a string table section (.strtab/.dynstr/.shstrtab): interned
+/// strings, offset 0 reserved for the empty string.
+class StringTable {
+public:
+  StringTable() { blob_.push_back(0); }
+
+  std::uint32_t intern(const std::string& s) {
+    if (s.empty()) return 0;
+    auto it = offsets_.find(s);
+    if (it != offsets_.end()) return it->second;
+    auto off = static_cast<std::uint32_t>(blob_.size());
+    blob_.insert(blob_.end(), s.begin(), s.end());
+    blob_.push_back(0);
+    offsets_.emplace(s, off);
+    return off;
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& blob() const { return blob_; }
+
+private:
+  std::vector<std::uint8_t> blob_;
+  std::map<std::string, std::uint32_t> offsets_;
+};
+
+/// Serialize a symbol table. Locals must precede globals per the ELF
+/// spec (sh_info = index of first global), so sort by binding first.
+std::vector<std::uint8_t> build_symtab(const std::vector<Symbol>& symbols,
+                                       StringTable& strtab, bool is64bit,
+                                       const std::map<std::string, std::uint16_t>& shndx,
+                                       std::uint32_t& first_global_out) {
+  std::vector<Symbol> sorted = symbols;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Symbol& a, const Symbol& b) {
+    return st_bind(a.info) < st_bind(b.info);
+  });
+  first_global_out = 1;
+  for (const auto& s : sorted) {
+    if (st_bind(s.info) == kStbLocal) ++first_global_out;
+  }
+
+  ByteWriter w;
+  // Null symbol (index 0).
+  w.fill(is64bit ? kSymSize64 : kSymSize32, 0);
+  for (const auto& s : sorted) {
+    std::uint32_t name_off = strtab.intern(s.name);
+    std::uint16_t ndx = kShnUndef;
+    if (!s.section.empty()) {
+      auto it = shndx.find(s.section);
+      if (it == shndx.end())
+        throw EncodeError("symbol '" + s.name + "' references unknown section " + s.section);
+      ndx = it->second;
+    }
+    if (is64bit) {
+      w.u32(name_off);
+      w.u8(s.info);
+      w.u8(0);  // st_other
+      w.u16(ndx);
+      w.u64(s.value);
+      w.u64(s.size);
+    } else {
+      w.u32(name_off);
+      w.u32(static_cast<std::uint32_t>(s.value));
+      w.u32(static_cast<std::uint32_t>(s.size));
+      w.u8(s.info);
+      w.u8(0);
+      w.u16(ndx);
+    }
+  }
+  return w.take();
+}
+
+struct SectionRecord {
+  Section sec;
+  std::uint32_t name_off = 0;
+  std::uint64_t file_off = 0;
+  std::uint32_t link_idx = 0;
+  std::uint32_t info = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> write_elf(const Image& image) {
+  const bool is64bit = is64(image.machine);
+
+  // Work on a copy of the section list: synthesized tables replace any
+  // placeholder sections of the same name.
+  std::vector<Section> secs;
+  for (const auto& s : image.sections) {
+    if (s.name == ".symtab" || s.name == ".strtab" || s.name == ".dynsym" ||
+        s.name == ".dynstr" || s.name == ".rela.plt" || s.name == ".rel.plt" ||
+        s.name == ".shstrtab")
+      continue;
+    secs.push_back(s);
+  }
+
+  // --- Synthesize dynamic symbol table + PLT relocations -------------
+  StringTable dynstr;
+  std::uint32_t dynsym_first_global = 1;
+  if (!image.dynsymbols.empty() || !image.plt.empty()) {
+    // Map section name -> header index. Headers: [0]=null, then secs in
+    // order, then the synthesized ones appended below. We only need
+    // indices for sections already in `secs`, which is where all
+    // symbol-defining sections live.
+    std::map<std::string, std::uint16_t> shndx;
+    for (std::size_t i = 0; i < secs.size(); ++i)
+      shndx[secs[i].name] = static_cast<std::uint16_t>(i + 1);
+
+    std::uint32_t& first_global = dynsym_first_global;
+    Section dynsym;
+    dynsym.name = ".dynsym";
+    dynsym.type = kShtDynsym;
+    dynsym.flags = kShfAlloc;
+    dynsym.align = is64bit ? 8 : 4;
+    dynsym.entsize = is64bit ? kSymSize64 : kSymSize32;
+    dynsym.link = ".dynstr";
+    dynsym.data = build_symtab(image.dynsymbols, dynstr, is64bit, shndx, first_global);
+
+    // .rel(a).plt: relocation i covers the GOT slot of PLT stub i.
+    const Section* gotplt = nullptr;
+    for (const auto& s : secs)
+      if (s.name == ".got.plt") gotplt = &s;
+    if (!image.plt.empty() && gotplt == nullptr)
+      throw EncodeError("PLT entries present but no .got.plt section");
+
+    // dynsym index by name (after local-first sorting, order = null +
+    // locals + globals; rebuild the same ordering here).
+    std::vector<Symbol> sorted = image.dynsymbols;
+    std::stable_sort(sorted.begin(), sorted.end(), [](const Symbol& a, const Symbol& b) {
+      return st_bind(a.info) < st_bind(b.info);
+    });
+    std::map<std::string, std::uint32_t> dynidx;
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+      dynidx[sorted[i].name] = static_cast<std::uint32_t>(i + 1);
+
+    ByteWriter relw;
+    const std::uint64_t slot = is64bit ? 8 : 4;
+    for (std::size_t i = 0; i < image.plt.size(); ++i) {
+      auto it = dynidx.find(image.plt[i].symbol);
+      if (it == dynidx.end())
+        throw EncodeError("PLT symbol '" + image.plt[i].symbol + "' not in dynsym");
+      // The first 3 GOT slots are reserved (link_map, resolver, ...).
+      const std::uint64_t got_slot = gotplt->addr + slot * (3 + i);
+      if (is64bit) {
+        const std::uint32_t slot_type =
+            image.machine == Machine::kArm64 ? kRAarch64JmpSlot : kRX8664JmpSlot;
+        relw.u64(got_slot);
+        relw.u64((static_cast<std::uint64_t>(it->second) << 32) | slot_type);
+        relw.u64(0);  // addend
+      } else {
+        relw.u32(static_cast<std::uint32_t>(got_slot));
+        relw.u32((it->second << 8) | kR386JmpSlot);
+      }
+    }
+
+    Section dynstr_sec;
+    dynstr_sec.name = ".dynstr";
+    dynstr_sec.type = kShtStrtab;
+    dynstr_sec.flags = kShfAlloc;
+    dynstr_sec.align = 1;
+    dynstr_sec.data = dynstr.blob();
+
+    Section rel;
+    rel.name = is64bit ? ".rela.plt" : ".rel.plt";
+    rel.type = is64bit ? kShtRela : kShtRel;
+    rel.flags = kShfAlloc;
+    rel.align = is64bit ? 8 : 4;
+    rel.entsize = is64bit ? kRelaSize64 : kRelSize32;
+    rel.link = ".dynsym";
+    rel.data = relw.take();
+
+    secs.push_back(std::move(dynsym));
+    secs.push_back(std::move(dynstr_sec));
+    if (!image.plt.empty()) secs.push_back(std::move(rel));
+  }
+
+  // --- Synthesize static symbol table ---------------------------------
+  std::uint32_t symtab_first_global = 1;
+  if (!image.symbols.empty()) {
+    std::map<std::string, std::uint16_t> shndx;
+    for (std::size_t i = 0; i < secs.size(); ++i)
+      shndx[secs[i].name] = static_cast<std::uint16_t>(i + 1);
+
+    StringTable strtab;
+    Section symtab;
+    symtab.name = ".symtab";
+    symtab.type = kShtSymtab;
+    symtab.align = is64bit ? 8 : 4;
+    symtab.entsize = is64bit ? kSymSize64 : kSymSize32;
+    symtab.link = ".strtab";
+    symtab.data = build_symtab(image.symbols, strtab, is64bit, shndx, symtab_first_global);
+
+    Section strtab_sec;
+    strtab_sec.name = ".strtab";
+    strtab_sec.type = kShtStrtab;
+    strtab_sec.align = 1;
+    strtab_sec.data = strtab.blob();
+
+    secs.push_back(std::move(symtab));
+    secs.push_back(std::move(strtab_sec));
+  }
+
+  // --- Section header string table ------------------------------------
+  StringTable shstr;
+  for (const auto& s : secs) shstr.intern(s.name);
+  shstr.intern(".shstrtab");
+  Section shstrtab;
+  shstrtab.name = ".shstrtab";
+  shstrtab.type = kShtStrtab;
+  shstrtab.align = 1;
+  shstrtab.data = shstr.blob();
+  secs.push_back(std::move(shstrtab));
+
+  // --- Lay out file offsets --------------------------------------------
+  const std::size_t ehdr_size = is64bit ? kEhdrSize64 : kEhdrSize32;
+  const std::size_t phdr_size = is64bit ? kPhdrSize64 : kPhdrSize32;
+  const std::size_t shdr_size = is64bit ? kShdrSize64 : kShdrSize32;
+  const unsigned phnum = 1;  // single PT_LOAD covering the file
+
+  std::vector<SectionRecord> records;
+  records.reserve(secs.size());
+  std::uint64_t off = ehdr_size + phdr_size * phnum;
+  for (auto& s : secs) {
+    SectionRecord rec;
+    const std::uint64_t align = std::max<std::uint64_t>(s.align, 1);
+    // Keep file offset congruent with the virtual address for alloc
+    // sections (what a loader would require); plain alignment otherwise.
+    if ((s.flags & kShfAlloc) != 0 && s.addr != 0) {
+      while (off % align != s.addr % align) ++off;
+    } else {
+      while (off % align != 0) ++off;
+    }
+    rec.file_off = off;
+    off += s.data.size();
+    rec.sec = std::move(s);
+    records.push_back(std::move(rec));
+  }
+  const std::uint64_t shoff = (off + 7) & ~std::uint64_t{7};
+
+  // Resolve sh_link name references to header indices.
+  std::map<std::string, std::uint32_t> index_of;
+  for (std::size_t i = 0; i < records.size(); ++i)
+    index_of[records[i].sec.name] = static_cast<std::uint32_t>(i + 1);
+  for (auto& rec : records) {
+    if (!rec.sec.link.empty()) {
+      auto it = index_of.find(rec.sec.link);
+      if (it == index_of.end())
+        throw EncodeError("section " + rec.sec.name + " links to unknown " + rec.sec.link);
+      rec.link_idx = it->second;
+    }
+    if (rec.sec.type == kShtSymtab)
+      rec.info = symtab_first_global;  // index of first non-local symbol
+    else if (rec.sec.type == kShtDynsym)
+      rec.info = dynsym_first_global;
+    rec.name_off = shstr.intern(rec.sec.name);
+  }
+
+  // --- Emit -------------------------------------------------------------
+  ByteWriter w;
+  // e_ident
+  w.u8(kMag0);
+  w.u8(kMag1);
+  w.u8(kMag2);
+  w.u8(kMag3);
+  w.u8(is64bit ? kClass64 : kClass32);
+  w.u8(kDataLsb);
+  w.u8(kEvCurrent);
+  w.u8(kOsAbiSysV);
+  w.fill(8, 0);
+  w.u16(image.kind == BinaryKind::kExec ? kEtExec : kEtDyn);
+  switch (image.machine) {
+    case Machine::kX86: w.u16(kEm386); break;
+    case Machine::kX8664: w.u16(kEmX8664); break;
+    case Machine::kArm64: w.u16(kEmAarch64); break;
+  }
+  w.u32(kEvCurrent);
+  if (is64bit) {
+    w.u64(image.entry);
+    w.u64(ehdr_size);  // e_phoff
+    w.u64(shoff);
+  } else {
+    w.u32(static_cast<std::uint32_t>(image.entry));
+    w.u32(static_cast<std::uint32_t>(ehdr_size));
+    w.u32(static_cast<std::uint32_t>(shoff));
+  }
+  w.u32(0);  // e_flags
+  w.u16(static_cast<std::uint16_t>(ehdr_size));
+  w.u16(static_cast<std::uint16_t>(phdr_size));
+  w.u16(phnum);
+  w.u16(static_cast<std::uint16_t>(shdr_size));
+  w.u16(static_cast<std::uint16_t>(records.size() + 1));
+  w.u16(static_cast<std::uint16_t>(index_of[".shstrtab"]));
+
+  // Program header: one PT_LOAD spanning the whole file image.
+  std::uint64_t min_addr = UINT64_MAX, max_addr = 0;
+  for (const auto& rec : records) {
+    if ((rec.sec.flags & kShfAlloc) == 0) continue;
+    min_addr = std::min(min_addr, rec.sec.addr);
+    max_addr = std::max(max_addr, rec.sec.end_addr());
+  }
+  if (min_addr == UINT64_MAX) {
+    min_addr = 0;
+    max_addr = 0;
+  }
+  if (is64bit) {
+    w.u32(kPtLoad);
+    w.u32(kPfR | kPfX);
+    w.u64(0);                       // p_offset
+    w.u64(min_addr);                // p_vaddr
+    w.u64(min_addr);                // p_paddr
+    w.u64(off);                     // p_filesz
+    w.u64(max_addr - min_addr);     // p_memsz
+    w.u64(0x1000);                  // p_align
+  } else {
+    w.u32(kPtLoad);
+    w.u32(0);                       // p_offset
+    w.u32(static_cast<std::uint32_t>(min_addr));
+    w.u32(static_cast<std::uint32_t>(min_addr));
+    w.u32(static_cast<std::uint32_t>(off));
+    w.u32(static_cast<std::uint32_t>(max_addr - min_addr));
+    w.u32(kPfR | kPfX);
+    w.u32(0x1000);
+  }
+
+  // Section contents.
+  for (const auto& rec : records) {
+    if (w.size() > rec.file_off) throw EncodeError("section layout overlap");
+    w.fill(rec.file_off - w.size(), 0);
+    w.bytes(rec.sec.data);
+  }
+
+  // Section header table.
+  w.fill(shoff - w.size(), 0);
+  // Null header.
+  w.fill(shdr_size, 0);
+  for (const auto& rec : records) {
+    if (is64bit) {
+      w.u32(rec.name_off);
+      w.u32(rec.sec.type);
+      w.u64(rec.sec.flags);
+      w.u64(rec.sec.addr);
+      w.u64(rec.file_off);
+      w.u64(rec.sec.data.size());
+      w.u32(rec.link_idx);
+      w.u32(rec.info);
+      w.u64(std::max<std::uint64_t>(rec.sec.align, 1));
+      w.u64(rec.sec.entsize);
+    } else {
+      w.u32(rec.name_off);
+      w.u32(rec.sec.type);
+      w.u32(static_cast<std::uint32_t>(rec.sec.flags));
+      w.u32(static_cast<std::uint32_t>(rec.sec.addr));
+      w.u32(static_cast<std::uint32_t>(rec.file_off));
+      w.u32(static_cast<std::uint32_t>(rec.sec.data.size()));
+      w.u32(rec.link_idx);
+      w.u32(rec.info);
+      w.u32(static_cast<std::uint32_t>(std::max<std::uint64_t>(rec.sec.align, 1)));
+      w.u32(static_cast<std::uint32_t>(rec.sec.entsize));
+    }
+  }
+
+  return w.take();
+}
+
+}  // namespace fsr::elf

@@ -1,0 +1,24 @@
+// ELF serializer.
+//
+// Turns an Image into a valid ELF file. Symbol tables (.symtab/.strtab,
+// .dynsym/.dynstr) and PLT relocations (.rela.plt / .rel.plt) are
+// synthesized from the Image's structured fields so that the reader can
+// reconstruct them the same way a real tool would (relocation i <->
+// PLT stub i), rather than through any side channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::elf {
+
+/// Serialize the image. Requirements:
+///  - section addresses must already be laid out (non-overlapping);
+///  - if Image::plt is nonempty, sections ".plt" and ".got.plt" must
+///    exist and .plt must hold one 16-byte stub per entry after PLT0.
+/// Throws fsr::EncodeError on violations.
+std::vector<std::uint8_t> write_elf(const Image& image);
+
+}  // namespace fsr::elf

@@ -1,0 +1,53 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+namespace fsr::eval {
+
+Score score(const std::vector<std::uint64_t>& found,
+            const std::vector<std::uint64_t>& truth) {
+  Score s;
+  auto f = found.begin();
+  auto t = truth.begin();
+  while (f != found.end() && t != truth.end()) {
+    if (*f == *t) {
+      ++s.tp;
+      ++f;
+      ++t;
+    } else if (*f < *t) {
+      ++s.fp;
+      ++f;
+    } else {
+      ++s.fn;
+      ++t;
+    }
+  }
+  s.fp += static_cast<std::size_t>(std::distance(f, found.end()));
+  s.fn += static_cast<std::size_t>(std::distance(t, truth.end()));
+  return s;
+}
+
+FailureBreakdown classify_failures(const std::vector<std::uint64_t>& found,
+                                   const synth::GroundTruth& truth) {
+  FailureBreakdown b;
+  auto contains = [](const std::vector<std::uint64_t>& v, std::uint64_t x) {
+    return std::binary_search(v.begin(), v.end(), x);
+  };
+  for (std::uint64_t t : truth.functions) {
+    if (contains(found, t)) continue;
+    if (contains(truth.dead_functions, t))
+      ++b.fn_dead;
+    else
+      ++b.fn_other;
+  }
+  for (std::uint64_t f : found) {
+    if (contains(truth.functions, f)) continue;
+    if (contains(truth.fragments, f))
+      ++b.fp_fragment;
+    else
+      ++b.fp_other;
+  }
+  return b;
+}
+
+}  // namespace fsr::eval

@@ -1,0 +1,65 @@
+// Precision / recall scoring against exact ground truth.
+//
+// A detected address is a true positive iff it exactly equals a
+// ground-truth function entry (the paper's criterion); everything else
+// detected is a false positive, every missed entry a false negative.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "synth/model.hpp"
+
+namespace fsr::eval {
+
+struct Score {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+
+  [[nodiscard]] double precision() const {
+    return tp + fp == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  }
+  [[nodiscard]] double recall() const {
+    return tp + fn == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  }
+  [[nodiscard]] double f1() const {
+    const double p = precision(), r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  Score& operator+=(const Score& o) {
+    tp += o.tp;
+    fp += o.fp;
+    fn += o.fn;
+    return *this;
+  }
+};
+
+/// Score a detection against the truth. Both vectors must be sorted and
+/// duplicate-free.
+Score score(const std::vector<std::uint64_t>& found,
+            const std::vector<std::uint64_t>& truth);
+
+/// Failure-mode audit mirroring the paper's §V-C analysis: what are the
+/// false negatives (dead functions vs. missed tail-call targets) and
+/// the false positives (.part/.cold fragments vs. anything else)?
+struct FailureBreakdown {
+  std::size_t fn_dead = 0;
+  std::size_t fn_other = 0;
+  std::size_t fp_fragment = 0;
+  std::size_t fp_other = 0;
+
+  FailureBreakdown& operator+=(const FailureBreakdown& o) {
+    fn_dead += o.fn_dead;
+    fn_other += o.fn_other;
+    fp_fragment += o.fp_fragment;
+    fp_other += o.fp_other;
+    return *this;
+  }
+};
+
+FailureBreakdown classify_failures(const std::vector<std::uint64_t>& found,
+                                   const synth::GroundTruth& truth);
+
+}  // namespace fsr::eval

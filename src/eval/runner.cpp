@@ -1,0 +1,47 @@
+#include "eval/runner.hpp"
+
+#include "baselines/fetch_like.hpp"
+#include "baselines/ghidra_like.hpp"
+#include "baselines/ida_like.hpp"
+#include "elf/reader.hpp"
+#include "util/stopwatch.hpp"
+
+namespace fsr::eval {
+
+std::string to_string(Tool t) {
+  switch (t) {
+    case Tool::kFunSeeker: return "FunSeeker";
+    case Tool::kIdaLike: return "IDA-like";
+    case Tool::kGhidraLike: return "Ghidra-like";
+    case Tool::kFetchLike: return "FETCH-like";
+  }
+  return "?";
+}
+
+RunResult run_tool(Tool tool, const synth::DatasetEntry& entry,
+                   const funseeker::Options& fs_opts) {
+  const std::vector<std::uint8_t> bytes = entry.stripped_bytes();
+
+  RunResult out;
+  util::Stopwatch watch;
+  switch (tool) {
+    case Tool::kFunSeeker:
+      out.found = funseeker::analyze_bytes(bytes, fs_opts).functions;
+      break;
+    case Tool::kIdaLike:
+      out.found = baselines::ida_like_functions(elf::read_elf(bytes));
+      break;
+    case Tool::kGhidraLike:
+      out.found = baselines::ghidra_like_functions(elf::read_elf(bytes));
+      break;
+    case Tool::kFetchLike:
+      out.found = baselines::fetch_like_functions(elf::read_elf(bytes));
+      break;
+  }
+  out.seconds = watch.seconds();
+  out.score = score(out.found, entry.truth.functions);
+  out.failures = classify_failures(out.found, entry.truth);
+  return out;
+}
+
+}  // namespace fsr::eval

@@ -1,0 +1,33 @@
+// Experiment runner: executes one of the four tools on a dataset entry
+// end-to-end (raw stripped bytes in, entries out), timed the way the
+// paper times FunSeeker and FETCH (parse + analysis, §V-D).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/corpus.hpp"
+
+namespace fsr::eval {
+
+enum class Tool { kFunSeeker, kIdaLike, kGhidraLike, kFetchLike };
+
+std::string to_string(Tool t);
+
+struct RunResult {
+  std::vector<std::uint64_t> found;
+  Score score;
+  FailureBreakdown failures;
+  double seconds = 0.0;
+};
+
+/// Run `tool` on the entry's stripped serialized form and score it
+/// against the entry's ground truth. `fs_opts` applies to FunSeeker
+/// only (the Table II configurations).
+RunResult run_tool(Tool tool, const synth::DatasetEntry& entry,
+                   const funseeker::Options& fs_opts = {});
+
+}  // namespace fsr::eval

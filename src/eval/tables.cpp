@@ -1,0 +1,54 @@
+#include "eval/tables.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace fsr::eval {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw UsageError("table row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells, bool left_first) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool left = left_first && c == 0;
+      line += " " + (left ? util::lpad(cells[c], widths[c]) : util::rpad(cells[c], widths[c])) + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule();
+  out += emit(headers_, /*left_first=*/true);
+  out += rule();
+  for (const auto& row : rows_) {
+    if (row.empty())
+      out += rule();
+    else
+      out += emit(row, /*left_first=*/true);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace fsr::eval

@@ -1,0 +1,25 @@
+// Fixed-width text tables for the benchmark harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fsr::eval {
+
+/// Accumulates rows and renders an aligned, pipe-separated table.
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// A horizontal separator line.
+  void add_rule();
+
+  [[nodiscard]] std::string render() const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = rule
+};
+
+}  // namespace fsr::eval

@@ -1,0 +1,23 @@
+#include "eval/truth.hpp"
+
+#include <algorithm>
+
+namespace fsr::eval {
+
+bool is_fragment_symbol(std::string_view name) {
+  return name.find(".cold") != std::string_view::npos ||
+         name.find(".part.") != std::string_view::npos;
+}
+
+std::vector<std::uint64_t> truth_from_symbols(const elf::Image& unstripped) {
+  std::vector<std::uint64_t> out;
+  for (const elf::Symbol& sym : unstripped.function_symbols()) {
+    if (is_fragment_symbol(sym.name)) continue;
+    out.push_back(sym.value);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace fsr::eval

@@ -1,0 +1,25 @@
+// Ground-truth extraction from symbols (paper §V-A1).
+//
+// The generator's GroundTruth is exact by construction; this module
+// re-derives function entries from the unstripped binary's symbol
+// table the way the paper does from DWARF — FUNC symbols, minus the
+// .part/.cold fragment symbols GCC leaves behind — so tests can
+// cross-validate the two and the pipeline mirrors the paper's setup.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::eval {
+
+/// True when the symbol name denotes a .part/.cold fragment rather
+/// than a real function.
+bool is_fragment_symbol(std::string_view name);
+
+/// Function entries per the paper's ground-truth rules, sorted.
+std::vector<std::uint64_t> truth_from_symbols(const elf::Image& unstripped);
+
+}  // namespace fsr::eval

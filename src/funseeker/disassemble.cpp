@@ -1,0 +1,48 @@
+#include "funseeker/disassemble.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "x86/sweep.hpp"
+
+namespace fsr::funseeker {
+
+namespace {
+
+void sort_unique(std::vector<std::uint64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+DisasmSets disassemble(const elf::Image& bin) {
+  if (bin.machine == elf::Machine::kArm64)
+    throw UsageError("FunSeeker handles x86/x86-64; use fsr::bti for AArch64 binaries");
+  const elf::Section& text = bin.text();
+  const x86::Mode mode =
+      bin.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
+
+  x86::SweepResult sweep = x86::linear_sweep(text.data, text.addr, mode);
+
+  DisasmSets sets;
+  sets.bad_bytes = sweep.bad_bytes.size();
+  const std::uint64_t lo = text.addr;
+  const std::uint64_t hi = text.end_addr();
+  for (const x86::Insn& insn : sweep.insns) {
+    if (insn.is_endbr()) {
+      sets.endbrs.push_back(insn.addr);
+    } else if (insn.kind == x86::Kind::kCallDirect) {
+      if (insn.target >= lo && insn.target < hi) sets.call_targets.push_back(insn.target);
+    } else if (insn.kind == x86::Kind::kJmpDirect) {
+      if (insn.target >= lo && insn.target < hi) sets.jmp_targets.push_back(insn.target);
+    }
+  }
+  sets.insns = std::move(sweep.insns);
+  sort_unique(sets.endbrs);
+  sort_unique(sets.call_targets);
+  sort_unique(sets.jmp_targets);
+  return sets;
+}
+
+}  // namespace fsr::funseeker

@@ -1,0 +1,27 @@
+// DISASSEMBLE step (paper §IV-B): linear-sweep the .text section and
+// collect the three candidate sets — end-branch addresses E, direct
+// call targets C, and direct (unconditional) jump targets J.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elf/image.hpp"
+#include "x86/insn.hpp"
+
+namespace fsr::funseeker {
+
+struct DisasmSets {
+  std::vector<x86::Insn> insns;           // full instruction stream
+  std::vector<std::uint64_t> endbrs;      // E: end-branch addresses
+  std::vector<std::uint64_t> call_targets;  // C: direct call targets in .text
+  std::vector<std::uint64_t> jmp_targets;   // J: direct jmp targets in .text
+  std::size_t bad_bytes = 0;              // linear-sweep resyncs
+};
+
+/// Sweep the image's .text. Targets outside .text (PLT stubs, etc.) are
+/// excluded from C and J. The returned target sets are sorted and
+/// deduplicated; `insns` keeps the raw stream for later passes.
+DisasmSets disassemble(const elf::Image& bin);
+
+}  // namespace fsr::funseeker

@@ -1,0 +1,67 @@
+#include "funseeker/filter_endbr.hpp"
+
+#include <algorithm>
+
+#include "eh/eh_frame.hpp"
+#include "eh/lsda.hpp"
+#include "funseeker/funseeker.hpp"
+
+namespace fsr::funseeker {
+
+std::vector<std::uint64_t> landing_pad_addresses(const elf::Image& bin) {
+  std::vector<std::uint64_t> pads;
+  const elf::Section* eh = bin.find_section(".eh_frame");
+  const elf::Section* gct = bin.find_section(".gcc_except_table");
+  if (eh == nullptr || gct == nullptr) return pads;
+
+  const int ptr_size = bin.machine == elf::Machine::kX8664 ? 8 : 4;
+  eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size);
+  for (const eh::Fde& fde : frame.fdes) {
+    if (!fde.lsda.has_value()) continue;
+    if (*fde.lsda < gct->addr || *fde.lsda >= gct->end_addr()) continue;
+    const std::size_t offset = static_cast<std::size_t>(*fde.lsda - gct->addr);
+    std::size_t end = 0;
+    eh::Lsda lsda = eh::parse_lsda(gct->data, offset, fde.pc_begin, end);
+    for (std::uint64_t pad : lsda.landing_pads()) pads.push_back(pad);
+  }
+  std::sort(pads.begin(), pads.end());
+  pads.erase(std::unique(pads.begin(), pads.end()), pads.end());
+  return pads;
+}
+
+FilterResult filter_endbr(const elf::Image& bin, const DisasmSets& sets) {
+  FilterResult out;
+
+  // --- (1) end-branches after indirect-return call sites ----------------
+  // Walk the instruction stream: an end-branch whose predecessor is a
+  // direct call into a PLT stub of a known indirect-return function is
+  // a return pad, not an entry.
+  std::vector<std::uint64_t> indirect_pads;
+  for (std::size_t i = 1; i < sets.insns.size(); ++i) {
+    const x86::Insn& insn = sets.insns[i];
+    if (!insn.is_endbr()) continue;
+    const x86::Insn& prev = sets.insns[i - 1];
+    if (prev.kind != x86::Kind::kCallDirect) continue;
+    if (prev.end() != insn.addr) continue;  // must be immediately preceding
+    auto symbol = bin.plt_symbol_at(prev.target);
+    if (symbol.has_value() && is_indirect_return_function(*symbol))
+      indirect_pads.push_back(insn.addr);
+  }
+
+  // --- (2) end-branches at exception landing pads ------------------------
+  std::vector<std::uint64_t> lps = landing_pad_addresses(bin);
+
+  for (std::uint64_t e : sets.endbrs) {
+    if (std::binary_search(lps.begin(), lps.end(), e)) {
+      out.removed_landing_pads.push_back(e);
+    } else if (std::find(indirect_pads.begin(), indirect_pads.end(), e) !=
+               indirect_pads.end()) {
+      out.removed_indirect_return.push_back(e);
+    } else {
+      out.kept.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace fsr::funseeker

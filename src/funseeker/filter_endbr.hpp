@@ -1,0 +1,31 @@
+// FILTERENDBR step (paper §IV-C): remove end-branch instructions that
+// do not mark a function entry. There are exactly two such placements:
+//   (1) immediately after a call to an indirect-return function
+//       (setjmp and friends, resolved through the PLT), and
+//   (2) at a C++ exception landing pad (located through the LSDAs of
+//       .gcc_except_table, reached via the FDE LSDA pointers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elf/image.hpp"
+#include "funseeker/disassemble.hpp"
+
+namespace fsr::funseeker {
+
+struct FilterResult {
+  std::vector<std::uint64_t> kept;                     // E'
+  std::vector<std::uint64_t> removed_indirect_return;  // case (1)
+  std::vector<std::uint64_t> removed_landing_pads;     // case (2)
+};
+
+/// Filter the end-branch set E using the instruction stream (to find
+/// preceding PLT calls) and the binary's exception information.
+FilterResult filter_endbr(const elf::Image& bin, const DisasmSets& sets);
+
+/// All landing-pad addresses recorded in the binary's exception tables
+/// (exposed separately for the study benchmarks).
+std::vector<std::uint64_t> landing_pad_addresses(const elf::Image& bin);
+
+}  // namespace fsr::funseeker

@@ -1,0 +1,154 @@
+#include "funseeker/funseeker.hpp"
+
+#include <algorithm>
+
+#include "elf/reader.hpp"
+#include "funseeker/disassemble.hpp"
+#include "funseeker/filter_endbr.hpp"
+#include "funseeker/recursive.hpp"
+#include "funseeker/tail_call.hpp"
+#include "util/error.hpp"
+
+namespace fsr::funseeker {
+
+namespace {
+
+constexpr std::string_view kIndirectReturn[] = {"setjmp", "_setjmp", "sigsetjmp",
+                                                "__sigsetjmp", "vfork"};
+
+std::vector<std::uint64_t> merge_sorted(const std::vector<std::uint64_t>& a,
+                                        const std::vector<std::uint64_t>& b) {
+  std::vector<std::uint64_t> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::span<const std::string_view> indirect_return_functions() {
+  return kIndirectReturn;
+}
+
+bool is_indirect_return_function(std::string_view name) {
+  return std::find(std::begin(kIndirectReturn), std::end(kIndirectReturn), name) !=
+         std::end(kIndirectReturn);
+}
+
+Options Options::config(int n) {
+  Options o;
+  switch (n) {
+    case 1:
+      o.filter_endbr = false;
+      o.include_jump_targets = false;
+      o.select_tail_calls = false;
+      break;
+    case 2:
+      o.filter_endbr = true;
+      o.include_jump_targets = false;
+      o.select_tail_calls = false;
+      break;
+    case 3:
+      o.filter_endbr = true;
+      o.include_jump_targets = true;
+      o.select_tail_calls = false;
+      break;
+    case 4:
+      break;  // defaults = full algorithm
+    default:
+      throw UsageError("FunSeeker configuration must be 1..4");
+  }
+  return o;
+}
+
+namespace {
+
+/// Merge recursively-recovered instructions into the linear-sweep sets
+/// (union by instruction address; candidate sets are recomputed).
+void merge_recursive(DisasmSets& sets, const RecursiveSets& extra) {
+  std::vector<x86::Insn> merged;
+  merged.reserve(sets.insns.size() + extra.insns.size());
+  std::merge(sets.insns.begin(), sets.insns.end(), extra.insns.begin(),
+             extra.insns.end(), std::back_inserter(merged),
+             [](const x86::Insn& a, const x86::Insn& b) { return a.addr < b.addr; });
+  merged.erase(std::unique(merged.begin(), merged.end(),
+                           [](const x86::Insn& a, const x86::Insn& b) {
+                             return a.addr == b.addr;
+                           }),
+               merged.end());
+  sets.insns = std::move(merged);
+
+  auto merge_into = [](std::vector<std::uint64_t>& dst,
+                       const std::vector<std::uint64_t>& src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+    std::sort(dst.begin(), dst.end());
+    dst.erase(std::unique(dst.begin(), dst.end()), dst.end());
+  };
+  merge_into(sets.endbrs, extra.endbrs);
+  merge_into(sets.call_targets, extra.call_targets);
+  merge_into(sets.jmp_targets, extra.jmp_targets);
+}
+
+}  // namespace
+
+Result analyze(const elf::Image& bin, const Options& opts) {
+  Result r;
+
+  // DISASSEMBLE: E, C, J.
+  DisasmSets sets = disassemble(bin);
+
+  // Optional §VI refinement: recover what the sweep lost to inline
+  // data, seeding from a preliminary candidate set.
+  if (opts.recursive_refine) {
+    std::vector<std::uint64_t> seeds =
+        merge_sorted(sets.endbrs, sets.call_targets);
+    RecursiveSets extra = recursive_disassemble(bin, seeds);
+    merge_recursive(sets, extra);
+  }
+  if (opts.superset_endbr_scan)
+    sets.endbrs = merge_sorted(sets.endbrs, scan_endbr_pattern(bin));
+
+  r.endbrs = sets.endbrs;
+  r.call_targets = sets.call_targets;
+  r.jmp_targets = sets.jmp_targets;
+
+  // FILTERENDBR: E -> E'.
+  if (opts.filter_endbr) {
+    FilterResult filtered = filter_endbr(bin, sets);
+    r.endbrs_kept = std::move(filtered.kept);
+    r.removed_indirect_return = std::move(filtered.removed_indirect_return);
+    r.removed_landing_pads = std::move(filtered.removed_landing_pads);
+  } else {
+    r.endbrs_kept = sets.endbrs;
+  }
+
+  // E' ∪ C.
+  std::vector<std::uint64_t> entries = merge_sorted(r.endbrs_kept, sets.call_targets);
+
+  // SELECTTAILCALL: J -> J'; then E' ∪ C ∪ J'.
+  if (opts.include_jump_targets) {
+    if (opts.select_tail_calls) {
+      TailCallOptions tc;
+      tc.require_cross_region = opts.tail_call_cross_region;
+      tc.require_multi_ref = opts.tail_call_multi_ref;
+      r.tail_call_targets = select_tail_calls(sets, entries, tc);
+      entries = merge_sorted(entries, r.tail_call_targets);
+    } else {
+      entries = merge_sorted(entries, sets.jmp_targets);
+    }
+  }
+
+  r.functions = std::move(entries);
+  return r;
+}
+
+Result analyze_bytes(std::span<const std::uint8_t> file_bytes, const Options& opts) {
+  return analyze(elf::read_elf(file_bytes), opts);
+}
+
+std::vector<std::uint64_t> identify_functions(const elf::Image& bin, const Options& opts) {
+  return analyze(bin, opts).functions;
+}
+
+}  // namespace fsr::funseeker

@@ -1,0 +1,89 @@
+// FunSeeker — CET-aware function identification (the paper's core
+// contribution, Algorithm 1).
+//
+//   FunSeeker(bin):
+//     txt, exn  = PARSE(bin)
+//     E, C, J   = DISASSEMBLE(txt)
+//     E'        = FILTERENDBR(E, exn)
+//     J'        = SELECTTAILCALL(J)
+//     return E' ∪ C ∪ J'
+//
+// The Options switches correspond to the four evaluation configurations
+// of Table II; the default is the full algorithm (configuration 4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::funseeker {
+
+/// GCC's predefined indirect-return functions (gcc/calls.c); calls to
+/// these return via an indirect jump, so the compiler plants an
+/// end-branch immediately after the call site.
+std::span<const std::string_view> indirect_return_functions();
+
+/// True if `name` is one of the indirect-return functions.
+bool is_indirect_return_function(std::string_view name);
+
+struct Options {
+  /// Run FILTERENDBR: drop end-branches after indirect-return calls and
+  /// at exception landing pads (config 2 and above).
+  bool filter_endbr = true;
+  /// Consider direct-jump targets J as candidates (config 3 and above).
+  bool include_jump_targets = true;
+  /// Run SELECTTAILCALL to keep only plausible tail-call targets from J
+  /// (config 4). Ignored unless include_jump_targets is set.
+  bool select_tail_calls = true;
+
+  /// Ablation switches for SELECTTAILCALL's two conditions (both true =
+  /// the paper's algorithm; see bench_ablation).
+  bool tail_call_cross_region = true;
+  bool tail_call_multi_ref = true;
+
+  /// §VI future work: after the linear sweep, re-decode recursively
+  /// from the candidate entries to recover evidence the sweep lost to
+  /// inline data (hand-written assembly). Off by default — the paper's
+  /// algorithm is purely linear; see bench_ablation (C).
+  bool recursive_refine = false;
+
+  /// §VI future work, superset flavour: additionally scan .text for
+  /// the raw end-branch byte pattern at every offset. Recovers entry
+  /// markers inline data swallowed even for unreferenced functions, at
+  /// a small precision risk (an immediate can spell the pattern).
+  bool superset_endbr_scan = false;
+
+  /// The paper's Table II configurations 1..4.
+  static Options config(int n);
+};
+
+/// Full analysis output. `functions` is the answer; the remaining
+/// members expose the intermediate sets for the study benchmarks and
+/// ablations.
+struct Result {
+  std::vector<std::uint64_t> functions;  // E' ∪ C ∪ J', sorted
+
+  std::vector<std::uint64_t> endbrs;                  // E
+  std::vector<std::uint64_t> endbrs_kept;             // E'
+  std::vector<std::uint64_t> removed_indirect_return;
+  std::vector<std::uint64_t> removed_landing_pads;
+  std::vector<std::uint64_t> call_targets;            // C
+  std::vector<std::uint64_t> jmp_targets;             // J
+  std::vector<std::uint64_t> tail_call_targets;       // J'
+};
+
+/// Analyze a parsed image.
+Result analyze(const elf::Image& bin, const Options& opts = {});
+
+/// Parse + analyze raw ELF file bytes (the end-to-end path that the
+/// run-time comparison measures).
+Result analyze_bytes(std::span<const std::uint8_t> file_bytes, const Options& opts = {});
+
+/// Convenience: just the identified function entry addresses.
+std::vector<std::uint64_t> identify_functions(const elf::Image& bin,
+                                              const Options& opts = {});
+
+}  // namespace fsr::funseeker

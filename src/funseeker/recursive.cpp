@@ -1,0 +1,96 @@
+#include "funseeker/recursive.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "x86/decoder.hpp"
+
+namespace fsr::funseeker {
+
+namespace {
+
+void sort_unique(std::vector<std::uint64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> scan_endbr_pattern(const elf::Image& bin) {
+  if (bin.machine == elf::Machine::kArm64)
+    throw UsageError("scan_endbr_pattern handles x86/x86-64");
+  const elf::Section& text = bin.text();
+  const std::uint8_t last = bin.machine == elf::Machine::kX8664 ? 0xfa : 0xfb;
+  std::vector<std::uint64_t> out;
+  if (text.data.size() < 4) return out;
+  for (std::size_t off = 0; off + 4 <= text.data.size(); ++off) {
+    if (text.data[off] == 0xf3 && text.data[off + 1] == 0x0f &&
+        text.data[off + 2] == 0x1e && text.data[off + 3] == last)
+      out.push_back(text.addr + off);
+  }
+  return out;
+}
+
+RecursiveSets recursive_disassemble(const elf::Image& bin,
+                                    const std::vector<std::uint64_t>& seeds) {
+  if (bin.machine == elf::Machine::kArm64)
+    throw UsageError("recursive_disassemble handles x86/x86-64");
+  const elf::Section& text = bin.text();
+  const x86::Mode mode =
+      bin.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
+  const std::uint64_t lo = text.addr;
+  const std::uint64_t hi = text.end_addr();
+
+  RecursiveSets out;
+  std::set<std::uint64_t> visited;
+  std::vector<std::uint64_t> work(seeds.begin(), seeds.end());
+  work.push_back(bin.entry);
+
+  const std::span<const std::uint8_t> bytes(text.data);
+  while (!work.empty()) {
+    std::uint64_t addr = work.back();
+    work.pop_back();
+    while (addr >= lo && addr < hi) {
+      if (!visited.insert(addr).second) break;  // joined explored flow
+      const auto insn =
+          x86::decode(bytes.subspan(static_cast<std::size_t>(addr - lo)), addr, mode);
+      if (!insn.has_value() || insn->length == 0) {
+        ++out.undecodable;
+        break;
+      }
+      out.insns.push_back(*insn);
+      if (insn->is_endbr()) out.endbrs.push_back(insn->addr);
+      switch (insn->kind) {
+        case x86::Kind::kCallDirect:
+          if (insn->target >= lo && insn->target < hi) {
+            out.call_targets.push_back(insn->target);
+            work.push_back(insn->target);
+          }
+          break;
+        case x86::Kind::kJmpDirect:
+          if (insn->target >= lo && insn->target < hi) {
+            out.jmp_targets.push_back(insn->target);
+            work.push_back(insn->target);
+          }
+          break;
+        case x86::Kind::kJcc:
+          if (insn->target >= lo && insn->target < hi) work.push_back(insn->target);
+          break;
+        default:
+          break;
+      }
+      if (insn->is_terminator()) break;
+      addr = insn->end();
+    }
+  }
+
+  sort_unique(out.endbrs);
+  sort_unique(out.call_targets);
+  sort_unique(out.jmp_targets);
+  std::sort(out.insns.begin(), out.insns.end(),
+            [](const x86::Insn& a, const x86::Insn& b) { return a.addr < b.addr; });
+  return out;
+}
+
+}  // namespace fsr::funseeker

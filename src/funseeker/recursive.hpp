@@ -1,0 +1,46 @@
+// Recursive-disassembly refinement (paper §VI future work):
+// "Incorporating recursive disassembly or superset disassembly with
+// FunSeeker to improve instruction coverage is promising future work."
+//
+// A linear sweep desynchronizes when .text embeds data (hand-written
+// assembly); an entry end-branch swallowed by a mis-decoded blob is
+// lost. This pass re-decodes on demand: starting from every candidate
+// entry (E' ∪ C ∪ the ELF entry point), it follows the control flow
+// instruction by instruction — decoding at the exact target addresses
+// rather than at whatever boundary the sweep drifted to — and collects
+// the end-branch markers and direct-branch targets the sweep missed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elf/image.hpp"
+#include "funseeker/disassemble.hpp"
+
+namespace fsr::funseeker {
+
+/// Additional evidence recovered by recursive decoding from `seeds`.
+struct RecursiveSets {
+  std::vector<std::uint64_t> endbrs;        // end-branch addrs reached as code
+  std::vector<std::uint64_t> call_targets;  // direct call targets (within .text)
+  std::vector<std::uint64_t> jmp_targets;   // direct jump targets (within .text)
+  std::vector<x86::Insn> insns;             // every instruction reached, by address
+  std::size_t undecodable = 0;              // flow reached bytes that do not decode
+};
+
+/// Explore from the seed addresses. Already-visited addresses are
+/// shared across seeds, so the pass is linear in the code actually
+/// reached. Seeds outside .text are ignored.
+RecursiveSets recursive_disassemble(const elf::Image& bin,
+                                    const std::vector<std::uint64_t>& seeds);
+
+/// Superset-style end-branch scan: find every occurrence of the
+/// 4-byte end-branch pattern in .text at ANY offset, not just at the
+/// boundaries the linear sweep happened to visit. Recovers entry
+/// markers that inline data swallowed — including functions with no
+/// incoming direct reference, which recursive exploration cannot reach
+/// — at the superset trade-off that a matching immediate inside a real
+/// instruction becomes a false candidate.
+std::vector<std::uint64_t> scan_endbr_pattern(const elf::Image& bin);
+
+}  // namespace fsr::funseeker

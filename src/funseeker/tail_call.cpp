@@ -1,0 +1,58 @@
+#include "funseeker/tail_call.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fsr::funseeker {
+
+namespace {
+
+/// Index of the candidate function region containing `addr`: the region
+/// starting at the greatest entry <= addr. Addresses before the first
+/// entry share pseudo-region -1.
+std::ptrdiff_t region_of(const std::vector<std::uint64_t>& entries, std::uint64_t addr) {
+  auto it = std::upper_bound(entries.begin(), entries.end(), addr);
+  return std::distance(entries.begin(), it) - 1;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> select_tail_calls(
+    const DisasmSets& sets, const std::vector<std::uint64_t>& known_entries,
+    const TailCallOptions& opts) {
+  // Referencing regions per direct-branch target (calls and jumps both
+  // count as references for the multi-reference condition).
+  std::map<std::uint64_t, std::set<std::ptrdiff_t>> ref_regions;
+  for (const x86::Insn& insn : sets.insns) {
+    if (insn.kind != x86::Kind::kCallDirect && insn.kind != x86::Kind::kJmpDirect)
+      continue;
+    if (insn.target == 0) continue;
+    ref_regions[insn.target].insert(region_of(known_entries, insn.addr));
+  }
+
+  std::set<std::uint64_t> selected;
+  for (const x86::Insn& insn : sets.insns) {
+    if (insn.kind != x86::Kind::kJmpDirect) continue;
+    const std::uint64_t target = insn.target;
+    if (target == 0) continue;
+    // Already a known entry: nothing to decide.
+    if (std::binary_search(known_entries.begin(), known_entries.end(), target))
+      continue;
+
+    // Condition (1): the jump leaves its containing function.
+    const std::ptrdiff_t jump_region = region_of(known_entries, insn.addr);
+    const std::ptrdiff_t target_region = region_of(known_entries, target);
+    if (opts.require_cross_region && jump_region == target_region) continue;
+
+    // Condition (2): the target is referenced by at least one function
+    // other than the one performing this jump.
+    const auto& regions = ref_regions[target];
+    if (opts.require_multi_ref && regions.size() < 2) continue;
+
+    selected.insert(target);
+  }
+  return {selected.begin(), selected.end()};
+}
+
+}  // namespace fsr::funseeker

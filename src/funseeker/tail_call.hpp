@@ -1,0 +1,30 @@
+// SELECTTAILCALL step (paper §IV-D): keep only the direct-jump targets
+// that plausibly are tail calls. A jump qualifies when
+//   (1) its target lies beyond the boundary of the function containing
+//       the jump (function extents approximated by the candidate entry
+//       set E' ∪ C, following Qiao et al.), and
+//   (2) the target is referenced from multiple functions, not just the
+//       one containing the jump (inspired by FETCH).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "funseeker/disassemble.hpp"
+
+namespace fsr::funseeker {
+
+/// Ablation switches for the two selection conditions (both on = the
+/// paper's SELECTTAILCALL; used by the design-choice ablation bench).
+struct TailCallOptions {
+  bool require_cross_region = true;  // condition (1), Qiao et al.
+  bool require_multi_ref = true;     // condition (2), FETCH-inspired
+};
+
+/// Compute J' from the instruction stream. `known_entries` is the
+/// sorted E' ∪ C set used to approximate function boundaries.
+std::vector<std::uint64_t> select_tail_calls(
+    const DisasmSets& sets, const std::vector<std::uint64_t>& known_entries,
+    const TailCallOptions& opts = {});
+
+}  // namespace fsr::funseeker

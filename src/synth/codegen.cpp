@@ -1,0 +1,700 @@
+#include "synth/codegen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "eh/eh_frame.hpp"
+#include "eh/eh_frame_hdr.hpp"
+#include "eh/lsda.hpp"
+#include "elf/gnu_property.hpp"
+#include "elf/types.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "x86/assembler.hpp"
+
+namespace fsr::synth {
+
+namespace {
+
+using util::Rng;
+using x86::Assembler;
+using x86::Cond;
+using x86::Label;
+using x86::Reg;
+
+/// Registers safe for filler code (never SP/BP/BX, which carry frame or
+/// PIC state).
+constexpr Reg kScratch32[] = {Reg::kAx, Reg::kCx, Reg::kDx, Reg::kSi, Reg::kDi};
+constexpr Reg kScratch64[] = {Reg::kAx, Reg::kCx, Reg::kDx, Reg::kSi,
+                              Reg::kDi, Reg::kR8, Reg::kR9, Reg::kR10, Reg::kR11};
+
+/// GCC's list of indirect-return functions (paper §IV-C references
+/// gcc/calls.c); the generator and FunSeeker must agree on these names.
+constexpr const char* kIndirectReturnNames[] = {"setjmp", "_setjmp", "sigsetjmp",
+                                                "__sigsetjmp", "vfork"};
+
+bool is_indirect_return_name(const std::string& name) {
+  for (const char* n : kIndirectReturnNames)
+    if (name == n) return true;
+  return false;
+}
+
+struct JumpTableData {
+  Label table;
+  std::vector<Label> cases;
+};
+
+class Emitter {
+public:
+  explicit Emitter(const SynthProgram& prog)
+      : prog_(prog),
+        is64_(elf::is64(prog.machine)),
+        mode_(is64_ ? x86::Mode::k64 : x86::Mode::k32),
+        word_(is64_ ? 8 : 4),
+        base_(elf::default_base(prog.machine, prog.kind)),
+        plt_addr_(base_ + 0x400),
+        rng_(prog.seed ^ 0xC0DE5EEDULL),
+        asm_(mode_, /*base=*/0) {}
+
+  CodegenResult run();
+
+private:
+  // -- small helpers ------------------------------------------------------
+  Reg scratch() {
+    if (is64_) return kScratch64[rng_.range(0, std::size(kScratch64) - 1)];
+    return kScratch32[rng_.range(0, std::size(kScratch32) - 1)];
+  }
+  [[nodiscard]] std::uint64_t plt_entry_addr(std::size_t import_idx) const {
+    return plt_addr_ + 16 * (import_idx + 1);
+  }
+  int import_index(const std::string& name) const {
+    for (std::size_t i = 0; i < prog_.imports.size(); ++i)
+      if (prog_.imports[i] == name) return static_cast<int>(i);
+    return -1;
+  }
+  int indirect_return_import() const {
+    for (std::size_t i = 0; i < prog_.imports.size(); ++i)
+      if (is_indirect_return_name(prog_.imports[i])) return static_cast<int>(i);
+    return -1;
+  }
+
+  // -- body pieces --------------------------------------------------------
+  void filler(int n);
+  void emit_if_else();
+  void emit_loop();
+  void emit_call(Label target);
+  void emit_plt_call(int import_idx);
+  void emit_setjmp_site();
+  void emit_addr_use(FuncId target);
+  void emit_frag_jmp(FuncId frag);
+  void emit_jump_table(const SynthFunction& f);
+  void emit_function(FuncId id);
+  void emit_fragment(FuncId id);
+
+  // -- whole-binary pieces ---------------------------------------------------
+  std::vector<std::uint8_t> build_plt() const;
+
+  const SynthProgram& prog_;
+  const bool is64_;
+  const x86::Mode mode_;
+  const int word_;
+  const std::uint64_t base_;
+  const std::uint64_t plt_addr_;
+  Rng rng_;
+  Assembler asm_;
+
+  std::vector<Label> entry_;                       // per func id
+  std::map<FuncId, Label> frag_resume_;            // fragment -> its return label
+  std::map<FuncId, std::vector<Label>> owner_resumes_;  // owner -> labels to bind
+  std::map<FuncId, std::vector<FuncId>> host_addr_uses_;  // host -> targets
+  std::map<FuncId, std::vector<FuncId>> second_refs_;     // host -> fragments
+  std::vector<JumpTableData> jump_tables_;
+  // call sites of the function currently being emitted (addr, len)
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> cur_calls_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> func_extent_;  // id -> addr,size
+  std::vector<eh::Lsda> lsdas_;       // per func with pads
+  std::vector<FuncId> lsda_owner_;    // parallel to lsdas_
+  GroundTruth truth_;
+};
+
+void Emitter::filler(int n) {
+  for (int i = 0; i < n; ++i) {
+    const Reg a = scratch();
+    const Reg b = scratch();
+    switch (rng_.range(0, 7)) {
+      case 0: asm_.mov_rr(a, b); break;
+      case 1: asm_.add_rr(a, b); break;
+      case 2: asm_.sub_rr(a, b); break;
+      case 3: asm_.xor_rr(a, b); break;
+      case 4: asm_.mov_ri(a, static_cast<std::uint32_t>(rng_.range(0, 0xffff))); break;
+      case 5: asm_.imul_rr(a, b); break;
+      case 6: asm_.test_rr(a, b); break;
+      case 7: asm_.shl_ri(a, static_cast<std::uint8_t>(rng_.range(1, 7))); break;
+    }
+  }
+}
+
+void Emitter::emit_if_else() {
+  Label lelse = asm_.make_label();
+  Label lend = asm_.make_label();
+  asm_.cmp_ri8(scratch(), static_cast<std::int8_t>(rng_.range(0, 60)));
+  asm_.jcc(static_cast<Cond>(rng_.range(2, 15)), lelse);
+  filler(static_cast<int>(rng_.range(1, 3)));
+  asm_.jmp(lend);  // spurious direct-jump target at lend
+  asm_.bind(lelse);
+  filler(static_cast<int>(rng_.range(1, 2)));
+  asm_.bind(lend);
+}
+
+void Emitter::emit_loop() {
+  Label lcond = asm_.make_label();
+  Label lbody = asm_.make_label();
+  const Reg ctr = scratch();
+  asm_.mov_ri(ctr, static_cast<std::uint32_t>(rng_.range(1, 64)));
+  if (rng_.chance(0.7)) {
+    // jump-to-condition rotation: adds a direct-jump target at lcond.
+    asm_.jmp(lcond);
+    asm_.bind(lbody);
+    filler(static_cast<int>(rng_.range(1, 3)));
+    asm_.bind(lcond);
+  } else {
+    asm_.bind(lbody);
+    filler(static_cast<int>(rng_.range(1, 3)));
+  }
+  asm_.add_ri8(ctr, -1);
+  asm_.cmp_ri8(ctr, 0);
+  asm_.jcc(Cond::kNe, lbody);
+}
+
+void Emitter::emit_call(Label target) {
+  const std::uint64_t at = asm_.here();
+  asm_.call(target);
+  cur_calls_.emplace_back(at, static_cast<std::uint8_t>(asm_.here() - at));
+}
+
+void Emitter::emit_plt_call(int import_idx) {
+  const std::uint64_t at = asm_.here();
+  asm_.call_addr(plt_entry_addr(static_cast<std::size_t>(import_idx)));
+  cur_calls_.emplace_back(at, static_cast<std::uint8_t>(asm_.here() - at));
+}
+
+void Emitter::emit_setjmp_site() {
+  const int idx = indirect_return_import();
+  if (idx < 0) throw EncodeError("setjmp site without an indirect-return import");
+  asm_.mov_ri(Reg::kDi, static_cast<std::uint32_t>(rng_.range(0x1000, 0x8000)));
+  const std::uint64_t at = asm_.here();
+  asm_.call_addr(plt_entry_addr(static_cast<std::size_t>(idx)));
+  cur_calls_.emplace_back(at, static_cast<std::uint8_t>(asm_.here() - at));
+  // The return pad: the indirect-return callee comes back via jmp, so
+  // the compiler plants an end-branch right after the call (§III-B2).
+  truth_.setjmp_pads.push_back(asm_.here());
+  asm_.endbr();
+  Label lskip = asm_.make_label();
+  asm_.test_rr(Reg::kAx, Reg::kAx);
+  asm_.jcc(Cond::kNe, lskip);
+  filler(static_cast<int>(rng_.range(1, 2)));
+  asm_.bind(lskip);
+}
+
+void Emitter::emit_addr_use(FuncId target) {
+  const Reg r = scratch();
+  asm_.load_addr(r, entry_[static_cast<std::size_t>(target)]);
+  if (rng_.chance(0.5)) {
+    asm_.call_reg(r);
+  } else {
+    // Spill the pointer and call through memory (Figure 1 pattern).
+    asm_.mov_frame_reg(-16, r);
+    asm_.call_frame(-16);
+  }
+}
+
+void Emitter::emit_frag_jmp(FuncId frag) {
+  // Cold-path branch: conditionally skip an unconditional jmp to the
+  // fragment, so the fragment entry lands in the J set.
+  Label lskip = asm_.make_label();
+  asm_.cmp_ri8(scratch(), 0);
+  asm_.jcc_short(Cond::kE, lskip);
+  asm_.jmp(entry_[static_cast<std::size_t>(frag)]);
+  asm_.bind(lskip);
+}
+
+void Emitter::emit_jump_table(const SynthFunction& f) {
+  JumpTableData jt;
+  jt.table = asm_.make_label();
+  Label ldefault = asm_.make_label();
+  Label lend = asm_.make_label();
+  const Reg idx = scratch();
+  asm_.mov_ri(idx, static_cast<std::uint32_t>(rng_.range(0, 2)));
+  asm_.cmp_ri8(idx, static_cast<std::int8_t>(f.jump_table_cases - 1));
+  asm_.jcc(Cond::kA, ldefault);
+  // Compilers suppress end-branch tracking for bounded switch dispatch
+  // by prefixing the indirect jmp with NOTRACK (§II).
+  asm_.jmp_table(idx, jt.table, /*notrack=*/true);
+  for (int c = 0; c < f.jump_table_cases; ++c) {
+    Label lcase = asm_.make_label();
+    asm_.bind(lcase);
+    jt.cases.push_back(lcase);
+    filler(static_cast<int>(rng_.range(1, 2)));
+    if (c + 1 != f.jump_table_cases) asm_.jmp(lend);
+  }
+  asm_.bind(ldefault);
+  filler(1);
+  asm_.bind(lend);
+  jump_tables_.push_back(std::move(jt));
+}
+
+void Emitter::emit_function(FuncId id) {
+  const auto& f = prog_.funcs[static_cast<std::size_t>(id)];
+  // Hand-written-assembly-style inline data (paper §VI's linear-sweep
+  // hazard): a raw blob dropped in front of the function. The sweep may
+  // desynchronize across it and even consume the entry's end-branch —
+  // which is exactly the failure mode the limitation experiment
+  // measures, so nothing here tries to keep the blob "safe".
+  if (prog_.data_in_text > 0.0 && rng_.chance(prog_.data_in_text)) {
+    std::vector<std::uint8_t> blob(rng_.range(8, 56));
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng_.next());
+    asm_.db(blob);
+  }
+  if (f.align > 1) asm_.align(static_cast<std::size_t>(f.align));
+  asm_.bind(entry_[static_cast<std::size_t>(id)]);
+  const std::uint64_t start = asm_.here();
+  cur_calls_.clear();
+
+  if (f.has_endbr()) {
+    truth_.endbr_entries.push_back(start);
+    asm_.endbr();
+  }
+
+  // Prologue.
+  bool pushed_bx = false;
+  std::uint32_t frame = 0;
+  if (f.frame_pointer) {
+    asm_.push(Reg::kBp);
+    asm_.mov_rr(Reg::kBp, Reg::kSp);
+    if (rng_.chance(0.8)) {
+      frame = static_cast<std::uint32_t>(rng_.range(1, 8)) * 16;
+      asm_.sub_sp(frame);
+    }
+  } else {
+    if (rng_.chance(0.4)) {
+      asm_.push(Reg::kBx);
+      pushed_bx = true;
+    }
+    if (rng_.chance(0.6)) {
+      frame = static_cast<std::uint32_t>(rng_.range(1, 4)) * 16;
+      asm_.sub_sp(frame);
+    }
+  }
+
+  // Schedule the function's features across its blocks.
+  struct Feature {
+    enum Kind { kCall, kPlt, kSetjmp, kFragJmp, kFragCall, kAddrUse, kJumpTable } kind;
+    FuncId arg = kNoFunc;
+  };
+  std::vector<Feature> features;
+  for (FuncId callee : f.callees) features.push_back({Feature::kCall, callee});
+  for (int imp : f.plt_callees) features.push_back({Feature::kPlt, imp});
+  for (int s = 0; s < f.setjmp_sites; ++s) features.push_back({Feature::kSetjmp, 0});
+  if (f.has_jump_table) features.push_back({Feature::kJumpTable, 0});
+  for (FuncId g = 0; g < static_cast<FuncId>(prog_.funcs.size()); ++g) {
+    const auto& frag = prog_.funcs[static_cast<std::size_t>(g)];
+    if (!frag.is_fragment || frag.fragment_owner != id) continue;
+    features.push_back({frag.fragment_called ? Feature::kFragCall : Feature::kFragJmp, g});
+  }
+  if (auto it = second_refs_.find(id); it != second_refs_.end())
+    for (FuncId g : it->second) features.push_back({Feature::kFragJmp, g});
+  if (auto it = host_addr_uses_.find(id); it != host_addr_uses_.end())
+    for (FuncId g : it->second) features.push_back({Feature::kAddrUse, g});
+  // Landing pads need at least one covered call site.
+  if (f.landing_pads > 0 && f.callees.empty() && f.plt_callees.empty())
+    features.push_back({Feature::kPlt, 1});
+  rng_.shuffle(features);
+
+  // Fragments return into distinct resume points inside their owner;
+  // each gets its own label so no two fragments share a jump target
+  // (sharing would fabricate a multi-referenced tail-call candidate).
+  const auto owner_it = owner_resumes_.find(id);
+  const int nresume =
+      owner_it == owner_resumes_.end() ? 0 : static_cast<int>(owner_it->second.size());
+  const int blocks = std::max(f.body_blocks, nresume + 1);
+  std::size_t next_feature = 0;
+  for (int b = 0; b < blocks; ++b) {
+    filler(static_cast<int>(rng_.range(1, 4)));
+    // Resume points bind after the block's leading filler so they can
+    // never coincide with a label of the previous block's control-flow
+    // pattern (a shared address would masquerade as a multi-referenced
+    // tail-call target and show up as a false positive).
+    if (b >= 1 && b <= nresume) asm_.bind(owner_it->second[static_cast<std::size_t>(b - 1)]);
+    // Emit ~one feature per block until they run out; the final block
+    // drains whatever is left.
+    const bool last = b + 1 == blocks;
+    do {
+      if (next_feature < features.size()) {
+        const Feature& feat = features[next_feature++];
+        switch (feat.kind) {
+          case Feature::kCall: emit_call(entry_[static_cast<std::size_t>(feat.arg)]); break;
+          case Feature::kPlt: emit_plt_call(feat.arg); break;
+          case Feature::kSetjmp: emit_setjmp_site(); break;
+          case Feature::kFragJmp: emit_frag_jmp(feat.arg); break;
+          case Feature::kFragCall: emit_call(entry_[static_cast<std::size_t>(feat.arg)]); break;
+          case Feature::kAddrUse: emit_addr_use(feat.arg); break;
+          case Feature::kJumpTable: emit_jump_table(f); break;
+        }
+      }
+    } while (last && next_feature < features.size());
+    // Local control flow (the intra-function direct-jump targets that
+    // wreck precision under configuration 3 of Table II).
+    if (rng_.chance(0.72)) {
+      if (rng_.chance(0.6))
+        emit_if_else();
+      else
+        emit_loop();
+    }
+  }
+
+  // Epilogue.
+  if (f.frame_pointer) {
+    asm_.leave();
+  } else {
+    if (frame != 0) asm_.add_sp(frame);
+    if (pushed_bx) asm_.pop(Reg::kBx);
+  }
+  if (f.tail_callee != kNoFunc) {
+    asm_.jmp(entry_[static_cast<std::size_t>(f.tail_callee)]);
+  } else {
+    asm_.ret();
+  }
+
+  // Landing pads: placed after the epilogue, inside the function extent
+  // (the 508.namd pattern of Figure 2b).
+  if (f.landing_pads > 0) {
+    eh::Lsda lsda;
+    lsda.func_start = start;
+    const int unwind_idx = import_index("_Unwind_Resume");
+    for (int p = 0; p < f.landing_pads; ++p) {
+      const std::uint64_t pad = asm_.here();
+      truth_.landing_pads.push_back(pad);
+      asm_.endbr();
+      asm_.mov_rr(scratch(), Reg::kAx);
+      filler(static_cast<int>(rng_.range(0, 2)));
+      if (unwind_idx >= 0 && rng_.chance(0.7))
+        asm_.call_addr(plt_entry_addr(static_cast<std::size_t>(unwind_idx)));
+      else
+        asm_.ret();
+      // Tie the pad to one of the function's call sites.
+      const auto& cs = cur_calls_[static_cast<std::size_t>(p) % cur_calls_.size()];
+      lsda.call_sites.push_back({cs.first, cs.second, pad, 1});
+    }
+    // Cover the remaining call sites with no-landing-pad entries
+    // (action 0), as real tables do for calls outside any try block.
+    const std::size_t covered =
+        std::min(static_cast<std::size_t>(f.landing_pads), cur_calls_.size());
+    for (std::size_t i = covered; i < cur_calls_.size(); ++i)
+      lsda.call_sites.push_back({cur_calls_[i].first, cur_calls_[i].second, 0, 0});
+    std::sort(lsda.call_sites.begin(), lsda.call_sites.end(),
+              [](const eh::CallSite& a, const eh::CallSite& b) { return a.start < b.start; });
+    lsdas_.push_back(std::move(lsda));
+    lsda_owner_.push_back(id);
+  }
+
+  func_extent_[static_cast<std::size_t>(id)] = {start, asm_.here() - start};
+}
+
+void Emitter::emit_fragment(FuncId id) {
+  const auto& f = prog_.funcs[static_cast<std::size_t>(id)];
+  asm_.bind(entry_[static_cast<std::size_t>(id)]);
+  const std::uint64_t start = asm_.here();
+  filler(static_cast<int>(rng_.range(2, 5)));
+  if (rng_.chance(0.4)) {
+    const int abort_idx = import_index("free");  // any noreturn-ish stand-in
+    if (abort_idx >= 0) asm_.call_addr(plt_entry_addr(static_cast<std::size_t>(abort_idx)));
+  }
+  if (f.fragment_called) {
+    asm_.ret();
+  } else {
+    asm_.jmp(frag_resume_.at(id));
+  }
+  func_extent_[static_cast<std::size_t>(id)] = {start, asm_.here() - start};
+}
+
+std::vector<std::uint8_t> Emitter::build_plt() const {
+  util::ByteWriter w;
+  auto pad_to = [&](std::size_t n) {
+    while (w.size() % n != 0) w.u8(0x90);
+  };
+  // PLT0: push GOT[1]; jmp GOT[2] (displacements are placeholders — the
+  // analyzers resolve PLT entries through relocations, not stub bytes).
+  w.u8(0xff);
+  w.u8(0x35);
+  w.u32(0);
+  w.u8(0xff);
+  w.u8(0x25);
+  w.u32(0);
+  pad_to(16);
+  for (std::size_t i = 0; i < prog_.imports.size(); ++i) {
+    // CET PLT stub: endbr; jmp [GOT slot]; pad.
+    w.u8(0xf3);
+    w.u8(0x0f);
+    w.u8(0x1e);
+    w.u8(is64_ ? 0xfa : 0xfb);
+    w.u8(0xff);
+    w.u8(0x25);
+    w.u32(0);
+    pad_to(16);
+  }
+  return w.take();
+}
+
+CodegenResult Emitter::run() {
+  const std::size_t n = prog_.funcs.size();
+  func_extent_.resize(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = prog_.funcs[i];
+    if (f.is_fragment && f.fragment_second_ref != kNoFunc)
+      second_refs_[f.fragment_second_ref].push_back(static_cast<FuncId>(i));
+  }
+
+  // Hosts for address-taken uses.
+  std::vector<FuncId> live;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!prog_.funcs[i].dead && !prog_.funcs[i].is_fragment)
+      live.push_back(static_cast<FuncId>(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = prog_.funcs[i];
+    if (f.address_taken && !f.is_fragment) {
+      FuncId host = live[static_cast<std::size_t>(rng_.range(0, live.size() - 1))];
+      if (host != static_cast<FuncId>(i))
+        host_addr_uses_[host].push_back(static_cast<FuncId>(i));
+    }
+  }
+
+  // ---- PLT --------------------------------------------------------------
+  const std::vector<std::uint8_t> plt_bytes = build_plt();
+  std::uint64_t text_addr = plt_addr_ + plt_bytes.size();
+  text_addr = (text_addr + 15) & ~std::uint64_t{15};
+
+  // Re-seat the assembler at the final .text address. (Assembler was
+  // constructed with base 0; rebuild it now that the address is known.)
+  asm_ = Assembler(mode_, text_addr);
+  entry_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) entry_.push_back(asm_.make_label());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = prog_.funcs[i];
+    if (f.is_fragment && !f.fragment_called) {
+      Label l = asm_.make_label();
+      frag_resume_.emplace(static_cast<FuncId>(i), l);
+      owner_resumes_[f.fragment_owner].push_back(l);
+    }
+  }
+
+  // ---- .text ------------------------------------------------------------
+  // _start.
+  const std::uint64_t start_addr = asm_.here();
+  truth_.functions.push_back(start_addr);
+  truth_.endbr_entries.push_back(start_addr);
+  asm_.endbr();
+  Label thunk_label = asm_.make_label();
+  if (prog_.pc_thunk) asm_.call(thunk_label);
+  asm_.xor_rr(Reg::kBp, Reg::kBp);
+  const FuncId main_fn = live.empty() ? 0 : live.front();
+  asm_.call(entry_[static_cast<std::size_t>(main_fn)]);
+  const int exit_idx = import_index("exit");
+  asm_.mov_rr(Reg::kDi, Reg::kAx);
+  if (exit_idx >= 0) asm_.call_addr(plt_entry_addr(static_cast<std::size_t>(exit_idx)));
+  asm_.hlt();
+  const std::uint64_t start_size = asm_.here() - start_addr;
+
+  // __x86.get_pc_thunk.bx (x86 PIE): mov ebx, [esp]; ret — a real
+  // function with no end-branch, reached only by direct calls (§V-A1).
+  std::uint64_t thunk_addr = 0, thunk_size = 0;
+  if (prog_.pc_thunk) {
+    asm_.bind(thunk_label);
+    thunk_addr = asm_.here();
+    truth_.functions.push_back(thunk_addr);
+    const std::uint8_t mov_ebx_esp[] = {0x8b, 0x1c, 0x24};
+    asm_.db(mov_ebx_esp);
+    asm_.ret();
+    thunk_size = asm_.here() - thunk_addr;
+  }
+
+  // Real functions in shuffled order; fragments last (far from owners).
+  std::vector<FuncId> order_real, order_frag;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (prog_.funcs[i].is_fragment)
+      order_frag.push_back(static_cast<FuncId>(i));
+    else
+      order_real.push_back(static_cast<FuncId>(i));
+  }
+  rng_.shuffle(order_real);
+  rng_.shuffle(order_frag);
+  for (FuncId id : order_real) emit_function(id);
+  for (FuncId id : order_frag) emit_fragment(id);
+
+  const std::uint64_t text_size = asm_.size();
+
+  // ---- .rodata (jump tables) ---------------------------------------------
+  std::uint64_t rodata_addr = (text_addr + text_size + 15) & ~std::uint64_t{15};
+  {
+    std::uint64_t off = 0;
+    for (auto& jt : jump_tables_) {
+      asm_.bind_to(jt.table, rodata_addr + off);
+      off += static_cast<std::uint64_t>(jt.cases.size()) * static_cast<std::uint64_t>(word_);
+    }
+  }
+
+  const std::vector<std::uint8_t> text_bytes = asm_.finish();
+  if (text_bytes.size() != text_size) throw EncodeError("text size drifted during finish");
+
+  util::ByteWriter rodata;
+  for (const auto& jt : jump_tables_) {
+    for (const Label& c : jt.cases) {
+      if (is64_)
+        rodata.u64(asm_.address_of(c));
+      else
+        rodata.u32(static_cast<std::uint32_t>(asm_.address_of(c)));
+    }
+  }
+
+  // ---- .gcc_except_table ---------------------------------------------------
+  const std::uint64_t gct_addr =
+      (rodata_addr + rodata.size() + 3) & ~std::uint64_t{3};
+  util::ByteWriter gct;
+  std::map<FuncId, std::uint64_t> lsda_addr;
+  for (std::size_t i = 0; i < lsdas_.size(); ++i) {
+    gct.align(4);
+    lsda_addr[lsda_owner_[i]] = gct_addr + gct.size();
+    gct.bytes(eh::build_lsda(lsdas_[i]));
+  }
+
+  // ---- .eh_frame -------------------------------------------------------------
+  const std::uint64_t eh_addr = (gct_addr + gct.size() + 7) & ~std::uint64_t{7};
+  std::vector<eh::Fde> fdes;
+  const bool fdes_for_all = prog_.emit_fdes || prog_.is_cpp;
+  if (fdes_for_all) {
+    fdes.push_back({start_addr, start_size, std::nullopt});
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& f = prog_.funcs[i];
+      if (f.is_fragment && !prog_.fragment_fdes) continue;
+      eh::Fde fde;
+      fde.pc_begin = func_extent_[i].first;
+      fde.pc_range = func_extent_[i].second;
+      if (auto it = lsda_addr.find(static_cast<FuncId>(i)); it != lsda_addr.end())
+        fde.lsda = it->second;
+      fdes.push_back(fde);
+    }
+    std::sort(fdes.begin(), fdes.end(),
+              [](const eh::Fde& a, const eh::Fde& b) { return a.pc_begin < b.pc_begin; });
+  }
+  std::vector<std::uint64_t> fde_addrs;
+  const std::vector<std::uint8_t> eh_bytes =
+      fdes_for_all ? eh::build_eh_frame(fdes, eh_addr, word_, &fde_addrs)
+                   : std::vector<std::uint8_t>{};
+
+  // ---- .eh_frame_hdr (the GNU_EH_FRAME binary-search table) ------------
+  const std::uint64_t ehhdr_addr = (eh_addr + eh_bytes.size() + 3) & ~std::uint64_t{3};
+  std::vector<std::uint8_t> ehhdr_bytes;
+  if (fdes_for_all) {
+    eh::EhFrameHdr hdr;
+    hdr.eh_frame_addr = eh_addr;
+    for (std::size_t i = 0; i < fdes.size(); ++i)
+      hdr.entries.push_back({fdes[i].pc_begin, fde_addrs[i]});
+    ehhdr_bytes = eh::build_eh_frame_hdr(hdr, ehhdr_addr);
+  }
+
+  // ---- .got.plt ----------------------------------------------------------------
+  const std::uint64_t got_addr =
+      (ehhdr_addr + ehhdr_bytes.size() + 7) & ~std::uint64_t{7};
+  const std::size_t got_size = static_cast<std::size_t>(word_) * (3 + prog_.imports.size());
+
+  // ---- assemble the image ---------------------------------------------------------
+  elf::Image img;
+  img.machine = prog_.machine;
+  img.kind = prog_.kind;
+  img.entry = start_addr;
+
+  auto add_section = [&](std::string name, std::uint32_t type, std::uint64_t flags,
+                         std::uint64_t addr, std::uint64_t align,
+                         std::vector<std::uint8_t> data) {
+    elf::Section s;
+    s.name = std::move(name);
+    s.type = type;
+    s.flags = flags;
+    s.addr = addr;
+    s.align = align;
+    s.data = std::move(data);
+    img.sections.push_back(std::move(s));
+  };
+  using namespace elf;
+  // CET binaries advertise IBT+SHSTK via a GNU property note
+  // (-fcf-protection=full implies both, §II).
+  add_section(".note.gnu.property", kShtNote, kShfAlloc, base_ + 0x200,
+              is64_ ? 8 : 4, build_gnu_property(prog_.machine,
+                                                kFeatureX86Ibt | kFeatureX86Shstk));
+  add_section(".plt", kShtProgbits, kShfAlloc | kShfExecinstr, plt_addr_, 16, plt_bytes);
+  add_section(".text", kShtProgbits, kShfAlloc | kShfExecinstr, text_addr, 16, text_bytes);
+  if (rodata.size() > 0)
+    add_section(".rodata", kShtProgbits, kShfAlloc, rodata_addr, 16, rodata.take());
+  if (gct.size() > 0)
+    add_section(".gcc_except_table", kShtProgbits, kShfAlloc, gct_addr, 4, gct.take());
+  if (!eh_bytes.empty())
+    add_section(".eh_frame", kShtProgbits, kShfAlloc, eh_addr, 8, eh_bytes);
+  if (!ehhdr_bytes.empty())
+    add_section(".eh_frame_hdr", kShtProgbits, kShfAlloc, ehhdr_addr, 4, ehhdr_bytes);
+  add_section(".got.plt", kShtProgbits, kShfAlloc | kShfWrite, got_addr, 8,
+              std::vector<std::uint8_t>(got_size, 0));
+
+  // PLT map + dynamic symbols.
+  for (std::size_t i = 0; i < prog_.imports.size(); ++i) {
+    img.plt.push_back({plt_entry_addr(i), prog_.imports[i]});
+    elf::Symbol sym;
+    sym.name = prog_.imports[i];
+    sym.info = st_info(kStbGlobal, kSttFunc);
+    img.dynsymbols.push_back(std::move(sym));
+  }
+
+  // Static symbols (the ground-truth side; stripped before evaluation).
+  auto add_func_symbol = [&](const std::string& name, std::uint64_t addr,
+                             std::uint64_t size, bool global) {
+    elf::Symbol sym;
+    sym.name = name;
+    sym.value = addr;
+    sym.size = size;
+    sym.info = st_info(global ? kStbGlobal : kStbLocal, kSttFunc);
+    sym.section = ".text";
+    img.symbols.push_back(std::move(sym));
+  };
+  add_func_symbol("_start", start_addr, start_size, true);
+  if (prog_.pc_thunk) add_func_symbol("__x86.get_pc_thunk.bx", thunk_addr, thunk_size, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = prog_.funcs[i];
+    add_func_symbol(f.name, func_extent_[i].first, func_extent_[i].second,
+                    !f.is_static && !f.is_fragment);
+    if (!f.is_fragment) {
+      truth_.functions.push_back(func_extent_[i].first);
+      if (f.dead) truth_.dead_functions.push_back(func_extent_[i].first);
+    } else {
+      truth_.fragments.push_back(func_extent_[i].first);
+    }
+  }
+
+  std::sort(truth_.functions.begin(), truth_.functions.end());
+  std::sort(truth_.fragments.begin(), truth_.fragments.end());
+  std::sort(truth_.endbr_entries.begin(), truth_.endbr_entries.end());
+  std::sort(truth_.setjmp_pads.begin(), truth_.setjmp_pads.end());
+  std::sort(truth_.landing_pads.begin(), truth_.landing_pads.end());
+  std::sort(truth_.dead_functions.begin(), truth_.dead_functions.end());
+
+  return {std::move(img), std::move(truth_)};
+}
+
+}  // namespace
+
+CodegenResult codegen(const SynthProgram& prog) {
+  Emitter emitter(prog);
+  return emitter.run();
+}
+
+}  // namespace fsr::synth

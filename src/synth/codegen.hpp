@@ -1,0 +1,27 @@
+// Code generator: lowers a SynthProgram to an elf::Image + GroundTruth.
+//
+// Layout mirrors a real linked binary:
+//   .plt               PLT0 + one 16-byte CET stub per import
+//   .text              _start, (x86-PIE: get_pc_thunk), functions
+//                      in shuffled order, .cold/.part fragments last
+//   .rodata            jump tables
+//   .gcc_except_table  one LSDA per function with landing pads
+//   .eh_frame          CIE + FDEs (per the compiler profile's policy)
+//   .got.plt           reserved + one slot per import
+// plus .symtab/.dynsym/.rel(a).plt synthesized by the ELF writer.
+#pragma once
+
+#include "elf/image.hpp"
+#include "synth/model.hpp"
+
+namespace fsr::synth {
+
+struct CodegenResult {
+  elf::Image image;
+  GroundTruth truth;
+};
+
+/// Lower the program. Deterministic for a given SynthProgram.
+CodegenResult codegen(const SynthProgram& prog);
+
+}  // namespace fsr::synth

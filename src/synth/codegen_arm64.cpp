@@ -1,0 +1,573 @@
+#include "synth/codegen_arm64.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "arm64/assembler.hpp"
+#include "eh/eh_frame.hpp"
+#include "eh/eh_frame_hdr.hpp"
+#include "eh/lsda.hpp"
+#include "elf/gnu_property.hpp"
+#include "elf/types.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fsr::synth {
+
+namespace {
+
+using arm64::Assembler;
+using arm64::Cond;
+using arm64::Label;
+using arm64::Reg;
+using util::Rng;
+
+/// x9..x15 are caller-saved temporaries no ABI role cares about.
+constexpr Reg kScratch[] = {9, 10, 11, 12, 13, 14, 15};
+
+constexpr const char* kIndirectReturnNames[] = {"setjmp", "_setjmp", "sigsetjmp",
+                                                "__sigsetjmp", "vfork"};
+
+bool is_indirect_return_name(const std::string& name) {
+  for (const char* n : kIndirectReturnNames)
+    if (name == n) return true;
+  return false;
+}
+
+class ArmEmitter {
+public:
+  explicit ArmEmitter(const SynthProgram& prog)
+      : prog_(prog),
+        base_(elf::default_base(prog.machine, prog.kind)),
+        plt_addr_(base_ + 0x400),
+        rng_(prog.seed ^ 0xB71B71ULL),
+        asm_(/*base=*/0) {}
+
+  CodegenResult run();
+
+private:
+  Reg scratch() { return kScratch[rng_.range(0, std::size(kScratch) - 1)]; }
+  [[nodiscard]] std::uint64_t plt_entry_addr(std::size_t i) const {
+    return plt_addr_ + 16 * (i + 1);
+  }
+  int import_index(const std::string& name) const {
+    for (std::size_t i = 0; i < prog_.imports.size(); ++i)
+      if (prog_.imports[i] == name) return static_cast<int>(i);
+    return -1;
+  }
+  int indirect_return_import() const {
+    for (std::size_t i = 0; i < prog_.imports.size(); ++i)
+      if (is_indirect_return_name(prog_.imports[i])) return static_cast<int>(i);
+    return -1;
+  }
+
+  void filler(int n);
+  void emit_if_else();
+  void emit_loop();
+  void emit_call(Label target);
+  void emit_plt_call(int import_idx);
+  void emit_setjmp_site();
+  void emit_addr_use(FuncId target);
+  void emit_frag_jmp(FuncId frag);
+  void emit_jump_table(const SynthFunction& f);
+  void emit_function(FuncId id);
+  void emit_fragment(FuncId id);
+  std::vector<std::uint8_t> build_plt() const;
+
+  const SynthProgram& prog_;
+  const std::uint64_t base_;
+  const std::uint64_t plt_addr_;
+  Rng rng_;
+  Assembler asm_;
+
+  struct JumpTableData {
+    Label table;
+    std::vector<Label> cases;
+  };
+
+  std::vector<Label> entry_;
+  std::map<FuncId, Label> frag_resume_;
+  std::map<FuncId, std::vector<Label>> owner_resumes_;
+  std::map<FuncId, std::vector<FuncId>> host_addr_uses_;
+  std::map<FuncId, std::vector<FuncId>> second_refs_;
+  std::vector<JumpTableData> jump_tables_;
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> cur_calls_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> func_extent_;
+  std::vector<eh::Lsda> lsdas_;
+  std::vector<FuncId> lsda_owner_;
+  GroundTruth truth_;
+};
+
+void ArmEmitter::filler(int n) {
+  for (int i = 0; i < n; ++i) {
+    const Reg a = scratch(), b = scratch(), c = scratch();
+    switch (rng_.range(0, 5)) {
+      case 0: asm_.movz(a, static_cast<std::uint16_t>(rng_.range(0, 0xffff))); break;
+      case 1: asm_.mov_rr(a, b); break;
+      case 2: asm_.add_rr(a, b, c); break;
+      case 3: asm_.sub_rr(a, b, c); break;
+      case 4: asm_.eor_rr(a, b, c); break;
+      case 5: asm_.mul_rr(a, b, c); break;
+    }
+  }
+}
+
+void ArmEmitter::emit_if_else() {
+  Label lelse = asm_.make_label();
+  Label lend = asm_.make_label();
+  asm_.cmp_ri(scratch(), static_cast<std::uint16_t>(rng_.range(0, 60)));
+  asm_.b_cond(static_cast<Cond>(rng_.range(0, 13)), lelse);
+  filler(static_cast<int>(rng_.range(1, 3)));
+  asm_.b(lend);  // direct-jump target at lend
+  asm_.bind(lelse);
+  filler(static_cast<int>(rng_.range(1, 2)));
+  asm_.bind(lend);
+}
+
+void ArmEmitter::emit_loop() {
+  Label lcond = asm_.make_label();
+  Label lbody = asm_.make_label();
+  const Reg ctr = scratch();
+  asm_.movz(ctr, static_cast<std::uint16_t>(rng_.range(1, 64)));
+  if (rng_.chance(0.7)) {
+    asm_.b(lcond);
+    asm_.bind(lbody);
+    filler(static_cast<int>(rng_.range(1, 3)));
+    asm_.bind(lcond);
+  } else {
+    asm_.bind(lbody);
+    filler(static_cast<int>(rng_.range(1, 3)));
+  }
+  asm_.cmp_ri(ctr, 0);
+  asm_.b_cond(Cond::kNe, lbody);
+}
+
+void ArmEmitter::emit_call(Label target) {
+  const std::uint64_t at = asm_.here();
+  asm_.bl(target);
+  cur_calls_.emplace_back(at, 4);
+}
+
+void ArmEmitter::emit_plt_call(int import_idx) {
+  const std::uint64_t at = asm_.here();
+  asm_.bl_addr(plt_entry_addr(static_cast<std::size_t>(import_idx)));
+  cur_calls_.emplace_back(at, 4);
+}
+
+void ArmEmitter::emit_setjmp_site() {
+  const int idx = indirect_return_import();
+  if (idx < 0) throw EncodeError("setjmp site without an indirect-return import");
+  asm_.movz(0, static_cast<std::uint16_t>(rng_.range(0x1000, 0x8000)));
+  const std::uint64_t at = asm_.here();
+  asm_.bl_addr(plt_entry_addr(static_cast<std::size_t>(idx)));
+  cur_calls_.emplace_back(at, 4);
+  // longjmp comes back via BR: the compiler plants `bti j` here — the
+  // AArch64 analogue of the endbr-after-setjmp pattern (§III-B2). Note
+  // that unlike ENDBR, `bti j` cannot be confused with a function
+  // entry, so BtiSeeker needs no FILTERENDBR for this case.
+  truth_.setjmp_pads.push_back(asm_.here());
+  asm_.bti(arm64::Kind::kBtiJ);
+  Label lskip = asm_.make_label();
+  asm_.cbnz(0, lskip);
+  filler(static_cast<int>(rng_.range(1, 2)));
+  asm_.bind(lskip);
+}
+
+void ArmEmitter::emit_addr_use(FuncId target) {
+  const Reg r = scratch();
+  asm_.load_addr(r, entry_[static_cast<std::size_t>(target)]);
+  asm_.blr(r);
+}
+
+void ArmEmitter::emit_frag_jmp(FuncId frag) {
+  Label lskip = asm_.make_label();
+  asm_.cmp_ri(scratch(), 0);
+  asm_.b_cond(Cond::kEq, lskip);
+  asm_.b(entry_[static_cast<std::size_t>(frag)]);
+  asm_.bind(lskip);
+}
+
+void ArmEmitter::emit_jump_table(const SynthFunction& f) {
+  JumpTableData jt;
+  jt.table = asm_.make_label();
+  Label ldefault = asm_.make_label();
+  Label lend = asm_.make_label();
+  const Reg idx = scratch();
+  const Reg tbl = scratch();
+  asm_.movz(idx, static_cast<std::uint16_t>(rng_.range(0, 2)));
+  asm_.cmp_ri(idx, static_cast<std::uint16_t>(f.jump_table_cases - 1));
+  asm_.b_cond(Cond::kHi, ldefault);
+  asm_.load_addr(tbl, jt.table);
+  // Real lowering loads the slot and does `br`; the load is modelled as
+  // filler (the analyzer only cares about the BR and the case markers).
+  asm_.add_rr(tbl, tbl, idx);
+  asm_.br(tbl);
+  for (int c = 0; c < f.jump_table_cases; ++c) {
+    Label lcase = asm_.make_label();
+    asm_.bind(lcase);
+    jt.cases.push_back(lcase);
+    // BR targets must carry `bti j` (no NOTRACK escape hatch on ARM).
+    asm_.bti(arm64::Kind::kBtiJ);
+    filler(static_cast<int>(rng_.range(1, 2)));
+    if (c + 1 != f.jump_table_cases) asm_.b(lend);
+  }
+  asm_.bind(ldefault);
+  filler(1);
+  asm_.bind(lend);
+  jump_tables_.push_back(std::move(jt));
+}
+
+void ArmEmitter::emit_function(FuncId id) {
+  const auto& f = prog_.funcs[static_cast<std::size_t>(id)];
+  asm_.bind(entry_[static_cast<std::size_t>(id)]);
+  const std::uint64_t start = asm_.here();
+  cur_calls_.clear();
+
+  if (f.has_endbr()) {  // "endbr" = entry marker = bti c on this target
+    truth_.endbr_entries.push_back(start);
+    asm_.bti(arm64::Kind::kBtiC);
+  }
+  bool framed = false;
+  if (f.frame_pointer) {
+    framed = true;
+    asm_.stp_fp_lr_pre();
+    asm_.mov_fp_sp();
+    if (rng_.chance(0.8)) asm_.sub_sp(static_cast<std::uint16_t>(rng_.range(1, 8) * 16));
+  } else if (rng_.chance(0.5)) {
+    asm_.sub_sp(static_cast<std::uint16_t>(rng_.range(1, 4) * 16));
+  }
+
+  struct Feature {
+    enum Kind { kCall, kPlt, kSetjmp, kFragJmp, kFragCall, kAddrUse, kJumpTable } kind;
+    FuncId arg = kNoFunc;
+  };
+  std::vector<Feature> features;
+  for (FuncId callee : f.callees) features.push_back({Feature::kCall, callee});
+  for (int imp : f.plt_callees) features.push_back({Feature::kPlt, imp});
+  for (int s = 0; s < f.setjmp_sites; ++s) features.push_back({Feature::kSetjmp, 0});
+  if (f.has_jump_table) features.push_back({Feature::kJumpTable, 0});
+  for (FuncId g = 0; g < static_cast<FuncId>(prog_.funcs.size()); ++g) {
+    const auto& frag = prog_.funcs[static_cast<std::size_t>(g)];
+    if (!frag.is_fragment || frag.fragment_owner != id) continue;
+    features.push_back({frag.fragment_called ? Feature::kFragCall : Feature::kFragJmp, g});
+  }
+  if (auto it = second_refs_.find(id); it != second_refs_.end())
+    for (FuncId g : it->second) features.push_back({Feature::kFragJmp, g});
+  if (auto it = host_addr_uses_.find(id); it != host_addr_uses_.end())
+    for (FuncId g : it->second) features.push_back({Feature::kAddrUse, g});
+  if (f.landing_pads > 0 && f.callees.empty() && f.plt_callees.empty())
+    features.push_back({Feature::kPlt, 1});
+  rng_.shuffle(features);
+
+  const auto owner_it = owner_resumes_.find(id);
+  const int nresume =
+      owner_it == owner_resumes_.end() ? 0 : static_cast<int>(owner_it->second.size());
+  const int blocks = std::max(f.body_blocks, nresume + 1);
+  std::size_t next_feature = 0;
+  for (int b = 0; b < blocks; ++b) {
+    filler(static_cast<int>(rng_.range(1, 4)));
+    if (b >= 1 && b <= nresume)
+      asm_.bind(owner_it->second[static_cast<std::size_t>(b - 1)]);
+    const bool last = b + 1 == blocks;
+    do {
+      if (next_feature < features.size()) {
+        const Feature& feat = features[next_feature++];
+        switch (feat.kind) {
+          case Feature::kCall: emit_call(entry_[static_cast<std::size_t>(feat.arg)]); break;
+          case Feature::kPlt: emit_plt_call(feat.arg); break;
+          case Feature::kSetjmp: emit_setjmp_site(); break;
+          case Feature::kFragJmp: emit_frag_jmp(feat.arg); break;
+          case Feature::kFragCall: emit_call(entry_[static_cast<std::size_t>(feat.arg)]); break;
+          case Feature::kAddrUse: emit_addr_use(feat.arg); break;
+          case Feature::kJumpTable: emit_jump_table(f); break;
+        }
+      }
+    } while (last && next_feature < features.size());
+    if (rng_.chance(0.72)) {
+      if (rng_.chance(0.6))
+        emit_if_else();
+      else
+        emit_loop();
+    }
+  }
+
+  if (framed) asm_.ldp_fp_lr_post();
+  if (f.tail_callee != kNoFunc) {
+    asm_.b(entry_[static_cast<std::size_t>(f.tail_callee)]);
+  } else {
+    asm_.ret();
+  }
+
+  if (f.landing_pads > 0) {
+    eh::Lsda lsda;
+    lsda.func_start = start;
+    const int unwind_idx = import_index("_Unwind_Resume");
+    for (int p = 0; p < f.landing_pads; ++p) {
+      const std::uint64_t pad = asm_.here();
+      truth_.landing_pads.push_back(pad);
+      asm_.bti(arm64::Kind::kBtiJ);  // the unwinder lands via BR
+      filler(static_cast<int>(rng_.range(1, 2)));
+      if (unwind_idx >= 0 && rng_.chance(0.7))
+        asm_.bl_addr(plt_entry_addr(static_cast<std::size_t>(unwind_idx)));
+      else
+        asm_.ret();
+      const auto& cs = cur_calls_[static_cast<std::size_t>(p) % cur_calls_.size()];
+      lsda.call_sites.push_back({cs.first, cs.second, pad, 1});
+    }
+    const std::size_t covered =
+        std::min(static_cast<std::size_t>(f.landing_pads), cur_calls_.size());
+    for (std::size_t i = covered; i < cur_calls_.size(); ++i)
+      lsda.call_sites.push_back({cur_calls_[i].first, cur_calls_[i].second, 0, 0});
+    std::sort(lsda.call_sites.begin(), lsda.call_sites.end(),
+              [](const eh::CallSite& a, const eh::CallSite& b) { return a.start < b.start; });
+    lsdas_.push_back(std::move(lsda));
+    lsda_owner_.push_back(id);
+  }
+
+  func_extent_[static_cast<std::size_t>(id)] = {start, asm_.here() - start};
+}
+
+void ArmEmitter::emit_fragment(FuncId id) {
+  const auto& f = prog_.funcs[static_cast<std::size_t>(id)];
+  asm_.bind(entry_[static_cast<std::size_t>(id)]);
+  const std::uint64_t start = asm_.here();
+  filler(static_cast<int>(rng_.range(2, 5)));
+  if (f.fragment_called) {
+    asm_.ret();
+  } else {
+    asm_.b(frag_resume_.at(id));
+  }
+  func_extent_[static_cast<std::size_t>(id)] = {start, asm_.here() - start};
+}
+
+std::vector<std::uint8_t> ArmEmitter::build_plt() const {
+  // PLT0 + 16-byte stubs: bti c; adrp x16; ldr x17; br x17.
+  Assembler pasm(plt_addr_);
+  pasm.nop();
+  pasm.nop();
+  pasm.nop();
+  pasm.nop();  // PLT0 placeholder
+  for (std::size_t i = 0; i < prog_.imports.size(); ++i) {
+    pasm.bti(arm64::Kind::kBtiC);
+    pasm.nop();  // adrp x16, got page  (placeholder; resolved via relocs)
+    pasm.nop();  // ldr x17, [x16, #off]
+    pasm.br(17);
+  }
+  return pasm.finish();
+}
+
+CodegenResult ArmEmitter::run() {
+  const std::size_t n = prog_.funcs.size();
+  func_extent_.resize(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = prog_.funcs[i];
+    if (f.is_fragment && f.fragment_second_ref != kNoFunc)
+      second_refs_[f.fragment_second_ref].push_back(static_cast<FuncId>(i));
+  }
+
+  const std::vector<std::uint8_t> plt_bytes = build_plt();
+  std::uint64_t text_addr = (plt_addr_ + plt_bytes.size() + 15) & ~std::uint64_t{15};
+
+  asm_ = Assembler(text_addr);
+  entry_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) entry_.push_back(asm_.make_label());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = prog_.funcs[i];
+    if (f.is_fragment && !f.fragment_called) {
+      Label l = asm_.make_label();
+      frag_resume_.emplace(static_cast<FuncId>(i), l);
+      owner_resumes_[f.fragment_owner].push_back(l);
+    }
+  }
+
+  std::vector<FuncId> live;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!prog_.funcs[i].dead && !prog_.funcs[i].is_fragment)
+      live.push_back(static_cast<FuncId>(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = prog_.funcs[i];
+    if (f.address_taken && !f.is_fragment) {
+      FuncId host = live[static_cast<std::size_t>(rng_.range(0, live.size() - 1))];
+      if (host != static_cast<FuncId>(i))
+        host_addr_uses_[host].push_back(static_cast<FuncId>(i));
+    }
+  }
+
+  // _start.
+  const std::uint64_t start_addr = asm_.here();
+  truth_.functions.push_back(start_addr);
+  truth_.endbr_entries.push_back(start_addr);
+  asm_.bti(arm64::Kind::kBtiC);
+  const FuncId main_fn = live.empty() ? 0 : live.front();
+  asm_.bl(entry_[static_cast<std::size_t>(main_fn)]);
+  const int exit_idx = import_index("exit");
+  asm_.movz(0, 0);
+  if (exit_idx >= 0) asm_.bl_addr(plt_entry_addr(static_cast<std::size_t>(exit_idx)));
+  asm_.udf();
+  const std::uint64_t start_size = asm_.here() - start_addr;
+
+  std::vector<FuncId> order_real, order_frag;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (prog_.funcs[i].is_fragment)
+      order_frag.push_back(static_cast<FuncId>(i));
+    else
+      order_real.push_back(static_cast<FuncId>(i));
+  }
+  rng_.shuffle(order_real);
+  rng_.shuffle(order_frag);
+  for (FuncId id : order_real) emit_function(id);
+  for (FuncId id : order_frag) emit_fragment(id);
+
+  const std::uint64_t text_size = asm_.size_bytes();
+
+  // Jump tables in .rodata (8-byte absolute slots).
+  std::uint64_t rodata_addr = (text_addr + text_size + 15) & ~std::uint64_t{15};
+  {
+    std::uint64_t off = 0;
+    for (auto& jt : jump_tables_) {
+      asm_.bind_to(jt.table, rodata_addr + off);
+      off += jt.cases.size() * 8;
+    }
+  }
+  const std::vector<std::uint8_t> text_bytes = asm_.finish();
+
+  util::ByteWriter rodata;
+  for (const auto& jt : jump_tables_)
+    for (const Label& c : jt.cases) rodata.u64(asm_.address_of(c));
+
+  const std::uint64_t gct_addr = (rodata_addr + rodata.size() + 3) & ~std::uint64_t{3};
+  util::ByteWriter gct;
+  std::map<FuncId, std::uint64_t> lsda_addr;
+  for (std::size_t i = 0; i < lsdas_.size(); ++i) {
+    gct.align(4);
+    lsda_addr[lsda_owner_[i]] = gct_addr + gct.size();
+    gct.bytes(eh::build_lsda(lsdas_[i]));
+  }
+
+  const std::uint64_t eh_addr = (gct_addr + gct.size() + 7) & ~std::uint64_t{7};
+  std::vector<eh::Fde> fdes;
+  const bool fdes_for_all = prog_.emit_fdes || prog_.is_cpp;
+  if (fdes_for_all) {
+    fdes.push_back({start_addr, start_size, std::nullopt});
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& f = prog_.funcs[i];
+      if (f.is_fragment && !prog_.fragment_fdes) continue;
+      eh::Fde fde;
+      fde.pc_begin = func_extent_[i].first;
+      fde.pc_range = func_extent_[i].second;
+      if (auto it = lsda_addr.find(static_cast<FuncId>(i)); it != lsda_addr.end())
+        fde.lsda = it->second;
+      fdes.push_back(fde);
+    }
+    std::sort(fdes.begin(), fdes.end(),
+              [](const eh::Fde& a, const eh::Fde& b) { return a.pc_begin < b.pc_begin; });
+  }
+  std::vector<std::uint64_t> fde_addrs;
+  const std::vector<std::uint8_t> eh_bytes =
+      fdes_for_all ? eh::build_eh_frame(fdes, eh_addr, 8, &fde_addrs)
+                   : std::vector<std::uint8_t>{};
+
+  const std::uint64_t ehhdr_addr = (eh_addr + eh_bytes.size() + 3) & ~std::uint64_t{3};
+  std::vector<std::uint8_t> ehhdr_bytes;
+  if (fdes_for_all) {
+    eh::EhFrameHdr hdr;
+    hdr.eh_frame_addr = eh_addr;
+    for (std::size_t i = 0; i < fdes.size(); ++i)
+      hdr.entries.push_back({fdes[i].pc_begin, fde_addrs[i]});
+    ehhdr_bytes = eh::build_eh_frame_hdr(hdr, ehhdr_addr);
+  }
+
+  const std::uint64_t got_addr =
+      (ehhdr_addr + ehhdr_bytes.size() + 7) & ~std::uint64_t{7};
+  const std::size_t got_size = 8 * (3 + prog_.imports.size());
+
+  elf::Image img;
+  img.machine = prog_.machine;
+  img.kind = prog_.kind;
+  img.entry = start_addr;
+  auto add_section = [&](std::string name, std::uint64_t flags, std::uint64_t addr,
+                         std::uint64_t align, std::vector<std::uint8_t> data) {
+    elf::Section s;
+    s.name = std::move(name);
+    s.type = elf::kShtProgbits;
+    s.flags = flags;
+    s.addr = addr;
+    s.align = align;
+    s.data = std::move(data);
+    img.sections.push_back(std::move(s));
+  };
+  using namespace elf;
+  {
+    elf::Section note;
+    note.name = ".note.gnu.property";
+    note.type = elf::kShtNote;
+    note.flags = kShfAlloc;
+    note.addr = base_ + 0x200;
+    note.align = 8;
+    note.data = build_gnu_property(prog_.machine, kFeatureArmBti);
+    img.sections.push_back(std::move(note));
+  }
+  add_section(".plt", kShfAlloc | kShfExecinstr, plt_addr_, 16, plt_bytes);
+  add_section(".text", kShfAlloc | kShfExecinstr, text_addr, 16, text_bytes);
+  if (rodata.size() > 0) add_section(".rodata", kShfAlloc, rodata_addr, 16, rodata.take());
+  if (gct.size() > 0)
+    add_section(".gcc_except_table", kShfAlloc, gct_addr, 4, gct.take());
+  if (!eh_bytes.empty()) add_section(".eh_frame", kShfAlloc, eh_addr, 8, eh_bytes);
+  if (!ehhdr_bytes.empty())
+    add_section(".eh_frame_hdr", kShfAlloc, ehhdr_addr, 4, ehhdr_bytes);
+  add_section(".got.plt", kShfAlloc | kShfWrite, got_addr, 8,
+              std::vector<std::uint8_t>(got_size, 0));
+
+  for (std::size_t i = 0; i < prog_.imports.size(); ++i) {
+    img.plt.push_back({plt_entry_addr(i), prog_.imports[i]});
+    elf::Symbol sym;
+    sym.name = prog_.imports[i];
+    sym.info = st_info(kStbGlobal, kSttFunc);
+    img.dynsymbols.push_back(std::move(sym));
+  }
+  auto add_func_symbol = [&](const std::string& name, std::uint64_t addr,
+                             std::uint64_t size, bool global) {
+    elf::Symbol sym;
+    sym.name = name;
+    sym.value = addr;
+    sym.size = size;
+    sym.info = st_info(global ? kStbGlobal : kStbLocal, kSttFunc);
+    sym.section = ".text";
+    img.symbols.push_back(std::move(sym));
+  };
+  add_func_symbol("_start", start_addr, start_size, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = prog_.funcs[i];
+    add_func_symbol(f.name, func_extent_[i].first, func_extent_[i].second,
+                    !f.is_static && !f.is_fragment);
+    if (!f.is_fragment) {
+      truth_.functions.push_back(func_extent_[i].first);
+      if (f.dead) truth_.dead_functions.push_back(func_extent_[i].first);
+    } else {
+      truth_.fragments.push_back(func_extent_[i].first);
+    }
+  }
+
+  std::sort(truth_.functions.begin(), truth_.functions.end());
+  std::sort(truth_.fragments.begin(), truth_.fragments.end());
+  std::sort(truth_.endbr_entries.begin(), truth_.endbr_entries.end());
+  std::sort(truth_.setjmp_pads.begin(), truth_.setjmp_pads.end());
+  std::sort(truth_.landing_pads.begin(), truth_.landing_pads.end());
+  std::sort(truth_.dead_functions.begin(), truth_.dead_functions.end());
+
+  return {std::move(img), std::move(truth_)};
+}
+
+}  // namespace
+
+CodegenResult codegen_arm64(const SynthProgram& prog) {
+  if (prog.machine != elf::Machine::kArm64)
+    throw UsageError("codegen_arm64 requires an AArch64 program");
+  ArmEmitter emitter(prog);
+  return emitter.run();
+}
+
+}  // namespace fsr::synth

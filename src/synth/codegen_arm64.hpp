@@ -1,0 +1,18 @@
+// AArch64/BTI code generator (paper §VI extension).
+//
+// Lowers the same SynthProgram model to ARMv8.5 code built with
+// -mbranch-protection=bti: non-static and address-taken functions open
+// with `bti c`, exception landing pads and setjmp return points with
+// `bti j`, switch dispatch uses BR with `bti j` case labels. Sections
+// and ground-truth semantics match the x86 generator (GroundTruth's
+// endbr_* fields hold the BTI marker addresses).
+#pragma once
+
+#include "synth/codegen.hpp"
+
+namespace fsr::synth {
+
+/// Lower for AArch64. prog.machine must be elf::Machine::kArm64.
+CodegenResult codegen_arm64(const SynthProgram& prog);
+
+}  // namespace fsr::synth

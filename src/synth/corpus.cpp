@@ -1,0 +1,67 @@
+#include "synth/corpus.hpp"
+
+#include <algorithm>
+
+#include "elf/writer.hpp"
+#include "synth/codegen_arm64.hpp"
+#include "synth/generate.hpp"
+
+namespace fsr::synth {
+
+std::vector<std::uint8_t> DatasetEntry::stripped_bytes() const {
+  elf::Image stripped = image;
+  stripped.strip();
+  return elf::write_elf(stripped);
+}
+
+std::vector<BinaryConfig> corpus_configs(double scale) {
+  std::vector<BinaryConfig> out;
+  for (Compiler compiler : kAllCompilers) {
+    for (Suite suite : kAllSuites) {
+      const int programs =
+          std::max(1, static_cast<int>(default_programs(suite) * scale));
+      for (int prog = 0; prog < programs; ++prog) {
+        for (elf::Machine machine : {elf::Machine::kX86, elf::Machine::kX8664}) {
+          for (elf::BinaryKind kind : {elf::BinaryKind::kExec, elf::BinaryKind::kPie}) {
+            for (OptLevel opt : kAllOptLevels) {
+              BinaryConfig cfg;
+              cfg.compiler = compiler;
+              cfg.suite = suite;
+              cfg.program_index = prog;
+              cfg.machine = machine;
+              cfg.kind = kind;
+              cfg.opt = opt;
+              out.push_back(cfg);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DatasetEntry make_binary(const BinaryConfig& cfg) {
+  return make_binary_variant(cfg, /*manual_endbr=*/false, /*data_in_text=*/0.0);
+}
+
+DatasetEntry make_binary_variant(const BinaryConfig& cfg, bool manual_endbr,
+                                 double data_in_text) {
+  DatasetEntry entry;
+  entry.config = cfg;
+  SynthProgram prog = generate_program(cfg);
+  if (manual_endbr) apply_manual_endbr(prog);
+  prog.data_in_text = data_in_text;
+  CodegenResult result = cfg.machine == elf::Machine::kArm64 ? codegen_arm64(prog)
+                                                             : codegen(prog);
+  entry.image = std::move(result.image);
+  entry.truth = std::move(result.truth);
+  return entry;
+}
+
+void for_each_binary(const std::vector<BinaryConfig>& configs,
+                     const std::function<void(const DatasetEntry&)>& fn) {
+  for (const auto& cfg : configs) fn(make_binary(cfg));
+}
+
+}  // namespace fsr::synth

@@ -1,0 +1,48 @@
+// Corpus enumeration: the synthetic stand-in for the paper's dataset of
+// 8,136 CET-enabled binaries (Coreutils + Binutils + SPEC CPU 2017,
+// GCC + Clang, x86 + x86-64, PIE + non-PIE, O0..Ofast).
+//
+// Binaries are generated on demand (deterministically from the config)
+// rather than stored, so experiments can stream a corpus of any scale.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "synth/codegen.hpp"
+#include "synth/profiles.hpp"
+
+namespace fsr::synth {
+
+/// One generated dataset entry.
+struct DatasetEntry {
+  BinaryConfig config;
+  elf::Image image;   // unstripped (symbols = ground-truth side)
+  GroundTruth truth;
+
+  /// Serialized, stripped ELF — what the analyzers are handed (the
+  /// paper strips all binaries before evaluation, §III-A).
+  [[nodiscard]] std::vector<std::uint8_t> stripped_bytes() const;
+};
+
+/// All configs of the default corpus. `scale` multiplies the number of
+/// programs per suite (1.0 = default scaled-down corpus; the full grid
+/// of 24 configurations per program is always enumerated).
+std::vector<BinaryConfig> corpus_configs(double scale = 1.0);
+
+/// Generate one dataset entry.
+DatasetEntry make_binary(const BinaryConfig& cfg);
+
+/// Variant generation for the §VI robustness experiments:
+/// `manual_endbr` applies the -mmanual-endbr simulation (see
+/// apply_manual_endbr), `data_in_text` sets the inline-data density.
+DatasetEntry make_binary_variant(const BinaryConfig& cfg, bool manual_endbr,
+                                 double data_in_text);
+
+/// Stream the corpus: generate each binary, hand it to the callback,
+/// and drop it (memory stays flat regardless of corpus size).
+void for_each_binary(const std::vector<BinaryConfig>& configs,
+                     const std::function<void(const DatasetEntry&)>& fn);
+
+}  // namespace fsr::synth

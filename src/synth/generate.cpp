@@ -1,0 +1,283 @@
+#include "synth/generate.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace fsr::synth {
+
+namespace {
+
+using util::Rng;
+
+/// Roles a real (non-fragment) function can play. The weights are
+/// calibrated against Figure 3 of the paper: ~89.3% of functions start
+/// with an end-branch, ~48.9% have no direct reference at all (library
+/// code linked in but only exported), ~10.5% are static and reachable
+/// only through direct calls, ~3.3% are tail-call targets.
+enum class Role {
+  kExportedUncalled,   // endbr; no internal reference        (~48.9%)
+  kExportedCalled,     // endbr; direct-called                (~37.8%)
+  kExportedCalledJmp,  // endbr; direct-called + tail-called  (~1.4%)
+  kExportedJmpOnly,    // endbr; tail-called only             (~1.2%)
+  kStaticCalled,       // no endbr; direct-called             (~10.0%)
+  kStaticCalledJmp,    // no endbr; called + tail-called      (~0.44%)
+  kStaticJmpOnly,      // no endbr; tail-called only          (~0.23%)
+  kDeadEndbr,          // endbr; dead (inside the 48.9% region)
+  kDeadPlain,          // no endbr; dead (the 0.01% "none" class)
+  kNoEndbrCalled,      // non-static without endbr (~0.15% intrinsics)
+};
+
+Role pick_role(Rng& rng) {
+  // Order must match the enum above. kDeadEndbr carves dead functions
+  // out of the "endbr, no reference" region, keeping the Figure 3
+  // totals intact.
+  const std::size_t i = rng.weighted({
+      47.04,  // kExportedUncalled
+      37.79,  // kExportedCalled
+      1.70,   // kExportedCalledJmp
+      1.45,   // kExportedJmpOnly
+      9.74,   // kStaticCalled
+      0.55,   // kStaticCalledJmp
+      0.30,   // kStaticJmpOnly
+      1.20,   // kDeadEndbr
+      0.10,   // kDeadPlain
+      0.13,   // kNoEndbrCalled
+  });
+  return static_cast<Role>(i);
+}
+
+bool role_is_called(Role r) {
+  return r == Role::kExportedCalled || r == Role::kExportedCalledJmp ||
+         r == Role::kStaticCalled || r == Role::kStaticCalledJmp ||
+         r == Role::kNoEndbrCalled;
+}
+
+bool role_is_tail_target(Role r) {
+  return r == Role::kExportedCalledJmp || r == Role::kExportedJmpOnly ||
+         r == Role::kStaticCalledJmp || r == Role::kStaticJmpOnly;
+}
+
+}  // namespace
+
+SynthProgram generate_program(const BinaryConfig& cfg) {
+  const GenParams params = derive_params(cfg);
+  Rng structural(program_seed(cfg));
+  Rng tuning(config_seed(cfg));
+
+  SynthProgram prog;
+  prog.name = cfg.name();
+  prog.machine = cfg.machine;
+  prog.kind = cfg.kind;
+  prog.seed = config_seed(cfg);
+  prog.emit_fdes = params.emit_fdes;
+  prog.fragment_fdes = params.gen_fragments_fde;
+  prog.pc_thunk = cfg.machine == elf::Machine::kX86 && cfg.kind == elf::BinaryKind::kPie;
+  // Roughly 60% of SPEC programs are C++ (fixed per program so the
+  // same program is C++ under every configuration).
+  prog.is_cpp = cfg.suite == Suite::kSpec && (cfg.program_index % 5) < 3;
+
+  const int n_funcs = static_cast<int>(
+      structural.skewed(static_cast<std::uint64_t>(params.min_funcs),
+                        static_cast<std::uint64_t>(params.mean_funcs),
+                        static_cast<std::uint64_t>(params.max_funcs)));
+
+  // --- assign roles -----------------------------------------------------
+  std::vector<Role> roles;
+  roles.reserve(static_cast<std::size_t>(n_funcs));
+  for (int i = 0; i < n_funcs; ++i) roles.push_back(pick_role(structural));
+  // Every binary needs at least one internally called function so the
+  // call graph below has somewhere to start.
+  if (std::none_of(roles.begin(), roles.end(), role_is_called))
+    roles[0] = Role::kExportedCalled;
+
+  for (int i = 0; i < n_funcs; ++i) {
+    SynthFunction f;
+    f.name = "fn_" + std::to_string(i);
+    const Role role = roles[static_cast<std::size_t>(i)];
+    switch (role) {
+      case Role::kExportedUncalled:
+        // A slice of these are address-taken inside the binary (spilled
+        // function pointers); the rest are exported-only.
+        f.address_taken = structural.chance(0.25);
+        break;
+      case Role::kExportedCalled:
+      case Role::kExportedCalledJmp:
+      case Role::kExportedJmpOnly:
+        break;
+      case Role::kStaticCalled:
+      case Role::kStaticCalledJmp:
+      case Role::kStaticJmpOnly:
+        f.is_static = true;
+        f.name = "local_" + std::to_string(i);
+        break;
+      case Role::kDeadEndbr:
+        f.dead = true;
+        break;
+      case Role::kDeadPlain:
+        f.dead = true;
+        f.is_static = true;
+        f.name = "local_" + std::to_string(i);
+        break;
+      case Role::kNoEndbrCalled:
+        f.suppress_endbr = true;
+        f.name = "__intrin_" + std::to_string(i);
+        break;
+    }
+    f.body_blocks = static_cast<int>(structural.skewed(1, static_cast<std::uint64_t>(params.mean_blocks), 24));
+    f.frame_pointer = tuning.chance(params.frac_frame_pointer);
+    f.has_jump_table = structural.chance(params.frac_jump_table) && f.body_blocks >= 3;
+    if (f.has_jump_table)
+      f.jump_table_cases = static_cast<int>(structural.range(3, 8));
+    f.align = params.func_align;
+    prog.funcs.push_back(std::move(f));
+  }
+
+  // --- wire up the call graph -------------------------------------------
+  // Callers may be any live real function; every "called" role receives
+  // one to three call sites, every tail-target role one or two tail
+  // calls (one for the single-reference class that SELECTTAILCALL
+  // cannot prove, per §V-C's false-negative analysis).
+  std::vector<FuncId> live;
+  for (int i = 0; i < n_funcs; ++i)
+    if (!prog.funcs[static_cast<std::size_t>(i)].dead) live.push_back(i);
+
+  auto random_live_caller = [&](FuncId exclude) -> FuncId {
+    for (int attempts = 0; attempts < 16; ++attempts) {
+      FuncId c = live[static_cast<std::size_t>(structural.range(0, live.size() - 1))];
+      if (c != exclude) return c;
+    }
+    return live.front() != exclude ? live.front() : live.back();
+  };
+
+  for (int i = 0; i < n_funcs; ++i) {
+    const Role role = roles[static_cast<std::size_t>(i)];
+    auto& f = prog.funcs[static_cast<std::size_t>(i)];
+    if (role_is_called(role)) {
+      const int ncallers = static_cast<int>(structural.range(1, 3));
+      for (int k = 0; k < ncallers; ++k) {
+        FuncId caller = random_live_caller(i);
+        prog.funcs[static_cast<std::size_t>(caller)].callees.push_back(i);
+      }
+    }
+    if (role_is_tail_target(role)) {
+      const bool jmp_only = role == Role::kExportedJmpOnly || role == Role::kStaticJmpOnly;
+      // Tail-only targets split into single-reference (invisible to
+      // SELECTTAILCALL's multi-reference condition) and multi-reference
+      // (recovered by it). Static single-reference ones become false
+      // negatives, so they are kept rare — the paper attributes only
+      // 6.7% of FunSeeker's misses to tail calls (§V-C).
+      const double single_ref = role == Role::kStaticJmpOnly ? 0.35 : 0.5;
+      const int nrefs = jmp_only ? (structural.chance(single_ref) ? 1 : 2)
+                                 : static_cast<int>(structural.range(1, 2));
+      for (int k = 0; k < nrefs; ++k) {
+        // Prefer a caller whose tail-call slot is free so the target
+        // really keeps a direct-jump reference.
+        FuncId caller = kNoFunc;
+        for (int attempt = 0; attempt < 12; ++attempt) {
+          FuncId cand = random_live_caller(i);
+          if (prog.funcs[static_cast<std::size_t>(cand)].tail_callee == kNoFunc) {
+            caller = cand;
+            break;
+          }
+        }
+        if (caller == kNoFunc) caller = random_live_caller(i);
+        auto& cf = prog.funcs[static_cast<std::size_t>(caller)];
+        if (cf.tail_callee == kNoFunc)
+          cf.tail_callee = i;
+        else
+          cf.callees.push_back(i);  // fall back to a plain call site
+      }
+    }
+    if (f.address_taken && !f.dead) {
+      // Somebody stores &f and calls it indirectly.
+      FuncId user = random_live_caller(i);
+      (void)user;  // address-taking is emitted by codegen from the flag
+    }
+  }
+
+  // Respect the configured tail-call density: at -O0 compilers do not
+  // emit sibling calls at all, so reroute tail edges into plain calls.
+  if (params.frac_tail_call <= 0.0) {
+    for (auto& f : prog.funcs) {
+      if (f.tail_callee != kNoFunc) {
+        f.callees.push_back(f.tail_callee);
+        f.tail_callee = kNoFunc;
+      }
+    }
+  }
+
+  // --- fragments (.part / .cold) ----------------------------------------
+  const int n_frag = static_cast<int>(params.frac_fragments * n_funcs +
+                                      (tuning.chance(params.frac_fragments * n_funcs -
+                                                     static_cast<int>(params.frac_fragments * n_funcs))
+                                           ? 1
+                                           : 0));
+  for (int k = 0; k < n_frag; ++k) {
+    SynthFunction frag;
+    FuncId owner = live[static_cast<std::size_t>(structural.range(0, live.size() - 1))];
+    frag.is_fragment = true;
+    frag.fragment_owner = owner;
+    const bool cold = tuning.chance(0.5);
+    frag.name = prog.funcs[static_cast<std::size_t>(owner)].name +
+                (cold ? ".cold" : ".part." + std::to_string(k));
+    frag.fragment_called = tuning.chance(params.frac_fragment_called);
+    if (!frag.fragment_called && tuning.chance(params.frac_fragment_shared))
+      frag.fragment_second_ref = random_live_caller(owner);
+    frag.body_blocks = static_cast<int>(tuning.range(1, 3));
+    frag.frame_pointer = false;
+    frag.align = 1;  // cold blocks are packed, not aligned
+    prog.funcs.push_back(std::move(frag));
+  }
+
+  // --- exception handling / setjmp / imports ------------------------------
+  prog.imports = {"exit", "malloc", "free", "memcpy", "printf", "strlen"};
+  if (prog.is_cpp) {
+    const double target_lps = params.lp_per_func * n_funcs;
+    int remaining = static_cast<int>(target_lps);
+    if (tuning.chance(target_lps - remaining)) ++remaining;
+    while (remaining > 0) {
+      auto& f = prog.funcs[static_cast<std::size_t>(
+          live[static_cast<std::size_t>(tuning.range(0, live.size() - 1))])];
+      if (f.is_fragment) continue;
+      const int pads = static_cast<int>(tuning.range(1, 3));
+      const int take = std::min(pads, remaining);
+      f.landing_pads += take;
+      remaining -= take;
+    }
+    prog.imports.push_back("_Unwind_Resume");
+    prog.imports.push_back("__cxa_begin_catch");
+    prog.imports.push_back("__cxa_end_catch");
+  }
+
+  int setjmp_sites = 0;
+  double expect = params.setjmp_sites_per_binary;
+  while (expect >= 1.0) {
+    ++setjmp_sites;
+    expect -= 1.0;
+  }
+  if (tuning.chance(expect)) ++setjmp_sites;
+  for (int k = 0; k < setjmp_sites; ++k) {
+    auto& f = prog.funcs[static_cast<std::size_t>(
+        live[static_cast<std::size_t>(tuning.range(0, live.size() - 1))])];
+    if (f.is_fragment) continue;
+    f.setjmp_sites += 1;
+  }
+  if (setjmp_sites > 0) {
+    prog.imports.push_back(tuning.chance(0.5) ? "_setjmp" : "__sigsetjmp");
+    if (tuning.chance(0.2)) prog.imports.push_back("vfork");
+  }
+
+  // Give every live function a couple of PLT call sites for flavour.
+  for (auto& f : prog.funcs) {
+    if (f.dead || f.is_fragment) continue;
+    const int n = static_cast<int>(tuning.range(0, 2));
+    for (int k = 0; k < n; ++k)
+      f.plt_callees.push_back(static_cast<int>(tuning.range(0, 5)));  // base imports
+  }
+
+  return prog;
+}
+
+}  // namespace fsr::synth

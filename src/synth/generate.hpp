@@ -1,0 +1,18 @@
+// Program-structure generator.
+//
+// Builds a SynthProgram (function list, linkage, call graph, EH usage)
+// from a BinaryConfig. Structure derives from program_seed(), so one
+// "source program" keeps its skeleton across the 24 build configurations
+// it appears in — mirroring how the paper's dataset compiles each
+// package many ways.
+#pragma once
+
+#include "synth/model.hpp"
+#include "synth/profiles.hpp"
+
+namespace fsr::synth {
+
+/// Generate the program model for one dataset cell.
+SynthProgram generate_program(const BinaryConfig& cfg);
+
+}  // namespace fsr::synth

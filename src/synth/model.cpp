@@ -1,0 +1,35 @@
+#include "synth/model.hpp"
+
+#include <algorithm>
+
+namespace fsr::synth {
+
+std::size_t SynthProgram::real_function_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(funcs.begin(), funcs.end(),
+                    [](const SynthFunction& f) { return !f.is_fragment; }));
+}
+
+std::size_t SynthProgram::fragment_count() const {
+  return funcs.size() - real_function_count();
+}
+
+void apply_manual_endbr(SynthProgram& prog) {
+  // Which functions carry an internal direct reference?
+  std::vector<bool> referenced(prog.funcs.size(), false);
+  for (const auto& f : prog.funcs) {
+    for (FuncId c : f.callees) referenced[static_cast<std::size_t>(c)] = true;
+    if (f.tail_callee != kNoFunc)
+      referenced[static_cast<std::size_t>(f.tail_callee)] = true;
+  }
+  for (std::size_t i = 0; i < prog.funcs.size(); ++i) {
+    auto& f = prog.funcs[i];
+    if (f.is_fragment || f.is_static) continue;  // already unmarked
+    if (f.address_taken) continue;               // indirect target: must keep
+    if (referenced[i] || f.dead) f.suppress_endbr = true;
+    // Exported functions with no internal reference keep their marker:
+    // external modules can still reach them indirectly via the PLT.
+  }
+}
+
+}  // namespace fsr::synth

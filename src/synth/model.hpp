@@ -1,0 +1,122 @@
+// Synthetic program model.
+//
+// A SynthProgram is the generator's intermediate representation: a set
+// of functions with the attributes that matter to CET-era function
+// identification (linkage, address-takenness, exception handling,
+// indirect-return call sites, tail calls, cold/part fragments, dead
+// code). The generator (generate.hpp) fills the model; the code
+// generator (codegen.hpp) lowers it to an elf::Image plus exact ground
+// truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elf/image.hpp"
+
+namespace fsr::synth {
+
+/// Index into SynthProgram::funcs; -1 = none.
+using FuncId = int;
+inline constexpr FuncId kNoFunc = -1;
+
+struct SynthFunction {
+  std::string name;
+
+  // Linkage / reference properties. Non-static functions receive an
+  // end-branch marker (paper §III-B1); static ones only when their
+  // address is taken.
+  bool is_static = false;
+  bool address_taken = false;
+  /// Rare non-static functions without endbr (intrinsic-like, ~0.15%).
+  bool suppress_endbr = false;
+  /// Never referenced by any instruction.
+  bool dead = false;
+
+  // Cold/part fragments: carry a FUNC symbol with a ".part.N"/".cold"
+  // suffix but are not real functions (excluded from ground truth,
+  // paper §V-A1).
+  bool is_fragment = false;
+  FuncId fragment_owner = kNoFunc;
+  /// Fragment is entered via CALL instead of JMP (the 42.9% FP class).
+  bool fragment_called = false;
+  /// Fragment referenced from a second function besides the owner
+  /// (makes it pass SELECTTAILCALL's multi-reference condition).
+  FuncId fragment_second_ref = kNoFunc;
+
+  // Body features.
+  int body_blocks = 3;                 // size knob
+  std::vector<FuncId> callees;         // direct call targets
+  std::vector<int> plt_callees;        // indices into SynthProgram::imports
+  FuncId tail_callee = kNoFunc;        // direct jmp at the end (tail call)
+  int landing_pads = 0;                // C++ catch/cleanup blocks
+  int setjmp_sites = 0;                // indirect-return call sites
+  bool has_jump_table = false;         // NOTRACK switch dispatch
+  int jump_table_cases = 4;
+  /// Emit the canonical frame-pointer prologue (push rBP; mov rBP,rSP)
+  /// — what signature-based tools (IDA-like baseline) key on.
+  bool frame_pointer = true;
+  int align = 16;
+
+  [[nodiscard]] bool has_endbr() const {
+    if (is_fragment) return false;
+    if (suppress_endbr) return false;
+    return !is_static || address_taken;
+  }
+};
+
+struct SynthProgram {
+  std::string name;
+  elf::Machine machine = elf::Machine::kX8664;
+  elf::BinaryKind kind = elf::BinaryKind::kPie;
+  bool is_cpp = false;
+  /// Emit DWARF FDEs (.eh_frame). When false, only functions with
+  /// landing pads get FDEs (they are required to unwind) — none in
+  /// practice, since C binaries have no landing pads.
+  bool emit_fdes = true;
+  /// Include the __x86.get_pc_thunk.bx helper (x86 PIE only).
+  bool pc_thunk = false;
+  /// GCC gives .part/.cold fragments their own FDEs (the ~3.3% of FDEs
+  /// the paper notes are not real functions); Clang has no fragments.
+  bool fragment_fdes = true;
+
+  std::vector<SynthFunction> funcs;
+  std::vector<std::string> imports;  // PLT symbol names, in PLT order
+  std::uint64_t seed = 0;            // per-binary codegen stream seed
+
+  /// Probability of a raw data blob being placed in front of a
+  /// function (hand-written-assembly-style data in .text, the linear-
+  /// sweep hazard of paper §VI). 0 = compiler-clean text.
+  double data_in_text = 0.0;
+
+  [[nodiscard]] std::size_t real_function_count() const;
+  [[nodiscard]] std::size_t fragment_count() const;
+};
+
+/// Simulate the -mmanual-endbr build mode discussed in §VI: developers
+/// keep end-branches only where indirect transfers can land — address-
+/// taken functions and exported functions with no internal reference
+/// (those remain callable through the PLT from other modules). Every
+/// internally-referenced or dead function loses its marker. The paper
+/// predicts FunSeeker loses only direct-tail-call targets and
+/// unreachable functions, ~1.24% of the total.
+void apply_manual_endbr(SynthProgram& prog);
+
+/// Exact ground truth produced by codegen. All vectors sorted.
+struct GroundTruth {
+  /// True function entry addresses (fragments excluded, §V-A1).
+  std::vector<std::uint64_t> functions;
+  /// .part/.cold fragment entries (have FUNC symbols; not functions).
+  std::vector<std::uint64_t> fragments;
+  /// Entries (subset of functions) that begin with an end-branch.
+  std::vector<std::uint64_t> endbr_entries;
+  /// End-branch addresses right after indirect-return call sites.
+  std::vector<std::uint64_t> setjmp_pads;
+  /// End-branch addresses at exception landing pads.
+  std::vector<std::uint64_t> landing_pads;
+  /// Functions never referenced by any instruction (subset of functions).
+  std::vector<std::uint64_t> dead_functions;
+};
+
+}  // namespace fsr::synth

@@ -1,0 +1,155 @@
+#include "synth/profiles.hpp"
+
+#include <cstdio>
+
+namespace fsr::synth {
+
+std::string to_string(Compiler c) {
+  return c == Compiler::kGcc ? "gcc" : "clang";
+}
+
+std::string to_string(Suite s) {
+  switch (s) {
+    case Suite::kCoreutils: return "coreutils";
+    case Suite::kBinutils: return "binutils";
+    case Suite::kSpec: return "spec";
+  }
+  return "?";
+}
+
+std::string to_string(OptLevel o) {
+  switch (o) {
+    case OptLevel::kO0: return "O0";
+    case OptLevel::kO1: return "O1";
+    case OptLevel::kO2: return "O2";
+    case OptLevel::kO3: return "O3";
+    case OptLevel::kOs: return "Os";
+    case OptLevel::kOfast: return "Ofast";
+  }
+  return "?";
+}
+
+std::string BinaryConfig::name() const {
+  const char* arch = "x86";
+  if (machine == elf::Machine::kX8664) arch = "x64";
+  if (machine == elf::Machine::kArm64) arch = "arm64";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s-%s-%02d-%s-%s-%s", to_string(compiler).c_str(),
+                to_string(suite).c_str(), program_index, arch,
+                kind == elf::BinaryKind::kPie ? "pie" : "exec", to_string(opt).c_str());
+  return buf;
+}
+
+int default_programs(Suite s) {
+  // Scaled-down stand-ins for 108 / 15 / 47 programs. Proportions are
+  // kept (Coreutils largest in count, SPEC largest in code) while the
+  // total corpus stays tractable for the benchmark harness.
+  switch (s) {
+    case Suite::kCoreutils: return 14;
+    case Suite::kBinutils: return 4;
+    case Suite::kSpec: return 8;
+  }
+  return 1;
+}
+
+GenParams derive_params(const BinaryConfig& cfg) {
+  GenParams p;
+
+  // --- suite: program size and composition ----------------------------
+  switch (cfg.suite) {
+    case Suite::kCoreutils:
+      p.min_funcs = 50;
+      p.mean_funcs = 90;
+      p.max_funcs = 170;
+      p.setjmp_sites_per_binary = 0.06;  // ls/sort use setjmp
+      break;
+    case Suite::kBinutils:
+      p.min_funcs = 140;
+      p.mean_funcs = 260;
+      p.max_funcs = 420;
+      p.setjmp_sites_per_binary = 0.05;
+      break;
+    case Suite::kSpec:
+      p.min_funcs = 120;
+      p.mean_funcs = 230;
+      p.max_funcs = 420;
+      p.setjmp_sites_per_binary = 0.04;
+      break;
+  }
+
+  // --- compiler --------------------------------------------------------
+  const bool gcc = cfg.compiler == Compiler::kGcc;
+  // GCC splits functions into .part/.cold blocks at -O2 and above;
+  // Clang effectively does not (Table II: Clang precision reaches 100%).
+  const bool opt_splits = cfg.opt != OptLevel::kO0 && cfg.opt != OptLevel::kO1;
+  p.frac_fragments = gcc && opt_splits ? 0.022 : 0.0;
+
+  // Clang emits no FDEs for 32-bit C binaries (paper §V-C); C++
+  // binaries always carry them (required to unwind).
+  p.emit_fdes = !(cfg.compiler == Compiler::kClang && cfg.machine == elf::Machine::kX86);
+  p.gen_fragments_fde = gcc;
+
+  // --- optimization level ----------------------------------------------
+  switch (cfg.opt) {
+    case OptLevel::kO0:
+      p.mean_blocks = 6.5;
+      p.frac_frame_pointer = 0.99;
+      p.frac_tail_call = 0.0;  // no sibling-call optimization at -O0
+      p.frac_tail_only_target = 0.0;
+      p.func_align = 16;
+      break;
+    case OptLevel::kO1:
+      p.mean_blocks = 5.0;
+      p.frac_frame_pointer = 0.75;
+      p.frac_tail_call = 0.03;
+      p.frac_tail_only_target = 0.008;
+      p.func_align = 16;
+      break;
+    case OptLevel::kO2:
+    case OptLevel::kO3:
+    case OptLevel::kOfast:
+      p.mean_blocks = cfg.opt == OptLevel::kO2 ? 4.5 : 5.5;  // O3/Ofast inline more
+      p.frac_frame_pointer = 0.42;
+      p.frac_tail_call = 0.06;
+      p.frac_tail_only_target = 0.015;
+      p.func_align = 16;
+      break;
+    case OptLevel::kOs:
+      p.mean_blocks = 3.8;
+      p.frac_frame_pointer = 0.5;
+      p.frac_tail_call = 0.07;
+      p.frac_tail_only_target = 0.015;
+      p.func_align = 1;  // -Os drops function alignment padding
+      break;
+  }
+
+  // --- C++ exception handling (SPEC only) -------------------------------
+  // Calibrated so the per-suite share of end-branch instructions found
+  // at landing pads matches Table I (~20% GCC SPEC, ~28% Clang SPEC,
+  // aggregated over the suite's mixed C/C++ programs).
+  if (cfg.suite == Suite::kSpec) {
+    // is_cpp is decided per program in the generator; these are the
+    // landing-pad densities for the C++ programs.
+    p.lp_per_func = gcc ? 0.30 : 0.46;
+  }
+
+  return p;
+}
+
+std::uint64_t program_seed(const BinaryConfig& cfg) {
+  // Only suite + program index: the same "source program" shares its
+  // structural skeleton across compilers, architectures and opt levels.
+  return 0x5eed0000ULL ^ (static_cast<std::uint64_t>(cfg.suite) << 32) ^
+         static_cast<std::uint64_t>(cfg.program_index);
+}
+
+std::uint64_t config_seed(const BinaryConfig& cfg) {
+  std::uint64_t s = program_seed(cfg);
+  s = s * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(cfg.compiler);
+  s = s * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(cfg.machine);
+  s = s * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(cfg.kind);
+  s = s * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(cfg.opt);
+  return s;
+}
+
+}  // namespace fsr::synth

@@ -1,0 +1,87 @@
+// Compiler / suite / optimization profiles.
+//
+// A BinaryConfig names one cell of the paper's dataset grid: 2 compilers
+// x 3 suites x 2 architectures x PIE/non-PIE x 6 optimization levels.
+// derive_params() maps a config to the generation knobs, calibrated so
+// the synthetic corpus reproduces the distributions the paper measures
+// (Table I end-branch locations, Figure 3 property overlap) and the
+// compiler behaviours its evaluation hinges on (GCC function splitting,
+// Clang's missing x86 FDEs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "elf/image.hpp"
+
+namespace fsr::synth {
+
+enum class Compiler { kGcc, kClang };
+enum class Suite { kCoreutils, kBinutils, kSpec };
+enum class OptLevel { kO0, kO1, kO2, kO3, kOs, kOfast };
+
+inline constexpr Compiler kAllCompilers[] = {Compiler::kGcc, Compiler::kClang};
+inline constexpr Suite kAllSuites[] = {Suite::kCoreutils, Suite::kBinutils, Suite::kSpec};
+inline constexpr OptLevel kAllOptLevels[] = {OptLevel::kO0, OptLevel::kO1, OptLevel::kO2,
+                                             OptLevel::kO3, OptLevel::kOs, OptLevel::kOfast};
+
+std::string to_string(Compiler c);
+std::string to_string(Suite s);
+std::string to_string(OptLevel o);
+
+/// One dataset cell: which program, compiled how.
+struct BinaryConfig {
+  Compiler compiler = Compiler::kGcc;
+  Suite suite = Suite::kCoreutils;
+  int program_index = 0;  // program within the suite
+  elf::Machine machine = elf::Machine::kX8664;
+  elf::BinaryKind kind = elf::BinaryKind::kPie;
+  OptLevel opt = OptLevel::kO2;
+
+  /// e.g. "gcc-coreutils-03-x64-pie-O2".
+  [[nodiscard]] std::string name() const;
+};
+
+/// Generation knobs derived from a config. Fractions are of real
+/// functions unless stated otherwise.
+struct GenParams {
+  int min_funcs = 40;
+  int mean_funcs = 90;
+  int max_funcs = 400;
+
+  double frac_static = 0.12;            // static linkage, no address taken
+  double frac_addr_taken = 0.10;        // address-taken (forces endbr)
+  double frac_endbr_suppressed = 0.0015;  // non-static without endbr
+  double frac_dead_endbr = 0.01;        // dead functions that keep endbr
+  double frac_dead_plain = 0.0004;      // dead static functions (the 0.01% class)
+  double frac_fragments = 0.0;          // .part/.cold per real function
+  double frac_fragment_called = 0.43;   // fragments entered via CALL
+  double frac_fragment_shared = 0.35;   // fragments with a second referrer
+  double frac_tail_call = 0.045;        // functions ending in a tail call
+  double frac_tail_only_target = 0.012; // functions referenced only by one tail call
+  double lp_per_func = 0.0;             // landing pads per real function
+  double setjmp_sites_per_binary = 0.0;
+  double frac_jump_table = 0.03;
+  double frac_frame_pointer = 0.95;     // canonical prologue emission
+  double mean_blocks = 5.0;
+  int func_align = 16;
+  bool emit_fdes = true;
+  bool gen_fragments_fde = true;        // GCC gives fragments their own FDE
+  double frac_uncalled_nonstatic = 0.52;  // exported-but-uncalled (EndBr-only class)
+};
+
+/// Programs per suite in the default corpus (scaled-down stand-ins for
+/// 108 Coreutils / 15 Binutils / 47 SPEC programs).
+int default_programs(Suite s);
+
+/// Map a config to generation knobs.
+GenParams derive_params(const BinaryConfig& cfg);
+
+/// Deterministic structural seed: same program => same call-graph
+/// skeleton across configs (mirrors compiling one source 24 ways).
+std::uint64_t program_seed(const BinaryConfig& cfg);
+
+/// Deterministic codegen seed: varies per full config.
+std::uint64_t config_seed(const BinaryConfig& cfg);
+
+}  // namespace fsr::synth

@@ -1,0 +1,129 @@
+#include "util/bytes.hpp"
+
+#include "util/error.hpp"
+
+namespace fsr::util {
+
+void ByteReader::require(std::size_t n) const {
+  if (pos_ + n > data_.size() || pos_ + n < pos_)
+    throw ParseError("read of " + std::to_string(n) + " bytes at offset " +
+                     std::to_string(pos_) + " exceeds buffer of " +
+                     std::to_string(data_.size()));
+}
+
+void ByteReader::seek(std::size_t offset) {
+  if (offset > data_.size())
+    throw ParseError("seek to " + std::to_string(offset) + " exceeds buffer of " +
+                     std::to_string(data_.size()));
+  pos_ = offset;
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  require(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+std::vector<std::uint8_t> ByteReader::bytes(std::size_t n) {
+  require(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::span<const std::uint8_t> ByteReader::view(std::size_t n) {
+  require(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::cstring() {
+  std::string out;
+  for (;;) {
+    std::uint8_t c = u8();
+    if (c == 0) break;
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+std::uint8_t ByteReader::peek(std::size_t delta) const {
+  if (pos_ + delta >= data_.size())
+    throw ParseError("peek past end of buffer");
+  return data_[pos_ + delta];
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void ByteWriter::cstring(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+  buf_.push_back(0);
+}
+
+void ByteWriter::fill(std::size_t n, std::uint8_t b) {
+  buf_.insert(buf_.end(), n, b);
+}
+
+void ByteWriter::align(std::size_t alignment, std::uint8_t filler) {
+  if (alignment == 0) throw UsageError("alignment must be nonzero");
+  while (buf_.size() % alignment != 0) buf_.push_back(filler);
+}
+
+void ByteWriter::patch_u32(std::size_t at, std::uint32_t v) {
+  if (at + 4 > buf_.size()) throw UsageError("patch_u32 out of range");
+  for (int i = 0; i < 4; ++i)
+    buf_[at + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void ByteWriter::patch_u64(std::size_t at, std::uint64_t v) {
+  if (at + 8 > buf_.size()) throw UsageError("patch_u64 out of range");
+  for (int i = 0; i < 8; ++i)
+    buf_[at + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+}  // namespace fsr::util

@@ -1,0 +1,98 @@
+// Little-endian byte buffer reader/writer.
+//
+// Every binary structure in this project (ELF headers, x86 machine code,
+// DWARF EH tables) is little-endian, so the reader/writer are fixed to
+// little-endian and do not attempt to be generic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsr::util {
+
+/// Sequential reader over a read-only byte span. Bounds-checked: any
+/// attempt to read past the end throws fsr::ParseError.
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const std::uint8_t> data, std::size_t offset = 0)
+      : data_(data), pos_(offset) {}
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t remaining() const {
+    return pos_ <= data_.size() ? data_.size() - pos_ : 0;
+  }
+  [[nodiscard]] bool eof() const { return pos_ >= data_.size(); }
+
+  /// Reposition the cursor. Seeking beyond the end throws.
+  void seek(std::size_t offset);
+  /// Advance the cursor by n bytes. Throws if that passes the end.
+  void skip(std::size_t n);
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+  std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  /// Read exactly n bytes.
+  std::vector<std::uint8_t> bytes(std::size_t n);
+  /// View n bytes without copying; the view is valid as long as the
+  /// underlying buffer is.
+  std::span<const std::uint8_t> view(std::size_t n);
+  /// Read a NUL-terminated string (the NUL is consumed, not returned).
+  std::string cstring();
+
+  /// Peek a byte at pos()+delta without moving the cursor.
+  [[nodiscard]] std::uint8_t peek(std::size_t delta = 0) const;
+
+private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Growable little-endian byte sink.
+class ByteWriter {
+public:
+  ByteWriter() = default;
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+  void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void bytes(std::span<const std::uint8_t> b);
+  /// Write the string contents followed by a NUL terminator.
+  void cstring(std::string_view s);
+  /// Append n copies of the given filler byte.
+  void fill(std::size_t n, std::uint8_t b = 0);
+  /// Pad with filler bytes until size() is a multiple of alignment.
+  void align(std::size_t alignment, std::uint8_t filler = 0);
+
+  /// Overwrite 4 bytes at a previously written offset (for back-patching
+  /// length fields and relative offsets).
+  void patch_u32(std::size_t at, std::uint32_t v);
+  void patch_u64(std::size_t at, std::uint64_t v);
+
+private:
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace fsr::util

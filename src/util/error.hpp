@@ -1,0 +1,39 @@
+// Error types shared across the reproduction libraries.
+//
+// Substrate code throws these on malformed input (truncated ELF, bad
+// DWARF encodings, ...). Analysis code that must be robust against
+// arbitrary bytes (the linear-sweep disassembler) reports recoverable
+// failures through return values instead; exceptions are reserved for
+// "the caller handed us something structurally broken".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fsr {
+
+/// Base class for all errors raised by this project.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when parsing a malformed or truncated binary structure.
+class ParseError : public Error {
+public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Raised when an encoder/builder is asked to produce something it cannot.
+class EncodeError : public Error {
+public:
+  explicit EncodeError(const std::string& what) : Error("encode error: " + what) {}
+};
+
+/// Raised on API misuse (precondition violation detectable at run time).
+class UsageError : public Error {
+public:
+  explicit UsageError(const std::string& what) : Error("usage error: " + what) {}
+};
+
+}  // namespace fsr

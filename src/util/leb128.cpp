@@ -1,0 +1,80 @@
+#include "util/leb128.hpp"
+
+#include "util/error.hpp"
+
+namespace fsr::util {
+
+std::uint64_t read_uleb128(ByteReader& r) {
+  std::uint64_t result = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (shift >= 64) throw ParseError("ULEB128 value exceeds 64 bits");
+    std::uint8_t byte = r.u8();
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+  }
+}
+
+std::int64_t read_sleb128(ByteReader& r) {
+  std::int64_t result = 0;
+  unsigned shift = 0;
+  std::uint8_t byte = 0;
+  for (;;) {
+    if (shift >= 64) throw ParseError("SLEB128 value exceeds 64 bits");
+    byte = r.u8();
+    result |= static_cast<std::int64_t>(static_cast<std::uint64_t>(byte & 0x7f) << shift);
+    shift += 7;
+    if ((byte & 0x80) == 0) break;
+  }
+  if (shift < 64 && (byte & 0x40) != 0)
+    result |= -(static_cast<std::int64_t>(1) << shift);
+  return result;
+}
+
+void write_uleb128(ByteWriter& w, std::uint64_t value) {
+  do {
+    std::uint8_t byte = value & 0x7f;
+    value >>= 7;
+    if (value != 0) byte |= 0x80;
+    w.u8(byte);
+  } while (value != 0);
+}
+
+void write_sleb128(ByteWriter& w, std::int64_t value) {
+  bool more = true;
+  while (more) {
+    std::uint8_t byte = value & 0x7f;
+    value >>= 7;
+    bool sign = (byte & 0x40) != 0;
+    if ((value == 0 && !sign) || (value == -1 && sign))
+      more = false;
+    else
+      byte |= 0x80;
+    w.u8(byte);
+  }
+}
+
+std::size_t uleb128_size(std::uint64_t value) {
+  std::size_t n = 0;
+  do {
+    value >>= 7;
+    ++n;
+  } while (value != 0);
+  return n;
+}
+
+std::size_t sleb128_size(std::int64_t value) {
+  std::size_t n = 0;
+  bool more = true;
+  while (more) {
+    std::uint8_t byte = value & 0x7f;
+    value >>= 7;
+    bool sign = (byte & 0x40) != 0;
+    if ((value == 0 && !sign) || (value == -1 && sign)) more = false;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace fsr::util

@@ -1,0 +1,30 @@
+// LEB128 variable-length integer codecs used by DWARF exception tables
+// (.gcc_except_table call-site tables, .eh_frame CIE/FDE fields).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fsr::util {
+
+/// Decode an unsigned LEB128 value, advancing the reader.
+/// Throws fsr::ParseError on truncation or on values wider than 64 bits.
+std::uint64_t read_uleb128(ByteReader& r);
+
+/// Decode a signed LEB128 value, advancing the reader.
+std::int64_t read_sleb128(ByteReader& r);
+
+/// Encode an unsigned LEB128 value.
+void write_uleb128(ByteWriter& w, std::uint64_t value);
+
+/// Encode a signed LEB128 value.
+void write_sleb128(ByteWriter& w, std::int64_t value);
+
+/// Number of bytes write_uleb128 would emit for this value.
+std::size_t uleb128_size(std::uint64_t value);
+
+/// Number of bytes write_sleb128 would emit for this value.
+std::size_t sleb128_size(std::int64_t value);
+
+}  // namespace fsr::util

@@ -1,0 +1,96 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fsr::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw UsageError("Rng::range requires lo <= hi");
+  const std::uint64_t span = hi - lo;
+  if (span == UINT64_MAX) return next();
+  // Debiased modulo via rejection sampling.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return lo + v % bound;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  if (weights.empty()) throw UsageError("Rng::weighted requires weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw UsageError("Rng::weighted requires nonnegative weights");
+    total += w;
+  }
+  if (total <= 0.0) throw UsageError("Rng::weighted requires a positive total");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::uint64_t Rng::skewed(std::uint64_t min, std::uint64_t mean, std::uint64_t max) {
+  if (min > max) throw UsageError("Rng::skewed requires min <= max");
+  if (mean <= min) return min;
+  // Exponential with the requested mean offset, clamped into [min, max].
+  const double lambda = 1.0 / static_cast<double>(mean - min);
+  double u = uniform();
+  if (u >= 1.0) u = 0.999999;
+  const double x = -std::log(1.0 - u) / lambda;
+  std::uint64_t v = min + static_cast<std::uint64_t>(x);
+  return v > max ? max : v;
+}
+
+Rng Rng::fork() {
+  return Rng(next() ^ 0xa0761d6478bd642fULL);
+}
+
+}  // namespace fsr::util

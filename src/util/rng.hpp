@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for corpus synthesis.
+//
+// The corpus generator must produce bit-identical binaries for a given
+// seed so that experiments are reproducible across machines and runs;
+// std::mt19937 distributions are not guaranteed stable across standard
+// library implementations, so we implement the distributions ourselves
+// on top of xoshiro256**.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fsr::util {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Pick an index in [0, weights.size()) with probability proportional
+  /// to the weights. Requires a nonempty list with a positive total.
+  std::size_t weighted(std::span<const double> weights);
+  std::size_t weighted(std::initializer_list<double> weights) {
+    return weighted(std::span<const double>(weights.begin(), weights.size()));
+  }
+
+  /// Geometric-ish size helper: mean-targeted positive integer, bounded.
+  /// Used for function sizes and counts where a long tail is wanted.
+  std::uint64_t skewed(std::uint64_t min, std::uint64_t mean, std::uint64_t max);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(range(0, i));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator; used to decorrelate
+  /// per-binary streams inside a corpus.
+  Rng fork();
+
+private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fsr::util

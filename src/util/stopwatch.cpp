@@ -1,0 +1,28 @@
+#include "util/stopwatch.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fsr::util {
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(clock::now() - start_).count();
+}
+
+double TimingStats::total() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double TimingStats::mean() const {
+  return samples_.empty() ? 0.0 : total() / static_cast<double>(samples_.size());
+}
+
+double TimingStats::min() const {
+  return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double TimingStats::max() const {
+  return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+}  // namespace fsr::util

@@ -1,0 +1,41 @@
+// Wall-clock measurement for the run-time comparison (paper §V-D).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace fsr::util {
+
+/// Monotonic stopwatch.
+class Stopwatch {
+public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart the measurement window.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const;
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates per-run timings and reports summary statistics.
+class TimingStats {
+public:
+  void add(double seconds) { samples_.push_back(seconds); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+private:
+  std::vector<double> samples_;
+};
+
+}  // namespace fsr::util

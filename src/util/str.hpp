@@ -1,0 +1,24 @@
+// Small string/formatting helpers shared by table renderers and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fsr::util {
+
+/// "0x1234" style hex rendering of an address.
+std::string hex(std::uint64_t v);
+
+/// Fixed-precision percentage, e.g. pct(0.99345, 3) == "99.345".
+std::string pct(double fraction, int decimals = 3);
+
+/// Fixed-precision decimal rendering, e.g. fixed(1.1812, 3) == "1.181".
+std::string fixed(double v, int decimals);
+
+/// Left-pad (right-align) a string to the given width.
+std::string rpad(const std::string& s, std::size_t width);
+
+/// Right-pad (left-align) a string to the given width.
+std::string lpad(const std::string& s, std::size_t width);
+
+}  // namespace fsr::util

@@ -1,0 +1,390 @@
+#include "x86/assembler.hpp"
+
+namespace fsr::x86 {
+
+namespace {
+
+std::uint8_t lo3(Reg r) { return static_cast<std::uint8_t>(r) & 7; }
+bool ext(Reg r) { return static_cast<std::uint8_t>(r) >= 8; }
+
+}  // namespace
+
+void Assembler::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Assembler::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Assembler::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+Label Assembler::make_label() {
+  label_addrs_.push_back(UINT64_MAX);
+  return Label(static_cast<std::uint32_t>(label_addrs_.size() - 1));
+}
+
+void Assembler::bind(Label l) { bind_to(l, here()); }
+
+void Assembler::bind_to(Label l, std::uint64_t addr) {
+  if (l.id_ == 0 || l.id_ > label_addrs_.size())
+    throw UsageError("bind of invalid label");
+  if (label_addrs_[l.id_ - 1] != UINT64_MAX)
+    throw UsageError("label bound twice");
+  label_addrs_[l.id_ - 1] = addr;
+}
+
+std::uint64_t Assembler::address_of(Label l) const {
+  if (l.id_ == 0 || l.id_ > label_addrs_.size())
+    throw UsageError("address_of invalid label");
+  std::uint64_t a = label_addrs_[l.id_ - 1];
+  if (a == UINT64_MAX) throw UsageError("address_of unbound label");
+  return a;
+}
+
+void Assembler::rex_rb(bool w, Reg reg, Reg rm) {
+  if (!is64()) {
+    if (ext(reg) || ext(rm)) throw EncodeError("extended register in 32-bit mode");
+    return;
+  }
+  std::uint8_t rex = 0x40;
+  if (w) rex |= 0x08;
+  if (ext(reg)) rex |= 0x04;
+  if (ext(rm)) rex |= 0x01;
+  if (rex != 0x40 || w) u8(rex);
+}
+
+void Assembler::rex_b(bool w, Reg rm) {
+  if (!is64()) {
+    if (ext(rm)) throw EncodeError("extended register in 32-bit mode");
+    return;
+  }
+  std::uint8_t rex = 0x40;
+  if (w) rex |= 0x08;
+  if (ext(rm)) rex |= 0x01;
+  if (rex != 0x40 || w) u8(rex);
+}
+
+void Assembler::modrm(std::uint8_t mod, std::uint8_t reg, std::uint8_t rm) {
+  u8(static_cast<std::uint8_t>((mod << 6) | ((reg & 7) << 3) | (rm & 7)));
+}
+
+void Assembler::endbr() {
+  u8(0xf3);
+  u8(0x0f);
+  u8(0x1e);
+  u8(is64() ? 0xfa : 0xfb);
+}
+
+void Assembler::push(Reg r) {
+  if (ext(r)) u8(0x41);
+  u8(static_cast<std::uint8_t>(0x50 + lo3(r)));
+}
+
+void Assembler::pop(Reg r) {
+  if (ext(r)) u8(0x41);
+  u8(static_cast<std::uint8_t>(0x58 + lo3(r)));
+}
+
+void Assembler::mov_rr(Reg dst, Reg src) {
+  rex_rb(is64(), src, dst);
+  u8(0x89);
+  modrm(3, lo3(src), lo3(dst));
+}
+
+void Assembler::mov_ri(Reg dst, std::uint32_t imm) {
+  // 32-bit immediate move; in 64-bit mode this zero-extends, which is
+  // what compilers emit for small constants.
+  rex_b(false, dst);
+  u8(static_cast<std::uint8_t>(0xb8 + lo3(dst)));
+  u32(imm);
+}
+
+void Assembler::sub_sp(std::uint32_t imm) {
+  if (is64()) u8(0x48);
+  if (imm <= 0x7f) {
+    u8(0x83);
+    modrm(3, 5, 4);
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm(3, 5, 4);
+    u32(imm);
+  }
+}
+
+void Assembler::add_sp(std::uint32_t imm) {
+  if (is64()) u8(0x48);
+  if (imm <= 0x7f) {
+    u8(0x83);
+    modrm(3, 0, 4);
+    u8(static_cast<std::uint8_t>(imm));
+  } else {
+    u8(0x81);
+    modrm(3, 0, 4);
+    u32(imm);
+  }
+}
+
+void Assembler::leave() { u8(0xc9); }
+void Assembler::ret() { u8(0xc3); }
+
+void Assembler::ret_imm(std::uint16_t imm) {
+  u8(0xc2);
+  u16(imm);
+}
+
+void Assembler::mov_frame_reg(std::int8_t disp, Reg src) {
+  rex_rb(is64(), src, Reg::kBp);
+  u8(0x89);
+  modrm(1, lo3(src), 5);
+  u8(static_cast<std::uint8_t>(disp));
+}
+
+void Assembler::mov_reg_frame(Reg dst, std::int8_t disp) {
+  rex_rb(is64(), dst, Reg::kBp);
+  u8(0x8b);
+  modrm(1, lo3(dst), 5);
+  u8(static_cast<std::uint8_t>(disp));
+}
+
+void Assembler::load_addr(Reg dst, Label target) {
+  if (is64()) {
+    // lea dst, [rip + rel32]
+    rex_rb(true, dst, Reg::kBp);
+    u8(0x8d);
+    modrm(0, lo3(dst), 5);
+    fixups_.push_back({Fixup::Kind::kRel32, buf_.size(), target.id_});
+    u32(0);
+  } else {
+    // mov dst, imm32 (absolute address)
+    u8(static_cast<std::uint8_t>(0xb8 + lo3(dst)));
+    fixups_.push_back({Fixup::Kind::kAbs32, buf_.size(), target.id_});
+    u32(0);
+  }
+}
+
+void Assembler::alu_rr(std::uint8_t group, Reg dst, Reg src) {
+  if (group > 7) throw UsageError("ALU group out of range");
+  rex_rb(is64(), src, dst);
+  u8(static_cast<std::uint8_t>((group << 3) | 0x01));  // op r/m, r
+  modrm(3, lo3(src), lo3(dst));
+}
+
+void Assembler::test_rr(Reg a, Reg b) {
+  rex_rb(is64(), b, a);
+  u8(0x85);
+  modrm(3, lo3(b), lo3(a));
+}
+
+void Assembler::cmp_ri8(Reg r, std::int8_t imm) {
+  rex_b(is64(), r);
+  u8(0x83);
+  modrm(3, 7, lo3(r));
+  u8(static_cast<std::uint8_t>(imm));
+}
+
+void Assembler::add_ri8(Reg r, std::int8_t imm) {
+  rex_b(is64(), r);
+  u8(0x83);
+  modrm(3, 0, lo3(r));
+  u8(static_cast<std::uint8_t>(imm));
+}
+
+void Assembler::imul_rr(Reg dst, Reg src) {
+  rex_rb(is64(), dst, src);
+  u8(0x0f);
+  u8(0xaf);
+  modrm(3, lo3(dst), lo3(src));
+}
+
+void Assembler::shl_ri(Reg r, std::uint8_t count) {
+  rex_b(is64(), r);
+  u8(0xc1);
+  modrm(3, 4, lo3(r));
+  u8(count);
+}
+
+void Assembler::emit_rel32_fixup(Label l) {
+  fixups_.push_back({Fixup::Kind::kRel32, buf_.size(), l.id_});
+  u32(0);
+}
+
+void Assembler::call(Label target) {
+  u8(0xe8);
+  emit_rel32_fixup(target);
+}
+
+void Assembler::call_addr(std::uint64_t target) {
+  u8(0xe8);
+  const std::uint64_t next = here() + 4;
+  u32(static_cast<std::uint32_t>(target - next));
+}
+
+void Assembler::jmp(Label target) {
+  u8(0xe9);
+  emit_rel32_fixup(target);
+}
+
+void Assembler::jmp_addr(std::uint64_t target) {
+  u8(0xe9);
+  const std::uint64_t next = here() + 4;
+  u32(static_cast<std::uint32_t>(target - next));
+}
+
+void Assembler::jmp_short(Label target) {
+  u8(0xeb);
+  fixups_.push_back({Fixup::Kind::kRel8, buf_.size(), target.id_});
+  u8(0);
+}
+
+void Assembler::jcc(Cond cc, Label target) {
+  u8(0x0f);
+  u8(static_cast<std::uint8_t>(0x80 + static_cast<std::uint8_t>(cc)));
+  emit_rel32_fixup(target);
+}
+
+void Assembler::jcc_short(Cond cc, Label target) {
+  u8(static_cast<std::uint8_t>(0x70 + static_cast<std::uint8_t>(cc)));
+  fixups_.push_back({Fixup::Kind::kRel8, buf_.size(), target.id_});
+  u8(0);
+}
+
+void Assembler::call_reg(Reg r) {
+  if (ext(r)) u8(0x41);
+  u8(0xff);
+  modrm(3, 2, lo3(r));
+}
+
+void Assembler::call_frame(std::int8_t disp) {
+  u8(0xff);
+  modrm(1, 2, 5);
+  u8(static_cast<std::uint8_t>(disp));
+}
+
+void Assembler::jmp_reg(Reg r, bool notrack) {
+  if (notrack) u8(0x3e);
+  if (ext(r)) u8(0x41);
+  u8(0xff);
+  modrm(3, 4, lo3(r));
+}
+
+void Assembler::jmp_mem_abs(std::uint32_t abs_addr, bool notrack) {
+  if (notrack) u8(0x3e);
+  u8(0xff);
+  if (is64()) {
+    // [disp32] requires SIB form in 64-bit mode (mod=00 rm=100 base=101).
+    modrm(0, 4, 4);
+    u8(0x25);
+  } else {
+    modrm(0, 4, 5);
+  }
+  u32(abs_addr);
+}
+
+void Assembler::jmp_table(Reg index, Label table, bool notrack) {
+  // jmp [index*word + table]
+  if (notrack) u8(0x3e);
+  if (is64() && ext(index)) u8(0x42);  // REX.X for the SIB index
+  u8(0xff);
+  modrm(0, 4, 4);  // rm=100 -> SIB
+  const std::uint8_t scale = is64() ? 3 : 2;
+  u8(static_cast<std::uint8_t>((scale << 6) | (lo3(index) << 3) | 5));  // base=101 -> disp32
+  fixups_.push_back({Fixup::Kind::kAbs32, buf_.size(), table.id_});
+  u32(0);
+}
+
+void Assembler::nop(std::size_t n) {
+  // The canonical GAS multi-byte nop sequences.
+  switch (n) {
+    case 0: return;
+    case 1: u8(0x90); return;
+    case 2: u8(0x66); u8(0x90); return;
+    case 3: u8(0x0f); u8(0x1f); u8(0x00); return;
+    case 4: u8(0x0f); u8(0x1f); u8(0x40); u8(0x00); return;
+    case 5: u8(0x0f); u8(0x1f); u8(0x44); u8(0x00); u8(0x00); return;
+    case 6: u8(0x66); u8(0x0f); u8(0x1f); u8(0x44); u8(0x00); u8(0x00); return;
+    case 7: u8(0x0f); u8(0x1f); u8(0x80); u32(0); return;
+    case 8: u8(0x0f); u8(0x1f); u8(0x84); u8(0x00); u32(0); return;
+    case 9: u8(0x66); u8(0x0f); u8(0x1f); u8(0x84); u8(0x00); u32(0); return;
+    default:
+      while (n > 9) {
+        nop(9);
+        n -= 9;
+      }
+      nop(n);
+      return;
+  }
+}
+
+void Assembler::align(std::size_t alignment) {
+  if (alignment == 0) throw UsageError("alignment must be nonzero");
+  while (here() % alignment != 0) {
+    const std::size_t gap = alignment - static_cast<std::size_t>(here() % alignment);
+    nop(gap > 9 ? 9 : gap);
+  }
+}
+
+void Assembler::int3() { u8(0xcc); }
+void Assembler::hlt() { u8(0xf4); }
+
+void Assembler::ud2() {
+  u8(0x0f);
+  u8(0x0b);
+}
+
+void Assembler::db(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> Assembler::finish() {
+  for (const auto& f : fixups_) {
+    if (f.label == 0 || f.label > label_addrs_.size())
+      throw EncodeError("fixup references invalid label");
+    const std::uint64_t target = label_addrs_[f.label - 1];
+    if (target == UINT64_MAX) throw EncodeError("fixup references unbound label");
+    switch (f.kind) {
+      case Fixup::Kind::kRel32: {
+        const std::uint64_t next = base_ + f.offset + 4;
+        const std::int64_t rel = static_cast<std::int64_t>(target) -
+                                 static_cast<std::int64_t>(next);
+        if (rel > INT32_MAX || rel < INT32_MIN)
+          throw EncodeError("rel32 fixup out of range");
+        const auto v = static_cast<std::uint32_t>(static_cast<std::int32_t>(rel));
+        for (int i = 0; i < 4; ++i)
+          buf_[f.offset + static_cast<std::size_t>(i)] =
+              static_cast<std::uint8_t>(v >> (8 * i));
+        break;
+      }
+      case Fixup::Kind::kRel8: {
+        const std::uint64_t next = base_ + f.offset + 1;
+        const std::int64_t rel = static_cast<std::int64_t>(target) -
+                                 static_cast<std::int64_t>(next);
+        if (rel > INT8_MAX || rel < INT8_MIN)
+          throw EncodeError("rel8 fixup out of range");
+        buf_[f.offset] = static_cast<std::uint8_t>(static_cast<std::int8_t>(rel));
+        break;
+      }
+      case Fixup::Kind::kAbs32: {
+        if (target > UINT32_MAX) throw EncodeError("abs32 fixup out of range");
+        for (int i = 0; i < 4; ++i)
+          buf_[f.offset + static_cast<std::size_t>(i)] =
+              static_cast<std::uint8_t>(target >> (8 * i));
+        break;
+      }
+      case Fixup::Kind::kAbs64: {
+        for (int i = 0; i < 8; ++i)
+          buf_[f.offset + static_cast<std::size_t>(i)] =
+              static_cast<std::uint8_t>(target >> (8 * i));
+        break;
+      }
+    }
+  }
+  fixups_.clear();
+  return buf_;
+}
+
+}  // namespace fsr::x86

@@ -1,0 +1,168 @@
+// Minimal x86 / x86-64 assembler.
+//
+// The corpus generator lowers synthetic programs to machine code with
+// this class. It supports exactly the instruction repertoire a compiler
+// back-end emits into the binaries the paper studies: prologues and
+// epilogues, ALU filler, direct calls/jumps with label fixups, indirect
+// calls through registers and memory, NOTRACK-prefixed jump-table
+// dispatch, CET end-branch markers, and multi-byte nop padding.
+//
+// Every emitted byte sequence must round-trip through fsr::x86::decode;
+// the encoder/decoder agreement is enforced by property tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "x86/insn.hpp"
+
+namespace fsr::x86 {
+
+/// General-purpose register ids (hardware encoding order).
+enum class Reg : std::uint8_t {
+  kAx = 0, kCx = 1, kDx = 2, kBx = 3,
+  kSp = 4, kBp = 5, kSi = 6, kDi = 7,
+  kR8 = 8, kR9 = 9, kR10 = 10, kR11 = 11,
+  kR12 = 12, kR13 = 13, kR14 = 14, kR15 = 15,
+};
+
+/// Condition codes (appended to 0x70 / 0x0F 0x80).
+enum class Cond : std::uint8_t {
+  kO = 0x0, kNo = 0x1, kB = 0x2, kAe = 0x3,
+  kE = 0x4, kNe = 0x5, kBe = 0x6, kA = 0x7,
+  kS = 0x8, kNs = 0x9, kP = 0xa, kNp = 0xb,
+  kL = 0xc, kGe = 0xd, kLe = 0xe, kG = 0xf,
+};
+
+/// Opaque label handle.
+class Label {
+public:
+  Label() = default;
+
+private:
+  friend class Assembler;
+  explicit Label(std::uint32_t id) : id_(id + 1) {}
+  std::uint32_t id_ = 0;  // 0 = invalid
+};
+
+class Assembler {
+public:
+  /// `base` is the virtual address of the first emitted byte.
+  Assembler(Mode mode, std::uint64_t base) : mode_(mode), base_(base) {}
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  /// Virtual address of the next byte to be emitted.
+  [[nodiscard]] std::uint64_t here() const { return base_ + buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  // --- labels -----------------------------------------------------------
+  Label make_label();
+  /// Bind a label to the current position.
+  void bind(Label l);
+  /// Bind a label to an arbitrary absolute address (e.g. data placed in
+  /// another section whose layout is decided after code emission).
+  void bind_to(Label l, std::uint64_t addr);
+  /// Address a bound label resolves to; throws if unbound.
+  [[nodiscard]] std::uint64_t address_of(Label l) const;
+
+  // --- CET --------------------------------------------------------------
+  /// endbr64 in 64-bit mode, endbr32 in 32-bit mode.
+  void endbr();
+
+  // --- prologue / epilogue ------------------------------------------------
+  void push(Reg r);
+  void pop(Reg r);
+  void mov_rr(Reg dst, Reg src);
+  void mov_ri(Reg dst, std::uint32_t imm);
+  void sub_sp(std::uint32_t imm);
+  void add_sp(std::uint32_t imm);
+  void leave();
+  void ret();
+  void ret_imm(std::uint16_t imm);
+
+  // --- data movement ------------------------------------------------------
+  /// mov [rBP+disp8], src
+  void mov_frame_reg(std::int8_t disp, Reg src);
+  /// mov dst, [rBP+disp8]
+  void mov_reg_frame(Reg dst, std::int8_t disp);
+  /// Load the address of a label: RIP-relative LEA in 64-bit mode,
+  /// absolute-immediate MOV in 32-bit mode (what non-PIE code does).
+  void load_addr(Reg dst, Label target);
+
+  // --- ALU ---------------------------------------------------------------
+  void alu_rr(std::uint8_t group, Reg dst, Reg src);  // group 0..7: add,or,adc,sbb,and,sub,xor,cmp
+  void add_rr(Reg dst, Reg src) { alu_rr(0, dst, src); }
+  void sub_rr(Reg dst, Reg src) { alu_rr(5, dst, src); }
+  void xor_rr(Reg dst, Reg src) { alu_rr(6, dst, src); }
+  void cmp_rr(Reg dst, Reg src) { alu_rr(7, dst, src); }
+  void test_rr(Reg a, Reg b);
+  void cmp_ri8(Reg r, std::int8_t imm);
+  void add_ri8(Reg r, std::int8_t imm);
+  void imul_rr(Reg dst, Reg src);
+  void shl_ri(Reg r, std::uint8_t count);
+
+  // --- control flow --------------------------------------------------------
+  void call(Label target);
+  /// Direct call to a known absolute address (e.g. a PLT stub).
+  void call_addr(std::uint64_t target);
+  void jmp(Label target);
+  void jmp_addr(std::uint64_t target);
+  /// Two-byte short jump; requires the target to land within rel8 once
+  /// resolved (throws at finish() otherwise).
+  void jmp_short(Label target);
+  void jcc(Cond cc, Label target);
+  void jcc_short(Cond cc, Label target);
+  void call_reg(Reg r);
+  /// call [rBP+disp8] — indirect call through a spilled function pointer.
+  void call_frame(std::int8_t disp);
+  void jmp_reg(Reg r, bool notrack);
+  /// jmp [mem] through a GOT-style absolute slot (32-bit: FF /4 disp32).
+  void jmp_mem_abs(std::uint32_t abs_addr, bool notrack);
+  /// jmp [base_reg*scale + disp32] — jump-table dispatch.
+  void jmp_table(Reg index, Label table, bool notrack);
+
+  // --- padding / misc -------------------------------------------------------
+  /// GCC-style padding: one multi-byte nop of exactly n bytes (1..9).
+  void nop(std::size_t n = 1);
+  /// Pad with nops until `here()` is aligned.
+  void align(std::size_t alignment);
+  void int3();
+  void hlt();
+  void ud2();
+  /// Raw bytes (for deliberately undecodable data-in-text experiments).
+  void db(std::span<const std::uint8_t> bytes);
+
+  /// Resolve all fixups and return the code. Throws fsr::EncodeError on
+  /// unbound labels or out-of-range short branches.
+  std::vector<std::uint8_t> finish();
+
+private:
+  struct Fixup {
+    enum class Kind { kRel32, kRel8, kAbs32, kAbs64 };
+    Kind kind;
+    std::size_t offset;   // where the field lives in buf_
+    std::uint32_t label;  // label id (internal, 1-based)
+  };
+
+  void rex_rb(bool w, Reg reg, Reg rm);  // REX for reg/rm forms (64-bit only)
+  void rex_b(bool w, Reg rm);            // REX for opcode+r forms
+  void modrm(std::uint8_t mod, std::uint8_t reg, std::uint8_t rm);
+  [[nodiscard]] bool is64() const { return mode_ == Mode::k64; }
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void emit_rel32_fixup(Label l);
+
+  Mode mode_;
+  std::uint64_t base_;
+  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint64_t> label_addrs_;  // indexed by id-1; UINT64_MAX = unbound
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace fsr::x86

@@ -1,0 +1,719 @@
+#include "x86/decoder.hpp"
+
+namespace fsr::x86 {
+
+namespace {
+
+/// Cursor over the instruction bytes; every read is bounds-checked and
+/// failure is propagated as "no instruction" rather than an exception
+/// (decode failures are an expected, recoverable event during sweeps).
+struct Cursor {
+  std::span<const std::uint8_t> code;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (pos >= code.size()) {
+      ok = false;
+      return 0;
+    }
+    return code[pos++];
+  }
+  std::uint8_t peek() {
+    if (pos >= code.size()) {
+      ok = false;
+      return 0;
+    }
+    return code[pos];
+  }
+  std::uint16_t u16() {
+    std::uint16_t lo = u8(), hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  void skip(std::size_t n) {
+    if (pos + n > code.size()) ok = false;
+    pos += n;
+  }
+};
+
+struct Prefixes {
+  bool opsize66 = false;
+  bool addrsize67 = false;
+  bool f2 = false;
+  bool f3 = false;
+  bool seg3e = false;  // DS override; doubles as NOTRACK on indirect branches
+  bool lock = false;
+  std::uint8_t rex = 0;  // 0 when absent
+
+  [[nodiscard]] bool rex_w() const { return (rex & 0x08) != 0; }
+};
+
+/// Consume legacy prefixes and (in 64-bit mode) a REX prefix.
+Prefixes read_prefixes(Cursor& c, Mode mode) {
+  Prefixes p;
+  for (;;) {
+    if (c.pos >= c.code.size()) {
+      c.ok = false;
+      return p;
+    }
+    std::uint8_t b = c.code[c.pos];
+    switch (b) {
+      case 0x66: p.opsize66 = true; break;
+      case 0x67: p.addrsize67 = true; break;
+      case 0xf0: p.lock = true; break;
+      case 0xf2: p.f2 = true; break;
+      case 0xf3: p.f3 = true; break;
+      case 0x3e: p.seg3e = true; break;
+      case 0x2e: case 0x36: case 0x26: case 0x64: case 0x65: break;
+      default:
+        if (mode == Mode::k64 && (b & 0xf0) == 0x40) {
+          // REX must be the final prefix before the opcode.
+          p.rex = b;
+          ++c.pos;
+          return p;
+        }
+        return p;
+    }
+    ++c.pos;
+  }
+}
+
+/// Consume a ModRM byte plus SIB/displacement. Returns false on
+/// truncation or on 16-bit addressing (which this decoder rejects).
+/// `modrm_out` receives the raw ModRM byte.
+bool read_modrm(Cursor& c, const Prefixes& p, Mode mode, std::uint8_t& modrm_out) {
+  // 16-bit addressing (67h in 32-bit mode) uses a different ModRM
+  // layout; compilers never emit it in the binaries we model.
+  if (mode == Mode::k32 && p.addrsize67) return false;
+
+  std::uint8_t modrm = c.u8();
+  if (!c.ok) return false;
+  modrm_out = modrm;
+  const std::uint8_t mod = modrm >> 6;
+  const std::uint8_t rm = modrm & 7;
+
+  if (mod == 3) return true;  // register operand, no memory bytes
+
+  if (rm == 4) {  // SIB follows
+    std::uint8_t sib = c.u8();
+    if (!c.ok) return false;
+    const std::uint8_t base = sib & 7;
+    if (mod == 0 && base == 5) c.skip(4);  // disp32 with no base
+  }
+  if (mod == 0 && rm == 5) {
+    c.skip(4);  // disp32 (RIP-relative in 64-bit mode)
+  } else if (mod == 1) {
+    c.skip(1);
+  } else if (mod == 2) {
+    c.skip(4);
+  }
+  return c.ok;
+}
+
+std::int64_t sext8(std::uint8_t v) { return static_cast<std::int8_t>(v); }
+std::int64_t sext32(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+
+/// Truncate a computed branch target to the address width of the mode.
+std::uint64_t canon(std::uint64_t va, Mode mode) {
+  return mode == Mode::k32 ? (va & 0xffffffffULL) : va;
+}
+
+struct Op2Info {
+  bool valid = false;
+  bool modrm = false;
+  int imm = 0;  // extra immediate bytes after modrm
+  Kind kind = Kind::kOther;
+};
+
+/// Classify a two-byte (0F xx) opcode.
+Op2Info op2_info(std::uint8_t op, const Prefixes& p, Mode mode) {
+  Op2Info r;
+  r.valid = true;
+
+  if (op >= 0x80 && op <= 0x8f) {  // jcc rel32 — handled by caller
+    r.kind = Kind::kJcc;
+    return r;
+  }
+  switch (op) {
+    case 0x05:  // syscall
+      r.valid = mode == Mode::k64;
+      return r;
+    case 0x06: case 0x08: case 0x09:  // clts / invd / wbinvd
+      return r;
+    case 0x0b:
+      r.kind = Kind::kUd2;
+      return r;
+    case 0x30: case 0x31: case 0x32: case 0x33: case 0x34: case 0x35:
+      return r;  // wrmsr/rdtsc/rdmsr/rdpmc/sysenter/sysexit
+    case 0x77:
+      return r;  // emms
+    case 0xa2:
+      return r;  // cpuid
+    case 0xa0: case 0xa1: case 0xa8: case 0xa9:
+      return r;  // push/pop fs/gs
+    case 0x0d:  // prefetch hints
+    case 0x18: case 0x19: case 0x1a: case 0x1b:
+    case 0x1c: case 0x1d:
+      r.modrm = true;
+      return r;
+    case 0x1e:
+      // F3 0F 1E FA/FB are ENDBR64/ENDBR32; other forms are hint nops.
+      r.modrm = true;
+      r.kind = Kind::kNop;
+      return r;
+    case 0x1f:
+      r.modrm = true;
+      r.kind = Kind::kNop;
+      return r;
+    case 0xc8: case 0xc9: case 0xca: case 0xcb:
+    case 0xcc: case 0xcd: case 0xce: case 0xcf:
+      return r;  // bswap reg
+    default:
+      break;
+  }
+
+  // ModRM rows.
+  if (op <= 0x01 ||                        // grp6 / grp7
+      (op >= 0x10 && op <= 0x17) ||        // SSE moves
+      (op >= 0x20 && op <= 0x23) ||        // mov CR/DR
+      (op >= 0x28 && op <= 0x2f) ||        // SSE conversions/compares
+      (op >= 0x40 && op <= 0x4f) ||        // cmov
+      (op >= 0x50 && op <= 0x6f) ||        // SSE arithmetic / packed
+      (op >= 0x74 && op <= 0x76) ||        // pcmpeq
+      (op >= 0x7c && op <= 0x7f) ||        // hadd / movdq
+      (op >= 0x90 && op <= 0x9f) ||        // setcc
+      op == 0xa3 || op == 0xa5 ||          // bt / shld cl
+      op == 0xab || op == 0xad ||          // bts / shrd cl
+      op == 0xae ||                        // grp15 (fences, [ld/st]mxcsr)
+      op == 0xaf ||                        // imul
+      op == 0xb0 || op == 0xb1 ||          // cmpxchg
+      op == 0xb3 ||                        // btr
+      op == 0xb6 || op == 0xb7 ||          // movzx
+      op == 0xbb || op == 0xbc || op == 0xbd ||  // btc / bsf / bsr
+      op == 0xbe || op == 0xbf ||          // movsx
+      op == 0xc0 || op == 0xc1 ||          // xadd
+      op == 0xc3 ||                        // movnti
+      op == 0xc7 ||                        // grp9 (cmpxchg8b/16b)
+      (op >= 0xd0 && op <= 0xfe)) {        // SSE packed arithmetic
+    r.modrm = true;
+    if (op == 0xaf) r.kind = Kind::kArith;
+    if (op == 0xb6 || op == 0xb7 || op == 0xbe || op == 0xbf) r.kind = Kind::kMov;
+    return r;
+  }
+
+  // ModRM + imm8 rows.
+  if (op == 0x70 || op == 0x71 || op == 0x72 || op == 0x73 ||  // pshuf / shift grps
+      op == 0xa4 || op == 0xac ||                              // shld/shrd imm8
+      op == 0xba ||                                            // grp8 (bt imm8)
+      op == 0xc2 || op == 0xc4 || op == 0xc5 || op == 0xc6) {  // cmpps/pinsrw/...
+    r.modrm = true;
+    r.imm = 1;
+    return r;
+  }
+
+  (void)p;
+  r.valid = false;
+  return r;
+}
+
+}  // namespace
+
+std::optional<Insn> decode(std::span<const std::uint8_t> code, std::uint64_t addr,
+                           Mode mode) {
+  Cursor c{code};
+  Prefixes p = read_prefixes(c, mode);
+  if (!c.ok) return std::nullopt;
+
+  Insn insn;
+  insn.addr = addr;
+
+  const int word = mode == Mode::k64 ? 8 : 4;
+  std::uint8_t op = c.u8();
+  if (!c.ok) return std::nullopt;
+  std::uint16_t opcode_full = op;
+
+  std::uint8_t modrm = 0;
+  bool got_modrm = false;
+  auto MODRM = [&]() {
+    const bool ok = read_modrm(c, p, mode, modrm);
+    if (ok) got_modrm = true;
+    return ok;
+  };
+  auto finish = [&]() -> std::optional<Insn> {
+    if (!c.ok || c.pos > code.size() || c.pos > 15) return std::nullopt;
+    insn.length = static_cast<std::uint8_t>(c.pos);
+    insn.opcode = opcode_full;
+    if (got_modrm) {
+      insn.modrm = modrm;
+      insn.has_modrm = true;
+    }
+    return insn;
+  };
+  auto imm_zv = [&]() {  // "z" immediate: 16 with 66h, else 32
+    if (p.opsize66)
+      c.skip(2);
+    else
+      c.skip(4);
+  };
+
+  // ---- VEX / EVEX (AVX) encodings ---------------------------------------
+  // C5 = 2-byte VEX, C4 = 3-byte VEX, 62 = EVEX. In 32-bit mode these
+  // bytes are LDS/LES/BOUND unless the following byte's mod field is 11
+  // (the form the legacy instructions cannot take).
+  const bool vex2 = op == 0xc5 && (mode == Mode::k64 || (c.peek() & 0xc0) == 0xc0);
+  const bool vex3 = op == 0xc4 && (mode == Mode::k64 || (c.peek() & 0xc0) == 0xc0);
+  const bool evex = op == 0x62 && (mode == Mode::k64 || (c.peek() & 0xc0) == 0xc0);
+  if ((vex2 || vex3 || evex) && c.ok) {
+    unsigned map = 1;  // implied 0F map for 2-byte VEX
+    if (vex2) {
+      c.u8();  // R.vvvv.L.pp
+    } else if (vex3) {
+      const std::uint8_t b1 = c.u8();  // RXB.mmmmm
+      c.u8();                          // W.vvvv.L.pp
+      map = b1 & 0x1f;
+    } else {  // EVEX: three payload bytes
+      const std::uint8_t b1 = c.u8();
+      c.u8();
+      c.u8();
+      map = b1 & 0x07;
+    }
+    if (!c.ok || (map != 1 && map != 2 && map != 3)) return std::nullopt;
+    const std::uint8_t vop = c.u8();
+    if (!c.ok) return std::nullopt;
+    opcode_full = static_cast<std::uint16_t>((map == 1   ? 0x0f00
+                                              : map == 2 ? 0x0f38
+                                                         : 0x0f3a) |
+                                             (map == 1 ? vop : 0));
+    insn.kind = Kind::kOther;
+    // vzeroupper/vzeroall (map 1, 0x77) carry no ModRM; everything else
+    // in the AVX maps does, and map 3 adds an imm8.
+    if (!(map == 1 && vop == 0x77)) {
+      if (!MODRM()) return std::nullopt;
+      if (map == 3 ||
+          (map == 1 && (vop == 0x70 || vop == 0x71 || vop == 0x72 || vop == 0x73 ||
+                        vop == 0xc2 || vop == 0xc4 || vop == 0xc5 || vop == 0xc6)))
+        c.skip(1);  // imm8
+    }
+    return finish();
+  }
+
+  // ---- Two-byte and three-byte maps -----------------------------------
+  if (op == 0x0f) {
+    std::uint8_t op2 = c.u8();
+    if (!c.ok) return std::nullopt;
+    opcode_full = static_cast<std::uint16_t>(0x0f00 | op2);
+
+    if (op2 == 0x38 || op2 == 0x3a) {  // three-byte maps
+      c.u8();                          // opcode3 (classified generically)
+      if (!MODRM()) return std::nullopt;
+      if (op2 == 0x3a) c.skip(1);      // imm8
+      return finish();
+    }
+
+    if (op2 >= 0x80 && op2 <= 0x8f) {  // jcc rel32
+      std::int64_t rel = p.opsize66 && mode == Mode::k32
+                             ? static_cast<std::int16_t>(c.u16())
+                             : sext32(c.u32());
+      if (!c.ok) return std::nullopt;
+      insn.kind = Kind::kJcc;
+      insn.target = canon(addr + c.pos + static_cast<std::uint64_t>(rel), mode);
+      return finish();
+    }
+
+    Op2Info info = op2_info(op2, p, mode);
+    if (!info.valid) return std::nullopt;
+    insn.kind = info.kind;
+    if (info.modrm) {
+      if (!MODRM()) return std::nullopt;
+      if (op2 == 0x1e && p.f3 && modrm == 0xfa) insn.kind = Kind::kEndbr64;
+      if (op2 == 0x1e && p.f3 && modrm == 0xfb) insn.kind = Kind::kEndbr32;
+    }
+    c.skip(static_cast<std::size_t>(info.imm));
+    return finish();
+  }
+
+  // ---- One-byte map ----------------------------------------------------
+  // ALU block 0x00-0x3F: the low 3 bits select the form.
+  if (op <= 0x3f) {
+    const std::uint8_t low = op & 7;
+    switch (low) {
+      case 0: case 1: case 2: case 3: {
+        // op r/m,r or r,r/m forms — valid for all eight ALU groups.
+        if (!MODRM()) return std::nullopt;
+        insn.kind = Kind::kArith;
+        return finish();
+      }
+      case 4:  // op al, imm8
+        c.skip(1);
+        insn.kind = Kind::kArith;
+        return finish();
+      case 5:  // op eax, immz
+        imm_zv();
+        insn.kind = Kind::kArith;
+        return finish();
+      case 6: case 7: {
+        // push/pop seg, daa/das/aaa/aas — single byte, 32-bit mode only.
+        if (mode == Mode::k64) return std::nullopt;
+        insn.kind = Kind::kOther;
+        return finish();
+      }
+    }
+  }
+
+  if (op >= 0x40 && op <= 0x4f) {
+    // inc/dec reg: reachable only in 32-bit mode (REX consumed earlier).
+    if (mode == Mode::k64) return std::nullopt;
+    insn.kind = Kind::kArith;
+    return finish();
+  }
+
+  if (op >= 0x50 && op <= 0x57) {
+    insn.kind = Kind::kPush;
+    insn.stack_delta = -word;
+    insn.reg = static_cast<std::uint8_t>((op & 7) | ((p.rex & 1) << 3));
+    return finish();
+  }
+  if (op >= 0x58 && op <= 0x5f) {
+    insn.kind = Kind::kPop;
+    insn.stack_delta = word;
+    insn.reg = static_cast<std::uint8_t>((op & 7) | ((p.rex & 1) << 3));
+    return finish();
+  }
+
+  switch (op) {
+    case 0x60: case 0x61:  // pusha/popa (32-bit only)
+      if (mode == Mode::k64) return std::nullopt;
+      insn.kind = op == 0x60 ? Kind::kPush : Kind::kPop;
+      insn.stack_delta = op == 0x60 ? -32 : 32;
+      return finish();
+    case 0x63:  // arpl (32) / movsxd (64)
+      if (!MODRM()) return std::nullopt;
+      insn.kind = Kind::kMov;
+      return finish();
+    case 0x68:  // push immz
+      imm_zv();
+      insn.kind = Kind::kPush;
+      insn.stack_delta = -word;
+      return finish();
+    case 0x69:  // imul r, r/m, immz
+      if (!MODRM()) return std::nullopt;
+      imm_zv();
+      insn.kind = Kind::kArith;
+      return finish();
+    case 0x6a:  // push imm8
+      c.skip(1);
+      insn.kind = Kind::kPush;
+      insn.stack_delta = -word;
+      return finish();
+    case 0x6b:  // imul r, r/m, imm8
+      if (!MODRM()) return std::nullopt;
+      c.skip(1);
+      insn.kind = Kind::kArith;
+      return finish();
+    default:
+      break;
+  }
+
+  if (op >= 0x70 && op <= 0x7f) {  // jcc rel8
+    std::int64_t rel = sext8(c.u8());
+    if (!c.ok) return std::nullopt;
+    insn.kind = Kind::kJcc;
+    insn.target = canon(addr + c.pos + static_cast<std::uint64_t>(rel), mode);
+    return finish();
+  }
+
+  switch (op) {
+    case 0x80: case 0x82: {  // grp1 r/m8, imm8 (0x82: 32-bit alias)
+      if (op == 0x82 && mode == Mode::k64) return std::nullopt;
+      if (!MODRM()) return std::nullopt;
+      c.skip(1);
+      insn.kind = Kind::kArith;
+      return finish();
+    }
+    case 0x81: {  // grp1 r/m, immz
+      if (!MODRM()) return std::nullopt;
+      std::uint32_t imm = 0;
+      if (p.opsize66) {
+        imm = c.u16();
+      } else {
+        imm = c.u32();
+      }
+      insn.kind = Kind::kArith;
+      // add/sub rSP, imm — track the frame adjustment.
+      if ((modrm >> 6) == 3 && (modrm & 7) == 4 && (p.rex & 1) == 0) {
+        const std::uint8_t ext = (modrm >> 3) & 7;
+        if (ext == 0) insn.stack_delta = static_cast<std::int32_t>(imm);
+        if (ext == 5) insn.stack_delta = -static_cast<std::int32_t>(imm);
+      }
+      return finish();
+    }
+    case 0x83: {  // grp1 r/m, imm8
+      if (!MODRM()) return std::nullopt;
+      std::int64_t imm = sext8(c.u8());
+      if (!c.ok) return std::nullopt;
+      insn.kind = Kind::kArith;
+      if ((modrm >> 6) == 3 && (modrm & 7) == 4 && (p.rex & 1) == 0) {
+        const std::uint8_t ext = (modrm >> 3) & 7;
+        if (ext == 0) insn.stack_delta = static_cast<std::int32_t>(imm);
+        if (ext == 5) insn.stack_delta = -static_cast<std::int32_t>(imm);
+      }
+      return finish();
+    }
+    case 0x84: case 0x85:  // test
+      if (!MODRM()) return std::nullopt;
+      insn.kind = Kind::kArith;
+      return finish();
+    case 0x86: case 0x87:  // xchg
+      if (!MODRM()) return std::nullopt;
+      insn.kind = Kind::kOther;
+      return finish();
+    case 0x88: case 0x89: case 0x8a: case 0x8b:  // mov
+      if (!MODRM()) return std::nullopt;
+      insn.kind = Kind::kMov;
+      return finish();
+    case 0x8c: case 0x8e:  // mov seg
+      if (!MODRM()) return std::nullopt;
+      insn.kind = Kind::kMov;
+      return finish();
+    case 0x8d:  // lea
+      if (!MODRM()) return std::nullopt;
+      insn.kind = Kind::kLea;
+      return finish();
+    case 0x8f:  // pop r/m
+      if (!MODRM()) return std::nullopt;
+      insn.kind = Kind::kPop;
+      insn.stack_delta = word;
+      return finish();
+    case 0x90:
+      insn.kind = Kind::kNop;  // also PAUSE with F3
+      return finish();
+    case 0x91: case 0x92: case 0x93: case 0x94:
+    case 0x95: case 0x96: case 0x97:
+      insn.kind = Kind::kOther;  // xchg rAX, reg
+      return finish();
+    case 0x98: case 0x99: case 0x9b: case 0x9e: case 0x9f:
+      return finish();  // cwde/cdq/wait/sahf/lahf
+    case 0x9c:
+      insn.kind = Kind::kPush;
+      insn.stack_delta = -word;
+      return finish();
+    case 0x9d:
+      insn.kind = Kind::kPop;
+      insn.stack_delta = word;
+      return finish();
+    case 0xa0: case 0xa1: case 0xa2: case 0xa3: {  // mov moffs
+      if (p.addrsize67) return std::nullopt;
+      c.skip(mode == Mode::k64 ? 8 : 4);
+      insn.kind = Kind::kMov;
+      return finish();
+    }
+    case 0xa4: case 0xa5: case 0xa6: case 0xa7:
+    case 0xaa: case 0xab: case 0xac: case 0xad:
+    case 0xae: case 0xaf:
+      return finish();  // string ops
+    case 0xa8:  // test al, imm8
+      c.skip(1);
+      insn.kind = Kind::kArith;
+      return finish();
+    case 0xa9:  // test eax, immz
+      imm_zv();
+      insn.kind = Kind::kArith;
+      return finish();
+    default:
+      break;
+  }
+
+  if (op >= 0xb0 && op <= 0xb7) {  // mov r8, imm8
+    c.skip(1);
+    insn.kind = Kind::kMov;
+    return finish();
+  }
+  if (op >= 0xb8 && op <= 0xbf) {  // mov r, imm
+    if (p.rex_w())
+      c.skip(8);
+    else if (p.opsize66)
+      c.skip(2);
+    else
+      c.skip(4);
+    insn.kind = Kind::kMov;
+    return finish();
+  }
+
+  switch (op) {
+    case 0xc0: case 0xc1:  // shift r/m, imm8
+      if (!MODRM()) return std::nullopt;
+      c.skip(1);
+      insn.kind = Kind::kArith;
+      return finish();
+    case 0xc2:  // ret imm16
+      c.skip(2);
+      insn.kind = Kind::kRet;
+      return finish();
+    case 0xc3:
+      insn.kind = Kind::kRet;
+      insn.stack_delta = word;
+      return finish();
+    case 0xc4: case 0xc5:  // les/lds (32-bit); VEX in 64-bit (rejected)
+      if (mode == Mode::k64) return std::nullopt;
+      if (!MODRM()) return std::nullopt;
+      return finish();
+    case 0xc6:  // mov r/m8, imm8
+      if (!MODRM()) return std::nullopt;
+      c.skip(1);
+      insn.kind = Kind::kMov;
+      return finish();
+    case 0xc7:  // mov r/m, immz
+      if (!MODRM()) return std::nullopt;
+      imm_zv();
+      insn.kind = Kind::kMov;
+      return finish();
+    case 0xc8:  // enter imm16, imm8
+      c.skip(3);
+      insn.kind = Kind::kPush;
+      return finish();
+    case 0xc9:
+      insn.kind = Kind::kLeave;
+      return finish();
+    case 0xca:  // retf imm16
+      c.skip(2);
+      insn.kind = Kind::kRet;
+      return finish();
+    case 0xcb:
+      insn.kind = Kind::kRet;
+      return finish();
+    case 0xcc:
+      insn.kind = Kind::kInt3;
+      return finish();
+    case 0xcd:  // int imm8
+      c.skip(1);
+      return finish();
+    case 0xce:  // into
+      if (mode == Mode::k64) return std::nullopt;
+      return finish();
+    case 0xcf:  // iret
+      insn.kind = Kind::kRet;
+      return finish();
+    case 0xd0: case 0xd1: case 0xd2: case 0xd3:  // shifts
+      if (!MODRM()) return std::nullopt;
+      insn.kind = Kind::kArith;
+      return finish();
+    case 0xd4: case 0xd5:  // aam/aad imm8
+      if (mode == Mode::k64) return std::nullopt;
+      c.skip(1);
+      return finish();
+    case 0xd7:  // xlat
+      return finish();
+    case 0xd8: case 0xd9: case 0xda: case 0xdb:
+    case 0xdc: case 0xdd: case 0xde: case 0xdf:  // x87
+      if (!MODRM()) return std::nullopt;
+      return finish();
+    case 0xe0: case 0xe1: case 0xe2: case 0xe3: {  // loop/jcxz rel8
+      std::int64_t rel = sext8(c.u8());
+      if (!c.ok) return std::nullopt;
+      insn.kind = Kind::kJcc;
+      insn.target = canon(addr + c.pos + static_cast<std::uint64_t>(rel), mode);
+      return finish();
+    }
+    case 0xe4: case 0xe5: case 0xe6: case 0xe7:  // in/out imm8
+      c.skip(1);
+      return finish();
+    case 0xe8: {  // call rel32
+      if (p.opsize66) return std::nullopt;  // rel16 form: never compiler-emitted
+      std::int64_t rel = sext32(c.u32());
+      if (!c.ok) return std::nullopt;
+      insn.kind = Kind::kCallDirect;
+      insn.target = canon(addr + c.pos + static_cast<std::uint64_t>(rel), mode);
+      return finish();
+    }
+    case 0xe9: {  // jmp rel32
+      if (p.opsize66) return std::nullopt;
+      std::int64_t rel = sext32(c.u32());
+      if (!c.ok) return std::nullopt;
+      insn.kind = Kind::kJmpDirect;
+      insn.target = canon(addr + c.pos + static_cast<std::uint64_t>(rel), mode);
+      return finish();
+    }
+    case 0xea:  // far jmp ptr16:32
+      if (mode == Mode::k64) return std::nullopt;
+      c.skip(6);
+      insn.kind = Kind::kJmpIndirect;
+      return finish();
+    case 0xeb: {  // jmp rel8
+      std::int64_t rel = sext8(c.u8());
+      if (!c.ok) return std::nullopt;
+      insn.kind = Kind::kJmpDirect;
+      insn.target = canon(addr + c.pos + static_cast<std::uint64_t>(rel), mode);
+      return finish();
+    }
+    case 0xec: case 0xed: case 0xee: case 0xef:  // in/out dx
+      return finish();
+    case 0xf1:
+      return finish();  // int1
+    case 0xf4:
+      insn.kind = Kind::kHlt;
+      return finish();
+    case 0xf5: case 0xf8: case 0xf9: case 0xfa:
+    case 0xfb: case 0xfc: case 0xfd:
+      return finish();  // flag ops
+    case 0xf6: {  // grp3 r/m8
+      if (!MODRM()) return std::nullopt;
+      const std::uint8_t ext = (modrm >> 3) & 7;
+      if (ext == 0 || ext == 1) c.skip(1);  // test imm8
+      insn.kind = Kind::kArith;
+      return finish();
+    }
+    case 0xf7: {  // grp3 r/m
+      if (!MODRM()) return std::nullopt;
+      const std::uint8_t ext = (modrm >> 3) & 7;
+      if (ext == 0 || ext == 1) imm_zv();  // test immz
+      insn.kind = Kind::kArith;
+      return finish();
+    }
+    case 0xfe: {  // grp4: inc/dec r/m8
+      if (!MODRM()) return std::nullopt;
+      const std::uint8_t ext = (modrm >> 3) & 7;
+      if (ext > 1) return std::nullopt;
+      insn.kind = Kind::kArith;
+      return finish();
+    }
+    case 0xff: {  // grp5
+      if (!MODRM()) return std::nullopt;
+      const std::uint8_t ext = (modrm >> 3) & 7;
+      switch (ext) {
+        case 0: case 1:
+          insn.kind = Kind::kArith;  // inc/dec
+          return finish();
+        case 2: case 3:
+          insn.kind = Kind::kCallIndirect;
+          insn.notrack = p.seg3e;
+          return finish();
+        case 4: case 5:
+          insn.kind = Kind::kJmpIndirect;
+          insn.notrack = p.seg3e;
+          return finish();
+        case 6:
+          insn.kind = Kind::kPush;
+          insn.stack_delta = -word;
+          return finish();
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      break;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace fsr::x86

@@ -1,0 +1,27 @@
+// Length-exact x86 / x86-64 instruction decoder.
+//
+// Function identification does not need full operand semantics, but it
+// does need exact instruction lengths (a linear sweep that drifts by a
+// byte misclassifies everything after), correct classification of all
+// control-flow transfers, and recognition of the CET end-branch markers
+// and the NOTRACK prefix. The decoder covers the complete one-byte
+// opcode map and the commonly emitted two/three-byte rows; anything it
+// does not understand is reported as a decode failure, which the sweep
+// driver treats as a one-byte resync (paper §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "x86/insn.hpp"
+
+namespace fsr::x86 {
+
+/// Decode one instruction at `addr` from `code` (the bytes at and after
+/// that address). Returns nullopt when the bytes do not form an
+/// instruction this decoder understands.
+std::optional<Insn> decode(std::span<const std::uint8_t> code, std::uint64_t addr,
+                           Mode mode);
+
+}  // namespace fsr::x86

@@ -1,0 +1,98 @@
+#include "x86/format.hpp"
+
+#include <cstdio>
+
+#include "util/str.hpp"
+
+namespace fsr::x86 {
+
+namespace {
+
+const char* reg_name(std::uint8_t reg) {
+  static const char* kNames[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                   "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                   "r12", "r13", "r14", "r15"};
+  return reg < 16 ? kNames[reg] : "?";
+}
+
+/// Names for the common opcodes the corpus emits (falls back to the
+/// coarse kind name).
+const char* opcode_name(const Insn& insn) {
+  switch (insn.opcode) {
+    case 0x89: case 0x8b: case 0x88: case 0x8a: return "mov";
+    case 0xc6: case 0xc7: return "mov";
+    case 0x8d: return "lea";
+    case 0x01: case 0x03: return "add";
+    case 0x29: case 0x2b: return "sub";
+    case 0x31: case 0x33: return "xor";
+    case 0x09: case 0x0b: return "or";
+    case 0x21: case 0x23: return "and";
+    case 0x39: case 0x3b: return "cmp";
+    case 0x85: case 0x84: return "test";
+    case 0xc1: case 0xd1: case 0xd3: return "shift";
+    case 0x0faf: return "imul";
+    case 0x0fb6: case 0x0fb7: return "movzx";
+    case 0x0fbe: case 0x0fbf: return "movsx";
+    case 0x98: return "cdqe";
+    case 0x99: return "cdq";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string mnemonic(const Insn& insn) {
+  switch (insn.kind) {
+    case Kind::kEndbr64: return "endbr64";
+    case Kind::kEndbr32: return "endbr32";
+    case Kind::kCallDirect: return "call " + util::hex(insn.target);
+    case Kind::kJmpDirect: return "jmp " + util::hex(insn.target);
+    case Kind::kJcc: return "jcc " + util::hex(insn.target);
+    case Kind::kCallIndirect: return insn.notrack ? "notrack call*" : "call*";
+    case Kind::kJmpIndirect: return insn.notrack ? "notrack jmp*" : "jmp*";
+    case Kind::kRet: return "ret";
+    case Kind::kLeave: return "leave";
+    case Kind::kPush:
+      return insn.reg != 0xff ? std::string("push %") + reg_name(insn.reg) : "push";
+    case Kind::kPop:
+      return insn.reg != 0xff ? std::string("pop %") + reg_name(insn.reg) : "pop";
+    case Kind::kNop: return "nop";
+    case Kind::kHlt: return "hlt";
+    case Kind::kInt3: return "int3";
+    case Kind::kUd2: return "ud2";
+    case Kind::kMov: return "mov";
+    case Kind::kLea: return "lea";
+    case Kind::kArith: {
+      const char* name = opcode_name(insn);
+      return name != nullptr ? name : "arith";
+    }
+    case Kind::kOther: {
+      const char* name = opcode_name(insn);
+      if (name != nullptr) return name;
+      char buf[24];
+      if (insn.opcode > 0xff)
+        std::snprintf(buf, sizeof(buf), "(0f %02x)", insn.opcode & 0xff);
+      else
+        std::snprintf(buf, sizeof(buf), "(%02x)", insn.opcode);
+      return buf;
+    }
+  }
+  return "?";
+}
+
+std::string format_line(const Insn& insn, std::span<const std::uint8_t> code,
+                        std::uint64_t code_base) {
+  std::string bytes;
+  const std::size_t off = static_cast<std::size_t>(insn.addr - code_base);
+  for (std::size_t i = 0; i < insn.length && off + i < code.size(); ++i) {
+    char b[4];
+    std::snprintf(b, sizeof(b), "%02x ", code[off + i]);
+    bytes += b;
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %s:\t%-46s%s", util::hex(insn.addr).c_str(),
+                bytes.c_str(), mnemonic(insn).c_str());
+  return line;
+}
+
+}  // namespace fsr::x86

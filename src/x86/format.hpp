@@ -1,0 +1,24 @@
+// Text rendering of decoded instructions — enough for readable
+// listings in the CLI and the examples (this is a function-identifier,
+// not a full disassembler; operands beyond branch targets and
+// push/pop registers are summarized).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "x86/insn.hpp"
+
+namespace fsr::x86 {
+
+/// Short mnemonic for the instruction ("endbr64", "call", "push %r12",
+/// "mov", ...). Branch targets are appended in hex.
+std::string mnemonic(const Insn& insn);
+
+/// One full listing line: "  0x401000: f3 0f 1e fa        endbr64".
+/// `code` must be the bytes of the region the instruction was decoded
+/// from, based at `code_base`.
+std::string format_line(const Insn& insn, std::span<const std::uint8_t> code,
+                        std::uint64_t code_base);
+
+}  // namespace fsr::x86

@@ -1,0 +1,30 @@
+#include "x86/insn.hpp"
+
+namespace fsr::x86 {
+
+std::string kind_name(Kind k) {
+  switch (k) {
+    case Kind::kOther: return "other";
+    case Kind::kEndbr32: return "endbr32";
+    case Kind::kEndbr64: return "endbr64";
+    case Kind::kCallDirect: return "call";
+    case Kind::kCallIndirect: return "call*";
+    case Kind::kJmpDirect: return "jmp";
+    case Kind::kJmpIndirect: return "jmp*";
+    case Kind::kJcc: return "jcc";
+    case Kind::kRet: return "ret";
+    case Kind::kLeave: return "leave";
+    case Kind::kPush: return "push";
+    case Kind::kPop: return "pop";
+    case Kind::kNop: return "nop";
+    case Kind::kHlt: return "hlt";
+    case Kind::kInt3: return "int3";
+    case Kind::kUd2: return "ud2";
+    case Kind::kMov: return "mov";
+    case Kind::kLea: return "lea";
+    case Kind::kArith: return "arith";
+  }
+  return "?";
+}
+
+}  // namespace fsr::x86

@@ -1,0 +1,89 @@
+// Instruction model shared by the decoder, the linear-sweep driver,
+// FunSeeker, and the baseline analyzers.
+//
+// The model is deliberately partial: it captures exactly what function
+// identification needs — instruction boundaries (lengths must be exact),
+// control-flow classification, branch targets of direct transfers, the
+// NOTRACK prefix, end-branch markers, and the stack-pointer delta used
+// by the FETCH-like baseline's tail-call verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fsr::x86 {
+
+/// Decoding mode: 32-bit protected mode (x86) or 64-bit long mode.
+enum class Mode { k32, k64 };
+
+/// Coarse instruction classification.
+enum class Kind : std::uint8_t {
+  kOther,         // decoded successfully; not relevant to control flow
+  kEndbr32,       // F3 0F 1E FB
+  kEndbr64,       // F3 0F 1E FA
+  kCallDirect,    // E8 rel32
+  kCallIndirect,  // FF /2, FF /3
+  kJmpDirect,     // E9 rel32, EB rel8
+  kJmpIndirect,   // FF /4, FF /5
+  kJcc,           // 70..7F rel8, 0F 80..8F rel32
+  kRet,           // C3, C2 imm16
+  kLeave,         // C9
+  kPush,          // 50+r, 68, 6A, FF /6
+  kPop,           // 58+r, 8F /0
+  kNop,           // 90, 0F 1F /0
+  kHlt,           // F4
+  kInt3,          // CC
+  kUd2,           // 0F 0B
+  kMov,
+  kLea,
+  kArith,         // add/sub/and/or/xor/cmp/test/imul/shift...
+};
+
+/// One decoded instruction.
+struct Insn {
+  std::uint64_t addr = 0;
+  std::uint8_t length = 0;
+  Kind kind = Kind::kOther;
+
+  /// Absolute target of a direct transfer (call/jmp/jcc); 0 otherwise.
+  std::uint64_t target = 0;
+
+  /// True when a 3E prefix decorates an indirect jmp/call (Intel CET
+  /// NOTRACK: the target need not be an end-branch instruction).
+  bool notrack = false;
+
+  /// Change to the stack pointer in bytes for the forms the FETCH-like
+  /// baseline tracks (push/pop/sub-sp/add-sp/leave); 0 when unknown.
+  std::int32_t stack_delta = 0;
+
+  /// Raw opcode: one-byte value, or 0x0F00|second byte for the two-byte
+  /// map (0x0F38/0x0F3A for the three-byte maps). Lets pattern-based
+  /// analyzers (prologue signatures) match without re-decoding.
+  std::uint16_t opcode = 0;
+  /// Raw ModRM byte when the instruction has one.
+  std::uint8_t modrm = 0;
+  bool has_modrm = false;
+  /// Register operand for single-register push/pop forms (0..15).
+  std::uint8_t reg = 0xff;
+
+  [[nodiscard]] bool is_endbr() const {
+    return kind == Kind::kEndbr32 || kind == Kind::kEndbr64;
+  }
+  [[nodiscard]] bool is_direct_branch() const {
+    return kind == Kind::kCallDirect || kind == Kind::kJmpDirect || kind == Kind::kJcc;
+  }
+  [[nodiscard]] bool is_call() const {
+    return kind == Kind::kCallDirect || kind == Kind::kCallIndirect;
+  }
+  /// Instructions after which fall-through execution does not continue.
+  [[nodiscard]] bool is_terminator() const {
+    return kind == Kind::kRet || kind == Kind::kJmpDirect ||
+           kind == Kind::kJmpIndirect || kind == Kind::kHlt || kind == Kind::kUd2;
+  }
+  [[nodiscard]] std::uint64_t end() const { return addr + length; }
+};
+
+/// Human-readable name of the kind (diagnostics and examples).
+std::string kind_name(Kind k);
+
+}  // namespace fsr::x86

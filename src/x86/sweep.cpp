@@ -1,0 +1,25 @@
+#include "x86/sweep.hpp"
+
+#include "x86/decoder.hpp"
+
+namespace fsr::x86 {
+
+SweepResult linear_sweep(std::span<const std::uint8_t> code, std::uint64_t base,
+                         Mode mode) {
+  SweepResult result;
+  result.insns.reserve(code.size() / 4);
+  std::size_t off = 0;
+  while (off < code.size()) {
+    auto insn = decode(code.subspan(off), base + off, mode);
+    if (insn.has_value() && insn->length > 0) {
+      result.insns.push_back(*insn);
+      off += insn->length;
+    } else {
+      result.bad_bytes.push_back(base + off);
+      ++off;  // resync: skip one byte and try again
+    }
+  }
+  return result;
+}
+
+}  // namespace fsr::x86

@@ -1,0 +1,29 @@
+// Linear-sweep disassembly (paper §IV-B).
+//
+// Decodes from the start of a code region to its end. On a decode
+// failure the program counter advances by a single byte and decoding
+// resumes — the recovery strategy FunSeeker uses, which suits
+// compiler-generated code where .text contains no interleaved data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "x86/insn.hpp"
+
+namespace fsr::x86 {
+
+struct SweepResult {
+  /// Successfully decoded instructions, in address order.
+  std::vector<Insn> insns;
+  /// Addresses where decoding failed and the sweep resynced by one byte.
+  std::vector<std::uint64_t> bad_bytes;
+};
+
+/// Sweep `code`, which is loaded at virtual address `base`.
+SweepResult linear_sweep(std::span<const std::uint8_t> code, std::uint64_t base,
+                         Mode mode);
+
+}  // namespace fsr::x86

@@ -1,0 +1,186 @@
+// AArch64 substrate tests: decoder classification, assembler/decoder
+// roundtrips, and branch-target arithmetic.
+#include <gtest/gtest.h>
+
+#include "arm64/assembler.hpp"
+#include "arm64/decoder.hpp"
+#include "arm64/sweep.hpp"
+
+namespace fsr::arm64 {
+namespace {
+
+constexpr std::uint64_t kBase = 0x401000;
+
+Insn roundtrip_one(void (*emit)(Assembler&)) {
+  Assembler a(kBase);
+  emit(a);
+  const auto bytes = a.finish();
+  EXPECT_EQ(bytes.size(), 4u);
+  const std::uint32_t w = static_cast<std::uint32_t>(bytes[0]) | bytes[1] << 8 |
+                          bytes[2] << 16 | static_cast<std::uint32_t>(bytes[3]) << 24;
+  return decode(w, kBase);
+}
+
+TEST(Arm64Decoder, BtiVariants) {
+  EXPECT_EQ(decode(0xd503241f, 0).kind, Kind::kBtiPlain);
+  EXPECT_EQ(decode(0xd503245f, 0).kind, Kind::kBtiC);
+  EXPECT_EQ(decode(0xd503249f, 0).kind, Kind::kBtiJ);
+  EXPECT_EQ(decode(0xd50324df, 0).kind, Kind::kBtiJc);
+  EXPECT_EQ(decode(0xd503233f, 0).kind, Kind::kPaciasp);
+  EXPECT_EQ(decode(0xd503201f, 0).kind, Kind::kNop);
+}
+
+TEST(Arm64Decoder, PadClassification) {
+  EXPECT_TRUE(decode(0xd503245f, 0).is_call_pad());   // bti c
+  EXPECT_TRUE(decode(0xd50324df, 0).is_call_pad());   // bti jc
+  EXPECT_TRUE(decode(0xd503233f, 0).is_call_pad());   // paciasp
+  EXPECT_FALSE(decode(0xd503249f, 0).is_call_pad());  // bti j
+  EXPECT_TRUE(decode(0xd503249f, 0).is_jump_pad());
+  EXPECT_FALSE(decode(0xd503245f, 0).is_jump_pad());
+}
+
+TEST(Arm64Decoder, BranchTargets) {
+  // bl +8 at 0x1000: 0x94000002.
+  Insn bl = decode(0x94000002, 0x1000);
+  EXPECT_EQ(bl.kind, Kind::kBl);
+  EXPECT_EQ(bl.target, 0x1008u);
+  // b -4: imm26 = -1.
+  Insn b = decode(0x14000000 | 0x03ffffff, 0x1000);
+  EXPECT_EQ(b.kind, Kind::kB);
+  EXPECT_EQ(b.target, 0x0ffcu);
+  // b.eq +16 at 0: 0x54000080.
+  Insn bc = decode(0x54000080, 0);
+  EXPECT_EQ(bc.kind, Kind::kBCond);
+  EXPECT_EQ(bc.target, 16u);
+}
+
+TEST(Arm64Decoder, IndirectAndReturns) {
+  EXPECT_EQ(decode(0xd65f03c0, 0).kind, Kind::kRet);
+  EXPECT_EQ(decode(0xd61f0220, 0).kind, Kind::kBr);   // br x17
+  EXPECT_EQ(decode(0xd63f0120, 0).kind, Kind::kBlr);  // blr x9
+  EXPECT_EQ(decode(0, 0).kind, Kind::kUdf);
+}
+
+TEST(Arm64Decoder, CbzAndTbz) {
+  // cbz x3, +8 at 0: imm19 = 2.
+  Insn cbz = decode(0xb4000043, 0);
+  EXPECT_EQ(cbz.kind, Kind::kCbz);
+  EXPECT_EQ(cbz.target, 8u);
+  // tbz w5, #0, +4: 0x36000025.
+  Insn tbz = decode(0x36000025, 0);
+  EXPECT_EQ(tbz.kind, Kind::kTbz);
+  EXPECT_EQ(tbz.target, 4u);
+}
+
+TEST(Arm64Decoder, OrdinaryDataProcessingIsOther) {
+  EXPECT_EQ(decode(0xd2800000, 0).kind, Kind::kOther);  // movz x0, #0
+  EXPECT_EQ(decode(0x910003fd, 0).kind, Kind::kOther);  // mov x29, sp
+  EXPECT_EQ(decode(0xa9bf7bfd, 0).kind, Kind::kOther);  // stp x29,x30,[sp,-16]!
+}
+
+TEST(Arm64Roundtrip, MarkersAndControlFlow) {
+  EXPECT_EQ(roundtrip_one([](Assembler& a) { a.bti(Kind::kBtiC); }).kind, Kind::kBtiC);
+  EXPECT_EQ(roundtrip_one([](Assembler& a) { a.bti(Kind::kBtiJ); }).kind, Kind::kBtiJ);
+  EXPECT_EQ(roundtrip_one([](Assembler& a) { a.paciasp(); }).kind, Kind::kPaciasp);
+  EXPECT_EQ(roundtrip_one([](Assembler& a) { a.nop(); }).kind, Kind::kNop);
+  EXPECT_EQ(roundtrip_one([](Assembler& a) { a.ret(); }).kind, Kind::kRet);
+  EXPECT_EQ(roundtrip_one([](Assembler& a) { a.br(16); }).kind, Kind::kBr);
+  EXPECT_EQ(roundtrip_one([](Assembler& a) { a.blr(9); }).kind, Kind::kBlr);
+  EXPECT_EQ(roundtrip_one([](Assembler& a) { a.udf(); }).kind, Kind::kUdf);
+}
+
+TEST(Arm64Roundtrip, LabelBranches) {
+  Assembler a(kBase);
+  Label fwd = a.make_label();
+  Label back = a.make_label();
+  a.bind(back);
+  a.bl(fwd);
+  a.b(fwd);
+  a.b_cond(Cond::kNe, back);
+  a.cbz(3, fwd);
+  a.cbnz(4, back);
+  a.bind(fwd);
+  a.ret();
+  const auto code = a.finish();
+  const std::uint64_t target = a.address_of(fwd);
+  auto insns = linear_sweep(code, kBase);
+  ASSERT_EQ(insns.size(), 6u);
+  EXPECT_EQ(insns[0].kind, Kind::kBl);
+  EXPECT_EQ(insns[0].target, target);
+  EXPECT_EQ(insns[1].kind, Kind::kB);
+  EXPECT_EQ(insns[1].target, target);
+  EXPECT_EQ(insns[2].kind, Kind::kBCond);
+  EXPECT_EQ(insns[2].target, kBase);
+  EXPECT_EQ(insns[3].kind, Kind::kCbz);
+  EXPECT_EQ(insns[3].target, target);
+  EXPECT_EQ(insns[4].kind, Kind::kCbz);  // cbnz shares the class
+  EXPECT_EQ(insns[4].target, kBase);
+}
+
+TEST(Arm64Roundtrip, BlAddrComputesRelative) {
+  Assembler a(kBase);
+  a.bl_addr(kBase - 0x400);
+  auto insns = linear_sweep(a.finish(), kBase);
+  ASSERT_EQ(insns.size(), 1u);
+  EXPECT_EQ(insns[0].kind, Kind::kBl);
+  EXPECT_EQ(insns[0].target, kBase - 0x400);
+}
+
+TEST(Arm64Roundtrip, FillerNeverLooksLikeMarkersOrBranches) {
+  Assembler a(kBase);
+  for (Reg r = 9; r <= 15; ++r) {
+    a.movz(r, 0x1234);
+    a.mov_rr(r, 10);
+    a.add_rr(r, 10, 11);
+    a.sub_rr(r, 10, 11);
+    a.eor_rr(r, 10, 11);
+    a.mul_rr(r, 10, 11);
+    a.add_ri(r, r, 42);
+    a.cmp_ri(r, 7);
+  }
+  a.stp_fp_lr_pre();
+  a.mov_fp_sp();
+  a.sub_sp(32);
+  a.add_sp(32);
+  a.ldp_fp_lr_post();
+  for (const Insn& insn : linear_sweep(a.finish(), kBase)) {
+    EXPECT_EQ(insn.kind, Kind::kOther) << kind_name(insn.kind);
+    EXPECT_FALSE(insn.is_call_pad());
+    EXPECT_FALSE(insn.is_jump_pad());
+  }
+}
+
+TEST(Arm64Roundtrip, LoadAddrResolvesPageAndOffset) {
+  Assembler a(kBase);
+  Label t = a.make_label();
+  a.bind_to(t, 0x512345);
+  a.load_addr(9, t);
+  const auto code = a.finish();
+  ASSERT_EQ(code.size(), 8u);  // adrp + add
+  auto insns = linear_sweep(code, kBase);
+  EXPECT_EQ(insns.size(), 2u);  // both decode (as kOther)
+}
+
+TEST(Arm64Assembler, ErrorPaths) {
+  Assembler a(kBase);
+  Label l = a.make_label();
+  a.b(l);
+  EXPECT_THROW(a.finish(), EncodeError);  // unbound label
+  Assembler b(kBase);
+  Label m = b.make_label();
+  b.b(m);
+  b.bind_to(m, kBase + 2);  // misaligned branch target
+  EXPECT_THROW(b.finish(), EncodeError);
+  Assembler c(kBase);
+  EXPECT_THROW(c.bti(Kind::kBl), UsageError);
+}
+
+TEST(Arm64Sweep, IgnoresTrailingPartialWord) {
+  std::vector<std::uint8_t> code = {0x1f, 0x20, 0x03, 0xd5, 0xc0};  // nop + 1 byte
+  auto insns = linear_sweep(code, kBase);
+  ASSERT_EQ(insns.size(), 1u);
+  EXPECT_EQ(insns[0].kind, Kind::kNop);
+}
+
+}  // namespace
+}  // namespace fsr::arm64

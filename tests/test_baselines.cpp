@@ -1,0 +1,357 @@
+// Baseline analyzer tests: the mechanisms (traversal, prologue
+// signatures, FDE harvesting, frame-height verification) and the
+// failure modes the paper attributes to each tool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/common.hpp"
+#include "baselines/fetch_like.hpp"
+#include "baselines/ghidra_like.hpp"
+#include "baselines/ida_like.hpp"
+#include "eh/eh_frame.hpp"
+#include "elf/types.hpp"
+#include "test_helpers.hpp"
+#include "x86/assembler.hpp"
+
+namespace fsr::baselines {
+namespace {
+
+using test::image_from_code;
+using x86::Assembler;
+using x86::Cond;
+using x86::Label;
+using x86::Mode;
+using x86::Reg;
+
+constexpr std::uint64_t kText = 0x401000;
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+void add_eh_frame(elf::Image& img, const std::vector<eh::Fde>& fdes) {
+  elf::Section s;
+  s.name = ".eh_frame";
+  s.type = elf::kShtProgbits;
+  s.flags = elf::kShfAlloc;
+  s.addr = 0x500000;
+  s.data = eh::build_eh_frame(fdes, s.addr, 8);
+  img.sections.push_back(std::move(s));
+}
+
+// ------------------------------------------------------------- CodeView
+
+TEST(CodeView, IndexesInstructionsByAddress) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.push(Reg::kBp);
+  a.ret();
+  CodeView view = build_code_view(image_from_code(a.finish(), kText, elf::Machine::kX8664));
+  ASSERT_EQ(view.insns.size(), 3u);
+  EXPECT_NE(view.at(kText), nullptr);
+  EXPECT_NE(view.at(kText + 4), nullptr);
+  EXPECT_EQ(view.at(kText + 1), nullptr);  // inside the endbr
+  EXPECT_TRUE(view.in_text(kText));
+  EXPECT_FALSE(view.in_text(kText - 1));
+}
+
+// ------------------------------------------------------------ traversal
+
+TEST(Traversal, PromotesCallTargetsNotJumpTargets) {
+  Assembler a(Mode::k64, kText);
+  Label called = a.make_label();
+  Label jumped = a.make_label();
+  a.endbr();                  // entry
+  a.call(called);
+  a.jmp(jumped);
+  a.bind(called);
+  a.endbr();
+  a.ret();
+  a.bind(jumped);
+  a.nop(1);
+  a.ret();
+  CodeView view = build_code_view(image_from_code(a.finish(), kText, elf::Machine::kX8664));
+  Traversal t = recursive_traversal(view, {kText});
+  EXPECT_TRUE(t.functions.count(kText) != 0);
+  EXPECT_TRUE(t.functions.count(a.address_of(called)) != 0);
+  EXPECT_FALSE(t.functions.count(a.address_of(jumped)) != 0)
+      << "jump target must not become a function";
+  // But the jumped-to code was still visited.
+  EXPECT_TRUE(t.visited.count(a.address_of(jumped)) != 0);
+}
+
+TEST(Traversal, FollowsBothJccEdges) {
+  Assembler a(Mode::k64, kText);
+  Label other = a.make_label();
+  Label f2 = a.make_label();
+  a.endbr();
+  a.jcc(Cond::kE, other);
+  a.call(f2);  // fall-through edge
+  a.ret();
+  a.bind(other);
+  a.ret();
+  a.bind(f2);
+  a.endbr();
+  a.ret();
+  CodeView view = build_code_view(image_from_code(a.finish(), kText, elf::Machine::kX8664));
+  Traversal t = recursive_traversal(view, {kText});
+  EXPECT_TRUE(t.functions.count(a.address_of(f2)) != 0);
+  EXPECT_TRUE(t.visited.count(a.address_of(other)) != 0);
+}
+
+TEST(Traversal, StopsAtTerminators) {
+  Assembler a(Mode::k64, kText);
+  a.ret();
+  const std::uint64_t dead = a.here();
+  a.endbr();
+  a.ret();
+  CodeView view = build_code_view(image_from_code(a.finish(), kText, elf::Machine::kX8664));
+  Traversal t = recursive_traversal(view, {kText});
+  EXPECT_EQ(t.visited.count(dead), 0u);
+}
+
+TEST(Traversal, IgnoresSeedsOutsideText) {
+  CodeView view;
+  view.text_begin = kText;
+  view.text_end = kText + 0x10;
+  Traversal t = recursive_traversal(view, {0x123});
+  EXPECT_TRUE(t.functions.empty());
+}
+
+// ----------------------------------------------------- prologue matching
+
+TEST(PrologueMatch, EndbrAwareVsNot) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  a.ret();
+  CodeView view = build_code_view(image_from_code(a.finish(), kText, elf::Machine::kX8664));
+  // Instruction 1 is the push.
+  PrologueMatch aware = match_frame_prologue(view, 1, /*endbr_aware=*/true);
+  ASSERT_TRUE(aware.matched);
+  EXPECT_EQ(aware.entry, kText) << "endbr folded into the match";
+  PrologueMatch naive = match_frame_prologue(view, 1, /*endbr_aware=*/false);
+  ASSERT_TRUE(naive.matched);
+  EXPECT_EQ(naive.entry, kText + 4) << "pre-CET matcher lands on the push";
+}
+
+TEST(PrologueMatch, RequiresAdjacentMov) {
+  Assembler a(Mode::k64, kText);
+  a.push(Reg::kBp);
+  a.nop(1);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  CodeView view = build_code_view(image_from_code(a.finish(), kText, elf::Machine::kX8664));
+  EXPECT_FALSE(match_frame_prologue(view, 0, true).matched);
+}
+
+TEST(PrologueMatch, RejectsOtherRegisters) {
+  Assembler a(Mode::k64, kText);
+  a.push(Reg::kBx);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  CodeView view = build_code_view(image_from_code(a.finish(), kText, elf::Machine::kX8664));
+  EXPECT_FALSE(match_frame_prologue(view, 0, true).matched);
+}
+
+TEST(PrologueMatch, WorksIn32BitMode) {
+  Assembler a(Mode::k32, 0x8048000);
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  CodeView view =
+      build_code_view(image_from_code(a.finish(), 0x8048000, elf::Machine::kX86));
+  EXPECT_TRUE(match_frame_prologue(view, 0, true).matched);
+}
+
+// ------------------------------------------------------------- IDA-like
+
+TEST(IdaLike, FindsCalledAndPrologueFunctionsOnly) {
+  Assembler a(Mode::k64, kText);
+  Label called = a.make_label();
+  a.endbr();  // _start (entry)
+  a.call(called);
+  a.hlt();
+  a.bind(called);
+  a.endbr();
+  a.ret();
+  // Uncalled function WITH canonical prologue: found by signature scan.
+  const std::uint64_t with_prologue = a.here();
+  a.endbr();
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  a.leave();
+  a.ret();
+  // Uncalled function WITHOUT prologue: IDA's blind spot (96% of its
+  // false negatives per §V-C).
+  const std::uint64_t no_prologue = a.here();
+  a.endbr();
+  a.mov_ri(Reg::kAx, 1);
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  auto funcs = ida_like_functions(img);
+  EXPECT_TRUE(contains(funcs, kText));
+  EXPECT_TRUE(contains(funcs, a.address_of(called)));
+  EXPECT_TRUE(contains(funcs, with_prologue));
+  EXPECT_FALSE(contains(funcs, no_prologue));
+}
+
+TEST(IdaLike, PrologueDiscoveryCascades) {
+  // A signature-found function's callees are promoted too.
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.hlt();
+  Label helper = a.make_label();
+  const std::uint64_t uncalled = a.here();
+  a.endbr();
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  a.call(helper);
+  a.leave();
+  a.ret();
+  a.bind(helper);
+  a.endbr();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  auto funcs = ida_like_functions(img);
+  EXPECT_TRUE(contains(funcs, uncalled));
+  EXPECT_TRUE(contains(funcs, a.address_of(helper)));
+}
+
+// ---------------------------------------------------------- Ghidra-like
+
+TEST(GhidraLike, UsesFdesWhenPresent) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.hlt();
+  const std::uint64_t f2 = a.here();
+  a.endbr();  // no prologue, uncalled: only the FDE reveals it
+  a.mov_ri(Reg::kAx, 7);
+  a.ret();
+  const std::uint64_t f2_size = a.here() - f2;
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  add_eh_frame(img, {{kText, 5, std::nullopt}, {f2, f2_size, std::nullopt}});
+  auto funcs = ghidra_like_functions(img);
+  EXPECT_TRUE(contains(funcs, f2));
+}
+
+TEST(GhidraLike, MisplacesEndbrPrologueWithoutFdes) {
+  // The paper's x86 observation: without FDEs Ghidra falls back to
+  // prologue patterns that predate CET and lands 4 bytes late.
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.hlt();
+  const std::uint64_t f2 = a.here();
+  a.endbr();
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  a.leave();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  auto funcs = ghidra_like_functions(img);
+  EXPECT_FALSE(contains(funcs, f2)) << "entry should be misplaced";
+  EXPECT_TRUE(contains(funcs, f2 + 4)) << "expected match at the push";
+}
+
+TEST(GhidraLike, FragmentFdesBecomeFalsePositives) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.hlt();
+  const std::uint64_t frag = a.here();  // .cold fragment: no endbr
+  a.nop(2);
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  add_eh_frame(img, {{kText, 5, std::nullopt}, {frag, 4, std::nullopt}});
+  auto funcs = ghidra_like_functions(img);
+  EXPECT_TRUE(contains(funcs, frag)) << "Ghidra trusts every FDE";
+}
+
+// ----------------------------------------------------------- FETCH-like
+
+TEST(FetchLike, HarvestsFdeStarts) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.hlt();
+  const std::uint64_t f2 = a.here();
+  a.endbr();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  add_eh_frame(img, {{kText, 5, std::nullopt}, {f2, 5, std::nullopt}});
+  auto funcs = fetch_like_functions(img);
+  EXPECT_TRUE(contains(funcs, kText));
+  EXPECT_TRUE(contains(funcs, f2));
+}
+
+TEST(FetchLike, NearlyBlindWithoutFdes) {
+  // Clang x86 C binaries carry no .eh_frame: FETCH sees only the entry.
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.hlt();
+  a.endbr();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  auto funcs = fetch_like_functions(img);
+  EXPECT_EQ(funcs, (std::vector<std::uint64_t>{kText}));
+}
+
+TEST(FetchLike, PromotesVerifiedTailTargetOutsideRegions) {
+  // One FDE-covered function tail-jumps to code with no FDE; the
+  // frame-height + calling-convention verification must promote it.
+  Assembler a(Mode::k64, kText);
+  Label lt = a.make_label();
+  a.endbr();
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  a.leave();  // frame fully unwound before the sibling call
+  a.jmp(lt);
+  const std::uint64_t f1_size = a.here() - kText;
+  a.bind(lt);
+  const std::uint64_t t = a.address_of(lt);
+  a.nop(2);
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  add_eh_frame(img, {{kText, f1_size, std::nullopt}});
+  auto funcs = fetch_like_functions(img);
+  EXPECT_TRUE(contains(funcs, t));
+
+  FetchOptions no_verify;
+  no_verify.verify_tail_calls = false;
+  auto base = fetch_like_functions(img, no_verify);
+  EXPECT_FALSE(contains(base, t)) << "ablation: without verification no promotion";
+}
+
+TEST(FetchLike, DoesNotPromoteIntraRegionJumps) {
+  Assembler a(Mode::k64, kText);
+  Label inner = a.make_label();
+  a.endbr();
+  a.jmp(inner);
+  a.nop(3);
+  a.bind(inner);
+  a.nop(1);
+  a.ret();
+  const std::uint64_t size = a.here() - kText;
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  add_eh_frame(img, {{kText, size, std::nullopt}});
+  auto funcs = fetch_like_functions(img);
+  EXPECT_FALSE(contains(funcs, a.address_of(inner)));
+}
+
+// --------------------------------------------------------------- shared
+
+TEST(FdeStarts, EmptyWithoutSection) {
+  Assembler a(Mode::k64, kText);
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  EXPECT_TRUE(fde_starts(img).empty());
+}
+
+}  // namespace
+}  // namespace fsr::baselines

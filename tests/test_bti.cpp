@@ -1,0 +1,192 @@
+// BtiSeeker tests: the §VI ARM extension. Unit tests on hand-built
+// AArch64 images plus corpus-level floors mirroring the x86 suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arm64/assembler.hpp"
+#include "bti/btiseeker.hpp"
+#include "elf/types.hpp"
+#include "eval/metrics.hpp"
+#include "eval/truth.hpp"
+#include "elf/reader.hpp"
+#include "elf/writer.hpp"
+#include "synth/corpus.hpp"
+#include "test_helpers.hpp"
+
+namespace fsr::bti {
+namespace {
+
+using arm64::Assembler;
+using arm64::Cond;
+using arm64::Label;
+
+constexpr std::uint64_t kText = 0x401000;
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+elf::Image arm_image(std::vector<std::uint8_t> code) {
+  return test::image_from_code(std::move(code), kText, elf::Machine::kArm64);
+}
+
+TEST(BtiSeeker, RejectsX86Images) {
+  elf::Image img = test::image_from_code({0xc3}, kText, elf::Machine::kX8664);
+  EXPECT_THROW(analyze(img), UsageError);
+}
+
+TEST(BtiSeeker, CallPadsAreEntries) {
+  Assembler a(kText);
+  a.bti(arm64::Kind::kBtiC);
+  a.ret();
+  const std::uint64_t f2 = a.here();
+  a.paciasp();
+  a.ret();
+  Result r = analyze(arm_image(a.finish()));
+  EXPECT_TRUE(contains(r.functions, kText));
+  EXPECT_TRUE(contains(r.functions, f2));
+  EXPECT_EQ(r.call_pads.size(), 2u);
+}
+
+TEST(BtiSeeker, JumpPadsAreNeverEntries) {
+  // The architectural advantage over x86: a switch case / landing pad
+  // carries `bti j`, which BtiSeeker never treats as an entry — no
+  // FILTERENDBR required.
+  Assembler a(kText);
+  a.bti(arm64::Kind::kBtiC);
+  a.ret();
+  const std::uint64_t pad = a.here();
+  a.bti(arm64::Kind::kBtiJ);
+  a.ret();
+  Result r = analyze(arm_image(a.finish()));
+  EXPECT_FALSE(contains(r.functions, pad));
+  EXPECT_EQ(r.jump_pads, (std::vector<std::uint64_t>{pad}));
+}
+
+TEST(BtiSeeker, BlTargetsAreEntries) {
+  Assembler a(kText);
+  Label callee = a.make_label();
+  a.bti(arm64::Kind::kBtiC);
+  a.bl(callee);
+  a.ret();
+  a.bind(callee);  // static: no marker
+  a.ret();
+  Result r = analyze(arm_image(a.finish()));
+  EXPECT_TRUE(contains(r.functions, a.address_of(callee)));
+}
+
+TEST(BtiSeeker, TailCallSelection) {
+  // Two functions tail-branch to the same unmarked target: selected.
+  Assembler a(kText);
+  Label t = a.make_label();
+  const std::uint64_t f1 = kText;
+  a.bti(arm64::Kind::kBtiC);
+  a.b(t);
+  const std::uint64_t f2 = a.here();
+  a.bti(arm64::Kind::kBtiC);
+  a.b(t);
+  a.bind(t);
+  a.nop();
+  a.ret();
+  Result r = analyze(arm_image(a.finish()));
+  EXPECT_TRUE(contains(r.functions, f1));
+  EXPECT_TRUE(contains(r.functions, f2));
+  EXPECT_TRUE(contains(r.functions, a.address_of(t)));
+  EXPECT_EQ(r.tail_call_targets, (std::vector<std::uint64_t>{a.address_of(t)}));
+}
+
+TEST(BtiSeeker, SingleReferenceTailTargetRejected) {
+  Assembler a(kText);
+  Label t = a.make_label();
+  a.bti(arm64::Kind::kBtiC);
+  a.b(t);
+  const std::uint64_t f2 = a.here();
+  a.bti(arm64::Kind::kBtiC);
+  a.ret();
+  a.bind(t);
+  a.nop();
+  a.ret();
+  Result r = analyze(arm_image(a.finish()));
+  EXPECT_FALSE(contains(r.functions, a.address_of(t)));
+  EXPECT_TRUE(contains(r.functions, f2));
+}
+
+TEST(BtiSeeker, IntraFunctionBranchesRejected) {
+  Assembler a(kText);
+  Label skip = a.make_label();
+  a.bti(arm64::Kind::kBtiC);
+  a.b(skip);
+  a.nop();
+  a.bind(skip);
+  a.nop();
+  a.ret();
+  Result r = analyze(arm_image(a.finish()));
+  EXPECT_FALSE(contains(r.functions, a.address_of(skip)));
+}
+
+TEST(BtiSeeker, AnalyzeBytesMatchesImagePath) {
+  Assembler a(kText);
+  a.bti(arm64::Kind::kBtiC);
+  a.ret();
+  elf::Image img = arm_image(a.finish());
+  EXPECT_EQ(analyze(img).functions, analyze_bytes(elf::write_elf(img)).functions);
+}
+
+// ------------------------------------------------------- corpus floors
+
+class BtiCorpus : public ::testing::TestWithParam<synth::BinaryConfig> {};
+
+TEST_P(BtiCorpus, AccuracyFloorAndInvariants) {
+  const synth::DatasetEntry entry = synth::make_binary(GetParam());
+  const auto bytes = entry.stripped_bytes();
+  const elf::Image parsed = elf::read_elf(bytes);
+  EXPECT_EQ(parsed.machine, elf::Machine::kArm64);
+
+  const Result r = analyze_bytes(bytes);
+  const eval::Score s = eval::score(r.functions, entry.truth.functions);
+  EXPECT_GT(s.precision(), 0.97) << GetParam().name();
+  EXPECT_GT(s.recall(), 0.97) << GetParam().name();
+
+  // Every marker-carrying entry is found; jump pads never reported.
+  for (std::uint64_t f : entry.truth.endbr_entries)
+    EXPECT_TRUE(contains(r.functions, f));
+  for (std::uint64_t pad : entry.truth.landing_pads) {
+    EXPECT_TRUE(contains(r.jump_pads, pad));
+    EXPECT_FALSE(contains(r.functions, pad));
+  }
+  for (std::uint64_t pad : entry.truth.setjmp_pads)
+    EXPECT_FALSE(contains(r.functions, pad));
+
+  // Symbol-derived truth agrees with the generator.
+  const elf::Image unstripped = elf::read_elf(elf::write_elf(entry.image));
+  EXPECT_EQ(eval::truth_from_symbols(unstripped), entry.truth.functions);
+}
+
+std::vector<synth::BinaryConfig> arm_sample() {
+  std::vector<synth::BinaryConfig> out;
+  int idx = 0;
+  for (synth::Compiler c : synth::kAllCompilers)
+    for (synth::Suite s : synth::kAllSuites)
+      for (synth::OptLevel o : {synth::OptLevel::kO0, synth::OptLevel::kO2}) {
+        synth::BinaryConfig cfg;
+        cfg.compiler = c;
+        cfg.suite = s;
+        cfg.machine = elf::Machine::kArm64;
+        cfg.kind = elf::BinaryKind::kPie;
+        cfg.opt = o;
+        cfg.program_index = idx++ % synth::default_programs(s);
+        out.push_back(cfg);
+      }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(ArmCorpus, BtiCorpus, ::testing::ValuesIn(arm_sample()),
+                         [](const auto& info) {
+                           std::string n = info.param.name();
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace fsr::bti

@@ -1,0 +1,75 @@
+// ByteWeight-like baseline tests.
+#include <gtest/gtest.h>
+
+#include "baselines/byteweight.hpp"
+#include "elf/reader.hpp"
+#include "eval/metrics.hpp"
+#include "synth/corpus.hpp"
+
+namespace fsr::baselines {
+namespace {
+
+synth::BinaryConfig cfg_for(int prog, synth::OptLevel opt = synth::OptLevel::kO2) {
+  synth::BinaryConfig cfg;
+  cfg.suite = synth::Suite::kCoreutils;
+  cfg.program_index = prog;
+  cfg.opt = opt;
+  return cfg;
+}
+
+TEST(ByteWeight, UntrainedModelFindsNothing) {
+  ByteWeightModel model;
+  EXPECT_FALSE(model.trained());
+  const synth::DatasetEntry entry = synth::make_binary(cfg_for(0));
+  EXPECT_TRUE(model.classify(elf::read_elf(entry.stripped_bytes())).empty());
+}
+
+TEST(ByteWeight, LearnsPrefixesFromTraining) {
+  ByteWeightModel model;
+  const synth::DatasetEntry entry = synth::make_binary(cfg_for(0));
+  model.train(elf::read_elf(entry.stripped_bytes()), entry.truth.functions);
+  EXPECT_TRUE(model.trained());
+  EXPECT_GT(model.prefix_count(), 100u);
+}
+
+TEST(ByteWeight, SelfClassificationIsAccurate) {
+  // Memorizing the training binary should yield strong scores on it.
+  ByteWeightModel model;
+  const synth::DatasetEntry entry = synth::make_binary(cfg_for(1));
+  const elf::Image img = elf::read_elf(entry.stripped_bytes());
+  model.train(img, entry.truth.functions);
+  const eval::Score s = eval::score(model.classify(img), entry.truth.functions);
+  EXPECT_GT(s.precision(), 0.9);
+  EXPECT_GT(s.recall(), 0.8);
+}
+
+TEST(ByteWeight, GeneralizesWithinDistributionButUnderFunSeeker) {
+  ByteWeightModel model;
+  for (int prog = 0; prog < 4; ++prog) {
+    const synth::DatasetEntry entry = synth::make_binary(cfg_for(prog));
+    model.train(elf::read_elf(entry.stripped_bytes()), entry.truth.functions);
+  }
+  eval::Score s;
+  for (int prog = 4; prog < 8; ++prog) {
+    const synth::DatasetEntry entry = synth::make_binary(cfg_for(prog));
+    s += eval::score(model.classify(elf::read_elf(entry.stripped_bytes())),
+                     entry.truth.functions);
+  }
+  EXPECT_GT(s.precision(), 0.9);
+  EXPECT_GT(s.recall(), 0.75);
+  // The structural blind spot: recall stays below the marker fraction.
+  EXPECT_LT(s.recall(), 0.95);
+}
+
+TEST(ByteWeight, ThresholdControlsAggressiveness) {
+  ByteWeightModel model;
+  const synth::DatasetEntry entry = synth::make_binary(cfg_for(2));
+  const elf::Image img = elf::read_elf(entry.stripped_bytes());
+  model.train(img, entry.truth.functions);
+  const auto strict = model.classify(img, 0.95);
+  const auto loose = model.classify(img, 0.05);
+  EXPECT_LE(strict.size(), loose.size());
+}
+
+}  // namespace
+}  // namespace fsr::baselines

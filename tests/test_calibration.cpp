@@ -1,0 +1,158 @@
+// Calibration guards: the statistical properties the paper's study
+// measures must stay inside their bands when the generator changes.
+// These are the same aggregates the bench harness prints (Table I,
+// Figure 3, Table II/III headline shapes), asserted over a reduced
+// corpus slice so regressions fail CI instead of silently skewing the
+// reproduction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "elf/reader.hpp"
+#include "eval/runner.hpp"
+#include "funseeker/disassemble.hpp"
+#include "synth/corpus.hpp"
+
+namespace fsr {
+namespace {
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+/// Reduced but representative slice: every suite/compiler, x86-64, two
+/// optimization levels, a few programs.
+std::vector<synth::BinaryConfig> slice() {
+  std::vector<synth::BinaryConfig> out;
+  for (synth::Compiler c : synth::kAllCompilers)
+    for (synth::Suite s : synth::kAllSuites)
+      for (synth::OptLevel o : {synth::OptLevel::kO1, synth::OptLevel::kO2})
+        for (int prog = 0; prog < std::min(4, synth::default_programs(s)); ++prog) {
+          synth::BinaryConfig cfg;
+          cfg.compiler = c;
+          cfg.suite = s;
+          cfg.opt = o;
+          cfg.program_index = prog;
+          out.push_back(cfg);
+        }
+  return out;
+}
+
+TEST(Calibration, TableOneEndbrLocationBands) {
+  std::size_t c_entry = 0, c_total = 0;         // C suites
+  std::size_t spec_exc = 0, spec_total = 0;     // SPEC
+  for (const auto& cfg : slice()) {
+    const synth::DatasetEntry entry = synth::make_binary(cfg);
+    const elf::Image img = elf::read_elf(entry.stripped_bytes());
+    const auto sets = funseeker::disassemble(img);
+    for (std::uint64_t e : sets.endbrs) {
+      const bool exception = contains(entry.truth.landing_pads, e);
+      const bool at_entry = contains(entry.truth.endbr_entries, e);
+      if (cfg.suite == synth::Suite::kSpec) {
+        ++spec_total;
+        if (exception) ++spec_exc;
+      } else {
+        ++c_total;
+        if (at_entry) ++c_entry;
+      }
+    }
+  }
+  // Paper Table I: C suites ~99.98% at entries; SPEC ~20-28% at
+  // exception blocks. Allow generous bands.
+  const double c_frac = static_cast<double>(c_entry) / static_cast<double>(c_total);
+  EXPECT_GT(c_frac, 0.995) << "C-suite end-branches must sit at entries";
+  const double spec_frac =
+      static_cast<double>(spec_exc) / static_cast<double>(spec_total);
+  EXPECT_GT(spec_frac, 0.12) << "SPEC must show substantial catch-block markers";
+  EXPECT_LT(spec_frac, 0.40);
+}
+
+TEST(Calibration, FigureThreeBands) {
+  std::size_t total = 0, endbr = 0, none = 0, dircall = 0, dirjmp = 0;
+  for (const auto& cfg : slice()) {
+    const synth::DatasetEntry entry = synth::make_binary(cfg);
+    const elf::Image img = elf::read_elf(entry.stripped_bytes());
+    const auto sets = funseeker::disassemble(img);
+    for (std::uint64_t f : entry.truth.functions) {
+      ++total;
+      const bool e = contains(entry.truth.endbr_entries, f);
+      const bool c = contains(sets.call_targets, f);
+      const bool j = contains(sets.jmp_targets, f);
+      if (e) ++endbr;
+      if (c) ++dircall;
+      if (j) ++dirjmp;
+      if (!e && !c && !j) ++none;
+    }
+  }
+  const double n = static_cast<double>(total);
+  EXPECT_NEAR(endbr / n, 0.893, 0.03) << "EndBrAtHead fraction (paper 89.3%)";
+  EXPECT_NEAR(dircall / n, 0.497, 0.05) << "DirCallTarget fraction (paper ~49.7%)";
+  EXPECT_GT(dirjmp / n, 0.015) << "DirJmpTarget fraction (paper ~3.3%)";
+  EXPECT_LT(dirjmp / n, 0.06);
+  EXPECT_LT(none / n, 0.01) << "the no-property class must stay marginal";
+}
+
+TEST(Calibration, TableThreeShapes) {
+  // Both architectures, as in the paper's totals: the x86 rows are
+  // where the FDE-dependent baselines lose their footing.
+  eval::Score fs, ida, ghidra, fetch;
+  std::vector<synth::BinaryConfig> both = slice();
+  for (synth::BinaryConfig cfg : slice()) {
+    cfg.machine = elf::Machine::kX86;
+    both.push_back(cfg);
+  }
+  for (const auto& cfg : both) {
+    const synth::DatasetEntry entry = synth::make_binary(cfg);
+    fs += eval::run_tool(eval::Tool::kFunSeeker, entry).score;
+    ida += eval::run_tool(eval::Tool::kIdaLike, entry).score;
+    ghidra += eval::run_tool(eval::Tool::kGhidraLike, entry).score;
+    fetch += eval::run_tool(eval::Tool::kFetchLike, entry).score;
+  }
+  // The paper's headline orderings.
+  EXPECT_GT(fs.recall(), 0.99);
+  EXPECT_GT(fs.precision(), 0.99);
+  EXPECT_GT(fs.recall(), ghidra.recall());
+  EXPECT_GT(fs.recall(), fetch.recall());
+  EXPECT_GT(fs.recall(), ida.recall() + 0.15) << "IDA's recall gap (paper ~23 points)";
+  EXPECT_LT(ida.recall(), 0.9);
+}
+
+TEST(Calibration, ClangCleanlinessAndGccSplitting) {
+  // Clang emits no fragments => FunSeeker precision 100% on Clang rows;
+  // GCC -O2 splits functions => some fragment FPs (Table II).
+  eval::Score clang_score, gcc_score;
+  std::size_t gcc_fragments = 0;
+  for (const auto& cfg : slice()) {
+    if (cfg.opt != synth::OptLevel::kO2) continue;
+    const synth::DatasetEntry entry = synth::make_binary(cfg);
+    const auto r = eval::run_tool(eval::Tool::kFunSeeker, entry);
+    if (cfg.compiler == synth::Compiler::kClang) {
+      clang_score += r.score;
+      EXPECT_TRUE(entry.truth.fragments.empty());
+    } else {
+      gcc_score += r.score;
+      gcc_fragments += entry.truth.fragments.size();
+    }
+  }
+  EXPECT_DOUBLE_EQ(clang_score.precision(), 1.0);
+  EXPECT_GT(gcc_fragments, 0u);
+  EXPECT_LT(gcc_score.precision(), 1.0);
+  EXPECT_GT(gcc_score.precision(), 0.98);
+}
+
+TEST(Calibration, FetchCollapsesOnClangX86C) {
+  // The x86 story of Table III: no FDEs => FETCH sees almost nothing.
+  synth::BinaryConfig cfg;
+  cfg.compiler = synth::Compiler::kClang;
+  cfg.machine = elf::Machine::kX86;
+  cfg.suite = synth::Suite::kCoreutils;
+  cfg.opt = synth::OptLevel::kO2;
+  const synth::DatasetEntry entry = synth::make_binary(cfg);
+  const auto fetch = eval::run_tool(eval::Tool::kFetchLike, entry);
+  EXPECT_LT(fetch.score.recall(), 0.05);
+  const auto fs = eval::run_tool(eval::Tool::kFunSeeker, entry);
+  EXPECT_GT(fs.score.recall(), 0.99) << "FunSeeker must not depend on FDEs";
+}
+
+}  // namespace
+}  // namespace fsr

@@ -1,0 +1,185 @@
+// CFG recovery tests: hand-built control-flow shapes plus corpus-wide
+// structural invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cfg/cfg.hpp"
+#include "elf/reader.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/corpus.hpp"
+#include "test_helpers.hpp"
+#include "x86/assembler.hpp"
+
+namespace fsr::cfg {
+namespace {
+
+using test::image_from_code;
+using x86::Assembler;
+using x86::Cond;
+using x86::Label;
+using x86::Mode;
+using x86::Reg;
+
+constexpr std::uint64_t kText = 0x401000;
+
+TEST(Cfg, StraightLineFunctionIsOneBlock) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.mov_ri(Reg::kAx, 1);
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  ProgramCfg prog = build_cfg(img, {kText});
+  ASSERT_EQ(prog.functions.size(), 1u);
+  const FunctionCfg& fn = prog.functions[0];
+  ASSERT_EQ(fn.blocks.size(), 1u);
+  EXPECT_EQ(fn.blocks[0].start, kText);
+  EXPECT_TRUE(fn.blocks[0].returns);
+  EXPECT_TRUE(fn.blocks[0].successors.empty());
+  EXPECT_EQ(fn.instruction_count(), 3u);
+  EXPECT_EQ(fn.end, kText + 4 + 5 + 1);
+}
+
+TEST(Cfg, DiamondControlFlow) {
+  // entry -> (then | else) -> join -> ret : four blocks.
+  Assembler a(Mode::k64, kText);
+  Label lelse = a.make_label();
+  Label ljoin = a.make_label();
+  a.endbr();
+  a.cmp_ri8(Reg::kAx, 1);
+  a.jcc(Cond::kE, lelse);
+  a.mov_ri(Reg::kCx, 1);  // then
+  a.jmp(ljoin);
+  a.bind(lelse);
+  a.mov_ri(Reg::kCx, 2);  // else
+  a.bind(ljoin);
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  ProgramCfg prog = build_cfg(img, {kText});
+  ASSERT_EQ(prog.functions.size(), 1u);
+  const FunctionCfg& fn = prog.functions[0];
+  ASSERT_EQ(fn.blocks.size(), 4u);
+
+  const std::uint64_t join = a.address_of(ljoin);
+  const std::uint64_t els = a.address_of(lelse);
+  // Entry block branches to else + fallthrough.
+  ASSERT_EQ(fn.blocks[0].successors.size(), 2u);
+  EXPECT_EQ(std::set<std::uint64_t>(fn.blocks[0].successors.begin(),
+                                    fn.blocks[0].successors.end()),
+            (std::set<std::uint64_t>{els, fn.blocks[1].start}));
+  // Then block jumps to join.
+  EXPECT_EQ(fn.blocks[1].successors, (std::vector<std::uint64_t>{join}));
+  // Else block falls through to join.
+  EXPECT_EQ(fn.blocks[2].successors, (std::vector<std::uint64_t>{join}));
+  // Join returns.
+  EXPECT_TRUE(fn.blocks[3].returns);
+}
+
+TEST(Cfg, LoopBackEdge) {
+  Assembler a(Mode::k64, kText);
+  Label lbody = a.make_label();
+  a.endbr();
+  a.mov_ri(Reg::kCx, 8);
+  a.bind(lbody);
+  a.add_ri8(Reg::kCx, -1);
+  a.cmp_ri8(Reg::kCx, 0);
+  a.jcc(Cond::kNe, lbody);
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  ProgramCfg prog = build_cfg(img, {kText});
+  const FunctionCfg& fn = prog.functions[0];
+  const std::uint64_t body = a.address_of(lbody);
+  const BasicBlock* loop_block = fn.block_at(body);
+  ASSERT_NE(loop_block, nullptr);
+  EXPECT_EQ(loop_block->start, body) << "jcc target must start its own block";
+  // The loop block branches back to itself and falls through to ret.
+  ASSERT_EQ(loop_block->successors.size(), 2u);
+  EXPECT_TRUE(std::find(loop_block->successors.begin(), loop_block->successors.end(),
+                        body) != loop_block->successors.end());
+}
+
+TEST(Cfg, CallsAndTailCallsRecorded) {
+  Assembler a(Mode::k64, kText);
+  Label lf2 = a.make_label();
+  Label lf3 = a.make_label();
+  a.endbr();
+  a.call(lf2);
+  a.jmp(lf3);  // tail call out of the function
+  a.bind(lf2);
+  a.endbr();
+  a.ret();
+  a.bind(lf3);
+  a.endbr();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  const std::vector<std::uint64_t> entries = {kText, a.address_of(lf2), a.address_of(lf3)};
+  ProgramCfg prog = build_cfg(img, entries);
+  ASSERT_EQ(prog.functions.size(), 3u);
+  const FunctionCfg& fn = prog.functions[0];
+  ASSERT_FALSE(fn.blocks.empty());
+  EXPECT_EQ(fn.blocks[0].calls, (std::vector<std::uint64_t>{a.address_of(lf2)}));
+  const BasicBlock* last = fn.block_at(fn.end - 1);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->tail_call, a.address_of(lf3));
+}
+
+TEST(Cfg, PaddingTrimmedFromFunctionEnd) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.ret();
+  const std::uint64_t code_end = a.here();
+  a.align(16);  // nop padding
+  const std::uint64_t f2 = a.here();
+  a.endbr();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  ProgramCfg prog = build_cfg(img, {kText, f2});
+  ASSERT_EQ(prog.functions.size(), 2u);
+  EXPECT_EQ(prog.functions[0].end, code_end) << "padding must not count as body";
+}
+
+TEST(Cfg, FunctionLookup) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  ProgramCfg prog = build_cfg(img, {kText});
+  EXPECT_NE(prog.function_at(kText), nullptr);
+  EXPECT_EQ(prog.function_at(kText + 1), nullptr);
+}
+
+TEST(Cfg, CorpusInvariants) {
+  synth::BinaryConfig cfg;
+  cfg.suite = synth::Suite::kSpec;
+  cfg.program_index = 1;
+  const synth::DatasetEntry entry = synth::make_binary(cfg);
+  const elf::Image img = elf::read_elf(entry.stripped_bytes());
+  const auto result = funseeker::analyze(img);
+  const ProgramCfg prog = build_cfg(img, result.functions);
+
+  EXPECT_GT(prog.functions.size(), result.functions.size() * 9 / 10);
+  for (const FunctionCfg& fn : prog.functions) {
+    ASSERT_FALSE(fn.blocks.empty());
+    EXPECT_EQ(fn.blocks.front().start, fn.entry);
+    EXPECT_LE(fn.end, img.text().end_addr());
+    std::set<std::uint64_t> starts;
+    for (const auto& bb : fn.blocks) {
+      EXPECT_LT(bb.start, bb.end);
+      EXPECT_TRUE(starts.insert(bb.start).second) << "duplicate block";
+      // Every successor is a block of the same function.
+      for (std::uint64_t s : bb.successors)
+        EXPECT_NE(fn.block_at(s), nullptr) << "dangling edge";
+      // Blocks are disjoint and ordered.
+    }
+    for (std::size_t i = 1; i < fn.blocks.size(); ++i)
+      EXPECT_GE(fn.blocks[i].start, fn.blocks[i - 1].end) << "overlapping blocks";
+    // At least one exit: a returning block or a tail call.
+    bool has_exit = false;
+    for (const auto& bb : fn.blocks)
+      if (bb.returns || bb.tail_call != 0) has_exit = true;
+    EXPECT_TRUE(has_exit) << "function without exit at " << std::hex << fn.entry;
+  }
+}
+
+}  // namespace
+}  // namespace fsr::cfg

@@ -1,0 +1,198 @@
+// .eh_frame builder/parser tests: CIE/FDE roundtrips, LSDA pointers,
+// PC-relative encodings, and malformed-input handling.
+#include <gtest/gtest.h>
+
+#include "eh/eh_frame.hpp"
+#include "eh/encodings.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/leb128.hpp"
+
+namespace fsr::eh {
+namespace {
+
+class EhFrameRoundtrip : public ::testing::TestWithParam<int> {};  // ptr size
+
+TEST_P(EhFrameRoundtrip, PlainFdes) {
+  const int ptr = GetParam();
+  std::vector<Fde> fdes = {
+      {0x401000, 0x40, std::nullopt},
+      {0x401040, 0x123, std::nullopt},
+      {0x402000, 0x8, std::nullopt},
+  };
+  const std::uint64_t section_addr = 0x500000;
+  auto bytes = build_eh_frame(fdes, section_addr, ptr);
+  EhFrame parsed = parse_eh_frame(bytes, section_addr, ptr);
+  ASSERT_EQ(parsed.fdes.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed.fdes[i].pc_begin, fdes[i].pc_begin);
+    EXPECT_EQ(parsed.fdes[i].pc_range, fdes[i].pc_range);
+    EXPECT_FALSE(parsed.fdes[i].lsda.has_value());
+  }
+}
+
+TEST_P(EhFrameRoundtrip, MixedLsdaFdes) {
+  const int ptr = GetParam();
+  std::vector<Fde> fdes = {
+      {0x401000, 0x40, std::nullopt},
+      {0x401040, 0x80, 0x600010},
+      {0x4010c0, 0x20, 0x600044},
+      {0x401100, 0x30, std::nullopt},
+  };
+  auto bytes = build_eh_frame(fdes, 0x500000, ptr);
+  EhFrame parsed = parse_eh_frame(bytes, 0x500000, ptr);
+  ASSERT_EQ(parsed.fdes.size(), 4u);
+  EXPECT_FALSE(parsed.fdes[0].lsda.has_value());
+  ASSERT_TRUE(parsed.fdes[1].lsda.has_value());
+  EXPECT_EQ(*parsed.fdes[1].lsda, 0x600010u);
+  EXPECT_EQ(*parsed.fdes[2].lsda, 0x600044u);
+  EXPECT_FALSE(parsed.fdes[3].lsda.has_value());
+}
+
+TEST_P(EhFrameRoundtrip, SectionAddressMatters) {
+  // PC-relative encodings must resolve identically regardless of where
+  // the section lands, as long as build and parse agree.
+  const int ptr = GetParam();
+  std::vector<Fde> fdes = {{0x8048100, 0x40, std::nullopt}};
+  for (std::uint64_t addr : {0x100ULL, 0x500000ULL, 0x7fff0000ULL}) {
+    auto bytes = build_eh_frame(fdes, addr, ptr);
+    EhFrame parsed = parse_eh_frame(bytes, addr, ptr);
+    ASSERT_EQ(parsed.fdes.size(), 1u);
+    EXPECT_EQ(parsed.fdes[0].pc_begin, 0x8048100u) << "section at " << addr;
+  }
+}
+
+TEST_P(EhFrameRoundtrip, EmptyTable) {
+  auto bytes = build_eh_frame({}, 0x500000, GetParam());
+  EhFrame parsed = parse_eh_frame(bytes, 0x500000, GetParam());
+  EXPECT_TRUE(parsed.fdes.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(PtrSizes, EhFrameRoundtrip, ::testing::Values(4, 8),
+                         [](const auto& info) {
+                           return info.param == 8 ? "x64" : "x86";
+                         });
+
+TEST(EhFrame, PcEndHelper) {
+  Fde fde{0x1000, 0x20, std::nullopt};
+  EXPECT_EQ(fde.pc_end(), 0x1020u);
+}
+
+TEST(EhFrame, FdeReferencingUnknownCieThrows) {
+  // Craft an FDE whose CIE pointer points nowhere.
+  util::ByteWriter w;
+  w.u32(12);          // length
+  w.u32(0xbad);       // cie pointer (garbage distance)
+  w.u32(0);           // "pc begin"
+  w.u32(0);           // "pc range"
+  w.u32(0);           // terminator
+  EXPECT_THROW(parse_eh_frame(w.data(), 0x1000, 8), ParseError);
+}
+
+TEST(EhFrame, RecordOverrunThrows) {
+  util::ByteWriter w;
+  w.u32(1000);  // length far beyond the buffer
+  w.u32(0);
+  EXPECT_THROW(parse_eh_frame(w.data(), 0x1000, 8), ParseError);
+}
+
+TEST(EhFrame, StopsAtTerminator) {
+  std::vector<Fde> fdes = {{0x401000, 0x40, std::nullopt}};
+  auto bytes = build_eh_frame(fdes, 0x500000, 8);
+  // Garbage after the terminator must be ignored.
+  bytes.insert(bytes.end(), {0xde, 0xad, 0xbe, 0xef});
+  EhFrame parsed = parse_eh_frame(bytes, 0x500000, 8);
+  EXPECT_EQ(parsed.fdes.size(), 1u);
+}
+
+TEST(EhFrame, ParsesForeignCieWithPersonality) {
+  // A "zPLR" CIE as GCC emits for C++ frames: the parser must skip the
+  // personality pointer and still decode the FDE correctly.
+  util::ByteWriter w;
+  const std::size_t cie_len_at = w.size();
+  w.u32(0);
+  w.u32(0);  // CIE id
+  w.u8(1);   // version
+  w.cstring("zPLR");
+  util::write_uleb128(w, 1);
+  util::write_sleb128(w, -8);
+  w.u8(16);
+  util::write_uleb128(w, 7);         // aug data length
+  w.u8(kPeAbsptr);                   // P encoding
+  w.u32(0x12345678);                 // personality (absptr4... use udata4)
+  w.u8(kPeOmit);                     // L encoding: omitted
+  w.u8(kPeAbsptr | 0x00);            // R encoding: absolute
+  w.align(8);
+  w.patch_u32(cie_len_at, static_cast<std::uint32_t>(w.size() - cie_len_at - 4));
+
+  const std::size_t fde_len_at = w.size();
+  w.u32(0);
+  const std::uint64_t id_off = w.size();
+  w.u32(static_cast<std::uint32_t>(id_off));  // distance back to CIE at 0
+  w.u32(0x401000);                            // pc begin (absptr, 4-byte)
+  w.u32(0x40);                                // pc range
+  util::write_uleb128(w, 0);                  // aug data length
+  w.align(8);
+  w.patch_u32(fde_len_at, static_cast<std::uint32_t>(w.size() - fde_len_at - 4));
+  w.u32(0);  // terminator
+
+  // P encoding kPeAbsptr with ptr_size 8 would read 8 bytes; we wrote 4.
+  // Use ptr_size 4 so the absptr personality is 4 bytes wide.
+  EhFrame parsed = parse_eh_frame(w.data(), 0x500000, 4);
+  ASSERT_EQ(parsed.fdes.size(), 1u);
+  EXPECT_EQ(parsed.fdes[0].pc_begin, 0x401000u);
+}
+
+// ------------------------------------------------------- DW_EH_PE codec
+
+TEST(Encodings, AbsoluteFormats) {
+  util::ByteWriter w;
+  write_encoded(w, kPeUdata4, 0x1234, 0, 8);
+  write_encoded(w, kPeAbsptr, 0xdeadbeefcafeULL, 0, 8);
+  write_encoded(w, kPeAbsptr, 0x8048000, 0, 4);
+  util::ByteReader r(w.data());
+  EXPECT_EQ(read_encoded(r, kPeUdata4, 0, 8), 0x1234u);
+  EXPECT_EQ(read_encoded(r, kPeAbsptr, 0, 8), 0xdeadbeefcafeULL);
+  EXPECT_EQ(read_encoded(r, kPeAbsptr, 0, 4), 0x8048000u);
+}
+
+TEST(Encodings, PcrelRoundtrip) {
+  const std::uint64_t field_addr = 0x500010;
+  for (std::uint64_t value : {0x400000ULL, 0x500010ULL, 0x600000ULL}) {
+    util::ByteWriter w;
+    write_encoded(w, kPePcrel | kPeSdata4, value, field_addr, 8);
+    util::ByteReader r(w.data());
+    EXPECT_EQ(read_encoded(r, kPePcrel | kPeSdata4, field_addr, 8), value);
+  }
+}
+
+TEST(Encodings, LebFormats) {
+  util::ByteWriter w;
+  write_encoded(w, kPeUleb128, 624485, 0, 8);
+  write_encoded(w, kPeSleb128, static_cast<std::uint64_t>(-42), 0, 8);
+  util::ByteReader r(w.data());
+  EXPECT_EQ(read_encoded(r, kPeUleb128, 0, 8), 624485u);
+  EXPECT_EQ(read_encoded(r, kPeSleb128, 0, 8), static_cast<std::uint64_t>(-42));
+}
+
+TEST(Encodings, RejectsUnsupported) {
+  util::ByteWriter w;
+  w.u32(0);
+  util::ByteReader r(w.data());
+  EXPECT_THROW(read_encoded(r, kPeOmit, 0, 8), ParseError);
+  EXPECT_THROW(read_encoded(r, kPeIndirect | kPeUdata4, 0, 8), ParseError);
+  EXPECT_THROW(read_encoded(r, kPeDatarel | kPeUdata4, 0, 8), ParseError);
+  util::ByteWriter w2;
+  EXPECT_THROW(write_encoded(w2, kPeOmit, 0, 0, 8), EncodeError);
+}
+
+TEST(Encodings, SizeHelper) {
+  EXPECT_EQ(encoded_size(kPeUdata2, 8), 2u);
+  EXPECT_EQ(encoded_size(kPeSdata4, 8), 4u);
+  EXPECT_EQ(encoded_size(kPeAbsptr, 4), 4u);
+  EXPECT_EQ(encoded_size(kPeAbsptr, 8), 8u);
+  EXPECT_THROW(encoded_size(kPeUleb128, 8), UsageError);
+}
+
+}  // namespace
+}  // namespace fsr::eh

@@ -1,0 +1,110 @@
+// .eh_frame_hdr codec tests plus the end-to-end property that the
+// generated header indexes exactly the generated FDEs.
+#include <gtest/gtest.h>
+
+#include "baselines/common.hpp"
+#include "eh/eh_frame.hpp"
+#include "eh/eh_frame_hdr.hpp"
+#include "synth/corpus.hpp"
+#include "util/error.hpp"
+
+namespace fsr::eh {
+namespace {
+
+TEST(EhFrameHdr, Roundtrip) {
+  EhFrameHdr in;
+  in.eh_frame_addr = 0x500000;
+  in.entries = {{0x401000, 0x500010}, {0x401040, 0x500030}, {0x401100, 0x500058}};
+  const std::uint64_t hdr_addr = 0x4ff000;
+  auto bytes = build_eh_frame_hdr(in, hdr_addr);
+  EhFrameHdr out = parse_eh_frame_hdr(bytes, hdr_addr);
+  EXPECT_EQ(out.eh_frame_addr, in.eh_frame_addr);
+  ASSERT_EQ(out.entries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.entries[i].pc_begin, in.entries[i].pc_begin);
+    EXPECT_EQ(out.entries[i].fde_addr, in.entries[i].fde_addr);
+  }
+}
+
+TEST(EhFrameHdr, SortsEntriesOnBuild) {
+  EhFrameHdr in;
+  in.eh_frame_addr = 0x500000;
+  in.entries = {{0x401100, 0x500058}, {0x401000, 0x500010}};
+  auto bytes = build_eh_frame_hdr(in, 0x4ff000);
+  EhFrameHdr out = parse_eh_frame_hdr(bytes, 0x4ff000);
+  EXPECT_LT(out.entries[0].pc_begin, out.entries[1].pc_begin);
+}
+
+TEST(EhFrameHdr, EmptyTable) {
+  EhFrameHdr in;
+  in.eh_frame_addr = 0x500000;
+  auto bytes = build_eh_frame_hdr(in, 0x4ff000);
+  EhFrameHdr out = parse_eh_frame_hdr(bytes, 0x4ff000);
+  EXPECT_TRUE(out.entries.empty());
+}
+
+TEST(EhFrameHdr, RejectsBadVersionAndTruncation) {
+  EhFrameHdr in;
+  in.eh_frame_addr = 0x500000;
+  in.entries = {{0x401000, 0x500010}};
+  auto bytes = build_eh_frame_hdr(in, 0x4ff000);
+  auto bad = bytes;
+  bad[0] = 9;
+  EXPECT_THROW(parse_eh_frame_hdr(bad, 0x4ff000), ParseError);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(parse_eh_frame_hdr(bytes, 0x4ff000), ParseError);
+}
+
+TEST(EhFrameHdr, UnsortedTableRejected) {
+  EhFrameHdr in;
+  in.eh_frame_addr = 0x500000;
+  in.entries = {{0x401000, 0x500010}, {0x401040, 0x500030}};
+  auto bytes = build_eh_frame_hdr(in, 0x4ff000);
+  // Swap the two 8-byte rows behind the 12-byte header.
+  for (int i = 0; i < 8; ++i) std::swap(bytes[12 + i], bytes[20 + i]);
+  EXPECT_THROW(parse_eh_frame_hdr(bytes, 0x4ff000), ParseError);
+}
+
+TEST(EhFrameHdr, GeneratedBinariesCarryConsistentIndex) {
+  synth::BinaryConfig cfg;
+  cfg.compiler = synth::Compiler::kGcc;
+  cfg.suite = synth::Suite::kSpec;
+  cfg.program_index = 1;
+  const synth::DatasetEntry entry = synth::make_binary(cfg);
+
+  const elf::Section* hdr_sec = entry.image.find_section(".eh_frame_hdr");
+  const elf::Section* eh_sec = entry.image.find_section(".eh_frame");
+  ASSERT_NE(hdr_sec, nullptr);
+  ASSERT_NE(eh_sec, nullptr);
+
+  const EhFrameHdr hdr = parse_eh_frame_hdr(hdr_sec->data, hdr_sec->addr);
+  EXPECT_EQ(hdr.eh_frame_addr, eh_sec->addr);
+  const EhFrame frame = parse_eh_frame(eh_sec->data, eh_sec->addr, 8);
+  ASSERT_EQ(hdr.entries.size(), frame.fdes.size());
+  // The header's pc_begins are exactly the FDE pc_begins, and each
+  // fde_addr lands inside .eh_frame.
+  for (std::size_t i = 0; i < hdr.entries.size(); ++i) {
+    EXPECT_EQ(hdr.entries[i].pc_begin, frame.fdes[i].pc_begin);
+    EXPECT_GE(hdr.entries[i].fde_addr, eh_sec->addr);
+    EXPECT_LT(hdr.entries[i].fde_addr, eh_sec->addr + eh_sec->data.size());
+  }
+
+  // The baselines' fast path agrees with the slow path.
+  const auto via_hdr = baselines::fde_starts_via_hdr(entry.image);
+  auto via_walk = baselines::fde_starts(entry.image);
+  std::sort(via_walk.begin(), via_walk.end());
+  EXPECT_EQ(via_hdr, via_walk);
+}
+
+TEST(EhFrameHdr, ClangX86CBinariesHaveNoHeader) {
+  synth::BinaryConfig cfg;
+  cfg.compiler = synth::Compiler::kClang;
+  cfg.machine = elf::Machine::kX86;
+  cfg.suite = synth::Suite::kCoreutils;
+  const synth::DatasetEntry entry = synth::make_binary(cfg);
+  EXPECT_EQ(entry.image.find_section(".eh_frame_hdr"), nullptr);
+  EXPECT_TRUE(baselines::fde_starts_via_hdr(entry.image).empty());
+}
+
+}  // namespace
+}  // namespace fsr::eh

@@ -1,0 +1,259 @@
+// ELF writer/reader tests: roundtrip fidelity, symbol tables, PLT
+// reconstruction through relocations, stripping, and malformed input.
+#include <gtest/gtest.h>
+
+#include "elf/image.hpp"
+#include "elf/reader.hpp"
+#include "elf/types.hpp"
+#include "elf/writer.hpp"
+#include "util/error.hpp"
+
+namespace fsr::elf {
+namespace {
+
+Image minimal_image(Machine machine, BinaryKind kind) {
+  Image img;
+  img.machine = machine;
+  img.kind = kind;
+  const std::uint64_t base = default_base(machine, kind);
+  img.entry = base + 0x100;
+
+  Section text;
+  text.name = ".text";
+  text.type = kShtProgbits;
+  text.flags = kShfAlloc | kShfExecinstr;
+  text.addr = base + 0x100;
+  text.align = 16;
+  text.data = {0xf3, 0x0f, 0x1e, 0xfa, 0xc3};
+  img.sections.push_back(std::move(text));
+  return img;
+}
+
+void add_plt_and_imports(Image& img, const std::vector<std::string>& names) {
+  const std::uint64_t base = default_base(img.machine, img.kind);
+  Section plt;
+  plt.name = ".plt";
+  plt.type = kShtProgbits;
+  plt.flags = kShfAlloc | kShfExecinstr;
+  plt.addr = base + 0x1000;
+  plt.align = 16;
+  plt.data.assign(16 * (names.size() + 1), 0x90);
+  img.sections.push_back(std::move(plt));
+
+  Section got;
+  got.name = ".got.plt";
+  got.type = kShtProgbits;
+  got.flags = kShfAlloc | kShfWrite;
+  got.addr = base + 0x2000;
+  got.align = 8;
+  got.data.assign((is64(img.machine) ? 8u : 4u) * (3 + names.size()), 0);
+  img.sections.push_back(std::move(got));
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    img.plt.push_back({base + 0x1000 + 16 * (i + 1), names[i]});
+    Symbol s;
+    s.name = names[i];
+    s.info = st_info(kStbGlobal, kSttFunc);
+    img.dynsymbols.push_back(std::move(s));
+  }
+}
+
+class ElfRoundtrip
+    : public ::testing::TestWithParam<std::tuple<Machine, BinaryKind>> {};
+
+TEST_P(ElfRoundtrip, HeaderAndSectionsSurvive) {
+  auto [machine, kind] = GetParam();
+  Image img = minimal_image(machine, kind);
+  Image parsed = read_elf(write_elf(img));
+  EXPECT_EQ(parsed.machine, machine);
+  EXPECT_EQ(parsed.kind, kind);
+  EXPECT_EQ(parsed.entry, img.entry);
+  const Section& text = parsed.text();
+  EXPECT_EQ(text.addr, img.text().addr);
+  EXPECT_EQ(text.data, img.text().data);
+  EXPECT_EQ(text.flags, img.text().flags);
+  EXPECT_EQ(text.type, kShtProgbits);
+}
+
+TEST_P(ElfRoundtrip, SymbolsSurvive) {
+  auto [machine, kind] = GetParam();
+  Image img = minimal_image(machine, kind);
+  Symbol global;
+  global.name = "main";
+  global.value = img.entry;
+  global.size = 5;
+  global.info = st_info(kStbGlobal, kSttFunc);
+  global.section = ".text";
+  Symbol local;
+  local.name = "helper.part.0";
+  local.value = img.entry + 4;
+  local.size = 1;
+  local.info = st_info(kStbLocal, kSttFunc);
+  local.section = ".text";
+  img.symbols = {global, local};
+
+  Image parsed = read_elf(write_elf(img));
+  ASSERT_EQ(parsed.symbols.size(), 2u);
+  // Locals are sorted before globals per the ELF spec.
+  EXPECT_EQ(parsed.symbols[0].name, "helper.part.0");
+  EXPECT_FALSE(parsed.symbols[0].is_global());
+  EXPECT_EQ(parsed.symbols[0].section, ".text");
+  EXPECT_EQ(parsed.symbols[1].name, "main");
+  EXPECT_TRUE(parsed.symbols[1].is_global());
+  EXPECT_TRUE(parsed.symbols[1].is_function());
+  EXPECT_EQ(parsed.symbols[1].value, img.entry);
+  EXPECT_EQ(parsed.symbols[1].size, 5u);
+}
+
+TEST_P(ElfRoundtrip, PltReconstructedFromRelocations) {
+  auto [machine, kind] = GetParam();
+  Image img = minimal_image(machine, kind);
+  add_plt_and_imports(img, {"malloc", "setjmp", "free"});
+
+  Image parsed = read_elf(write_elf(img));
+  ASSERT_EQ(parsed.plt.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed.plt[i].addr, img.plt[i].addr);
+    EXPECT_EQ(parsed.plt[i].symbol, img.plt[i].symbol);
+  }
+  EXPECT_EQ(parsed.plt_symbol_at(img.plt[1].addr).value_or(""), "setjmp");
+  EXPECT_FALSE(parsed.plt_symbol_at(img.plt[1].addr + 1).has_value());
+  ASSERT_EQ(parsed.dynsymbols.size(), 3u);
+}
+
+TEST_P(ElfRoundtrip, StripRemovesSymtabKeepsDynsym) {
+  auto [machine, kind] = GetParam();
+  Image img = minimal_image(machine, kind);
+  add_plt_and_imports(img, {"printf"});
+  Symbol s;
+  s.name = "main";
+  s.value = img.entry;
+  s.info = st_info(kStbGlobal, kSttFunc);
+  s.section = ".text";
+  img.symbols.push_back(std::move(s));
+
+  Image stripped = read_elf(write_elf(img));
+  stripped.strip();
+  Image reparsed = read_elf(write_elf(stripped));
+  EXPECT_TRUE(reparsed.symbols.empty());
+  EXPECT_EQ(reparsed.find_section(".symtab"), nullptr);
+  EXPECT_EQ(reparsed.find_section(".strtab"), nullptr);
+  // Dynamic linkage info must survive stripping (it does in reality).
+  EXPECT_EQ(reparsed.plt.size(), 1u);
+  EXPECT_EQ(reparsed.plt[0].symbol, "printf");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargets, ElfRoundtrip,
+    ::testing::Combine(::testing::Values(Machine::kX86, Machine::kX8664),
+                       ::testing::Values(BinaryKind::kExec, BinaryKind::kPie)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == Machine::kX8664 ? "x64" : "x86") +
+             (std::get<1>(info.param) == BinaryKind::kPie ? "Pie" : "Exec");
+    });
+
+TEST(ElfImage, DefaultBases) {
+  EXPECT_EQ(default_base(Machine::kX8664, BinaryKind::kExec), 0x400000u);
+  EXPECT_EQ(default_base(Machine::kX86, BinaryKind::kExec), 0x8048000u);
+  EXPECT_EQ(default_base(Machine::kX8664, BinaryKind::kPie), 0x1000u);
+}
+
+TEST(ElfImage, FindSectionAndText) {
+  Image img = minimal_image(Machine::kX8664, BinaryKind::kPie);
+  EXPECT_NE(img.find_section(".text"), nullptr);
+  EXPECT_EQ(img.find_section(".data"), nullptr);
+  Image empty;
+  EXPECT_THROW(empty.text(), ParseError);
+}
+
+TEST(ElfImage, FunctionSymbolsSortedAndFiltered) {
+  Image img = minimal_image(Machine::kX8664, BinaryKind::kPie);
+  Symbol f1, f2, obj;
+  f1.name = "b";
+  f1.value = 0x30;
+  f1.info = st_info(kStbGlobal, kSttFunc);
+  f2.name = "a";
+  f2.value = 0x10;
+  f2.info = st_info(kStbLocal, kSttFunc);
+  obj.name = "data";
+  obj.value = 0x20;
+  obj.info = st_info(kStbGlobal, kSttObject);
+  img.symbols = {f1, obj, f2};
+  auto funcs = img.function_symbols();
+  ASSERT_EQ(funcs.size(), 2u);
+  EXPECT_EQ(funcs[0].name, "a");
+  EXPECT_EQ(funcs[1].name, "b");
+}
+
+TEST(ElfReader, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes(64, 0);
+  EXPECT_THROW(read_elf(bytes), ParseError);
+}
+
+TEST(ElfReader, RejectsTruncatedFile) {
+  const std::uint8_t bytes[] = {0x7f, 'E', 'L', 'F'};
+  EXPECT_THROW(read_elf(bytes), ParseError);
+}
+
+TEST(ElfReader, RejectsBigEndian) {
+  Image img = minimal_image(Machine::kX8664, BinaryKind::kPie);
+  auto bytes = write_elf(img);
+  bytes[5] = 2;  // EI_DATA = MSB
+  EXPECT_THROW(read_elf(bytes), ParseError);
+}
+
+TEST(ElfReader, RejectsMismatchedClassMachine) {
+  Image img = minimal_image(Machine::kX8664, BinaryKind::kPie);
+  auto bytes = write_elf(img);
+  bytes[18] = 3;  // e_machine = EM_386 but class is 64-bit
+  EXPECT_THROW(read_elf(bytes), ParseError);
+}
+
+TEST(ElfReader, RejectsSectionPastEof) {
+  Image img = minimal_image(Machine::kX8664, BinaryKind::kPie);
+  auto bytes = write_elf(img);
+  bytes.resize(bytes.size() / 2);  // chop the file
+  EXPECT_THROW(read_elf(bytes), ParseError);
+}
+
+TEST(ElfWriter, SymbolWithUnknownSectionThrows) {
+  Image img = minimal_image(Machine::kX8664, BinaryKind::kPie);
+  Symbol s;
+  s.name = "ghost";
+  s.info = st_info(kStbGlobal, kSttFunc);
+  s.section = ".nonexistent";
+  img.symbols.push_back(std::move(s));
+  EXPECT_THROW(write_elf(img), EncodeError);
+}
+
+TEST(ElfWriter, PltWithoutGotThrows) {
+  Image img = minimal_image(Machine::kX8664, BinaryKind::kPie);
+  img.plt.push_back({0x5000, "puts"});
+  Symbol s;
+  s.name = "puts";
+  s.info = st_info(kStbGlobal, kSttFunc);
+  img.dynsymbols.push_back(std::move(s));
+  EXPECT_THROW(write_elf(img), EncodeError);
+}
+
+TEST(ElfWriter, PltSymbolMissingFromDynsymThrows) {
+  Image img = minimal_image(Machine::kX8664, BinaryKind::kPie);
+  add_plt_and_imports(img, {"malloc"});
+  img.plt.push_back({img.plt[0].addr + 16, "not_in_dynsym"});
+  EXPECT_THROW(write_elf(img), EncodeError);
+}
+
+TEST(ElfWriter, FileOffsetsCongruentWithVaddr) {
+  // A loader maps whole pages, so alloc sections need
+  // offset ≡ vaddr (mod align).
+  Image img = minimal_image(Machine::kX8664, BinaryKind::kExec);
+  img.sections[0].addr = 0x400123;  // deliberately unaligned
+  img.entry = 0x400123;
+  auto bytes = write_elf(img);
+  Image parsed = read_elf(bytes);
+  EXPECT_EQ(parsed.text().addr, 0x400123u);
+  EXPECT_EQ(parsed.text().data, img.text().data);
+}
+
+}  // namespace
+}  // namespace fsr::elf

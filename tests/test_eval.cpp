@@ -1,0 +1,174 @@
+// Evaluation-harness tests: scoring, failure classification, symbol
+// ground truth, table rendering, and the tool runner.
+#include <gtest/gtest.h>
+
+#include "elf/types.hpp"
+#include "eval/metrics.hpp"
+#include "eval/runner.hpp"
+#include "eval/tables.hpp"
+#include "eval/truth.hpp"
+#include "util/error.hpp"
+
+namespace fsr::eval {
+namespace {
+
+TEST(Score, ExactMatch) {
+  Score s = score({1, 2, 3}, {1, 2, 3});
+  EXPECT_EQ(s.tp, 3u);
+  EXPECT_EQ(s.fp, 0u);
+  EXPECT_EQ(s.fn, 0u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 1.0);
+}
+
+TEST(Score, MixedResults) {
+  // found: 1 (tp), 4 (fp), 5 (tp); truth: 1, 2 (fn), 5.
+  Score s = score({1, 4, 5}, {1, 2, 5});
+  EXPECT_EQ(s.tp, 2u);
+  EXPECT_EQ(s.fp, 1u);
+  EXPECT_EQ(s.fn, 1u);
+  EXPECT_NEAR(s.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.recall(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Score, EmptySides) {
+  Score none_found = score({}, {1, 2});
+  EXPECT_EQ(none_found.fn, 2u);
+  EXPECT_DOUBLE_EQ(none_found.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(none_found.precision(), 1.0);  // vacuous
+  Score none_true = score({1, 2}, {});
+  EXPECT_EQ(none_true.fp, 2u);
+  EXPECT_DOUBLE_EQ(none_true.recall(), 1.0);  // vacuous
+  Score empty = score({}, {});
+  EXPECT_DOUBLE_EQ(empty.f1(), 1.0);
+}
+
+TEST(Score, Accumulates) {
+  Score a = score({1}, {1, 2});
+  Score b = score({3, 4}, {3});
+  a += b;
+  EXPECT_EQ(a.tp, 2u);
+  EXPECT_EQ(a.fp, 1u);
+  EXPECT_EQ(a.fn, 1u);
+}
+
+TEST(FailureBreakdown, ClassifiesPerPaperCategories) {
+  synth::GroundTruth truth;
+  truth.functions = {0x10, 0x20, 0x30, 0x40};
+  truth.dead_functions = {0x20};
+  truth.fragments = {0x50};
+  // found: misses 0x20 (dead FN) and 0x40 (other FN); reports fragment
+  // 0x50 (fragment FP) and stray 0x60 (other FP).
+  FailureBreakdown b = classify_failures({0x10, 0x30, 0x50, 0x60}, truth);
+  EXPECT_EQ(b.fn_dead, 1u);
+  EXPECT_EQ(b.fn_other, 1u);
+  EXPECT_EQ(b.fp_fragment, 1u);
+  EXPECT_EQ(b.fp_other, 1u);
+}
+
+TEST(Truth, FragmentSymbolDetection) {
+  EXPECT_TRUE(is_fragment_symbol("foo.cold"));
+  EXPECT_TRUE(is_fragment_symbol("foo.part.3"));
+  EXPECT_TRUE(is_fragment_symbol("bar.cold.2"));
+  EXPECT_FALSE(is_fragment_symbol("coldstart"));  // substring ".cold" required
+  EXPECT_FALSE(is_fragment_symbol("partition"));
+  EXPECT_FALSE(is_fragment_symbol("main"));
+}
+
+TEST(Truth, FromSymbolsFiltersAndSorts) {
+  elf::Image img;
+  auto add = [&](const char* name, std::uint64_t addr) {
+    elf::Symbol s;
+    s.name = name;
+    s.value = addr;
+    s.info = elf::st_info(elf::kStbGlobal, elf::kSttFunc);
+    img.symbols.push_back(std::move(s));
+  };
+  add("b", 0x30);
+  add("a", 0x10);
+  add("a.part.0", 0x20);
+  add("c.cold", 0x40);
+  elf::Symbol obj;
+  obj.name = "not_a_function";
+  obj.value = 0x5;
+  obj.info = elf::st_info(elf::kStbGlobal, elf::kSttObject);
+  img.symbols.push_back(std::move(obj));
+  EXPECT_EQ(truth_from_symbols(img), (std::vector<std::uint64_t>{0x10, 0x30}));
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_rule();
+  t.add_row({"b", "123456"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  // All lines equally wide.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), UsageError);
+}
+
+TEST(Runner, ToolNames) {
+  EXPECT_EQ(to_string(Tool::kFunSeeker), "FunSeeker");
+  EXPECT_EQ(to_string(Tool::kIdaLike), "IDA-like");
+  EXPECT_EQ(to_string(Tool::kGhidraLike), "Ghidra-like");
+  EXPECT_EQ(to_string(Tool::kFetchLike), "FETCH-like");
+}
+
+TEST(Runner, RunsEveryToolOnOneEntry) {
+  synth::BinaryConfig cfg;
+  cfg.compiler = synth::Compiler::kGcc;
+  cfg.suite = synth::Suite::kCoreutils;
+  cfg.machine = elf::Machine::kX8664;
+  cfg.kind = elf::BinaryKind::kPie;
+  cfg.opt = synth::OptLevel::kO2;
+  const synth::DatasetEntry entry = synth::make_binary(cfg);
+
+  for (Tool tool : {Tool::kFunSeeker, Tool::kIdaLike, Tool::kGhidraLike, Tool::kFetchLike}) {
+    RunResult r = run_tool(tool, entry);
+    EXPECT_FALSE(r.found.empty()) << to_string(tool);
+    EXPECT_GT(r.score.tp, 0u) << to_string(tool);
+    EXPECT_GE(r.seconds, 0.0);
+    EXPECT_EQ(r.score.tp + r.score.fn, entry.truth.functions.size());
+  }
+}
+
+TEST(Runner, FunSeekerConfigsAreOrderedAsInTableII) {
+  synth::BinaryConfig cfg;
+  cfg.compiler = synth::Compiler::kGcc;
+  cfg.suite = synth::Suite::kSpec;
+  cfg.machine = elf::Machine::kX8664;
+  cfg.kind = elf::BinaryKind::kExec;
+  cfg.opt = synth::OptLevel::kO2;
+  cfg.program_index = 1;
+  const synth::DatasetEntry entry = synth::make_binary(cfg);
+
+  RunResult r1 = run_tool(Tool::kFunSeeker, entry, funseeker::Options::config(1));
+  RunResult r2 = run_tool(Tool::kFunSeeker, entry, funseeker::Options::config(2));
+  RunResult r3 = run_tool(Tool::kFunSeeker, entry, funseeker::Options::config(3));
+  RunResult r4 = run_tool(Tool::kFunSeeker, entry, funseeker::Options::config(4));
+  // FILTERENDBR only removes non-entries: precision up, recall equal.
+  EXPECT_GE(r2.score.precision(), r1.score.precision());
+  EXPECT_EQ(r2.score.recall(), r1.score.recall());
+  // Config 3 floods with jump targets: max recall, poor precision.
+  EXPECT_GE(r3.score.recall(), r2.score.recall());
+  EXPECT_LT(r3.score.precision(), 0.6);
+  // Config 4 restores precision while keeping most of the recall.
+  EXPECT_GT(r4.score.precision(), 0.95);
+  EXPECT_GE(r4.score.recall(), r2.score.recall());
+}
+
+}  // namespace
+}  // namespace fsr::eval

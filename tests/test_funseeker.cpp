@@ -1,0 +1,395 @@
+// FunSeeker unit tests on small hand-crafted binaries: each stage of
+// Algorithm 1 (DISASSEMBLE, FILTERENDBR, SELECTTAILCALL) exercised in
+// isolation with known inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eh/eh_frame.hpp"
+#include "eh/lsda.hpp"
+#include "elf/types.hpp"
+#include "elf/writer.hpp"
+#include "funseeker/disassemble.hpp"
+#include "funseeker/filter_endbr.hpp"
+#include "funseeker/funseeker.hpp"
+#include "funseeker/tail_call.hpp"
+#include "test_helpers.hpp"
+#include "x86/assembler.hpp"
+
+namespace fsr::funseeker {
+namespace {
+
+using test::add_plt;
+using test::image_from_code;
+using x86::Assembler;
+using x86::Cond;
+using x86::Label;
+using x86::Mode;
+using x86::Reg;
+
+constexpr std::uint64_t kText = 0x401000;
+constexpr std::uint64_t kPlt = 0x400400;
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(IndirectReturnList, MatchesGccList) {
+  EXPECT_EQ(indirect_return_functions().size(), 5u);
+  EXPECT_TRUE(is_indirect_return_function("setjmp"));
+  EXPECT_TRUE(is_indirect_return_function("_setjmp"));
+  EXPECT_TRUE(is_indirect_return_function("sigsetjmp"));
+  EXPECT_TRUE(is_indirect_return_function("__sigsetjmp"));
+  EXPECT_TRUE(is_indirect_return_function("vfork"));
+  EXPECT_FALSE(is_indirect_return_function("malloc"));
+  EXPECT_FALSE(is_indirect_return_function("setjmp2"));
+}
+
+TEST(Options, ConfigPresetsMatchTableII) {
+  Options c1 = Options::config(1);
+  EXPECT_FALSE(c1.filter_endbr);
+  EXPECT_FALSE(c1.include_jump_targets);
+  Options c2 = Options::config(2);
+  EXPECT_TRUE(c2.filter_endbr);
+  EXPECT_FALSE(c2.include_jump_targets);
+  Options c3 = Options::config(3);
+  EXPECT_TRUE(c3.include_jump_targets);
+  EXPECT_FALSE(c3.select_tail_calls);
+  Options c4 = Options::config(4);
+  EXPECT_TRUE(c4.filter_endbr);
+  EXPECT_TRUE(c4.include_jump_targets);
+  EXPECT_TRUE(c4.select_tail_calls);
+  EXPECT_THROW(Options::config(0), UsageError);
+  EXPECT_THROW(Options::config(5), UsageError);
+}
+
+TEST(Disassemble, CollectsEndbrCallAndJmpSets) {
+  Assembler a(Mode::k64, kText);
+  Label f2 = a.make_label();
+  // f1: endbr; call f2; jmp f2 (tail).
+  a.endbr();
+  a.call(f2);
+  a.jmp(f2);
+  a.bind(f2);
+  a.endbr();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  DisasmSets sets = disassemble(img);
+  EXPECT_EQ(sets.endbrs, (std::vector<std::uint64_t>{kText, a.address_of(f2)}));
+  EXPECT_EQ(sets.call_targets, (std::vector<std::uint64_t>{a.address_of(f2)}));
+  EXPECT_EQ(sets.jmp_targets, (std::vector<std::uint64_t>{a.address_of(f2)}));
+  EXPECT_EQ(sets.bad_bytes, 0u);
+}
+
+TEST(Disassemble, TargetsOutsideTextExcluded) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.call_addr(kPlt + 16);  // PLT stub: below .text
+  a.jmp_addr(kText + 0x10000);  // beyond .text end
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  DisasmSets sets = disassemble(img);
+  EXPECT_TRUE(sets.call_targets.empty());
+  EXPECT_TRUE(sets.jmp_targets.empty());
+}
+
+TEST(Disassemble, ConditionalJumpsNotInJ) {
+  Assembler a(Mode::k64, kText);
+  Label l = a.make_label();
+  a.endbr();
+  a.jcc(Cond::kE, l);
+  a.bind(l);
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  EXPECT_TRUE(disassemble(img).jmp_targets.empty());
+}
+
+// ----------------------------------------------------------- FILTERENDBR
+
+elf::Image setjmp_image(const std::string& import, std::uint64_t* pad_out) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();                 // function entry
+  a.call_addr(kPlt + 16);    // call import@plt
+  *pad_out = a.here();
+  a.endbr();                 // return pad
+  a.test_rr(Reg::kAx, Reg::kAx);
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  add_plt(img, kPlt, {import});
+  return img;
+}
+
+TEST(FilterEndbr, RemovesSetjmpReturnPad) {
+  std::uint64_t pad = 0;
+  elf::Image img = setjmp_image("setjmp", &pad);
+  DisasmSets sets = disassemble(img);
+  ASSERT_EQ(sets.endbrs.size(), 2u);
+  FilterResult fr = filter_endbr(img, sets);
+  EXPECT_EQ(fr.kept, (std::vector<std::uint64_t>{kText}));
+  EXPECT_EQ(fr.removed_indirect_return, (std::vector<std::uint64_t>{pad}));
+  EXPECT_TRUE(fr.removed_landing_pads.empty());
+}
+
+TEST(FilterEndbr, KeepsPadAfterOrdinaryCall) {
+  // Same shape, but the callee is not an indirect-return function: the
+  // end-branch stays (it could be a real jump target).
+  std::uint64_t pad = 0;
+  elf::Image img = setjmp_image("malloc", &pad);
+  DisasmSets sets = disassemble(img);
+  FilterResult fr = filter_endbr(img, sets);
+  EXPECT_EQ(fr.kept.size(), 2u);
+  EXPECT_TRUE(fr.removed_indirect_return.empty());
+}
+
+TEST(FilterEndbr, AllFiveIndirectReturnFunctionsFilter) {
+  for (const char* name : {"setjmp", "_setjmp", "sigsetjmp", "__sigsetjmp", "vfork"}) {
+    std::uint64_t pad = 0;
+    elf::Image img = setjmp_image(name, &pad);
+    DisasmSets sets = disassemble(img);
+    FilterResult fr = filter_endbr(img, sets);
+    EXPECT_EQ(fr.removed_indirect_return.size(), 1u) << name;
+  }
+}
+
+TEST(FilterEndbr, EndbrNotDirectlyAfterCallIsKept) {
+  // A nop separates the call from the end-branch: not a return pad.
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.call_addr(kPlt + 16);
+  a.nop(1);
+  a.endbr();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  add_plt(img, kPlt, {"setjmp"});
+  DisasmSets sets = disassemble(img);
+  FilterResult fr = filter_endbr(img, sets);
+  EXPECT_EQ(fr.kept.size(), 2u);
+}
+
+TEST(FilterEndbr, RemovesLandingPads) {
+  Assembler a(Mode::k64, kText);
+  Label callee = a.make_label();
+  a.endbr();
+  const std::uint64_t call_at = a.here();
+  a.call(callee);
+  a.ret();
+  const std::uint64_t pad = a.here();
+  a.endbr();  // catch block (508.namd pattern)
+  a.ret();
+  a.bind(callee);
+  a.endbr();
+  a.ret();
+  const std::uint64_t callee_addr = a.address_of(callee);
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+
+  // Build the exception tables referencing the pad.
+  eh::Lsda lsda;
+  lsda.func_start = kText;
+  lsda.call_sites = {{call_at, 5, pad, 1}};
+  elf::Section gct;
+  gct.name = ".gcc_except_table";
+  gct.type = elf::kShtProgbits;
+  gct.flags = elf::kShfAlloc;
+  gct.addr = 0x402000;
+  gct.data = eh::build_lsda(lsda);
+  img.sections.push_back(std::move(gct));
+  elf::Section eh_sec;
+  eh_sec.name = ".eh_frame";
+  eh_sec.type = elf::kShtProgbits;
+  eh_sec.flags = elf::kShfAlloc;
+  eh_sec.addr = 0x403000;
+  eh_sec.data = eh::build_eh_frame({{kText, pad + 5 - kText, 0x402000}}, 0x403000, 8);
+  img.sections.push_back(std::move(eh_sec));
+
+  DisasmSets sets = disassemble(img);
+  ASSERT_EQ(sets.endbrs.size(), 3u);
+  FilterResult fr = filter_endbr(img, sets);
+  EXPECT_EQ(fr.removed_landing_pads, (std::vector<std::uint64_t>{pad}));
+  EXPECT_EQ(fr.kept, (std::vector<std::uint64_t>{kText, callee_addr}));
+  EXPECT_EQ(landing_pad_addresses(img), (std::vector<std::uint64_t>{pad}));
+}
+
+TEST(FilterEndbr, NoExceptionInfoMeansNothingFiltered) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  EXPECT_TRUE(landing_pad_addresses(img).empty());
+  DisasmSets sets = disassemble(img);
+  FilterResult fr = filter_endbr(img, sets);
+  EXPECT_EQ(fr.kept.size(), 1u);
+}
+
+// -------------------------------------------------------- SELECTTAILCALL
+
+struct TailFixture {
+  elf::Image img;
+  std::uint64_t f1 = 0, f2 = 0, target = 0, inner = 0;
+  DisasmSets sets;
+  std::vector<std::uint64_t> entries;  // candidate set E' ∪ C
+};
+
+/// Two known functions f1, f2 both tail-jump to `target` (unknown), and
+/// f1 contains an intra-function jump to `inner`.
+TailFixture make_tail_fixture(bool second_ref) {
+  Assembler a(Mode::k64, kText);
+  Label ltarget = a.make_label();
+  Label linner = a.make_label();
+  TailFixture fx;
+  fx.f1 = a.here();
+  a.endbr();
+  a.jmp(linner);  // intra-function jump
+  a.nop(3);
+  a.bind(linner);
+  a.nop(1);
+  a.jmp(ltarget);  // tail call 1
+  fx.f2 = a.here();
+  a.endbr();
+  if (second_ref)
+    a.jmp(ltarget);  // tail call 2 (different function)
+  else
+    a.ret();
+  a.bind(ltarget);
+  fx.target = a.address_of(ltarget);
+  a.nop(2);
+  a.ret();
+  fx.inner = a.address_of(linner);
+  fx.img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  fx.sets = disassemble(fx.img);
+  fx.entries = {fx.f1, fx.f2};
+  return fx;
+}
+
+TEST(SelectTailCall, AcceptsMultiReferencedCrossFunctionTarget) {
+  TailFixture fx = make_tail_fixture(/*second_ref=*/true);
+  auto selected = select_tail_calls(fx.sets, fx.entries);
+  EXPECT_TRUE(contains(selected, fx.target));
+  EXPECT_FALSE(contains(selected, fx.inner)) << "intra-function target selected";
+}
+
+TEST(SelectTailCall, RejectsSingleReferencedTarget) {
+  TailFixture fx = make_tail_fixture(/*second_ref=*/false);
+  auto selected = select_tail_calls(fx.sets, fx.entries);
+  EXPECT_FALSE(contains(selected, fx.target))
+      << "condition 2 (multiple referencing functions) violated";
+}
+
+TEST(SelectTailCall, RejectsKnownEntries) {
+  TailFixture fx = make_tail_fixture(/*second_ref=*/true);
+  fx.entries.push_back(fx.target);
+  std::sort(fx.entries.begin(), fx.entries.end());
+  auto selected = select_tail_calls(fx.sets, fx.entries);
+  EXPECT_TRUE(selected.empty());
+}
+
+TEST(SelectTailCall, TwoJumpsFromSameFunctionDoNotCount) {
+  // Both references come from inside f1: condition 2 must fail.
+  Assembler a(Mode::k64, kText);
+  Label ltarget = a.make_label();
+  Label lskip = a.make_label();
+  const std::uint64_t f1 = a.here();
+  a.endbr();
+  a.jcc_short(Cond::kE, lskip);
+  a.jmp(ltarget);
+  a.bind(lskip);
+  a.jmp(ltarget);
+  const std::uint64_t f2 = a.here();
+  a.endbr();
+  a.ret();
+  a.bind(ltarget);
+  a.nop(2);
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  DisasmSets sets = disassemble(img);
+  auto selected = select_tail_calls(sets, {f1, f2});
+  EXPECT_TRUE(selected.empty());
+}
+
+// ----------------------------------------------------------- whole tool
+
+TEST(Analyze, ConfigSemantics) {
+  // Build: f1 (endbr, calls f2, setjmp pad), f2 (static: no endbr),
+  // intra jump in f1, shared tail target t.
+  Assembler a(Mode::k64, kText);
+  Label lf2 = a.make_label();
+  Label lt = a.make_label();
+  Label linner = a.make_label();
+  const std::uint64_t f1 = a.here();
+  a.endbr();
+  a.call(lf2);
+  a.call_addr(kPlt + 16);  // setjmp@plt
+  const std::uint64_t pad = a.here();
+  a.endbr();
+  a.jmp(linner);
+  a.nop(2);
+  a.bind(linner);
+  a.jmp(lt);
+  const std::uint64_t f2 = a.here();
+  a.bind(lf2);
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  a.leave();
+  a.jmp(lt);
+  a.bind(lt);
+  const std::uint64_t t = a.address_of(lt);
+  a.nop(2);
+  a.ret();
+  const std::uint64_t inner = a.address_of(linner);
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  add_plt(img, kPlt, {"setjmp"});
+
+  // Config 1: E ∪ C — includes the setjmp pad (false positive), no t.
+  auto r1 = analyze(img, Options::config(1));
+  EXPECT_TRUE(contains(r1.functions, f1));
+  EXPECT_TRUE(contains(r1.functions, f2));
+  EXPECT_TRUE(contains(r1.functions, pad));
+  EXPECT_FALSE(contains(r1.functions, t));
+
+  // Config 2: pad filtered.
+  auto r2 = analyze(img, Options::config(2));
+  EXPECT_FALSE(contains(r2.functions, pad));
+  EXPECT_TRUE(contains(r2.functions, f1));
+  EXPECT_TRUE(contains(r2.functions, f2));
+
+  // Config 3: every jmp target, including the intra-function one.
+  auto r3 = analyze(img, Options::config(3));
+  EXPECT_TRUE(contains(r3.functions, t));
+  EXPECT_TRUE(contains(r3.functions, inner));
+
+  // Config 4: tail target kept, intra-function target dropped.
+  auto r4 = analyze(img, Options::config(4));
+  EXPECT_TRUE(contains(r4.functions, t));
+  EXPECT_FALSE(contains(r4.functions, inner));
+  EXPECT_FALSE(contains(r4.functions, pad));
+}
+
+TEST(Analyze, BytesEntryPointMatchesImagePath) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.ret();
+  auto img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  auto direct = analyze(img);
+  auto via_bytes = analyze_bytes(elf::write_elf(img));
+  EXPECT_EQ(direct.functions, via_bytes.functions);
+  EXPECT_EQ(identify_functions(img), direct.functions);
+}
+
+TEST(Analyze, X86ModeWorks) {
+  Assembler a(Mode::k32, 0x8048100);
+  Label f2 = a.make_label();
+  a.endbr();
+  a.call(f2);
+  a.ret();
+  a.bind(f2);
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  a.leave();
+  a.ret();
+  auto img = image_from_code(a.finish(), 0x8048100, elf::Machine::kX86);
+  auto r = analyze(img);
+  EXPECT_TRUE(contains(r.functions, 0x8048100));
+  EXPECT_TRUE(contains(r.functions, a.address_of(f2)));
+}
+
+}  // namespace
+}  // namespace fsr::funseeker

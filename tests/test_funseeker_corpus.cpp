@@ -1,0 +1,170 @@
+// Corpus-level property tests for FunSeeker: invariants that must hold
+// on EVERY generated binary, swept over a sample of the dataset grid
+// (the quantitative tables live in bench/, these are the hard floors).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "elf/reader.hpp"
+#include "elf/writer.hpp"
+#include "eval/metrics.hpp"
+#include "eval/truth.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/corpus.hpp"
+
+namespace fsr::funseeker {
+namespace {
+
+using synth::BinaryConfig;
+using synth::Compiler;
+using synth::OptLevel;
+using synth::Suite;
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+class FunSeekerCorpus : public ::testing::TestWithParam<BinaryConfig> {
+protected:
+  void SetUp() override {
+    entry_ = synth::make_binary(GetParam());
+    bytes_ = entry_.stripped_bytes();
+  }
+  synth::DatasetEntry entry_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_P(FunSeekerCorpus, FullConfigMeetsAccuracyFloor) {
+  const Result r = analyze_bytes(bytes_);
+  const eval::Score s = eval::score(r.functions, entry_.truth.functions);
+  EXPECT_GT(s.precision(), 0.97) << GetParam().name();
+  EXPECT_GT(s.recall(), 0.97) << GetParam().name();
+}
+
+TEST_P(FunSeekerCorpus, FilterEndbrNeverRemovesATrueEntry) {
+  const Result r = analyze_bytes(bytes_);
+  for (std::uint64_t removed : r.removed_indirect_return)
+    EXPECT_FALSE(contains(entry_.truth.functions, removed)) << GetParam().name();
+  for (std::uint64_t removed : r.removed_landing_pads)
+    EXPECT_FALSE(contains(entry_.truth.functions, removed)) << GetParam().name();
+}
+
+TEST_P(FunSeekerCorpus, FilterEndbrRemovesExactlyTheNonEntryPads) {
+  const Result r = analyze_bytes(bytes_);
+  // Everything the generator recorded as a setjmp pad or landing pad
+  // must be filtered (they are never function entries).
+  for (std::uint64_t pad : entry_.truth.setjmp_pads)
+    EXPECT_TRUE(contains(r.removed_indirect_return, pad)) << GetParam().name();
+  for (std::uint64_t pad : entry_.truth.landing_pads)
+    EXPECT_TRUE(contains(r.removed_landing_pads, pad)) << GetParam().name();
+}
+
+TEST_P(FunSeekerCorpus, EveryEndbrEntryIsFound) {
+  // Functions that carry an end-branch can never be missed by the full
+  // configuration (E' keeps all entry end-branches).
+  const Result r = analyze_bytes(bytes_);
+  for (std::uint64_t f : entry_.truth.endbr_entries)
+    EXPECT_TRUE(contains(r.functions, f)) << GetParam().name();
+}
+
+TEST_P(FunSeekerCorpus, FalsePositivesAreOnlyFragments) {
+  // Paper §V-C: every FunSeeker false positive referred to a .part or
+  // .cold block.
+  const Result r = analyze_bytes(bytes_);
+  for (std::uint64_t f : r.functions) {
+    if (contains(entry_.truth.functions, f)) continue;
+    EXPECT_TRUE(contains(entry_.truth.fragments, f))
+        << GetParam().name() << ": non-fragment false positive at " << std::hex << f;
+  }
+}
+
+TEST_P(FunSeekerCorpus, FalseNegativesAreDeadOrTailOnly) {
+  const Result r = analyze_bytes(bytes_);
+  for (std::uint64_t f : entry_.truth.functions) {
+    if (contains(r.functions, f)) continue;
+    const bool dead = contains(entry_.truth.dead_functions, f);
+    const bool tail_only = contains(r.jmp_targets, f);
+    EXPECT_TRUE(dead || tail_only)
+        << GetParam().name() << ": unexplained miss at " << std::hex << f;
+  }
+}
+
+TEST_P(FunSeekerCorpus, ConfigLattice) {
+  // Table II's structure: recall(1) == recall(2) <= recall(4) <=
+  // recall(3), precision(3) <= precision(4).
+  const elf::Image img = elf::read_elf(bytes_);
+  const auto& truth = entry_.truth.functions;
+  const eval::Score s1 = eval::score(analyze(img, Options::config(1)).functions, truth);
+  const eval::Score s2 = eval::score(analyze(img, Options::config(2)).functions, truth);
+  const eval::Score s3 = eval::score(analyze(img, Options::config(3)).functions, truth);
+  const eval::Score s4 = eval::score(analyze(img, Options::config(4)).functions, truth);
+  EXPECT_EQ(s1.recall(), s2.recall()) << GetParam().name();
+  EXPECT_LE(s2.recall(), s4.recall()) << GetParam().name();
+  EXPECT_LE(s4.recall(), s3.recall()) << GetParam().name();
+  EXPECT_LE(s3.precision(), s4.precision()) << GetParam().name();
+  EXPECT_LE(s1.precision(), s2.precision()) << GetParam().name();
+}
+
+TEST_P(FunSeekerCorpus, ResultSetsAreSortedAndUnique) {
+  const Result r = analyze_bytes(bytes_);
+  auto sorted_unique = [](const std::vector<std::uint64_t>& v) {
+    return std::is_sorted(v.begin(), v.end()) &&
+           std::adjacent_find(v.begin(), v.end()) == v.end();
+  };
+  EXPECT_TRUE(sorted_unique(r.functions));
+  EXPECT_TRUE(sorted_unique(r.endbrs));
+  EXPECT_TRUE(sorted_unique(r.endbrs_kept));
+  EXPECT_TRUE(sorted_unique(r.call_targets));
+  EXPECT_TRUE(sorted_unique(r.jmp_targets));
+  EXPECT_TRUE(sorted_unique(r.tail_call_targets));
+}
+
+TEST_P(FunSeekerCorpus, FinalSetIsTheAlgebraicUnion) {
+  const Result r = analyze_bytes(bytes_);
+  std::vector<std::uint64_t> expected;
+  expected.insert(expected.end(), r.endbrs_kept.begin(), r.endbrs_kept.end());
+  expected.insert(expected.end(), r.call_targets.begin(), r.call_targets.end());
+  expected.insert(expected.end(), r.tail_call_targets.begin(), r.tail_call_targets.end());
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()), expected.end());
+  EXPECT_EQ(r.functions, expected);
+}
+
+TEST_P(FunSeekerCorpus, SymbolTruthAgreesWithGeneratorTruth) {
+  const elf::Image unstripped = elf::read_elf(elf::write_elf(entry_.image));
+  EXPECT_EQ(eval::truth_from_symbols(unstripped), entry_.truth.functions)
+      << GetParam().name();
+}
+
+std::vector<BinaryConfig> corpus_sample() {
+  // One binary from every (compiler, suite, machine, kind) cell at two
+  // optimization levels, rotating program indices.
+  std::vector<BinaryConfig> out;
+  int idx = 0;
+  for (Compiler c : synth::kAllCompilers)
+    for (Suite s : synth::kAllSuites)
+      for (elf::Machine m : {elf::Machine::kX86, elf::Machine::kX8664})
+        for (elf::BinaryKind k : {elf::BinaryKind::kExec, elf::BinaryKind::kPie})
+          for (OptLevel o : {OptLevel::kO1, OptLevel::kO3}) {
+            BinaryConfig cfg;
+            cfg.compiler = c;
+            cfg.suite = s;
+            cfg.machine = m;
+            cfg.kind = k;
+            cfg.opt = o;
+            cfg.program_index = idx++ % synth::default_programs(s);
+            out.push_back(cfg);
+          }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(DatasetSample, FunSeekerCorpus,
+                         ::testing::ValuesIn(corpus_sample()),
+                         [](const auto& info) {
+                           std::string n = info.param.name();
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace fsr::funseeker

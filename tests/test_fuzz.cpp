@@ -1,0 +1,177 @@
+// Robustness ("never crash") tests: every parser in the project must
+// survive arbitrary bytes — either by decoding something bounded or by
+// throwing fsr::ParseError. Analyzers must survive hostile-but-
+// structurally-valid binaries.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arm64/sweep.hpp"
+#include "eh/eh_frame.hpp"
+#include "eh/lsda.hpp"
+#include "elf/reader.hpp"
+#include "elf/writer.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/corpus.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "x86/decoder.hpp"
+#include "x86/sweep.hpp"
+
+namespace fsr {
+namespace {
+
+TEST(Fuzz, X86DecoderBoundedOnRandomBytes) {
+  util::Rng rng(0xf022);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.range(0, 20));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    for (x86::Mode mode : {x86::Mode::k32, x86::Mode::k64}) {
+      auto insn = x86::decode(bytes, 0x1000, mode);
+      if (insn.has_value()) {
+        ASSERT_GT(insn->length, 0u);
+        ASSERT_LE(insn->length, bytes.size());
+        ASSERT_LE(insn->length, 15u);  // architectural maximum
+      }
+    }
+  }
+}
+
+TEST(Fuzz, X86SweepTerminatesOnRandomBytes) {
+  util::Rng rng(0xdead);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.range(1, 4096));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    for (x86::Mode mode : {x86::Mode::k32, x86::Mode::k64}) {
+      x86::SweepResult r = x86::linear_sweep(bytes, 0x1000, mode);
+      // Coverage: every byte is either inside a decoded instruction or
+      // reported as a resync point.
+      std::size_t covered = r.bad_bytes.size();
+      for (const auto& insn : r.insns) covered += insn.length;
+      EXPECT_EQ(covered, bytes.size());
+    }
+  }
+}
+
+TEST(Fuzz, Arm64SweepTotalOnRandomWords) {
+  util::Rng rng(0xa64);
+  std::vector<std::uint8_t> bytes(4096);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+  auto insns = arm64::linear_sweep(bytes, 0x1000);
+  EXPECT_EQ(insns.size(), bytes.size() / 4);
+}
+
+TEST(Fuzz, ElfReaderThrowsNeverCrashesOnTruncation) {
+  synth::BinaryConfig cfg;
+  const auto bytes = synth::make_binary(cfg).stripped_bytes();
+  // Every truncation length either parses or throws ParseError.
+  for (std::size_t len = 0; len < bytes.size(); len += 37) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    try {
+      (void)elf::read_elf(cut);
+    } catch (const ParseError&) {
+      // expected for most lengths
+    }
+  }
+}
+
+TEST(Fuzz, ElfReaderSurvivesBitFlips) {
+  synth::BinaryConfig cfg;
+  cfg.suite = synth::Suite::kBinutils;
+  const auto pristine = synth::make_binary(cfg).stripped_bytes();
+  util::Rng rng(0xb17f11b5);
+  int parsed_ok = 0, rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = pristine;
+    for (int flips = 0; flips < 8; ++flips) {
+      const std::size_t at = static_cast<std::size_t>(rng.range(0, bytes.size() - 1));
+      bytes[at] ^= static_cast<std::uint8_t>(1u << rng.range(0, 7));
+    }
+    try {
+      elf::Image img = elf::read_elf(bytes);
+      ++parsed_ok;
+      // If it parsed, the analyzer must also survive it.
+      if (img.machine != elf::Machine::kArm64 && img.find_section(".text") != nullptr) {
+        try {
+          (void)funseeker::analyze(img);
+        } catch (const Error&) {
+          // acceptable: EH tables may be corrupt
+        }
+      }
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed_ok + rejected, 300);
+  EXPECT_GT(parsed_ok, 0) << "flips should not always break the container";
+}
+
+TEST(Fuzz, EhFrameParserThrowsOnRandomBytes) {
+  util::Rng rng(0xeef);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.range(0, 256));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      (void)eh::parse_eh_frame(bytes, 0x1000, 8);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(Fuzz, LsdaParserThrowsOnRandomBytes) {
+  util::Rng rng(0x15da);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.range(1, 128));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    std::size_t end = 0;
+    try {
+      (void)eh::parse_lsda(bytes, 0, 0x1000, end);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(Fuzz, AnalyzerSurvivesGarbageTextSection) {
+  // A structurally valid ELF whose .text is pure noise: FunSeeker must
+  // return *something* without throwing (the sweep resyncs through it).
+  util::Rng rng(0x7e47);
+  std::vector<std::uint8_t> noise(8192);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next());
+  elf::Image img = test::image_from_code(noise, 0x401000, elf::Machine::kX8664);
+  const funseeker::Result r = funseeker::analyze(img);
+  // Whatever it found must at least lie inside .text.
+  for (std::uint64_t f : r.functions) {
+    EXPECT_GE(f, 0x401000u);
+    EXPECT_LT(f, 0x401000u + noise.size());
+  }
+}
+
+TEST(Fuzz, WriterReaderClosureOnMutatedImages) {
+  // Mutating high-level image fields must either serialize+reparse
+  // cleanly or throw EncodeError — never produce a file the reader
+  // crashes on.
+  synth::BinaryConfig cfg;
+  cfg.suite = synth::Suite::kCoreutils;
+  synth::DatasetEntry entry = synth::make_binary(cfg);
+  util::Rng rng(0x3141);
+  for (int trial = 0; trial < 50; ++trial) {
+    elf::Image img = entry.image;
+    // Random section surgery.
+    if (!img.sections.empty() && rng.chance(0.5)) {
+      auto& s = img.sections[rng.range(0, img.sections.size() - 1)];
+      s.addr ^= rng.range(0, 0xfff);
+      if (!s.data.empty() && rng.chance(0.5)) s.data.resize(s.data.size() / 2);
+    }
+    try {
+      const auto bytes = elf::write_elf(img);
+      (void)elf::read_elf(bytes);
+    } catch (const Error&) {
+      // EncodeError (overlap) or ParseError both acceptable
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsr

@@ -1,0 +1,49 @@
+// Helpers for building tiny hand-crafted binaries in unit tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elf/image.hpp"
+#include "elf/types.hpp"
+#include "x86/assembler.hpp"
+
+namespace fsr::test {
+
+/// Wrap assembled code into a minimal Image with a .text section.
+inline elf::Image image_from_code(std::vector<std::uint8_t> code, std::uint64_t addr,
+                                  elf::Machine machine,
+                                  elf::BinaryKind kind = elf::BinaryKind::kExec) {
+  elf::Image img;
+  img.machine = machine;
+  img.kind = kind;
+  img.entry = addr;
+  elf::Section text;
+  text.name = ".text";
+  text.type = elf::kShtProgbits;
+  text.flags = elf::kShfAlloc | elf::kShfExecinstr;
+  text.addr = addr;
+  text.align = 16;
+  text.data = std::move(code);
+  img.sections.push_back(std::move(text));
+  return img;
+}
+
+/// Add a PLT section with one CET stub per symbol plus the matching
+/// resolved entries (16-byte stubs, PLT0 at the start).
+inline void add_plt(elf::Image& img, std::uint64_t plt_addr,
+                    const std::vector<std::string>& symbols) {
+  elf::Section plt;
+  plt.name = ".plt";
+  plt.type = elf::kShtProgbits;
+  plt.flags = elf::kShfAlloc | elf::kShfExecinstr;
+  plt.addr = plt_addr;
+  plt.align = 16;
+  plt.data.assign(16 * (symbols.size() + 1), 0x90);
+  img.sections.push_back(std::move(plt));
+  for (std::size_t i = 0; i < symbols.size(); ++i)
+    img.plt.push_back({plt_addr + 16 * (i + 1), symbols[i]});
+}
+
+}  // namespace fsr::test

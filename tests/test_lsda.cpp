@@ -1,0 +1,116 @@
+// LSDA (.gcc_except_table) codec tests.
+#include <gtest/gtest.h>
+
+#include "eh/lsda.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace fsr::eh {
+namespace {
+
+TEST(Lsda, RoundtripWithLandingPads) {
+  Lsda in;
+  in.func_start = 0x401000;
+  in.call_sites = {
+      {0x401010, 5, 0x401080, 1},
+      {0x401020, 5, 0, 0},
+      {0x401040, 5, 0x4010a0, 1},
+  };
+  auto bytes = build_lsda(in);
+  std::size_t end = 0;
+  Lsda out = parse_lsda(bytes, 0, in.func_start, end);
+  EXPECT_EQ(end, bytes.size());
+  ASSERT_EQ(out.call_sites.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.call_sites[i].start, in.call_sites[i].start);
+    EXPECT_EQ(out.call_sites[i].length, in.call_sites[i].length);
+    EXPECT_EQ(out.call_sites[i].landing_pad, in.call_sites[i].landing_pad);
+    EXPECT_EQ(out.call_sites[i].action, in.call_sites[i].action);
+  }
+  EXPECT_EQ(out.landing_pads(), (std::vector<std::uint64_t>{0x401080, 0x4010a0}));
+}
+
+TEST(Lsda, EmptyCallSiteTable) {
+  Lsda in;
+  in.func_start = 0x1000;
+  auto bytes = build_lsda(in);
+  std::size_t end = 0;
+  Lsda out = parse_lsda(bytes, 0, 0x1000, end);
+  EXPECT_TRUE(out.call_sites.empty());
+  EXPECT_TRUE(out.landing_pads().empty());
+}
+
+TEST(Lsda, ZeroLandingPadMeansNone) {
+  Lsda in;
+  in.func_start = 0x2000;
+  in.call_sites = {{0x2004, 5, 0, 0}};
+  auto bytes = build_lsda(in);
+  std::size_t end = 0;
+  Lsda out = parse_lsda(bytes, 0, 0x2000, end);
+  EXPECT_EQ(out.call_sites[0].landing_pad, 0u);
+  EXPECT_TRUE(out.landing_pads().empty());
+}
+
+TEST(Lsda, SequentialTablesInOneSection) {
+  // .gcc_except_table holds one LSDA per function, back to back.
+  Lsda a;
+  a.func_start = 0x1000;
+  a.call_sites = {{0x1004, 5, 0x1040, 1}};
+  Lsda b;
+  b.func_start = 0x2000;
+  b.call_sites = {{0x2008, 5, 0x2080, 1}, {0x2010, 5, 0, 0}};
+
+  util::ByteWriter section;
+  section.bytes(build_lsda(a));
+  const std::size_t b_off = section.size();
+  section.bytes(build_lsda(b));
+
+  std::size_t end = 0;
+  Lsda pa = parse_lsda(section.data(), 0, 0x1000, end);
+  EXPECT_EQ(end, b_off);
+  Lsda pb = parse_lsda(section.data(), b_off, 0x2000, end);
+  EXPECT_EQ(end, section.size());
+  EXPECT_EQ(pa.landing_pads(), (std::vector<std::uint64_t>{0x1040}));
+  EXPECT_EQ(pb.landing_pads(), (std::vector<std::uint64_t>{0x2080}));
+}
+
+TEST(Lsda, BuildRejectsSitesBeforeFunction) {
+  Lsda in;
+  in.func_start = 0x2000;
+  in.call_sites = {{0x1000, 5, 0, 0}};
+  EXPECT_THROW(build_lsda(in), EncodeError);
+  Lsda in2;
+  in2.func_start = 0x2000;
+  in2.call_sites = {{0x2004, 5, 0x1000, 1}};
+  EXPECT_THROW(build_lsda(in2), EncodeError);
+}
+
+TEST(Lsda, ParseRejectsOverrunningTable) {
+  Lsda in;
+  in.func_start = 0x1000;
+  in.call_sites = {{0x1004, 5, 0x1040, 1}};
+  auto bytes = build_lsda(in);
+  bytes.resize(bytes.size() - 2);  // truncate mid-table
+  std::size_t end = 0;
+  EXPECT_THROW(parse_lsda(bytes, 0, 0x1000, end), ParseError);
+}
+
+TEST(Lsda, ParseRejectsUnsupportedCallSiteEncoding) {
+  std::vector<std::uint8_t> bytes = {0xff, 0xff, 0x03 /* udata4 cs encoding */, 0x00};
+  std::size_t end = 0;
+  EXPECT_THROW(parse_lsda(bytes, 0, 0x1000, end), ParseError);
+}
+
+TEST(Lsda, LargeOffsetsUseMultiByteLeb) {
+  Lsda in;
+  in.func_start = 0x401000;
+  in.call_sites = {{0x401000 + 100000, 5, 0x401000 + 200000, 1}};
+  auto bytes = build_lsda(in);
+  std::size_t end = 0;
+  Lsda out = parse_lsda(bytes, 0, 0x401000, end);
+  EXPECT_EQ(out.call_sites[0].start, 0x401000u + 100000u);
+  EXPECT_EQ(out.call_sites[0].landing_pad, 0x401000u + 200000u);
+}
+
+}  // namespace
+}  // namespace fsr::eh

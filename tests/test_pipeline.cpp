@@ -1,0 +1,86 @@
+// End-to-end pipeline smoke tests: generate -> serialize -> parse ->
+// analyze, across a sample of dataset cells.
+#include <gtest/gtest.h>
+
+#include "elf/reader.hpp"
+#include "elf/writer.hpp"
+#include "eval/metrics.hpp"
+#include "eval/truth.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/corpus.hpp"
+
+namespace fsr {
+namespace {
+
+synth::BinaryConfig sample_config(synth::Compiler c, synth::Suite s, elf::Machine m,
+                                  elf::BinaryKind k, synth::OptLevel o, int prog = 0) {
+  synth::BinaryConfig cfg;
+  cfg.compiler = c;
+  cfg.suite = s;
+  cfg.machine = m;
+  cfg.kind = k;
+  cfg.opt = o;
+  cfg.program_index = prog;
+  return cfg;
+}
+
+TEST(Pipeline, GeneratesNonTrivialBinary) {
+  auto entry = synth::make_binary(sample_config(synth::Compiler::kGcc,
+                                                synth::Suite::kCoreutils,
+                                                elf::Machine::kX8664,
+                                                elf::BinaryKind::kPie,
+                                                synth::OptLevel::kO2));
+  EXPECT_GE(entry.truth.functions.size(), 40u);
+  EXPECT_FALSE(entry.image.text().data.empty());
+  EXPECT_FALSE(entry.truth.endbr_entries.empty());
+}
+
+TEST(Pipeline, WriteReadRoundtripPreservesSections) {
+  auto entry = synth::make_binary(sample_config(synth::Compiler::kGcc,
+                                                synth::Suite::kSpec,
+                                                elf::Machine::kX8664,
+                                                elf::BinaryKind::kExec,
+                                                synth::OptLevel::kO2, 1));
+  const auto bytes = elf::write_elf(entry.image);
+  const elf::Image parsed = elf::read_elf(bytes);
+  EXPECT_EQ(parsed.machine, entry.image.machine);
+  EXPECT_EQ(parsed.kind, entry.image.kind);
+  EXPECT_EQ(parsed.entry, entry.image.entry);
+  ASSERT_NE(parsed.find_section(".text"), nullptr);
+  EXPECT_EQ(parsed.text().data, entry.image.text().data);
+  EXPECT_EQ(parsed.text().addr, entry.image.text().addr);
+  EXPECT_EQ(parsed.plt.size(), entry.image.plt.size());
+  for (std::size_t i = 0; i < parsed.plt.size(); ++i) {
+    EXPECT_EQ(parsed.plt[i].addr, entry.image.plt[i].addr);
+    EXPECT_EQ(parsed.plt[i].symbol, entry.image.plt[i].symbol);
+  }
+}
+
+TEST(Pipeline, SymbolTruthMatchesGeneratorTruth) {
+  auto entry = synth::make_binary(sample_config(synth::Compiler::kGcc,
+                                                synth::Suite::kBinutils,
+                                                elf::Machine::kX8664,
+                                                elf::BinaryKind::kPie,
+                                                synth::OptLevel::kO3, 2));
+  const auto bytes = elf::write_elf(entry.image);
+  const elf::Image parsed = elf::read_elf(bytes);
+  EXPECT_EQ(eval::truth_from_symbols(parsed), entry.truth.functions);
+}
+
+TEST(Pipeline, FunSeekerDefaultConfigIsAccurate) {
+  for (auto compiler : {synth::Compiler::kGcc, synth::Compiler::kClang}) {
+    for (auto machine : {elf::Machine::kX86, elf::Machine::kX8664}) {
+      auto entry = synth::make_binary(sample_config(compiler, synth::Suite::kSpec,
+                                                    machine, elf::BinaryKind::kPie,
+                                                    synth::OptLevel::kO2, 3));
+      const auto bytes = entry.stripped_bytes();
+      const auto result = funseeker::analyze_bytes(bytes);
+      const eval::Score s = eval::score(result.functions, entry.truth.functions);
+      EXPECT_GT(s.precision(), 0.97) << synth::to_string(compiler) << " prec";
+      EXPECT_GT(s.recall(), 0.97) << synth::to_string(compiler) << " rec";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsr

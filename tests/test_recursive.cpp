@@ -1,0 +1,211 @@
+// Recursive-disassembly refinement tests (§VI future work).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "elf/reader.hpp"
+#include "eval/metrics.hpp"
+#include "funseeker/funseeker.hpp"
+#include "funseeker/recursive.hpp"
+#include "synth/corpus.hpp"
+#include "test_helpers.hpp"
+#include "x86/assembler.hpp"
+
+namespace fsr::funseeker {
+namespace {
+
+using test::image_from_code;
+using x86::Assembler;
+using x86::Label;
+using x86::Mode;
+
+constexpr std::uint64_t kText = 0x401000;
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+/// Build: f1 calls f2; a data blob before f2 is crafted so a linear
+/// sweep mis-decodes across f2's entry, but the direct call to f2 lets
+/// the recursive pass decode it at the right boundary.
+struct DesyncFixture {
+  elf::Image img;
+  std::uint64_t f1 = 0, f2 = 0, f3 = 0;
+};
+
+DesyncFixture make_desync() {
+  Assembler a(Mode::k64, kText);
+  Label lf2 = a.make_label();
+  DesyncFixture fx;
+  fx.f1 = a.here();
+  a.endbr();
+  a.call(lf2);
+  a.ret();
+  // A lone CALL opcode byte: the linear sweep, arriving here, consumes
+  // f2's endbr as the 4-byte displacement and desynchronizes exactly
+  // across the entry.
+  const std::uint8_t blob[] = {0xe8};
+  a.db(blob);
+  fx.f2 = a.here();
+  a.bind(lf2);
+  a.endbr();
+  a.nop(1);
+  a.ret();
+  fx.f3 = a.here();
+  a.endbr();  // resync lands here again (4-byte pattern realigns)
+  a.ret();
+  fx.img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  fx.img.entry = fx.f1;
+  return fx;
+}
+
+TEST(Recursive, LinearSweepMissesWhatRecursiveRecovers) {
+  DesyncFixture fx = make_desync();
+  // The plain algorithm loses f2's end-branch (swallowed by the blob)…
+  const Result plain = analyze(fx.img);
+  EXPECT_FALSE(contains(plain.endbrs, fx.f2)) << "fixture did not desync";
+  // …but still finds f2 via the call target; what it cannot see is any
+  // evidence *inside* f2's flow. The recursive pass re-decodes at f2:
+  RecursiveSets extra = recursive_disassemble(fx.img, {fx.f1, fx.f2});
+  EXPECT_TRUE(std::binary_search(extra.endbrs.begin(), extra.endbrs.end(), fx.f2));
+
+  Options refined;
+  refined.recursive_refine = true;
+  const Result r = analyze(fx.img, refined);
+  EXPECT_TRUE(contains(r.endbrs, fx.f2));
+  EXPECT_TRUE(contains(r.functions, fx.f2));
+}
+
+TEST(Recursive, SharedVisitedSetTerminates) {
+  // Mutually-recursive flow must not loop.
+  Assembler a(Mode::k64, kText);
+  Label la = a.make_label();
+  Label lb = a.make_label();
+  a.bind(la);
+  a.endbr();
+  a.call(lb);
+  a.jmp(la);
+  a.bind(lb);
+  a.endbr();
+  a.call(la);
+  a.ret();
+  elf::Image img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  RecursiveSets sets = recursive_disassemble(img, {kText});
+  EXPECT_EQ(sets.endbrs.size(), 2u);
+  EXPECT_EQ(sets.undecodable, 0u);
+}
+
+TEST(Recursive, SeedsOutsideTextIgnored) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.ret();
+  elf::Image img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  RecursiveSets sets = recursive_disassemble(img, {0x10, kText + 0x100000});
+  EXPECT_EQ(sets.endbrs.size(), 1u);  // only via the entry point
+}
+
+TEST(Recursive, UndecodableFlowCounted) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  Label bad = a.make_label();
+  a.call(bad);
+  a.ret();
+  a.bind(bad);
+  const std::uint8_t garbage[] = {0x06, 0x06, 0x06};  // invalid in 64-bit
+  a.db(garbage);
+  elf::Image img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  RecursiveSets sets = recursive_disassemble(img, {kText});
+  EXPECT_GT(sets.undecodable, 0u);
+}
+
+TEST(Recursive, NoChangeOnCleanBinaries) {
+  // On compiler-clean corpus binaries the refinement must be a no-op
+  // for the final answer (everything was already in the linear sweep).
+  synth::BinaryConfig cfg;
+  cfg.suite = synth::Suite::kSpec;
+  cfg.program_index = 2;
+  const synth::DatasetEntry entry = synth::make_binary(cfg);
+  const elf::Image img = elf::read_elf(entry.stripped_bytes());
+  Options refined;
+  refined.recursive_refine = true;
+  EXPECT_EQ(analyze(img).functions, analyze(img, refined).functions);
+}
+
+TEST(SupersetScan, FindsPatternAtAnyOffset) {
+  Assembler a(Mode::k64, kText);
+  a.endbr();
+  a.ret();
+  // Bury an endbr pattern behind a desynchronizing byte.
+  const std::uint8_t lone_call = 0xe8;
+  a.db({&lone_call, 1});
+  const std::uint64_t hidden = a.here();
+  a.endbr();
+  a.ret();
+  elf::Image img = image_from_code(a.finish(), kText, elf::Machine::kX8664);
+  img.entry = kText;
+  const auto scanned = scan_endbr_pattern(img);
+  EXPECT_TRUE(std::binary_search(scanned.begin(), scanned.end(), kText));
+  EXPECT_TRUE(std::binary_search(scanned.begin(), scanned.end(), hidden));
+
+  Options superset;
+  superset.superset_endbr_scan = true;
+  const Result r = analyze(img, superset);
+  EXPECT_TRUE(contains(r.functions, hidden));
+  EXPECT_FALSE(contains(analyze(img).functions, hidden)) << "linear should miss it";
+}
+
+TEST(SupersetScan, ModeSelectsPatternByte) {
+  Assembler a64(Mode::k64, kText);
+  a64.endbr();
+  elf::Image img64 = image_from_code(a64.finish(), kText, elf::Machine::kX8664);
+  EXPECT_EQ(scan_endbr_pattern(img64).size(), 1u);
+
+  Assembler a32(Mode::k32, kText);
+  a32.endbr();
+  elf::Image img32 = image_from_code(a32.finish(), kText, elf::Machine::kX86);
+  EXPECT_EQ(scan_endbr_pattern(img32).size(), 1u);
+  // Cross-mode pattern must not match.
+  elf::Image cross = image_from_code(a32.finish(), kText, elf::Machine::kX8664);
+  EXPECT_TRUE(scan_endbr_pattern(cross).empty());
+}
+
+TEST(SupersetScan, RestoresRecallOnDataInText) {
+  synth::BinaryConfig cfg;
+  cfg.suite = synth::Suite::kCoreutils;
+  Options superset;
+  superset.superset_endbr_scan = true;
+  superset.recursive_refine = true;
+  eval::Score plain, sup;
+  for (int prog = 0; prog < 3; ++prog) {
+    cfg.program_index = prog;
+    const synth::DatasetEntry entry = synth::make_binary_variant(cfg, false, 0.5);
+    const elf::Image img = elf::read_elf(entry.stripped_bytes());
+    plain += eval::score(analyze(img).functions, entry.truth.functions);
+    sup += eval::score(analyze(img, superset).functions, entry.truth.functions);
+  }
+  EXPECT_GT(sup.recall(), plain.recall());
+  EXPECT_GT(sup.recall(), 0.99) << "superset scan should recover swallowed markers";
+}
+
+TEST(Recursive, ImprovesRecallOnDataInText) {
+  synth::BinaryConfig cfg;
+  cfg.suite = synth::Suite::kBinutils;
+  eval::Score plain, refined_score;
+  Options refined;
+  refined.recursive_refine = true;
+  for (int prog = 0; prog < 3; ++prog) {
+    cfg.program_index = prog;
+    const synth::DatasetEntry entry = synth::make_binary_variant(cfg, false, 0.5);
+    const elf::Image img = elf::read_elf(entry.stripped_bytes());
+    plain += eval::score(analyze(img).functions, entry.truth.functions);
+    refined_score += eval::score(analyze(img, refined).functions, entry.truth.functions);
+  }
+  EXPECT_GE(refined_score.recall(), plain.recall());
+  EXPECT_GT(refined_score.recall(), 0.9);
+}
+
+}  // namespace
+}  // namespace fsr::funseeker

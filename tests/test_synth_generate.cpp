@@ -1,0 +1,265 @@
+// Program-structure generator tests: determinism, profile policies, and
+// the statistical properties the paper's study measures (Figure 3 /
+// Table I calibration lives in the bench harness; here we assert the
+// structural invariants and coarse bands).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "synth/corpus.hpp"
+#include "synth/generate.hpp"
+#include "synth/profiles.hpp"
+
+namespace fsr::synth {
+namespace {
+
+BinaryConfig cfg(Compiler c, Suite s, elf::Machine m, elf::BinaryKind k, OptLevel o,
+                 int prog = 0) {
+  BinaryConfig out;
+  out.compiler = c;
+  out.suite = s;
+  out.machine = m;
+  out.kind = k;
+  out.opt = o;
+  out.program_index = prog;
+  return out;
+}
+
+const BinaryConfig kGccO2 = cfg(Compiler::kGcc, Suite::kCoreutils, elf::Machine::kX8664,
+                                elf::BinaryKind::kPie, OptLevel::kO2);
+
+TEST(Generate, DeterministicForConfig) {
+  SynthProgram a = generate_program(kGccO2);
+  SynthProgram b = generate_program(kGccO2);
+  ASSERT_EQ(a.funcs.size(), b.funcs.size());
+  for (std::size_t i = 0; i < a.funcs.size(); ++i) {
+    EXPECT_EQ(a.funcs[i].name, b.funcs[i].name);
+    EXPECT_EQ(a.funcs[i].is_static, b.funcs[i].is_static);
+    EXPECT_EQ(a.funcs[i].callees, b.funcs[i].callees);
+    EXPECT_EQ(a.funcs[i].tail_callee, b.funcs[i].tail_callee);
+  }
+  EXPECT_EQ(a.imports, b.imports);
+}
+
+TEST(Generate, SameProgramSharesSkeletonAcrossConfigs) {
+  // One "source program" compiled at different opt levels keeps its
+  // function roster (what changes is codegen, not structure).
+  SynthProgram o0 = generate_program(
+      cfg(Compiler::kGcc, Suite::kCoreutils, elf::Machine::kX8664, elf::BinaryKind::kPie,
+          OptLevel::kO0));
+  SynthProgram o3 = generate_program(
+      cfg(Compiler::kGcc, Suite::kCoreutils, elf::Machine::kX86, elf::BinaryKind::kExec,
+          OptLevel::kO3));
+  EXPECT_EQ(o0.real_function_count(), o3.real_function_count());
+}
+
+TEST(Generate, DifferentProgramsDiffer) {
+  SynthProgram a = generate_program(kGccO2);
+  BinaryConfig other = kGccO2;
+  other.program_index = 7;
+  SynthProgram b = generate_program(other);
+  EXPECT_NE(a.funcs.size(), b.funcs.size());
+}
+
+TEST(Generate, FunctionCountRespectsSuiteBands) {
+  for (Suite suite : kAllSuites) {
+    const GenParams p = derive_params(cfg(Compiler::kGcc, suite, elf::Machine::kX8664,
+                                          elf::BinaryKind::kPie, OptLevel::kO2));
+    for (int prog = 0; prog < default_programs(suite); ++prog) {
+      SynthProgram sp = generate_program(cfg(Compiler::kGcc, suite, elf::Machine::kX8664,
+                                             elf::BinaryKind::kPie, OptLevel::kO2, prog));
+      EXPECT_GE(static_cast<int>(sp.real_function_count()), p.min_funcs);
+      EXPECT_LE(static_cast<int>(sp.real_function_count()), p.max_funcs);
+    }
+  }
+}
+
+TEST(Generate, EndbrFractionNearPaperValue) {
+  // Figure 3: ~89.3% of functions carry an end-branch at their entry.
+  std::size_t total = 0, endbr = 0;
+  for (Suite suite : kAllSuites) {
+    for (int prog = 0; prog < default_programs(suite); ++prog) {
+      SynthProgram sp = generate_program(cfg(Compiler::kGcc, suite, elf::Machine::kX8664,
+                                             elf::BinaryKind::kPie, OptLevel::kO2, prog));
+      for (const auto& f : sp.funcs) {
+        if (f.is_fragment) continue;
+        ++total;
+        if (f.has_endbr()) ++endbr;
+      }
+    }
+  }
+  const double frac = static_cast<double>(endbr) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.893, 0.03);
+}
+
+TEST(Generate, OnlyCxxProgramsGetLandingPads) {
+  for (Compiler compiler : kAllCompilers) {
+    for (Suite suite : {Suite::kCoreutils, Suite::kBinutils}) {
+      SynthProgram sp = generate_program(cfg(compiler, suite, elf::Machine::kX8664,
+                                             elf::BinaryKind::kPie, OptLevel::kO2));
+      EXPECT_FALSE(sp.is_cpp);
+      for (const auto& f : sp.funcs) EXPECT_EQ(f.landing_pads, 0);
+    }
+  }
+  bool some_cpp = false;
+  for (int prog = 0; prog < default_programs(Suite::kSpec); ++prog) {
+    SynthProgram sp = generate_program(cfg(Compiler::kGcc, Suite::kSpec,
+                                           elf::Machine::kX8664, elf::BinaryKind::kPie,
+                                           OptLevel::kO2, prog));
+    if (!sp.is_cpp) continue;
+    some_cpp = true;
+    int pads = 0;
+    for (const auto& f : sp.funcs) pads += f.landing_pads;
+    EXPECT_GT(pads, 0) << "C++ program without landing pads";
+  }
+  EXPECT_TRUE(some_cpp);
+}
+
+TEST(Generate, ClangEmitsNoFragments) {
+  for (int prog = 0; prog < default_programs(Suite::kBinutils); ++prog) {
+    SynthProgram sp = generate_program(cfg(Compiler::kClang, Suite::kBinutils,
+                                           elf::Machine::kX8664, elf::BinaryKind::kPie,
+                                           OptLevel::kO3, prog));
+    EXPECT_EQ(sp.fragment_count(), 0u);
+  }
+}
+
+TEST(Generate, GccEmitsFragmentsOnlyWhenOptimizing) {
+  std::size_t frag_o2 = 0;
+  for (int prog = 0; prog < default_programs(Suite::kBinutils); ++prog) {
+    SynthProgram o0 = generate_program(cfg(Compiler::kGcc, Suite::kBinutils,
+                                           elf::Machine::kX8664, elf::BinaryKind::kPie,
+                                           OptLevel::kO0, prog));
+    EXPECT_EQ(o0.fragment_count(), 0u);
+    SynthProgram o2 = generate_program(cfg(Compiler::kGcc, Suite::kBinutils,
+                                           elf::Machine::kX8664, elf::BinaryKind::kPie,
+                                           OptLevel::kO2, prog));
+    frag_o2 += o2.fragment_count();
+  }
+  EXPECT_GT(frag_o2, 0u);
+}
+
+TEST(Generate, FdePolicyPerCompiler) {
+  // Clang emits no FDEs for 32-bit binaries; GCC always does.
+  SynthProgram clang32 = generate_program(cfg(Compiler::kClang, Suite::kCoreutils,
+                                              elf::Machine::kX86, elf::BinaryKind::kPie,
+                                              OptLevel::kO2));
+  EXPECT_FALSE(clang32.emit_fdes);
+  SynthProgram clang64 = generate_program(cfg(Compiler::kClang, Suite::kCoreutils,
+                                              elf::Machine::kX8664, elf::BinaryKind::kPie,
+                                              OptLevel::kO2));
+  EXPECT_TRUE(clang64.emit_fdes);
+  SynthProgram gcc32 = generate_program(cfg(Compiler::kGcc, Suite::kCoreutils,
+                                            elf::Machine::kX86, elf::BinaryKind::kPie,
+                                            OptLevel::kO2));
+  EXPECT_TRUE(gcc32.emit_fdes);
+}
+
+TEST(Generate, NoTailCallsAtO0) {
+  for (Suite suite : kAllSuites) {
+    SynthProgram sp = generate_program(cfg(Compiler::kGcc, suite, elf::Machine::kX8664,
+                                           elf::BinaryKind::kPie, OptLevel::kO0));
+    for (const auto& f : sp.funcs) EXPECT_EQ(f.tail_callee, kNoFunc);
+  }
+}
+
+TEST(Generate, PcThunkOnlyOnX86Pie) {
+  EXPECT_TRUE(generate_program(cfg(Compiler::kGcc, Suite::kCoreutils, elf::Machine::kX86,
+                                   elf::BinaryKind::kPie, OptLevel::kO2)).pc_thunk);
+  EXPECT_FALSE(generate_program(cfg(Compiler::kGcc, Suite::kCoreutils, elf::Machine::kX86,
+                                    elf::BinaryKind::kExec, OptLevel::kO2)).pc_thunk);
+  EXPECT_FALSE(generate_program(cfg(Compiler::kGcc, Suite::kCoreutils,
+                                    elf::Machine::kX8664, elf::BinaryKind::kPie,
+                                    OptLevel::kO2)).pc_thunk);
+}
+
+TEST(Generate, CallGraphReferencesAreValidAndLive) {
+  SynthProgram sp = generate_program(kGccO2);
+  const int n = static_cast<int>(sp.funcs.size());
+  for (const auto& f : sp.funcs) {
+    for (FuncId c : f.callees) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, n);
+    }
+    if (f.tail_callee != kNoFunc) {
+      ASSERT_LT(f.tail_callee, n);
+      EXPECT_FALSE(sp.funcs[static_cast<std::size_t>(f.tail_callee)].dead);
+    }
+    // Dead functions must reference nothing and be referenced by nothing.
+    if (f.dead) {
+      EXPECT_TRUE(f.callees.empty());
+      EXPECT_EQ(f.tail_callee, kNoFunc);
+    }
+  }
+  // Nobody calls a dead function.
+  for (const auto& f : sp.funcs)
+    for (FuncId c : f.callees)
+      EXPECT_FALSE(sp.funcs[static_cast<std::size_t>(c)].dead);
+}
+
+TEST(Generate, FragmentsBelongToLiveOwners) {
+  SynthProgram sp = generate_program(cfg(Compiler::kGcc, Suite::kSpec,
+                                         elf::Machine::kX8664, elf::BinaryKind::kPie,
+                                         OptLevel::kO3, 1));
+  for (const auto& f : sp.funcs) {
+    if (!f.is_fragment) continue;
+    ASSERT_NE(f.fragment_owner, kNoFunc);
+    const auto& owner = sp.funcs[static_cast<std::size_t>(f.fragment_owner)];
+    EXPECT_FALSE(owner.is_fragment);
+    EXPECT_FALSE(owner.dead);
+    EXPECT_TRUE(f.name.find(".cold") != std::string::npos ||
+                f.name.find(".part.") != std::string::npos)
+        << f.name;
+  }
+}
+
+TEST(Generate, SetjmpProgramsImportAnIndirectReturnFunction) {
+  int with_setjmp = 0;
+  for (Suite suite : kAllSuites) {
+    for (int prog = 0; prog < default_programs(suite); ++prog) {
+      SynthProgram sp = generate_program(cfg(Compiler::kGcc, suite, elf::Machine::kX8664,
+                                             elf::BinaryKind::kPie, OptLevel::kO1, prog));
+      int sites = 0;
+      for (const auto& f : sp.funcs) sites += f.setjmp_sites;
+      if (sites == 0) continue;
+      ++with_setjmp;
+      const bool has_import = std::any_of(
+          sp.imports.begin(), sp.imports.end(), [](const std::string& s) {
+            return s == "setjmp" || s == "_setjmp" || s == "sigsetjmp" ||
+                   s == "__sigsetjmp" || s == "vfork";
+          });
+      EXPECT_TRUE(has_import);
+    }
+  }
+  // The knob is small but nonzero; at least one program must use it
+  // somewhere in the corpus (Table I's indirect-return row).
+  SUCCEED() << with_setjmp << " programs with setjmp sites";
+}
+
+TEST(Profiles, ConfigNameIsStable) {
+  EXPECT_EQ(kGccO2.name(), "gcc-coreutils-00-x64-pie-O2");
+  BinaryConfig c = cfg(Compiler::kClang, Suite::kSpec, elf::Machine::kX86,
+                       elf::BinaryKind::kExec, OptLevel::kOfast, 3);
+  EXPECT_EQ(c.name(), "clang-spec-03-x86-exec-Ofast");
+}
+
+TEST(Profiles, CorpusEnumerationCountsAndScale) {
+  const auto configs = corpus_configs(1.0);
+  std::size_t expected = 0;
+  for (Suite s : kAllSuites)
+    expected += static_cast<std::size_t>(default_programs(s));
+  expected *= 2 /*compilers*/ * 2 /*arch*/ * 2 /*pie*/ * 6 /*opt*/;
+  EXPECT_EQ(configs.size(), expected);
+  EXPECT_LT(corpus_configs(0.25).size(), configs.size());
+  EXPECT_GT(corpus_configs(2.0).size(), configs.size());
+}
+
+TEST(Profiles, OsDropsAlignment) {
+  const GenParams p = derive_params(cfg(Compiler::kGcc, Suite::kCoreutils,
+                                        elf::Machine::kX8664, elf::BinaryKind::kPie,
+                                        OptLevel::kOs));
+  EXPECT_EQ(p.func_align, 1);
+}
+
+}  // namespace
+}  // namespace fsr::synth

@@ -1,0 +1,346 @@
+// Unit tests for the util substrate: byte I/O, LEB128, RNG, strings,
+// timing.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/leb128.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/str.hpp"
+
+namespace fsr::util {
+namespace {
+
+// ---------------------------------------------------------------- bytes
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter w;
+  w.u8(0x11);
+  w.u16(0x2233);
+  w.u32(0x44556677);
+  w.u64(0x8899aabbccddeeffULL);
+  const std::vector<std::uint8_t> expect = {0x11, 0x33, 0x22, 0x77, 0x66, 0x55, 0x44,
+                                            0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88};
+  EXPECT_EQ(w.data(), expect);
+}
+
+TEST(ByteWriter, CstringAppendsNul) {
+  ByteWriter w;
+  w.cstring("ab");
+  EXPECT_EQ(w.data(), (std::vector<std::uint8_t>{'a', 'b', 0}));
+}
+
+TEST(ByteWriter, AlignPadsToBoundary) {
+  ByteWriter w;
+  w.u8(1);
+  w.align(8, 0xcc);
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_EQ(w.data()[7], 0xcc);
+  w.align(8);  // already aligned: no-op
+  EXPECT_EQ(w.size(), 8u);
+}
+
+TEST(ByteWriter, AlignZeroThrows) {
+  ByteWriter w;
+  EXPECT_THROW(w.align(0), UsageError);
+}
+
+TEST(ByteWriter, PatchRewritesInPlace) {
+  ByteWriter w;
+  w.u32(0);
+  w.u8(0xaa);
+  w.patch_u32(0, 0xdeadbeef);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u8(), 0xaa);
+}
+
+TEST(ByteWriter, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.u16(0);
+  EXPECT_THROW(w.patch_u32(0, 1), UsageError);
+  EXPECT_THROW(w.patch_u64(0, 1), UsageError);
+}
+
+TEST(ByteReader, RoundtripsAllWidths) {
+  ByteWriter w;
+  w.u8(0xfe);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i8(-1);
+  w.i16(-2);
+  w.i32(-3);
+  w.i64(-4);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xfe);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i8(), -1);
+  EXPECT_EQ(r.i16(), -2);
+  EXPECT_EQ(r.i32(), -3);
+  EXPECT_EQ(r.i64(), -4);
+  EXPECT_TRUE(r.eof());
+}
+
+TEST(ByteReader, ReadPastEndThrows) {
+  const std::uint8_t data[] = {1, 2, 3};
+  ByteReader r(data);
+  r.skip(2);
+  EXPECT_THROW(r.u16(), ParseError);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.u8(), ParseError);
+}
+
+TEST(ByteReader, SeekAndPeek) {
+  const std::uint8_t data[] = {10, 20, 30};
+  ByteReader r(data);
+  EXPECT_EQ(r.peek(), 10);
+  EXPECT_EQ(r.peek(2), 30);
+  r.seek(2);
+  EXPECT_EQ(r.u8(), 30);
+  EXPECT_THROW(r.seek(4), ParseError);
+  EXPECT_THROW(r.peek(), ParseError);
+}
+
+TEST(ByteReader, CstringStopsAtNul) {
+  const std::uint8_t data[] = {'h', 'i', 0, 'x'};
+  ByteReader r(data);
+  EXPECT_EQ(r.cstring(), "hi");
+  EXPECT_EQ(r.pos(), 3u);
+}
+
+TEST(ByteReader, UnterminatedCstringThrows) {
+  const std::uint8_t data[] = {'h', 'i'};
+  ByteReader r(data);
+  EXPECT_THROW(r.cstring(), ParseError);
+}
+
+TEST(ByteReader, ViewIsZeroCopyWindow) {
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  ByteReader r(data);
+  auto v = r.view(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_EQ(r.pos(), 3u);
+}
+
+// ---------------------------------------------------------------- leb128
+
+class Uleb128Roundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Uleb128Roundtrip, EncodesAndDecodes) {
+  ByteWriter w;
+  write_uleb128(w, GetParam());
+  EXPECT_EQ(w.size(), uleb128_size(GetParam()));
+  ByteReader r(w.data());
+  EXPECT_EQ(read_uleb128(r), GetParam());
+  EXPECT_TRUE(r.eof());
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeValues, Uleb128Roundtrip,
+                         ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL, 300ULL,
+                                           16383ULL, 16384ULL, 0xffffffffULL,
+                                           0x7fffffffffffffffULL,
+                                           std::numeric_limits<std::uint64_t>::max()));
+
+class Sleb128Roundtrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(Sleb128Roundtrip, EncodesAndDecodes) {
+  ByteWriter w;
+  write_sleb128(w, GetParam());
+  EXPECT_EQ(w.size(), sleb128_size(GetParam()));
+  ByteReader r(w.data());
+  EXPECT_EQ(read_sleb128(r), GetParam());
+  EXPECT_TRUE(r.eof());
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeValues, Sleb128Roundtrip,
+                         ::testing::Values(0LL, 1LL, -1LL, 63LL, 64LL, -64LL, -65LL,
+                                           127LL, -128LL, 8191LL, -8192LL,
+                                           std::numeric_limits<std::int64_t>::max(),
+                                           std::numeric_limits<std::int64_t>::min()));
+
+TEST(Leb128, KnownEncodings) {
+  // DWARF spec examples.
+  ByteWriter w;
+  write_uleb128(w, 624485);
+  EXPECT_EQ(w.data(), (std::vector<std::uint8_t>{0xe5, 0x8e, 0x26}));
+  ByteWriter w2;
+  write_sleb128(w2, -123456);
+  EXPECT_EQ(w2.data(), (std::vector<std::uint8_t>{0xc0, 0xbb, 0x78}));
+}
+
+TEST(Leb128, TruncatedInputThrows) {
+  const std::uint8_t data[] = {0x80, 0x80};  // continuation bits, no terminator
+  ByteReader r(data);
+  EXPECT_THROW(read_uleb128(r), ParseError);
+}
+
+TEST(Leb128, OverlongInputThrows) {
+  // 11 continuation bytes exceed 64 bits of payload.
+  std::vector<std::uint8_t> data(11, 0x80);
+  data.push_back(0x01);
+  ByteReader r(data);
+  EXPECT_THROW(read_uleb128(r), ParseError);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_EQ(rng.range(5, 5), 5u);
+  EXPECT_THROW(rng.range(3, 2), UsageError);
+}
+
+TEST(Rng, RangeCoversAllValues) {
+  Rng rng(3);
+  bool seen[4] = {};
+  for (int i = 0; i < 200; ++i) seen[rng.range(0, 3)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, WeightedRespectsZeroWeight) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    std::size_t pick = rng.weighted({0.0, 1.0, 0.0});
+    EXPECT_EQ(pick, 1u);
+  }
+}
+
+TEST(Rng, WeightedDistribution) {
+  Rng rng(19);
+  int counts[2] = {};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted({3.0, 1.0})];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedRejectsBadInput) {
+  Rng rng(23);
+  EXPECT_THROW(rng.weighted({}), UsageError);
+  EXPECT_THROW(rng.weighted({0.0, 0.0}), UsageError);
+  EXPECT_THROW(rng.weighted({1.0, -1.0}), UsageError);
+}
+
+TEST(Rng, SkewedStaysInBounds) {
+  Rng rng(29);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t v = rng.skewed(10, 50, 400);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 400u);
+    sum += static_cast<double>(v);
+  }
+  // Mean lands near the target (clamping pulls it down slightly).
+  EXPECT_NEAR(sum / n, 50.0, 8.0);
+}
+
+TEST(Rng, SkewedDegenerateCases) {
+  Rng rng(31);
+  EXPECT_EQ(rng.skewed(5, 5, 10), 5u);  // mean <= min
+  EXPECT_THROW(rng.skewed(10, 20, 5), UsageError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(41);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+// ------------------------------------------------------------------ str
+
+TEST(Str, Hex) {
+  EXPECT_EQ(hex(0), "0x0");
+  EXPECT_EQ(hex(0x40a9f4), "0x40a9f4");
+}
+
+TEST(Str, PercentFormatting) {
+  EXPECT_EQ(pct(0.99345, 3), "99.345");
+  EXPECT_EQ(pct(1.0, 2), "100.00");
+  EXPECT_EQ(fixed(1.1812, 3), "1.181");
+}
+
+TEST(Str, Padding) {
+  EXPECT_EQ(rpad("ab", 4), "  ab");
+  EXPECT_EQ(lpad("ab", 4), "ab  ");
+  EXPECT_EQ(rpad("abcde", 4), "abcde");  // never truncates
+}
+
+// ------------------------------------------------------------- stopwatch
+
+TEST(TimingStats, Aggregates) {
+  TimingStats t;
+  EXPECT_EQ(t.mean(), 0.0);
+  t.add(1.0);
+  t.add(3.0);
+  t.add(2.0);
+  EXPECT_EQ(t.count(), 3u);
+  EXPECT_DOUBLE_EQ(t.total(), 6.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(t.min(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max(), 3.0);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  double a = sw.seconds();
+  double b = sw.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace fsr::util

@@ -1,0 +1,113 @@
+// Tests for the §VI robustness variants: -mmanual-endbr simulation and
+// inline data in .text.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "elf/reader.hpp"
+#include "eval/metrics.hpp"
+#include "funseeker/disassemble.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/corpus.hpp"
+#include "synth/generate.hpp"
+
+namespace fsr::synth {
+namespace {
+
+BinaryConfig base_config() {
+  BinaryConfig cfg;
+  cfg.compiler = Compiler::kGcc;
+  cfg.suite = Suite::kBinutils;
+  cfg.machine = elf::Machine::kX8664;
+  cfg.kind = elf::BinaryKind::kPie;
+  cfg.opt = OptLevel::kO2;
+  return cfg;
+}
+
+TEST(ManualEndbr, KeepsIndirectTargetsAndExports) {
+  SynthProgram prog = generate_program(base_config());
+  apply_manual_endbr(prog);
+  std::vector<bool> referenced(prog.funcs.size(), false);
+  for (const auto& f : prog.funcs) {
+    for (FuncId c : f.callees) referenced[static_cast<std::size_t>(c)] = true;
+    if (f.tail_callee != kNoFunc)
+      referenced[static_cast<std::size_t>(f.tail_callee)] = true;
+  }
+  for (std::size_t i = 0; i < prog.funcs.size(); ++i) {
+    const auto& f = prog.funcs[i];
+    if (f.is_fragment) continue;
+    if (f.address_taken) {
+      EXPECT_TRUE(f.has_endbr()) << "address-taken function lost its marker";
+    } else if (!f.is_static && !referenced[i] && !f.dead) {
+      EXPECT_TRUE(f.has_endbr()) << "PLT-reachable export lost its marker";
+    } else if (!f.is_static && (referenced[i] || f.dead)) {
+      EXPECT_FALSE(f.has_endbr()) << "internally-referenced function kept its marker";
+    }
+  }
+}
+
+TEST(ManualEndbr, ReducesEndbrCountButKeepsBinaryValid) {
+  const BinaryConfig cfg = base_config();
+  const DatasetEntry normal = make_binary(cfg);
+  const DatasetEntry manual = make_binary_variant(cfg, /*manual_endbr=*/true, 0.0);
+  EXPECT_LT(manual.truth.endbr_entries.size(), normal.truth.endbr_entries.size());
+  EXPECT_EQ(manual.truth.functions.size(), normal.truth.functions.size());
+
+  // The sweep still decodes cleanly and FunSeeker still performs well:
+  // internally-referenced functions are recovered through C.
+  const auto result = funseeker::analyze_bytes(manual.stripped_bytes());
+  const eval::Score s = eval::score(result.functions, manual.truth.functions);
+  EXPECT_GT(s.precision(), 0.97);
+  EXPECT_GT(s.recall(), 0.93);  // the paper's predicted marginal loss
+}
+
+TEST(ManualEndbr, RecallLossIsBounded) {
+  // Aggregate over several programs: the loss should be percent-scale,
+  // not catastrophic (paper §VI argues ~1.24%).
+  eval::Score normal, manual;
+  for (int prog = 0; prog < 4; ++prog) {
+    BinaryConfig cfg = base_config();
+    cfg.program_index = prog;
+    const DatasetEntry a = make_binary(cfg);
+    normal += eval::score(funseeker::analyze_bytes(a.stripped_bytes()).functions,
+                          a.truth.functions);
+    const DatasetEntry b = make_binary_variant(cfg, true, 0.0);
+    manual += eval::score(funseeker::analyze_bytes(b.stripped_bytes()).functions,
+                          b.truth.functions);
+  }
+  const double loss = normal.recall() - manual.recall();
+  EXPECT_GE(loss, 0.0);
+  EXPECT_LT(loss, 0.06) << "manual-endbr loss should stay marginal";
+}
+
+TEST(DataInText, ZeroDensityIsByteIdentical) {
+  const BinaryConfig cfg = base_config();
+  EXPECT_EQ(make_binary(cfg).stripped_bytes(),
+            make_binary_variant(cfg, false, 0.0).stripped_bytes());
+}
+
+TEST(DataInText, IntroducesSweepResyncs) {
+  const BinaryConfig cfg = base_config();
+  const DatasetEntry dirty = make_binary_variant(cfg, false, 0.6);
+  const elf::Image img = elf::read_elf(dirty.stripped_bytes());
+  const funseeker::DisasmSets sets = funseeker::disassemble(img);
+  EXPECT_GT(sets.bad_bytes, 0u) << "blobs should defeat some decodes";
+
+  // Degradation, not collapse: most functions survive.
+  const auto result = funseeker::analyze_bytes(dirty.stripped_bytes());
+  const eval::Score s = eval::score(result.functions, dirty.truth.functions);
+  EXPECT_GT(s.recall(), 0.80);
+  EXPECT_GT(s.precision(), 0.90);
+}
+
+TEST(DataInText, GroundTruthUnaffected) {
+  const BinaryConfig cfg = base_config();
+  const DatasetEntry clean = make_binary(cfg);
+  const DatasetEntry dirty = make_binary_variant(cfg, false, 0.5);
+  // Same functions exist; only their addresses shift.
+  EXPECT_EQ(clean.truth.functions.size(), dirty.truth.functions.size());
+  EXPECT_EQ(clean.truth.fragments.size(), dirty.truth.fragments.size());
+}
+
+}  // namespace
+}  // namespace fsr::synth

@@ -1,0 +1,278 @@
+// Unit tests for the x86 decoder: exact lengths, control-flow
+// classification, CET markers, prefixes, stack deltas, and rejection of
+// malformed or mode-invalid encodings.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "x86/decoder.hpp"
+
+namespace fsr::x86 {
+namespace {
+
+Insn must_decode(std::initializer_list<std::uint8_t> bytes, Mode mode,
+                 std::uint64_t addr = 0x1000) {
+  std::vector<std::uint8_t> v(bytes);
+  auto insn = decode(v, addr, mode);
+  EXPECT_TRUE(insn.has_value());
+  return insn.value_or(Insn{});
+}
+
+void must_fail(std::initializer_list<std::uint8_t> bytes, Mode mode) {
+  std::vector<std::uint8_t> v(bytes);
+  EXPECT_FALSE(decode(v, 0x1000, mode).has_value());
+}
+
+// --------------------------------------------------------------- endbr
+
+TEST(Decoder, Endbr64) {
+  Insn i = must_decode({0xf3, 0x0f, 0x1e, 0xfa}, Mode::k64);
+  EXPECT_EQ(i.kind, Kind::kEndbr64);
+  EXPECT_EQ(i.length, 4);
+  EXPECT_TRUE(i.is_endbr());
+}
+
+TEST(Decoder, Endbr32) {
+  Insn i = must_decode({0xf3, 0x0f, 0x1e, 0xfb}, Mode::k32);
+  EXPECT_EQ(i.kind, Kind::kEndbr32);
+  EXPECT_EQ(i.length, 4);
+}
+
+TEST(Decoder, HintNopWithoutF3IsNotEndbr) {
+  Insn i = must_decode({0x0f, 0x1e, 0xfa}, Mode::k64);
+  EXPECT_FALSE(i.is_endbr());
+  EXPECT_EQ(i.length, 3);
+}
+
+// ------------------------------------------------------- direct branches
+
+TEST(Decoder, CallRel32Target) {
+  // call +0x10 at 0x1000: target = 0x1000 + 5 + 0x10.
+  Insn i = must_decode({0xe8, 0x10, 0x00, 0x00, 0x00}, Mode::k64);
+  EXPECT_EQ(i.kind, Kind::kCallDirect);
+  EXPECT_EQ(i.length, 5);
+  EXPECT_EQ(i.target, 0x1015u);
+}
+
+TEST(Decoder, CallRel32NegativeTarget) {
+  Insn i = must_decode({0xe8, 0xfb, 0xff, 0xff, 0xff}, Mode::k64);  // call -5
+  EXPECT_EQ(i.target, 0x1000u);
+}
+
+TEST(Decoder, JmpRel8) {
+  Insn i = must_decode({0xeb, 0x02}, Mode::k64);
+  EXPECT_EQ(i.kind, Kind::kJmpDirect);
+  EXPECT_EQ(i.length, 2);
+  EXPECT_EQ(i.target, 0x1004u);
+}
+
+TEST(Decoder, JmpRel32) {
+  Insn i = must_decode({0xe9, 0x00, 0x01, 0x00, 0x00}, Mode::k64);
+  EXPECT_EQ(i.kind, Kind::kJmpDirect);
+  EXPECT_EQ(i.target, 0x1105u);
+}
+
+TEST(Decoder, JccRel8AndRel32) {
+  Insn a = must_decode({0x74, 0x10}, Mode::k64);  // je
+  EXPECT_EQ(a.kind, Kind::kJcc);
+  EXPECT_EQ(a.target, 0x1012u);
+  Insn b = must_decode({0x0f, 0x85, 0x00, 0x02, 0x00, 0x00}, Mode::k64);  // jne
+  EXPECT_EQ(b.kind, Kind::kJcc);
+  EXPECT_EQ(b.length, 6);
+  EXPECT_EQ(b.target, 0x1206u);
+}
+
+TEST(Decoder, TargetTruncatesIn32BitMode) {
+  // Backward branch from a low address wraps around 2^32.
+  Insn i = must_decode({0xe9, 0x00, 0xf0, 0xff, 0xff}, Mode::k32, /*addr=*/0x100);
+  EXPECT_EQ(i.target & 0xffffffff00000000ULL, 0u);
+  EXPECT_EQ(i.target, (0x100u + 5u - 0x1000u) & 0xffffffffu);
+}
+
+TEST(Decoder, LoopAndJcxzAreConditional) {
+  Insn i = must_decode({0xe2, 0xfe}, Mode::k64);  // loop -2
+  EXPECT_EQ(i.kind, Kind::kJcc);
+  EXPECT_EQ(i.target, 0x1000u);
+}
+
+// ----------------------------------------------------- indirect branches
+
+TEST(Decoder, IndirectCallThroughRegister) {
+  Insn i = must_decode({0xff, 0xd0}, Mode::k64);  // call rax
+  EXPECT_EQ(i.kind, Kind::kCallIndirect);
+  EXPECT_FALSE(i.notrack);
+}
+
+TEST(Decoder, IndirectJmpNotrack) {
+  Insn i = must_decode({0x3e, 0xff, 0xe2}, Mode::k64);  // notrack jmp rdx
+  EXPECT_EQ(i.kind, Kind::kJmpIndirect);
+  EXPECT_TRUE(i.notrack);
+  EXPECT_EQ(i.length, 3);
+}
+
+TEST(Decoder, NotrackOnNonBranchIsJustSegmentPrefix) {
+  Insn i = must_decode({0x3e, 0x89, 0xd8}, Mode::k64);  // ds: mov eax, ebx
+  EXPECT_EQ(i.kind, Kind::kMov);
+  EXPECT_FALSE(i.notrack);
+}
+
+TEST(Decoder, IndirectCallThroughMemory) {
+  // call [rbp-16]: FF /2 mod=01 rm=101 disp8.
+  Insn i = must_decode({0xff, 0x55, 0xf0}, Mode::k64);
+  EXPECT_EQ(i.kind, Kind::kCallIndirect);
+  EXPECT_EQ(i.length, 3);
+}
+
+TEST(Decoder, JumpTableDispatchWithSib) {
+  // notrack jmp [rax*8 + disp32].
+  Insn i = must_decode({0x3e, 0xff, 0x24, 0xc5, 0x44, 0x33, 0x22, 0x11}, Mode::k64);
+  EXPECT_EQ(i.kind, Kind::kJmpIndirect);
+  EXPECT_TRUE(i.notrack);
+  EXPECT_EQ(i.length, 8);
+}
+
+// --------------------------------------------------------- stack deltas
+
+TEST(Decoder, PushPopDeltas) {
+  EXPECT_EQ(must_decode({0x55}, Mode::k64).stack_delta, -8);
+  EXPECT_EQ(must_decode({0x55}, Mode::k32).stack_delta, -4);
+  EXPECT_EQ(must_decode({0x5d}, Mode::k64).stack_delta, 8);
+  Insn push_r12 = must_decode({0x41, 0x54}, Mode::k64);
+  EXPECT_EQ(push_r12.kind, Kind::kPush);
+  EXPECT_EQ(push_r12.reg, 12);
+}
+
+TEST(Decoder, SubAddRspImm8Delta) {
+  Insn sub = must_decode({0x48, 0x83, 0xec, 0x20}, Mode::k64);  // sub rsp, 32
+  EXPECT_EQ(sub.stack_delta, -32);
+  Insn add = must_decode({0x48, 0x83, 0xc4, 0x20}, Mode::k64);  // add rsp, 32
+  EXPECT_EQ(add.stack_delta, 32);
+}
+
+TEST(Decoder, SubRspImm32Delta) {
+  Insn sub = must_decode({0x48, 0x81, 0xec, 0x00, 0x01, 0x00, 0x00}, Mode::k64);
+  EXPECT_EQ(sub.stack_delta, -256);
+}
+
+TEST(Decoder, SubOtherRegisterHasNoDelta) {
+  Insn sub = must_decode({0x48, 0x83, 0xe8, 0x20}, Mode::k64);  // sub rax, 32
+  EXPECT_EQ(sub.stack_delta, 0);
+}
+
+// ----------------------------------------------------------- other kinds
+
+TEST(Decoder, RetLeaveHltInt3Ud2) {
+  EXPECT_EQ(must_decode({0xc3}, Mode::k64).kind, Kind::kRet);
+  EXPECT_EQ(must_decode({0xc2, 0x08, 0x00}, Mode::k64).kind, Kind::kRet);
+  EXPECT_EQ(must_decode({0xc9}, Mode::k64).kind, Kind::kLeave);
+  EXPECT_EQ(must_decode({0xf4}, Mode::k64).kind, Kind::kHlt);
+  EXPECT_EQ(must_decode({0xcc}, Mode::k64).kind, Kind::kInt3);
+  EXPECT_EQ(must_decode({0x0f, 0x0b}, Mode::k64).kind, Kind::kUd2);
+}
+
+TEST(Decoder, MultiByteNops) {
+  // The canonical GAS nop ladder, lengths 1..9.
+  const std::vector<std::vector<std::uint8_t>> nops = {
+      {0x90},
+      {0x66, 0x90},
+      {0x0f, 0x1f, 0x00},
+      {0x0f, 0x1f, 0x40, 0x00},
+      {0x0f, 0x1f, 0x44, 0x00, 0x00},
+      {0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00},
+      {0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00},
+      {0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00},
+      {0x66, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00},
+  };
+  for (std::size_t i = 0; i < nops.size(); ++i) {
+    auto insn = decode(nops[i], 0, Mode::k64);
+    ASSERT_TRUE(insn.has_value()) << "nop length " << i + 1;
+    EXPECT_EQ(insn->length, i + 1);
+    EXPECT_EQ(insn->kind, Kind::kNop);
+  }
+}
+
+TEST(Decoder, RipRelativeLea) {
+  Insn i = must_decode({0x48, 0x8d, 0x3d, 0x10, 0x00, 0x00, 0x00}, Mode::k64);
+  EXPECT_EQ(i.kind, Kind::kLea);
+  EXPECT_EQ(i.length, 7);
+}
+
+TEST(Decoder, MovImm64) {
+  Insn i = must_decode({0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8}, Mode::k64);
+  EXPECT_EQ(i.kind, Kind::kMov);
+  EXPECT_EQ(i.length, 10);
+}
+
+TEST(Decoder, OperandSizePrefixShrinksImmediate) {
+  Insn i = must_decode({0x66, 0xb8, 0x34, 0x12}, Mode::k64);  // mov ax, 0x1234
+  EXPECT_EQ(i.length, 4);
+}
+
+TEST(Decoder, RecordsOpcodeAndModrm) {
+  Insn i = must_decode({0x48, 0x89, 0xe5}, Mode::k64);  // mov rbp, rsp
+  EXPECT_EQ(i.opcode, 0x89);
+  EXPECT_TRUE(i.has_modrm);
+  EXPECT_EQ(i.modrm, 0xe5);
+  Insn j = must_decode({0x0f, 0xaf, 0xc3}, Mode::k64);  // imul eax, ebx
+  EXPECT_EQ(j.opcode, 0x0faf);
+}
+
+// ------------------------------------------------------- mode differences
+
+TEST(Decoder, IncDecShortFormOnlyIn32Bit) {
+  Insn i = must_decode({0x40}, Mode::k32);  // inc eax
+  EXPECT_EQ(i.kind, Kind::kArith);
+  EXPECT_EQ(i.length, 1);
+  // In 64-bit mode 0x40 is a bare REX prefix with nothing after it.
+  must_fail({0x40}, Mode::k64);
+}
+
+TEST(Decoder, RexPrefixConsumedIn64BitOnly) {
+  Insn i = must_decode({0x41, 0x50}, Mode::k64);  // push r8
+  EXPECT_EQ(i.kind, Kind::kPush);
+  EXPECT_EQ(i.reg, 8);
+  // In 32-bit mode 0x41 is inc ecx — one instruction by itself.
+  Insn j = must_decode({0x41, 0x50}, Mode::k32);
+  EXPECT_EQ(j.kind, Kind::kArith);
+  EXPECT_EQ(j.length, 1);
+}
+
+TEST(Decoder, LegacyOnlyOpcodesRejectedIn64Bit) {
+  must_fail({0x06}, Mode::k64);  // push es
+  must_fail({0x27}, Mode::k64);  // daa
+  must_fail({0x60}, Mode::k64);  // pusha
+  must_fail({0xce}, Mode::k64);  // into
+  EXPECT_TRUE(decode({std::initializer_list<std::uint8_t>{0x60}.begin(), 1}, 0,
+                     Mode::k32).has_value());
+}
+
+TEST(Decoder, SixteenBitAddressingRejected) {
+  // 67h in 32-bit mode switches to 16-bit ModRM, which we do not model.
+  must_fail({0x67, 0x8b, 0x07}, Mode::k32);
+}
+
+// ------------------------------------------------------------- bad input
+
+TEST(Decoder, TruncatedInstructionsFail) {
+  must_fail({0xe8, 0x01, 0x02}, Mode::k64);        // call missing bytes
+  must_fail({0x48}, Mode::k64);                    // lone REX
+  must_fail({0x0f}, Mode::k64);                    // lone two-byte escape
+  must_fail({0xff}, Mode::k64);                    // group 5 without ModRM
+  must_fail({0x89, 0x84}, Mode::k64);              // ModRM wants SIB+disp32
+  must_fail({}, Mode::k64);
+}
+
+TEST(Decoder, PrefixOnlyStreamFails) {
+  must_fail({0x66, 0x66, 0x66}, Mode::k64);
+}
+
+TEST(Decoder, UnknownOpcodeFails) {
+  must_fail({0x0f, 0x04}, Mode::k64);  // unassigned two-byte opcode
+}
+
+TEST(Decoder, Grp5InvalidExtensionFails) {
+  must_fail({0xff, 0xf8}, Mode::k64);  // FF /7 is undefined
+}
+
+}  // namespace
+}  // namespace fsr::x86

@@ -1,0 +1,139 @@
+// Reference-encoding table: byte sequences as emitted by GCC/Clang
+// (checked against the Intel SDM / GNU as output), with their exact
+// lengths and classifications. Guards the decoder against length drift
+// on encodings the synthetic corpus may not exercise.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "x86/decoder.hpp"
+
+namespace fsr::x86 {
+namespace {
+
+struct Case {
+  const char* name;
+  std::vector<std::uint8_t> bytes;
+  Mode mode;
+  std::size_t length;
+  Kind kind;
+};
+
+class EncodingTable : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EncodingTable, DecodesWithExactLength) {
+  const Case& c = GetParam();
+  auto insn = decode(c.bytes, 0x401000, c.mode);
+  ASSERT_TRUE(insn.has_value()) << c.name;
+  EXPECT_EQ(insn->length, c.length) << c.name;
+  EXPECT_EQ(insn->kind, c.kind) << c.name;
+}
+
+const Case kCases[] = {
+    // -- prologues / epilogues as compilers emit them -------------------
+    {"push_rbp", {0x55}, Mode::k64, 1, Kind::kPush},
+    {"mov_rbp_rsp", {0x48, 0x89, 0xe5}, Mode::k64, 3, Kind::kMov},
+    {"push_r15", {0x41, 0x57}, Mode::k64, 2, Kind::kPush},
+    {"pop_r14", {0x41, 0x5e}, Mode::k64, 2, Kind::kPop},
+    {"sub_rsp_imm8", {0x48, 0x83, 0xec, 0x18}, Mode::k64, 4, Kind::kArith},
+    {"sub_rsp_imm32", {0x48, 0x81, 0xec, 0xd8, 0x00, 0x00, 0x00}, Mode::k64, 7, Kind::kArith},
+    {"leave", {0xc9}, Mode::k64, 1, Kind::kLeave},
+    {"ret", {0xc3}, Mode::k64, 1, Kind::kRet},
+    {"push_ebp_32", {0x55}, Mode::k32, 1, Kind::kPush},
+    {"mov_ebp_esp_32", {0x89, 0xe5}, Mode::k32, 2, Kind::kMov},
+
+    // -- loads / stores ----------------------------------------------------
+    {"mov_rax_mem_rbp_disp8", {0x48, 0x8b, 0x45, 0xf8}, Mode::k64, 4, Kind::kMov},
+    {"mov_mem_rbp_disp32_eax", {0x89, 0x85, 0x5c, 0xff, 0xff, 0xff}, Mode::k64, 6, Kind::kMov},
+    {"mov_rax_riprel", {0x48, 0x8b, 0x05, 0x10, 0x20, 0x00, 0x00}, Mode::k64, 7, Kind::kMov},
+    {"lea_rdi_riprel", {0x48, 0x8d, 0x3d, 0x00, 0x10, 0x00, 0x00}, Mode::k64, 7, Kind::kLea},
+    {"mov_qword_sib_disp8", {0x48, 0x89, 0x44, 0x24, 0x08}, Mode::k64, 5, Kind::kMov},
+    {"movzx_eax_byte", {0x0f, 0xb6, 0x45, 0xff}, Mode::k64, 4, Kind::kMov},
+    {"movsxd_rax_eax", {0x48, 0x63, 0xc0}, Mode::k64, 3, Kind::kMov},
+    {"mov_eax_abs32_32bit", {0xa1, 0x00, 0x10, 0x04, 0x08}, Mode::k32, 5, Kind::kMov},
+    {"mov_r8b_imm8", {0x41, 0xb0, 0x01}, Mode::k64, 3, Kind::kMov},
+    {"mov_rax_imm64", {0x48, 0xb8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11},
+     Mode::k64, 10, Kind::kMov},
+
+    // -- arithmetic ----------------------------------------------------------
+    {"add_eax_imm32", {0x05, 0x00, 0x01, 0x00, 0x00}, Mode::k64, 5, Kind::kArith},
+    {"cmp_byte_mem_imm8", {0x80, 0x7d, 0xef, 0x61}, Mode::k64, 4, Kind::kArith},
+    {"test_al_al", {0x84, 0xc0}, Mode::k64, 2, Kind::kArith},
+    {"xor_edi_edi", {0x31, 0xff}, Mode::k64, 2, Kind::kArith},
+    {"imul_rax_rdx_imm8", {0x48, 0x6b, 0xc2, 0x0a}, Mode::k64, 4, Kind::kArith},
+    {"imul_eax_mem_imm32", {0x69, 0x45, 0xf0, 0x10, 0x27, 0x00, 0x00}, Mode::k64, 7,
+     Kind::kArith},
+    {"shr_rax_imm", {0x48, 0xc1, 0xe8, 0x03}, Mode::k64, 4, Kind::kArith},
+    {"inc_dword_mem", {0xff, 0x45, 0xfc}, Mode::k64, 3, Kind::kArith},
+    {"neg_rax", {0x48, 0xf7, 0xd8}, Mode::k64, 3, Kind::kArith},
+    {"test_rdi_rdi", {0x48, 0x85, 0xff}, Mode::k64, 3, Kind::kArith},
+    {"cdqe", {0x48, 0x98}, Mode::k64, 2, Kind::kOther},
+    {"inc_eax_short_32", {0x40}, Mode::k32, 1, Kind::kArith},
+
+    // -- control flow -----------------------------------------------------------
+    {"call_rel32", {0xe8, 0x12, 0x34, 0x00, 0x00}, Mode::k64, 5, Kind::kCallDirect},
+    {"jmp_rel32", {0xe9, 0xf0, 0xff, 0xff, 0xff}, Mode::k64, 5, Kind::kJmpDirect},
+    {"jmp_rel8", {0xeb, 0x0e}, Mode::k64, 2, Kind::kJmpDirect},
+    {"je_rel8", {0x74, 0x0a}, Mode::k64, 2, Kind::kJcc},
+    {"jne_rel32", {0x0f, 0x85, 0x00, 0x01, 0x00, 0x00}, Mode::k64, 6, Kind::kJcc},
+    {"call_rax", {0xff, 0xd0}, Mode::k64, 2, Kind::kCallIndirect},
+    {"call_mem_rbp", {0xff, 0x55, 0xf0}, Mode::k64, 3, Kind::kCallIndirect},
+    {"call_got_riprel", {0xff, 0x15, 0x10, 0x20, 0x30, 0x00}, Mode::k64, 6,
+     Kind::kCallIndirect},
+    {"jmp_rax", {0xff, 0xe0}, Mode::k64, 2, Kind::kJmpIndirect},
+    {"notrack_jmp_rdx", {0x3e, 0xff, 0xe2}, Mode::k64, 3, Kind::kJmpIndirect},
+    {"jmp_jumptable_sib", {0xff, 0x24, 0xc5, 0x00, 0x10, 0x40, 0x00}, Mode::k64, 7,
+     Kind::kJmpIndirect},
+    {"ret_imm16", {0xc2, 0x10, 0x00}, Mode::k64, 3, Kind::kRet},
+    {"push_imm32", {0x68, 0x00, 0x20, 0x40, 0x00}, Mode::k32, 5, Kind::kPush},
+    {"push_imm8", {0x6a, 0x01}, Mode::k64, 2, Kind::kPush},
+
+    // -- CET / markers -------------------------------------------------------------
+    {"endbr64", {0xf3, 0x0f, 0x1e, 0xfa}, Mode::k64, 4, Kind::kEndbr64},
+    {"endbr32", {0xf3, 0x0f, 0x1e, 0xfb}, Mode::k32, 4, Kind::kEndbr32},
+    {"bnd_ret", {0xf2, 0xc3}, Mode::k64, 2, Kind::kRet},
+    {"rep_ret_amd", {0xf3, 0xc3}, Mode::k64, 2, Kind::kRet},
+
+    // -- misc compiler output -----------------------------------------------------
+    {"cpuid", {0x0f, 0xa2}, Mode::k64, 2, Kind::kOther},
+    {"ud2", {0x0f, 0x0b}, Mode::k64, 2, Kind::kUd2},
+    {"int3", {0xcc}, Mode::k64, 1, Kind::kInt3},
+    {"pause", {0xf3, 0x90}, Mode::k64, 2, Kind::kNop},
+    {"cmove_eax_edx", {0x0f, 0x44, 0xc2}, Mode::k64, 3, Kind::kOther},
+    {"setne_al", {0x0f, 0x95, 0xc0}, Mode::k64, 3, Kind::kOther},
+    {"movups_load", {0x0f, 0x10, 0x07}, Mode::k64, 3, Kind::kOther},
+    {"movaps_xmm_store", {0x0f, 0x29, 0x45, 0xd0}, Mode::k64, 4, Kind::kOther},
+    {"pxor_xmm0", {0x66, 0x0f, 0xef, 0xc0}, Mode::k64, 4, Kind::kOther},
+    {"movd_xmm_sse2", {0x66, 0x0f, 0x6e, 0xc0}, Mode::k64, 4, Kind::kOther},
+    {"pshufd", {0x66, 0x0f, 0x70, 0xc0, 0x44}, Mode::k64, 5, Kind::kOther},
+    {"mfence", {0x0f, 0xae, 0xf0}, Mode::k64, 3, Kind::kOther},
+    {"bswap_eax", {0x0f, 0xc8}, Mode::k64, 2, Kind::kOther},
+    {"bsr_eax_edx", {0x0f, 0xbd, 0xc2}, Mode::k64, 3, Kind::kOther},
+    {"syscall", {0x0f, 0x05}, Mode::k64, 2, Kind::kOther},
+    {"xchg_eax_ebx", {0x93}, Mode::k64, 1, Kind::kOther},
+    {"cmpxchg_lock", {0xf0, 0x0f, 0xb1, 0x0f}, Mode::k64, 4, Kind::kOther},
+    {"fldz_x87", {0xd9, 0xee}, Mode::k64, 2, Kind::kOther},
+    {"nop_word_cs_9byte", {0x66, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+     Mode::k64, 9, Kind::kNop},
+
+    // -- VEX / EVEX (AVX) -------------------------------------------------------
+    {"vzeroupper", {0xc5, 0xf8, 0x77}, Mode::k64, 3, Kind::kOther},
+    {"vmovaps_xmm0_xmm1", {0xc5, 0xf8, 0x28, 0xc1}, Mode::k64, 4, Kind::kOther},
+    {"vpxor_xmm0", {0xc5, 0xf1, 0xef, 0xc0}, Mode::k64, 4, Kind::kOther},
+    {"vmovups_load_mem", {0xc5, 0xfc, 0x10, 0x45, 0xd0}, Mode::k64, 5, Kind::kOther},
+    {"vex3_vpshufb", {0xc4, 0xe2, 0x71, 0x00, 0xc2}, Mode::k64, 5, Kind::kOther},
+    {"vex3_vinsertf128_imm", {0xc4, 0xe3, 0x75, 0x18, 0xc0, 0x01}, Mode::k64, 6,
+     Kind::kOther},
+    {"vex3_vmovdqa_riprel", {0xc5, 0xfd, 0x6f, 0x05, 0x10, 0x00, 0x00, 0x00},
+     Mode::k64, 8, Kind::kOther},
+    {"evex_vaddpd_zmm", {0x62, 0xf1, 0xf5, 0x48, 0x58, 0xc0}, Mode::k64, 6, Kind::kOther},
+    {"vex_in_32bit_mode", {0xc5, 0xf8, 0x28, 0xc1}, Mode::k32, 4, Kind::kOther},
+    // In 32-bit mode C5 with a memory-form second byte is LDS.
+    {"lds_not_vex_32bit", {0xc5, 0x45, 0x08}, Mode::k32, 3, Kind::kOther},
+};
+
+INSTANTIATE_TEST_SUITE_P(ReferenceEncodings, EncodingTable, ::testing::ValuesIn(kCases),
+                         [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace fsr::x86

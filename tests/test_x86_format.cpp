@@ -1,0 +1,65 @@
+// Instruction formatter tests.
+#include <gtest/gtest.h>
+
+#include "x86/assembler.hpp"
+#include "x86/decoder.hpp"
+#include "x86/format.hpp"
+
+namespace fsr::x86 {
+namespace {
+
+std::string fmt(std::initializer_list<std::uint8_t> bytes, Mode mode = Mode::k64) {
+  std::vector<std::uint8_t> v(bytes);
+  auto insn = decode(v, 0x401000, mode);
+  EXPECT_TRUE(insn.has_value());
+  return insn.has_value() ? mnemonic(*insn) : std::string();
+}
+
+TEST(Format, Markers) {
+  EXPECT_EQ(fmt({0xf3, 0x0f, 0x1e, 0xfa}), "endbr64");
+  EXPECT_EQ(fmt({0xf3, 0x0f, 0x1e, 0xfb}, Mode::k32), "endbr32");
+}
+
+TEST(Format, BranchesCarryTargets) {
+  EXPECT_EQ(fmt({0xe8, 0x10, 0x00, 0x00, 0x00}), "call 0x401015");
+  EXPECT_EQ(fmt({0xeb, 0x02}), "jmp 0x401004");
+  EXPECT_EQ(fmt({0x74, 0x06}), "jcc 0x401008");
+  EXPECT_EQ(fmt({0x3e, 0xff, 0xe2}), "notrack jmp*");
+  EXPECT_EQ(fmt({0xff, 0xd0}), "call*");
+}
+
+TEST(Format, PushPopRegisterNames) {
+  EXPECT_EQ(fmt({0x55}), "push %rbp");
+  EXPECT_EQ(fmt({0x41, 0x54}), "push %r12");
+  EXPECT_EQ(fmt({0x5b}), "pop %rbx");
+}
+
+TEST(Format, CommonOpcodeNames) {
+  EXPECT_EQ(fmt({0x48, 0x89, 0xe5}), "mov");
+  EXPECT_EQ(fmt({0x48, 0x8d, 0x3d, 0, 0, 0, 0}), "lea");
+  EXPECT_EQ(fmt({0x48, 0x31, 0xc0}), "xor");
+  EXPECT_EQ(fmt({0x48, 0x39, 0xc8}), "cmp");
+  EXPECT_EQ(fmt({0x0f, 0xaf, 0xc3}), "imul");
+  EXPECT_EQ(fmt({0xc3}), "ret");
+  EXPECT_EQ(fmt({0xc9}), "leave");
+  EXPECT_EQ(fmt({0x90}), "nop");
+}
+
+TEST(Format, UnknownOpcodesFallBackToHex) {
+  EXPECT_EQ(fmt({0x0f, 0xa2}), "(0f a2)");  // cpuid
+}
+
+TEST(Format, LineLayout) {
+  Assembler a(Mode::k64, 0x401000);
+  a.endbr();
+  const auto code = a.finish();
+  auto insn = decode(code, 0x401000, Mode::k64);
+  ASSERT_TRUE(insn.has_value());
+  const std::string line = format_line(*insn, code, 0x401000);
+  EXPECT_NE(line.find("0x401000"), std::string::npos);
+  EXPECT_NE(line.find("f3 0f 1e fa"), std::string::npos);
+  EXPECT_NE(line.find("endbr64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsr::x86

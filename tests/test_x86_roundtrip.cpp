@@ -1,0 +1,303 @@
+// Encoder/decoder agreement: everything the Assembler can emit must
+// decode back to exactly one instruction with the right classification,
+// length, and target. This is the invariant the whole corpus generator
+// rests on (a disagreement would corrupt every downstream experiment).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "x86/assembler.hpp"
+#include "x86/decoder.hpp"
+#include "x86/sweep.hpp"
+
+namespace fsr::x86 {
+namespace {
+
+constexpr std::uint64_t kBase = 0x401000;
+
+struct Emit {
+  const char* name;
+  std::function<void(Assembler&)> fn;
+  Kind expect;
+};
+
+class RoundtripTest : public ::testing::TestWithParam<Mode> {
+protected:
+  [[nodiscard]] static std::vector<Reg> regs(Mode mode) {
+    std::vector<Reg> out = {Reg::kAx, Reg::kCx, Reg::kDx, Reg::kBx,
+                            Reg::kSi, Reg::kDi, Reg::kBp, Reg::kSp};
+    if (mode == Mode::k64)
+      out.insert(out.end(), {Reg::kR8, Reg::kR9, Reg::kR10, Reg::kR11, Reg::kR12,
+                             Reg::kR13, Reg::kR14, Reg::kR15});
+    return out;
+  }
+};
+
+TEST_P(RoundtripTest, SingleInstructionForms) {
+  const Mode mode = GetParam();
+  std::vector<Emit> cases = {
+      {"endbr", [](Assembler& a) { a.endbr(); },
+       mode == Mode::k64 ? Kind::kEndbr64 : Kind::kEndbr32},
+      {"ret", [](Assembler& a) { a.ret(); }, Kind::kRet},
+      {"ret_imm", [](Assembler& a) { a.ret_imm(16); }, Kind::kRet},
+      {"leave", [](Assembler& a) { a.leave(); }, Kind::kLeave},
+      {"int3", [](Assembler& a) { a.int3(); }, Kind::kInt3},
+      {"hlt", [](Assembler& a) { a.hlt(); }, Kind::kHlt},
+      {"ud2", [](Assembler& a) { a.ud2(); }, Kind::kUd2},
+      {"sub_sp8", [](Assembler& a) { a.sub_sp(0x20); }, Kind::kArith},
+      {"sub_sp32", [](Assembler& a) { a.sub_sp(0x200); }, Kind::kArith},
+      {"add_sp8", [](Assembler& a) { a.add_sp(0x18); }, Kind::kArith},
+      {"add_sp32", [](Assembler& a) { a.add_sp(0x180); }, Kind::kArith},
+      {"mov_frame", [](Assembler& a) { a.mov_frame_reg(-16, Reg::kAx); }, Kind::kMov},
+      {"mov_unframe", [](Assembler& a) { a.mov_reg_frame(Reg::kCx, -8); }, Kind::kMov},
+      {"call_frame", [](Assembler& a) { a.call_frame(-16); }, Kind::kCallIndirect},
+      {"test", [](Assembler& a) { a.test_rr(Reg::kAx, Reg::kAx); }, Kind::kArith},
+      {"cmp_i8", [](Assembler& a) { a.cmp_ri8(Reg::kDx, 5); }, Kind::kArith},
+      {"add_i8", [](Assembler& a) { a.add_ri8(Reg::kSi, -1); }, Kind::kArith},
+      {"imul", [](Assembler& a) { a.imul_rr(Reg::kAx, Reg::kCx); }, Kind::kArith},
+      {"shl", [](Assembler& a) { a.shl_ri(Reg::kDx, 3); }, Kind::kArith},
+  };
+  for (const auto& c : cases) {
+    Assembler a(mode, kBase);
+    c.fn(a);
+    const auto code = a.finish();
+    auto insn = decode(code, kBase, mode);
+    ASSERT_TRUE(insn.has_value()) << c.name;
+    EXPECT_EQ(insn->kind, c.expect) << c.name;
+    EXPECT_EQ(insn->length, code.size()) << c.name;
+  }
+}
+
+TEST_P(RoundtripTest, RegisterForms) {
+  const Mode mode = GetParam();
+  for (Reg r : regs(mode)) {
+    {
+      Assembler a(mode, kBase);
+      a.push(r);
+      const auto code = a.finish();
+      auto insn = decode(code, kBase, mode);
+      ASSERT_TRUE(insn.has_value());
+      EXPECT_EQ(insn->kind, Kind::kPush);
+      EXPECT_EQ(insn->reg, static_cast<std::uint8_t>(r));
+      EXPECT_EQ(insn->length, code.size());
+    }
+    {
+      Assembler a(mode, kBase);
+      a.pop(r);
+      auto insn = decode(a.finish(), kBase, mode);
+      ASSERT_TRUE(insn.has_value());
+      EXPECT_EQ(insn->kind, Kind::kPop);
+      EXPECT_EQ(insn->reg, static_cast<std::uint8_t>(r));
+    }
+    for (Reg s : regs(mode)) {
+      Assembler a(mode, kBase);
+      a.mov_rr(r, s);
+      const auto code = a.finish();
+      auto insn = decode(code, kBase, mode);
+      ASSERT_TRUE(insn.has_value());
+      EXPECT_EQ(insn->kind, Kind::kMov);
+      EXPECT_EQ(insn->length, code.size());
+      Assembler b(mode, kBase);
+      b.alu_rr(5, r, s);  // sub
+      auto insn2 = decode(b.finish(), kBase, mode);
+      ASSERT_TRUE(insn2.has_value());
+      EXPECT_EQ(insn2->kind, Kind::kArith);
+    }
+    if (r != Reg::kSp && r != Reg::kBp) {
+      Assembler a(mode, kBase);
+      a.call_reg(r);
+      auto insn = decode(a.finish(), kBase, mode);
+      ASSERT_TRUE(insn.has_value());
+      EXPECT_EQ(insn->kind, Kind::kCallIndirect);
+      Assembler b(mode, kBase);
+      b.jmp_reg(r, /*notrack=*/true);
+      auto insn2 = decode(b.finish(), kBase, mode);
+      ASSERT_TRUE(insn2.has_value());
+      EXPECT_EQ(insn2->kind, Kind::kJmpIndirect);
+      EXPECT_TRUE(insn2->notrack);
+    }
+  }
+}
+
+TEST_P(RoundtripTest, BranchTargetsResolve) {
+  const Mode mode = GetParam();
+  Assembler a(mode, kBase);
+  Label fwd = a.make_label();
+  Label back = a.make_label();
+  a.bind(back);
+  a.call(fwd);
+  a.jmp(fwd);
+  a.jcc(Cond::kNe, back);
+  a.jmp_short(fwd);
+  a.jcc_short(Cond::kE, fwd);
+  a.bind(fwd);
+  a.ret();
+  const auto code = a.finish();
+  const std::uint64_t target = a.address_of(fwd);
+
+  SweepResult sweep = linear_sweep(code, kBase, mode);
+  ASSERT_TRUE(sweep.bad_bytes.empty());
+  ASSERT_EQ(sweep.insns.size(), 6u);
+  EXPECT_EQ(sweep.insns[0].kind, Kind::kCallDirect);
+  EXPECT_EQ(sweep.insns[0].target, target);
+  EXPECT_EQ(sweep.insns[1].kind, Kind::kJmpDirect);
+  EXPECT_EQ(sweep.insns[1].target, target);
+  EXPECT_EQ(sweep.insns[2].kind, Kind::kJcc);
+  EXPECT_EQ(sweep.insns[2].target, kBase);
+  EXPECT_EQ(sweep.insns[3].kind, Kind::kJmpDirect);
+  EXPECT_EQ(sweep.insns[3].target, target);
+  EXPECT_EQ(sweep.insns[4].kind, Kind::kJcc);
+  EXPECT_EQ(sweep.insns[4].target, target);
+}
+
+TEST_P(RoundtripTest, CallAddrComputesRel32) {
+  const Mode mode = GetParam();
+  Assembler a(mode, kBase);
+  a.call_addr(kBase - 0x400);  // e.g. a PLT stub below .text
+  auto insn = decode(a.finish(), kBase, mode);
+  ASSERT_TRUE(insn.has_value());
+  EXPECT_EQ(insn->kind, Kind::kCallDirect);
+  EXPECT_EQ(insn->target, kBase - 0x400);
+}
+
+TEST_P(RoundtripTest, JumpTableDispatch) {
+  const Mode mode = GetParam();
+  Assembler a(mode, kBase);
+  Label table = a.make_label();
+  a.bind_to(table, 0x500000);
+  a.jmp_table(Reg::kCx, table, /*notrack=*/true);
+  const auto code = a.finish();
+  auto insn = decode(code, kBase, mode);
+  ASSERT_TRUE(insn.has_value());
+  EXPECT_EQ(insn->kind, Kind::kJmpIndirect);
+  EXPECT_TRUE(insn->notrack);
+  EXPECT_EQ(insn->length, code.size());
+}
+
+TEST_P(RoundtripTest, NopLadderDecodesToSingleInstructions) {
+  const Mode mode = GetParam();
+  for (std::size_t n = 1; n <= 9; ++n) {
+    Assembler a(mode, kBase);
+    a.nop(n);
+    const auto code = a.finish();
+    ASSERT_EQ(code.size(), n);
+    auto insn = decode(code, kBase, mode);
+    ASSERT_TRUE(insn.has_value()) << "nop " << n;
+    EXPECT_EQ(insn->length, n);
+  }
+  // Longer padding decomposes into several max-width nops.
+  Assembler a(mode, kBase);
+  a.nop(23);
+  SweepResult sweep = linear_sweep(a.finish(), kBase, mode);
+  EXPECT_TRUE(sweep.bad_bytes.empty());
+  for (const auto& insn : sweep.insns) EXPECT_EQ(insn.kind, Kind::kNop);
+}
+
+TEST_P(RoundtripTest, AlignReachesBoundary) {
+  const Mode mode = GetParam();
+  Assembler a(mode, kBase + 3);
+  a.align(16);
+  EXPECT_EQ(a.here() % 16, 0u);
+  SweepResult sweep = linear_sweep(a.finish(), kBase + 3, mode);
+  EXPECT_TRUE(sweep.bad_bytes.empty());
+}
+
+TEST_P(RoundtripTest, RandomProgramsSweepCleanly) {
+  // Property: any program assembled from the full emitter repertoire
+  // linear-sweeps with zero decode errors and instruction boundaries
+  // exactly at the emitter's own boundaries.
+  const Mode mode = GetParam();
+  util::Rng rng(0xabcdef ^ static_cast<std::uint64_t>(mode));
+  for (int trial = 0; trial < 20; ++trial) {
+    Assembler a(mode, kBase);
+    std::vector<std::uint64_t> starts;
+    Label end = a.make_label();
+    const std::vector<Reg> pool = regs(mode);
+    auto any_reg = [&] {
+      // Exclude SP: random arithmetic on the stack pointer is not
+      // something the generator ever emits either.
+      for (;;) {
+        Reg r = pool[rng.range(0, pool.size() - 1)];
+        if (r != Reg::kSp) return r;
+      }
+    };
+    for (int i = 0; i < 200; ++i) {
+      starts.push_back(a.here());
+      switch (rng.range(0, 13)) {
+        case 0: a.endbr(); break;
+        case 1: a.push(any_reg()); break;
+        case 2: a.pop(any_reg()); break;
+        case 3: a.mov_rr(any_reg(), any_reg()); break;
+        case 4: a.mov_ri(any_reg(), static_cast<std::uint32_t>(rng.next())); break;
+        case 5: a.alu_rr(static_cast<std::uint8_t>(rng.range(0, 7)), any_reg(), any_reg()); break;
+        case 6: a.cmp_ri8(any_reg(), static_cast<std::int8_t>(rng.range(0, 100))); break;
+        case 7: a.nop(rng.range(1, 9)); break;
+        case 8: a.jcc(static_cast<Cond>(rng.range(0, 15)), end); break;
+        case 9: a.test_rr(any_reg(), any_reg()); break;
+        case 10: a.imul_rr(any_reg(), any_reg()); break;
+        case 11: a.shl_ri(any_reg(), static_cast<std::uint8_t>(rng.range(1, 31))); break;
+        case 12: a.mov_frame_reg(static_cast<std::int8_t>(-8 * rng.range(1, 15)), any_reg()); break;
+        case 13: a.sub_sp(static_cast<std::uint32_t>(16 * rng.range(1, 20))); break;
+      }
+    }
+    starts.push_back(a.here());
+    a.bind(end);
+    a.ret();
+    const auto code = a.finish();
+    SweepResult sweep = linear_sweep(code, kBase, mode);
+    EXPECT_TRUE(sweep.bad_bytes.empty()) << "trial " << trial;
+    // starts has one entry per emitted op plus the ret's address.
+    ASSERT_EQ(sweep.insns.size(), starts.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < starts.size(); ++i)
+      EXPECT_EQ(sweep.insns[i].addr, starts[i]) << "trial " << trial << " insn " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, RoundtripTest,
+                         ::testing::Values(Mode::k32, Mode::k64),
+                         [](const auto& info) {
+                           return info.param == Mode::k64 ? "x64" : "x86";
+                         });
+
+TEST(Assembler, UnboundLabelThrowsAtFinish) {
+  Assembler a(Mode::k64, kBase);
+  Label l = a.make_label();
+  a.jmp(l);
+  EXPECT_THROW(a.finish(), EncodeError);
+}
+
+TEST(Assembler, ShortJumpOutOfRangeThrows) {
+  Assembler a(Mode::k64, kBase);
+  Label l = a.make_label();
+  a.jmp_short(l);
+  a.nop(200);
+  a.bind(l);
+  EXPECT_THROW(a.finish(), EncodeError);
+}
+
+TEST(Assembler, DoubleBindThrows) {
+  Assembler a(Mode::k64, kBase);
+  Label l = a.make_label();
+  a.bind(l);
+  EXPECT_THROW(a.bind(l), UsageError);
+}
+
+TEST(Assembler, ExtendedRegistersRejectedIn32BitMode) {
+  Assembler a(Mode::k32, kBase);
+  EXPECT_THROW(a.mov_rr(Reg::kR8, Reg::kAx), EncodeError);
+}
+
+TEST(Assembler, AddressOfBoundLabel) {
+  Assembler a(Mode::k64, kBase);
+  a.nop(5);
+  Label l = a.make_label();
+  a.bind(l);
+  EXPECT_EQ(a.address_of(l), kBase + 5);
+  Label unbound = a.make_label();
+  EXPECT_THROW(a.address_of(unbound), UsageError);
+}
+
+}  // namespace
+}  // namespace fsr::x86

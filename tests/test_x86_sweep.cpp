@@ -1,0 +1,89 @@
+// Linear-sweep driver tests: resynchronization on undecodable bytes and
+// recovery behaviour (paper §IV-B: on error, advance one byte and
+// resume).
+#include <gtest/gtest.h>
+
+#include "x86/assembler.hpp"
+#include "x86/sweep.hpp"
+
+namespace fsr::x86 {
+namespace {
+
+constexpr std::uint64_t kBase = 0x1000;
+
+TEST(Sweep, EmptyInput) {
+  SweepResult r = linear_sweep({}, kBase, Mode::k64);
+  EXPECT_TRUE(r.insns.empty());
+  EXPECT_TRUE(r.bad_bytes.empty());
+}
+
+TEST(Sweep, CleanStream) {
+  Assembler a(Mode::k64, kBase);
+  a.endbr();
+  a.push(Reg::kBp);
+  a.mov_rr(Reg::kBp, Reg::kSp);
+  a.ret();
+  SweepResult r = linear_sweep(a.finish(), kBase, Mode::k64);
+  ASSERT_EQ(r.insns.size(), 4u);
+  EXPECT_TRUE(r.bad_bytes.empty());
+  EXPECT_EQ(r.insns[0].addr, kBase);
+  EXPECT_EQ(r.insns[3].kind, Kind::kRet);
+}
+
+TEST(Sweep, ResyncsAfterGarbage) {
+  // ret, then bytes that cannot start an instruction in 64-bit mode,
+  // then a clean instruction. The sweep must skip the garbage bytewise
+  // and recover at the endbr.
+  std::vector<std::uint8_t> code = {0xc3, 0x06, 0x06, 0xf3, 0x0f, 0x1e, 0xfa};
+  SweepResult r = linear_sweep(code, kBase, Mode::k64);
+  ASSERT_EQ(r.insns.size(), 2u);
+  EXPECT_EQ(r.insns[0].kind, Kind::kRet);
+  EXPECT_EQ(r.insns[1].kind, Kind::kEndbr64);
+  EXPECT_EQ(r.insns[1].addr, kBase + 3);
+  EXPECT_EQ(r.bad_bytes, (std::vector<std::uint64_t>{kBase + 1, kBase + 2}));
+}
+
+TEST(Sweep, TruncatedTailIsReportedAsBadBytes) {
+  // A call opcode with only two of its four displacement bytes.
+  std::vector<std::uint8_t> code = {0x90, 0xe8, 0x01, 0x02};
+  SweepResult r = linear_sweep(code, kBase, Mode::k64);
+  ASSERT_GE(r.insns.size(), 1u);
+  EXPECT_EQ(r.insns[0].kind, Kind::kNop);
+  EXPECT_FALSE(r.bad_bytes.empty());
+  EXPECT_EQ(r.bad_bytes.front(), kBase + 1);
+}
+
+TEST(Sweep, DataInTextDesynchronizesLocallyOnly) {
+  // Embedded data may be consumed as instructions or skipped; either
+  // way the sweep must terminate and recover by the next real function
+  // whose alignment padding acts as a resync barrier.
+  Assembler a(Mode::k64, kBase);
+  a.ret();
+  std::vector<std::uint8_t> data(13, 0xff);  // looks like broken grp5 forms
+  a.db(data);
+  a.align(16);
+  const std::uint64_t func2 = a.here();
+  a.endbr();
+  a.ret();
+  SweepResult r = linear_sweep(a.finish(), kBase, Mode::k64);
+  bool found = false;
+  for (const auto& insn : r.insns)
+    if (insn.addr == func2 && insn.kind == Kind::kEndbr64) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Sweep, InstructionsAreContiguousModuloBadBytes) {
+  Assembler a(Mode::k64, kBase);
+  for (int i = 0; i < 50; ++i) {
+    a.mov_ri(Reg::kAx, static_cast<std::uint32_t>(i));
+    a.add_rr(Reg::kCx, Reg::kAx);
+  }
+  a.ret();
+  SweepResult r = linear_sweep(a.finish(), kBase, Mode::k64);
+  EXPECT_TRUE(r.bad_bytes.empty());
+  for (std::size_t i = 1; i < r.insns.size(); ++i)
+    EXPECT_EQ(r.insns[i].addr, r.insns[i - 1].end());
+}
+
+}  // namespace
+}  // namespace fsr::x86

@@ -1,0 +1,323 @@
+// fsr — command-line front end for the FunSeeker reproduction.
+//
+//   fsr identify <file> [--config N]    function entries (default: full config 4)
+//   fsr info <file>                     container overview: sections, CET note, PLT
+//   fsr disasm <file> [--at HEX] [--n COUNT]
+//   fsr eh <file>                       FDE / LSDA / landing-pad dump
+//   fsr compare <file>                  all four analyzers side by side
+//   fsr gen <out.elf> [--suite S] [--compiler C] [--opt O] [--arch A] [--prog N]
+//
+// Works on binaries produced by this project's generator and on real
+// CET ELF files (see tests/test_real_binaries.cpp).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/fetch_like.hpp"
+#include "baselines/ghidra_like.hpp"
+#include "baselines/ida_like.hpp"
+#include "bti/btiseeker.hpp"
+#include "cfg/cfg.hpp"
+#include "eh/eh_frame.hpp"
+#include "eh/lsda.hpp"
+#include "elf/gnu_property.hpp"
+#include "elf/reader.hpp"
+#include "elf/types.hpp"
+#include "elf/writer.hpp"
+#include "eval/tables.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/corpus.hpp"
+#include "util/error.hpp"
+#include "util/str.hpp"
+#include "x86/format.hpp"
+#include "x86/sweep.hpp"
+
+using namespace fsr;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: fsr <command> [args]\n"
+               "  identify <file> [--config 1..4]\n"
+               "  info <file>\n"
+               "  disasm <file> [--at HEXADDR] [--n COUNT]\n"
+               "  eh <file>\n"
+               "  cfg <file> [--at HEXADDR]\n"
+               "  compare <file>\n"
+               "  gen <out.elf> [--suite coreutils|binutils|spec]\n"
+               "                [--compiler gcc|clang] [--opt O0..Ofast]\n"
+               "                [--arch x86|x64|arm64] [--pie|--no-pie] [--prog N]\n");
+  std::exit(2);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw UsageError("cannot open " + path);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// Trivial flag parser: --key value pairs after the positional args.
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) throw UsageError("unexpected argument " + key);
+    key = key.substr(2);
+    if (key == "pie" || key == "no-pie") {
+      flags[key] = "1";
+    } else {
+      if (i + 1 >= argc) throw UsageError("flag --" + key + " needs a value");
+      flags[key] = argv[++i];
+    }
+  }
+  return flags;
+}
+
+int cmd_identify(const std::string& path, const std::map<std::string, std::string>& flags) {
+  const elf::Image img = elf::read_elf(read_file(path));
+  std::vector<std::uint64_t> functions;
+  if (img.machine == elf::Machine::kArm64) {
+    functions = bti::analyze(img).functions;
+  } else {
+    int config = 4;
+    if (auto it = flags.find("config"); it != flags.end()) config = std::atoi(it->second.c_str());
+    functions = funseeker::analyze(img, funseeker::Options::config(config)).functions;
+  }
+  for (std::uint64_t f : functions) std::printf("%s\n", util::hex(f).c_str());
+  std::fprintf(stderr, "%zu function entries\n", functions.size());
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  const elf::Image img = elf::read_elf(read_file(path));
+  const char* arch = img.machine == elf::Machine::kX86     ? "x86"
+                     : img.machine == elf::Machine::kX8664 ? "x86-64"
+                                                           : "aarch64";
+  std::printf("%s: %s %s, entry %s\n", path.c_str(), arch,
+              img.kind == elf::BinaryKind::kPie ? "PIE" : "EXEC",
+              util::hex(img.entry).c_str());
+  const auto bits = elf::feature_bits(img);
+  if (bits.has_value())
+    std::printf("branch protection: %s (feature bits 0x%x)\n",
+                elf::has_branch_tracking(img) ? "ENABLED" : "not enforced", *bits);
+  else if (img.find_section(".note.gnu.property") != nullptr)
+    std::printf("branch protection: property note without FEATURE_1 (not enforced)\n");
+  else
+    std::printf("branch protection: no .note.gnu.property\n");
+
+  eval::Table sections({"section", "addr", "size", "flags"});
+  for (const auto& s : img.sections) {
+    std::string flags;
+    if (s.flags & elf::kShfAlloc) flags += "A";
+    if (s.flags & elf::kShfExecinstr) flags += "X";
+    if (s.flags & elf::kShfWrite) flags += "W";
+    sections.add_row({s.name, util::hex(s.addr), std::to_string(s.data.size()), flags});
+  }
+  std::printf("%s", sections.render().c_str());
+
+  if (!img.plt.empty()) {
+    std::printf("PLT map (%zu imports):\n", img.plt.size());
+    for (const auto& e : img.plt)
+      std::printf("  %s -> %s%s\n", util::hex(e.addr).c_str(), e.symbol.c_str(),
+                  funseeker::is_indirect_return_function(e.symbol)
+                      ? "   [indirect-return]"
+                      : "");
+  }
+  std::printf("symbols: %zu static, %zu dynamic\n", img.symbols.size(),
+              img.dynsymbols.size());
+  return 0;
+}
+
+int cmd_disasm(const std::string& path, const std::map<std::string, std::string>& flags) {
+  const elf::Image img = elf::read_elf(read_file(path));
+  if (img.machine == elf::Machine::kArm64)
+    throw UsageError("disasm supports x86/x86-64 binaries");
+  const elf::Section& text = img.text();
+  const x86::Mode mode =
+      img.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
+  const x86::SweepResult sweep = x86::linear_sweep(text.data, text.addr, mode);
+
+  std::uint64_t at = text.addr;
+  if (auto it = flags.find("at"); it != flags.end())
+    at = std::strtoull(it->second.c_str(), nullptr, 16);
+  std::size_t count = 32;
+  if (auto it = flags.find("n"); it != flags.end())
+    count = static_cast<std::size_t>(std::atoll(it->second.c_str()));
+
+  std::size_t shown = 0;
+  for (const auto& insn : sweep.insns) {
+    if (insn.addr < at) continue;
+    if (shown++ >= count) break;
+    std::printf("%s\n", x86::format_line(insn, text.data, text.addr).c_str());
+  }
+  if (!sweep.bad_bytes.empty())
+    std::fprintf(stderr, "(%zu undecodable bytes skipped by resync)\n",
+                 sweep.bad_bytes.size());
+  return 0;
+}
+
+int cmd_eh(const std::string& path) {
+  const elf::Image img = elf::read_elf(read_file(path));
+  const elf::Section* eh = img.find_section(".eh_frame");
+  if (eh == nullptr) {
+    std::printf("no .eh_frame section\n");
+    return 0;
+  }
+  const int ptr = img.machine == elf::Machine::kX86 ? 4 : 8;
+  const eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr);
+  const elf::Section* gct = img.find_section(".gcc_except_table");
+  std::printf("%zu FDEs\n", frame.fdes.size());
+  for (const auto& fde : frame.fdes) {
+    std::printf("  fde %s..%s", util::hex(fde.pc_begin).c_str(),
+                util::hex(fde.pc_end()).c_str());
+    if (fde.lsda.has_value() && gct != nullptr && gct->contains(*fde.lsda)) {
+      std::size_t end = 0;
+      const eh::Lsda lsda = eh::parse_lsda(
+          gct->data, static_cast<std::size_t>(*fde.lsda - gct->addr), fde.pc_begin, end);
+      std::printf("  lsda %s (%zu call sites", util::hex(*fde.lsda).c_str(),
+                  lsda.call_sites.size());
+      const auto pads = lsda.landing_pads();
+      if (!pads.empty()) {
+        std::printf("; landing pads:");
+        for (std::uint64_t p : pads) std::printf(" %s", util::hex(p).c_str());
+      }
+      std::printf(")");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_cfg(const std::string& path, const std::map<std::string, std::string>& flags) {
+  const elf::Image img = elf::read_elf(read_file(path));
+  if (img.machine == elf::Machine::kArm64)
+    throw UsageError("cfg supports x86/x86-64 binaries");
+  const auto entries = funseeker::analyze(img).functions;
+  const cfg::ProgramCfg prog = cfg::build_cfg(img, entries);
+
+  if (auto it = flags.find("at"); it != flags.end()) {
+    const std::uint64_t at = std::strtoull(it->second.c_str(), nullptr, 16);
+    const cfg::FunctionCfg* fn = prog.function_at(at);
+    if (fn == nullptr) throw UsageError("no identified function at that address");
+    std::printf("function %s..%s: %zu blocks, %zu instructions\n",
+                util::hex(fn->entry).c_str(), util::hex(fn->end).c_str(),
+                fn->blocks.size(), fn->instruction_count());
+    for (const auto& bb : fn->blocks) {
+      std::printf("  block %s..%s (%zu insns)", util::hex(bb.start).c_str(),
+                  util::hex(bb.end).c_str(), bb.insn_count);
+      if (!bb.successors.empty()) {
+        std::printf(" ->");
+        for (std::uint64_t s : bb.successors) std::printf(" %s", util::hex(s).c_str());
+      }
+      for (std::uint64_t c : bb.calls) std::printf("  call %s", util::hex(c).c_str());
+      if (bb.tail_call != 0) std::printf("  tail-call %s", util::hex(bb.tail_call).c_str());
+      if (bb.returns) std::printf("  ret");
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  std::size_t blocks = 0, insns = 0, exits = 0;
+  for (const auto& fn : prog.functions) {
+    blocks += fn.blocks.size();
+    insns += fn.instruction_count();
+    for (const auto& bb : fn.blocks)
+      if (bb.returns || bb.tail_call != 0) ++exits;
+  }
+  std::printf("%zu functions, %zu basic blocks (%.1f per function), %zu instructions,"
+              " %zu exit blocks\n",
+              prog.functions.size(), blocks,
+              prog.functions.empty()
+                  ? 0.0
+                  : static_cast<double>(blocks) / static_cast<double>(prog.functions.size()),
+              insns, exits);
+  return 0;
+}
+
+int cmd_compare(const std::string& path) {
+  const auto bytes = read_file(path);
+  const elf::Image img = elf::read_elf(bytes);
+  if (img.machine == elf::Machine::kArm64)
+    throw UsageError("compare runs the x86 tool set");
+  eval::Table table({"tool", "entries"});
+  table.add_row({"FunSeeker", std::to_string(funseeker::analyze(img).functions.size())});
+  table.add_row({"IDA-like", std::to_string(baselines::ida_like_functions(img).size())});
+  table.add_row({"Ghidra-like", std::to_string(baselines::ghidra_like_functions(img).size())});
+  table.add_row({"FETCH-like", std::to_string(baselines::fetch_like_functions(img).size())});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_gen(const std::string& out, const std::map<std::string, std::string>& flags) {
+  synth::BinaryConfig cfg;
+  cfg.kind = elf::BinaryKind::kPie;
+  for (const auto& [key, value] : flags) {
+    if (key == "suite") {
+      if (value == "coreutils") cfg.suite = synth::Suite::kCoreutils;
+      else if (value == "binutils") cfg.suite = synth::Suite::kBinutils;
+      else if (value == "spec") cfg.suite = synth::Suite::kSpec;
+      else throw UsageError("unknown suite " + value);
+    } else if (key == "compiler") {
+      if (value == "gcc") cfg.compiler = synth::Compiler::kGcc;
+      else if (value == "clang") cfg.compiler = synth::Compiler::kClang;
+      else throw UsageError("unknown compiler " + value);
+    } else if (key == "opt") {
+      bool found = false;
+      for (synth::OptLevel o : synth::kAllOptLevels)
+        if (to_string(o) == value) {
+          cfg.opt = o;
+          found = true;
+        }
+      if (!found) throw UsageError("unknown opt level " + value);
+    } else if (key == "arch") {
+      if (value == "x86") cfg.machine = elf::Machine::kX86;
+      else if (value == "x64") cfg.machine = elf::Machine::kX8664;
+      else if (value == "arm64") cfg.machine = elf::Machine::kArm64;
+      else throw UsageError("unknown arch " + value);
+    } else if (key == "prog") {
+      cfg.program_index = std::atoi(value.c_str());
+    } else if (key == "pie") {
+      cfg.kind = elf::BinaryKind::kPie;
+    } else if (key == "no-pie") {
+      cfg.kind = elf::BinaryKind::kExec;
+    } else {
+      throw UsageError("unknown flag --" + key);
+    }
+  }
+  const synth::DatasetEntry entry = synth::make_binary(cfg);
+  const auto bytes = elf::write_elf(entry.image);
+  std::ofstream(out, std::ios::binary)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  std::printf("wrote %s (%s): %zu bytes, %zu functions\n", out.c_str(),
+              cfg.name().c_str(), bytes.size(), entry.truth.functions.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string command = argv[1];
+  const std::string target = argv[2];
+  try {
+    const auto flags = parse_flags(argc, argv, 3);
+    if (command == "identify") return cmd_identify(target, flags);
+    if (command == "info") return cmd_info(target);
+    if (command == "disasm") return cmd_disasm(target, flags);
+    if (command == "eh") return cmd_eh(target);
+    if (command == "cfg") return cmd_cfg(target, flags);
+    if (command == "compare") return cmd_compare(target);
+    if (command == "gen") return cmd_gen(target, flags);
+    usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "fsr: %s\n", e.what());
+    return 1;
+  }
+}
