@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bti.dir/bench_bti.cpp.o"
+  "CMakeFiles/bench_bti.dir/bench_bti.cpp.o.d"
+  "bench_bti"
+  "bench_bti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

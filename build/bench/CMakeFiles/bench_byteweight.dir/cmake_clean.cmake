@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_byteweight.dir/bench_byteweight.cpp.o"
+  "CMakeFiles/bench_byteweight.dir/bench_byteweight.cpp.o.d"
+  "bench_byteweight"
+  "bench_byteweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_byteweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_levels.dir/bench_opt_levels.cpp.o"
+  "CMakeFiles/bench_opt_levels.dir/bench_opt_levels.cpp.o.d"
+  "bench_opt_levels"
+  "bench_opt_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

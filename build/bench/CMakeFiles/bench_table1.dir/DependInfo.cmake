@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1.cpp" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o" "gcc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/repro_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/repro_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/funseeker/CMakeFiles/repro_funseeker.dir/DependInfo.cmake"
+  "/root/repo/build/src/bti/CMakeFiles/repro_bti.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/repro_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/repro_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/eh/CMakeFiles/repro_eh.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/repro_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm64/CMakeFiles/repro_arm64.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/repro_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

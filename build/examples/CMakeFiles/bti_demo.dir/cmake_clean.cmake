@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bti_demo.dir/bti_demo.cpp.o"
+  "CMakeFiles/bti_demo.dir/bti_demo.cpp.o.d"
+  "bti_demo"
+  "bti_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bti_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_export.dir/corpus_export.cpp.o"
+  "CMakeFiles/corpus_export.dir/corpus_export.cpp.o.d"
+  "corpus_export"
+  "corpus_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

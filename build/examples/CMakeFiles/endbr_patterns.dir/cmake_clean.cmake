@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endbr_patterns.dir/endbr_patterns.cpp.o"
+  "CMakeFiles/endbr_patterns.dir/endbr_patterns.cpp.o.d"
+  "endbr_patterns"
+  "endbr_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endbr_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

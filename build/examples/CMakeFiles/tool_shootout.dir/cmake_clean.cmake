@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_shootout.dir/tool_shootout.cpp.o"
+  "CMakeFiles/tool_shootout.dir/tool_shootout.cpp.o.d"
+  "tool_shootout"
+  "tool_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

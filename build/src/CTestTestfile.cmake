@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("elf")
+subdirs("x86")
+subdirs("arm64")
+subdirs("eh")
+subdirs("synth")
+subdirs("funseeker")
+subdirs("bti")
+subdirs("cfg")
+subdirs("baselines")
+subdirs("eval")

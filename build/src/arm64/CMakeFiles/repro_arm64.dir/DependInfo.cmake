@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arm64/assembler.cpp" "src/arm64/CMakeFiles/repro_arm64.dir/assembler.cpp.o" "gcc" "src/arm64/CMakeFiles/repro_arm64.dir/assembler.cpp.o.d"
+  "/root/repo/src/arm64/decoder.cpp" "src/arm64/CMakeFiles/repro_arm64.dir/decoder.cpp.o" "gcc" "src/arm64/CMakeFiles/repro_arm64.dir/decoder.cpp.o.d"
+  "/root/repo/src/arm64/insn.cpp" "src/arm64/CMakeFiles/repro_arm64.dir/insn.cpp.o" "gcc" "src/arm64/CMakeFiles/repro_arm64.dir/insn.cpp.o.d"
+  "/root/repo/src/arm64/sweep.cpp" "src/arm64/CMakeFiles/repro_arm64.dir/sweep.cpp.o" "gcc" "src/arm64/CMakeFiles/repro_arm64.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

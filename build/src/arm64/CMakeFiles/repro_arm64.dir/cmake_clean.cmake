@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_arm64.dir/assembler.cpp.o"
+  "CMakeFiles/repro_arm64.dir/assembler.cpp.o.d"
+  "CMakeFiles/repro_arm64.dir/decoder.cpp.o"
+  "CMakeFiles/repro_arm64.dir/decoder.cpp.o.d"
+  "CMakeFiles/repro_arm64.dir/insn.cpp.o"
+  "CMakeFiles/repro_arm64.dir/insn.cpp.o.d"
+  "CMakeFiles/repro_arm64.dir/sweep.cpp.o"
+  "CMakeFiles/repro_arm64.dir/sweep.cpp.o.d"
+  "librepro_arm64.a"
+  "librepro_arm64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_arm64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

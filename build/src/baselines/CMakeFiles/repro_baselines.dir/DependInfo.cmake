@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/byteweight.cpp" "src/baselines/CMakeFiles/repro_baselines.dir/byteweight.cpp.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/byteweight.cpp.o.d"
+  "/root/repo/src/baselines/common.cpp" "src/baselines/CMakeFiles/repro_baselines.dir/common.cpp.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/common.cpp.o.d"
+  "/root/repo/src/baselines/fetch_like.cpp" "src/baselines/CMakeFiles/repro_baselines.dir/fetch_like.cpp.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/fetch_like.cpp.o.d"
+  "/root/repo/src/baselines/ghidra_like.cpp" "src/baselines/CMakeFiles/repro_baselines.dir/ghidra_like.cpp.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/ghidra_like.cpp.o.d"
+  "/root/repo/src/baselines/ida_like.cpp" "src/baselines/CMakeFiles/repro_baselines.dir/ida_like.cpp.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/ida_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/repro_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/repro_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/eh/CMakeFiles/repro_eh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

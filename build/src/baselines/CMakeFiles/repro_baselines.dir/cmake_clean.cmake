@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_baselines.dir/byteweight.cpp.o"
+  "CMakeFiles/repro_baselines.dir/byteweight.cpp.o.d"
+  "CMakeFiles/repro_baselines.dir/common.cpp.o"
+  "CMakeFiles/repro_baselines.dir/common.cpp.o.d"
+  "CMakeFiles/repro_baselines.dir/fetch_like.cpp.o"
+  "CMakeFiles/repro_baselines.dir/fetch_like.cpp.o.d"
+  "CMakeFiles/repro_baselines.dir/ghidra_like.cpp.o"
+  "CMakeFiles/repro_baselines.dir/ghidra_like.cpp.o.d"
+  "CMakeFiles/repro_baselines.dir/ida_like.cpp.o"
+  "CMakeFiles/repro_baselines.dir/ida_like.cpp.o.d"
+  "librepro_baselines.a"
+  "librepro_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

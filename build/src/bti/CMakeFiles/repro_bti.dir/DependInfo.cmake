@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bti/btiseeker.cpp" "src/bti/CMakeFiles/repro_bti.dir/btiseeker.cpp.o" "gcc" "src/bti/CMakeFiles/repro_bti.dir/btiseeker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/repro_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm64/CMakeFiles/repro_arm64.dir/DependInfo.cmake"
+  "/root/repo/build/src/eh/CMakeFiles/repro_eh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

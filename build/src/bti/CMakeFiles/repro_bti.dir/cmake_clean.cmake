@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_bti.dir/btiseeker.cpp.o"
+  "CMakeFiles/repro_bti.dir/btiseeker.cpp.o.d"
+  "librepro_bti.a"
+  "librepro_bti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_bti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/repro_cfg.dir/cfg.cpp.o.d"
+  "librepro_cfg.a"
+  "librepro_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

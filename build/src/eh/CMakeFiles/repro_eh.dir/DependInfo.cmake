@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eh/eh_frame.cpp" "src/eh/CMakeFiles/repro_eh.dir/eh_frame.cpp.o" "gcc" "src/eh/CMakeFiles/repro_eh.dir/eh_frame.cpp.o.d"
+  "/root/repo/src/eh/eh_frame_hdr.cpp" "src/eh/CMakeFiles/repro_eh.dir/eh_frame_hdr.cpp.o" "gcc" "src/eh/CMakeFiles/repro_eh.dir/eh_frame_hdr.cpp.o.d"
+  "/root/repo/src/eh/encodings.cpp" "src/eh/CMakeFiles/repro_eh.dir/encodings.cpp.o" "gcc" "src/eh/CMakeFiles/repro_eh.dir/encodings.cpp.o.d"
+  "/root/repo/src/eh/lsda.cpp" "src/eh/CMakeFiles/repro_eh.dir/lsda.cpp.o" "gcc" "src/eh/CMakeFiles/repro_eh.dir/lsda.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_eh.dir/eh_frame.cpp.o"
+  "CMakeFiles/repro_eh.dir/eh_frame.cpp.o.d"
+  "CMakeFiles/repro_eh.dir/eh_frame_hdr.cpp.o"
+  "CMakeFiles/repro_eh.dir/eh_frame_hdr.cpp.o.d"
+  "CMakeFiles/repro_eh.dir/encodings.cpp.o"
+  "CMakeFiles/repro_eh.dir/encodings.cpp.o.d"
+  "CMakeFiles/repro_eh.dir/lsda.cpp.o"
+  "CMakeFiles/repro_eh.dir/lsda.cpp.o.d"
+  "librepro_eh.a"
+  "librepro_eh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_eh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elf/gnu_property.cpp" "src/elf/CMakeFiles/repro_elf.dir/gnu_property.cpp.o" "gcc" "src/elf/CMakeFiles/repro_elf.dir/gnu_property.cpp.o.d"
+  "/root/repo/src/elf/image.cpp" "src/elf/CMakeFiles/repro_elf.dir/image.cpp.o" "gcc" "src/elf/CMakeFiles/repro_elf.dir/image.cpp.o.d"
+  "/root/repo/src/elf/reader.cpp" "src/elf/CMakeFiles/repro_elf.dir/reader.cpp.o" "gcc" "src/elf/CMakeFiles/repro_elf.dir/reader.cpp.o.d"
+  "/root/repo/src/elf/writer.cpp" "src/elf/CMakeFiles/repro_elf.dir/writer.cpp.o" "gcc" "src/elf/CMakeFiles/repro_elf.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

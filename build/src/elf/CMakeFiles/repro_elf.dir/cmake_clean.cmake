@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_elf.dir/gnu_property.cpp.o"
+  "CMakeFiles/repro_elf.dir/gnu_property.cpp.o.d"
+  "CMakeFiles/repro_elf.dir/image.cpp.o"
+  "CMakeFiles/repro_elf.dir/image.cpp.o.d"
+  "CMakeFiles/repro_elf.dir/reader.cpp.o"
+  "CMakeFiles/repro_elf.dir/reader.cpp.o.d"
+  "CMakeFiles/repro_elf.dir/writer.cpp.o"
+  "CMakeFiles/repro_elf.dir/writer.cpp.o.d"
+  "librepro_elf.a"
+  "librepro_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

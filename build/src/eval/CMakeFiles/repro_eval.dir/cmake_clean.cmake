@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_eval.dir/metrics.cpp.o"
+  "CMakeFiles/repro_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/repro_eval.dir/runner.cpp.o"
+  "CMakeFiles/repro_eval.dir/runner.cpp.o.d"
+  "CMakeFiles/repro_eval.dir/tables.cpp.o"
+  "CMakeFiles/repro_eval.dir/tables.cpp.o.d"
+  "CMakeFiles/repro_eval.dir/truth.cpp.o"
+  "CMakeFiles/repro_eval.dir/truth.cpp.o.d"
+  "librepro_eval.a"
+  "librepro_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

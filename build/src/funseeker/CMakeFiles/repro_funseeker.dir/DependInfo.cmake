@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/funseeker/disassemble.cpp" "src/funseeker/CMakeFiles/repro_funseeker.dir/disassemble.cpp.o" "gcc" "src/funseeker/CMakeFiles/repro_funseeker.dir/disassemble.cpp.o.d"
+  "/root/repo/src/funseeker/filter_endbr.cpp" "src/funseeker/CMakeFiles/repro_funseeker.dir/filter_endbr.cpp.o" "gcc" "src/funseeker/CMakeFiles/repro_funseeker.dir/filter_endbr.cpp.o.d"
+  "/root/repo/src/funseeker/funseeker.cpp" "src/funseeker/CMakeFiles/repro_funseeker.dir/funseeker.cpp.o" "gcc" "src/funseeker/CMakeFiles/repro_funseeker.dir/funseeker.cpp.o.d"
+  "/root/repo/src/funseeker/recursive.cpp" "src/funseeker/CMakeFiles/repro_funseeker.dir/recursive.cpp.o" "gcc" "src/funseeker/CMakeFiles/repro_funseeker.dir/recursive.cpp.o.d"
+  "/root/repo/src/funseeker/tail_call.cpp" "src/funseeker/CMakeFiles/repro_funseeker.dir/tail_call.cpp.o" "gcc" "src/funseeker/CMakeFiles/repro_funseeker.dir/tail_call.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/repro_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/repro_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/eh/CMakeFiles/repro_eh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

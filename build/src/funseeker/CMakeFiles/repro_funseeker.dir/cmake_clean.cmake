@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_funseeker.dir/disassemble.cpp.o"
+  "CMakeFiles/repro_funseeker.dir/disassemble.cpp.o.d"
+  "CMakeFiles/repro_funseeker.dir/filter_endbr.cpp.o"
+  "CMakeFiles/repro_funseeker.dir/filter_endbr.cpp.o.d"
+  "CMakeFiles/repro_funseeker.dir/funseeker.cpp.o"
+  "CMakeFiles/repro_funseeker.dir/funseeker.cpp.o.d"
+  "CMakeFiles/repro_funseeker.dir/recursive.cpp.o"
+  "CMakeFiles/repro_funseeker.dir/recursive.cpp.o.d"
+  "CMakeFiles/repro_funseeker.dir/tail_call.cpp.o"
+  "CMakeFiles/repro_funseeker.dir/tail_call.cpp.o.d"
+  "librepro_funseeker.a"
+  "librepro_funseeker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_funseeker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/codegen.cpp" "src/synth/CMakeFiles/repro_synth.dir/codegen.cpp.o" "gcc" "src/synth/CMakeFiles/repro_synth.dir/codegen.cpp.o.d"
+  "/root/repo/src/synth/codegen_arm64.cpp" "src/synth/CMakeFiles/repro_synth.dir/codegen_arm64.cpp.o" "gcc" "src/synth/CMakeFiles/repro_synth.dir/codegen_arm64.cpp.o.d"
+  "/root/repo/src/synth/corpus.cpp" "src/synth/CMakeFiles/repro_synth.dir/corpus.cpp.o" "gcc" "src/synth/CMakeFiles/repro_synth.dir/corpus.cpp.o.d"
+  "/root/repo/src/synth/generate.cpp" "src/synth/CMakeFiles/repro_synth.dir/generate.cpp.o" "gcc" "src/synth/CMakeFiles/repro_synth.dir/generate.cpp.o.d"
+  "/root/repo/src/synth/model.cpp" "src/synth/CMakeFiles/repro_synth.dir/model.cpp.o" "gcc" "src/synth/CMakeFiles/repro_synth.dir/model.cpp.o.d"
+  "/root/repo/src/synth/profiles.cpp" "src/synth/CMakeFiles/repro_synth.dir/profiles.cpp.o" "gcc" "src/synth/CMakeFiles/repro_synth.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/repro_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/repro_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm64/CMakeFiles/repro_arm64.dir/DependInfo.cmake"
+  "/root/repo/build/src/eh/CMakeFiles/repro_eh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_synth.dir/codegen.cpp.o"
+  "CMakeFiles/repro_synth.dir/codegen.cpp.o.d"
+  "CMakeFiles/repro_synth.dir/codegen_arm64.cpp.o"
+  "CMakeFiles/repro_synth.dir/codegen_arm64.cpp.o.d"
+  "CMakeFiles/repro_synth.dir/corpus.cpp.o"
+  "CMakeFiles/repro_synth.dir/corpus.cpp.o.d"
+  "CMakeFiles/repro_synth.dir/generate.cpp.o"
+  "CMakeFiles/repro_synth.dir/generate.cpp.o.d"
+  "CMakeFiles/repro_synth.dir/model.cpp.o"
+  "CMakeFiles/repro_synth.dir/model.cpp.o.d"
+  "CMakeFiles/repro_synth.dir/profiles.cpp.o"
+  "CMakeFiles/repro_synth.dir/profiles.cpp.o.d"
+  "librepro_synth.a"
+  "librepro_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

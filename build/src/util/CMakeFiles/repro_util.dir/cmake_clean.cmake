@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/bytes.cpp.o"
+  "CMakeFiles/repro_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/repro_util.dir/leb128.cpp.o"
+  "CMakeFiles/repro_util.dir/leb128.cpp.o.d"
+  "CMakeFiles/repro_util.dir/rng.cpp.o"
+  "CMakeFiles/repro_util.dir/rng.cpp.o.d"
+  "CMakeFiles/repro_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/repro_util.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/repro_util.dir/str.cpp.o"
+  "CMakeFiles/repro_util.dir/str.cpp.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

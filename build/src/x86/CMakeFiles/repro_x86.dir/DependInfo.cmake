@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/assembler.cpp" "src/x86/CMakeFiles/repro_x86.dir/assembler.cpp.o" "gcc" "src/x86/CMakeFiles/repro_x86.dir/assembler.cpp.o.d"
+  "/root/repo/src/x86/decoder.cpp" "src/x86/CMakeFiles/repro_x86.dir/decoder.cpp.o" "gcc" "src/x86/CMakeFiles/repro_x86.dir/decoder.cpp.o.d"
+  "/root/repo/src/x86/format.cpp" "src/x86/CMakeFiles/repro_x86.dir/format.cpp.o" "gcc" "src/x86/CMakeFiles/repro_x86.dir/format.cpp.o.d"
+  "/root/repo/src/x86/insn.cpp" "src/x86/CMakeFiles/repro_x86.dir/insn.cpp.o" "gcc" "src/x86/CMakeFiles/repro_x86.dir/insn.cpp.o.d"
+  "/root/repo/src/x86/sweep.cpp" "src/x86/CMakeFiles/repro_x86.dir/sweep.cpp.o" "gcc" "src/x86/CMakeFiles/repro_x86.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

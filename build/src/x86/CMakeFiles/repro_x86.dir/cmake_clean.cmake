@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_x86.dir/assembler.cpp.o"
+  "CMakeFiles/repro_x86.dir/assembler.cpp.o.d"
+  "CMakeFiles/repro_x86.dir/decoder.cpp.o"
+  "CMakeFiles/repro_x86.dir/decoder.cpp.o.d"
+  "CMakeFiles/repro_x86.dir/format.cpp.o"
+  "CMakeFiles/repro_x86.dir/format.cpp.o.d"
+  "CMakeFiles/repro_x86.dir/insn.cpp.o"
+  "CMakeFiles/repro_x86.dir/insn.cpp.o.d"
+  "CMakeFiles/repro_x86.dir/sweep.cpp.o"
+  "CMakeFiles/repro_x86.dir/sweep.cpp.o.d"
+  "librepro_x86.a"
+  "librepro_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

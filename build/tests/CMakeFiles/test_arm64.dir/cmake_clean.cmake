@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arm64.dir/test_arm64.cpp.o"
+  "CMakeFiles/test_arm64.dir/test_arm64.cpp.o.d"
+  "test_arm64"
+  "test_arm64.pdb"
+  "test_arm64[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arm64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

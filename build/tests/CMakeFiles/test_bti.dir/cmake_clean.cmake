@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bti.dir/test_bti.cpp.o"
+  "CMakeFiles/test_bti.dir/test_bti.cpp.o.d"
+  "test_bti"
+  "test_bti.pdb"
+  "test_bti[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byteweight.dir/test_byteweight.cpp.o"
+  "CMakeFiles/test_byteweight.dir/test_byteweight.cpp.o.d"
+  "test_byteweight"
+  "test_byteweight.pdb"
+  "test_byteweight[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byteweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

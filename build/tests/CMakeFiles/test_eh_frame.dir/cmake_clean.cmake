@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eh_frame.dir/test_eh_frame.cpp.o"
+  "CMakeFiles/test_eh_frame.dir/test_eh_frame.cpp.o.d"
+  "test_eh_frame"
+  "test_eh_frame.pdb"
+  "test_eh_frame[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eh_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

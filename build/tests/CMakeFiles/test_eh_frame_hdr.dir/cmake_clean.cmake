@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eh_frame_hdr.dir/test_eh_frame_hdr.cpp.o"
+  "CMakeFiles/test_eh_frame_hdr.dir/test_eh_frame_hdr.cpp.o.d"
+  "test_eh_frame_hdr"
+  "test_eh_frame_hdr.pdb"
+  "test_eh_frame_hdr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eh_frame_hdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

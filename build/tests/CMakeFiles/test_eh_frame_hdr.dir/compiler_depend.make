@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_eh_frame_hdr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_eh_frame_hdr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_funseeker.dir/test_funseeker.cpp.o"
+  "CMakeFiles/test_funseeker.dir/test_funseeker.cpp.o.d"
+  "test_funseeker"
+  "test_funseeker.pdb"
+  "test_funseeker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_funseeker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

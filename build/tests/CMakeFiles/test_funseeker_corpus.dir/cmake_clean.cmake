@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_funseeker_corpus.dir/test_funseeker_corpus.cpp.o"
+  "CMakeFiles/test_funseeker_corpus.dir/test_funseeker_corpus.cpp.o.d"
+  "test_funseeker_corpus"
+  "test_funseeker_corpus.pdb"
+  "test_funseeker_corpus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_funseeker_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnu_property.dir/test_gnu_property.cpp.o"
+  "CMakeFiles/test_gnu_property.dir/test_gnu_property.cpp.o.d"
+  "test_gnu_property"
+  "test_gnu_property.pdb"
+  "test_gnu_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnu_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsda.dir/test_lsda.cpp.o"
+  "CMakeFiles/test_lsda.dir/test_lsda.cpp.o.d"
+  "test_lsda"
+  "test_lsda.pdb"
+  "test_lsda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

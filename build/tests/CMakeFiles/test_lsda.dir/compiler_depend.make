@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_lsda.
+# This may be replaced when dependencies are built.

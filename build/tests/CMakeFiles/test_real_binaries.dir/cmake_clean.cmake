@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_real_binaries.dir/test_real_binaries.cpp.o"
+  "CMakeFiles/test_real_binaries.dir/test_real_binaries.cpp.o.d"
+  "test_real_binaries"
+  "test_real_binaries.pdb"
+  "test_real_binaries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_real_binaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_codegen.dir/test_synth_codegen.cpp.o"
+  "CMakeFiles/test_synth_codegen.dir/test_synth_codegen.cpp.o.d"
+  "test_synth_codegen"
+  "test_synth_codegen.pdb"
+  "test_synth_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_generate.dir/test_synth_generate.cpp.o"
+  "CMakeFiles/test_synth_generate.dir/test_synth_generate.cpp.o.d"
+  "test_synth_generate"
+  "test_synth_generate.pdb"
+  "test_synth_generate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x86_encodings.dir/test_x86_encodings.cpp.o"
+  "CMakeFiles/test_x86_encodings.dir/test_x86_encodings.cpp.o.d"
+  "test_x86_encodings"
+  "test_x86_encodings.pdb"
+  "test_x86_encodings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x86_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

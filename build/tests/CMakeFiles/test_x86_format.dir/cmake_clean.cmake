@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x86_format.dir/test_x86_format.cpp.o"
+  "CMakeFiles/test_x86_format.dir/test_x86_format.cpp.o.d"
+  "test_x86_format"
+  "test_x86_format.pdb"
+  "test_x86_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x86_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

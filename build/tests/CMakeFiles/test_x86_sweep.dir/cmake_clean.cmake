@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x86_sweep.dir/test_x86_sweep.cpp.o"
+  "CMakeFiles/test_x86_sweep.dir/test_x86_sweep.cpp.o.d"
+  "test_x86_sweep"
+  "test_x86_sweep.pdb"
+  "test_x86_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x86_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

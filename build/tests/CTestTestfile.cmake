@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_x86_decoder[1]_include.cmake")
+include("/root/repo/build/tests/test_x86_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_x86_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_elf[1]_include.cmake")
+include("/root/repo/build/tests/test_eh_frame[1]_include.cmake")
+include("/root/repo/build/tests/test_lsda[1]_include.cmake")
+include("/root/repo/build/tests/test_synth_generate[1]_include.cmake")
+include("/root/repo/build/tests/test_synth_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_funseeker[1]_include.cmake")
+include("/root/repo/build/tests/test_funseeker_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_arm64[1]_include.cmake")
+include("/root/repo/build/tests/test_bti[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_eh_frame_hdr[1]_include.cmake")
+include("/root/repo/build/tests/test_x86_encodings[1]_include.cmake")
+include("/root/repo/build/tests/test_real_binaries[1]_include.cmake")
+include("/root/repo/build/tests/test_gnu_property[1]_include.cmake")
+include("/root/repo/build/tests/test_x86_format[1]_include.cmake")
+include("/root/repo/build/tests/test_recursive[1]_include.cmake")
+include("/root/repo/build/tests/test_byteweight[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsr.dir/fsr.cpp.o"
+  "CMakeFiles/fsr.dir/fsr.cpp.o.d"
+  "fsr"
+  "fsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
