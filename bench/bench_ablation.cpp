@@ -5,6 +5,10 @@
 //   C. Inline data in .text (the linear-sweep hazard).
 //   D. FETCH-like with its tail-call verification disabled (accuracy
 //      side of the 5x run-time story; timing lives in bench_speed).
+//
+// All four sections walk the same deterministic corpus; the generation
+// cache means sections B-D reuse the binaries section A generated, and
+// every section fans its analyses out over REPRO_THREADS workers.
 #include <cstdio>
 
 #include "baselines/fetch_like.hpp"
@@ -44,11 +48,13 @@ int main() {
         {"multi-ref only", tail_variant(false, true)},
         {"no conditions (= config 3)", funseeker::Options::config(3)},
     };
+    std::vector<eval::ToolJob> jobs;
+    for (const Variant& v : variants) jobs.push_back({eval::Tool::kFunSeeker, v.opts});
     eval::Score scores[4];
-    synth::for_each_binary(configs, [&](const synth::DatasetEntry& entry) {
-      for (int v = 0; v < 4; ++v)
-        scores[v] += eval::run_tool(eval::Tool::kFunSeeker, entry, variants[v].opts).score;
-    });
+    eval::CorpusRunner(std::move(jobs))
+        .run(configs, [&](const synth::BinaryConfig&, const eval::BinaryResult& r) {
+          for (int v = 0; v < 4; ++v) scores[v] += r.per_job[v].score;
+        });
     eval::Table table({"SELECTTAILCALL variant", "Prec %", "Rec %"});
     for (int v = 0; v < 4; ++v)
       table.add_row({variants[v].name, util::pct(scores[v].precision(), 3),
@@ -60,12 +66,18 @@ int main() {
   // ---- B: -mmanual-endbr ------------------------------------------------
   {
     eval::Score normal, manual;
-    synth::for_each_binary(configs, [&](const synth::DatasetEntry& entry) {
-      normal += eval::run_tool(eval::Tool::kFunSeeker, entry).score;
-      const synth::DatasetEntry variant =
-          synth::make_binary_variant(entry.config, /*manual_endbr=*/true, 0.0);
-      manual += eval::run_tool(eval::Tool::kFunSeeker, variant).score;
-    });
+    synth::transform_binaries_parallel(
+        configs,
+        [](const synth::DatasetEntry& entry) {
+          const auto variant =
+              synth::make_binary_variant(entry.config, /*manual_endbr=*/true, 0.0);
+          return std::pair{eval::run_tool(eval::Tool::kFunSeeker, entry).score,
+                           eval::run_tool(eval::Tool::kFunSeeker, variant).score};
+        },
+        [&](const synth::BinaryConfig&, std::pair<eval::Score, eval::Score>&& s) {
+          normal += s.first;
+          manual += s.second;
+        });
     eval::Table table({"Build mode", "Prec %", "Rec %"});
     table.add_row({"default CET (-fcf-protection=full)",
                    util::pct(normal.precision(), 3), util::pct(normal.recall(), 3)});
@@ -84,18 +96,32 @@ int main() {
     refined.superset_endbr_scan = true;
     eval::Table table({"data-in-text density", "Prec %", "Rec %", "resyncs/binary",
                        "+superset Prec %", "Rec %"});
+    struct Row {
+      eval::Score s, sr;
+      std::size_t resyncs = 0;
+    };
     for (double density : {0.0, 0.05, 0.2, 0.5}) {
       eval::Score s, sr;
       std::size_t resyncs = 0, binaries = 0;
-      synth::for_each_binary(configs, [&](const synth::DatasetEntry& clean) {
-        const synth::DatasetEntry entry =
-            synth::make_binary_variant(clean.config, false, density);
-        s += eval::run_tool(eval::Tool::kFunSeeker, entry).score;
-        sr += eval::run_tool(eval::Tool::kFunSeeker, entry, refined).score;
-        const elf::Image img = elf::read_elf(entry.stripped_bytes());
-        resyncs += funseeker::disassemble(img).bad_bytes;
-        ++binaries;
-      });
+      synth::transform_binaries_parallel(
+          configs,
+          [&refined, density](const synth::DatasetEntry& clean) {
+            const synth::DatasetEntry entry =
+                synth::make_binary_variant(clean.config, false, density);
+            const elf::Image img = elf::read_elf(entry.stripped_bytes());
+            Row row;
+            row.s = eval::run_tool_scored(eval::Tool::kFunSeeker, img, entry.truth).score;
+            row.sr = eval::run_tool_scored(eval::Tool::kFunSeeker, img, entry.truth,
+                                           refined).score;
+            row.resyncs = funseeker::disassemble(img).bad_bytes;
+            return row;
+          },
+          [&](const synth::BinaryConfig&, Row&& row) {
+            s += row.s;
+            sr += row.sr;
+            resyncs += row.resyncs;
+            ++binaries;
+          });
       table.add_row({util::fixed(density, 2), util::pct(s.precision(), 3),
                      util::pct(s.recall(), 3),
                      util::fixed(static_cast<double>(resyncs) /
@@ -109,21 +135,35 @@ int main() {
 
   // ---- D: FETCH-like verification -----------------------------------------
   {
+    struct Row {
+      eval::Score with, without;
+      double t_with = 0, t_without = 0;
+    };
     eval::Score with, without;
     double t_with = 0, t_without = 0;
-    synth::for_each_binary(configs, [&](const synth::DatasetEntry& entry) {
-      const auto bytes = entry.stripped_bytes();
-      util::Stopwatch w1;
-      auto f1 = baselines::fetch_like_functions(elf::read_elf(bytes));
-      t_with += w1.seconds();
-      with += eval::score(f1, entry.truth.functions);
-      baselines::FetchOptions off;
-      off.verify_tail_calls = false;
-      util::Stopwatch w2;
-      auto f2 = baselines::fetch_like_functions(elf::read_elf(bytes), off);
-      t_without += w2.seconds();
-      without += eval::score(f2, entry.truth.functions);
-    });
+    synth::transform_binaries_parallel(
+        configs,
+        [](const synth::DatasetEntry& entry) {
+          const elf::Image img = elf::read_elf(entry.stripped_bytes());
+          Row row;
+          util::Stopwatch w1;
+          auto f1 = baselines::fetch_like_functions(img);
+          row.t_with = w1.seconds();
+          row.with = eval::score(f1, entry.truth.functions);
+          baselines::FetchOptions off;
+          off.verify_tail_calls = false;
+          util::Stopwatch w2;
+          auto f2 = baselines::fetch_like_functions(img, off);
+          row.t_without = w2.seconds();
+          row.without = eval::score(f2, entry.truth.functions);
+          return row;
+        },
+        [&](const synth::BinaryConfig&, Row&& row) {
+          with += row.with;
+          without += row.without;
+          t_with += row.t_with;
+          t_without += row.t_without;
+        });
     eval::Table table({"FETCH-like variant", "Prec %", "Rec %", "total s"});
     table.add_row({"with frame-height verification", util::pct(with.precision(), 3),
                    util::pct(with.recall(), 3), util::fixed(t_with, 2)});

@@ -35,18 +35,32 @@ int main() {
   double seconds = 0;
   std::size_t binaries = 0;
 
-  synth::for_each_binary(configs, [&](const synth::DatasetEntry& entry) {
-    const auto bytes = entry.stripped_bytes();
-    util::Stopwatch watch;
-    const bti::Result r = bti::analyze_bytes(bytes);
-    seconds += watch.seconds();
-    ++binaries;
-    const eval::Score s = eval::score(r.functions, entry.truth.functions);
-    groups[{entry.config.compiler, entry.config.suite}] += s;
-    total += s;
-    jump_pads += r.jump_pads.size();
-    call_pads += r.call_pads.size();
-  });
+  struct Row {
+    eval::Score score;
+    std::size_t jump_pads = 0, call_pads = 0;
+    double seconds = 0;
+  };
+  synth::transform_binaries_parallel(
+      configs,
+      [](const synth::DatasetEntry& entry) {
+        const auto bytes = entry.stripped_bytes();
+        util::Stopwatch watch;
+        const bti::Result r = bti::analyze_bytes(bytes);
+        Row row;
+        row.seconds = watch.seconds();
+        row.score = eval::score(r.functions, entry.truth.functions);
+        row.jump_pads = r.jump_pads.size();
+        row.call_pads = r.call_pads.size();
+        return row;
+      },
+      [&](const synth::BinaryConfig& cfg, Row&& row) {
+        seconds += row.seconds;
+        ++binaries;
+        groups[{cfg.compiler, cfg.suite}] += row.score;
+        total += row.score;
+        jump_pads += row.jump_pads;
+        call_pads += row.call_pads;
+      });
 
   eval::Table table({"Compiler / Suite", "Prec %", "Rec %"});
   for (synth::Compiler compiler : synth::kAllCompilers) {

@@ -49,25 +49,40 @@ const Split kSplits[] = {
 }  // namespace
 
 int main() {
-  const auto configs = bench::corpus();
-
   eval::Table table({"Split", "ByteWeight P %", "R %", "FunSeeker P %", "R %"});
   for (const Split& split : kSplits) {
+    // Training folds the model sequentially (deterministic order), but
+    // generation + parsing stream from the pool; both splits reuse the
+    // same cached binaries.
     baselines::ByteWeightModel model;
-    synth::for_each_binary(configs, [&](const synth::DatasetEntry& entry) {
-      if (!split.in_train(entry.config)) return;
-      if (entry.config.machine != elf::Machine::kX8664) return;  // one arch per model
-      model.train(elf::read_elf(entry.stripped_bytes()), entry.truth.functions);
+    const auto train_set = bench::corpus_where([&](const synth::BinaryConfig& c) {
+      return c.machine == elf::Machine::kX8664 && split.in_train(c);
     });
+    synth::transform_binaries_parallel(
+        train_set,
+        [](const synth::DatasetEntry& entry) {
+          return elf::read_elf(entry.stripped_bytes());
+        },
+        [&](const synth::BinaryConfig& cfg, elf::Image&& img) {
+          model.train(img, synth::cached_binary(cfg)->truth.functions);
+        });
 
     eval::Score bw, fs;
-    synth::for_each_binary(configs, [&](const synth::DatasetEntry& entry) {
-      if (!split.in_test(entry.config)) return;
-      if (entry.config.machine != elf::Machine::kX8664) return;
-      const elf::Image img = elf::read_elf(entry.stripped_bytes());
-      bw += eval::score(model.classify(img), entry.truth.functions);
-      fs += eval::run_tool(eval::Tool::kFunSeeker, entry).score;
+    const auto test_set = bench::corpus_where([&](const synth::BinaryConfig& c) {
+      return c.machine == elf::Machine::kX8664 && split.in_test(c);
     });
+    synth::transform_binaries_parallel(
+        test_set,
+        [&model](const synth::DatasetEntry& entry) {
+          const elf::Image img = elf::read_elf(entry.stripped_bytes());
+          return std::pair{eval::score(model.classify(img), entry.truth.functions),
+                           eval::run_tool_scored(eval::Tool::kFunSeeker, img,
+                                                 entry.truth).score};
+        },
+        [&](const synth::BinaryConfig&, std::pair<eval::Score, eval::Score>&& s) {
+          bw += s.first;
+          fs += s.second;
+        });
     table.add_row({split.name, util::pct(bw.precision(), 3), util::pct(bw.recall(), 3),
                    util::pct(fs.precision(), 3), util::pct(fs.recall(), 3)});
   }

@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "synth/corpus.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fsr::bench {
 
@@ -23,6 +25,19 @@ inline double corpus_scale() {
 inline std::vector<synth::BinaryConfig> corpus() {
   return synth::corpus_configs(corpus_scale());
 }
+
+/// The corpus restricted to the configs a bench actually evaluates —
+/// filtering before generation, so skipped cells cost nothing.
+inline std::vector<synth::BinaryConfig> corpus_where(
+    const std::function<bool(const synth::BinaryConfig&)>& keep) {
+  std::vector<synth::BinaryConfig> out;
+  for (const auto& cfg : corpus())
+    if (keep(cfg)) out.push_back(cfg);
+  return out;
+}
+
+/// Worker count every bench's parallel engine will use (REPRO_THREADS).
+inline std::size_t threads() { return util::ThreadPool::default_workers(); }
 
 /// Row label matching the paper's per-suite grouping.
 inline std::string suite_label(synth::Suite s) {

@@ -36,18 +36,30 @@ int main() {
   std::size_t region[8] = {};
   std::size_t total = 0;
 
-  synth::for_each_binary(bench::corpus(), [&](const synth::DatasetEntry& entry) {
-    const elf::Image image = elf::read_elf(entry.stripped_bytes());
-    const funseeker::DisasmSets sets = funseeker::disassemble(image);
-    for (std::uint64_t f : entry.truth.functions) {
-      unsigned bits = 0;
-      if (contains(entry.truth.endbr_entries, f)) bits |= 1;
-      if (contains(sets.call_targets, f)) bits |= 2;
-      if (contains(sets.jmp_targets, f)) bits |= 4;
-      ++region[bits];
-      ++total;
-    }
-  });
+  struct Regions {
+    std::size_t region[8] = {};
+  };
+  synth::transform_binaries_parallel(
+      bench::corpus(),
+      [](const synth::DatasetEntry& entry) {
+        const elf::Image image = elf::read_elf(entry.stripped_bytes());
+        const funseeker::DisasmSets sets = funseeker::disassemble(image);
+        Regions r;
+        for (std::uint64_t f : entry.truth.functions) {
+          unsigned bits = 0;
+          if (contains(entry.truth.endbr_entries, f)) bits |= 1;
+          if (contains(sets.call_targets, f)) bits |= 2;
+          if (contains(sets.jmp_targets, f)) bits |= 4;
+          ++r.region[bits];
+        }
+        return r;
+      },
+      [&](const synth::BinaryConfig&, Regions&& r) {
+        for (unsigned b = 0; b < 8; ++b) {
+          region[b] += r.region[b];
+          total += r.region[b];
+        }
+      });
 
   const double n = static_cast<double>(total);
   eval::Table table({"Region", "Measured", "Paper"});

@@ -17,15 +17,16 @@
 using namespace fsr;
 
 int main() {
-  constexpr eval::Tool kTools[] = {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
-                                   eval::Tool::kGhidraLike, eval::Tool::kFetchLike};
   std::map<synth::OptLevel, eval::Score> scores[4];
 
-  synth::for_each_binary(bench::corpus(), [&](const synth::DatasetEntry& entry) {
-    if (entry.config.machine != elf::Machine::kX8664) return;  // isolate the opt axis
-    for (std::size_t t = 0; t < 4; ++t)
-      scores[t][entry.config.opt] += eval::run_tool(kTools[t], entry).score;
-  });
+  // x86-64 slice only — filtered before generation, evaluated on the
+  // parallel engine with one shared parsed image per binary.
+  const auto configs = bench::corpus_where(
+      [](const synth::BinaryConfig& c) { return c.machine == elf::Machine::kX8664; });
+  eval::CorpusRunner(eval::CorpusRunner::all_tools())
+      .run(configs, [&](const synth::BinaryConfig& cfg, const eval::BinaryResult& r) {
+        for (std::size_t t = 0; t < 4; ++t) scores[t][cfg.opt] += r.per_job[t].score;
+      });
 
   eval::Table table({"Opt", "FunSeeker P %", "R %", "IDA-like P %", "R %",
                      "Ghidra-like P %", "R %", "FETCH-like P %", "R %"});

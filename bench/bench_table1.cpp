@@ -43,21 +43,33 @@ bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
 int main() {
   std::map<std::pair<synth::Compiler, synth::Suite>, Counts> groups;
 
-  synth::for_each_binary(bench::corpus(), [&](const synth::DatasetEntry& entry) {
-    const elf::Image image = elf::read_elf(entry.stripped_bytes());
-    const funseeker::DisasmSets sets = funseeker::disassemble(image);
-    Counts& c = groups[{entry.config.compiler, entry.config.suite}];
-    for (std::uint64_t e : sets.endbrs) {
-      if (contains(entry.truth.setjmp_pads, e))
-        ++c.indirect_return;
-      else if (contains(entry.truth.landing_pads, e))
-        ++c.exception;
-      else if (contains(entry.truth.endbr_entries, e))
-        ++c.entry;
-      else
-        ++c.other;
-    }
-  });
+  // Disassembly + classification on pool workers; the per-group sums
+  // are reduced in config order (identical to the sequential walk).
+  synth::transform_binaries_parallel(
+      bench::corpus(),
+      [](const synth::DatasetEntry& entry) {
+        const elf::Image image = elf::read_elf(entry.stripped_bytes());
+        const funseeker::DisasmSets sets = funseeker::disassemble(image);
+        Counts c;
+        for (std::uint64_t e : sets.endbrs) {
+          if (contains(entry.truth.setjmp_pads, e))
+            ++c.indirect_return;
+          else if (contains(entry.truth.landing_pads, e))
+            ++c.exception;
+          else if (contains(entry.truth.endbr_entries, e))
+            ++c.entry;
+          else
+            ++c.other;
+        }
+        return c;
+      },
+      [&](const synth::BinaryConfig& cfg, Counts&& c) {
+        Counts& g = groups[{cfg.compiler, cfg.suite}];
+        g.entry += c.entry;
+        g.indirect_return += c.indirect_return;
+        g.exception += c.exception;
+        g.other += c.other;
+      });
 
   eval::Table table({"Compiler / Suite", "Func. Entry", "Indirect Ret.", "Exception",
                      "Unclassified", "#endbr"});

@@ -24,12 +24,19 @@ int main() {
   std::map<Key, eval::Score> scores[5];  // index 1..4
   eval::Score totals[5];
 
-  synth::for_each_binary(bench::corpus(), [&](const synth::DatasetEntry& entry) {
-    for (int cfg = 1; cfg <= 4; ++cfg) {
-      const auto r =
-          eval::run_tool(eval::Tool::kFunSeeker, entry, funseeker::Options::config(cfg));
-      scores[cfg][{entry.config.compiler, entry.config.suite}] += r.score;
-      totals[cfg] += r.score;
+  // One job per Table II configuration: the binary is generated,
+  // stripped and parsed once, then analyzed four ways on the shared
+  // image — on REPRO_THREADS workers, reduced in config order.
+  std::vector<eval::ToolJob> jobs;
+  for (int cfg = 1; cfg <= 4; ++cfg)
+    jobs.push_back({eval::Tool::kFunSeeker, funseeker::Options::config(cfg)});
+  const eval::CorpusRunner runner(std::move(jobs));
+
+  runner.run(bench::corpus(), [&](const synth::BinaryConfig& cfg,
+                                  const eval::BinaryResult& r) {
+    for (int c = 1; c <= 4; ++c) {
+      scores[c][{cfg.compiler, cfg.suite}] += r.per_job[c - 1].score;
+      totals[c] += r.per_job[c - 1].score;
     }
   });
 

@@ -10,12 +10,23 @@
 // Also prints the paper's §V-C failure-mode audit for FunSeeker (false
 // negatives: dead functions vs missed tail calls; false positives:
 // .part/.cold blocks).
+//
+// Runs on the parallel corpus engine: binaries are generated, prepared
+// once (strip + serialize + parse) and analyzed by all four tools on
+// REPRO_THREADS workers; the reduction is sequenced, so the table is
+// bit-identical at any thread count. Emits BENCH_eval.json with
+// machine-readable wall-clock numbers; set REPRO_BASELINE=1 to also
+// measure the single-thread pass and report the speedup.
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <string>
 
 #include "bench_common.hpp"
 #include "eval/runner.hpp"
 #include "eval/tables.hpp"
+#include "synth/cache.hpp"
+#include "util/stopwatch.hpp"
 #include "util/str.hpp"
 
 using namespace fsr;
@@ -28,29 +39,117 @@ struct Agg {
   std::size_t binaries = 0;
 };
 
+using Key = std::pair<elf::Machine, synth::Suite>;
+
+struct PassResult {
+  std::map<Key, Agg> agg[4];
+  std::map<Key, double> suite_seconds;  // prepare + all analyses
+  Agg totals[4];
+  eval::FailureBreakdown funseeker_failures;
+  double prepare_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+PassResult run_pass(const std::vector<synth::BinaryConfig>& configs,
+                    std::size_t threads) {
+  const eval::CorpusRunner runner(eval::CorpusRunner::all_tools(), threads);
+  PassResult pass;
+  util::Stopwatch wall;
+  runner.run(configs, [&](const synth::BinaryConfig& cfg,
+                          const eval::BinaryResult& r) {
+    const Key key{cfg.machine, cfg.suite};
+    double binary_seconds = r.prepare_seconds;
+    for (std::size_t t = 0; t < 4; ++t) {
+      Agg& a = pass.agg[t][key];
+      a.score += r.per_job[t].score;
+      a.seconds += r.per_job[t].seconds;
+      ++a.binaries;
+      pass.totals[t].score += r.per_job[t].score;
+      pass.totals[t].seconds += r.per_job[t].seconds;
+      ++pass.totals[t].binaries;
+      binary_seconds += r.per_job[t].seconds;
+      if (runner.jobs()[t].tool == eval::Tool::kFunSeeker)
+        pass.funseeker_failures += r.per_job[t].failures;
+    }
+    pass.suite_seconds[key] += binary_seconds;
+    pass.prepare_seconds += r.prepare_seconds;
+  });
+  pass.wall_seconds = wall.seconds();
+  return pass;
+}
+
+const char* arch_name(elf::Machine m) {
+  return m == elf::Machine::kX86 ? "x86" : "x64";
+}
+
+void write_json(const PassResult& pass, double scale, std::size_t threads,
+                double speedup, bool have_speedup) {
+  std::FILE* out = std::fopen("BENCH_eval.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_eval.json\n");
+    return;
+  }
+  const std::size_t binaries = pass.totals[0].binaries;
+  const auto& cache = synth::BinaryCache::instance();
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_table3\",\n");
+  std::fprintf(out, "  \"scale\": %g,\n", scale);
+  std::fprintf(out, "  \"threads\": %zu,\n", threads);
+  std::fprintf(out, "  \"binaries\": %zu,\n", binaries);
+  std::fprintf(out, "  \"wall_seconds\": %.3f,\n", pass.wall_seconds);
+  std::fprintf(out, "  \"binaries_per_sec\": %.2f,\n",
+               pass.wall_seconds > 0 ? static_cast<double>(binaries) / pass.wall_seconds
+                                     : 0.0);
+  if (have_speedup)
+    std::fprintf(out, "  \"speedup_vs_1_thread\": %.2f,\n", speedup);
+  else
+    std::fprintf(out, "  \"speedup_vs_1_thread\": null,\n");
+  std::fprintf(out, "  \"prepare_seconds\": %.3f,\n", pass.prepare_seconds);
+  std::fprintf(out, "  \"cache\": {\"hits\": %zu, \"misses\": %zu, \"bytes\": %zu},\n",
+               cache.hits(), cache.misses(), cache.bytes());
+  std::fprintf(out, "  \"suites\": [\n");
+  bool first = true;
+  for (const auto& [key, seconds] : pass.suite_seconds) {
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out, "    {\"arch\": \"%s\", \"suite\": \"%s\", \"binaries\": %zu,"
+                      " \"wall_seconds\": %.3f, \"tools\": [",
+                 arch_name(key.first), bench::suite_label(key.second).c_str(),
+                 pass.agg[0].at(key).binaries, seconds);
+    constexpr eval::Tool kTools[] = {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
+                                     eval::Tool::kGhidraLike, eval::Tool::kFetchLike};
+    for (std::size_t t = 0; t < 4; ++t) {
+      const Agg& a = pass.agg[t].at(key);
+      std::fprintf(out, "%s{\"tool\": \"%s\", \"precision\": %.5f, \"recall\": %.5f,"
+                        " \"analysis_seconds\": %.4f}",
+                   t == 0 ? "" : ", ", eval::to_string(kTools[t]).c_str(),
+                   a.score.precision(), a.score.recall(), a.seconds);
+    }
+    std::fprintf(out, "]}");
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+}
+
 }  // namespace
 
 int main() {
-  constexpr eval::Tool kTools[] = {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
-                                   eval::Tool::kGhidraLike, eval::Tool::kFetchLike};
-  using Key = std::pair<elf::Machine, synth::Suite>;
-  std::map<Key, Agg> agg[4];
-  Agg totals[4];
-  eval::FailureBreakdown funseeker_failures;
+  const auto configs = bench::corpus();
+  const std::size_t threads = bench::threads();
 
-  synth::for_each_binary(bench::corpus(), [&](const synth::DatasetEntry& entry) {
-    for (std::size_t t = 0; t < 4; ++t) {
-      const auto r = eval::run_tool(kTools[t], entry);
-      Agg& a = agg[t][{entry.config.machine, entry.config.suite}];
-      a.score += r.score;
-      a.seconds += r.seconds;
-      ++a.binaries;
-      totals[t].score += r.score;
-      totals[t].seconds += r.seconds;
-      ++totals[t].binaries;
-      if (kTools[t] == eval::Tool::kFunSeeker) funseeker_failures += r.failures;
-    }
-  });
+  // Optional single-thread baseline for the speedup metric. The cache
+  // is cleared between passes so both generate from scratch.
+  double speedup = 1.0;
+  bool have_speedup = threads == 1;
+  if (std::getenv("REPRO_BASELINE") != nullptr && threads > 1) {
+    const PassResult base = run_pass(configs, 1);
+    synth::BinaryCache::instance().clear();
+    speedup = base.wall_seconds;  // finished below
+    have_speedup = true;
+  }
+
+  const PassResult pass = run_pass(configs, threads);
+  if (have_speedup && threads > 1) speedup /= pass.wall_seconds;
 
   eval::Table table({"Arch / Suite", "FunSeeker P", "R", "ms", "IDA-like P", "R",
                      "Ghidra-like P", "R", "FETCH-like P", "R", "ms "});
@@ -61,10 +160,10 @@ int main() {
           std::string(machine == elf::Machine::kX86 ? "x86 " : "x64 ") +
           bench::suite_label(suite)};
       for (std::size_t t = 0; t < 4; ++t) {
-        const Agg& a = agg[t].at(key);
+        const Agg& a = pass.agg[t].at(key);
         row.push_back(util::pct(a.score.precision(), 3));
         row.push_back(util::pct(a.score.recall(), 3));
-        if (kTools[t] == eval::Tool::kFunSeeker || kTools[t] == eval::Tool::kFetchLike)
+        if (t == 0 || t == 3)
           row.push_back(util::fixed(a.seconds / a.binaries * 1e3, 3));
       }
       table.add_row(std::move(row));
@@ -74,22 +173,24 @@ int main() {
   {
     std::vector<std::string> row{"Total"};
     for (std::size_t t = 0; t < 4; ++t) {
-      row.push_back(util::pct(totals[t].score.precision(), 3));
-      row.push_back(util::pct(totals[t].score.recall(), 3));
-      if (kTools[t] == eval::Tool::kFunSeeker || kTools[t] == eval::Tool::kFetchLike)
-        row.push_back(util::fixed(totals[t].seconds / totals[t].binaries * 1e3, 3));
+      row.push_back(util::pct(pass.totals[t].score.precision(), 3));
+      row.push_back(util::pct(pass.totals[t].score.recall(), 3));
+      if (t == 0 || t == 3)
+        row.push_back(util::fixed(pass.totals[t].seconds / pass.totals[t].binaries * 1e3, 3));
     }
     table.add_row(std::move(row));
   }
 
-  std::printf("Table III reproduction: tool comparison over %zu binaries\n\n",
-              totals[0].binaries);
+  std::printf("Table III reproduction: tool comparison over %zu binaries"
+              " (%zu threads, %.1fs)\n\n",
+              pass.totals[0].binaries, threads, pass.wall_seconds);
   std::printf("%s\n", table.render().c_str());
 
-  const double speedup = totals[3].seconds / totals[0].seconds;
-  std::printf("FunSeeker vs FETCH-like average speedup: %.1fx (paper: 5.1x)\n\n", speedup);
+  const double fetch_speed = pass.totals[3].seconds / pass.totals[0].seconds;
+  std::printf("FunSeeker vs FETCH-like average speedup: %.1fx (paper: 5.1x)\n\n",
+              fetch_speed);
 
-  const auto& fb = funseeker_failures;
+  const auto& fb = pass.funseeker_failures;
   const double fns = static_cast<double>(fb.fn_dead + fb.fn_other);
   const double fps = static_cast<double>(fb.fp_fragment + fb.fp_other);
   std::printf("FunSeeker failure audit (paper §V-C):\n");
@@ -99,5 +200,9 @@ int main() {
   std::printf("  false positives: %zu .part/.cold blocks (%.1f%%; paper 100%%), %zu other (%.1f%%)\n",
               fb.fp_fragment, fps > 0 ? fb.fp_fragment / fps * 100 : 0.0, fb.fp_other,
               fps > 0 ? fb.fp_other / fps * 100 : 0.0);
+  if (have_speedup && threads > 1)
+    std::printf("\nparallel speedup vs 1 thread: %.2fx on %zu workers\n", speedup, threads);
+
+  write_json(pass, bench::corpus_scale(), threads, speedup, have_speedup);
   return 0;
 }

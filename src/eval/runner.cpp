@@ -1,9 +1,12 @@
 #include "eval/runner.hpp"
 
+#include <utility>
+
 #include "baselines/fetch_like.hpp"
 #include "baselines/ghidra_like.hpp"
 #include "baselines/ida_like.hpp"
 #include "elf/reader.hpp"
+#include "elf/writer.hpp"
 #include "util/stopwatch.hpp"
 
 namespace fsr::eval {
@@ -18,30 +21,81 @@ std::string to_string(Tool t) {
   return "?";
 }
 
-RunResult run_tool(Tool tool, const synth::DatasetEntry& entry,
-                   const funseeker::Options& fs_opts) {
-  const std::vector<std::uint8_t> bytes = entry.stripped_bytes();
+PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry) {
+  PreparedBinary p;
+  util::Stopwatch watch;
+  p.stripped = elf::read_elf(entry->stripped_bytes());
+  p.prepare_seconds = watch.seconds();
+  p.entry = std::move(entry);
+  return p;
+}
 
+RunResult run_tool_on(Tool tool, const elf::Image& stripped,
+                      const funseeker::Options& fs_opts) {
   RunResult out;
   util::Stopwatch watch;
   switch (tool) {
     case Tool::kFunSeeker:
-      out.found = funseeker::analyze_bytes(bytes, fs_opts).functions;
+      out.found = funseeker::analyze(stripped, fs_opts).functions;
       break;
     case Tool::kIdaLike:
-      out.found = baselines::ida_like_functions(elf::read_elf(bytes));
+      out.found = baselines::ida_like_functions(stripped);
       break;
     case Tool::kGhidraLike:
-      out.found = baselines::ghidra_like_functions(elf::read_elf(bytes));
+      out.found = baselines::ghidra_like_functions(stripped);
       break;
     case Tool::kFetchLike:
-      out.found = baselines::fetch_like_functions(elf::read_elf(bytes));
+      out.found = baselines::fetch_like_functions(stripped);
       break;
   }
   out.seconds = watch.seconds();
-  out.score = score(out.found, entry.truth.functions);
-  out.failures = classify_failures(out.found, entry.truth);
   return out;
+}
+
+RunResult run_tool_scored(Tool tool, const elf::Image& stripped,
+                          const synth::GroundTruth& truth,
+                          const funseeker::Options& fs_opts) {
+  RunResult out = run_tool_on(tool, stripped, fs_opts);
+  out.score = score(out.found, truth.functions);
+  out.failures = classify_failures(out.found, truth);
+  return out;
+}
+
+RunResult run_tool(Tool tool, const synth::DatasetEntry& entry,
+                   const funseeker::Options& fs_opts) {
+  const elf::Image stripped = elf::read_elf(entry.stripped_bytes());
+  return run_tool_scored(tool, stripped, entry.truth, fs_opts);
+}
+
+CorpusRunner::CorpusRunner(std::vector<ToolJob> jobs, std::size_t threads)
+    : jobs_(std::move(jobs)),
+      threads_(threads == 0 ? util::ThreadPool::default_workers() : threads) {}
+
+std::vector<ToolJob> CorpusRunner::all_tools() {
+  return {{Tool::kFunSeeker, {}},
+          {Tool::kIdaLike, {}},
+          {Tool::kGhidraLike, {}},
+          {Tool::kFetchLike, {}}};
+}
+
+void CorpusRunner::run(const std::vector<synth::BinaryConfig>& configs,
+                       const std::function<void(const synth::BinaryConfig&,
+                                                const BinaryResult&)>& reduce) const {
+  util::ThreadPool pool(threads_);
+  util::parallel_map_ordered<BinaryResult>(
+      pool, configs.size(),
+      [&](std::size_t i) {
+        PreparedBinary p = prepare(synth::cached_binary(configs[i]));
+        BinaryResult r;
+        r.prepare_seconds = p.prepare_seconds;
+        r.per_job.reserve(jobs_.size());
+        for (const ToolJob& job : jobs_)
+          r.per_job.push_back(
+              run_tool_scored(job.tool, p.stripped, p.entry->truth, job.fs_opts));
+        r.entry = std::move(p.entry);
+        return r;
+      },
+      [&](std::size_t i, BinaryResult&& r) { reduce(configs[i], r); });
 }
 
 }  // namespace fsr::eval

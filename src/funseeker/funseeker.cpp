@@ -79,15 +79,12 @@ void merge_recursive(DisasmSets& sets, const RecursiveSets& extra) {
                merged.end());
   sets.insns = std::move(merged);
 
-  auto merge_into = [](std::vector<std::uint64_t>& dst,
-                       const std::vector<std::uint64_t>& src) {
-    dst.insert(dst.end(), src.begin(), src.end());
-    std::sort(dst.begin(), dst.end());
-    dst.erase(std::unique(dst.begin(), dst.end()), dst.end());
-  };
-  merge_into(sets.endbrs, extra.endbrs);
-  merge_into(sets.call_targets, extra.call_targets);
-  merge_into(sets.jmp_targets, extra.jmp_targets);
+  // Both sides are sorted and duplicate-free (the sweep emits in
+  // address order; recursive_disassemble sort_unique's its output), so
+  // one linear merge replaces the previous append + O(n log n) sort.
+  sets.endbrs = merge_sorted(sets.endbrs, extra.endbrs);
+  sets.call_targets = merge_sorted(sets.call_targets, extra.call_targets);
+  sets.jmp_targets = merge_sorted(sets.jmp_targets, extra.jmp_targets);
 }
 
 }  // namespace

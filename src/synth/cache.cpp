@@ -1,0 +1,107 @@
+#include "synth/cache.hpp"
+
+#include <cstdlib>
+#include <functional>
+
+namespace fsr::synth {
+
+std::size_t BinaryCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = hash_config(k.cfg);
+  if (k.manual_endbr) h ^= 0x9e3779b97f4a7c15ULL;
+  h ^= std::hash<double>{}(k.data_in_text) + (h << 6) + (h >> 2);
+  return static_cast<std::size_t>(h);
+}
+
+BinaryCache& BinaryCache::instance() {
+  static BinaryCache cache;
+  return cache;
+}
+
+BinaryCache::BinaryCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+std::size_t BinaryCache::default_capacity_bytes() {
+  if (const char* env = std::getenv("REPRO_CACHE_MB"); env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 0) return static_cast<std::size_t>(v) << 20;
+  }
+  return std::size_t{768} << 20;
+}
+
+std::size_t BinaryCache::approx_bytes(const DatasetEntry& entry) {
+  std::size_t n = sizeof(DatasetEntry);
+  for (const auto& s : entry.image.sections)
+    n += s.data.capacity() + s.name.capacity() + sizeof(s);
+  for (const auto& sym : entry.image.symbols) n += sizeof(sym) + sym.name.capacity();
+  for (const auto& sym : entry.image.dynsymbols) n += sizeof(sym) + sym.name.capacity();
+  for (const auto& p : entry.image.plt) n += sizeof(p) + p.symbol.capacity();
+  const auto vec = [](const std::vector<std::uint64_t>& v) {
+    return v.capacity() * sizeof(std::uint64_t);
+  };
+  n += vec(entry.truth.functions) + vec(entry.truth.fragments) +
+       vec(entry.truth.endbr_entries) + vec(entry.truth.setjmp_pads) +
+       vec(entry.truth.landing_pads) + vec(entry.truth.dead_functions);
+  return n;
+}
+
+std::shared_ptr<const DatasetEntry> BinaryCache::get(const BinaryConfig& cfg,
+                                                     bool manual_endbr,
+                                                     double data_in_text) {
+  const Key key{cfg, manual_endbr, data_in_text};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = map_.find(key); it != map_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+
+  // Generate outside the lock: concurrent misses on different configs
+  // must not serialize. Two threads racing on the *same* config both
+  // generate (identical bytes — generation is deterministic); the
+  // second insert is a no-op.
+  auto entry = std::make_shared<const DatasetEntry>(
+      make_binary_variant(cfg, manual_endbr, data_in_text));
+  const std::size_t cost = approx_bytes(*entry);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = map_.find(key); it != map_.end()) return it->second;
+  if (bytes_ + cost <= capacity_bytes_) {
+    map_.emplace(key, entry);
+    bytes_ += cost;
+  }
+  return entry;
+}
+
+void BinaryCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  bytes_ = hits_ = misses_ = 0;
+}
+
+std::size_t BinaryCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::size_t BinaryCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t BinaryCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t BinaryCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::shared_ptr<const DatasetEntry> cached_binary(const BinaryConfig& cfg) {
+  return BinaryCache::instance().get(cfg);
+}
+
+}  // namespace fsr::synth

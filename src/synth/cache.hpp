@@ -1,0 +1,73 @@
+// In-memory generation cache.
+//
+// Generating a binary (program model + codegen + layout) costs orders
+// of magnitude more than looking it up, and multi-pass benches walk the
+// exact same deterministic corpus several times (bench_ablation's four
+// sections, a speedup-baseline pass in bench_table3). The cache keys on
+// the BinaryConfig hash plus the variant knobs, holds entries by
+// shared_ptr so concurrent readers never copy an image, and stops
+// inserting at a byte budget (REPRO_CACHE_MB, default 768) so huge
+// corpora degrade to plain regeneration instead of exhausting memory.
+//
+// Cached entries are immutable; hits and misses return the same bytes
+// a fresh make_binary_variant call would, so caching never changes
+// results — only wall-clock.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "synth/corpus.hpp"
+
+namespace fsr::synth {
+
+class BinaryCache {
+public:
+  /// The process-wide cache every parallel corpus walk shares.
+  static BinaryCache& instance();
+
+  explicit BinaryCache(std::size_t capacity_bytes = default_capacity_bytes());
+
+  /// Look up (or generate-and-insert) the entry for `cfg` with the
+  /// given variant knobs. Thread-safe; generation runs outside the
+  /// cache lock.
+  std::shared_ptr<const DatasetEntry> get(const BinaryConfig& cfg,
+                                          bool manual_endbr = false,
+                                          double data_in_text = 0.0);
+
+  /// Drop every entry and reset the hit/miss counters.
+  void clear();
+
+  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] std::size_t bytes() const;
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+  /// REPRO_CACHE_MB (in MiB) if set, else 768 MiB.
+  static std::size_t default_capacity_bytes();
+
+  /// Approximate heap footprint of one entry (image + truth vectors).
+  static std::size_t approx_bytes(const DatasetEntry& entry);
+
+private:
+  struct Key {
+    BinaryConfig cfg;  // full config: hash collisions must not alias entries
+    bool manual_endbr;
+    double data_in_text;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const DatasetEntry>, KeyHash> map_;
+  std::size_t capacity_bytes_;
+  std::size_t bytes_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace fsr::synth

@@ -64,4 +64,13 @@ void for_each_binary(const std::vector<BinaryConfig>& configs,
   for (const auto& cfg : configs) fn(make_binary(cfg));
 }
 
+void for_each_binary_parallel(const std::vector<BinaryConfig>& configs,
+                              const std::function<void(const DatasetEntry&)>& fn,
+                              std::size_t threads) {
+  util::ThreadPool pool(threads);
+  util::parallel_map_ordered<std::shared_ptr<const DatasetEntry>>(
+      pool, configs.size(), [&](std::size_t i) { return cached_binary(configs[i]); },
+      [&](std::size_t, std::shared_ptr<const DatasetEntry>&& entry) { fn(*entry); });
+}
+
 }  // namespace fsr::synth

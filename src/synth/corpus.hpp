@@ -8,10 +8,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "synth/codegen.hpp"
 #include "synth/profiles.hpp"
+#include "util/parallel.hpp"
 
 namespace fsr::synth {
 
@@ -44,5 +47,36 @@ DatasetEntry make_binary_variant(const BinaryConfig& cfg, bool manual_endbr,
 /// and drop it (memory stays flat regardless of corpus size).
 void for_each_binary(const std::vector<BinaryConfig>& configs,
                      const std::function<void(const DatasetEntry&)>& fn);
+
+/// Cache-aware generation: the entry for `cfg` from the process-wide
+/// BinaryCache, generated on a miss. Declared here (defined in
+/// cache.cpp) so corpus walkers need not include cache.hpp.
+std::shared_ptr<const DatasetEntry> cached_binary(const BinaryConfig& cfg);
+
+/// Parallel drop-in for for_each_binary: binaries are generated on a
+/// work-stealing pool (REPRO_THREADS workers when `threads` is 0) while
+/// `fn` runs on the calling thread in deterministic config order — the
+/// observable sequence of entries is identical to for_each_binary.
+void for_each_binary_parallel(const std::vector<BinaryConfig>& configs,
+                              const std::function<void(const DatasetEntry&)>& fn,
+                              std::size_t threads = 0);
+
+/// The full parallel engine: `work` (generation + any analysis — the
+/// expensive part) runs on pool workers; `reduce` receives each result
+/// on the calling thread in deterministic config order (a sequenced
+/// reduction, so aggregated tables are bit-identical to a sequential
+/// run at any thread count). `work` must be thread-safe; analysis over
+/// an immutable DatasetEntry is.
+template <typename Work, typename Reduce>
+void transform_binaries_parallel(const std::vector<BinaryConfig>& configs,
+                                 Work&& work, Reduce&& reduce,
+                                 std::size_t threads = 0) {
+  using R = std::invoke_result_t<Work&, const DatasetEntry&>;
+  util::ThreadPool pool(threads);
+  util::parallel_map_ordered<R>(
+      pool, configs.size(),
+      [&](std::size_t i) { return work(*cached_binary(configs[i])); },
+      [&](std::size_t i, R&& r) { reduce(configs[i], std::move(r)); });
+}
 
 }  // namespace fsr::synth

@@ -152,4 +152,18 @@ std::uint64_t config_seed(const BinaryConfig& cfg) {
   return s;
 }
 
+std::uint64_t hash_config(const BinaryConfig& cfg) {
+  // config_seed already folds every field except that distinct configs
+  // must not collide as *cache keys* the way nearby seeds are allowed
+  // to; run the mix once more through a finalizer (splitmix64).
+  std::uint64_t x = config_seed(cfg) ^ 0xc0ffee ^
+                    (static_cast<std::uint64_t>(cfg.program_index) << 40);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace fsr::synth

@@ -40,7 +40,12 @@ struct BinaryConfig {
 
   /// e.g. "gcc-coreutils-03-x64-pie-O2".
   [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const BinaryConfig&, const BinaryConfig&) = default;
 };
+
+/// Stable hash of a config (the generation-cache key).
+std::uint64_t hash_config(const BinaryConfig& cfg);
 
 /// Generation knobs derived from a config. Fractions are of real
 /// functions unless stated otherwise.

@@ -1,0 +1,93 @@
+// Ordered parallel map: produce results on pool workers, consume them
+// on the calling thread in strict index order (a sequenced reduction).
+//
+// This is the primitive behind the parallel corpus engine: generation
+// and analysis fan out across workers, while aggregation stays
+// single-threaded and deterministic — tables come out bit-identical to
+// a sequential run no matter the worker count.
+//
+// A bounded in-flight window keeps memory flat for arbitrarily large
+// corpora (the streaming promise of synth::for_each_binary).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace fsr::util {
+
+/// Call `produce(i)` for i in [0, n) on pool workers and
+/// `consume(i, result)` for every index, in increasing index order, on
+/// the calling thread. `produce` must be safe to invoke concurrently
+/// from several threads; `consume` never is. At most `window` results
+/// (default: 4 per worker) exist at once. The first exception thrown by
+/// `produce` is rethrown here, after in-flight jobs finish.
+template <typename T, typename Produce, typename Consume>
+void parallel_map_ordered(ThreadPool& pool, std::size_t n, Produce&& produce,
+                          Consume&& consume, std::size_t window = 0) {
+  if (n == 0) return;
+  if (window == 0) window = pool.worker_count() * 4;
+  if (window < 2) window = 2;
+
+  struct Slot {
+    std::optional<T> value;
+    std::exception_ptr error;
+  };
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::map<std::size_t, Slot> done;
+  };
+  // Jobs co-own the state: a producer may still be inside notify_one()
+  // after publishing the final result, at which point the consumer has
+  // already been released — stack storage would be destroyed under it.
+  auto shared = std::make_shared<Shared>();
+
+  std::size_t submitted = 0;
+  std::size_t consumed = 0;
+  const auto submit_one = [&](std::size_t index) {
+    pool.submit([shared, &produce, index] {
+      Slot slot;
+      try {
+        slot.value.emplace(produce(index));
+      } catch (...) {
+        slot.error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        shared->done.emplace(index, std::move(slot));
+      }
+      shared->ready.notify_one();
+    });
+  };
+
+  std::exception_ptr first_error;
+  while (consumed < n) {
+    while (submitted < n && submitted < consumed + window && !first_error)
+      submit_one(submitted++);
+    if (first_error && submitted == consumed) break;  // in-flight drained
+    Slot slot;
+    {
+      std::unique_lock<std::mutex> lock(shared->mutex);
+      shared->ready.wait(lock, [&] {
+        return shared->done.find(consumed) != shared->done.end();
+      });
+      auto node = shared->done.extract(consumed);
+      slot = std::move(node.mapped());
+    }
+    ++consumed;
+    if (slot.error) {
+      if (!first_error) first_error = slot.error;
+      continue;  // keep draining so workers stop touching `shared`
+    }
+    if (!first_error) consume(consumed - 1, std::move(*slot.value));
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fsr::util

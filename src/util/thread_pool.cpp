@@ -1,0 +1,106 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <system_error>
+
+namespace fsr::util {
+
+std::size_t ThreadPool::default_workers() {
+  if (const char* env = std::getenv("REPRO_THREADS"); env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0)
+      return std::min(static_cast<std::size_t>(v), kMaxWorkers);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = default_workers();
+  if (workers > kMaxWorkers) workers = kMaxWorkers;
+  queues_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    try {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    } catch (const std::system_error&) {
+      // Out of thread handles: run with what we have — try_claim scans
+      // every queue, so the surplus queues are still served by stealing.
+      if (!workers_.empty()) break;
+      throw;  // zero workers would strand every submitted job
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++queued_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->jobs.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_claim(std::size_t self, std::function<void()>& job) {
+  // Own queue first, newest job (LIFO: the data it needs is still hot) …
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.jobs.empty()) {
+      job = std::move(q.jobs.back());
+      q.jobs.pop_back();
+      return true;
+    }
+  }
+  // … then steal the oldest job from a sibling (FIFO: least likely to
+  // still be in the victim's cache).
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    Queue& q = *queues_[(self + i) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.jobs.empty()) {
+      job = std::move(q.jobs.front());
+      q.jobs.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> job;
+    if (try_claim(self, job)) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        --queued_;
+      }
+      job();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_ && queued_ == 0) return;  // drained: jobs never abandoned
+    if (queued_ > 0) continue;          // raced a submit; re-scan the queues
+    wake_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+}  // namespace fsr::util

@@ -1,0 +1,66 @@
+// Work-stealing thread pool backing the parallel corpus engine.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache-warm) and
+// steals FIFO from a sibling when its deque runs dry. External submits
+// are distributed round-robin so a burst of corpus jobs lands spread
+// across workers instead of serializing on one queue.
+//
+// The worker count comes from REPRO_THREADS (see default_workers), so
+// every bench scales to the machine without a rebuild.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsr::util {
+
+class ThreadPool {
+public:
+  /// `workers == 0` means default_workers().
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Drains every queued job, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Jobs may themselves submit further jobs.
+  void submit(std::function<void()> job);
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// REPRO_THREADS if set to a positive integer, else
+  /// hardware_concurrency (minimum 1). Clamped to kMaxWorkers.
+  static std::size_t default_workers();
+
+  /// Upper bound on workers: beyond any plausible core count, and far
+  /// below where thread creation starts failing with ENOMEM.
+  static constexpr std::size_t kMaxWorkers = 256;
+
+private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_claim(std::size_t self, std::function<void()>& job);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;          // guarded by wake_mutex_
+  std::size_t queued_ = 0;     // jobs submitted, not yet claimed (wake_mutex_)
+  std::size_t next_queue_ = 0; // round-robin submit cursor (wake_mutex_)
+};
+
+}  // namespace fsr::util

@@ -1,0 +1,166 @@
+// The parallel corpus engine must be a drop-in for the sequential
+// walk: same entries, same order, bit-identical aggregated tables at
+// any thread count (the paper's tables cannot depend on the machine
+// that reproduced them).
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hpp"
+
+#include "eval/runner.hpp"
+#include "eval/tables.hpp"
+#include "synth/cache.hpp"
+#include "synth/corpus.hpp"
+#include "util/str.hpp"
+
+using namespace fsr;
+
+namespace {
+
+// A small but grid-complete corpus: one program per suite, every
+// compiler/arch/kind/opt cell.
+std::vector<synth::BinaryConfig> tiny_corpus() {
+  return synth::corpus_configs(0.01);
+}
+
+using SuiteKey = std::pair<synth::Compiler, synth::Suite>;
+
+/// Render the per-suite precision/recall table a bench would print.
+std::string suite_table(const std::map<SuiteKey, eval::Score>& scores) {
+  eval::Table table({"Compiler/Suite", "P", "R", "tp", "fp", "fn"});
+  for (const auto& [key, s] : scores)
+    table.add_row({synth::to_string(key.first) + "/" + synth::to_string(key.second),
+                   util::pct(s.precision(), 5), util::pct(s.recall(), 5),
+                   std::to_string(s.tp), std::to_string(s.fp), std::to_string(s.fn)});
+  return table.render();
+}
+
+std::string sequential_reference(const std::vector<synth::BinaryConfig>& configs) {
+  std::map<SuiteKey, eval::Score> scores;
+  synth::for_each_binary(configs, [&](const synth::DatasetEntry& entry) {
+    scores[{entry.config.compiler, entry.config.suite}] +=
+        eval::run_tool(eval::Tool::kFunSeeker, entry).score;
+  });
+  return suite_table(scores);
+}
+
+}  // namespace
+
+TEST(ParallelCorpus, ForEachParallelMatchesSequentialAt1_2_8Threads) {
+  const auto configs = tiny_corpus();
+  const std::string reference = sequential_reference(configs);
+
+  std::vector<std::string> orders;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    std::map<SuiteKey, eval::Score> scores;
+    std::vector<std::string> order;
+    synth::for_each_binary_parallel(
+        configs,
+        [&](const synth::DatasetEntry& entry) {
+          order.push_back(entry.config.name());
+          scores[{entry.config.compiler, entry.config.suite}] +=
+              eval::run_tool(eval::Tool::kFunSeeker, entry).score;
+        },
+        threads);
+    EXPECT_EQ(suite_table(scores), reference) << threads << " threads";
+    // Delivery order is the config order, independent of the pool.
+    ASSERT_EQ(order.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      EXPECT_EQ(order[i], configs[i].name());
+  }
+}
+
+TEST(ParallelCorpus, CorpusRunnerMatchesSequentialAt1_2_8Threads) {
+  const auto configs = tiny_corpus();
+  const std::string reference = sequential_reference(configs);
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    std::map<SuiteKey, eval::Score> scores;
+    eval::CorpusRunner runner({{eval::Tool::kFunSeeker, {}}}, threads);
+    runner.run(configs, [&](const synth::BinaryConfig& cfg,
+                            const eval::BinaryResult& r) {
+      scores[{cfg.compiler, cfg.suite}] += r.per_job[0].score;
+    });
+    EXPECT_EQ(suite_table(scores), reference) << threads << " threads";
+  }
+}
+
+TEST(ParallelCorpus, TransformReducesInConfigOrder) {
+  const auto configs = tiny_corpus();
+  std::vector<std::string> order;
+  synth::transform_binaries_parallel(
+      configs,
+      [](const synth::DatasetEntry& entry) { return entry.config.name(); },
+      [&](const synth::BinaryConfig& cfg, std::string&& name) {
+        EXPECT_EQ(name, cfg.name());
+        order.push_back(std::move(name));
+      },
+      /*threads=*/4);
+  ASSERT_EQ(order.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    EXPECT_EQ(order[i], configs[i].name());
+}
+
+TEST(BinaryCache, HitReturnsSameEntryAndIdenticalBytes) {
+  synth::BinaryCache cache(64 << 20);
+  synth::BinaryConfig cfg;
+  cfg.suite = synth::Suite::kBinutils;
+  cfg.opt = synth::OptLevel::kO1;
+
+  const auto first = cache.get(cfg);
+  const auto second = cache.get(cfg);
+  EXPECT_EQ(first.get(), second.get());  // shared, not regenerated
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(first->stripped_bytes(), synth::make_binary(cfg).stripped_bytes());
+}
+
+TEST(BinaryCache, VariantsDoNotAliasTheBaseEntry) {
+  synth::BinaryCache cache(64 << 20);
+  synth::BinaryConfig cfg;
+  const auto base = cache.get(cfg);
+  const auto manual = cache.get(cfg, /*manual_endbr=*/true);
+  const auto dirty = cache.get(cfg, false, /*data_in_text=*/0.2);
+  EXPECT_NE(base.get(), manual.get());
+  EXPECT_NE(base.get(), dirty.get());
+  EXPECT_EQ(cache.entry_count(), 3u);
+  EXPECT_EQ(base->stripped_bytes(), synth::make_binary(cfg).stripped_bytes());
+}
+
+TEST(BinaryCache, StopsInsertingAtCapacityButStaysCorrect) {
+  synth::BinaryCache cache(1);  // effectively zero budget
+  synth::BinaryConfig cfg;
+  const auto a = cache.get(cfg);
+  const auto b = cache.get(cfg);
+  EXPECT_EQ(cache.entry_count(), 0u);  // nothing fits
+  EXPECT_EQ(a->stripped_bytes(), b->stripped_bytes());  // still correct bytes
+}
+
+TEST(BinaryCache, ConcurrentGetsAreRaceFreeAndConsistent) {
+  // Hammer one cache from many threads over a handful of keys; TSAN
+  // target for the cache lock, and a consistency check that every
+  // thread sees the same bytes per key.
+  synth::BinaryCache cache(256 << 20);
+  const auto configs = synth::corpus_configs(0.01);
+  std::vector<synth::BinaryConfig> keys(configs.begin(),
+                                        configs.begin() + std::min<std::size_t>(
+                                                              configs.size(), 6));
+  std::vector<std::vector<std::uint8_t>> expected;
+  for (const auto& cfg : keys) expected.push_back(synth::make_binary(cfg).stripped_bytes());
+
+  std::atomic<int> mismatches{0};
+  {
+    util::ThreadPool pool(8);
+    for (int round = 0; round < 4; ++round)
+      for (std::size_t k = 0; k < keys.size(); ++k)
+        pool.submit([&, k] {
+          if (cache.get(keys[k])->stripped_bytes() != expected[k]) ++mismatches;
+        });
+  }  // destructor drains every job
+  EXPECT_EQ(mismatches.load(), 0);
+}

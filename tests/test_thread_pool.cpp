@@ -1,0 +1,116 @@
+// The work-stealing pool and the ordered parallel map underneath the
+// corpus engine. The contention cases double as the TSAN smoke run:
+// configure with -DREPRO_TSAN=ON and run this binary under
+// ThreadSanitizer (see EXPERIMENTS.md).
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.hpp"
+
+using namespace fsr;
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  std::atomic<int> count{0};
+  {
+    util::ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  }  // destructor drains the queues
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) pool.submit([&count] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, JobsCanSubmitJobs) {
+  std::atomic<int> count{0};
+  {
+    util::ThreadPool pool(3);
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&pool, &count] {
+        for (int j = 0; j < 10; ++j) pool.submit([&count] { ++count; });
+      });
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ContentionSmoke) {
+  // Many tiny jobs from many queues: maximum stealing pressure. This is
+  // the TSAN target — any unlocked access to the deques shows up here.
+  std::atomic<std::uint64_t> sum{0};
+  {
+    util::ThreadPool pool(8);
+    for (int i = 0; i < 20000; ++i)
+      pool.submit([&sum, i] { sum += static_cast<std::uint64_t>(i); });
+  }
+  EXPECT_EQ(sum.load(), 19999ull * 20000 / 2);
+}
+
+TEST(ThreadPool, DefaultWorkersReadsEnv) {
+  ASSERT_EQ(setenv("REPRO_THREADS", "3", 1), 0);
+  EXPECT_EQ(util::ThreadPool::default_workers(), 3u);
+  ASSERT_EQ(setenv("REPRO_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(util::ThreadPool::default_workers(), 1u);  // falls back to hardware
+  ASSERT_EQ(setenv("REPRO_THREADS", "99999", 1), 0);
+  EXPECT_EQ(util::ThreadPool::default_workers(), util::ThreadPool::kMaxWorkers);
+  ASSERT_EQ(unsetenv("REPRO_THREADS"), 0);
+  EXPECT_GE(util::ThreadPool::default_workers(), 1u);
+}
+
+TEST(ParallelMapOrdered, ConsumesInIndexOrderAtAnyThreadCount) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    std::vector<std::size_t> order;
+    util::parallel_map_ordered<std::size_t>(
+        pool, 500, [](std::size_t i) { return i * i; },
+        [&](std::size_t i, std::size_t&& v) {
+          EXPECT_EQ(v, i * i);
+          order.push_back(i);
+        });
+    ASSERT_EQ(order.size(), 500u);
+    for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParallelMapOrdered, BoundedWindowStillCompletes) {
+  util::ThreadPool pool(4);
+  std::size_t consumed = 0;
+  util::parallel_map_ordered<int>(
+      pool, 100, [](std::size_t i) { return static_cast<int>(i); },
+      [&](std::size_t, int&&) { ++consumed; },
+      /*window=*/2);
+  EXPECT_EQ(consumed, 100u);
+}
+
+TEST(ParallelMapOrdered, PropagatesFirstProducerException) {
+  util::ThreadPool pool(4);
+  std::size_t consumed = 0;
+  EXPECT_THROW(
+      util::parallel_map_ordered<int>(
+          pool, 50,
+          [](std::size_t i) {
+            if (i == 7) throw std::runtime_error("boom");
+            return static_cast<int>(i);
+          },
+          [&](std::size_t, int&&) { ++consumed; }),
+      std::runtime_error);
+  EXPECT_EQ(consumed, 7u);  // everything before the failing index
+}
+
+TEST(ParallelMapOrdered, EmptyInputIsANoOp) {
+  util::ThreadPool pool(2);
+  util::parallel_map_ordered<int>(
+      pool, 0, [](std::size_t) { return 0; },
+      [](std::size_t, int&&) { FAIL() << "consume on empty input"; });
+}

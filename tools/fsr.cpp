@@ -28,6 +28,7 @@
 #include "elf/reader.hpp"
 #include "elf/types.hpp"
 #include "elf/writer.hpp"
+#include "eval/runner.hpp"
 #include "eval/tables.hpp"
 #include "funseeker/funseeker.hpp"
 #include "synth/corpus.hpp"
@@ -242,14 +243,16 @@ int cmd_cfg(const std::string& path, const std::map<std::string, std::string>& f
 
 int cmd_compare(const std::string& path) {
   const auto bytes = read_file(path);
-  const elf::Image img = elf::read_elf(bytes);
+  const elf::Image img = elf::read_elf(bytes);  // parsed once, shared by all tools
   if (img.machine == elf::Machine::kArm64)
     throw UsageError("compare runs the x86 tool set");
-  eval::Table table({"tool", "entries"});
-  table.add_row({"FunSeeker", std::to_string(funseeker::analyze(img).functions.size())});
-  table.add_row({"IDA-like", std::to_string(baselines::ida_like_functions(img).size())});
-  table.add_row({"Ghidra-like", std::to_string(baselines::ghidra_like_functions(img).size())});
-  table.add_row({"FETCH-like", std::to_string(baselines::fetch_like_functions(img).size())});
+  eval::Table table({"tool", "entries", "analysis ms"});
+  for (eval::Tool tool : {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
+                          eval::Tool::kGhidraLike, eval::Tool::kFetchLike}) {
+    const eval::RunResult r = eval::run_tool_on(tool, img);
+    table.add_row({eval::to_string(tool), std::to_string(r.found.size()),
+                   util::fixed(r.seconds * 1e3, 3)});
+  }
   std::printf("%s", table.render().c_str());
   return 0;
 }
