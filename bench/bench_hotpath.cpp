@@ -1,0 +1,145 @@
+// Hot-path microbenchmark: times each stage of the decode-once pipeline
+// in isolation over the synthetic corpus, so a perf regression can be
+// attributed to a stage instead of showing up only as an end-to-end
+// bench_table3 slowdown.
+//
+// Stages (per x86/x64 binary, summed over the corpus):
+//   decode      x86::build_code_view — linear sweep + flat address index
+//   derive      funseeker::derive_sets — candidate sets from the view
+//   endbr_scan  x86::find_endbr_offsets — memchr-prefiltered raw scan
+//   traversal   baselines::recursive_traversal from the entry point
+//   analysis    each tool's analysis over the shared substrate
+//
+// Runs single-threaded regardless of REPRO_THREADS (isolated stage
+// timings, not throughput). Emits BENCH_hotpath.json.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "baselines/fetch_like.hpp"
+#include "baselines/ghidra_like.hpp"
+#include "baselines/ida_like.hpp"
+#include "bench_common.hpp"
+#include "elf/reader.hpp"
+#include "eval/runner.hpp"
+#include "eval/tables.hpp"
+#include "funseeker/disassemble.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/cache.hpp"
+#include "util/stopwatch.hpp"
+#include "util/str.hpp"
+#include "x86/codeview.hpp"
+
+using namespace fsr;
+
+namespace {
+
+struct Stages {
+  double decode = 0.0;
+  double derive = 0.0;
+  double endbr_scan = 0.0;
+  double traversal = 0.0;
+  double analysis[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t binaries = 0;
+  std::size_t insns = 0;
+};
+
+void write_json(const Stages& s, double scale) {
+  std::FILE* out = std::fopen("BENCH_hotpath.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_hotpath.json\n");
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_hotpath\",\n");
+  std::fprintf(out, "  \"scale\": %g,\n", scale);
+  std::fprintf(out, "  \"binaries\": %zu,\n", s.binaries);
+  std::fprintf(out, "  \"instructions\": %zu,\n", s.insns);
+  std::fprintf(out, "  \"stages\": {\n");
+  std::fprintf(out, "    \"decode_seconds\": %.4f,\n", s.decode);
+  std::fprintf(out, "    \"derive_seconds\": %.4f,\n", s.derive);
+  std::fprintf(out, "    \"endbr_scan_seconds\": %.4f,\n", s.endbr_scan);
+  std::fprintf(out, "    \"traversal_seconds\": %.4f,\n", s.traversal);
+  std::fprintf(out, "    \"analysis_seconds\": {\n");
+  constexpr eval::Tool kTools[] = {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
+                                   eval::Tool::kGhidraLike, eval::Tool::kFetchLike};
+  for (std::size_t t = 0; t < 4; ++t)
+    std::fprintf(out, "      \"%s\": %.4f%s\n", eval::to_string(kTools[t]).c_str(),
+                 s.analysis[t], t + 1 < 4 ? "," : "");
+  std::fprintf(out, "    }\n  }\n}\n");
+  std::fclose(out);
+}
+
+}  // namespace
+
+int main() {
+  Stages s;
+  for (const auto& cfg : bench::corpus()) {
+    if (cfg.machine == elf::Machine::kArm64) continue;  // x86 pipeline only
+    const auto entry = synth::cached_binary(cfg);
+    const elf::Image img = elf::read_elf(entry->stripped_bytes());
+    const elf::Section& text = img.text();
+    const x86::Mode mode =
+        img.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
+
+    util::Stopwatch w;
+    const x86::CodeView view = x86::build_code_view(text.data, text.addr, mode);
+    s.decode += w.seconds();
+
+    w.reset();
+    const funseeker::DisasmSets sets = funseeker::derive_sets(view);
+    s.derive += w.seconds();
+
+    w.reset();
+    const auto endbrs = x86::find_endbr_offsets(text.data, mode);
+    s.endbr_scan += w.seconds();
+    (void)endbrs;
+
+    w.reset();
+    const baselines::Traversal t = baselines::recursive_traversal(view, {img.entry});
+    s.traversal += w.seconds();
+    (void)t;
+
+    w.reset();
+    const auto fs = funseeker::analyze_with(img, sets);
+    s.analysis[0] += w.seconds();
+    (void)fs;
+    w.reset();
+    const auto ida = baselines::ida_like_functions(img, view);
+    s.analysis[1] += w.seconds();
+    (void)ida;
+    w.reset();
+    const auto ghidra = baselines::ghidra_like_functions(img, view);
+    s.analysis[2] += w.seconds();
+    (void)ghidra;
+    w.reset();
+    const auto fetch = baselines::fetch_like_functions(img, view);
+    s.analysis[3] += w.seconds();
+    (void)fetch;
+
+    ++s.binaries;
+    s.insns += view.insns.size();
+  }
+
+  eval::Table table({"stage", "seconds", "us / binary"});
+  const auto row = [&](const char* name, double sec) {
+    table.add_row({name, util::fixed(sec, 4),
+                   util::fixed(s.binaries > 0 ? sec / s.binaries * 1e6 : 0.0, 1)});
+  };
+  row("decode (sweep + index)", s.decode);
+  row("derive candidate sets", s.derive);
+  row("endbr byte scan", s.endbr_scan);
+  row("recursive traversal", s.traversal);
+  table.add_rule();
+  row("FunSeeker analysis", s.analysis[0]);
+  row("IDA-like analysis", s.analysis[1]);
+  row("Ghidra-like analysis", s.analysis[2]);
+  row("FETCH-like analysis", s.analysis[3]);
+
+  std::printf("Hot-path stage timings over %zu x86/x64 binaries (%zu instructions)\n\n",
+              s.binaries, s.insns);
+  std::printf("%s", table.render().c_str());
+
+  write_json(s, bench::corpus_scale());
+  return 0;
+}

@@ -8,25 +8,24 @@ namespace fsr::baselines {
 
 namespace {
 
-/// Extract the byte prefix of length `len` at `addr` from .text.
-std::string prefix_at(const elf::Section& text, std::uint64_t addr, std::size_t len) {
-  const std::size_t off = static_cast<std::size_t>(addr - text.addr);
-  const std::size_t avail = text.data.size() - off;
+/// Extract the byte prefix of length `len` at `addr` from the view's
+/// raw text bytes.
+std::string prefix_at(const x86::CodeView& view, std::uint64_t addr, std::size_t len) {
+  const std::size_t off = static_cast<std::size_t>(addr - view.text_begin);
+  const std::size_t avail = view.bytes.size() - off;
   const std::size_t take = std::min(len, avail);
-  return std::string(reinterpret_cast<const char*>(text.data.data() + off), take);
+  return std::string(reinterpret_cast<const char*>(view.bytes.data() + off), take);
 }
 
 }  // namespace
 
-void ByteWeightModel::train(const elf::Image& bin,
+void ByteWeightModel::train(const x86::CodeView& view,
                             const std::vector<std::uint64_t>& entries) {
-  const elf::Section& text = bin.text();
-  const CodeView view = build_code_view(bin);
   for (const x86::Insn& insn : view.insns) {
     const bool positive =
         std::binary_search(entries.begin(), entries.end(), insn.addr);
     for (std::size_t len = 1; len <= kMaxPrefix; ++len) {
-      Counts& c = counts_[prefix_at(text, insn.addr, len)];
+      Counts& c = counts_[prefix_at(view, insn.addr, len)];
       if (positive)
         ++c.positive;
       else
@@ -35,15 +34,20 @@ void ByteWeightModel::train(const elf::Image& bin,
   }
 }
 
-std::vector<std::uint64_t> ByteWeightModel::classify(const elf::Image& bin,
+void ByteWeightModel::train(const elf::Image& bin,
+                            const std::vector<std::uint64_t>& entries) {
+  // One decode per binary: the view serves both the instruction walk
+  // and the prefix extraction (it carries the raw text bytes).
+  train(build_code_view(bin), entries);
+}
+
+std::vector<std::uint64_t> ByteWeightModel::classify(const x86::CodeView& view,
                                                      double threshold) const {
   std::vector<std::uint64_t> out;
-  const elf::Section& text = bin.text();
-  const CodeView view = build_code_view(bin);
   for (const x86::Insn& insn : view.insns) {
     // Longest known prefix wins (most specific evidence).
     for (std::size_t len = kMaxPrefix; len >= 1; --len) {
-      auto it = counts_.find(prefix_at(text, insn.addr, len));
+      auto it = counts_.find(prefix_at(view, insn.addr, len));
       if (it == counts_.end()) continue;
       const Counts& c = it->second;
       const std::uint32_t total = c.positive + c.negative;
@@ -56,6 +60,11 @@ std::vector<std::uint64_t> ByteWeightModel::classify(const elf::Image& bin,
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+std::vector<std::uint64_t> ByteWeightModel::classify(const elf::Image& bin,
+                                                     double threshold) const {
+  return classify(build_code_view(bin), threshold);
 }
 
 }  // namespace fsr::baselines

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "elf/image.hpp"
+#include "x86/codeview.hpp"
 
 namespace fsr::baselines {
 
@@ -28,12 +29,17 @@ public:
 
   /// Accumulate training evidence from one binary: `entries` are the
   /// ground-truth function starts; every other instruction boundary is
-  /// a negative example.
+  /// a negative example. The image overload decodes once and feeds the
+  /// shared-view overload (which callers holding a prepared view use
+  /// directly).
   void train(const elf::Image& bin, const std::vector<std::uint64_t>& entries);
+  void train(const x86::CodeView& view, const std::vector<std::uint64_t>& entries);
 
   /// Classify every instruction boundary of the binary; returns the
   /// addresses whose longest matching prefix scores >= threshold.
   [[nodiscard]] std::vector<std::uint64_t> classify(const elf::Image& bin,
+                                                    double threshold = 0.5) const;
+  [[nodiscard]] std::vector<std::uint64_t> classify(const x86::CodeView& view,
                                                     double threshold = 0.5) const;
 
   [[nodiscard]] std::size_t prefix_count() const { return counts_.size(); }

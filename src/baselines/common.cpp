@@ -1,16 +1,12 @@
 #include "baselines/common.hpp"
 
+#include <algorithm>
+
 #include "eh/eh_frame.hpp"
 #include "eh/eh_frame_hdr.hpp"
 #include "util/error.hpp"
-#include "x86/sweep.hpp"
 
 namespace fsr::baselines {
-
-const x86::Insn* CodeView::at(std::uint64_t addr) const {
-  auto it = index.find(addr);
-  return it == index.end() ? nullptr : &insns[it->second];
-}
 
 CodeView build_code_view(const elf::Image& bin) {
   if (bin.machine == elf::Machine::kArm64)
@@ -18,25 +14,16 @@ CodeView build_code_view(const elf::Image& bin) {
   const elf::Section& text = bin.text();
   const x86::Mode mode =
       bin.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
-  CodeView view;
-  view.text_begin = text.addr;
-  view.text_end = text.end_addr();
-  view.bytes = text.data;
-  view.mode = mode;
-  x86::SweepResult sweep = x86::linear_sweep(text.data, text.addr, mode);
-  view.insns = std::move(sweep.insns);
-  for (std::size_t i = 0; i < view.insns.size(); ++i)
-    view.index.emplace(view.insns[i].addr, i);
-  return view;
+  return x86::build_code_view(text.data, text.addr, mode);
 }
 
-Traversal recursive_traversal(const CodeView& view,
-                              const std::vector<std::uint64_t>& seeds) {
-  Traversal out;
+void traverse_into(const CodeView& view, std::span<const std::uint64_t> seeds,
+                   x86::AddrBitmap& visited, x86::AddrBitmap& is_function,
+                   std::vector<std::uint64_t>& functions) {
   std::vector<std::uint64_t> work;
   for (std::uint64_t s : seeds) {
     if (!view.in_text(s)) continue;
-    out.functions.insert(s);
+    if (!is_function.test_and_set(s)) functions.push_back(s);
     work.push_back(s);
   }
 
@@ -45,15 +32,17 @@ Traversal recursive_traversal(const CodeView& view,
     work.pop_back();
     // Walk a straight-line run of instructions from addr.
     while (view.in_text(addr)) {
-      if (out.visited.count(addr) != 0) break;
+      if (visited.test(addr)) break;
       const x86::Insn* insn = view.at(addr);
       if (insn == nullptr) break;  // landed inside an instruction / bad byte
-      out.visited.insert(addr);
+      visited.set(addr);
 
       switch (insn->kind) {
         case x86::Kind::kCallDirect:
-          if (view.in_text(insn->target) && out.functions.insert(insn->target).second)
+          if (view.in_text(insn->target) && !is_function.test_and_set(insn->target)) {
+            functions.push_back(insn->target);
             work.push_back(insn->target);
+          }
           break;
         case x86::Kind::kJmpDirect:
           // Followed as code, not promoted to a function.
@@ -69,6 +58,16 @@ Traversal recursive_traversal(const CodeView& view,
       addr = insn->end();
     }
   }
+}
+
+Traversal recursive_traversal(const CodeView& view,
+                              const std::vector<std::uint64_t>& seeds) {
+  x86::AddrBitmap visited(view.text_begin, view.text_end);
+  x86::AddrBitmap is_function(view.text_begin, view.text_end);
+  Traversal out;
+  traverse_into(view, seeds, visited, is_function, out.functions);
+  std::sort(out.functions.begin(), out.functions.end());
+  out.visited = visited.to_sorted_addresses();
   return out;
 }
 

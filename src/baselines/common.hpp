@@ -6,41 +6,29 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <span>
 #include <vector>
 
 #include "elf/image.hpp"
+#include "x86/codeview.hpp"
 #include "x86/insn.hpp"
 
 namespace fsr::baselines {
 
-/// Decoded view of the image's .text with an address index.
-struct CodeView {
-  std::vector<x86::Insn> insns;
-  std::map<std::uint64_t, std::size_t> index;  // address -> insns position
-  std::uint64_t text_begin = 0;
-  std::uint64_t text_end = 0;
-  /// Raw section bytes, kept so analyses that re-decode (FETCH-like's
-  /// frame-height walks) can do so from the source of truth.
-  std::vector<std::uint8_t> bytes;
-  x86::Mode mode = x86::Mode::k64;
+/// Decoded view of the image's .text with a flat O(1) address index.
+/// Built once per binary and shared by every analyzer (the corpus
+/// engine's prepare phase hands the same view to all four tools).
+using CodeView = x86::CodeView;
 
-  [[nodiscard]] const x86::Insn* at(std::uint64_t addr) const;
-  [[nodiscard]] bool in_text(std::uint64_t addr) const {
-    return addr >= text_begin && addr < text_end;
-  }
-};
-
-/// Linear-sweep the image and build the index.
+/// Linear-sweep the image and build the flat index.
 CodeView build_code_view(const elf::Image& bin);
 
 /// Recursive-traversal result.
 struct Traversal {
-  /// Discovered function entries (seeds + direct call targets).
-  std::set<std::uint64_t> functions;
-  /// Every instruction address reached as code.
-  std::set<std::uint64_t> visited;
+  /// Discovered function entries (seeds + direct call targets), sorted.
+  std::vector<std::uint64_t> functions;
+  /// Every instruction address reached as code, sorted.
+  std::vector<std::uint64_t> visited;
 };
 
 /// Classic recursive traversal: explore code flow from the seeds,
@@ -49,6 +37,17 @@ struct Traversal {
 /// behaviour whose recall cost the paper quantifies for IDA).
 Traversal recursive_traversal(const CodeView& view,
                               const std::vector<std::uint64_t>& seeds);
+
+/// Incremental traversal sharing membership state across calls — the
+/// fixed-point loops' hot path. Walks code flow from the seeds exactly
+/// like recursive_traversal but stops at anything already in `visited`,
+/// and appends only newly promoted entries (unsorted) to `functions`.
+/// Because a previously explored region already promoted its own call
+/// targets, stopping early yields the same final function set the
+/// fresh-set-per-pass implementation reached by re-walking it.
+void traverse_into(const CodeView& view, std::span<const std::uint64_t> seeds,
+                   x86::AddrBitmap& visited, x86::AddrBitmap& is_function,
+                   std::vector<std::uint64_t>& functions);
 
 /// Prologue signature match at instruction position i.
 /// `endbr_aware` controls whether an end-branch immediately before the

@@ -1,7 +1,7 @@
 #include "baselines/fetch_like.hpp"
 
 #include <algorithm>
-#include <set>
+#include <atomic>
 
 #include "baselines/common.hpp"
 #include "eh/eh_frame.hpp"
@@ -13,8 +13,9 @@ namespace {
 
 /// Accumulator that keeps the frame-height profiling from being
 /// optimized away (its values feed no decision, matching FETCH's
-/// behaviour of computing heights it frequently discards).
-volatile std::uint64_t benchmark_sink_ = 0;
+/// behaviour of computing heights it frequently discards). Atomic
+/// because the corpus engine runs this analyzer on pool workers.
+std::atomic<std::uint64_t> benchmark_sink_{0};
 
 struct Region {
   std::uint64_t begin = 0;
@@ -58,10 +59,10 @@ std::int64_t stack_height(const CodeView& view, std::uint64_t from, std::uint64_
 /// to the first return and require the stack to come back balanced.
 bool plausible_function_body(const CodeView& view, std::uint64_t entry,
                              std::uint64_t limit) {
-  auto it = view.index.find(entry);
-  if (it == view.index.end()) return false;
+  const std::size_t start = view.pos_of(entry);
+  if (start == CodeView::kNoInsn) return false;
   std::int64_t height = 0;
-  for (std::size_t i = it->second; i < view.insns.size(); ++i) {
+  for (std::size_t i = start; i < view.insns.size(); ++i) {
     const x86::Insn& insn = view.insns[i];
     if (insn.addr >= limit) break;
     if (insn.kind == x86::Kind::kLeave) height = 0;
@@ -74,12 +75,17 @@ bool plausible_function_body(const CodeView& view, std::uint64_t entry,
   return false;
 }
 
+void sort_unique(std::vector<std::uint64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
 }  // namespace
 
 std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
+                                                const CodeView& view,
                                                 const FetchOptions& opts) {
-  CodeView view = build_code_view(bin);
-  std::set<std::uint64_t> funcs;
+  std::vector<std::uint64_t> funcs;
 
   // Pass 1: FDE harvest, the backbone of FETCH's detection.
   const elf::Section* eh = bin.find_section(".eh_frame");
@@ -89,7 +95,7 @@ std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
     eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size);
     for (const eh::Fde& fde : frame.fdes) {
       if (!view.in_text(fde.pc_begin)) continue;
-      funcs.insert(fde.pc_begin);
+      funcs.push_back(fde.pc_begin);
       regions.push_back({fde.pc_begin, fde.pc_end()});
     }
     std::sort(regions.begin(), regions.end(),
@@ -97,25 +103,28 @@ std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
   }
   // Without call-frame information FETCH can do little beyond the entry
   // point (the x86 Clang C failure mode).
-  if (view.in_text(bin.entry)) funcs.insert(bin.entry);
+  if (view.in_text(bin.entry)) funcs.push_back(bin.entry);
 
-  if (!opts.verify_tail_calls || regions.empty())
-    return {funcs.begin(), funcs.end()};
+  if (!opts.verify_tail_calls || regions.empty()) {
+    sort_unique(funcs);
+    return funcs;
+  }
 
   // Pass 2: frame-height profiling. FETCH evaluates the stack height at
   // every potential transfer point of every FDE region (each evaluation
   // is an independent walk from the region start — the per-candidate
   // cost behind the ~5x slowdown the paper measures in §V-D).
   for (const Region& r : regions) {
-    auto it = view.index.lower_bound(r.begin);
-    for (; it != view.index.end() && it->first < r.end; ++it) {
-      const x86::Insn& insn = view.insns[it->second];
+    for (std::size_t i = view.first_pos_at_or_after(r.begin);
+         i < view.insns.size() && view.insns[i].addr < r.end; ++i) {
+      const x86::Insn& insn = view.insns[i];
       if (insn.kind == x86::Kind::kJmpDirect || insn.kind == x86::Kind::kJcc ||
           insn.kind == x86::Kind::kRet || insn.kind == x86::Kind::kCallDirect ||
           insn.kind == x86::Kind::kPush || insn.kind == x86::Kind::kPop ||
           insn.kind == x86::Kind::kLeave || insn.kind == x86::Kind::kMov) {
-        benchmark_sink_ =
-            benchmark_sink_ ^ static_cast<std::uint64_t>(stack_height(view, r.begin, insn.addr));
+        benchmark_sink_.fetch_xor(
+            static_cast<std::uint64_t>(stack_height(view, r.begin, insn.addr)),
+            std::memory_order_relaxed);
       }
     }
   }
@@ -136,10 +145,16 @@ std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
     // caller's frame fully unwound.
     if (stack_height(view, src->begin, insn.addr) != 0) continue;
     if (plausible_function_body(view, insn.target, view.text_end))
-      funcs.insert(insn.target);
+      funcs.push_back(insn.target);
   }
 
-  return {funcs.begin(), funcs.end()};
+  sort_unique(funcs);
+  return funcs;
+}
+
+std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
+                                                const FetchOptions& opts) {
+  return fetch_like_functions(bin, build_code_view(bin), opts);
 }
 
 }  // namespace fsr::baselines

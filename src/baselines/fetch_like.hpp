@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "elf/image.hpp"
+#include "x86/codeview.hpp"
 
 namespace fsr::baselines {
 
@@ -24,6 +25,12 @@ struct FetchOptions {
 };
 
 std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
+                                                const FetchOptions& opts = {});
+
+/// Same analysis over an already-decoded shared view of bin's .text
+/// (the corpus engine's decode-once path).
+std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
+                                                const x86::CodeView& view,
                                                 const FetchOptions& opts = {});
 
 }  // namespace fsr::baselines

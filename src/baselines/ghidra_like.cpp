@@ -6,8 +6,11 @@
 
 namespace fsr::baselines {
 
-std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin) {
-  CodeView view = build_code_view(bin);
+std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin,
+                                                 const CodeView& view) {
+  x86::AddrBitmap visited(view.text_begin, view.text_end);
+  x86::AddrBitmap is_func(view.text_begin, view.text_end);
+  std::vector<std::uint64_t> funcs;
 
   // Pass 1: .eh_frame is the primary evidence source. Prefer the
   // pre-sorted .eh_frame_hdr index when present (the real tool's fast
@@ -16,25 +19,26 @@ std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin) {
   if (seeds.empty()) seeds = fde_starts(bin);
   seeds.push_back(bin.entry);
 
-  Traversal trav = recursive_traversal(view, seeds);
-  std::set<std::uint64_t> funcs = trav.functions;
-  std::set<std::uint64_t> visited = trav.visited;
+  traverse_into(view, seeds, visited, is_func, funcs);
 
   // Pass 2: prologue scan over bytes no function claimed yet. Not
   // end-branch aware: entries land on the push, after the marker.
   for (std::size_t i = 0; i < view.insns.size(); ++i) {
     const x86::Insn& insn = view.insns[i];
-    if (visited.count(insn.addr) != 0) continue;
+    if (visited.test(insn.addr)) continue;
     PrologueMatch m = match_frame_prologue(view, i, /*endbr_aware=*/false);
     if (!m.matched) continue;
-    if (funcs.count(m.entry) != 0) continue;
-    funcs.insert(m.entry);
-    Traversal sub = recursive_traversal(view, {m.entry});
-    funcs.insert(sub.functions.begin(), sub.functions.end());
-    visited.insert(sub.visited.begin(), sub.visited.end());
+    if (is_func.test(m.entry)) continue;
+    const std::uint64_t seed[] = {m.entry};
+    traverse_into(view, seed, visited, is_func, funcs);
   }
 
-  return {funcs.begin(), funcs.end()};
+  std::sort(funcs.begin(), funcs.end());
+  return funcs;
+}
+
+std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin) {
+  return ghidra_like_functions(bin, build_code_view(bin));
 }
 
 }  // namespace fsr::baselines

@@ -6,36 +6,38 @@
 
 namespace fsr::baselines {
 
-std::vector<std::uint64_t> ida_like_functions(const elf::Image& bin) {
-  CodeView view = build_code_view(bin);
+std::vector<std::uint64_t> ida_like_functions(const elf::Image& bin,
+                                              const CodeView& view) {
+  x86::AddrBitmap visited(view.text_begin, view.text_end);
+  x86::AddrBitmap is_func(view.text_begin, view.text_end);
+  std::vector<std::uint64_t> funcs;
 
   // Pass 1: recursive traversal from the ELF entry point.
-  Traversal trav = recursive_traversal(view, {bin.entry});
-  std::set<std::uint64_t> funcs = trav.functions;
-  std::set<std::uint64_t> visited = trav.visited;
+  const std::uint64_t entry_seed[] = {bin.entry};
+  traverse_into(view, entry_seed, visited, is_func, funcs);
 
   // Pass 2: signature scan over unexplored code. Every match spawns a
   // new traversal (IDA re-analyzes discovered functions, pulling in
-  // their callees as well). Iterate to a fixed point.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t i = 0; i < view.insns.size(); ++i) {
-      const x86::Insn& insn = view.insns[i];
-      if (visited.count(insn.addr) != 0) continue;
-      PrologueMatch m = match_frame_prologue(view, i, /*endbr_aware=*/true);
-      if (!m.matched) continue;
-      if (funcs.count(m.entry) != 0) continue;
-      funcs.insert(m.entry);
-      Traversal sub = recursive_traversal(view, {m.entry});
-      for (std::uint64_t f : sub.functions)
-        if (funcs.insert(f).second) changed = true;
-      visited.insert(sub.visited.begin(), sub.visited.end());
-      changed = true;
-    }
+  // their callees as well). A single forward pass over the work
+  // frontier reaches the fixed point: the skip conditions (visited,
+  // already-a-function) only ever grow, so re-scanning positions behind
+  // the frontier can never surface a new match.
+  for (std::size_t i = 0; i < view.insns.size(); ++i) {
+    const x86::Insn& insn = view.insns[i];
+    if (visited.test(insn.addr)) continue;
+    PrologueMatch m = match_frame_prologue(view, i, /*endbr_aware=*/true);
+    if (!m.matched) continue;
+    if (is_func.test(m.entry)) continue;
+    const std::uint64_t seed[] = {m.entry};
+    traverse_into(view, seed, visited, is_func, funcs);
   }
 
-  return {funcs.begin(), funcs.end()};
+  std::sort(funcs.begin(), funcs.end());
+  return funcs;
+}
+
+std::vector<std::uint64_t> ida_like_functions(const elf::Image& bin) {
+  return ida_like_functions(bin, build_code_view(bin));
 }
 
 }  // namespace fsr::baselines

@@ -14,9 +14,15 @@
 #include <vector>
 
 #include "elf/image.hpp"
+#include "x86/codeview.hpp"
 
 namespace fsr::baselines {
 
 std::vector<std::uint64_t> ida_like_functions(const elf::Image& bin);
+
+/// Same analysis over an already-decoded shared view of bin's .text
+/// (the corpus engine's decode-once path).
+std::vector<std::uint64_t> ida_like_functions(const elf::Image& bin,
+                                              const x86::CodeView& view);
 
 }  // namespace fsr::baselines

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "baselines/common.hpp"
 #include "baselines/fetch_like.hpp"
 #include "baselines/ghidra_like.hpp"
 #include "baselines/ida_like.hpp"
@@ -21,11 +22,24 @@ std::string to_string(Tool t) {
   return "?";
 }
 
+SharedDecode decode_shared(const elf::Image& stripped) {
+  SharedDecode d;
+  if (stripped.machine == elf::Machine::kArm64) return d;  // x86 tools only
+  util::Stopwatch watch;
+  auto view = std::make_shared<x86::CodeView>(baselines::build_code_view(stripped));
+  auto sweep = std::make_shared<funseeker::DisasmSets>(funseeker::derive_sets(*view));
+  d.decode_seconds = watch.seconds();
+  d.view = std::move(view);
+  d.sweep = std::move(sweep);
+  return d;
+}
+
 PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry) {
   PreparedBinary p;
   util::Stopwatch watch;
   p.stripped = elf::read_elf(entry->stripped_bytes());
   p.prepare_seconds = watch.seconds();
+  p.decode = decode_shared(p.stripped);
   p.entry = std::move(entry);
   return p;
 }
@@ -52,10 +66,44 @@ RunResult run_tool_on(Tool tool, const elf::Image& stripped,
   return out;
 }
 
+RunResult run_tool_on(Tool tool, const elf::Image& stripped,
+                      const SharedDecode& decode,
+                      const funseeker::Options& fs_opts) {
+  if (decode.view == nullptr) return run_tool_on(tool, stripped, fs_opts);
+  RunResult out;
+  util::Stopwatch watch;
+  switch (tool) {
+    case Tool::kFunSeeker:
+      out.found = funseeker::analyze_with(stripped, *decode.sweep, fs_opts).functions;
+      break;
+    case Tool::kIdaLike:
+      out.found = baselines::ida_like_functions(stripped, *decode.view);
+      break;
+    case Tool::kGhidraLike:
+      out.found = baselines::ghidra_like_functions(stripped, *decode.view);
+      break;
+    case Tool::kFetchLike:
+      out.found = baselines::fetch_like_functions(stripped, *decode.view);
+      break;
+  }
+  out.seconds = watch.seconds();
+  return out;
+}
+
 RunResult run_tool_scored(Tool tool, const elf::Image& stripped,
                           const synth::GroundTruth& truth,
                           const funseeker::Options& fs_opts) {
   RunResult out = run_tool_on(tool, stripped, fs_opts);
+  out.score = score(out.found, truth.functions);
+  out.failures = classify_failures(out.found, truth);
+  return out;
+}
+
+RunResult run_tool_scored(Tool tool, const elf::Image& stripped,
+                          const SharedDecode& decode,
+                          const synth::GroundTruth& truth,
+                          const funseeker::Options& fs_opts) {
+  RunResult out = run_tool_on(tool, stripped, decode, fs_opts);
   out.score = score(out.found, truth.functions);
   out.failures = classify_failures(out.found, truth);
   return out;
@@ -88,10 +136,11 @@ void CorpusRunner::run(const std::vector<synth::BinaryConfig>& configs,
         PreparedBinary p = prepare(synth::cached_binary(configs[i]));
         BinaryResult r;
         r.prepare_seconds = p.prepare_seconds;
+        r.decode_seconds = p.decode.decode_seconds;
         r.per_job.reserve(jobs_.size());
         for (const ToolJob& job : jobs_)
-          r.per_job.push_back(
-              run_tool_scored(job.tool, p.stripped, p.entry->truth, job.fs_opts));
+          r.per_job.push_back(run_tool_scored(job.tool, p.stripped, p.decode,
+                                              p.entry->truth, job.fs_opts));
         r.entry = std::move(p.entry);
         return r;
       },

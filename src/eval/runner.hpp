@@ -1,11 +1,15 @@
 // Experiment runner: executes the four tools on dataset entries.
 //
-// Timing follows the paper's §V-D protocol with one deliberate
-// tightening: every tool is timed over an already-parsed elf::Image, so
-// the FunSeeker-vs-FETCH speed comparison measures analysis, not how
-// often the harness happened to re-parse the container. Per-binary
-// setup (strip + serialize + parse — what a reverse engineer's loader
-// does once) is amortized across tools by CorpusRunner.
+// Timing follows the paper's §V-D protocol with two deliberate
+// tightenings: every tool is timed over an already-parsed elf::Image,
+// and the decoded instruction stream is built exactly once per binary
+// (decode_shared) and handed to all analyzers, so the
+// FunSeeker-vs-FETCH speed comparison measures each tool's analysis
+// mechanism — not how often the harness happened to re-parse the
+// container or re-sweep .text. Per-binary setup (strip + serialize +
+// parse + decode — what a reverse engineer's loader does once) is
+// amortized across tools by CorpusRunner and reported separately as
+// prepare_seconds / decode_seconds.
 #pragma once
 
 #include <cstdint>
@@ -15,8 +19,10 @@
 #include <vector>
 
 #include "eval/metrics.hpp"
+#include "funseeker/disassemble.hpp"
 #include "funseeker/funseeker.hpp"
 #include "synth/corpus.hpp"
+#include "x86/codeview.hpp"
 
 namespace fsr::eval {
 
@@ -31,26 +37,51 @@ struct RunResult {
   double seconds = 0.0;  // analysis phase only
 };
 
-/// A dataset entry readied for analysis: stripped, serialized, and
-/// parsed back exactly once. The parsed image is what every tool
-/// shares; `prepare_seconds` is that amortized setup cost.
+/// The decode-once substrate: one immutable decoded view of .text plus
+/// one FunSeeker DISASSEMBLE pass, shared by every analyzer that runs
+/// on the binary. Null members for non-x86 images.
+struct SharedDecode {
+  std::shared_ptr<const x86::CodeView> view;
+  std::shared_ptr<const funseeker::DisasmSets> sweep;
+  double decode_seconds = 0.0;
+};
+
+/// Linear-sweep the image's .text once and derive the FunSeeker
+/// candidate sets from it. No-op (null members) for AArch64 images.
+SharedDecode decode_shared(const elf::Image& stripped);
+
+/// A dataset entry readied for analysis: stripped, serialized, parsed
+/// back, and decoded exactly once. The parsed image and the decoded
+/// view are what every tool shares; `prepare_seconds` is the amortized
+/// container cost, `decode.decode_seconds` the amortized decode cost.
 struct PreparedBinary {
   std::shared_ptr<const synth::DatasetEntry> entry;  // config + ground truth
   elf::Image stripped;                               // parsed stripped ELF
+  SharedDecode decode;                               // decode-once substrate
   double prepare_seconds = 0.0;
 };
 
-/// strip + write_elf + read_elf, once.
+/// strip + write_elf + read_elf + decode_shared, once.
 PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry);
 
 /// Time `tool`'s analysis over an already-parsed stripped image.
 /// No scoring (no ground truth needed) — this is the path `fsr compare`
-/// uses on real binaries.
+/// uses on real binaries. Decodes privately; prefer the SharedDecode
+/// overload when running several tools on one binary.
 RunResult run_tool_on(Tool tool, const elf::Image& stripped,
+                      const funseeker::Options& fs_opts = {});
+
+/// Time `tool`'s analysis over the shared decoded substrate.
+RunResult run_tool_on(Tool tool, const elf::Image& stripped,
+                      const SharedDecode& decode,
                       const funseeker::Options& fs_opts = {});
 
 /// run_tool_on + precision/recall scoring against `truth`.
 RunResult run_tool_scored(Tool tool, const elf::Image& stripped,
+                          const synth::GroundTruth& truth,
+                          const funseeker::Options& fs_opts = {});
+RunResult run_tool_scored(Tool tool, const elf::Image& stripped,
+                          const SharedDecode& decode,
                           const synth::GroundTruth& truth,
                           const funseeker::Options& fs_opts = {});
 
@@ -74,14 +105,16 @@ struct BinaryResult {
   std::shared_ptr<const synth::DatasetEntry> entry;
   std::vector<RunResult> per_job;
   double prepare_seconds = 0.0;
+  double decode_seconds = 0.0;  // shared decode, not charged to any tool
 };
 
 /// The parallel corpus evaluation engine. For every config: generate
-/// (through the BinaryCache), prepare once, run every job on the shared
-/// parsed image — all on pool workers — then deliver BinaryResults to
-/// the reduction callback on the calling thread in deterministic config
-/// order. Aggregated tables are bit-identical to a sequential run at
-/// any thread count; only wall-clock changes.
+/// (through the BinaryCache), prepare once (parse + decode), run every
+/// job on the shared parsed image and decoded view — all on pool
+/// workers — then deliver BinaryResults to the reduction callback on
+/// the calling thread in deterministic config order. Aggregated tables
+/// are bit-identical to a sequential run at any thread count; only
+/// wall-clock changes.
 class CorpusRunner {
 public:
   /// `threads == 0` means REPRO_THREADS / hardware_concurrency.

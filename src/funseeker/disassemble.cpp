@@ -14,6 +14,23 @@ void sort_unique(std::vector<std::uint64_t>& v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
 }
 
+/// Fill E/C/J from an instruction stream covering [lo, hi).
+void collect_sets(DisasmSets& sets, const std::vector<x86::Insn>& insns,
+                  std::uint64_t lo, std::uint64_t hi) {
+  for (const x86::Insn& insn : insns) {
+    if (insn.is_endbr()) {
+      sets.endbrs.push_back(insn.addr);
+    } else if (insn.kind == x86::Kind::kCallDirect) {
+      if (insn.target >= lo && insn.target < hi) sets.call_targets.push_back(insn.target);
+    } else if (insn.kind == x86::Kind::kJmpDirect) {
+      if (insn.target >= lo && insn.target < hi) sets.jmp_targets.push_back(insn.target);
+    }
+  }
+  sort_unique(sets.endbrs);
+  sort_unique(sets.call_targets);
+  sort_unique(sets.jmp_targets);
+}
+
 }  // namespace
 
 DisasmSets disassemble(const elf::Image& bin) {
@@ -27,21 +44,16 @@ DisasmSets disassemble(const elf::Image& bin) {
 
   DisasmSets sets;
   sets.bad_bytes = sweep.bad_bytes.size();
-  const std::uint64_t lo = text.addr;
-  const std::uint64_t hi = text.end_addr();
-  for (const x86::Insn& insn : sweep.insns) {
-    if (insn.is_endbr()) {
-      sets.endbrs.push_back(insn.addr);
-    } else if (insn.kind == x86::Kind::kCallDirect) {
-      if (insn.target >= lo && insn.target < hi) sets.call_targets.push_back(insn.target);
-    } else if (insn.kind == x86::Kind::kJmpDirect) {
-      if (insn.target >= lo && insn.target < hi) sets.jmp_targets.push_back(insn.target);
-    }
-  }
   sets.insns = std::move(sweep.insns);
-  sort_unique(sets.endbrs);
-  sort_unique(sets.call_targets);
-  sort_unique(sets.jmp_targets);
+  collect_sets(sets, sets.insns, text.addr, text.end_addr());
+  return sets;
+}
+
+DisasmSets derive_sets(const x86::CodeView& view) {
+  DisasmSets sets;
+  sets.bad_bytes = view.bad_bytes;
+  sets.insns = view.insns;  // same sweep output the view holds
+  collect_sets(sets, sets.insns, view.text_begin, view.text_end);
   return sets;
 }
 

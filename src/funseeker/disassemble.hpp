@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "elf/image.hpp"
+#include "x86/codeview.hpp"
 #include "x86/insn.hpp"
 
 namespace fsr::funseeker {
@@ -23,5 +24,10 @@ struct DisasmSets {
 /// excluded from C and J. The returned target sets are sorted and
 /// deduplicated; `insns` keeps the raw stream for later passes.
 DisasmSets disassemble(const elf::Image& bin);
+
+/// Build the candidate sets from an already-decoded view instead of
+/// re-sweeping (the corpus engine's decode-once path). The view must
+/// cover the image's .text; the result is identical to disassemble(bin).
+DisasmSets derive_sets(const x86::CodeView& view);
 
 }  // namespace fsr::funseeker

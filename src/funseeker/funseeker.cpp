@@ -89,23 +89,45 @@ void merge_recursive(DisasmSets& sets, const RecursiveSets& extra) {
 
 }  // namespace
 
+namespace {
+
+/// The FILTERENDBR / SELECTTAILCALL stages over final candidate sets.
+Result analyze_core(const elf::Image& bin, const DisasmSets& sets,
+                    const Options& opts);
+
+}  // namespace
+
 Result analyze(const elf::Image& bin, const Options& opts) {
-  Result r;
-
   // DISASSEMBLE: E, C, J.
-  DisasmSets sets = disassemble(bin);
+  const DisasmSets sets = disassemble(bin);
+  return analyze_with(bin, sets, opts);
+}
 
-  // Optional §VI refinement: recover what the sweep lost to inline
-  // data, seeding from a preliminary candidate set.
-  if (opts.recursive_refine) {
-    std::vector<std::uint64_t> seeds =
-        merge_sorted(sets.endbrs, sets.call_targets);
-    RecursiveSets extra = recursive_disassemble(bin, seeds);
-    merge_recursive(sets, extra);
+Result analyze_with(const elf::Image& bin, const DisasmSets& sets,
+                    const Options& opts) {
+  // Optional §VI refinements mutate the candidate sets; copy the shared
+  // input only when one of them is enabled (never in the default
+  // configurations the corpus engine runs).
+  if (opts.recursive_refine || opts.superset_endbr_scan) {
+    DisasmSets local = sets;
+    if (opts.recursive_refine) {
+      std::vector<std::uint64_t> seeds =
+          merge_sorted(local.endbrs, local.call_targets);
+      RecursiveSets extra = recursive_disassemble(bin, seeds);
+      merge_recursive(local, extra);
+    }
+    if (opts.superset_endbr_scan)
+      local.endbrs = merge_sorted(local.endbrs, scan_endbr_pattern(bin));
+    return analyze_core(bin, local, opts);
   }
-  if (opts.superset_endbr_scan)
-    sets.endbrs = merge_sorted(sets.endbrs, scan_endbr_pattern(bin));
+  return analyze_core(bin, sets, opts);
+}
 
+namespace {
+
+Result analyze_core(const elf::Image& bin, const DisasmSets& sets,
+                    const Options& opts) {
+  Result r;
   r.endbrs = sets.endbrs;
   r.call_targets = sets.call_targets;
   r.jmp_targets = sets.jmp_targets;
@@ -139,6 +161,8 @@ Result analyze(const elf::Image& bin, const Options& opts) {
   r.functions = std::move(entries);
   return r;
 }
+
+}  // namespace
 
 Result analyze_bytes(std::span<const std::uint8_t> file_bytes, const Options& opts) {
   return analyze(elf::read_elf(file_bytes), opts);

@@ -78,6 +78,13 @@ struct Result {
 /// Analyze a parsed image.
 Result analyze(const elf::Image& bin, const Options& opts = {});
 
+/// Analyze over precomputed DISASSEMBLE output (the decode-once path:
+/// the corpus engine sweeps each binary once and shares the sets across
+/// every FunSeeker configuration). Identical results to analyze().
+struct DisasmSets;
+Result analyze_with(const elf::Image& bin, const DisasmSets& sets,
+                    const Options& opts = {});
+
 /// Parse + analyze raw ELF file bytes (the end-to-end path that the
 /// run-time comparison measures).
 Result analyze_bytes(std::span<const std::uint8_t> file_bytes, const Options& opts = {});

@@ -1,9 +1,9 @@
 #include "funseeker/recursive.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "util/error.hpp"
+#include "x86/codeview.hpp"
 #include "x86/decoder.hpp"
 
 namespace fsr::funseeker {
@@ -21,14 +21,13 @@ std::vector<std::uint64_t> scan_endbr_pattern(const elf::Image& bin) {
   if (bin.machine == elf::Machine::kArm64)
     throw UsageError("scan_endbr_pattern handles x86/x86-64");
   const elf::Section& text = bin.text();
-  const std::uint8_t last = bin.machine == elf::Machine::kX8664 ? 0xfa : 0xfb;
+  const x86::Mode mode =
+      bin.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
+  // memchr prefilter on the F3 lead byte: end-branches are ~1% of text
+  // bytes, so skipping to candidate positions beats testing every offset.
   std::vector<std::uint64_t> out;
-  if (text.data.size() < 4) return out;
-  for (std::size_t off = 0; off + 4 <= text.data.size(); ++off) {
-    if (text.data[off] == 0xf3 && text.data[off + 1] == 0x0f &&
-        text.data[off + 2] == 0x1e && text.data[off + 3] == last)
-      out.push_back(text.addr + off);
-  }
+  for (std::size_t off : x86::find_endbr_offsets(text.data, mode))
+    out.push_back(text.addr + off);
   return out;
 }
 
@@ -43,7 +42,7 @@ RecursiveSets recursive_disassemble(const elf::Image& bin,
   const std::uint64_t hi = text.end_addr();
 
   RecursiveSets out;
-  std::set<std::uint64_t> visited;
+  x86::AddrBitmap visited(lo, hi);
   std::vector<std::uint64_t> work(seeds.begin(), seeds.end());
   work.push_back(bin.entry);
 
@@ -52,7 +51,7 @@ RecursiveSets recursive_disassemble(const elf::Image& bin,
     std::uint64_t addr = work.back();
     work.pop_back();
     while (addr >= lo && addr < hi) {
-      if (!visited.insert(addr).second) break;  // joined explored flow
+      if (visited.test_and_set(addr)) break;  // joined explored flow
       const auto insn =
           x86::decode(bytes.subspan(static_cast<std::size_t>(addr - lo)), addr, mode);
       if (!insn.has_value() || insn->length == 0) {

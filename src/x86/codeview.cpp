@@ -1,0 +1,68 @@
+#include "x86/codeview.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "x86/sweep.hpp"
+
+namespace fsr::x86 {
+
+std::size_t CodeView::first_pos_at_or_after(std::uint64_t addr) const {
+  const auto it = std::lower_bound(
+      insns.begin(), insns.end(), addr,
+      [](const Insn& insn, std::uint64_t a) { return insn.addr < a; });
+  return static_cast<std::size_t>(it - insns.begin());
+}
+
+CodeView build_code_view(std::span<const std::uint8_t> code, std::uint64_t base,
+                         Mode mode) {
+  CodeView view;
+  view.text_begin = base;
+  view.text_end = base + code.size();
+  view.bytes.assign(code.begin(), code.end());
+  view.mode = mode;
+
+  SweepResult sweep = linear_sweep(code, base, mode);
+  view.bad_bytes = sweep.bad_bytes.size();
+  view.insns = std::move(sweep.insns);
+
+  view.slots.assign(code.size(), 0);
+  for (std::size_t i = 0; i < view.insns.size(); ++i)
+    view.slots[static_cast<std::size_t>(view.insns[i].addr - base)] =
+        static_cast<std::uint32_t>(i + 1);
+  return view;
+}
+
+std::vector<std::uint64_t> AddrBitmap::to_sorted_addresses() const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      out.push_back(base_ + w * 64 + static_cast<std::uint64_t>(bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> find_endbr_offsets(std::span<const std::uint8_t> bytes,
+                                            Mode mode) {
+  std::vector<std::size_t> out;
+  if (bytes.size() < 4) return out;
+  const std::uint8_t last = mode == Mode::k64 ? 0xfa : 0xfb;
+  const std::uint8_t* data = bytes.data();
+  std::size_t off = 0;
+  const std::size_t limit = bytes.size() - 3;  // last possible start
+  while (off < limit) {
+    const void* hit = std::memchr(data + off, 0xf3, limit - off);
+    if (hit == nullptr) break;
+    off = static_cast<std::size_t>(static_cast<const std::uint8_t*>(hit) - data);
+    if (data[off + 1] == 0x0f && data[off + 2] == 0x1e && data[off + 3] == last)
+      out.push_back(off);
+    ++off;
+  }
+  return out;
+}
+
+}  // namespace fsr::x86

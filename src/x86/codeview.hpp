@@ -1,0 +1,121 @@
+// Decode-once code view: one linear sweep of a text region, shared by
+// every analyzer that runs on the same binary (FunSeeker and all the
+// baseline tools derive their working sets from it).
+//
+// Address lookups go through a flat offset-indexed slot table
+// (addr - text_begin -> instruction position) instead of a std::map, so
+// CodeView::at() is O(1) — the traversal-heavy baselines query it once
+// per visited instruction. AddrBitmap is the matching visited/function
+// membership structure: one bit per text byte, replacing the O(log n)
+// std::set node hops in the recursive-traversal fixed points.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "x86/insn.hpp"
+
+namespace fsr::x86 {
+
+/// Immutable decoded view of one executable region.
+struct CodeView {
+  /// Position marker for "no instruction starts here".
+  static constexpr std::size_t kNoInsn = static_cast<std::size_t>(-1);
+
+  std::vector<Insn> insns;  // address order (linear-sweep output)
+  /// Flat address index: slots[addr - text_begin] is the position in
+  /// `insns` of the instruction starting at addr, plus one; 0 means no
+  /// instruction starts at that byte.
+  std::vector<std::uint32_t> slots;
+  std::uint64_t text_begin = 0;
+  std::uint64_t text_end = 0;
+  /// Raw section bytes, kept so analyses that re-decode (FETCH-like's
+  /// frame-height walks) can do so from the source of truth.
+  std::vector<std::uint8_t> bytes;
+  Mode mode = Mode::k64;
+  /// Sweep resync count (bytes where decoding failed).
+  std::size_t bad_bytes = 0;
+
+  [[nodiscard]] bool in_text(std::uint64_t addr) const {
+    return addr >= text_begin && addr < text_end;
+  }
+
+  /// Position in `insns` of the instruction starting at addr, or kNoInsn.
+  [[nodiscard]] std::size_t pos_of(std::uint64_t addr) const {
+    const std::uint64_t off = addr - text_begin;
+    if (off >= slots.size()) return kNoInsn;
+    const std::uint32_t slot = slots[static_cast<std::size_t>(off)];
+    return slot == 0 ? kNoInsn : slot - 1;
+  }
+
+  [[nodiscard]] const Insn* at(std::uint64_t addr) const {
+    const std::size_t pos = pos_of(addr);
+    return pos == kNoInsn ? nullptr : &insns[pos];
+  }
+
+  /// Position of the first instruction with address >= addr (insns.size()
+  /// when none). Used to iterate the instructions of an address range.
+  [[nodiscard]] std::size_t first_pos_at_or_after(std::uint64_t addr) const;
+};
+
+/// Linear-sweep `code` (loaded at `base`) and build the flat index.
+CodeView build_code_view(std::span<const std::uint8_t> code, std::uint64_t base,
+                         Mode mode);
+
+/// One bit per text byte, addressed by virtual address. The traversal
+/// `visited` / `functions` sets of the baseline analyzers in bitmap
+/// form: test/set are O(1), and the text span is known up front.
+class AddrBitmap {
+public:
+  AddrBitmap() = default;
+  explicit AddrBitmap(const CodeView& view)
+      : base_(view.text_begin),
+        size_(static_cast<std::size_t>(view.text_end - view.text_begin)),
+        words_((size_ + 63) / 64, 0) {}
+  AddrBitmap(std::uint64_t begin, std::uint64_t end)
+      : base_(begin),
+        size_(static_cast<std::size_t>(end - begin)),
+        words_((size_ + 63) / 64, 0) {}
+
+  [[nodiscard]] bool test(std::uint64_t addr) const {
+    const std::uint64_t off = addr - base_;
+    if (off >= size_) return false;
+    return (words_[static_cast<std::size_t>(off) >> 6] >> (off & 63)) & 1;
+  }
+
+  /// Set the bit; out-of-range addresses are ignored.
+  void set(std::uint64_t addr) {
+    const std::uint64_t off = addr - base_;
+    if (off >= size_) return;
+    words_[static_cast<std::size_t>(off) >> 6] |= std::uint64_t{1} << (off & 63);
+  }
+
+  /// Previous value of the bit, setting it as a side effect.
+  bool test_and_set(std::uint64_t addr) {
+    const std::uint64_t off = addr - base_;
+    if (off >= size_) return true;  // out of range: behave as "already set"
+    std::uint64_t& word = words_[static_cast<std::size_t>(off) >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (off & 63);
+    const bool prev = (word & mask) != 0;
+    word |= mask;
+    return prev;
+  }
+
+  /// All set addresses, ascending (for sorted result vectors).
+  [[nodiscard]] std::vector<std::uint64_t> to_sorted_addresses() const;
+
+private:
+  std::uint64_t base_ = 0;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// All offsets in `bytes` where the 4-byte end-branch pattern
+/// F3 0F 1E FA (64-bit) / FB (32-bit) begins, found with a memchr
+/// prefilter on the F3 lead byte rather than a byte-at-a-time scan.
+std::vector<std::size_t> find_endbr_offsets(std::span<const std::uint8_t> bytes,
+                                            Mode mode);
+
+}  // namespace fsr::x86

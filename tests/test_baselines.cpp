@@ -73,12 +73,12 @@ TEST(Traversal, PromotesCallTargetsNotJumpTargets) {
   a.ret();
   CodeView view = build_code_view(image_from_code(a.finish(), kText, elf::Machine::kX8664));
   Traversal t = recursive_traversal(view, {kText});
-  EXPECT_TRUE(t.functions.count(kText) != 0);
-  EXPECT_TRUE(t.functions.count(a.address_of(called)) != 0);
-  EXPECT_FALSE(t.functions.count(a.address_of(jumped)) != 0)
+  EXPECT_TRUE(contains(t.functions, kText));
+  EXPECT_TRUE(contains(t.functions, a.address_of(called)));
+  EXPECT_FALSE(contains(t.functions, a.address_of(jumped)))
       << "jump target must not become a function";
   // But the jumped-to code was still visited.
-  EXPECT_TRUE(t.visited.count(a.address_of(jumped)) != 0);
+  EXPECT_TRUE(contains(t.visited, a.address_of(jumped)));
 }
 
 TEST(Traversal, FollowsBothJccEdges) {
@@ -96,8 +96,8 @@ TEST(Traversal, FollowsBothJccEdges) {
   a.ret();
   CodeView view = build_code_view(image_from_code(a.finish(), kText, elf::Machine::kX8664));
   Traversal t = recursive_traversal(view, {kText});
-  EXPECT_TRUE(t.functions.count(a.address_of(f2)) != 0);
-  EXPECT_TRUE(t.visited.count(a.address_of(other)) != 0);
+  EXPECT_TRUE(contains(t.functions, a.address_of(f2)));
+  EXPECT_TRUE(contains(t.visited, a.address_of(other)));
 }
 
 TEST(Traversal, StopsAtTerminators) {
@@ -108,7 +108,7 @@ TEST(Traversal, StopsAtTerminators) {
   a.ret();
   CodeView view = build_code_view(image_from_code(a.finish(), kText, elf::Machine::kX8664));
   Traversal t = recursive_traversal(view, {kText});
-  EXPECT_EQ(t.visited.count(dead), 0u);
+  EXPECT_FALSE(contains(t.visited, dead));
 }
 
 TEST(Traversal, IgnoresSeedsOutsideText) {

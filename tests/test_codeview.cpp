@@ -1,0 +1,306 @@
+// Equivalence proofs for the decode-once substrate: the flat address
+// index, the bitmap traversal, and the single-pass analyzer rewrites
+// must return byte-identical results to the original map/set
+// implementations (reproduced here as references) on every binary of
+// the grid-complete synthetic corpus — and the shared-substrate corpus
+// engine must match the unshared per-tool path at any thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "baselines/fetch_like.hpp"
+#include "baselines/ghidra_like.hpp"
+#include "baselines/ida_like.hpp"
+#include "elf/reader.hpp"
+#include "eval/runner.hpp"
+#include "funseeker/disassemble.hpp"
+#include "funseeker/funseeker.hpp"
+#include "synth/cache.hpp"
+#include "synth/corpus.hpp"
+#include "x86/codeview.hpp"
+
+using namespace fsr;
+
+namespace {
+
+// One program per suite, every compiler/arch/kind/opt cell.
+std::vector<synth::BinaryConfig> tiny_corpus() {
+  return synth::corpus_configs(0.01);
+}
+
+bool is_x86(const synth::BinaryConfig& cfg) {
+  return cfg.machine != elf::Machine::kArm64;
+}
+
+std::vector<std::uint64_t> sorted(const std::set<std::uint64_t>& s) {
+  return {s.begin(), s.end()};
+}
+
+// ---------------------------------------------------------------------
+// Reference implementations: the pre-flat-index / pre-bitmap versions
+// of the hot paths, kept verbatim so the rewrites are checked against
+// the original semantics rather than against themselves.
+
+/// The old CodeView address index: a red-black tree over every decoded
+/// instruction address.
+struct MapIndex {
+  const x86::CodeView* view;
+  std::map<std::uint64_t, std::size_t> index;
+
+  explicit MapIndex(const x86::CodeView& v) : view(&v) {
+    for (std::size_t i = 0; i < v.insns.size(); ++i)
+      index.emplace(v.insns[i].addr, i);
+  }
+  [[nodiscard]] const x86::Insn* at(std::uint64_t addr) const {
+    auto it = index.find(addr);
+    return it == index.end() ? nullptr : &view->insns[it->second];
+  }
+};
+
+/// The old std::set-based recursive traversal.
+struct SetTraversal {
+  std::set<std::uint64_t> functions;
+  std::set<std::uint64_t> visited;
+};
+
+SetTraversal set_traversal(const x86::CodeView& view, const MapIndex& idx,
+                           const std::vector<std::uint64_t>& seeds) {
+  SetTraversal out;
+  std::vector<std::uint64_t> work;
+  for (std::uint64_t s : seeds) {
+    if (!view.in_text(s)) continue;
+    out.functions.insert(s);
+    work.push_back(s);
+  }
+  while (!work.empty()) {
+    std::uint64_t addr = work.back();
+    work.pop_back();
+    while (view.in_text(addr)) {
+      if (out.visited.count(addr) != 0) break;
+      const x86::Insn* insn = idx.at(addr);
+      if (insn == nullptr) break;
+      out.visited.insert(addr);
+      switch (insn->kind) {
+        case x86::Kind::kCallDirect:
+          if (view.in_text(insn->target) && out.functions.insert(insn->target).second)
+            work.push_back(insn->target);
+          break;
+        case x86::Kind::kJmpDirect:
+        case x86::Kind::kJcc:
+          if (view.in_text(insn->target)) work.push_back(insn->target);
+          break;
+        default:
+          break;
+      }
+      if (insn->is_terminator()) break;
+      addr = insn->end();
+    }
+  }
+  return out;
+}
+
+/// The old IDA-like pass 2: restart the whole signature scan from
+/// instruction 0 after any discovery, with a fresh sub-traversal (and
+/// fresh sets) per prologue match, until a full pass changes nothing.
+std::vector<std::uint64_t> legacy_ida(const elf::Image& bin,
+                                      const x86::CodeView& view) {
+  const MapIndex idx(view);
+  SetTraversal trav = set_traversal(view, idx, {bin.entry});
+  std::set<std::uint64_t> funcs = trav.functions;
+  std::set<std::uint64_t> visited = trav.visited;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < view.insns.size(); ++i) {
+      const x86::Insn& insn = view.insns[i];
+      if (visited.count(insn.addr) != 0) continue;
+      baselines::PrologueMatch m =
+          baselines::match_frame_prologue(view, i, /*endbr_aware=*/true);
+      if (!m.matched) continue;
+      if (funcs.count(m.entry) != 0) continue;
+      funcs.insert(m.entry);
+      SetTraversal sub = set_traversal(view, idx, {m.entry});
+      for (std::uint64_t f : sub.functions)
+        if (funcs.insert(f).second) changed = true;
+      visited.insert(sub.visited.begin(), sub.visited.end());
+      changed = true;
+    }
+  }
+  return {funcs.begin(), funcs.end()};
+}
+
+/// The old Ghidra-like pass 2 with fresh per-match sub-traversals.
+std::vector<std::uint64_t> legacy_ghidra(const elf::Image& bin,
+                                         const x86::CodeView& view) {
+  const MapIndex idx(view);
+  std::vector<std::uint64_t> seeds = baselines::fde_starts_via_hdr(bin);
+  if (seeds.empty()) seeds = baselines::fde_starts(bin);
+  seeds.push_back(bin.entry);
+  SetTraversal trav = set_traversal(view, idx, seeds);
+  std::set<std::uint64_t> funcs = trav.functions;
+  std::set<std::uint64_t> visited = trav.visited;
+  for (std::size_t i = 0; i < view.insns.size(); ++i) {
+    const x86::Insn& insn = view.insns[i];
+    if (visited.count(insn.addr) != 0) continue;
+    baselines::PrologueMatch m =
+        baselines::match_frame_prologue(view, i, /*endbr_aware=*/false);
+    if (!m.matched) continue;
+    if (funcs.count(m.entry) != 0) continue;
+    funcs.insert(m.entry);
+    SetTraversal sub = set_traversal(view, idx, {m.entry});
+    funcs.insert(sub.functions.begin(), sub.functions.end());
+    visited.insert(sub.visited.begin(), sub.visited.end());
+  }
+  return {funcs.begin(), funcs.end()};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+
+TEST(FlatIndex, MatchesMapIndexAtEveryTextAddress) {
+  for (const auto& cfg : tiny_corpus()) {
+    if (!is_x86(cfg)) continue;
+    const auto entry = synth::cached_binary(cfg);
+    const elf::Image img = elf::read_elf(entry->stripped_bytes());
+    const x86::CodeView view = baselines::build_code_view(img);
+    const MapIndex idx(view);
+    for (std::uint64_t a = view.text_begin; a < view.text_end; ++a) {
+      ASSERT_EQ(view.at(a), idx.at(a)) << cfg.name() << " @ " << std::hex << a;
+    }
+    // Outside .text both answer "no instruction".
+    EXPECT_EQ(view.at(view.text_begin - 1), nullptr);
+    EXPECT_EQ(view.at(view.text_end), nullptr);
+    EXPECT_EQ(view.pos_of(view.text_end + 64), x86::CodeView::kNoInsn);
+  }
+}
+
+TEST(BitmapTraversal, MatchesSetReferenceAcrossCorpus) {
+  for (const auto& cfg : tiny_corpus()) {
+    if (!is_x86(cfg)) continue;
+    const auto entry = synth::cached_binary(cfg);
+    const elf::Image img = elf::read_elf(entry->stripped_bytes());
+    const x86::CodeView view = baselines::build_code_view(img);
+    const MapIndex idx(view);
+    // Seed sets of increasing size: entry only, then FDE starts + entry
+    // (the seed mix the Ghidra baseline uses).
+    std::vector<std::uint64_t> rich = baselines::fde_starts(img);
+    rich.push_back(img.entry);
+    for (const auto& seeds :
+         {std::vector<std::uint64_t>{img.entry}, rich}) {
+      const baselines::Traversal got = baselines::recursive_traversal(view, seeds);
+      const SetTraversal want = set_traversal(view, idx, seeds);
+      EXPECT_EQ(got.functions, sorted(want.functions)) << cfg.name();
+      EXPECT_EQ(got.visited, sorted(want.visited)) << cfg.name();
+    }
+  }
+}
+
+TEST(SinglePassAnalyzers, MatchLegacyFixedPointAcrossCorpus) {
+  for (const auto& cfg : tiny_corpus()) {
+    if (!is_x86(cfg)) continue;
+    const auto entry = synth::cached_binary(cfg);
+    const elf::Image img = elf::read_elf(entry->stripped_bytes());
+    const x86::CodeView view = baselines::build_code_view(img);
+    EXPECT_EQ(baselines::ida_like_functions(img, view), legacy_ida(img, view))
+        << cfg.name();
+    EXPECT_EQ(baselines::ghidra_like_functions(img, view), legacy_ghidra(img, view))
+        << cfg.name();
+  }
+}
+
+TEST(EndbrScan, MatchesPerOffsetByteScan) {
+  for (const auto& cfg : tiny_corpus()) {
+    if (!is_x86(cfg)) continue;
+    const auto entry = synth::cached_binary(cfg);
+    const elf::Image img = elf::read_elf(entry->stripped_bytes());
+    const elf::Section& text = img.text();
+    const x86::Mode mode =
+        img.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
+    const std::uint8_t last = mode == x86::Mode::k64 ? 0xfa : 0xfb;
+    std::vector<std::size_t> naive;
+    for (std::size_t i = 0; i + 4 <= text.data.size(); ++i)
+      if (text.data[i] == 0xf3 && text.data[i + 1] == 0x0f &&
+          text.data[i + 2] == 0x1e && text.data[i + 3] == last)
+        naive.push_back(i);
+    EXPECT_EQ(x86::find_endbr_offsets(text.data, mode), naive) << cfg.name();
+  }
+}
+
+TEST(SharedSweep, AnalyzeWithMatchesAnalyzeForEveryConfiguration) {
+  for (const auto& cfg : tiny_corpus()) {
+    if (!is_x86(cfg)) continue;
+    const auto entry = synth::cached_binary(cfg);
+    const elf::Image img = elf::read_elf(entry->stripped_bytes());
+    const funseeker::DisasmSets sets = funseeker::derive_sets(
+        baselines::build_code_view(img));
+    for (int n = 1; n <= 4; ++n) {
+      const funseeker::Options opts = funseeker::Options::config(n);
+      EXPECT_EQ(funseeker::analyze_with(img, sets, opts).functions,
+                funseeker::analyze(img, opts).functions)
+          << cfg.name() << " config " << n;
+    }
+    // The §VI refinements copy the shared sets before mutating them.
+    funseeker::Options refine;
+    refine.recursive_refine = true;
+    refine.superset_endbr_scan = true;
+    EXPECT_EQ(funseeker::analyze_with(img, sets, refine).functions,
+              funseeker::analyze(img, refine).functions)
+        << cfg.name() << " refined";
+    EXPECT_EQ(sets.insns.size(),
+              funseeker::disassemble(img).insns.size())
+        << cfg.name() << " shared sets must stay unmutated";
+  }
+}
+
+TEST(SharedSubstrate, CorpusRunnerMatchesUnsharedToolsAt1_2_8Threads) {
+  const auto configs = tiny_corpus();
+
+  // Unshared reference: every tool decodes privately.
+  std::vector<std::vector<std::vector<std::uint64_t>>> reference;
+  for (const auto& cfg : configs) {
+    const auto entry = synth::cached_binary(cfg);
+    std::vector<std::vector<std::uint64_t>> per_tool;
+    for (const eval::ToolJob& job : eval::CorpusRunner::all_tools()) {
+      if (!is_x86(cfg)) {
+        per_tool.emplace_back();
+        continue;
+      }
+      per_tool.push_back(eval::run_tool(job.tool, *entry, job.fs_opts).found);
+    }
+    reference.push_back(std::move(per_tool));
+  }
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    const eval::CorpusRunner runner(eval::CorpusRunner::all_tools(), threads);
+    std::size_t i = 0;
+    runner.run(configs, [&](const synth::BinaryConfig& cfg,
+                            const eval::BinaryResult& r) {
+      if (is_x86(cfg)) {
+        EXPECT_GT(r.decode_seconds, 0.0) << cfg.name();
+        for (std::size_t t = 0; t < r.per_job.size(); ++t)
+          EXPECT_EQ(r.per_job[t].found, reference[i][t])
+              << cfg.name() << " tool " << t << " threads " << threads;
+      }
+      ++i;
+    });
+    EXPECT_EQ(i, configs.size());
+  }
+}
+
+TEST(AddrBitmap, OutOfRangeSemantics) {
+  x86::AddrBitmap b(0x1000, 0x1040);
+  EXPECT_FALSE(b.test(0x0fff));
+  EXPECT_FALSE(b.test(0x1040));
+  b.set(0x0fff);   // ignored
+  b.set(0x1040);   // ignored
+  EXPECT_TRUE(b.test_and_set(0x2000));  // out of range reads as "seen"
+  EXPECT_TRUE(b.to_sorted_addresses().empty());
+  EXPECT_FALSE(b.test_and_set(0x1000));
+  EXPECT_TRUE(b.test(0x1000));
+  EXPECT_EQ(b.to_sorted_addresses(), (std::vector<std::uint64_t>{0x1000}));
+}

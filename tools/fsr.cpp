@@ -246,14 +246,16 @@ int cmd_compare(const std::string& path) {
   const elf::Image img = elf::read_elf(bytes);  // parsed once, shared by all tools
   if (img.machine == elf::Machine::kArm64)
     throw UsageError("compare runs the x86 tool set");
+  const eval::SharedDecode decode = eval::decode_shared(img);  // decoded once too
   eval::Table table({"tool", "entries", "analysis ms"});
   for (eval::Tool tool : {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
                           eval::Tool::kGhidraLike, eval::Tool::kFetchLike}) {
-    const eval::RunResult r = eval::run_tool_on(tool, img);
+    const eval::RunResult r = eval::run_tool_on(tool, img, decode);
     table.add_row({eval::to_string(tool), std::to_string(r.found.size()),
                    util::fixed(r.seconds * 1e3, 3)});
   }
   std::printf("%s", table.render().c_str());
+  std::printf("shared decode: %.3f ms\n", decode.decode_seconds * 1e3);
   return 0;
 }
 
