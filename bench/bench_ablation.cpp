@@ -17,7 +17,6 @@
 #include "eval/runner.hpp"
 #include "eval/tables.hpp"
 #include "funseeker/disassemble.hpp"
-#include "util/stopwatch.hpp"
 #include "util/str.hpp"
 
 using namespace fsr;
@@ -33,7 +32,8 @@ funseeker::Options tail_variant(bool cross_region, bool multi_ref) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::obs_init(argc, argv);
   const auto configs = bench::corpus();
 
   // ---- A: SELECTTAILCALL condition ablation ---------------------------
@@ -146,15 +146,15 @@ int main() {
         [](const synth::DatasetEntry& entry) {
           const elf::Image img = elf::read_elf(entry.stripped_bytes());
           Row row;
-          util::Stopwatch w1;
+          bench::StageTimer timer;
           auto f1 = baselines::fetch_like_functions(img);
-          row.t_with = w1.seconds();
+          row.t_with = timer.lap("ablation.fetch_verify_ns");
           row.with = eval::score(f1, entry.truth.functions);
           baselines::FetchOptions off;
           off.verify_tail_calls = false;
-          util::Stopwatch w2;
+          timer.lap("ablation.fetch_score_ns");  // exclude scoring from the next lap
           auto f2 = baselines::fetch_like_functions(img, off);
-          row.t_without = w2.seconds();
+          row.t_without = timer.lap("ablation.fetch_harvest_ns");
           row.without = eval::score(f2, entry.truth.functions);
           return row;
         },
@@ -175,5 +175,6 @@ int main() {
                 t_with / (t_without > 0 ? t_without : 1.0));
   }
 
+  bench::obs_finish();
   return 0;
 }

@@ -15,12 +15,12 @@
 #include "elf/reader.hpp"
 #include "eval/metrics.hpp"
 #include "eval/tables.hpp"
-#include "util/stopwatch.hpp"
 #include "util/str.hpp"
 
 using namespace fsr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::obs_init(argc, argv);
   // The AArch64 corpus: same programs and build grid, ARM machine.
   std::vector<synth::BinaryConfig> configs;
   for (synth::BinaryConfig cfg : bench::corpus()) {
@@ -44,10 +44,10 @@ int main() {
       configs,
       [](const synth::DatasetEntry& entry) {
         const auto bytes = entry.stripped_bytes();
-        util::Stopwatch watch;
+        bench::StageTimer timer;
         const bti::Result r = bti::analyze_bytes(bytes);
         Row row;
-        row.seconds = watch.seconds();
+        row.seconds = timer.lap("bti.analysis_ns");
         row.score = eval::score(r.functions, entry.truth.functions);
         row.jump_pads = r.jump_pads.size();
         row.call_pads = r.call_pads.size();
@@ -80,5 +80,6 @@ int main() {
               call_pads, jump_pads);
   std::printf("average analysis time: %.3f ms per binary\n",
               seconds / static_cast<double>(binaries) * 1e3);
+  bench::obs_finish();
   return 0;
 }

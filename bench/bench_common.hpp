@@ -10,7 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "synth/corpus.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fsr::bench {
@@ -38,6 +41,37 @@ inline std::vector<synth::BinaryConfig> corpus_where(
 
 /// Worker count every bench's parallel engine will use (REPRO_THREADS).
 inline std::size_t threads() { return util::ThreadPool::default_workers(); }
+
+/// Wire the obs layer for a bench main(): REPRO_TRACE / REPRO_METRICS /
+/// REPRO_REPORT env vars plus --trace-out / --metrics-out / --report-out
+/// flags. Returns argc with the obs flags consumed.
+inline int obs_init(int argc, char** argv) {
+  obs::init_from_env();
+  return obs::parse_cli_flags(argc, argv);
+}
+
+/// Flush the configured obs artifacts (also runs atexit, so a bench
+/// that early-returns still writes them).
+inline void obs_finish() { obs::write_outputs(); }
+
+/// The shared per-stage timing helper: one Stopwatch, lap() per stage.
+/// Each lap feeds the named obs histogram (so the metrics snapshot gets
+/// per-stage percentiles for free) and returns the lap's seconds — the
+/// same number the bench's own accumulator wants. This replaces the
+/// hand-rolled `Stopwatch w; ...; x += w.seconds(); w.reset();` chains
+/// the benches used to duplicate.
+class StageTimer {
+ public:
+  double lap(const char* histogram_name) {
+    const double s = watch_.seconds();
+    obs::histogram(histogram_name).record_seconds(s);
+    watch_.reset();
+    return s;
+  }
+
+ private:
+  util::Stopwatch watch_;
+};
 
 /// Row label matching the paper's per-suite grouping.
 inline std::string suite_label(synth::Suite s) {

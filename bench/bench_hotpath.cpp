@@ -72,7 +72,8 @@ void write_json(const Stages& s, double scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::obs_init(argc, argv);
   Stages s;
   for (const auto& cfg : bench::corpus()) {
     if (cfg.machine == elf::Machine::kArm64) continue;  // x86 pipeline only
@@ -82,39 +83,32 @@ int main() {
     const x86::Mode mode =
         img.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
 
-    util::Stopwatch w;
+    bench::StageTimer timer;
     const x86::CodeView view = x86::build_code_view(text.data, text.addr, mode);
-    s.decode += w.seconds();
+    s.decode += timer.lap("hotpath.decode_ns");
 
-    w.reset();
     const funseeker::DisasmSets sets = funseeker::derive_sets(view);
-    s.derive += w.seconds();
+    s.derive += timer.lap("hotpath.derive_ns");
 
-    w.reset();
     const auto endbrs = x86::find_endbr_offsets(text.data, mode);
-    s.endbr_scan += w.seconds();
+    s.endbr_scan += timer.lap("hotpath.endbr_scan_ns");
     (void)endbrs;
 
-    w.reset();
     const baselines::Traversal t = baselines::recursive_traversal(view, {img.entry});
-    s.traversal += w.seconds();
+    s.traversal += timer.lap("hotpath.traversal_ns");
     (void)t;
 
-    w.reset();
     const auto fs = funseeker::analyze_with(img, sets);
-    s.analysis[0] += w.seconds();
+    s.analysis[0] += timer.lap("tool.FunSeeker.analysis_ns");
     (void)fs;
-    w.reset();
     const auto ida = baselines::ida_like_functions(img, view);
-    s.analysis[1] += w.seconds();
+    s.analysis[1] += timer.lap("tool.IDA-like.analysis_ns");
     (void)ida;
-    w.reset();
     const auto ghidra = baselines::ghidra_like_functions(img, view);
-    s.analysis[2] += w.seconds();
+    s.analysis[2] += timer.lap("tool.Ghidra-like.analysis_ns");
     (void)ghidra;
-    w.reset();
     const auto fetch = baselines::fetch_like_functions(img, view);
-    s.analysis[3] += w.seconds();
+    s.analysis[3] += timer.lap("tool.FETCH-like.analysis_ns");
     (void)fetch;
 
     ++s.binaries;

@@ -1,0 +1,157 @@
+// Overhead gate for the observability layer: the corpus engine run with
+// tracing + metrics fully enabled must stay within a few percent of the
+// disabled run, and must produce bit-identical precision/recall.
+//
+// Method: one untimed warmup pass populates the BinaryCache (so both
+// modes time analysis, not generation), then alternating off/on passes;
+// each mode keeps its minimum wall time over REPRO_OVERHEAD_REPS reps
+// (default 3 — min-of-N because the corpus pass is short enough for
+// scheduler noise to dominate a mean). The relative-overhead assert
+// (REPRO_OVERHEAD_MAX, default 0.03) is skipped when the absolute delta
+// is under 50 ms: at tiny REPRO_SCALE the whole pass is milliseconds
+// and a ratio of two noise terms means nothing. The P/R equality check
+// always runs.
+//
+// Emits BENCH_obs_overhead.json; exits non-zero on a violated gate.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hpp"
+#include "eval/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "synth/cache.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace fsr;
+
+namespace {
+
+struct Pass {
+  eval::Score totals[4];
+  double wall_seconds = 0.0;
+  std::size_t binaries = 0;
+};
+
+Pass run_pass(const std::vector<synth::BinaryConfig>& configs) {
+  const eval::CorpusRunner runner(eval::CorpusRunner::all_tools());
+  Pass pass;
+  util::Stopwatch wall;
+  runner.run(configs, [&](const synth::BinaryConfig&, const eval::BinaryResult& r) {
+    for (std::size_t t = 0; t < 4; ++t) pass.totals[t] += r.per_job[t].score;
+    ++pass.binaries;
+  });
+  pass.wall_seconds = wall.seconds();
+  return pass;
+}
+
+bool same_scores(const Pass& a, const Pass& b) {
+  for (std::size_t t = 0; t < 4; ++t) {
+    if (a.totals[t].tp != b.totals[t].tp || a.totals[t].fp != b.totals[t].fp ||
+        a.totals[t].fn != b.totals[t].fn)
+      return false;
+  }
+  return true;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const double d = std::atof(v);
+  return d > 0.0 ? d : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::obs_init(argc, argv);
+  const auto configs = bench::corpus();
+  const double max_overhead = env_double("REPRO_OVERHEAD_MAX", 0.03);
+  const int reps = static_cast<int>(env_double("REPRO_OVERHEAD_REPS", 3));
+  constexpr double kAbsSlackSeconds = 0.05;
+
+  // Warmup: generate every binary once so the timed passes hit the cache.
+  obs::set_trace_enabled(false);
+  obs::set_metrics_enabled(false);
+  const Pass warmup = run_pass(configs);
+
+  double min_off = -1.0, min_on = -1.0;
+  Pass off_pass, on_pass;
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::set_trace_enabled(false);
+    obs::set_metrics_enabled(false);
+    const Pass off = run_pass(configs);
+    if (min_off < 0.0 || off.wall_seconds < min_off) min_off = off.wall_seconds;
+    off_pass = off;
+
+    obs::set_trace_enabled(true);
+    obs::set_metrics_enabled(true);
+    obs::clear_trace();  // fresh rings each rep: steady-state cost, not growth
+    obs::Registry::instance().reset();
+    const Pass on = run_pass(configs);
+    if (min_on < 0.0 || on.wall_seconds < min_on) min_on = on.wall_seconds;
+    on_pass = on;
+  }
+  obs::set_trace_enabled(false);
+  obs::set_metrics_enabled(false);
+
+  const bool scores_equal =
+      same_scores(off_pass, on_pass) && same_scores(warmup, on_pass);
+  const double delta = min_on - min_off;
+  const double overhead = min_off > 0.0 ? delta / min_off : 0.0;
+  const bool gated = delta >= kAbsSlackSeconds;  // ratio meaningless below this
+  const bool overhead_ok = !gated || overhead <= max_overhead;
+
+  const obs::TraceStats ts = obs::trace_stats();
+  std::printf("obs overhead gate over %zu binaries (%d reps, min wall)\n",
+              on_pass.binaries, reps);
+  std::printf("  disabled: %.4fs   enabled: %.4fs   delta: %+.4fs (%+.2f%%)\n",
+              min_off, min_on, delta, overhead * 100.0);
+  std::printf("  spans recorded: %llu (dropped %llu) on %zu threads\n",
+              static_cast<unsigned long long>(ts.recorded),
+              static_cast<unsigned long long>(ts.dropped), ts.threads);
+  std::printf("  P/R identical off vs on: %s\n", scores_equal ? "yes" : "NO");
+  if (!gated)
+    std::printf("  overhead assert skipped: delta under %.0f ms absolute slack\n",
+                kAbsSlackSeconds * 1e3);
+  else
+    std::printf("  overhead %s %.1f%% budget\n", overhead_ok ? "within" : "EXCEEDS",
+                max_overhead * 100.0);
+
+  std::FILE* out = std::fopen("BENCH_obs_overhead.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"bench_obs_overhead\",\n");
+    std::fprintf(out, "  \"scale\": %g,\n", bench::corpus_scale());
+    std::fprintf(out, "  \"threads\": %zu,\n", bench::threads());
+    std::fprintf(out, "  \"binaries\": %zu,\n", on_pass.binaries);
+    std::fprintf(out, "  \"reps\": %d,\n", reps);
+    std::fprintf(out, "  \"disabled_seconds\": %.6f,\n", min_off);
+    std::fprintf(out, "  \"enabled_seconds\": %.6f,\n", min_on);
+    std::fprintf(out, "  \"overhead_fraction\": %.6f,\n", overhead);
+    std::fprintf(out, "  \"overhead_budget\": %.6f,\n", max_overhead);
+    std::fprintf(out, "  \"overhead_gated\": %s,\n", gated ? "true" : "false");
+    std::fprintf(out, "  \"spans_recorded\": %llu,\n",
+                 static_cast<unsigned long long>(ts.recorded));
+    std::fprintf(out, "  \"scores_identical\": %s,\n", scores_equal ? "true" : "false");
+    std::fprintf(out, "  \"pass\": %s\n",
+                 scores_equal && overhead_ok ? "true" : "false");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+  } else {
+    std::fprintf(stderr, "warning: cannot write BENCH_obs_overhead.json\n");
+  }
+
+  bench::obs_finish();
+  if (!scores_equal) {
+    std::fprintf(stderr, "FAIL: P/R changed when observability was enabled\n");
+    return 1;
+  }
+  if (!overhead_ok) {
+    std::fprintf(stderr, "FAIL: obs overhead %.2f%% exceeds %.2f%% budget\n",
+                 overhead * 100.0, max_overhead * 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -136,7 +136,8 @@ void write_json(const PassResult& pass, double scale, std::size_t threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::obs_init(argc, argv);  // --trace-out / --metrics-out / --report-out
   const auto configs = bench::corpus();
   const std::size_t threads = bench::threads();
 
@@ -210,5 +211,6 @@ int main() {
     std::printf("\nparallel speedup vs 1 thread: %.2fx on %zu workers\n", speedup, threads);
 
   write_json(pass, bench::corpus_scale(), threads, speedup, have_speedup);
+  bench::obs_finish();
   return 0;
 }

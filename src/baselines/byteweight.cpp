@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/common.hpp"
+#include "obs/trace.hpp"
 
 namespace fsr::baselines {
 
@@ -43,6 +44,7 @@ void ByteWeightModel::train(const elf::Image& bin,
 
 std::vector<std::uint64_t> ByteWeightModel::classify(const x86::CodeView& view,
                                                      double threshold) const {
+  TRACE_SPAN("byteweight");
   std::vector<std::uint64_t> out;
   for (const x86::Insn& insn : view.insns) {
     // Longest known prefix wins (most specific evidence).

@@ -1,21 +1,32 @@
 #include "baselines/fetch_like.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "baselines/common.hpp"
 #include "eh/eh_frame.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "x86/decoder.hpp"
 
 namespace fsr::baselines {
 
 namespace {
 
-/// Accumulator that keeps the frame-height profiling from being
-/// optimized away (its values feed no decision, matching FETCH's
-/// behaviour of computing heights it frequently discards). Atomic
-/// because the corpus engine runs this analyzer on pool workers.
-std::atomic<std::uint64_t> benchmark_sink_{0};
+/// Sinks that keep the frame-height profiling from being optimized
+/// away (its values feed no decision, matching FETCH's behaviour of
+/// computing heights it frequently discards). obs::Counter::add is an
+/// unconditional relaxed fetch_add on a per-thread shard, so it doubles
+/// as the optimizer barrier the old one-off atomic provided — and the
+/// probe volume now shows up in the metrics snapshot.
+struct FetchMetrics {
+  obs::Counter& probes = obs::counter("fetch.frame_height_probes");
+  obs::Counter& checksum = obs::counter("fetch.frame_height_checksum");
+};
+
+FetchMetrics& fetch_metrics() {
+  static FetchMetrics m;
+  return m;
+}
 
 struct Region {
   std::uint64_t begin = 0;
@@ -85,6 +96,7 @@ void sort_unique(std::vector<std::uint64_t>& v) {
 std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
                                                 const CodeView& view,
                                                 const FetchOptions& opts) {
+  TRACE_SPAN("fetch_like");
   std::vector<std::uint64_t> funcs;
 
   // Pass 1: FDE harvest, the backbone of FETCH's detection.
@@ -122,9 +134,9 @@ std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
           insn.kind == x86::Kind::kRet || insn.kind == x86::Kind::kCallDirect ||
           insn.kind == x86::Kind::kPush || insn.kind == x86::Kind::kPop ||
           insn.kind == x86::Kind::kLeave || insn.kind == x86::Kind::kMov) {
-        benchmark_sink_.fetch_xor(
-            static_cast<std::uint64_t>(stack_height(view, r.begin, insn.addr)),
-            std::memory_order_relaxed);
+        fetch_metrics().checksum.add(
+            static_cast<std::uint64_t>(stack_height(view, r.begin, insn.addr)));
+        fetch_metrics().probes.add();
       }
     }
   }

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "baselines/common.hpp"
+#include "obs/trace.hpp"
 
 namespace fsr::baselines {
 
 std::vector<std::uint64_t> ida_like_functions(const elf::Image& bin,
                                               const CodeView& view) {
+  TRACE_SPAN("ida_like");
   x86::AddrBitmap visited(view.text_begin, view.text_end);
   x86::AddrBitmap is_func(view.text_begin, view.text_end);
   std::vector<std::uint64_t> funcs;

@@ -8,6 +8,9 @@
 #include "baselines/ida_like.hpp"
 #include "elf/reader.hpp"
 #include "elf/writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace fsr::eval {
@@ -22,13 +25,46 @@ std::string to_string(Tool t) {
   return "?";
 }
 
+namespace {
+
+/// Per-tool analysis-latency histograms plus the shared stage
+/// histograms, resolved once (registry lookups are mutex-guarded).
+struct RunnerMetrics {
+  obs::Histogram* tool_ns[4] = {
+      &obs::histogram("tool.FunSeeker.analysis_ns"),
+      &obs::histogram("tool.IDA-like.analysis_ns"),
+      &obs::histogram("tool.Ghidra-like.analysis_ns"),
+      &obs::histogram("tool.FETCH-like.analysis_ns"),
+  };
+  obs::Histogram& prepare_ns = obs::histogram("eval.prepare_ns");
+  obs::Histogram& decode_ns = obs::histogram("eval.decode_ns");
+  obs::Counter& binaries = obs::counter("eval.binaries");
+  obs::Counter& tool_runs = obs::counter("eval.tool_runs");
+};
+
+RunnerMetrics& runner_metrics() {
+  static RunnerMetrics m;
+  return m;
+}
+
+}  // namespace
+
 SharedDecode decode_shared(const elf::Image& stripped) {
   SharedDecode d;
   if (stripped.machine == elf::Machine::kArm64) return d;  // x86 tools only
   util::Stopwatch watch;
-  auto view = std::make_shared<x86::CodeView>(baselines::build_code_view(stripped));
-  auto sweep = std::make_shared<funseeker::DisasmSets>(funseeker::derive_sets(*view));
+  std::shared_ptr<x86::CodeView> view;
+  {
+    TRACE_SPAN("decode");
+    view = std::make_shared<x86::CodeView>(baselines::build_code_view(stripped));
+  }
+  std::shared_ptr<funseeker::DisasmSets> sweep;
+  {
+    TRACE_SPAN("derive");
+    sweep = std::make_shared<funseeker::DisasmSets>(funseeker::derive_sets(*view));
+  }
   d.decode_seconds = watch.seconds();
+  runner_metrics().decode_ns.record_seconds(d.decode_seconds);
   d.view = std::move(view);
   d.sweep = std::move(sweep);
   return d;
@@ -37,8 +73,12 @@ SharedDecode decode_shared(const elf::Image& stripped) {
 PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry) {
   PreparedBinary p;
   util::Stopwatch watch;
-  p.stripped = elf::read_elf(entry->stripped_bytes());
+  {
+    TRACE_SPAN("prepare");
+    p.stripped = elf::read_elf(entry->stripped_bytes());
+  }
   p.prepare_seconds = watch.seconds();
+  runner_metrics().prepare_ns.record_seconds(p.prepare_seconds);
   p.decode = decode_shared(p.stripped);
   p.entry = std::move(entry);
   return p;
@@ -63,6 +103,8 @@ RunResult run_tool_on(Tool tool, const elf::Image& stripped,
       break;
   }
   out.seconds = watch.seconds();
+  runner_metrics().tool_ns[static_cast<int>(tool)]->record_seconds(out.seconds);
+  runner_metrics().tool_runs.add();
   return out;
 }
 
@@ -87,6 +129,8 @@ RunResult run_tool_on(Tool tool, const elf::Image& stripped,
       break;
   }
   out.seconds = watch.seconds();
+  runner_metrics().tool_ns[static_cast<int>(tool)]->record_seconds(out.seconds);
+  runner_metrics().tool_runs.add();
   return out;
 }
 
@@ -126,13 +170,56 @@ std::vector<ToolJob> CorpusRunner::all_tools() {
           {Tool::kFetchLike, {}}};
 }
 
+namespace {
+
+/// Profile key for the report's outlier statistics: the config tuple
+/// minus the program index, i.e. one compiler x suite x arch x kind x
+/// opt cell ("gcc-coreutils-x64-pie-O2").
+std::string profile_key(const synth::BinaryConfig& cfg) {
+  synth::BinaryConfig c = cfg;
+  c.program_index = 0;
+  std::string name = c.name();
+  // Drop the "-00" program field name() embeds after the suite.
+  const std::string::size_type at = name.find("-00-");
+  if (at != std::string::npos) name.erase(at, 3);
+  return name;
+}
+
+void report_binary(const synth::BinaryConfig& cfg, const BinaryResult& r,
+                   const std::vector<ToolJob>& jobs) {
+  obs::BinaryRunRecord rec;
+  rec.binary = cfg.name();
+  rec.profile = profile_key(cfg);
+  rec.prepare_seconds = r.prepare_seconds;
+  rec.decode_seconds = r.decode_seconds;
+  rec.tools.reserve(r.per_job.size());
+  for (std::size_t j = 0; j < r.per_job.size(); ++j) {
+    const RunResult& run = r.per_job[j];
+    obs::ToolRunRecord t;
+    t.tool = to_string(jobs[j].tool);
+    t.seconds = run.seconds;
+    t.precision = run.score.precision();
+    t.recall = run.score.recall();
+    t.f1 = run.score.f1();
+    rec.tools.push_back(std::move(t));
+  }
+  obs::RunReport::instance().add(rec);
+}
+
+}  // namespace
+
 void CorpusRunner::run(const std::vector<synth::BinaryConfig>& configs,
                        const std::function<void(const synth::BinaryConfig&,
                                                 const BinaryResult&)>& reduce) const {
   util::ThreadPool pool(threads_);
+  const bool reporting = obs::RunReport::instance().enabled();
   util::parallel_map_ordered<BinaryResult>(
       pool, configs.size(),
       [&](std::size_t i) {
+        // Every span below (generate/prepare/decode/derive/analyzers)
+        // inherits this binary's index as its trace id.
+        obs::ScopedItemId item(i);
+        TRACE_SPAN("binary", i);
         PreparedBinary p = prepare(synth::cached_binary(configs[i]));
         BinaryResult r;
         r.prepare_seconds = p.prepare_seconds;
@@ -144,7 +231,11 @@ void CorpusRunner::run(const std::vector<synth::BinaryConfig>& configs,
         r.entry = std::move(p.entry);
         return r;
       },
-      [&](std::size_t i, BinaryResult&& r) { reduce(configs[i], r); });
+      [&](std::size_t i, BinaryResult&& r) {
+        runner_metrics().binaries.add();
+        if (reporting) report_binary(configs[i], r, jobs_);
+        reduce(configs[i], r);
+      });
 }
 
 }  // namespace fsr::eval

@@ -7,6 +7,7 @@
 #include "funseeker/filter_endbr.hpp"
 #include "funseeker/recursive.hpp"
 #include "funseeker/tail_call.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace fsr::funseeker {
@@ -105,6 +106,7 @@ Result analyze(const elf::Image& bin, const Options& opts) {
 
 Result analyze_with(const elf::Image& bin, const DisasmSets& sets,
                     const Options& opts) {
+  TRACE_SPAN("funseeker");
   // Optional §VI refinements mutate the candidate sets; copy the shared
   // input only when one of them is enabled (never in the default
   // configurations the corpus engine runs).

@@ -1,0 +1,152 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace fsr::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Cursor over the text being validated. Each parse_* consumes exactly
+/// one grammar production or returns false with the position unusable.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r'))
+      ++pos;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_string() {
+    if (done() || peek() != '"') return false;
+    ++pos;
+    while (!done()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        if (done()) return false;
+        const char esc = text[pos++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i)
+            if (done() || std::isxdigit(static_cast<unsigned char>(text[pos++])) == 0)
+              return false;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos;
+    if (!done() && peek() == '-') ++pos;
+    if (done() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+    if (peek() == '0') {
+      ++pos;
+    } else {
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos;
+    }
+    if (!done() && peek() == '.') {
+      ++pos;
+      if (done() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos;
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos;
+      if (done() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos;
+    }
+    return pos > start;
+  }
+
+  bool parse_value(int depth) {
+    if (depth > 64) return false;
+    skip_ws();
+    if (done()) return false;
+    switch (peek()) {
+      case '{': {
+        ++pos;
+        skip_ws();
+        if (!done() && peek() == '}') { ++pos; return true; }
+        for (;;) {
+          skip_ws();
+          if (!parse_string()) return false;
+          skip_ws();
+          if (done() || text[pos++] != ':') return false;
+          if (!parse_value(depth + 1)) return false;
+          skip_ws();
+          if (done()) return false;
+          const char c = text[pos++];
+          if (c == '}') return true;
+          if (c != ',') return false;
+        }
+      }
+      case '[': {
+        ++pos;
+        skip_ws();
+        if (!done() && peek() == ']') { ++pos; return true; }
+        for (;;) {
+          if (!parse_value(depth + 1)) return false;
+          skip_ws();
+          if (done()) return false;
+          const char c = text[pos++];
+          if (c == ']') return true;
+          if (c != ',') return false;
+        }
+      }
+      case '"': return parse_string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return parse_number();
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Parser p{text};
+  if (!p.parse_value(0)) return false;
+  p.skip_ws();
+  return p.done();
+}
+
+}  // namespace fsr::obs

@@ -1,0 +1,25 @@
+// Small JSON utilities for the observability exporters.
+//
+// The obs layer writes three machine-readable artifacts (Chrome trace,
+// metrics snapshot, per-binary run reports); json_escape keeps every
+// emitted string well-formed, and json_valid is the strict checker the
+// tests and the CI overhead gate use to prove the artifacts parse
+// without pulling in an external JSON library.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fsr::obs {
+
+/// Escape `s` for embedding inside a JSON string literal (quotes are
+/// not added). Control characters become \u00XX.
+std::string json_escape(std::string_view s);
+
+/// Strict recursive-descent check: true iff `text` is exactly one valid
+/// JSON value (object/array/string/number/bool/null) surrounded by
+/// optional whitespace. Depth-limited so malformed input cannot blow
+/// the stack.
+bool json_valid(std::string_view text);
+
+}  // namespace fsr::obs

@@ -1,0 +1,240 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.hpp"
+
+namespace fsr::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t v) {
+  value_.store(v, std::memory_order_relaxed);
+  std::int64_t prev = max_.load(std::memory_order_relaxed);
+  while (v > prev &&
+         !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::reset() {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t value_ns) {
+  if (!metrics_enabled()) return;  // single relaxed load + branch when off
+  Shard& s = shards_[detail::shard_index()];
+  s.buckets[std::bit_width(value_ns)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value_ns, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (value_ns > prev &&
+         !max_.compare_exchange_weak(prev, value_ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::sum_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::max_ns() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::percentile_ns(double p) const {
+  std::uint64_t merged[kBuckets] = {};
+  std::uint64_t total = 0;
+  for (const auto& s : shards_)
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+      merged[b] += n;
+      total += n;
+    }
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the target sample (1-based, nearest-rank).
+  std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (merged[b] == 0) continue;
+    if (seen + merged[b] >= rank) {
+      // Bucket b holds values in [2^(b-1), 2^b) (bucket 0 holds 0).
+      const double lo = b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+      const double hi = static_cast<double>(b >= 63 ? ~std::uint64_t{0}
+                                                    : (std::uint64_t{1} << b));
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(merged[b]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += merged[b];
+  }
+  return static_cast<double>(max_ns());
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Name-keyed instrument storage. std::map keeps to_json() output in
+/// sorted (deterministic) order; instruments live forever so cached
+/// references at call sites never dangle.
+struct RegistryState {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+RegistryState& reg_state() {
+  static RegistryState* s = new RegistryState;  // leaked: outlives all threads
+  return *s;
+}
+
+template <typename Map>
+auto& find_or_create(Map& map, std::string_view name, std::mutex& mutex) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  return *it->second;
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  RegistryState& s = reg_state();
+  return find_or_create(s.counters, name, s.mutex);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  RegistryState& s = reg_state();
+  return find_or_create(s.gauges, name, s.mutex);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  RegistryState& s = reg_state();
+  return find_or_create(s.histograms, name, s.mutex);
+}
+
+std::string Registry::to_json() const {
+  RegistryState& s = reg_state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::string out = "{\n  \"counters\": {";
+  char buf[256];
+  bool first = true;
+  for (const auto& [name, c] : s.counters) {
+    std::snprintf(buf, sizeof buf, "%s\n    \"%s\": %llu", first ? "" : ",",
+                  json_escape(name).c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : s.gauges) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    \"%s\": {\"value\": %lld, \"max\": %lld}",
+                  first ? "" : ",", json_escape(name).c_str(),
+                  static_cast<long long>(g->value()),
+                  static_cast<long long>(g->max()));
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    \"%s\": {\"count\": %llu, \"sum_ns\": %llu,"
+                  " \"p50_ns\": %.0f, \"p95_ns\": %.0f, \"p99_ns\": %.0f,"
+                  " \"max_ns\": %llu}",
+                  first ? "" : ",", json_escape(name).c_str(),
+                  static_cast<unsigned long long>(h->count()),
+                  static_cast<unsigned long long>(h->sum_ns()),
+                  h->percentile_ns(50), h->percentile_ns(95), h->percentile_ns(99),
+                  static_cast<unsigned long long>(h->max_ns()));
+    out += buf;
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+bool Registry::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Registry::reset() {
+  RegistryState& s = reg_state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& [name, c] : s.counters) c->reset();
+  for (auto& [name, g] : s.gauges) g->reset();
+  for (auto& [name, h] : s.histograms) h->reset();
+}
+
+Counter& counter(std::string_view name) { return Registry::instance().counter(name); }
+Gauge& gauge(std::string_view name) { return Registry::instance().gauge(name); }
+Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
+}  // namespace fsr::obs

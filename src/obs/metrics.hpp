@@ -1,0 +1,131 @@
+// Metrics registry: counters, gauges, and latency histograms on
+// per-thread shards.
+//
+// Write paths are designed for the corpus engine's hot loops:
+//  - Counter::add is one relaxed fetch_add on a cache-line-padded shard
+//    picked by a stable per-thread index — no locks, no contention
+//    between pool workers. It is deliberately unconditional, so a
+//    counter also serves as an optimizer-proof benchmark sink (the
+//    FETCH-like frame-height profiling uses this; eliding the add when
+//    metrics are off would let the compiler delete the profiling work
+//    the paper's §V-D run-time comparison measures).
+//  - Histogram::record is a handful of relaxed shard adds, guarded by
+//    the metrics-enabled flag (one relaxed load) so disabled runs pay a
+//    single branch per site.
+//  - Reads (value(), percentile(), to_json()) merge the shards; the
+//    merge is a plain sum, so it is deterministic for a given set of
+//    recorded values no matter how many threads produced them.
+//
+// Instruments are created on first use by name and never destroyed;
+// hot sites should cache the reference in a local static.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fsr::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+
+inline constexpr std::size_t kShards = 16;
+
+/// Stable per-thread shard index in [0, kShards).
+std::size_t shard_index();
+
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on);
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const;
+  void reset();
+
+ private:
+  detail::ShardCell shards_[detail::kShards];
+};
+
+/// Last-set value plus a running maximum (e.g. pool queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t v);
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Log2-bucketed latency histogram (values in nanoseconds). Percentiles
+/// interpolate linearly inside the winning bucket — plenty for the
+/// p50/p95/p99 the reports need.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;  // bucket i holds values with bit_width i
+
+  void record(std::uint64_t value_ns);
+  void record_seconds(double s) {
+    record(s <= 0.0 ? 0 : static_cast<std::uint64_t>(s * 1e9));
+  }
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t sum_ns() const;
+  [[nodiscard]] std::uint64_t max_ns() const;
+  /// p in [0, 100]; 0 with no samples.
+  [[nodiscard]] double percentile_ns(double p) const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kBuckets]{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  Shard shards_[detail::kShards];
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Deterministic snapshot (names sorted) of every instrument.
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+  /// Zero every instrument (instruments stay registered). For tests
+  /// and for isolating measurement passes.
+  void reset();
+};
+
+/// Shorthands for Registry::instance().
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+}  // namespace fsr::obs

@@ -1,0 +1,136 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace fsr::obs {
+
+namespace {
+
+struct Config {
+  std::mutex mutex;
+  std::string trace_path;
+  std::string metrics_path;
+  bool env_loaded = false;
+  bool atexit_registered = false;
+  std::string report_path_copy;  // mirror of RunReport's path, for report_path()
+};
+
+Config& config() {
+  static Config* c = new Config;
+  return *c;
+}
+
+void register_atexit_locked(Config& c) {
+  if (c.atexit_registered) return;
+  c.atexit_registered = true;
+  std::atexit([] { write_outputs(); });
+}
+
+std::string env_path(const char* var, const char* default_name) {
+  const char* v = std::getenv(var);
+  if (v == nullptr || *v == '\0' || std::strcmp(v, "0") == 0) return {};
+  if (std::strcmp(v, "1") == 0) return default_name;
+  return v;
+}
+
+}  // namespace
+
+void set_trace_path(std::string path) {
+  Config& c = config();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  c.trace_path = std::move(path);
+  set_trace_enabled(!c.trace_path.empty());
+  if (!c.trace_path.empty()) register_atexit_locked(c);
+}
+
+void set_metrics_path(std::string path) {
+  Config& c = config();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  c.metrics_path = std::move(path);
+  set_metrics_enabled(!c.metrics_path.empty());
+  if (!c.metrics_path.empty()) register_atexit_locked(c);
+}
+
+void set_report_path(std::string path) {
+  Config& c = config();
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.report_path_copy = path;
+    if (!path.empty()) register_atexit_locked(c);
+  }
+  RunReport::instance().set_path(std::move(path));
+}
+
+const std::string& trace_path() {
+  Config& c = config();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.trace_path;
+}
+
+const std::string& metrics_path() {
+  Config& c = config();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.metrics_path;
+}
+
+const std::string& report_path() {
+  Config& c = config();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.report_path_copy;
+}
+
+void init_from_env() {
+  {
+    Config& c = config();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    if (c.env_loaded) return;
+    c.env_loaded = true;
+  }
+  if (std::string p = env_path("REPRO_TRACE", "run.trace.json"); !p.empty())
+    set_trace_path(std::move(p));
+  if (std::string p = env_path("REPRO_METRICS", "run.metrics.json"); !p.empty())
+    set_metrics_path(std::move(p));
+  if (std::string p = env_path("REPRO_REPORT", "run.report.jsonl"); !p.empty())
+    set_report_path(std::move(p));
+}
+
+int parse_cli_flags(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const auto takes_value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (const char* v = takes_value("--trace-out"); v != nullptr) {
+      set_trace_path(v);
+    } else if (const char* v2 = takes_value("--metrics-out"); v2 != nullptr) {
+      set_metrics_path(v2);
+    } else if (const char* v3 = takes_value("--report-out"); v3 != nullptr) {
+      set_report_path(v3);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  return out;
+}
+
+void write_outputs() {
+  std::string trace, metrics;
+  {
+    Config& c = config();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    trace = c.trace_path;
+    metrics = c.metrics_path;
+  }
+  if (!trace.empty()) write_chrome_trace(trace);
+  if (!metrics.empty()) Registry::instance().write_json(metrics);
+  RunReport::instance().finalize();
+}
+
+}  // namespace fsr::obs

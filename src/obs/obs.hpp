@@ -1,0 +1,41 @@
+// Observability session wiring: which exports are on, and where they go.
+//
+// Three independent artifacts, each enabled by giving it a path:
+//   trace    -> Chrome trace-event JSON   (REPRO_TRACE / --trace-out)
+//   metrics  -> counters/gauges/histogram snapshot (REPRO_METRICS / --metrics-out)
+//   report   -> per-binary JSONL run reports (REPRO_REPORT / --report-out)
+//
+// Env values of "1" map to default filenames (run.trace.json,
+// run.metrics.json, run.report.jsonl). Setting a trace or metrics path
+// also flips the corresponding enabled flag, so instrumentation starts
+// recording. write_outputs() flushes everything configured; it is also
+// registered atexit the first time any path is set, so a bench that
+// forgets to call it still leaves its artifacts behind.
+#pragma once
+
+#include <string>
+
+namespace fsr::obs {
+
+void set_trace_path(std::string path);    // "" disables trace export + recording
+void set_metrics_path(std::string path);  // "" disables metrics export + recording
+void set_report_path(std::string path);   // "" disables run reports
+
+const std::string& trace_path();
+const std::string& metrics_path();
+const std::string& report_path();
+
+/// Read REPRO_TRACE / REPRO_METRICS / REPRO_REPORT. Idempotent.
+void init_from_env();
+
+/// Consume --trace-out P / --metrics-out P / --report-out P from argv
+/// (compacting it in place; argv[0] untouched) and return the new argc.
+/// Unknown arguments pass through for the caller's own parser.
+int parse_cli_flags(int argc, char** argv);
+
+/// Write every configured artifact: trace JSON, metrics JSON, report
+/// summary line. Safe to call more than once (files are rewritten /
+/// the report finalize is idempotent).
+void write_outputs();
+
+}  // namespace fsr::obs

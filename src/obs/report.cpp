@@ -1,0 +1,180 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "obs/json.hpp"
+
+namespace fsr::obs {
+
+namespace {
+
+/// The light per-record residue the summary needs.
+struct Digest {
+  std::string binary;
+  std::string profile;
+  double total_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> tool_f1;
+};
+
+struct ReportState {
+  std::mutex mutex;
+  std::string path;
+  std::FILE* file = nullptr;
+  std::vector<Digest> digests;
+  bool finalized = false;
+  std::size_t last_outliers = 0;
+};
+
+ReportState& state() {
+  static ReportState* s = new ReportState;
+  return *s;
+}
+
+void close_file(ReportState& s) {
+  if (s.file != nullptr) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+}
+
+}  // namespace
+
+RunReport& RunReport::instance() {
+  static RunReport r;
+  return r;
+}
+
+void RunReport::set_path(std::string path) {
+  ReportState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  close_file(s);
+  s.path = std::move(path);
+  s.digests.clear();
+  s.finalized = false;
+  s.last_outliers = 0;
+  if (!s.path.empty()) s.file = std::fopen(s.path.c_str(), "w");
+}
+
+bool RunReport::enabled() const {
+  ReportState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.file != nullptr || (!s.path.empty() && !s.finalized);
+}
+
+void RunReport::add(const BinaryRunRecord& r) {
+  ReportState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.path.empty()) return;
+  if (s.file == nullptr) {
+    s.file = std::fopen(s.path.c_str(), "a");
+    if (s.file == nullptr) return;
+  }
+  s.finalized = false;
+
+  std::fprintf(s.file,
+               "{\"type\":\"binary\",\"binary\":\"%s\",\"profile\":\"%s\","
+               "\"prepare_seconds\":%.6f,\"decode_seconds\":%.6f,\"tools\":[",
+               json_escape(r.binary).c_str(), json_escape(r.profile).c_str(),
+               r.prepare_seconds, r.decode_seconds);
+  Digest d{r.binary, r.profile, r.prepare_seconds + r.decode_seconds, {}};
+  for (std::size_t i = 0; i < r.tools.size(); ++i) {
+    const ToolRunRecord& t = r.tools[i];
+    std::fprintf(s.file,
+                 "%s{\"tool\":\"%s\",\"seconds\":%.6f,\"precision\":%.6f,"
+                 "\"recall\":%.6f,\"f1\":%.6f}",
+                 i == 0 ? "" : ",", json_escape(t.tool).c_str(), t.seconds,
+                 t.precision, t.recall, t.f1);
+    d.total_seconds += t.seconds;
+    d.tool_f1.emplace_back(t.tool, t.f1);
+  }
+  std::fprintf(s.file, "]}\n");
+  std::fflush(s.file);
+  s.digests.push_back(std::move(d));
+}
+
+void RunReport::finalize() {
+  ReportState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.path.empty() || s.finalized) return;
+  if (s.file == nullptr) {
+    s.file = std::fopen(s.path.c_str(), "a");
+    if (s.file == nullptr) return;
+  }
+
+  // Slowest binaries by total per-binary cost (prepare+decode+analyses).
+  std::vector<const Digest*> by_cost;
+  by_cost.reserve(s.digests.size());
+  for (const Digest& d : s.digests) by_cost.push_back(&d);
+  std::stable_sort(by_cost.begin(), by_cost.end(),
+                   [](const Digest* a, const Digest* b) {
+                     return a->total_seconds > b->total_seconds;
+                   });
+  if (by_cost.size() > 5) by_cost.resize(5);
+
+  // Per-(profile, tool) F1 mean and sigma, then flag >2σ deviants.
+  struct Stats {
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t n = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Stats> groups;
+  for (const Digest& d : s.digests)
+    for (const auto& [tool, f1] : d.tool_f1) {
+      Stats& g = groups[{d.profile, tool}];
+      g.sum += f1;
+      g.sum_sq += f1 * f1;
+      ++g.n;
+    }
+
+  struct Outlier {
+    const Digest* d;
+    std::string tool;
+    double f1, mean, sigma;
+  };
+  std::vector<Outlier> outliers;
+  for (const Digest& d : s.digests)
+    for (const auto& [tool, f1] : d.tool_f1) {
+      const Stats& g = groups[{d.profile, tool}];
+      if (g.n < 2) continue;
+      const double mean = g.sum / static_cast<double>(g.n);
+      const double var =
+          std::max(0.0, g.sum_sq / static_cast<double>(g.n) - mean * mean);
+      const double sigma = std::sqrt(var);
+      // Degenerate groups (all-identical F1) would flag any epsilon of
+      // float noise; require a meaningful spread.
+      if (sigma < 1e-9) continue;
+      if (std::abs(f1 - mean) > 2.0 * sigma)
+        outliers.push_back({&d, tool, f1, mean, sigma});
+    }
+
+  std::fprintf(s.file, "{\"type\":\"summary\",\"binaries\":%zu,\"slowest\":[",
+               s.digests.size());
+  for (std::size_t i = 0; i < by_cost.size(); ++i)
+    std::fprintf(s.file, "%s{\"binary\":\"%s\",\"seconds\":%.6f}",
+                 i == 0 ? "" : ",", json_escape(by_cost[i]->binary).c_str(),
+                 by_cost[i]->total_seconds);
+  std::fprintf(s.file, "],\"f1_outliers\":[");
+  for (std::size_t i = 0; i < outliers.size(); ++i) {
+    const Outlier& o = outliers[i];
+    std::fprintf(s.file,
+                 "%s{\"binary\":\"%s\",\"tool\":\"%s\",\"f1\":%.6f,"
+                 "\"profile_mean\":%.6f,\"profile_sigma\":%.6f}",
+                 i == 0 ? "" : ",", json_escape(o.d->binary).c_str(),
+                 json_escape(o.tool).c_str(), o.f1, o.mean, o.sigma);
+  }
+  std::fprintf(s.file, "]}\n");
+  close_file(s);
+  s.finalized = true;
+  s.last_outliers = outliers.size();
+}
+
+std::size_t RunReport::last_outlier_count() const {
+  ReportState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.last_outliers;
+}
+
+}  // namespace fsr::obs

@@ -1,0 +1,60 @@
+// Per-binary run reports: one JSONL line per evaluated binary, plus a
+// final summary line flagging outliers.
+//
+// eval::CorpusRunner feeds a BinaryRunRecord for every binary it
+// evaluates (config tuple, prepare/decode seconds, per-tool analysis
+// seconds and P/R/F1). Records append to the configured report file as
+// they arrive — a crashed run still leaves every completed line on
+// disk — and finalize() appends a {"type":"summary"} line with the
+// slowest binaries and every binary whose F1 deviates more than 2σ
+// from its profile's mean (profile = config tuple minus the program
+// index, i.e. one compiler x suite x arch x kind x opt cell).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fsr::obs {
+
+struct ToolRunRecord {
+  std::string tool;
+  double seconds = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct BinaryRunRecord {
+  std::string binary;   // full config name, e.g. "gcc-coreutils-03-x64-pie-O2"
+  std::string profile;  // grouping key for the outlier statistics
+  double prepare_seconds = 0.0;
+  double decode_seconds = 0.0;
+  std::vector<ToolRunRecord> tools;
+};
+
+class RunReport {
+ public:
+  /// The process-wide report every corpus run appends to.
+  static RunReport& instance();
+
+  /// Target path ("" disables). Opening is lazy: the file is created on
+  /// the first add().
+  void set_path(std::string path);
+  [[nodiscard]] bool enabled() const;
+
+  /// Append one binary's line (thread-safe; CorpusRunner calls this
+  /// from its sequenced reduction, so lines come out in config order).
+  void add(const BinaryRunRecord& record);
+
+  /// Append the summary line over everything recorded since
+  /// set_path(). Idempotent until the next add().
+  void finalize();
+
+  /// How many >2σ F1 outliers the last finalize() found (for tests).
+  [[nodiscard]] std::size_t last_outlier_count() const;
+
+ private:
+  RunReport() = default;
+};
+
+}  // namespace fsr::obs

@@ -1,0 +1,189 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace fsr::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t id = 0;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// One ring per thread. Written only by its owner; `recorded` is the
+/// publication point (release store after the slot write) so an export
+/// sees complete events.
+struct ThreadBuffer {
+  std::vector<TraceEvent> ring;
+  std::atomic<std::uint64_t> recorded{0};
+  std::string name;
+  std::uint64_t lane = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::size_t capacity = std::size_t{1} << 14;  // 16Ki events/thread (~512KiB)
+  std::uint64_t next_lane = 1;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState;  // never destroyed: threads may outlive main
+  return *s;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    b->ring.resize(s.capacity);
+    b->lane = s.next_lane++;
+    b->name = "thread-" + std::to_string(b->lane);
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_buffer_capacity(std::size_t events) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.capacity = events < 8 ? 8 : events;
+}
+
+void set_thread_name(std::string name) {
+  ThreadBuffer& b = local_buffer();
+  std::lock_guard<std::mutex> lock(state().mutex);  // exporter reads names
+  b.name = std::move(name);
+}
+
+namespace {
+thread_local std::uint64_t t_item_id = 0;
+}  // namespace
+
+std::uint64_t current_item_id() { return t_item_id; }
+
+ScopedItemId::ScopedItemId(std::uint64_t id) : prev_(t_item_id) { t_item_id = id; }
+ScopedItemId::~ScopedItemId() { t_item_id = prev_; }
+
+void record_span(const char* name, std::uint64_t id, std::uint64_t begin_ns,
+                 std::uint64_t end_ns) {
+  if (id == kAmbientId) id = t_item_id;
+  ThreadBuffer& b = local_buffer();
+  const std::uint64_t n = b.recorded.load(std::memory_order_relaxed);
+  b.ring[static_cast<std::size_t>(n % b.ring.size())] = {name, id, begin_ns, end_ns};
+  b.recorded.store(n + 1, std::memory_order_release);
+}
+
+TraceStats trace_stats() {
+  TraceStats out;
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  out.threads = s.buffers.size();
+  for (const auto& b : s.buffers) {
+    const std::uint64_t n = b->recorded.load(std::memory_order_acquire);
+    out.recorded += n;
+    if (n > b->ring.size()) out.dropped += n - b->ring.size();
+  }
+  return out;
+}
+
+void clear_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& b : s.buffers) b->recorded.store(0, std::memory_order_release);
+}
+
+std::string chrome_trace_json() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+
+  // Timestamps are relative to the earliest buffered span, so the trace
+  // opens at t=0 regardless of how long the process ran beforehand.
+  std::uint64_t epoch_ns = ~std::uint64_t{0};
+  for (const auto& b : s.buffers) {
+    const std::uint64_t n = b->recorded.load(std::memory_order_acquire);
+    const std::uint64_t cap = b->ring.size();
+    const std::uint64_t kept = n < cap ? n : cap;
+    for (std::uint64_t k = 0; k < kept; ++k) {
+      const TraceEvent& e = b->ring[static_cast<std::size_t>((n - kept + k) % cap)];
+      if (e.name != nullptr && e.begin_ns < epoch_ns) epoch_ns = e.begin_ns;
+    }
+  }
+  if (epoch_ns == ~std::uint64_t{0}) epoch_ns = 0;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  const auto emit = [&](const char* text) {
+    if (!first) out += ',';
+    first = false;
+    out += text;
+  };
+
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                "\"args\":{\"name\":\"funseeker-repro\"}}");
+  emit(buf);
+
+  for (const auto& b : s.buffers) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%llu,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  static_cast<unsigned long long>(b->lane),
+                  json_escape(b->name).c_str());
+    emit(buf);
+
+    const std::uint64_t n = b->recorded.load(std::memory_order_acquire);
+    const std::uint64_t cap = b->ring.size();
+    const std::uint64_t kept = n < cap ? n : cap;
+    for (std::uint64_t k = 0; k < kept; ++k) {
+      // Oldest kept event first (ring order).
+      const TraceEvent& e =
+          b->ring[static_cast<std::size_t>((n - kept + k) % cap)];
+      if (e.name == nullptr) continue;
+      const double ts_us =
+          static_cast<double>(e.begin_ns - epoch_ns) / 1e3;
+      const double dur_us =
+          static_cast<double>(e.end_ns - e.begin_ns) / 1e3;
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"pid\":1,\"tid\":%llu,\"args\":{\"id\":%llu}}",
+                    json_escape(e.name).c_str(), ts_us, dur_us,
+                    static_cast<unsigned long long>(b->lane),
+                    static_cast<unsigned long long>(e.id));
+      emit(buf);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace fsr::obs

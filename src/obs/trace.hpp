@@ -1,0 +1,126 @@
+// Span tracer: where does wall-clock go inside a corpus run?
+//
+// Every instrumented site opens an RAII Span (via TRACE_SPAN) that, when
+// tracing is enabled, records a {name, item id, begin, end} event into a
+// lock-free per-thread ring buffer. Disabled, a span costs exactly one
+// relaxed atomic load and a branch — cheap enough to leave compiled into
+// the hot paths of the corpus engine without perturbing the bench tables.
+//
+// Buffers are exported as Chrome trace-event JSON (chrome://tracing or
+// Perfetto), one lane per thread; pool workers name their lanes so a
+// trace of bench_table3 shows exactly how binaries flowed across the
+// work-stealing pool. Rings have fixed capacity: a run that outgrows
+// them keeps the newest events and reports how many were dropped.
+//
+// Export is meant to run after parallel regions have quiesced (pools
+// joined); the counters involved are atomics, so a concurrent export
+// merely risks a stale tail, not undefined behavior.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fsr::obs {
+
+/// Monotonic nanoseconds (steady_clock — the same timebase as
+/// util::Stopwatch, so spans and stopwatch figures agree).
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on);
+
+/// Events-per-thread ring capacity for buffers registered after this
+/// call (existing buffers keep their size). Minimum 8.
+void set_trace_buffer_capacity(std::size_t events);
+
+/// Label the calling thread's lane in the exported trace (e.g.
+/// "pool-worker-3"). Safe to call repeatedly; the last name wins.
+void set_thread_name(std::string name);
+
+/// Spans default their item id to this thread-local ambient value, so a
+/// corpus job can tag every nested span with its binary's index without
+/// threading the id through each callee.
+std::uint64_t current_item_id();
+
+class ScopedItemId {
+ public:
+  explicit ScopedItemId(std::uint64_t id);
+  ~ScopedItemId();
+  ScopedItemId(const ScopedItemId&) = delete;
+  ScopedItemId& operator=(const ScopedItemId&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+/// Sentinel: "use current_item_id()".
+inline constexpr std::uint64_t kAmbientId = ~std::uint64_t{0};
+
+/// Append one completed span to the calling thread's ring.
+/// `name` must point at storage that outlives the export (string
+/// literals at the instrumented sites).
+void record_span(const char* name, std::uint64_t id, std::uint64_t begin_ns,
+                 std::uint64_t end_ns);
+
+class Span {
+ public:
+  explicit Span(const char* name, std::uint64_t id = kAmbientId) {
+    if (!trace_enabled()) return;  // the whole disabled-path cost
+    name_ = name;
+    id_ = id;
+    begin_ns_ = now_ns();
+  }
+  ~Span() {
+    if (name_ != nullptr) record_span(name_, id_, begin_ns_, now_ns());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t begin_ns_ = 0;
+};
+
+struct TraceStats {
+  std::size_t threads = 0;     // registered ring buffers
+  std::uint64_t recorded = 0;  // spans ever recorded
+  std::uint64_t dropped = 0;   // overwritten by ring wraparound
+};
+
+TraceStats trace_stats();
+
+/// Drop all buffered events (buffers stay registered). For tests and
+/// for isolating measurement passes.
+void clear_trace();
+
+/// The buffered spans as a Chrome trace-event JSON document.
+std::string chrome_trace_json();
+
+/// chrome_trace_json() to a file. False on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace fsr::obs
+
+#define FSR_OBS_CONCAT2(a, b) a##b
+#define FSR_OBS_CONCAT(a, b) FSR_OBS_CONCAT2(a, b)
+
+/// TRACE_SPAN("decode") or TRACE_SPAN("analyze", binary_id): RAII span
+/// covering the rest of the enclosing scope.
+#define TRACE_SPAN(...) \
+  ::fsr::obs::Span FSR_OBS_CONCAT(fsr_obs_span_, __LINE__){__VA_ARGS__}

@@ -3,7 +3,31 @@
 #include <cstdlib>
 #include <functional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace fsr::synth {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter& hits = obs::counter("cache.hits");
+  obs::Counter& misses = obs::counter("cache.misses");
+  // The cache never replaces entries; it stops inserting at the byte
+  // budget. Each budget-rejected insert is the eviction-equivalent
+  // event (the entry is generated, used, and thrown away).
+  obs::Counter& evictions = obs::counter("cache.evictions");
+  obs::Gauge& bytes = obs::gauge("cache.bytes");
+  obs::Gauge& entries = obs::gauge("cache.entries");
+  obs::Histogram& generate_ns = obs::histogram("synth.generate_ns");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::size_t BinaryCache::KeyHash::operator()(const Key& k) const {
   std::uint64_t h = hash_config(k.cfg);
@@ -52,17 +76,25 @@ std::shared_ptr<const DatasetEntry> BinaryCache::get(const BinaryConfig& cfg,
     std::lock_guard<std::mutex> lock(mutex_);
     if (auto it = map_.find(key); it != map_.end()) {
       ++hits_;
+      cache_metrics().hits.add();
       return it->second;
     }
     ++misses_;
+    cache_metrics().misses.add();
   }
 
   // Generate outside the lock: concurrent misses on different configs
   // must not serialize. Two threads racing on the *same* config both
   // generate (identical bytes — generation is deterministic); the
   // second insert is a no-op.
-  auto entry = std::make_shared<const DatasetEntry>(
-      make_binary_variant(cfg, manual_endbr, data_in_text));
+  std::shared_ptr<const DatasetEntry> entry;
+  {
+    // (make_binary_variant opens the "generate" trace span itself.)
+    const std::uint64_t t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
+    entry = std::make_shared<const DatasetEntry>(
+        make_binary_variant(cfg, manual_endbr, data_in_text));
+    if (t0 != 0) cache_metrics().generate_ns.record(obs::now_ns() - t0);
+  }
   const std::size_t cost = approx_bytes(*entry);
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -70,6 +102,10 @@ std::shared_ptr<const DatasetEntry> BinaryCache::get(const BinaryConfig& cfg,
   if (bytes_ + cost <= capacity_bytes_) {
     map_.emplace(key, entry);
     bytes_ += cost;
+    cache_metrics().bytes.set(static_cast<std::int64_t>(bytes_));
+    cache_metrics().entries.set(static_cast<std::int64_t>(map_.size()));
+  } else {
+    cache_metrics().evictions.add();
   }
   return entry;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "elf/writer.hpp"
+#include "obs/trace.hpp"
 #include "synth/codegen_arm64.hpp"
 #include "synth/generate.hpp"
 
@@ -47,6 +48,7 @@ DatasetEntry make_binary(const BinaryConfig& cfg) {
 
 DatasetEntry make_binary_variant(const BinaryConfig& cfg, bool manual_endbr,
                                  double data_in_text) {
+  TRACE_SPAN("generate", hash_config(cfg));
   DatasetEntry entry;
   entry.config = cfg;
   SynthProgram prog = generate_program(cfg);

@@ -9,6 +9,12 @@ double Stopwatch::seconds() const {
   return std::chrono::duration<double>(clock::now() - start_).count();
 }
 
+std::uint64_t Stopwatch::elapsed_ns() const {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_);
+  return ns.count() < 0 ? 0 : static_cast<std::uint64_t>(ns.count());
+}
+
 double TimingStats::total() const {
   return std::accumulate(samples_.begin(), samples_.end(), 0.0);
 }

@@ -3,11 +3,15 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace fsr::util {
 
-/// Monotonic stopwatch.
+/// Monotonic stopwatch. Pinned to steady_clock — the same timebase the
+/// obs layer's spans and histograms use, so every timing figure in the
+/// system (bench tables, trace lanes, latency percentiles) agrees and
+/// none of them can jump when the wall clock is adjusted.
 class Stopwatch {
 public:
   Stopwatch() : start_(clock::now()) {}
@@ -18,8 +22,12 @@ public:
   /// Seconds elapsed since construction or the last reset().
   [[nodiscard]] double seconds() const;
 
+  /// Nanoseconds elapsed — the unit obs::Histogram records.
+  [[nodiscard]] std::uint64_t elapsed_ns() const;
+
 private:
   using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady, "timing must be immune to wall-clock steps");
   clock::time_point start_;
 };
 

@@ -2,9 +2,35 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 #include <system_error>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace fsr::util {
+
+namespace {
+
+/// Pool-wide instruments, shared by every ThreadPool in the process
+/// (the corpus engine builds a fresh pool per run; the counters tell
+/// the whole-process story the metrics snapshot wants).
+struct PoolMetrics {
+  obs::Counter& submitted = obs::counter("pool.submitted");
+  obs::Counter& executed = obs::counter("pool.executed");
+  obs::Counter& steals = obs::counter("pool.steals");
+  obs::Counter& idle_waits = obs::counter("pool.idle_waits");
+  obs::Counter& idle_ns = obs::counter("pool.idle_ns");
+  obs::Gauge& queue_depth = obs::gauge("pool.queue_depth");
+  obs::Gauge& workers = obs::gauge("pool.workers");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::size_t ThreadPool::default_workers() {
   if (const char* env = std::getenv("REPRO_THREADS"); env != nullptr) {
@@ -33,6 +59,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
       throw;  // zero workers would strand every submitted job
     }
   }
+  pool_metrics().workers.set(static_cast<std::int64_t>(workers_.size()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -51,7 +78,9 @@ void ThreadPool::submit(std::function<void()> job) {
     target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++queued_;
+    pool_metrics().queue_depth.set(static_cast<std::int64_t>(queued_));
   }
+  pool_metrics().submitted.add();
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mutex);
     queues_[target]->jobs.push_back(std::move(job));
@@ -78,6 +107,7 @@ bool ThreadPool::try_claim(std::size_t self, std::function<void()>& job) {
     if (!q.jobs.empty()) {
       job = std::move(q.jobs.front());
       q.jobs.pop_front();
+      pool_metrics().steals.add();
       return true;
     }
   }
@@ -85,20 +115,34 @@ bool ThreadPool::try_claim(std::size_t self, std::function<void()>& job) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  if (obs::trace_enabled())
+    obs::set_thread_name("pool-worker-" + std::to_string(self));
   for (;;) {
     std::function<void()> job;
     if (try_claim(self, job)) {
       {
         std::lock_guard<std::mutex> lock(wake_mutex_);
         --queued_;
+        pool_metrics().queue_depth.set(static_cast<std::int64_t>(queued_));
       }
       job();
+      pool_metrics().executed.add();
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mutex_);
     if (stop_ && queued_ == 0) return;  // drained: jobs never abandoned
     if (queued_ > 0) continue;          // raced a submit; re-scan the queues
-    wake_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (obs::metrics_enabled()) {
+      // Starvation accounting: how long workers sit with nothing to
+      // claim. The clock reads sit behind the enabled flag so disabled
+      // runs keep the bare wait.
+      const std::uint64_t wait_begin = obs::now_ns();
+      wake_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      pool_metrics().idle_ns.add(obs::now_ns() - wait_begin);
+      pool_metrics().idle_waits.add();
+    } else {
+      wake_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    }
     if (stop_ && queued_ == 0) return;
   }
 }

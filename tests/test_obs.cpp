@@ -1,0 +1,330 @@
+// Unit tests for the observability layer: JSON helpers, sharded
+// metrics, the span tracer's ring buffers and Chrome export, per-binary
+// run reports, and the end-to-end guarantee that turning observability
+// on does not change a corpus run's precision/recall.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/runner.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "synth/corpus.hpp"
+
+namespace fsr::obs {
+namespace {
+
+// ----------------------------------------------------------------- json
+
+TEST(ObsJson, AcceptsValidDocuments) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("null"));
+  EXPECT_TRUE(json_valid("-12.5e3"));
+  EXPECT_TRUE(json_valid("\"a\\\"b\\u00e9\\n\""));
+  EXPECT_TRUE(json_valid("{\"a\":[1,2,{\"b\":true}],\"c\":null}"));
+  EXPECT_TRUE(json_valid("  {\"k\" : [ ] }  "));
+}
+
+TEST(ObsJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{} extra"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("'single'"));
+  EXPECT_FALSE(json_valid("\"bad\\x\""));
+  EXPECT_FALSE(json_valid("01"));
+  EXPECT_FALSE(json_valid("nul"));
+}
+
+TEST(ObsJson, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json_valid(deep));
+  std::string ok(60, '[');
+  ok += std::string(60, ']');
+  EXPECT_TRUE(json_valid(ok));
+}
+
+TEST(ObsJson, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("x\n\t"), "x\\n\\t");
+  EXPECT_TRUE(json_valid("\"" + json_escape(std::string(1, '\x01')) + "\""));
+}
+
+// -------------------------------------------------------------- metrics
+
+/// The same total must come out no matter how many threads fed the
+/// shards — the merge is a plain sum.
+TEST(ObsMetrics, CounterShardMergeIsDeterministic) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    Counter c;
+    constexpr std::uint64_t kPerThread = 10000;
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t)
+      workers.emplace_back([&c] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+      });
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(c.value(), kPerThread * threads) << threads << " threads";
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+  }
+}
+
+TEST(ObsMetrics, GaugeTracksLastAndMax) {
+  Gauge g;
+  g.set(5);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 5);
+  g.reset();
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(ObsMetrics, HistogramMergeIsDeterministicAcrossThreadCounts) {
+  const bool was_on = metrics_enabled();
+  set_metrics_enabled(true);
+  // 8000 samples split over 1/2/8 threads must merge to the same
+  // count / sum / percentiles.
+  std::uint64_t expect_count = 0, expect_sum = 0;
+  double expect_p50 = 0, expect_p99 = 0;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    Histogram h;
+    std::vector<std::thread> workers;
+    const std::uint64_t per_thread = 8000 / threads;
+    for (std::size_t t = 0; t < threads; ++t)
+      workers.emplace_back([&h, per_thread] {
+        for (std::uint64_t i = 0; i < per_thread; ++i)
+          h.record(100 + (i % 1000) * 10);  // 100..10090 ns
+      });
+    for (auto& w : workers) w.join();
+    if (threads == 1) {
+      expect_count = h.count();
+      expect_sum = h.sum_ns();
+      expect_p50 = h.percentile_ns(50);
+      expect_p99 = h.percentile_ns(99);
+      EXPECT_EQ(expect_count, 8000u);
+    } else {
+      EXPECT_EQ(h.count(), expect_count) << threads << " threads";
+      EXPECT_EQ(h.sum_ns(), expect_sum) << threads << " threads";
+      EXPECT_DOUBLE_EQ(h.percentile_ns(50), expect_p50) << threads << " threads";
+      EXPECT_DOUBLE_EQ(h.percentile_ns(99), expect_p99) << threads << " threads";
+    }
+  }
+  set_metrics_enabled(was_on);
+}
+
+TEST(ObsMetrics, HistogramPercentilesLandInTheRightBucket) {
+  const bool was_on = metrics_enabled();
+  set_metrics_enabled(true);
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000);  // bit_width 10: [512, 1024)
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max_ns(), 1000u);
+  EXPECT_GE(h.percentile_ns(50), 512.0);
+  EXPECT_LE(h.percentile_ns(50), 1024.0);
+  set_metrics_enabled(was_on);
+}
+
+TEST(ObsMetrics, HistogramRecordsNothingWhenDisabled) {
+  const bool was_on = metrics_enabled();
+  set_metrics_enabled(false);
+  Histogram h;
+  h.record(123);
+  h.record_seconds(1.0);
+  EXPECT_EQ(h.count(), 0u);
+  set_metrics_enabled(was_on);
+}
+
+TEST(ObsMetrics, RegistrySnapshotIsValidAndStable) {
+  const bool was_on = metrics_enabled();
+  set_metrics_enabled(true);
+  counter("test.snapshot_counter").add(7);
+  gauge("test.snapshot_gauge").set(-3);
+  histogram("test.snapshot_hist").record(42);
+  const std::string a = Registry::instance().to_json();
+  const std::string b = Registry::instance().to_json();
+  EXPECT_TRUE(json_valid(a)) << a;
+  EXPECT_EQ(a, b);  // sorted maps: same state, same bytes
+  EXPECT_NE(a.find("test.snapshot_counter"), std::string::npos);
+  EXPECT_NE(a.find("test.snapshot_hist"), std::string::npos);
+  EXPECT_NE(a.find("p99_ns"), std::string::npos);
+  set_metrics_enabled(was_on);
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(ObsTrace, RingWraparoundKeepsNewestEvents) {
+  set_trace_buffer_capacity(16);
+  const TraceStats before = trace_stats();
+  // A fresh thread gets a fresh 16-slot ring; 40 spans must wrap it.
+  std::thread t([] {
+    set_thread_name("wrap-test");
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      const std::uint64_t now = now_ns();
+      record_span("wrap", 1000 + i, now, now + 10);
+    }
+  });
+  t.join();
+  const TraceStats after = trace_stats();
+  EXPECT_EQ(after.recorded - before.recorded, 40u);
+  EXPECT_EQ(after.dropped - before.dropped, 24u);
+  EXPECT_EQ(after.threads, before.threads + 1);  // new buffer registered
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("\"id\":1039"), std::string::npos);  // newest kept
+  EXPECT_NE(json.find("\"id\":1024"), std::string::npos);  // oldest kept
+  EXPECT_EQ(json.find("\"id\":1023"), std::string::npos);  // overwritten
+  EXPECT_NE(json.find("wrap-test"), std::string::npos);    // lane named
+  set_trace_buffer_capacity(std::size_t{1} << 14);
+}
+
+TEST(ObsTrace, DisabledSpanRecordsNothing) {
+  const bool was_on = trace_enabled();
+  set_trace_enabled(false);
+  const TraceStats before = trace_stats();
+  for (int i = 0; i < 100; ++i) {
+    TRACE_SPAN("disabled");
+  }
+  const TraceStats after = trace_stats();
+  EXPECT_EQ(after.recorded, before.recorded);
+  set_trace_enabled(was_on);
+}
+
+TEST(ObsTrace, ChromeExportMatchesTraceEventSchema) {
+  const bool was_on = trace_enabled();
+  set_trace_enabled(true);
+  {
+    ScopedItemId item(77);
+    TRACE_SPAN("schema_outer");
+    TRACE_SPAN("schema_inner", 5);
+  }
+  set_trace_enabled(was_on);
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata events
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete events
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  // Spans carry their item id: explicit on the inner, ambient on the outer.
+  EXPECT_NE(json.find("\"name\":\"schema_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":5"), std::string::npos);
+}
+
+// --------------------------------------------------------------- report
+
+TEST(ObsReport, JsonlLinesValidAndOutliersFlagged) {
+  const std::string path = "test_obs_report.jsonl";
+  RunReport& report = RunReport::instance();
+  report.set_path(path);
+  ASSERT_TRUE(report.enabled());
+
+  // Ten binaries in one profile: nine F1=0.9, one F1=0.1 (a 3 sigma
+  // outlier against the profile mean).
+  for (int i = 0; i < 10; ++i) {
+    BinaryRunRecord rec;
+    rec.binary = "gcc-coreutils-" + std::to_string(i) + "-x64-pie-O2";
+    rec.profile = "gcc-coreutils-x64-pie-O2";
+    rec.prepare_seconds = 0.01;
+    rec.decode_seconds = 0.02 + (i == 3 ? 1.0 : 0.0);  // one slow binary
+    const double f1 = i == 9 ? 0.1 : 0.9;
+    rec.tools.push_back({"FunSeeker", 0.001, f1, f1, f1});
+    report.add(rec);
+  }
+  report.finalize();
+  EXPECT_EQ(report.last_outlier_count(), 1u);
+  report.set_path("");  // disable for later tests
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line, last;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(json_valid(line)) << "line " << lines << ": " << line;
+    last = line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 11u);  // 10 binaries + summary
+  EXPECT_NE(last.find("\"type\":\"summary\""), std::string::npos);
+  EXPECT_NE(last.find("\"f1_outliers\""), std::string::npos);
+  EXPECT_NE(last.find("gcc-coreutils-9-x64-pie-O2"), std::string::npos);
+  EXPECT_NE(last.find("\"slowest\""), std::string::npos);
+  EXPECT_NE(last.find("gcc-coreutils-3-x64-pie-O2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- end-to-end guarantee
+
+/// The acceptance criterion: per-binary per-tool scores must be
+/// bit-identical with observability off and fully on, at 1/2/8 threads.
+TEST(ObsPipeline, ScoresIdenticalOffAndOnAcrossThreadCounts) {
+  auto configs = synth::corpus_configs(0.1);
+  if (configs.size() > 12) configs.resize(12);
+
+  struct Cell {
+    std::size_t tp, fp, fn;
+    bool operator==(const Cell&) const = default;
+  };
+  const auto run = [&configs](std::size_t threads) {
+    std::vector<Cell> cells;
+    const eval::CorpusRunner runner(eval::CorpusRunner::all_tools(), threads);
+    runner.run(configs, [&](const synth::BinaryConfig&, const eval::BinaryResult& r) {
+      for (std::size_t t = 0; t < 4; ++t)
+        cells.push_back({r.per_job[t].score.tp, r.per_job[t].score.fp,
+                         r.per_job[t].score.fn});
+    });
+    return cells;
+  };
+
+  const bool trace_was = trace_enabled();
+  const bool metrics_was = metrics_enabled();
+  const std::string report_file = "test_obs_onoff.jsonl";
+
+  set_trace_enabled(false);
+  set_metrics_enabled(false);
+  const std::vector<Cell> baseline = run(1);
+  ASSERT_EQ(baseline.size(), configs.size() * 4);
+  EXPECT_EQ(run(2), baseline);
+  EXPECT_EQ(run(8), baseline);
+
+  set_trace_enabled(true);
+  set_metrics_enabled(true);
+  RunReport::instance().set_path(report_file);
+  EXPECT_EQ(run(1), baseline);
+  EXPECT_EQ(run(2), baseline);
+  EXPECT_EQ(run(8), baseline);
+  RunReport::instance().finalize();
+  RunReport::instance().set_path("");
+  set_trace_enabled(trace_was);
+  set_metrics_enabled(metrics_was);
+
+  // The instrumented run left a coherent report behind.
+  std::ifstream in(report_file);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(json_valid(line));
+    ++lines;
+  }
+  EXPECT_EQ(lines, configs.size() * 3 + 1);  // three instrumented runs + summary
+  std::remove(report_file.c_str());
+}
+
+}  // namespace
+}  // namespace fsr::obs

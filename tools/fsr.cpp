@@ -31,6 +31,7 @@
 #include "eval/runner.hpp"
 #include "eval/tables.hpp"
 #include "funseeker/funseeker.hpp"
+#include "obs/obs.hpp"
 #include "synth/corpus.hpp"
 #include "util/error.hpp"
 #include "util/str.hpp"
@@ -52,7 +53,11 @@ namespace {
                "  compare <file>\n"
                "  gen <out.elf> [--suite coreutils|binutils|spec]\n"
                "                [--compiler gcc|clang] [--opt O0..Ofast]\n"
-               "                [--arch x86|x64|arm64] [--pie|--no-pie] [--prog N]\n");
+               "                [--arch x86|x64|arm64] [--pie|--no-pie] [--prog N]\n"
+               "observability (any command; also REPRO_TRACE/REPRO_METRICS/REPRO_REPORT):\n"
+               "  --trace-out FILE      Chrome trace-event JSON (Perfetto-loadable)\n"
+               "  --metrics-out FILE    counters/gauges/latency-percentile snapshot\n"
+               "  --report-out FILE     per-binary JSONL run reports\n");
   std::exit(2);
 }
 
@@ -308,21 +313,26 @@ int cmd_gen(const std::string& out, const std::map<std::string, std::string>& fl
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::init_from_env();
+  argc = obs::parse_cli_flags(argc, argv);  // --trace-out / --metrics-out / --report-out
   if (argc < 3) usage();
   const std::string command = argv[1];
   const std::string target = argv[2];
+  int rc = 0;
   try {
     const auto flags = parse_flags(argc, argv, 3);
-    if (command == "identify") return cmd_identify(target, flags);
-    if (command == "info") return cmd_info(target);
-    if (command == "disasm") return cmd_disasm(target, flags);
-    if (command == "eh") return cmd_eh(target);
-    if (command == "cfg") return cmd_cfg(target, flags);
-    if (command == "compare") return cmd_compare(target);
-    if (command == "gen") return cmd_gen(target, flags);
-    usage();
+    if (command == "identify") rc = cmd_identify(target, flags);
+    else if (command == "info") rc = cmd_info(target);
+    else if (command == "disasm") rc = cmd_disasm(target, flags);
+    else if (command == "eh") rc = cmd_eh(target);
+    else if (command == "cfg") rc = cmd_cfg(target, flags);
+    else if (command == "compare") rc = cmd_compare(target);
+    else if (command == "gen") rc = cmd_gen(target, flags);
+    else usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "fsr: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+  obs::write_outputs();
+  return rc;
 }
