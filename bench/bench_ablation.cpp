@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
     eval::Score scores[4];
     eval::CorpusRunner(std::move(jobs))
         .run(configs, [&](const synth::BinaryConfig&, const eval::BinaryResult& r) {
+          if (r.per_job.empty()) return;  // contained failure; nothing to score
           for (int v = 0; v < 4; ++v) scores[v] += r.per_job[v].score;
         });
     eval::Table table({"SELECTTAILCALL variant", "Prec %", "Rec %"});

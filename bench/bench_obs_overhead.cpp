@@ -39,6 +39,7 @@ Pass run_pass(const std::vector<synth::BinaryConfig>& configs) {
   Pass pass;
   util::Stopwatch wall;
   runner.run(configs, [&](const synth::BinaryConfig&, const eval::BinaryResult& r) {
+    if (r.per_job.empty()) return;  // contained failure; nothing to score
     for (std::size_t t = 0; t < 4; ++t) pass.totals[t] += r.per_job[t].score;
     ++pass.binaries;
   });

@@ -25,6 +25,7 @@ int main() {
       [](const synth::BinaryConfig& c) { return c.machine == elf::Machine::kX8664; });
   eval::CorpusRunner(eval::CorpusRunner::all_tools())
       .run(configs, [&](const synth::BinaryConfig& cfg, const eval::BinaryResult& r) {
+        if (r.per_job.empty()) return;  // contained failure; nothing to score
         for (std::size_t t = 0; t < 4; ++t) scores[t][cfg.opt] += r.per_job[t].score;
       });
 

@@ -1,0 +1,284 @@
+// Robustness sweep: thousands of seeded, structure-aware ELF mutants
+// pushed through the full four-tool pipeline on the parallel corpus
+// engine. The claims under test:
+//
+//   1. Zero crashes / zero escapes — every mutant is delivered to the
+//      reduction with a BinaryStatus, at 1, 2, and 8 threads.
+//   2. Determinism — status, diagnostics, and found-entry counts for
+//      every mutant are identical across thread counts (a fingerprint
+//      over all outcomes must match).
+//   3. Control integrity — pristine binaries interleaved with the
+//      mutants score bit-identically to a mutator-free reference run.
+//
+// Emits BENCH_robustness.json (mutants, salvage rate, per-family
+// outcome table, p95 per-mutant latency). Exit code is nonzero when
+// any claim fails, so CI can gate on it. REPRO_SCALE scales the mutant
+// count (default 2,000).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/runner.hpp"
+#include "eval/tables.hpp"
+#include "inject/fault.hpp"
+#include "synth/corpus.hpp"
+#include "util/diagnostic.hpp"
+#include "util/stopwatch.hpp"
+#include "util/str.hpp"
+
+using namespace fsr;
+
+namespace {
+
+/// Per-binary budget: far above any sane mutant (they are all small
+/// synthetic files), so it only trips on a genuine runaway loop — which
+/// is exactly what the sweep exists to catch.
+constexpr double kPerBinaryBudgetSeconds = 30.0;
+
+/// What one mutant did, reduced to the determinism-relevant residue.
+struct Outcome {
+  eval::BinaryStatus status = eval::BinaryStatus::kOk;
+  std::vector<util::DiagCode> diag_codes;
+  std::vector<std::size_t> found;  // per-tool entry counts (empty if failed)
+  std::vector<eval::Score> scores;
+  double latency_seconds = 0.0;
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fingerprint(const std::vector<Outcome>& outcomes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Outcome& o : outcomes) {
+    h = fnv1a(h, static_cast<std::uint64_t>(o.status));
+    h = fnv1a(h, o.diag_codes.size());
+    for (util::DiagCode c : o.diag_codes) h = fnv1a(h, static_cast<std::uint64_t>(c));
+    for (std::size_t f : o.found) h = fnv1a(h, f);
+    for (const eval::Score& s : o.scores) {
+      h = fnv1a(h, s.tp);
+      h = fnv1a(h, s.fp);
+      h = fnv1a(h, s.fn);
+    }
+  }
+  return h;
+}
+
+struct Sweep {
+  std::vector<synth::BinaryConfig> configs;
+  // nullopt = pristine control interleaved with the mutants.
+  std::vector<std::optional<inject::FaultPlan>> plans;
+  std::size_t mutants = 0;
+  std::size_t controls = 0;
+};
+
+Sweep build_sweep(const std::vector<synth::BinaryConfig>& base, std::size_t n_mutants) {
+  Sweep sweep;
+  const auto plans = inject::make_plans(0x0b57ac1e, n_mutants);
+  for (std::size_t j = 0; j < plans.size(); ++j) {
+    if (j % 9 == 0) {  // one pristine control per nine mutants
+      sweep.configs.push_back(base[sweep.configs.size() % base.size()]);
+      sweep.plans.emplace_back(std::nullopt);
+      ++sweep.controls;
+    }
+    sweep.configs.push_back(base[sweep.configs.size() % base.size()]);
+    sweep.plans.emplace_back(plans[j]);
+    ++sweep.mutants;
+  }
+  return sweep;
+}
+
+struct PassResult {
+  std::vector<Outcome> outcomes;
+  double wall_seconds = 0.0;
+};
+
+PassResult run_pass(const Sweep& sweep, std::size_t threads) {
+  eval::CorpusRunner runner(eval::CorpusRunner::all_tools(), threads,
+                            kPerBinaryBudgetSeconds);
+  runner.set_mutator([&](std::size_t i, std::vector<std::uint8_t> bytes) {
+    if (!sweep.plans[i].has_value()) return bytes;
+    return inject::mutate(bytes, *sweep.plans[i]);
+  });
+  PassResult pass;
+  pass.outcomes.resize(sweep.configs.size());
+  std::size_t next = 0;
+  util::Stopwatch wall;
+  runner.run(sweep.configs, [&](const synth::BinaryConfig&,
+                                const eval::BinaryResult& r) {
+    Outcome& o = pass.outcomes[next++];
+    o.status = r.status;
+    for (const util::Diagnostic& d : r.diagnostics.items())
+      o.diag_codes.push_back(d.code);
+    o.latency_seconds = r.prepare_seconds + r.decode_seconds;
+    for (const eval::RunResult& job : r.per_job) {
+      o.found.push_back(job.found.size());
+      o.scores.push_back(job.score);
+      o.latency_seconds += job.seconds;
+    }
+  });
+  pass.wall_seconds = wall.seconds();
+  if (next != sweep.configs.size()) {
+    std::fprintf(stderr, "FATAL: %zu of %zu binaries delivered\n", next,
+                 sweep.configs.size());
+    std::exit(1);
+  }
+  return pass;
+}
+
+const char* kStatusNames[] = {"ok", "timed-out", "parse-failed", "encode-failed",
+                              "analysis-failed"};
+constexpr std::size_t kStatusCount = 5;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::obs_init(argc, argv);  // --trace-out / --metrics-out / --report-out
+
+  // A cross-section of base binaries (both x86 arches, several suites);
+  // the four-tool pipeline is x86-only, so AArch64 stays out.
+  std::vector<synth::BinaryConfig> base;
+  for (const auto& cfg : synth::corpus_configs(0.01))
+    if (cfg.machine != elf::Machine::kArm64) base.push_back(cfg);
+  if (base.size() > 8) base.resize(8);
+
+  const std::size_t n_mutants = std::max<std::size_t>(
+      100, static_cast<std::size_t>(2000 * bench::corpus_scale()));
+  const Sweep sweep = build_sweep(base, n_mutants);
+
+  // Mutator-free reference for the control-integrity check.
+  std::map<std::string, std::vector<eval::Score>> reference;
+  eval::CorpusRunner(eval::CorpusRunner::all_tools())
+      .run(base, [&](const synth::BinaryConfig& cfg, const eval::BinaryResult& r) {
+        std::vector<eval::Score>& s = reference[cfg.name()];
+        for (const eval::RunResult& job : r.per_job) s.push_back(job.score);
+      });
+
+  // The sweep at 1, 2, and 8 threads; every pass must agree exactly.
+  bool deterministic = true;
+  std::uint64_t fp0 = 0;
+  std::vector<Outcome> outcomes;
+  double wall_by_threads[3] = {0, 0, 0};
+  const std::size_t thread_counts[3] = {1, 2, 8};
+  for (std::size_t t = 0; t < 3; ++t) {
+    PassResult pass = run_pass(sweep, thread_counts[t]);
+    wall_by_threads[t] = pass.wall_seconds;
+    const std::uint64_t fp = fingerprint(pass.outcomes);
+    if (t == 0) {
+      fp0 = fp;
+      outcomes = std::move(pass.outcomes);
+    } else if (fp != fp0) {
+      deterministic = false;
+      std::fprintf(stderr, "FAIL: fingerprint @%zu threads %016llx != %016llx\n",
+                   thread_counts[t], static_cast<unsigned long long>(fp),
+                   static_cast<unsigned long long>(fp0));
+    }
+  }
+
+  // Control integrity: pristine interleaved binaries must match the
+  // reference bit for bit.
+  std::size_t bad_controls = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (sweep.plans[i].has_value()) continue;
+    const Outcome& o = outcomes[i];
+    const auto& ref = reference.at(sweep.configs[i].name());
+    bool good = o.status == eval::BinaryStatus::kOk && o.diag_codes.empty() &&
+                o.scores.size() == ref.size();
+    for (std::size_t j = 0; good && j < ref.size(); ++j)
+      good = o.scores[j].tp == ref[j].tp && o.scores[j].fp == ref[j].fp &&
+             o.scores[j].fn == ref[j].fn;
+    if (!good) ++bad_controls;
+  }
+
+  // Outcome table per mutation family.
+  std::size_t by_family[inject::kMutationCount][kStatusCount] = {};
+  std::size_t salvaged_mutants = 0;
+  std::size_t status_totals[kStatusCount] = {};
+  std::vector<double> mutant_latencies;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!sweep.plans[i].has_value()) continue;
+    const std::size_t kind = static_cast<std::size_t>(sweep.plans[i]->kind);
+    const std::size_t status = static_cast<std::size_t>(outcomes[i].status);
+    ++by_family[kind][status];
+    ++status_totals[status];
+    if (outcomes[i].status == eval::BinaryStatus::kOk) ++salvaged_mutants;
+    mutant_latencies.push_back(outcomes[i].latency_seconds);
+  }
+  std::sort(mutant_latencies.begin(), mutant_latencies.end());
+  const double p95 =
+      mutant_latencies.empty()
+          ? 0.0
+          : mutant_latencies[mutant_latencies.size() * 95 / 100];
+  const double salvage_rate =
+      sweep.mutants == 0 ? 0.0
+                         : static_cast<double>(salvaged_mutants) /
+                               static_cast<double>(sweep.mutants);
+
+  eval::Table table({"mutation family", "ok", "timed-out", "parse-failed",
+                     "encode-failed", "analysis-failed"});
+  for (std::size_t k = 0; k < inject::kMutationCount; ++k) {
+    std::vector<std::string> row{
+        inject::to_string(static_cast<inject::Mutation>(k))};
+    for (std::size_t s = 0; s < kStatusCount; ++s)
+      row.push_back(std::to_string(by_family[k][s]));
+    table.add_row(std::move(row));
+  }
+
+  std::printf("Robustness sweep: %zu mutants + %zu controls over %zu base"
+              " binaries\n\n%s\n",
+              sweep.mutants, sweep.controls, base.size(), table.render().c_str());
+  std::printf("salvage rate (mutants fully analyzed): %.1f%%\n", salvage_rate * 100);
+  std::printf("p95 mutant latency: %.3f ms\n", p95 * 1e3);
+  std::printf("wall: %.2fs @1, %.2fs @2, %.2fs @8 threads\n", wall_by_threads[0],
+              wall_by_threads[1], wall_by_threads[2]);
+  std::printf("determinism across thread counts: %s\n",
+              deterministic ? "OK" : "FAILED");
+  std::printf("control integrity: %s (%zu/%zu controls off-reference)\n",
+              bad_controls == 0 ? "OK" : "FAILED", bad_controls, sweep.controls);
+
+  if (std::FILE* out = std::fopen("BENCH_robustness.json", "w")) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"bench_robustness\",\n");
+    std::fprintf(out, "  \"mutants\": %zu,\n", sweep.mutants);
+    std::fprintf(out, "  \"controls\": %zu,\n", sweep.controls);
+    std::fprintf(out, "  \"survived\": %zu,\n", sweep.mutants);  // all delivered
+    std::fprintf(out, "  \"salvage_rate\": %.4f,\n", salvage_rate);
+    std::fprintf(out, "  \"p95_mutant_latency_ms\": %.3f,\n", p95 * 1e3);
+    std::fprintf(out, "  \"deterministic\": %s,\n", deterministic ? "true" : "false");
+    std::fprintf(out, "  \"bad_controls\": %zu,\n", bad_controls);
+    std::fprintf(out, "  \"fingerprint\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(fp0));
+    std::fprintf(out, "  \"wall_seconds\": {\"t1\": %.3f, \"t2\": %.3f, \"t8\": %.3f},\n",
+                 wall_by_threads[0], wall_by_threads[1], wall_by_threads[2]);
+    std::fprintf(out, "  \"statuses\": {");
+    for (std::size_t s = 0; s < kStatusCount; ++s)
+      std::fprintf(out, "%s\"%s\": %zu", s == 0 ? "" : ", ", kStatusNames[s],
+                   status_totals[s]);
+    std::fprintf(out, "},\n");
+    std::fprintf(out, "  \"families\": [\n");
+    for (std::size_t k = 0; k < inject::kMutationCount; ++k) {
+      std::fprintf(out, "    {\"family\": \"%s\"",
+                   inject::to_string(static_cast<inject::Mutation>(k)));
+      for (std::size_t s = 0; s < kStatusCount; ++s)
+        std::fprintf(out, ", \"%s\": %zu", kStatusNames[s], by_family[k][s]);
+      std::fprintf(out, "}%s\n", k + 1 < inject::kMutationCount ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_robustness.json\n");
+  } else {
+    std::fprintf(stderr, "warning: cannot write BENCH_robustness.json\n");
+  }
+
+  bench::obs_finish();
+  return deterministic && bad_controls == 0 ? 0 : 1;
+}

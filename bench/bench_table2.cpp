@@ -34,6 +34,7 @@ int main() {
 
   runner.run(bench::corpus(), [&](const synth::BinaryConfig& cfg,
                                   const eval::BinaryResult& r) {
+    if (r.per_job.empty()) return;  // contained failure; nothing to score
     for (int c = 1; c <= 4; ++c) {
       scores[c][{cfg.compiler, cfg.suite}] += r.per_job[c - 1].score;
       totals[c] += r.per_job[c - 1].score;

@@ -41,6 +41,7 @@ struct Agg {
 
 using Key = std::pair<elf::Machine, synth::Suite>;
 
+
 struct PassResult {
   std::map<Key, Agg> agg[4];
   std::map<Key, double> suite_seconds;  // prepare + decode + all analyses
@@ -51,6 +52,19 @@ struct PassResult {
   double wall_seconds = 0.0;
 };
 
+/// Cell lookup that tolerates a cell nobody scored (every binary in it
+/// failed or timed out under a starved budget): an empty Agg renders as
+/// zeros instead of aborting the bench on map::at.
+const Agg& agg_cell(const std::map<Key, Agg>& cells, const Key& key) {
+  static const Agg kEmpty;
+  const auto it = cells.find(key);
+  return it == cells.end() ? kEmpty : it->second;
+}
+
+double per_binary_ms(const Agg& a) {
+  return a.binaries == 0 ? 0.0 : a.seconds / static_cast<double>(a.binaries) * 1e3;
+}
+
 PassResult run_pass(const std::vector<synth::BinaryConfig>& configs,
                     std::size_t threads) {
   const eval::CorpusRunner runner(eval::CorpusRunner::all_tools(), threads);
@@ -58,6 +72,7 @@ PassResult run_pass(const std::vector<synth::BinaryConfig>& configs,
   util::Stopwatch wall;
   runner.run(configs, [&](const synth::BinaryConfig& cfg,
                           const eval::BinaryResult& r) {
+    if (r.per_job.empty()) return;  // contained failure; nothing to score
     const Key key{cfg.machine, cfg.suite};
     double binary_seconds = r.prepare_seconds + r.decode_seconds;
     for (std::size_t t = 0; t < 4; ++t) {
@@ -118,11 +133,11 @@ void write_json(const PassResult& pass, double scale, std::size_t threads,
     std::fprintf(out, "    {\"arch\": \"%s\", \"suite\": \"%s\", \"binaries\": %zu,"
                       " \"wall_seconds\": %.3f, \"tools\": [",
                  arch_name(key.first), bench::suite_label(key.second).c_str(),
-                 pass.agg[0].at(key).binaries, seconds);
+                 agg_cell(pass.agg[0], key).binaries, seconds);
     constexpr eval::Tool kTools[] = {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
                                      eval::Tool::kGhidraLike, eval::Tool::kFetchLike};
     for (std::size_t t = 0; t < 4; ++t) {
-      const Agg& a = pass.agg[t].at(key);
+      const Agg& a = agg_cell(pass.agg[t], key);
       std::fprintf(out, "%s{\"tool\": \"%s\", \"precision\": %.5f, \"recall\": %.5f,"
                         " \"analysis_seconds\": %.4f}",
                    t == 0 ? "" : ", ", eval::to_string(kTools[t]).c_str(),
@@ -164,11 +179,11 @@ int main(int argc, char** argv) {
           std::string(machine == elf::Machine::kX86 ? "x86 " : "x64 ") +
           bench::suite_label(suite)};
       for (std::size_t t = 0; t < 4; ++t) {
-        const Agg& a = pass.agg[t].at(key);
+        const Agg& a = agg_cell(pass.agg[t], key);
         row.push_back(util::pct(a.score.precision(), 3));
         row.push_back(util::pct(a.score.recall(), 3));
         if (t == 0 || t == 3)
-          row.push_back(util::fixed(a.seconds / a.binaries * 1e3, 3));
+          row.push_back(util::fixed(per_binary_ms(a), 3));
       }
       table.add_row(std::move(row));
     }
@@ -180,7 +195,7 @@ int main(int argc, char** argv) {
       row.push_back(util::pct(pass.totals[t].score.precision(), 3));
       row.push_back(util::pct(pass.totals[t].score.recall(), 3));
       if (t == 0 || t == 3)
-        row.push_back(util::fixed(pass.totals[t].seconds / pass.totals[t].binaries * 1e3, 3));
+        row.push_back(util::fixed(per_binary_ms(pass.totals[t]), 3));
     }
     table.add_row(std::move(row));
   }

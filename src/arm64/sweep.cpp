@@ -1,6 +1,7 @@
 #include "arm64/sweep.hpp"
 
 #include "arm64/decoder.hpp"
+#include "util/deadline.hpp"
 
 namespace fsr::arm64 {
 
@@ -8,6 +9,7 @@ std::vector<Insn> linear_sweep(std::span<const std::uint8_t> code, std::uint64_t
   std::vector<Insn> out;
   out.reserve(code.size() / 4);
   for (std::size_t off = 0; off + 4 <= code.size(); off += 4) {
+    if (util::deadline_expired()) break;  // partial sweep; expiry is latched
     const std::uint32_t w = static_cast<std::uint32_t>(code[off]) |
                             static_cast<std::uint32_t>(code[off + 1]) << 8 |
                             static_cast<std::uint32_t>(code[off + 2]) << 16 |

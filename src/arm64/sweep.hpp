@@ -12,7 +12,9 @@
 namespace fsr::arm64 {
 
 /// Decode `code` (loaded at `base`) word by word. A trailing partial
-/// word, if any, is ignored.
+/// word, if any, is ignored. Honors the ambient util::Deadline: on
+/// expiry the sweep stops early (expiry is latched, so callers can
+/// detect the cutoff with util::deadline_expired_now()).
 std::vector<Insn> linear_sweep(std::span<const std::uint8_t> code, std::uint64_t base);
 
 }  // namespace fsr::arm64

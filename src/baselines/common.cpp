@@ -4,6 +4,7 @@
 
 #include "eh/eh_frame.hpp"
 #include "eh/eh_frame_hdr.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 
 namespace fsr::baselines {
@@ -28,6 +29,7 @@ void traverse_into(const CodeView& view, std::span<const std::uint64_t> seeds,
   }
 
   while (!work.empty()) {
+    if (util::deadline_expired()) break;  // partial traversal; expiry is latched
     std::uint64_t addr = work.back();
     work.pop_back();
     // Walk a straight-line run of instructions from addr.
@@ -92,26 +94,28 @@ PrologueMatch match_frame_prologue(const CodeView& view, std::size_t i, bool end
   return m;
 }
 
-std::vector<std::uint64_t> fde_starts_via_hdr(const elf::Image& bin) {
+std::vector<std::uint64_t> fde_starts_via_hdr(const elf::Image& bin,
+                                              util::Diagnostics* diags) {
   std::vector<std::uint64_t> out;
   const elf::Section* hdr = bin.find_section(".eh_frame_hdr");
   if (hdr == nullptr || hdr->data.empty()) return out;
   try {
-    eh::EhFrameHdr parsed = eh::parse_eh_frame_hdr(hdr->data, hdr->addr);
+    eh::EhFrameHdr parsed = eh::parse_eh_frame_hdr(hdr->data, hdr->addr, diags);
     out.reserve(parsed.entries.size());
     for (const auto& e : parsed.entries) out.push_back(e.pc_begin);
   } catch (const ParseError&) {
-    out.clear();  // corrupt header: caller falls back to .eh_frame
+    out.clear();  // corrupt header (strict mode): caller falls back to .eh_frame
   }
   return out;
 }
 
-std::vector<std::uint64_t> fde_starts(const elf::Image& bin) {
+std::vector<std::uint64_t> fde_starts(const elf::Image& bin,
+                                      util::Diagnostics* diags) {
   std::vector<std::uint64_t> out;
   const elf::Section* eh = bin.find_section(".eh_frame");
   if (eh == nullptr || eh->data.empty()) return out;
   const int ptr_size = bin.machine == elf::Machine::kX8664 ? 8 : 4;
-  eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size);
+  eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size, diags);
   out.reserve(frame.fdes.size());
   for (const eh::Fde& fde : frame.fdes) out.push_back(fde.pc_begin);
   return out;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "elf/image.hpp"
+#include "util/diagnostic.hpp"
 #include "x86/codeview.hpp"
 #include "x86/insn.hpp"
 
@@ -61,12 +62,17 @@ struct PrologueMatch {
 PrologueMatch match_frame_prologue(const CodeView& view, std::size_t i, bool endbr_aware);
 
 /// Harvest FDE pc_begin values from .eh_frame (empty when absent).
-std::vector<std::uint64_t> fde_starts(const elf::Image& bin);
+/// With a diagnostics sink the parse is lenient: FDEs before the first
+/// malformed record are still harvested; strict mode throws.
+std::vector<std::uint64_t> fde_starts(const elf::Image& bin,
+                                      util::Diagnostics* diags = nullptr);
 
 /// Fast path: read the pre-sorted pc_begin index from .eh_frame_hdr,
 /// the way real tools do when the header is present. Returns an empty
 /// vector when the section is absent or malformed (callers fall back
-/// to fde_starts).
-std::vector<std::uint64_t> fde_starts_via_hdr(const elf::Image& bin);
+/// to fde_starts). With a diagnostics sink, entries salvaged from a
+/// damaged header are kept and the damage is recorded.
+std::vector<std::uint64_t> fde_starts_via_hdr(const elf::Image& bin,
+                                              util::Diagnostics* diags = nullptr);
 
 }  // namespace fsr::baselines

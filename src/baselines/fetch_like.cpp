@@ -5,6 +5,7 @@
 #include "baselines/common.hpp"
 #include "eh/eh_frame.hpp"
 #include "obs/metrics.hpp"
+#include "util/deadline.hpp"
 #include "obs/trace.hpp"
 #include "x86/decoder.hpp"
 
@@ -104,7 +105,7 @@ std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
   std::vector<Region> regions;
   if (eh != nullptr && !eh->data.empty()) {
     const int ptr_size = bin.machine == elf::Machine::kX8664 ? 8 : 4;
-    eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size);
+    eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size, opts.diags);
     for (const eh::Fde& fde : frame.fdes) {
       if (!view.in_text(fde.pc_begin)) continue;
       funcs.push_back(fde.pc_begin);
@@ -127,6 +128,7 @@ std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
   // is an independent walk from the region start — the per-candidate
   // cost behind the ~5x slowdown the paper measures in §V-D).
   for (const Region& r : regions) {
+    if (util::deadline_expired()) break;  // quadratic pass; honor the budget
     for (std::size_t i = view.first_pos_at_or_after(r.begin);
          i < view.insns.size() && view.insns[i].addr < r.end; ++i) {
       const x86::Insn& insn = view.insns[i];
@@ -146,6 +148,7 @@ std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
   // function under the calling convention, then promote it.
   for (const x86::Insn& insn : view.insns) {
     if (insn.kind != x86::Kind::kJmpDirect) continue;
+    if (util::deadline_expired()) break;
     const Region* src = region_of(regions, insn.addr);
     if (src == nullptr) continue;
     if (!view.in_text(insn.target)) continue;

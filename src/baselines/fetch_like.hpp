@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "elf/image.hpp"
+#include "util/diagnostic.hpp"
 #include "x86/codeview.hpp"
 
 namespace fsr::baselines {
@@ -22,6 +23,10 @@ struct FetchOptions {
   /// Run the expensive frame-height / calling-convention verification.
   /// Disabling it is the ablation that isolates FETCH's run-time cost.
   bool verify_tail_calls = true;
+  /// Lenient-parse sink: when set, damaged .eh_frame sections are
+  /// salvaged (FDEs before the corruption still drive detection) and
+  /// the damage is recorded instead of thrown.
+  util::Diagnostics* diags = nullptr;
 };
 
 std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,

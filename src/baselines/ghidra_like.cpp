@@ -8,7 +8,8 @@
 namespace fsr::baselines {
 
 std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin,
-                                                 const CodeView& view) {
+                                                 const CodeView& view,
+                                                 util::Diagnostics* diags) {
   TRACE_SPAN("ghidra_like");
   x86::AddrBitmap visited(view.text_begin, view.text_end);
   x86::AddrBitmap is_func(view.text_begin, view.text_end);
@@ -17,8 +18,8 @@ std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin,
   // Pass 1: .eh_frame is the primary evidence source. Prefer the
   // pre-sorted .eh_frame_hdr index when present (the real tool's fast
   // path); fall back to a full CIE/FDE walk.
-  std::vector<std::uint64_t> seeds = fde_starts_via_hdr(bin);
-  if (seeds.empty()) seeds = fde_starts(bin);
+  std::vector<std::uint64_t> seeds = fde_starts_via_hdr(bin, diags);
+  if (seeds.empty()) seeds = fde_starts(bin, diags);
   seeds.push_back(bin.entry);
 
   traverse_into(view, seeds, visited, is_func, funcs);
@@ -39,8 +40,9 @@ std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin,
   return funcs;
 }
 
-std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin) {
-  return ghidra_like_functions(bin, build_code_view(bin));
+std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin,
+                                                 util::Diagnostics* diags) {
+  return ghidra_like_functions(bin, build_code_view(bin), diags);
 }
 
 }  // namespace fsr::baselines

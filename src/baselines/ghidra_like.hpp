@@ -14,15 +14,21 @@
 #include <vector>
 
 #include "elf/image.hpp"
+#include "util/diagnostic.hpp"
 #include "x86/codeview.hpp"
 
 namespace fsr::baselines {
 
-std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin);
+/// With a diagnostics sink, damaged .eh_frame/.eh_frame_hdr sections
+/// are salvaged (FDEs before the corruption still seed the traversal)
+/// and recorded instead of thrown.
+std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin,
+                                                 util::Diagnostics* diags = nullptr);
 
 /// Same analysis over an already-decoded shared view of bin's .text
 /// (the corpus engine's decode-once path).
 std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin,
-                                                 const x86::CodeView& view);
+                                                 const x86::CodeView& view,
+                                                 util::Diagnostics* diags = nullptr);
 
 }  // namespace fsr::baselines

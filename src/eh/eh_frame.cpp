@@ -5,6 +5,7 @@
 
 #include "eh/encodings.hpp"
 #include "util/bytes.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/leb128.hpp"
 
@@ -71,51 +72,90 @@ CieInfo parse_cie(ByteReader& r, std::uint64_t record_end, int ptr_size) {
 }  // namespace
 
 EhFrame parse_eh_frame(std::span<const std::uint8_t> data, std::uint64_t section_addr,
-                       int ptr_size) {
+                       int ptr_size, util::Diagnostics* diags) {
   EhFrame out;
   ByteReader r(data);
   std::map<std::uint64_t, CieInfo> cies;  // keyed by section offset of the CIE
 
+  // Strict mode throws at the first malformed record; lenient mode
+  // (diags != nullptr) records a Diagnostic and keeps every FDE decoded
+  // before the damage.
   while (!r.eof()) {
     const std::uint64_t record_off = r.pos();
-    std::uint64_t length = r.u32();
-    if (length == 0) break;  // terminator
-    if (length == 0xffffffffULL) length = r.u64();
-    const std::uint64_t body_start = r.pos();
-    const std::uint64_t record_end = body_start + length;
-    if (record_end > data.size()) throw ParseError(".eh_frame record overruns section");
-
-    const std::uint64_t id_field_off = r.pos();
-    const std::uint32_t cie_id = r.u32();
-    if (cie_id == 0) {
-      cies[record_off] = parse_cie(r, record_end, ptr_size);
-    } else {
-      // FDE: cie_id is the distance from this field back to its CIE.
-      const std::uint64_t cie_off = id_field_off - cie_id;
-      auto it = cies.find(cie_off);
-      if (it == cies.end()) throw ParseError("FDE references unknown CIE");
-      const CieInfo& cie = it->second;
-
-      Fde fde;
-      const std::uint64_t pc_field_addr = section_addr + r.pos();
-      fde.pc_begin = read_encoded(r, cie.fde_encoding, pc_field_addr, ptr_size);
-      // pc_range uses the value format of the FDE encoding but is
-      // always an absolute length.
-      const std::uint64_t range_field_addr = section_addr + r.pos();
-      fde.pc_range = read_encoded(r, cie.fde_encoding & 0x0f, range_field_addr, ptr_size);
-      if (cie.has_aug_data) {
-        const std::uint64_t aug_len = util::read_uleb128(r);
-        const std::uint64_t aug_end = r.pos() + aug_len;
-        if (cie.lsda_encoding != kPeOmit && aug_len > 0) {
-          const std::uint64_t lsda_field_addr = section_addr + r.pos();
-          const std::uint64_t lsda = read_encoded(r, cie.lsda_encoding, lsda_field_addr, ptr_size);
-          if (lsda != 0) fde.lsda = lsda;
-        }
-        r.seek(aug_end);
+    try {
+      if (util::deadline_expired()) {
+        if (diags == nullptr) throw TimeoutError(".eh_frame parse exceeded deadline");
+        diags->add(util::DiagCode::kTimeout, ".eh_frame", record_off,
+                   "parse exceeded deadline; FDE list is partial");
+        break;
       }
-      out.fdes.push_back(fde);
+      std::uint64_t length = r.u32();
+      if (length == 0) break;  // terminator
+      if (length == 0xffffffffULL) length = r.u64();
+      const std::uint64_t body_start = r.pos();
+      // Overflow-safe: `body_start + length > size` wraps for crafted
+      // 64-bit lengths and would admit a bogus record end.
+      if (length > data.size() - body_start)
+        throw ParseError(util::Diagnostic{util::DiagCode::kBadFde, ".eh_frame",
+                                          record_off,
+                                          ".eh_frame record overruns section"});
+      const std::uint64_t record_end = body_start + length;
+
+      const std::uint64_t id_field_off = r.pos();
+      const std::uint32_t cie_id = r.u32();
+      if (cie_id == 0) {
+        cies[record_off] = parse_cie(r, record_end, ptr_size);
+      } else {
+        // FDE: cie_id is the distance from this field back to its CIE.
+        const std::uint64_t cie_off = id_field_off - cie_id;
+        auto it = cies.find(cie_off);
+        if (it == cies.end())
+          throw ParseError(util::Diagnostic{util::DiagCode::kBadFde, ".eh_frame",
+                                            record_off,
+                                            "FDE references unknown CIE"});
+        const CieInfo& cie = it->second;
+
+        Fde fde;
+        const std::uint64_t pc_field_addr = section_addr + r.pos();
+        fde.pc_begin = read_encoded(r, cie.fde_encoding, pc_field_addr, ptr_size);
+        // pc_range uses the value format of the FDE encoding but is
+        // always an absolute length.
+        const std::uint64_t range_field_addr = section_addr + r.pos();
+        fde.pc_range = read_encoded(r, cie.fde_encoding & 0x0f, range_field_addr, ptr_size);
+        if (cie.has_aug_data) {
+          const std::uint64_t aug_len = util::read_uleb128(r);
+          if (aug_len > data.size() - r.pos())
+            throw ParseError(util::Diagnostic{util::DiagCode::kBadFde, ".eh_frame",
+                                              r.pos(),
+                                              "FDE augmentation overruns section"});
+          const std::uint64_t aug_end = r.pos() + aug_len;
+          if (cie.lsda_encoding != kPeOmit && aug_len > 0) {
+            const std::uint64_t lsda_field_addr = section_addr + r.pos();
+            const std::uint64_t lsda = read_encoded(r, cie.lsda_encoding, lsda_field_addr, ptr_size);
+            if (lsda != 0) fde.lsda = lsda;
+          }
+          r.seek(aug_end);
+        }
+        out.fdes.push_back(fde);
+      }
+      r.seek(record_end);
+    } catch (const ParseError& e) {
+      if (diags == nullptr) throw;
+      util::Diagnostic d = e.diagnostic();
+      if (d.section.empty()) {  // e.g. a ByteReader truncation
+        d.section = ".eh_frame";
+        d.offset = record_off;
+      }
+      if (d.code == util::DiagCode::kGeneric) d.code = util::DiagCode::kBadFde;
+      diags->add(std::move(d));
+      break;  // salvage: everything before this record stands
+    } catch (const Error& e) {
+      // Hostile input can also surface as UsageError (e.g. a CIE 'P'
+      // augmentation naming a variable-length encoding) — contain it.
+      if (diags == nullptr) throw;
+      diags->add(util::DiagCode::kBadCie, ".eh_frame", record_off, e.what());
+      break;
     }
-    r.seek(record_end);
   }
   return out;
 }

@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "util/diagnostic.hpp"
+
 namespace fsr::eh {
 
 /// One Frame Description Entry, decoded to absolute addresses.
@@ -33,9 +35,15 @@ struct EhFrame {
 };
 
 /// Parse a .eh_frame section located at `section_addr`.
-/// Throws fsr::ParseError on structural corruption.
+///
+/// Strict mode (`diags == nullptr`, the default) throws fsr::ParseError
+/// on structural corruption. Passing a diagnostics sink switches to
+/// lenient mode: every record decoded before the first malformed one is
+/// kept, the failure is recorded as a structured Diagnostic, and the
+/// salvage is returned — EH metadata in the wild is frequently partial,
+/// and a broken tail must not discard the valid prefix.
 EhFrame parse_eh_frame(std::span<const std::uint8_t> data, std::uint64_t section_addr,
-                       int ptr_size);
+                       int ptr_size, util::Diagnostics* diags = nullptr);
 
 /// Serialize FDE descriptions into .eh_frame bytes. The section will be
 /// placed at `section_addr` (needed because pointers are PC-relative).

@@ -44,32 +44,68 @@ std::vector<std::uint8_t> build_eh_frame_hdr(const EhFrameHdr& hdr,
 }
 
 EhFrameHdr parse_eh_frame_hdr(std::span<const std::uint8_t> data,
-                              std::uint64_t hdr_addr) {
+                              std::uint64_t hdr_addr,
+                              util::Diagnostics* diags) {
   util::ByteReader r(data);
-  const std::uint8_t version = r.u8();
-  if (version != kVersion)
-    throw ParseError(".eh_frame_hdr version " + std::to_string(version));
-  const std::uint8_t frame_enc = r.u8();
-  const std::uint8_t count_enc = r.u8();
-  const std::uint8_t table_enc = r.u8();
-  if (frame_enc != kFramePtrEnc || count_enc != kCountEnc || table_enc != kTableEnc)
-    throw ParseError("unsupported .eh_frame_hdr encodings");
-
   EhFrameHdr hdr;
-  hdr.eh_frame_addr = read_encoded(r, frame_enc, hdr_addr + r.pos(), 8);
-  const std::uint32_t count = r.u32();
-  hdr.entries.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    EhFrameHdrEntry e;
-    e.pc_begin = hdr_addr + static_cast<std::uint64_t>(static_cast<std::int64_t>(r.i32()));
-    e.fde_addr = hdr_addr + static_cast<std::uint64_t>(static_cast<std::int64_t>(r.i32()));
-    hdr.entries.push_back(e);
+  const auto sorted_by_pc = [](const EhFrameHdrEntry& a, const EhFrameHdrEntry& b) {
+    return a.pc_begin < b.pc_begin;
+  };
+
+  // Strict mode throws at the first malformed field; lenient mode
+  // (diags != nullptr) records a Diagnostic and salvages what decoded.
+  try {
+    const std::uint8_t version = r.u8();
+    if (version != kVersion)
+      throw ParseError(util::Diagnostic{util::DiagCode::kBadEhFrameHdr,
+                                        ".eh_frame_hdr", 0,
+                                        ".eh_frame_hdr version " + std::to_string(version)});
+    const std::uint8_t frame_enc = r.u8();
+    const std::uint8_t count_enc = r.u8();
+    const std::uint8_t table_enc = r.u8();
+    if (frame_enc != kFramePtrEnc || count_enc != kCountEnc || table_enc != kTableEnc)
+      throw ParseError(util::Diagnostic{util::DiagCode::kBadEncoding,
+                                        ".eh_frame_hdr", 1,
+                                        "unsupported .eh_frame_hdr encodings"});
+
+    hdr.eh_frame_addr = read_encoded(r, frame_enc, hdr_addr + r.pos(), 8);
+    const std::uint32_t count = r.u32();
+    // A crafted count can claim billions of rows; never reserve more
+    // than the section can physically hold (8 bytes per entry).
+    const std::uint64_t max_entries = (data.size() - r.pos()) / 8;
+    if (count > max_entries)
+      throw ParseError(util::Diagnostic{util::DiagCode::kBadEhFrameHdr,
+                                        ".eh_frame_hdr", r.pos() - 4,
+                                        ".eh_frame_hdr table overruns section"});
+    hdr.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      EhFrameHdrEntry e;
+      e.pc_begin = hdr_addr + static_cast<std::uint64_t>(static_cast<std::int64_t>(r.i32()));
+      e.fde_addr = hdr_addr + static_cast<std::uint64_t>(static_cast<std::int64_t>(r.i32()));
+      hdr.entries.push_back(e);
+    }
+    if (!std::is_sorted(hdr.entries.begin(), hdr.entries.end(), sorted_by_pc)) {
+      if (diags == nullptr)
+        throw ParseError(util::Diagnostic{util::DiagCode::kBadEhFrameHdr,
+                                          ".eh_frame_hdr", 0,
+                                          ".eh_frame_hdr table is not sorted"});
+      // Consumers binary-search the table; sorting the salvage keeps it
+      // usable.
+      diags->add(util::DiagCode::kBadEhFrameHdr, ".eh_frame_hdr", 0,
+                 ".eh_frame_hdr table is not sorted; sorted the salvage");
+      std::sort(hdr.entries.begin(), hdr.entries.end(), sorted_by_pc);
+    }
+  } catch (const ParseError& e) {
+    if (diags == nullptr) throw;
+    util::Diagnostic d = e.diagnostic();
+    if (d.section.empty()) {  // e.g. a ByteReader truncation
+      d.section = ".eh_frame_hdr";
+      d.offset = r.pos();
+    }
+    if (d.code == util::DiagCode::kGeneric) d.code = util::DiagCode::kBadEhFrameHdr;
+    diags->add(std::move(d));
+    std::sort(hdr.entries.begin(), hdr.entries.end(), sorted_by_pc);
   }
-  if (!std::is_sorted(hdr.entries.begin(), hdr.entries.end(),
-                      [](const EhFrameHdrEntry& a, const EhFrameHdrEntry& b) {
-                        return a.pc_begin < b.pc_begin;
-                      }))
-    throw ParseError(".eh_frame_hdr table is not sorted");
   return hdr;
 }
 

@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "util/diagnostic.hpp"
+
 namespace fsr::eh {
 
 /// One search-table row: function start -> its FDE.
@@ -30,9 +32,15 @@ struct EhFrameHdr {
 std::vector<std::uint8_t> build_eh_frame_hdr(const EhFrameHdr& hdr,
                                              std::uint64_t hdr_addr);
 
-/// Parse a header located at `hdr_addr`. Throws fsr::ParseError on
-/// malformed input or unsupported encodings.
+/// Parse a header located at `hdr_addr`.
+///
+/// Strict mode (`diags == nullptr`, the default) throws fsr::ParseError
+/// on malformed input or unsupported encodings. Lenient mode records a
+/// structured Diagnostic and salvages: entries decoded before a
+/// truncation are kept, and an unsorted table is sorted rather than
+/// rejected (consumers binary-search it).
 EhFrameHdr parse_eh_frame_hdr(std::span<const std::uint8_t> data,
-                              std::uint64_t hdr_addr);
+                              std::uint64_t hdr_addr,
+                              util::Diagnostics* diags = nullptr);
 
 }  // namespace fsr::eh

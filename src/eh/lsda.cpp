@@ -2,6 +2,7 @@
 
 #include "eh/encodings.hpp"
 #include "util/bytes.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/leb128.hpp"
 
@@ -38,38 +39,71 @@ std::vector<std::uint8_t> build_lsda(const Lsda& lsda) {
 }
 
 Lsda parse_lsda(std::span<const std::uint8_t> section, std::size_t offset,
-                std::uint64_t func_start, std::size_t& end_offset) {
+                std::uint64_t func_start, std::size_t& end_offset,
+                util::Diagnostics* diags) {
   util::ByteReader r(section, offset);
   Lsda out;
   out.func_start = func_start;
+  end_offset = offset;
 
-  const std::uint8_t lpstart_enc = r.u8();
-  std::uint64_t lp_base = func_start;
-  if (lpstart_enc != kPeOmit)
-    lp_base = read_encoded(r, lpstart_enc, /*field_addr=*/0, /*ptr_size=*/8);
+  // Strict mode throws at the first malformed structure; lenient mode
+  // (diags != nullptr) records a Diagnostic and returns the call sites
+  // decoded before the damage.
+  try {
+    const std::uint8_t lpstart_enc = r.u8();
+    std::uint64_t lp_base = func_start;
+    if (lpstart_enc != kPeOmit)
+      lp_base = read_encoded(r, lpstart_enc, /*field_addr=*/0, /*ptr_size=*/8);
 
-  const std::uint8_t ttype_enc = r.u8();
-  if (ttype_enc != kPeOmit)
-    util::read_uleb128(r);  // ttype base offset (table itself not decoded)
+    const std::uint8_t ttype_enc = r.u8();
+    if (ttype_enc != kPeOmit)
+      util::read_uleb128(r);  // ttype base offset (table itself not decoded)
 
-  const std::uint8_t cs_enc = r.u8();
-  if ((cs_enc & 0x0f) != kPeUleb128)
-    throw ParseError("unsupported LSDA call-site encoding");
+    const std::uint8_t cs_enc = r.u8();
+    if ((cs_enc & 0x0f) != kPeUleb128)
+      throw ParseError(util::Diagnostic{util::DiagCode::kBadLsda,
+                                        ".gcc_except_table", r.pos() - 1,
+                                        "unsupported LSDA call-site encoding"});
 
-  const std::uint64_t table_len = util::read_uleb128(r);
-  const std::size_t table_end = r.pos() + table_len;
-  if (table_end > section.size()) throw ParseError("LSDA call-site table overruns section");
+    const std::uint64_t table_len = util::read_uleb128(r);
+    // Overflow-safe: `r.pos() + table_len > size` wraps for crafted
+    // LEB128 lengths and would admit a bogus table end.
+    if (table_len > section.size() - r.pos())
+      throw ParseError(util::Diagnostic{util::DiagCode::kBadLsda,
+                                        ".gcc_except_table", r.pos(),
+                                        "LSDA call-site table overruns section"});
+    const std::size_t table_end = r.pos() + static_cast<std::size_t>(table_len);
 
-  while (r.pos() < table_end) {
-    CallSite cs;
-    cs.start = func_start + util::read_uleb128(r);
-    cs.length = util::read_uleb128(r);
-    const std::uint64_t lp = util::read_uleb128(r);
-    cs.landing_pad = lp == 0 ? 0 : lp_base + lp;
-    cs.action = util::read_uleb128(r);
-    out.call_sites.push_back(cs);
+    while (r.pos() < table_end) {
+      if (util::deadline_expired()) {
+        if (diags == nullptr) throw TimeoutError("LSDA parse exceeded deadline");
+        diags->add(util::DiagCode::kTimeout, ".gcc_except_table", r.pos(),
+                   "parse exceeded deadline; call-site table is partial");
+        end_offset = r.pos();
+        return out;
+      }
+      CallSite cs;
+      cs.start = func_start + util::read_uleb128(r);
+      cs.length = util::read_uleb128(r);
+      const std::uint64_t lp = util::read_uleb128(r);
+      cs.landing_pad = lp == 0 ? 0 : lp_base + lp;
+      cs.action = util::read_uleb128(r);
+      if (r.pos() > table_end)
+        throw ParseError(util::Diagnostic{util::DiagCode::kBadLsda,
+                                          ".gcc_except_table", r.pos(),
+                                          "LSDA call-site table misaligned"});
+      out.call_sites.push_back(cs);
+    }
+  } catch (const ParseError& e) {
+    if (diags == nullptr) throw;
+    util::Diagnostic d = e.diagnostic();
+    if (d.section.empty()) {
+      d.section = ".gcc_except_table";
+      d.offset = r.pos();
+    }
+    if (d.code == util::DiagCode::kGeneric) d.code = util::DiagCode::kBadLsda;
+    diags->add(std::move(d));
   }
-  if (r.pos() != table_end) throw ParseError("LSDA call-site table misaligned");
 
   end_offset = r.pos();
   return out;

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "util/diagnostic.hpp"
+
 namespace fsr::eh {
 
 /// One call-site table row, with addresses already made absolute.
@@ -39,7 +41,12 @@ std::vector<std::uint8_t> build_lsda(const Lsda& lsda);
 /// is the owning function's entry (from the FDE); it anchors the
 /// relative call-site offsets. Returns the decoded LSDA; `end_offset`
 /// receives the offset one past the parsed bytes.
+///
+/// Strict mode (`diags == nullptr`) throws fsr::ParseError on a
+/// malformed table. Lenient mode records a Diagnostic and returns the
+/// call sites decoded before the first malformed row.
 Lsda parse_lsda(std::span<const std::uint8_t> section, std::size_t offset,
-                std::uint64_t func_start, std::size_t& end_offset);
+                std::uint64_t func_start, std::size_t& end_offset,
+                util::Diagnostics* diags = nullptr);
 
 }  // namespace fsr::eh

@@ -37,21 +37,37 @@ std::vector<std::uint8_t> build_gnu_property(Machine machine, std::uint32_t feat
 }
 
 std::optional<std::uint32_t> parse_gnu_property(std::span<const std::uint8_t> data,
-                                                Machine machine) {
+                                                Machine machine,
+                                                util::Diagnostics* diags) {
   util::ByteReader r(data);
   const std::size_t align = is64(machine) ? 8 : 4;
   auto seek_aligned = [&](std::size_t p) {
     p = (p + align - 1) / align * align;
     r.seek(p > data.size() ? data.size() : p);
   };
+  auto fail = [&](util::DiagCode code, std::uint64_t offset, std::string msg) {
+    // Strict: throw. Lenient: record and stop scanning — notes after a
+    // malformed one are unreachable anyway (sizes chain the walk).
+    if (diags == nullptr)
+      throw ParseError(util::Diagnostic{code, ".note.gnu.property", offset,
+                                        std::move(msg)});
+    diags->add(code, ".note.gnu.property", offset, std::move(msg));
+  };
   while (r.remaining() >= 12) {
+    const std::uint64_t note_off = r.pos();
     const std::uint32_t namesz = r.u32();
     const std::uint32_t descsz = r.u32();
     const std::uint32_t type = r.u32();
-    if (namesz > r.remaining()) throw ParseError("note name overruns section");
+    if (namesz > r.remaining()) {
+      fail(util::DiagCode::kBadNote, note_off, "note name overruns section");
+      return std::nullopt;
+    }
     const std::vector<std::uint8_t> name = r.bytes(namesz);
     seek_aligned(r.pos());
-    if (descsz > r.remaining()) throw ParseError("note desc overruns section");
+    if (descsz > r.remaining()) {
+      fail(util::DiagCode::kBadNote, note_off, "note desc overruns section");
+      return std::nullopt;
+    }
     const std::size_t desc_end = r.pos() + descsz;
 
     const bool is_gnu = namesz == 4 && name[0] == 'G' && name[1] == 'N' &&
@@ -59,9 +75,14 @@ std::optional<std::uint32_t> parse_gnu_property(std::span<const std::uint8_t> da
     if (is_gnu && type == kNtGnuPropertyType0) {
       // Walk the property array.
       while (r.pos() + 8 <= desc_end) {
+        const std::uint64_t prop_off = r.pos();
         const std::uint32_t pr_type = r.u32();
         const std::uint32_t pr_datasz = r.u32();
-        if (r.pos() + pr_datasz > desc_end) throw ParseError("property overruns note");
+        // Non-wrapping form of `r.pos() + pr_datasz > desc_end`.
+        if (pr_datasz > desc_end - r.pos()) {
+          fail(util::DiagCode::kBadNote, prop_off, "property overruns note");
+          return std::nullopt;
+        }
         if (pr_type == property_type(machine) && pr_datasz >= 4) return r.u32();
         seek_aligned(r.pos() + pr_datasz);
       }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "elf/image.hpp"
+#include "util/diagnostic.hpp"
 
 namespace fsr::elf {
 
@@ -27,10 +28,14 @@ inline constexpr std::uint32_t kFeatureArmPac = 1u << 1;
 std::vector<std::uint8_t> build_gnu_property(Machine machine, std::uint32_t feature_bits);
 
 /// Extract the FEATURE_1_AND bits from raw note bytes; nullopt when the
-/// note carries no such property. Throws fsr::ParseError on malformed
-/// note structure.
+/// note carries no such property.
+///
+/// Strict mode (`diags == nullptr`, the default) throws fsr::ParseError
+/// on malformed note structure. Lenient mode records a Diagnostic and
+/// returns whatever a well-formed prefix yielded (usually nullopt).
 std::optional<std::uint32_t> parse_gnu_property(std::span<const std::uint8_t> data,
-                                                Machine machine);
+                                                Machine machine,
+                                                util::Diagnostics* diags = nullptr);
 
 /// Convenience: the feature bits of an image's .note.gnu.property
 /// section, or nullopt when absent/irrelevant.

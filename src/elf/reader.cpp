@@ -1,6 +1,7 @@
 #include "elf/reader.hpp"
 
 #include <string>
+#include <utility>
 
 #include "elf/types.hpp"
 #include "util/bytes.hpp"
@@ -11,6 +12,12 @@ namespace fsr::elf {
 namespace {
 
 using util::ByteReader;
+using util::DiagCode;
+using util::Diagnostic;
+
+// A NOBITS (.bss-style) section materializes as zeroes; a crafted
+// header asking for an absurd size must not be able to OOM the process.
+constexpr std::uint64_t kMaxNobitsBytes = std::uint64_t{1} << 30;
 
 struct RawShdr {
   std::uint32_t name = 0;
@@ -25,22 +32,58 @@ struct RawShdr {
   std::uint64_t entsize = 0;
 };
 
-std::string name_from(const std::vector<std::uint8_t>& strtab, std::uint64_t off) {
-  if (off >= strtab.size()) throw ParseError("string table offset out of range");
-  const char* p = reinterpret_cast<const char*>(strtab.data() + off);
+/// Shared strict-vs-lenient failure policy. fail() either throws (strict)
+/// or records the diagnostic and returns so the caller can salvage.
+struct Parser {
+  std::span<const std::uint8_t> bytes;
+  ReadOptions opts;
+
+  /// Returns (lenient mode) or throws (strict mode). Callers must treat
+  /// a return as "skip the broken structure".
+  void fail(DiagCode code, std::string section, std::uint64_t offset,
+            std::string message) const {
+    Diagnostic d{code, std::move(section), offset, std::move(message)};
+    if (opts.lenient) {
+      if (opts.diags != nullptr) opts.diags->add(std::move(d));
+      return;
+    }
+    throw ParseError(std::move(d));
+  }
+
+  /// Unsalvageable even in lenient mode (no container geometry).
+  [[noreturn]] void fatal(DiagCode code, std::uint64_t offset,
+                          std::string message) const {
+    throw ParseError(Diagnostic{code, "", offset, std::move(message)});
+  }
+};
+
+std::string name_from(const Parser& p, const std::vector<std::uint8_t>& strtab,
+                      std::uint64_t off, const char* table_name) {
+  if (off >= strtab.size()) {
+    p.fail(DiagCode::kBadString, table_name, off, "string table offset out of range");
+    return std::string();
+  }
+  const char* s = reinterpret_cast<const char*>(strtab.data() + off);
   std::size_t maxlen = strtab.size() - off;
   std::size_t len = 0;
-  while (len < maxlen && p[len] != 0) ++len;
-  if (len == maxlen) throw ParseError("unterminated string table entry");
-  return std::string(p, len);
+  while (len < maxlen && s[len] != 0) ++len;
+  if (len == maxlen) {
+    p.fail(DiagCode::kBadString, table_name, off, "unterminated string table entry");
+    return std::string();
+  }
+  return std::string(s, len);
 }
 
-std::vector<Symbol> parse_symbols(const std::vector<std::uint8_t>& tab,
+std::vector<Symbol> parse_symbols(const Parser& p, const char* table_name,
+                                  const std::vector<std::uint8_t>& tab,
                                   const std::vector<std::uint8_t>& strtab,
                                   bool is64bit,
                                   const std::vector<std::string>& section_names) {
   const std::size_t entsize = is64bit ? kSymSize64 : kSymSize32;
-  if (tab.size() % entsize != 0) throw ParseError("symbol table size not a multiple of entry size");
+  if (tab.size() % entsize != 0)
+    p.fail(DiagCode::kBadSymbols, table_name, tab.size() - tab.size() % entsize,
+           "symbol table size not a multiple of entry size");
+  // Lenient salvage: decode every *complete* entry.
   std::vector<Symbol> out;
   ByteReader r(tab);
   const std::size_t n = tab.size() / entsize;
@@ -54,7 +97,7 @@ std::vector<Symbol> parse_symbols(const std::vector<std::uint8_t>& tab,
       shndx = r.u16();
       s.value = r.u64();
       s.size = r.u64();
-      s.name = name_from(strtab, name_off);
+      s.name = name_from(p, strtab, name_off, table_name);
     } else {
       std::uint32_t name_off = r.u32();
       s.value = r.u32();
@@ -62,7 +105,7 @@ std::vector<Symbol> parse_symbols(const std::vector<std::uint8_t>& tab,
       s.info = r.u8();
       r.skip(1);
       shndx = r.u16();
-      s.name = name_from(strtab, name_off);
+      s.name = name_from(p, strtab, name_off, table_name);
     }
     if (i == 0) continue;  // null symbol
     if (shndx != kShnUndef && shndx < section_names.size())
@@ -75,16 +118,28 @@ std::vector<Symbol> parse_symbols(const std::vector<std::uint8_t>& tab,
 }  // namespace
 
 Image read_elf(std::span<const std::uint8_t> bytes) {
+  return read_elf(bytes, ReadOptions{});
+}
+
+Image read_elf(std::span<const std::uint8_t> bytes, const ReadOptions& opts) {
+  const Parser p{bytes, opts};
   ByteReader r(bytes);
-  if (r.remaining() < 16) throw ParseError("file too small for ELF header");
+  if (r.remaining() < 16)
+    p.fatal(DiagCode::kTruncated, bytes.size(), "file too small for ELF header");
   if (r.u8() != kMag0 || r.u8() != kMag1 || r.u8() != kMag2 || r.u8() != kMag3)
-    throw ParseError("bad ELF magic");
+    p.fatal(DiagCode::kBadHeader, 0, "bad ELF magic");
   const std::uint8_t klass = r.u8();
-  if (klass != kClass32 && klass != kClass64) throw ParseError("bad ELF class");
+  if (klass != kClass32 && klass != kClass64)
+    p.fatal(DiagCode::kBadHeader, 4, "bad ELF class");
   const bool is64bit = klass == kClass64;
-  if (r.u8() != kDataLsb) throw ParseError("only little-endian ELF supported");
-  if (r.u8() != kEvCurrent) throw ParseError("bad ELF version");
+  if (r.u8() != kDataLsb)
+    p.fatal(DiagCode::kBadHeader, 5, "only little-endian ELF supported");
+  if (r.u8() != kEvCurrent) p.fatal(DiagCode::kBadHeader, 6, "bad ELF version");
   r.seek(16);
+
+  const std::size_t header_size = is64bit ? 64 : 52;
+  if (bytes.size() < header_size)
+    p.fatal(DiagCode::kTruncated, bytes.size(), "file too small for ELF header");
 
   Image img;
   const std::uint16_t etype = r.u16();
@@ -94,7 +149,7 @@ Image read_elf(std::span<const std::uint8_t> bytes) {
   else if (etype == kEtDyn)
     img.kind = BinaryKind::kPie;
   else
-    throw ParseError("unsupported e_type " + std::to_string(etype));
+    p.fatal(DiagCode::kBadHeader, 16, "unsupported e_type " + std::to_string(etype));
   if (emach == kEmX8664 && is64bit)
     img.machine = Machine::kX8664;
   else if (emach == kEmAarch64 && is64bit)
@@ -102,7 +157,7 @@ Image read_elf(std::span<const std::uint8_t> bytes) {
   else if (emach == kEm386 && !is64bit)
     img.machine = Machine::kX86;
   else
-    throw ParseError("unsupported e_machine/class combination");
+    p.fatal(DiagCode::kBadHeader, 18, "unsupported e_machine/class combination");
   r.skip(4);  // e_version
 
   std::uint64_t shoff;
@@ -119,15 +174,36 @@ Image read_elf(std::span<const std::uint8_t> bytes) {
   r.skip(2);  // e_ehsize
   r.skip(2);  // e_phentsize
   r.skip(2);  // e_phnum
-  const std::uint16_t shentsize = r.u16();
-  const std::uint16_t shnum = r.u16();
-  const std::uint16_t shstrndx = r.u16();
+  std::uint16_t shentsize = r.u16();
+  std::uint16_t shnum = r.u16();
+  std::uint16_t shstrndx = r.u16();
 
   const std::size_t want_shentsize = is64bit ? kShdrSize64 : kShdrSize32;
-  if (shentsize != want_shentsize) throw ParseError("unexpected section header entry size");
-  if (shstrndx >= shnum) throw ParseError("e_shstrndx out of range");
+  if (shentsize != want_shentsize) {
+    p.fail(DiagCode::kBadHeader, "", is64bit ? 58u : 46u,
+           "unexpected section header entry size " + std::to_string(shentsize));
+    shentsize = static_cast<std::uint16_t>(want_shentsize);  // lenient: assume native
+  }
 
-  // Section headers.
+  // Section headers. The bound check is overflow-safe: `shoff +
+  // shnum * shentsize` on crafted 64-bit values could wrap past the
+  // file size, so compare against the remaining bytes instead.
+  if (shnum != 0 && (shoff > bytes.size() ||
+                     static_cast<std::uint64_t>(shnum) * shentsize >
+                         bytes.size() - shoff)) {
+    const std::uint64_t fit =
+        shoff <= bytes.size() ? (bytes.size() - shoff) / shentsize : 0;
+    p.fail(DiagCode::kSectionBounds, "", shoff,
+           "section header table extends past end of file (shnum " +
+               std::to_string(shnum) + ", " + std::to_string(fit) + " fit)");
+    shnum = static_cast<std::uint16_t>(fit);  // lenient: keep the headers that fit
+  }
+  if (shstrndx >= shnum) {
+    if (!(shstrndx == 0 && shnum == 0))
+      p.fail(DiagCode::kBadHeader, "", is64bit ? 62u : 50u, "e_shstrndx out of range");
+    shstrndx = 0;  // lenient: section names unavailable
+  }
+
   std::vector<RawShdr> shdrs(shnum);
   for (std::uint16_t i = 0; i < shnum; ++i) {
     r.seek(shoff + static_cast<std::uint64_t>(i) * shentsize);
@@ -157,17 +233,32 @@ Image read_elf(std::span<const std::uint8_t> bytes) {
     }
   }
 
-  auto section_bytes = [&](const RawShdr& h) -> std::vector<std::uint8_t> {
-    if (h.type == kShtNobits) return std::vector<std::uint8_t>(h.size, 0);
-    if (h.offset + h.size > bytes.size()) throw ParseError("section extends past end of file");
+  // Overflow-safe section extraction: `h.offset + h.size > size` wraps
+  // for crafted 64-bit values and would admit out-of-range sections.
+  auto section_bytes = [&](const RawShdr& h,
+                           const std::string& name) -> std::vector<std::uint8_t> {
+    if (h.type == kShtNobits) {
+      if (h.size > kMaxNobitsBytes) {
+        p.fail(DiagCode::kSectionBounds, name, h.offset,
+               "NOBITS section size " + std::to_string(h.size) + " is implausible");
+        return {};
+      }
+      return std::vector<std::uint8_t>(h.size, 0);
+    }
+    if (h.offset > bytes.size() || h.size > bytes.size() - h.offset) {
+      p.fail(DiagCode::kSectionBounds, name, h.offset,
+             "section extends past end of file");
+      return {};
+    }
     return std::vector<std::uint8_t>(bytes.begin() + static_cast<std::ptrdiff_t>(h.offset),
                                      bytes.begin() + static_cast<std::ptrdiff_t>(h.offset + h.size));
   };
 
-  const std::vector<std::uint8_t> shstrtab = section_bytes(shdrs[shstrndx]);
+  std::vector<std::uint8_t> shstrtab;
+  if (shstrndx != 0) shstrtab = section_bytes(shdrs[shstrndx], ".shstrtab");
   std::vector<std::string> names(shnum);
-  for (std::uint16_t i = 0; i < shnum; ++i)
-    names[i] = i == 0 ? std::string() : name_from(shstrtab, shdrs[i].name);
+  for (std::uint16_t i = 1; i < shnum; ++i)
+    names[i] = name_from(p, shstrtab, shdrs[i].name, ".shstrtab");
 
   for (std::uint16_t i = 1; i < shnum; ++i) {
     const RawShdr& h = shdrs[i];
@@ -179,7 +270,7 @@ Image read_elf(std::span<const std::uint8_t> bytes) {
     s.align = h.align;
     s.entsize = h.entsize;
     if (h.link != 0 && h.link < shnum) s.link = names[h.link];
-    s.data = section_bytes(h);
+    s.data = section_bytes(h, s.name);
     img.sections.push_back(std::move(s));
   }
 
@@ -191,13 +282,17 @@ Image read_elf(std::span<const std::uint8_t> bytes) {
   };
   if (const Section* symtab = find(".symtab")) {
     const Section* strtab = find(".strtab");
-    if (strtab == nullptr) throw ParseError(".symtab without .strtab");
-    img.symbols = parse_symbols(symtab->data, strtab->data, is64bit, names);
+    if (strtab == nullptr)
+      p.fail(DiagCode::kBadSymbols, ".symtab", 0, ".symtab without .strtab");
+    else
+      img.symbols = parse_symbols(p, ".symtab", symtab->data, strtab->data, is64bit, names);
   }
   if (const Section* dynsym = find(".dynsym")) {
     const Section* dynstr = find(".dynstr");
-    if (dynstr == nullptr) throw ParseError(".dynsym without .dynstr");
-    img.dynsymbols = parse_symbols(dynsym->data, dynstr->data, is64bit, names);
+    if (dynstr == nullptr)
+      p.fail(DiagCode::kBadSymbols, ".dynsym", 0, ".dynsym without .dynstr");
+    else
+      img.dynsymbols = parse_symbols(p, ".dynsym", dynsym->data, dynstr->data, is64bit, names);
   }
 
   // Reconstruct the PLT map: relocation i <-> PLT stub i (after PLT0).
@@ -205,9 +300,14 @@ Image read_elf(std::span<const std::uint8_t> bytes) {
   const Section* rel = is64bit ? find(".rela.plt") : find(".rel.plt");
   if (plt != nullptr && rel != nullptr && !img.dynsymbols.empty()) {
     const std::size_t relent = is64bit ? kRelaSize64 : kRelSize32;
-    if (rel->data.size() % relent != 0) throw ParseError("relocation section has partial entry");
-    const std::size_t nrel = rel->data.size() / relent;
+    if (rel->data.size() % relent != 0)
+      p.fail(DiagCode::kBadPlt, rel->name, rel->data.size() - rel->data.size() % relent,
+             "relocation section has partial entry");
+    const std::size_t nrel = rel->data.size() / relent;  // complete entries only
     const std::uint64_t stub_size = 16;
+    // Stub capacity from the section size, not from `addr + i * 16 >
+    // end_addr()` — the latter wraps for hostile section addresses.
+    const std::size_t max_stubs = plt->data.size() / stub_size;
     ByteReader rr(rel->data);
     for (std::size_t i = 0; i < nrel; ++i) {
       std::uint32_t symidx;
@@ -221,13 +321,19 @@ Image read_elf(std::span<const std::uint8_t> bytes) {
         const std::uint32_t info = rr.u32();
         symidx = info >> 8;
       }
-      if (symidx == 0 || symidx > img.dynsymbols.size())
-        throw ParseError("PLT relocation references invalid dynsym index");
+      if (symidx == 0 || symidx > img.dynsymbols.size()) {
+        p.fail(DiagCode::kBadPlt, rel->name, i * relent,
+               "PLT relocation references invalid dynsym index");
+        break;  // lenient: keep the entries resolved so far
+      }
+      if (1 + i >= max_stubs) {
+        p.fail(DiagCode::kBadPlt, plt->name, i * relent,
+               "PLT relocation count exceeds .plt size");
+        break;
+      }
       PltEntry e;
       e.addr = plt->addr + stub_size * (1 + i);  // skip PLT0
       e.symbol = img.dynsymbols[symidx - 1].name;
-      if (e.addr + stub_size > plt->end_addr())
-        throw ParseError("PLT relocation count exceeds .plt size");
       img.plt.push_back(std::move(e));
     }
   }

@@ -4,6 +4,17 @@
 // .symtab/.dynsym, and the PLT map is reconstructed the way binary
 // analysis tools do it: relocation i of .rel(a).plt names the dynamic
 // symbol dispatched by PLT stub i (stub 0 is the shared PLT0 header).
+//
+// Two parsing modes:
+//  - strict (default): the first malformed structure throws
+//    fsr::ParseError carrying a structured util::Diagnostic.
+//  - lenient: pass ReadOptions{.lenient = true, .diags = &sink} to
+//    salvage instead — a bad section loses its data (not the file), a
+//    bad name becomes "", a malformed symbol/PLT table keeps every
+//    entry decoded before the damage. Each salvage records a
+//    Diagnostic. Only an unusable ELF header (magic/class/machine)
+//    still throws: with no container geometry there is nothing to
+//    salvage.
 #pragma once
 
 #include <cstdint>
@@ -11,10 +22,21 @@
 #include <vector>
 
 #include "elf/image.hpp"
+#include "util/diagnostic.hpp"
 
 namespace fsr::elf {
 
-/// Parse an ELF binary. Throws fsr::ParseError on malformed input.
+struct ReadOptions {
+  /// Salvage malformed structures instead of throwing.
+  bool lenient = false;
+  /// Where lenient mode records what it salvaged (may be null).
+  util::Diagnostics* diags = nullptr;
+};
+
+/// Parse an ELF binary (strict). Throws fsr::ParseError on malformed input.
 Image read_elf(std::span<const std::uint8_t> bytes);
+
+/// Parse an ELF binary with explicit strictness.
+Image read_elf(std::span<const std::uint8_t> bytes, const ReadOptions& opts);
 
 }  // namespace fsr::elf

@@ -1,5 +1,6 @@
 #include "eval/runner.hpp"
 
+#include <cstdlib>
 #include <utility>
 
 #include "baselines/common.hpp"
@@ -11,6 +12,8 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
 namespace fsr::eval {
@@ -40,6 +43,10 @@ struct RunnerMetrics {
   obs::Histogram& decode_ns = obs::histogram("eval.decode_ns");
   obs::Counter& binaries = obs::counter("eval.binaries");
   obs::Counter& tool_runs = obs::counter("eval.tool_runs");
+  obs::Counter& errors_parse = obs::counter("errors.parse");
+  obs::Counter& errors_encode = obs::counter("errors.encode");
+  obs::Counter& errors_timeout = obs::counter("errors.timeout");
+  obs::Counter& errors_other = obs::counter("errors.other");
 };
 
 RunnerMetrics& runner_metrics() {
@@ -84,22 +91,62 @@ PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry) {
   return p;
 }
 
+PreparedBinary prepare_bytes(std::shared_ptr<const synth::DatasetEntry> entry,
+                             std::span<const std::uint8_t> bytes,
+                             util::Diagnostics* diags) {
+  PreparedBinary p;
+  util::Stopwatch watch;
+  {
+    TRACE_SPAN("prepare");
+    elf::ReadOptions opts;
+    opts.lenient = diags != nullptr;
+    opts.diags = diags;
+    p.stripped = elf::read_elf(bytes, opts);
+  }
+  p.prepare_seconds = watch.seconds();
+  runner_metrics().prepare_ns.record_seconds(p.prepare_seconds);
+  p.decode = decode_shared(p.stripped);
+  p.entry = std::move(entry);
+  return p;
+}
+
+namespace {
+
+/// fs_opts with the runner's diagnostics sink folded in (Options carries
+/// its own sink so the Table II configuration structs stay plain).
+funseeker::Options with_diags(const funseeker::Options& fs_opts,
+                              util::Diagnostics* diags) {
+  if (diags == nullptr) return fs_opts;
+  funseeker::Options o = fs_opts;
+  o.diags = diags;
+  return o;
+}
+
+baselines::FetchOptions fetch_opts(util::Diagnostics* diags) {
+  baselines::FetchOptions o;
+  o.diags = diags;
+  return o;
+}
+
+}  // namespace
+
 RunResult run_tool_on(Tool tool, const elf::Image& stripped,
-                      const funseeker::Options& fs_opts) {
+                      const funseeker::Options& fs_opts,
+                      util::Diagnostics* diags) {
   RunResult out;
   util::Stopwatch watch;
   switch (tool) {
     case Tool::kFunSeeker:
-      out.found = funseeker::analyze(stripped, fs_opts).functions;
+      out.found = funseeker::analyze(stripped, with_diags(fs_opts, diags)).functions;
       break;
     case Tool::kIdaLike:
       out.found = baselines::ida_like_functions(stripped);
       break;
     case Tool::kGhidraLike:
-      out.found = baselines::ghidra_like_functions(stripped);
+      out.found = baselines::ghidra_like_functions(stripped, diags);
       break;
     case Tool::kFetchLike:
-      out.found = baselines::fetch_like_functions(stripped);
+      out.found = baselines::fetch_like_functions(stripped, fetch_opts(diags));
       break;
   }
   out.seconds = watch.seconds();
@@ -110,22 +157,25 @@ RunResult run_tool_on(Tool tool, const elf::Image& stripped,
 
 RunResult run_tool_on(Tool tool, const elf::Image& stripped,
                       const SharedDecode& decode,
-                      const funseeker::Options& fs_opts) {
-  if (decode.view == nullptr) return run_tool_on(tool, stripped, fs_opts);
+                      const funseeker::Options& fs_opts,
+                      util::Diagnostics* diags) {
+  if (decode.view == nullptr) return run_tool_on(tool, stripped, fs_opts, diags);
   RunResult out;
   util::Stopwatch watch;
   switch (tool) {
     case Tool::kFunSeeker:
-      out.found = funseeker::analyze_with(stripped, *decode.sweep, fs_opts).functions;
+      out.found = funseeker::analyze_with(stripped, *decode.sweep,
+                                          with_diags(fs_opts, diags)).functions;
       break;
     case Tool::kIdaLike:
       out.found = baselines::ida_like_functions(stripped, *decode.view);
       break;
     case Tool::kGhidraLike:
-      out.found = baselines::ghidra_like_functions(stripped, *decode.view);
+      out.found = baselines::ghidra_like_functions(stripped, *decode.view, diags);
       break;
     case Tool::kFetchLike:
-      out.found = baselines::fetch_like_functions(stripped, *decode.view);
+      out.found = baselines::fetch_like_functions(stripped, *decode.view,
+                                                  fetch_opts(diags));
       break;
   }
   out.seconds = watch.seconds();
@@ -136,8 +186,9 @@ RunResult run_tool_on(Tool tool, const elf::Image& stripped,
 
 RunResult run_tool_scored(Tool tool, const elf::Image& stripped,
                           const synth::GroundTruth& truth,
-                          const funseeker::Options& fs_opts) {
-  RunResult out = run_tool_on(tool, stripped, fs_opts);
+                          const funseeker::Options& fs_opts,
+                          util::Diagnostics* diags) {
+  RunResult out = run_tool_on(tool, stripped, fs_opts, diags);
   out.score = score(out.found, truth.functions);
   out.failures = classify_failures(out.found, truth);
   return out;
@@ -146,8 +197,9 @@ RunResult run_tool_scored(Tool tool, const elf::Image& stripped,
 RunResult run_tool_scored(Tool tool, const elf::Image& stripped,
                           const SharedDecode& decode,
                           const synth::GroundTruth& truth,
-                          const funseeker::Options& fs_opts) {
-  RunResult out = run_tool_on(tool, stripped, decode, fs_opts);
+                          const funseeker::Options& fs_opts,
+                          util::Diagnostics* diags) {
+  RunResult out = run_tool_on(tool, stripped, decode, fs_opts, diags);
   out.score = score(out.found, truth.functions);
   out.failures = classify_failures(out.found, truth);
   return out;
@@ -159,9 +211,35 @@ RunResult run_tool(Tool tool, const synth::DatasetEntry& entry,
   return run_tool_scored(tool, stripped, entry.truth, fs_opts);
 }
 
-CorpusRunner::CorpusRunner(std::vector<ToolJob> jobs, std::size_t threads)
+std::string to_string(BinaryStatus s) {
+  switch (s) {
+    case BinaryStatus::kOk: return "ok";
+    case BinaryStatus::kTimedOut: return "timed-out";
+    case BinaryStatus::kParseFailed: return "parse-failed";
+    case BinaryStatus::kEncodeFailed: return "encode-failed";
+    case BinaryStatus::kAnalysisFailed: return "analysis-failed";
+  }
+  return "?";
+}
+
+namespace {
+
+double env_time_budget() {
+  const char* env = std::getenv("REPRO_TIME_BUDGET");
+  if (env == nullptr || *env == '\0') return 0.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  return (end != env && v > 0.0) ? v : 0.0;
+}
+
+}  // namespace
+
+CorpusRunner::CorpusRunner(std::vector<ToolJob> jobs, std::size_t threads,
+                           double time_budget_seconds)
     : jobs_(std::move(jobs)),
-      threads_(threads == 0 ? util::ThreadPool::default_workers() : threads) {}
+      threads_(threads == 0 ? util::ThreadPool::default_workers() : threads),
+      time_budget_(time_budget_seconds > 0.0 ? time_budget_seconds
+                                             : env_time_budget()) {}
 
 std::vector<ToolJob> CorpusRunner::all_tools() {
   return {{Tool::kFunSeeker, {}},
@@ -190,6 +268,15 @@ void report_binary(const synth::BinaryConfig& cfg, const BinaryResult& r,
   obs::BinaryRunRecord rec;
   rec.binary = cfg.name();
   rec.profile = profile_key(cfg);
+  rec.status = to_string(r.status);
+  rec.error = r.error;
+  rec.diagnostics.reserve(r.diagnostics.items().size() +
+                          (r.diagnostics.dropped() > 0 ? 1 : 0));
+  for (const util::Diagnostic& d : r.diagnostics.items())
+    rec.diagnostics.push_back(d.to_string());
+  if (r.diagnostics.dropped() > 0)
+    rec.diagnostics.push_back("(+" + std::to_string(r.diagnostics.dropped()) +
+                              " more diagnostics dropped)");
   rec.prepare_seconds = r.prepare_seconds;
   rec.decode_seconds = r.decode_seconds;
   rec.tools.reserve(r.per_job.size());
@@ -220,15 +307,61 @@ void CorpusRunner::run(const std::vector<synth::BinaryConfig>& configs,
         // inherits this binary's index as its trace id.
         obs::ScopedItemId item(i);
         TRACE_SPAN("binary", i);
-        PreparedBinary p = prepare(synth::cached_binary(configs[i]));
         BinaryResult r;
-        r.prepare_seconds = p.prepare_seconds;
-        r.decode_seconds = p.decode.decode_seconds;
-        r.per_job.reserve(jobs_.size());
-        for (const ToolJob& job : jobs_)
-          r.per_job.push_back(run_tool_scored(job.tool, p.stripped, p.decode,
-                                              p.entry->truth, job.fs_opts));
-        r.entry = std::move(p.entry);
+        // Per-binary time budget, cooperative: sweeps, traversals, and
+        // lenient parsers break early once it expires; expiry is
+        // latched, so one check after the work classifies the binary.
+        const util::ScopedDeadline guard(
+            time_budget_ > 0.0 ? util::Deadline::after_seconds(time_budget_)
+                               : util::Deadline());
+        // Containment boundary: a hostile binary fails alone. Whatever
+        // escapes here is recorded on the BinaryResult — the run, the
+        // reduction, and every other binary proceed untouched.
+        try {
+          std::shared_ptr<const synth::DatasetEntry> entry =
+              synth::cached_binary(configs[i]);
+          // With a mutator installed the bytes are adversarial by
+          // design: parse leniently and collect the salvage record.
+          PreparedBinary p =
+              mutator_ ? prepare_bytes(entry, mutator_(i, entry->stripped_bytes()),
+                                       &r.diagnostics)
+                       : prepare(std::move(entry));
+          r.prepare_seconds = p.prepare_seconds;
+          r.decode_seconds = p.decode.decode_seconds;
+          r.per_job.reserve(jobs_.size());
+          util::Diagnostics* diags = mutator_ ? &r.diagnostics : nullptr;
+          for (const ToolJob& job : jobs_)
+            r.per_job.push_back(run_tool_scored(job.tool, p.stripped, p.decode,
+                                                p.entry->truth, job.fs_opts, diags));
+          r.entry = std::move(p.entry);
+          if (util::deadline_expired_now()) {
+            r.status = BinaryStatus::kTimedOut;
+            r.error = "per-binary time budget exceeded; results are partial";
+            runner_metrics().errors_timeout.add();
+          }
+        } catch (const TimeoutError& e) {
+          r.status = BinaryStatus::kTimedOut;
+          r.error = e.what();
+          runner_metrics().errors_timeout.add();
+        } catch (const ParseError& e) {
+          r.status = BinaryStatus::kParseFailed;
+          r.error = e.what();
+          r.diagnostics.add(e.diagnostic());
+          runner_metrics().errors_parse.add();
+        } catch (const EncodeError& e) {
+          r.status = BinaryStatus::kEncodeFailed;
+          r.error = e.what();
+          runner_metrics().errors_encode.add();
+        } catch (const std::exception& e) {
+          r.status = BinaryStatus::kAnalysisFailed;
+          r.error = e.what();
+          runner_metrics().errors_other.add();
+        }
+        // A throw mid-loop leaves per_job shorter than the job list;
+        // clear it so consumers never index a ragged vector. A binary
+        // that merely ran over budget (cooperative expiry, no throw)
+        // keeps its complete, per-tool-partial results.
+        if (r.per_job.size() != jobs_.size()) r.per_job.clear();
         return r;
       },
       [&](std::size_t i, BinaryResult&& r) {

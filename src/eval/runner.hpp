@@ -22,6 +22,7 @@
 #include "funseeker/disassemble.hpp"
 #include "funseeker/funseeker.hpp"
 #include "synth/corpus.hpp"
+#include "util/diagnostic.hpp"
 #include "x86/codeview.hpp"
 
 namespace fsr::eval {
@@ -64,26 +65,38 @@ struct PreparedBinary {
 /// strip + write_elf + read_elf + decode_shared, once.
 PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry);
 
+/// prepare() over externally supplied bytes — the fault-injection path.
+/// With a diagnostics sink the ELF parse is lenient (salvage + record);
+/// analysis then runs on whatever container structure survived.
+PreparedBinary prepare_bytes(std::shared_ptr<const synth::DatasetEntry> entry,
+                             std::span<const std::uint8_t> bytes,
+                             util::Diagnostics* diags = nullptr);
+
 /// Time `tool`'s analysis over an already-parsed stripped image.
 /// No scoring (no ground truth needed) — this is the path `fsr compare`
 /// uses on real binaries. Decodes privately; prefer the SharedDecode
-/// overload when running several tools on one binary.
+/// overload when running several tools on one binary. With a
+/// diagnostics sink the tool's exception-table reads are lenient.
 RunResult run_tool_on(Tool tool, const elf::Image& stripped,
-                      const funseeker::Options& fs_opts = {});
+                      const funseeker::Options& fs_opts = {},
+                      util::Diagnostics* diags = nullptr);
 
 /// Time `tool`'s analysis over the shared decoded substrate.
 RunResult run_tool_on(Tool tool, const elf::Image& stripped,
                       const SharedDecode& decode,
-                      const funseeker::Options& fs_opts = {});
+                      const funseeker::Options& fs_opts = {},
+                      util::Diagnostics* diags = nullptr);
 
 /// run_tool_on + precision/recall scoring against `truth`.
 RunResult run_tool_scored(Tool tool, const elf::Image& stripped,
                           const synth::GroundTruth& truth,
-                          const funseeker::Options& fs_opts = {});
+                          const funseeker::Options& fs_opts = {},
+                          util::Diagnostics* diags = nullptr);
 RunResult run_tool_scored(Tool tool, const elf::Image& stripped,
                           const SharedDecode& decode,
                           const synth::GroundTruth& truth,
-                          const funseeker::Options& fs_opts = {});
+                          const funseeker::Options& fs_opts = {},
+                          util::Diagnostics* diags = nullptr);
 
 /// Run `tool` on the entry's stripped serialized form and score it
 /// against the entry's ground truth. Setup happens outside the timed
@@ -99,13 +112,35 @@ struct ToolJob {
   funseeker::Options fs_opts{};
 };
 
+/// What happened to one binary. Anything but kOk means the binary was
+/// hostile or over budget; the run as a whole keeps going either way.
+enum class BinaryStatus {
+  kOk,
+  kTimedOut,        // per-binary time budget expired (results partial)
+  kParseFailed,     // container unusable even for lenient salvage
+  kEncodeFailed,    // serialization failed while building the input
+  kAnalysisFailed,  // a tool threw (any other exception)
+};
+
+std::string to_string(BinaryStatus s);
+
 /// Everything a bench needs about one binary after all jobs ran.
-/// `per_job` is indexed like the job list handed to CorpusRunner.
+/// `per_job` is indexed like the job list handed to CorpusRunner and is
+/// always either complete (one entry per job) or EMPTY — never ragged.
+/// A cooperative timeout delivers complete entries whose contents are
+/// partial; any thrown failure delivers an empty vector.
 struct BinaryResult {
   std::shared_ptr<const synth::DatasetEntry> entry;
   std::vector<RunResult> per_job;
   double prepare_seconds = 0.0;
   double decode_seconds = 0.0;  // shared decode, not charged to any tool
+  BinaryStatus status = BinaryStatus::kOk;
+  /// Salvage record from lenient parsing (empty on clean binaries).
+  util::Diagnostics diagnostics;
+  /// One-line cause when !ok().
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return status == BinaryStatus::kOk; }
 };
 
 /// The parallel corpus evaluation engine. For every config: generate
@@ -117,11 +152,27 @@ struct BinaryResult {
 /// wall-clock changes.
 class CorpusRunner {
 public:
+  /// Rewrites a binary's stripped bytes before analysis — the fault
+  /// injection hook. Receives the config index and the pristine bytes;
+  /// returns the bytes to analyze. When set, parsing is lenient and all
+  /// failures are contained per binary.
+  using Mutator =
+      std::function<std::vector<std::uint8_t>(std::size_t, std::vector<std::uint8_t>)>;
+
   /// `threads == 0` means REPRO_THREADS / hardware_concurrency.
-  explicit CorpusRunner(std::vector<ToolJob> jobs, std::size_t threads = 0);
+  /// `time_budget_seconds` bounds each binary's prepare+decode+analysis
+  /// via a cooperative util::Deadline; <= 0 consults REPRO_TIME_BUDGET
+  /// (seconds; unset or invalid = unlimited). A binary over budget is
+  /// delivered with status kTimedOut and partial results, never dropped.
+  explicit CorpusRunner(std::vector<ToolJob> jobs, std::size_t threads = 0,
+                        double time_budget_seconds = 0.0);
 
   /// The four-tool comparison job list (Table III order).
   static std::vector<ToolJob> all_tools();
+
+  /// Install a fault-injection mutator (see Mutator). Containment does
+  /// not depend on this: exceptions are captured per binary either way.
+  void set_mutator(Mutator m) { mutator_ = std::move(m); }
 
   void run(const std::vector<synth::BinaryConfig>& configs,
            const std::function<void(const synth::BinaryConfig&,
@@ -129,10 +180,13 @@ public:
 
   [[nodiscard]] const std::vector<ToolJob>& jobs() const { return jobs_; }
   [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] double time_budget_seconds() const { return time_budget_; }
 
 private:
   std::vector<ToolJob> jobs_;
   std::size_t threads_;
+  double time_budget_;
+  Mutator mutator_;
 };
 
 }  // namespace fsr::eval

@@ -8,20 +8,23 @@
 
 namespace fsr::funseeker {
 
-std::vector<std::uint64_t> landing_pad_addresses(const elf::Image& bin) {
+std::vector<std::uint64_t> landing_pad_addresses(const elf::Image& bin,
+                                                 util::Diagnostics* diags) {
   std::vector<std::uint64_t> pads;
   const elf::Section* eh = bin.find_section(".eh_frame");
   const elf::Section* gct = bin.find_section(".gcc_except_table");
   if (eh == nullptr || gct == nullptr) return pads;
 
   const int ptr_size = bin.machine == elf::Machine::kX8664 ? 8 : 4;
-  eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size);
+  eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size, diags);
   for (const eh::Fde& fde : frame.fdes) {
     if (!fde.lsda.has_value()) continue;
     if (*fde.lsda < gct->addr || *fde.lsda >= gct->end_addr()) continue;
     const std::size_t offset = static_cast<std::size_t>(*fde.lsda - gct->addr);
     std::size_t end = 0;
-    eh::Lsda lsda = eh::parse_lsda(gct->data, offset, fde.pc_begin, end);
+    // Lenient mode salvages per LSDA: one damaged table costs only its
+    // own pads, not the whole filter step.
+    eh::Lsda lsda = eh::parse_lsda(gct->data, offset, fde.pc_begin, end, diags);
     for (std::uint64_t pad : lsda.landing_pads()) pads.push_back(pad);
   }
   std::sort(pads.begin(), pads.end());
@@ -29,7 +32,8 @@ std::vector<std::uint64_t> landing_pad_addresses(const elf::Image& bin) {
   return pads;
 }
 
-FilterResult filter_endbr(const elf::Image& bin, const DisasmSets& sets) {
+FilterResult filter_endbr(const elf::Image& bin, const DisasmSets& sets,
+                          util::Diagnostics* diags) {
   FilterResult out;
 
   // --- (1) end-branches after indirect-return call sites ----------------
@@ -49,7 +53,7 @@ FilterResult filter_endbr(const elf::Image& bin, const DisasmSets& sets) {
   }
 
   // --- (2) end-branches at exception landing pads ------------------------
-  std::vector<std::uint64_t> lps = landing_pad_addresses(bin);
+  std::vector<std::uint64_t> lps = landing_pad_addresses(bin, diags);
 
   for (std::uint64_t e : sets.endbrs) {
     if (std::binary_search(lps.begin(), lps.end(), e)) {

@@ -11,6 +11,7 @@
 
 #include "elf/image.hpp"
 #include "funseeker/disassemble.hpp"
+#include "util/diagnostic.hpp"
 
 namespace fsr::funseeker {
 
@@ -21,11 +22,16 @@ struct FilterResult {
 };
 
 /// Filter the end-branch set E using the instruction stream (to find
-/// preceding PLT calls) and the binary's exception information.
-FilterResult filter_endbr(const elf::Image& bin, const DisasmSets& sets);
+/// preceding PLT calls) and the binary's exception information. With a
+/// diagnostics sink, damaged exception tables are salvaged (pads found
+/// before the corruption still filter) instead of aborting the binary.
+FilterResult filter_endbr(const elf::Image& bin, const DisasmSets& sets,
+                          util::Diagnostics* diags = nullptr);
 
 /// All landing-pad addresses recorded in the binary's exception tables
-/// (exposed separately for the study benchmarks).
-std::vector<std::uint64_t> landing_pad_addresses(const elf::Image& bin);
+/// (exposed separately for the study benchmarks). Lenient when given a
+/// diagnostics sink, strict otherwise.
+std::vector<std::uint64_t> landing_pad_addresses(const elf::Image& bin,
+                                                 util::Diagnostics* diags = nullptr);
 
 }  // namespace fsr::funseeker

@@ -136,7 +136,7 @@ Result analyze_core(const elf::Image& bin, const DisasmSets& sets,
 
   // FILTERENDBR: E -> E'.
   if (opts.filter_endbr) {
-    FilterResult filtered = filter_endbr(bin, sets);
+    FilterResult filtered = filter_endbr(bin, sets, opts.diags);
     r.endbrs_kept = std::move(filtered.kept);
     r.removed_indirect_return = std::move(filtered.removed_indirect_return);
     r.removed_landing_pads = std::move(filtered.removed_landing_pads);

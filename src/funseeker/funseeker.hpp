@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "elf/image.hpp"
+#include "util/diagnostic.hpp"
 
 namespace fsr::funseeker {
 
@@ -55,6 +56,12 @@ struct Options {
   /// markers inline data swallowed even for unreferenced functions, at
   /// a small precision risk (an immediate can spell the pattern).
   bool superset_endbr_scan = false;
+
+  /// Lenient-parse sink for FILTERENDBR's exception-table reads: with a
+  /// sink, damaged .eh_frame/.gcc_except_table structures are salvaged
+  /// and recorded instead of aborting the analysis. Not part of the
+  /// Table II configuration space.
+  util::Diagnostics* diags = nullptr;
 
   /// The paper's Table II configurations 1..4.
   static Options config(int n);

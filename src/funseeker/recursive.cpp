@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "x86/codeview.hpp"
 #include "x86/decoder.hpp"
@@ -48,6 +49,7 @@ RecursiveSets recursive_disassemble(const elf::Image& bin,
 
   const std::span<const std::uint8_t> bytes(text.data);
   while (!work.empty()) {
+    if (util::deadline_expired()) break;  // partial traversal; expiry is latched
     std::uint64_t addr = work.back();
     work.pop_back();
     while (addr >= lo && addr < hi) {

@@ -1,0 +1,503 @@
+#include "inject/fault.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace fsr::inject {
+
+namespace {
+
+using util::Rng;
+
+// ---------------------------------------------------------------------------
+// Bounds-checked little-endian accessors. The peek runs on arbitrary
+// bytes (mutants can be re-mutated), so every read is guarded and every
+// write silently no-ops when the target lies outside the buffer.
+
+std::uint16_t rd16(std::span<const std::uint8_t> b, std::size_t off) {
+  if (off + 2 > b.size()) return 0;
+  return static_cast<std::uint16_t>(b[off] | b[off + 1] << 8);
+}
+
+std::uint32_t rd32(std::span<const std::uint8_t> b, std::size_t off) {
+  if (off + 4 > b.size()) return 0;
+  return static_cast<std::uint32_t>(b[off]) | static_cast<std::uint32_t>(b[off + 1]) << 8 |
+         static_cast<std::uint32_t>(b[off + 2]) << 16 |
+         static_cast<std::uint32_t>(b[off + 3]) << 24;
+}
+
+std::uint64_t rd64(std::span<const std::uint8_t> b, std::size_t off) {
+  if (off + 8 > b.size()) return 0;
+  return static_cast<std::uint64_t>(rd32(b, off)) |
+         static_cast<std::uint64_t>(rd32(b, off + 4)) << 32;
+}
+
+void wr16(std::vector<std::uint8_t>& b, std::size_t off, std::uint16_t v) {
+  if (off + 2 > b.size()) return;
+  b[off] = static_cast<std::uint8_t>(v);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void wr32(std::vector<std::uint8_t>& b, std::size_t off, std::uint32_t v) {
+  if (off + 4 > b.size()) return;
+  for (int i = 0; i < 4; ++i) b[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void wr64(std::vector<std::uint8_t>& b, std::size_t off, std::uint64_t v) {
+  if (off + 8 > b.size()) return;
+  for (int i = 0; i < 8; ++i) b[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+// ---------------------------------------------------------------------------
+// Layout peek: just enough section-table understanding to aim, shared
+// by every structure-aware mutation. Returns nullopt on anything that
+// does not look like a little-endian ELF with an intact section table;
+// callers then fall back to blind bit flips.
+
+struct SecRef {
+  std::string name;
+  std::uint32_t type = 0;
+  std::uint64_t offset = 0;  // file offset of the section bytes
+  std::uint64_t size = 0;
+  std::size_t shdr_off = 0;  // file offset of this section's header
+};
+
+struct Layout {
+  bool is64 = true;
+  std::uint64_t shoff = 0;
+  std::uint16_t shentsize = 0;
+  std::uint16_t shnum = 0;
+  std::vector<SecRef> sections;
+
+  [[nodiscard]] const SecRef* find(std::string_view name) const {
+    for (const SecRef& s : sections)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+};
+
+// ELF header field offsets (little-endian only; the corpus is LE).
+constexpr std::size_t kOffShoff64 = 0x28, kOffShoff32 = 0x20;
+constexpr std::size_t kOffShentsize64 = 0x3a, kOffShentsize32 = 0x2e;
+constexpr std::size_t kOffShnum64 = 0x3c, kOffShnum32 = 0x30;
+constexpr std::size_t kOffShstrndx64 = 0x3e, kOffShstrndx32 = 0x32;
+// Section header field offsets.
+constexpr std::size_t kShName = 0x00, kShType = 0x04;
+constexpr std::size_t kShOffset64 = 0x18, kShOffset32 = 0x10;
+constexpr std::size_t kShSize64 = 0x20, kShSize32 = 0x14;
+constexpr std::size_t kShEntsize64 = 0x38, kShEntsize32 = 0x24;
+
+std::optional<Layout> peek_layout(std::span<const std::uint8_t> b) {
+  if (b.size() < 0x34) return std::nullopt;
+  if (!(b[0] == 0x7f && b[1] == 'E' && b[2] == 'L' && b[3] == 'F')) return std::nullopt;
+  if (b[5] != 1) return std::nullopt;  // little-endian only
+  Layout lay;
+  if (b[4] == 2)
+    lay.is64 = true;
+  else if (b[4] == 1)
+    lay.is64 = false;
+  else
+    return std::nullopt;
+  if (lay.is64 && b.size() < 0x40) return std::nullopt;
+
+  lay.shoff = lay.is64 ? rd64(b, kOffShoff64) : rd32(b, kOffShoff32);
+  lay.shentsize = rd16(b, lay.is64 ? kOffShentsize64 : kOffShentsize32);
+  lay.shnum = rd16(b, lay.is64 ? kOffShnum64 : kOffShnum32);
+  const std::uint16_t shstrndx = rd16(b, lay.is64 ? kOffShstrndx64 : kOffShstrndx32);
+  if (lay.shnum == 0 || lay.shentsize < (lay.is64 ? 0x40u : 0x28u)) return std::nullopt;
+  if (lay.shoff > b.size() ||
+      static_cast<std::uint64_t>(lay.shnum) * lay.shentsize > b.size() - lay.shoff)
+    return std::nullopt;
+
+  lay.sections.reserve(lay.shnum);
+  for (std::uint16_t i = 0; i < lay.shnum; ++i) {
+    const std::size_t at = static_cast<std::size_t>(lay.shoff) + i * lay.shentsize;
+    SecRef s;
+    s.shdr_off = at;
+    s.type = rd32(b, at + kShType);
+    s.offset = lay.is64 ? rd64(b, at + kShOffset64) : rd32(b, at + kShOffset32);
+    s.size = lay.is64 ? rd64(b, at + kShSize64) : rd32(b, at + kShSize32);
+    lay.sections.push_back(s);
+  }
+
+  // Resolve names through the string table, defensively.
+  if (shstrndx < lay.shnum) {
+    const SecRef& strtab = lay.sections[shstrndx];
+    if (strtab.offset <= b.size() && strtab.size <= b.size() - strtab.offset) {
+      for (std::uint16_t i = 0; i < lay.shnum; ++i) {
+        const std::uint32_t noff =
+            rd32(b, static_cast<std::size_t>(lay.shoff) + i * lay.shentsize + kShName);
+        if (noff >= strtab.size) continue;
+        const std::uint8_t* base = b.data() + strtab.offset + noff;
+        const std::size_t cap = static_cast<std::size_t>(strtab.size - noff);
+        std::size_t len = 0;
+        while (len < cap && base[len] != 0) ++len;
+        lay.sections[i].name.assign(reinterpret_cast<const char*>(base), len);
+      }
+    }
+  }
+  return lay;
+}
+
+/// The section's byte range clipped to the file (mutants may claim more
+/// bytes than exist). Empty when nothing of it is in the file.
+std::pair<std::size_t, std::size_t> clipped(const SecRef& s, std::size_t file_size) {
+  if (s.offset >= file_size) return {0, 0};
+  const std::size_t begin = static_cast<std::size_t>(s.offset);
+  const std::size_t len = static_cast<std::size_t>(
+      std::min<std::uint64_t>(s.size, file_size - s.offset));
+  return {begin, len};
+}
+
+// ---------------------------------------------------------------------------
+// Mutation families.
+
+void bit_flip(std::vector<std::uint8_t>& b, Rng& rng) {
+  if (b.empty()) return;
+  const std::uint64_t flips = rng.range(1, 8);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::size_t off = static_cast<std::size_t>(rng.range(0, b.size() - 1));
+    b[off] ^= static_cast<std::uint8_t>(1u << rng.range(0, 7));
+  }
+}
+
+void byte_stomp(std::vector<std::uint8_t>& b, Rng& rng) {
+  if (b.empty()) return;
+  const std::size_t off = static_cast<std::size_t>(rng.range(0, b.size() - 1));
+  const std::size_t len =
+      std::min<std::size_t>(static_cast<std::size_t>(rng.range(1, 64)), b.size() - off);
+  for (std::size_t i = 0; i < len; ++i)
+    b[off + i] = static_cast<std::uint8_t>(rng.range(0, 255));
+}
+
+/// An extreme or random integer — the values bounds checks get wrong.
+std::uint64_t hostile_u64(Rng& rng) {
+  switch (rng.range(0, 4)) {
+    case 0: return 0;
+    case 1: return 0xffffffffffffffffULL;
+    case 2: return 0x8000000000000000ULL;
+    case 3: return 0xffffffffULL;
+    default: return rng.next();
+  }
+}
+
+void shdr_corrupt(std::vector<std::uint8_t>& b, const Layout& lay, Rng& rng) {
+  const SecRef& s = lay.sections[rng.range(0, lay.sections.size() - 1)];
+  const std::size_t fields = static_cast<std::size_t>(rng.range(1, 3));
+  for (std::size_t i = 0; i < fields; ++i) {
+    switch (rng.range(0, 3)) {
+      case 0:  // sh_offset
+        if (lay.is64)
+          wr64(b, s.shdr_off + kShOffset64, hostile_u64(rng));
+        else
+          wr32(b, s.shdr_off + kShOffset32, static_cast<std::uint32_t>(hostile_u64(rng)));
+        break;
+      case 1:  // sh_size
+        if (lay.is64)
+          wr64(b, s.shdr_off + kShSize64, hostile_u64(rng));
+        else
+          wr32(b, s.shdr_off + kShSize32, static_cast<std::uint32_t>(hostile_u64(rng)));
+        break;
+      case 2:  // sh_type
+        wr32(b, s.shdr_off + kShType, static_cast<std::uint32_t>(rng.next()));
+        break;
+      default:  // sh_entsize
+        if (lay.is64)
+          wr64(b, s.shdr_off + kShEntsize64, rng.range(0, 7));
+        else
+          wr32(b, s.shdr_off + kShEntsize32, static_cast<std::uint32_t>(rng.range(0, 7)));
+        break;
+    }
+  }
+}
+
+void shdr_overlap(std::vector<std::uint8_t>& b, const Layout& lay, Rng& rng) {
+  const std::size_t a = static_cast<std::size_t>(rng.range(0, lay.sections.size() - 1));
+  std::size_t c = static_cast<std::size_t>(rng.range(0, lay.sections.size() - 1));
+  if (a == c) c = (c + 1) % lay.sections.size();
+  const SecRef& victim = lay.sections[a];
+  const SecRef& donor = lay.sections[c];
+  if (lay.is64) {
+    wr64(b, victim.shdr_off + kShOffset64, donor.offset + rng.range(0, 16));
+    wr64(b, victim.shdr_off + kShSize64, donor.size + rng.range(0, 16));
+  } else {
+    wr32(b, victim.shdr_off + kShOffset32,
+         static_cast<std::uint32_t>(donor.offset + rng.range(0, 16)));
+    wr32(b, victim.shdr_off + kShSize32,
+         static_cast<std::uint32_t>(donor.size + rng.range(0, 16)));
+  }
+}
+
+void shdr_oob(std::vector<std::uint8_t>& b, const Layout& lay, Rng& rng) {
+  const SecRef& s = lay.sections[rng.range(0, lay.sections.size() - 1)];
+  std::uint64_t offset;
+  std::uint64_t size;
+  if (rng.chance(0.5)) {
+    // Plainly past EOF.
+    offset = b.size() + rng.range(1, 0x1000);
+    size = rng.range(1, 0x10000);
+  } else {
+    // offset + size wraps to a small number — the classic bypass of
+    // `offset + size > file_size`.
+    size = rng.range(0x10, 0x10000);
+    offset = ~static_cast<std::uint64_t>(0) - rng.range(0, size - 1);
+  }
+  if (lay.is64) {
+    wr64(b, s.shdr_off + kShOffset64, offset);
+    wr64(b, s.shdr_off + kShSize64, size);
+  } else {
+    wr32(b, s.shdr_off + kShOffset32, static_cast<std::uint32_t>(offset));
+    wr32(b, s.shdr_off + kShSize32, static_cast<std::uint32_t>(size));
+  }
+}
+
+void shnum_oversize(std::vector<std::uint8_t>& b, const Layout& lay, Rng& rng) {
+  const std::uint16_t claim = static_cast<std::uint16_t>(
+      rng.chance(0.5) ? 0xffff : lay.shnum + rng.range(1, 1024));
+  wr16(b, lay.is64 ? kOffShnum64 : kOffShnum32, claim);
+}
+
+void shstrndx_corrupt(std::vector<std::uint8_t>& b, const Layout& lay, Rng& rng) {
+  const std::uint16_t claim = static_cast<std::uint16_t>(
+      rng.chance(0.5) ? 0xffff : lay.shnum + rng.range(0, 64));
+  wr16(b, lay.is64 ? kOffShstrndx64 : kOffShstrndx32, claim);
+}
+
+/// Walk .eh_frame record length fields (defensively, bounded) and
+/// return the file offsets of up to 64 length fields.
+std::vector<std::size_t> eh_record_offsets(std::span<const std::uint8_t> b,
+                                           const SecRef& eh) {
+  std::vector<std::size_t> out;
+  auto [begin, len] = clipped(eh, b.size());
+  std::size_t pos = 0;
+  while (pos + 4 <= len && out.size() < 64) {
+    out.push_back(begin + pos);
+    const std::uint32_t length = rd32(b, begin + pos);
+    if (length == 0 || length == 0xffffffffu) break;  // terminator / ext form
+    if (length > len - pos - 4) break;
+    pos += 4 + length;
+  }
+  return out;
+}
+
+void eh_frame_length(std::vector<std::uint8_t>& b, const SecRef& eh, Rng& rng) {
+  const auto records = eh_record_offsets(b, eh);
+  if (records.empty()) return;
+  const std::size_t at = records[rng.range(0, records.size() - 1)];
+  switch (rng.range(0, 3)) {
+    case 0: wr32(b, at, 0xfffffffeu); break;           // overruns the section
+    case 1: wr32(b, at, 0xffffffffu); break;           // demands a u64 length
+    case 2: wr32(b, at, static_cast<std::uint32_t>(rng.range(1, 3))); break;  // too short
+    default: wr32(b, at, static_cast<std::uint32_t>(rng.next())); break;
+  }
+}
+
+void cie_corrupt(std::vector<std::uint8_t>& b, const SecRef& eh, Rng& rng) {
+  auto [begin, len] = clipped(eh, b.size());
+  if (len < 10) return;
+  if (rng.chance(0.5)) {
+    b[begin + 8] = static_cast<std::uint8_t>(rng.range(2, 255));  // CIE version
+  } else {
+    // Stomp the augmentation string with an unknown letter; keep it
+    // NUL-terminated so the parse reaches the unsupported character.
+    b[begin + 9] = static_cast<std::uint8_t>('z' + rng.range(1, 4));
+  }
+}
+
+void fde_corrupt(std::vector<std::uint8_t>& b, const SecRef& eh, Rng& rng) {
+  const auto records = eh_record_offsets(b, eh);
+  // Find FDEs: records whose id field (4 bytes past the length) is
+  // nonzero. Retarget the CIE back-pointer.
+  std::vector<std::size_t> fdes;
+  for (std::size_t at : records)
+    if (rd32(b, at + 4) != 0) fdes.push_back(at);
+  if (fdes.empty()) {
+    eh_frame_length(b, eh, rng);  // no FDE to aim at: corrupt lengths instead
+    return;
+  }
+  const std::size_t at = fdes[rng.range(0, fdes.size() - 1)];
+  std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+  if (v == 0) v = 1;  // keep it an FDE, just dangling
+  wr32(b, at + 4, v);
+}
+
+void lsda_hostile(std::vector<std::uint8_t>& b, const SecRef& gct, Rng& rng) {
+  auto [begin, len] = clipped(gct, b.size());
+  if (len == 0) return;
+  switch (rng.range(0, 2)) {
+    case 0: {
+      // Endless ULEB128: a run of continuation bytes. A decoder without
+      // a width cap spins past 64 bits.
+      const std::size_t off = static_cast<std::size_t>(rng.range(0, len - 1));
+      const std::size_t n = std::min<std::size_t>(
+          static_cast<std::size_t>(rng.range(12, 64)), len - off);
+      std::fill_n(b.begin() + static_cast<std::ptrdiff_t>(begin + off), n,
+                  static_cast<std::uint8_t>(0xff));
+      break;
+    }
+    case 1:
+      // Unknown call-site encoding in the LSDA header.
+      b[begin + std::min<std::size_t>(2, len - 1)] =
+          static_cast<std::uint8_t>(rng.range(2, 0x0e));
+      break;
+    default: {
+      // Huge call-site table length (9-byte ULEB, tops out past 2^62).
+      const std::size_t off = static_cast<std::size_t>(rng.range(0, len - 1));
+      const std::size_t n = std::min<std::size_t>(10, len - off);
+      for (std::size_t i = 0; i + 1 < n; ++i) b[begin + off + i] = 0xff;
+      if (n > 0) b[begin + off + n - 1] = 0x7f;
+      break;
+    }
+  }
+}
+
+void plt_degenerate(std::vector<std::uint8_t>& b, const Layout& lay, const SecRef& plt,
+                    Rng& rng) {
+  auto [begin, len] = clipped(plt, b.size());
+  if (rng.chance(0.5) || len == 0) {
+    // Size not a multiple of the stub size (or entsize zeroed): the
+    // stub walk must not read past the bytes that exist.
+    if (lay.is64) {
+      wr64(b, plt.shdr_off + kShSize64, plt.size > 0 ? plt.size - rng.range(1, 15) : 7);
+      wr64(b, plt.shdr_off + kShEntsize64, rng.range(0, 3));
+    } else {
+      wr32(b, plt.shdr_off + kShSize32,
+           static_cast<std::uint32_t>(plt.size > 0 ? plt.size - rng.range(1, 15) : 7));
+      wr32(b, plt.shdr_off + kShEntsize32, static_cast<std::uint32_t>(rng.range(0, 3)));
+    }
+  } else {
+    // Garbage stubs: the jump-slot decoder meets noise, not stubs.
+    for (std::size_t i = 0; i < len; ++i)
+      b[begin + i] = static_cast<std::uint8_t>(rng.range(0, 255));
+  }
+}
+
+void note_corrupt(std::vector<std::uint8_t>& b, const SecRef& note, Rng& rng) {
+  auto [begin, len] = clipped(note, b.size());
+  if (len < 12) return;
+  switch (rng.range(0, 2)) {
+    case 0: wr32(b, begin + 0, static_cast<std::uint32_t>(hostile_u64(rng))); break;  // namesz
+    case 1: wr32(b, begin + 4, static_cast<std::uint32_t>(hostile_u64(rng))); break;  // descsz
+    default:
+      // pr_datasz of the first property (GNU\0 name is 4 bytes, desc is
+      // 8-aligned at +16 for 64-bit notes in this corpus).
+      if (len >= 24) wr32(b, begin + 20, static_cast<std::uint32_t>(hostile_u64(rng)));
+      else wr32(b, begin + 4, 0xffffffffu);
+      break;
+  }
+}
+
+}  // namespace
+
+const char* to_string(Mutation m) {
+  switch (m) {
+    case Mutation::kTruncate: return "truncate";
+    case Mutation::kBitFlip: return "bit-flip";
+    case Mutation::kByteStomp: return "byte-stomp";
+    case Mutation::kShdrCorrupt: return "shdr-corrupt";
+    case Mutation::kShdrOverlap: return "shdr-overlap";
+    case Mutation::kShdrOob: return "shdr-oob";
+    case Mutation::kShnumOversize: return "shnum-oversize";
+    case Mutation::kShstrndxCorrupt: return "shstrndx-corrupt";
+    case Mutation::kEhFrameLength: return "eh-frame-length";
+    case Mutation::kCieCorrupt: return "cie-corrupt";
+    case Mutation::kFdeCorrupt: return "fde-corrupt";
+    case Mutation::kLsdaHostile: return "lsda-hostile";
+    case Mutation::kPltDegenerate: return "plt-degenerate";
+    case Mutation::kNoteCorrupt: return "note-corrupt";
+  }
+  return "unknown";
+}
+
+std::string FaultPlan::label() const {
+  return std::string(to_string(kind)) + "/" + std::to_string(id) + "@" +
+         std::to_string(seed);
+}
+
+std::vector<std::uint8_t> mutate(std::span<const std::uint8_t> elf_bytes,
+                                 const FaultPlan& plan) {
+  std::vector<std::uint8_t> out(elf_bytes.begin(), elf_bytes.end());
+  if (out.empty()) return out;
+
+  // Derive an independent stream per (seed, kind, id); the constants
+  // are odd so distinct plans never alias.
+  Rng rng(plan.seed * 0x9e3779b97f4a7c15ULL ^
+          (static_cast<std::uint64_t>(plan.kind) + 1) * 0xbf58476d1ce4e5b9ULL ^
+          (static_cast<std::uint64_t>(plan.id) + 1) * 0x94d049bb133111ebULL);
+
+  const std::optional<Layout> lay = peek_layout(elf_bytes);
+  const SecRef* eh = lay ? lay->find(".eh_frame") : nullptr;
+  const SecRef* gct = lay ? lay->find(".gcc_except_table") : nullptr;
+  const SecRef* plt = lay ? lay->find(".plt") : nullptr;
+  const SecRef* note = lay ? lay->find(".note.gnu.property") : nullptr;
+
+  switch (plan.kind) {
+    case Mutation::kTruncate:
+      out.resize(static_cast<std::size_t>(rng.range(0, out.size() - 1)));
+      return out;  // shorter by construction; the equality net below can't help
+    case Mutation::kBitFlip:
+      bit_flip(out, rng);
+      break;
+    case Mutation::kByteStomp:
+      byte_stomp(out, rng);
+      break;
+    case Mutation::kShdrCorrupt:
+      if (lay) shdr_corrupt(out, *lay, rng);
+      break;
+    case Mutation::kShdrOverlap:
+      if (lay && lay->sections.size() >= 2) shdr_overlap(out, *lay, rng);
+      break;
+    case Mutation::kShdrOob:
+      if (lay) shdr_oob(out, *lay, rng);
+      break;
+    case Mutation::kShnumOversize:
+      if (lay) shnum_oversize(out, *lay, rng);
+      break;
+    case Mutation::kShstrndxCorrupt:
+      if (lay) shstrndx_corrupt(out, *lay, rng);
+      break;
+    case Mutation::kEhFrameLength:
+      if (eh != nullptr) eh_frame_length(out, *eh, rng);
+      break;
+    case Mutation::kCieCorrupt:
+      if (eh != nullptr) cie_corrupt(out, *eh, rng);
+      break;
+    case Mutation::kFdeCorrupt:
+      if (eh != nullptr) fde_corrupt(out, *eh, rng);
+      break;
+    case Mutation::kLsdaHostile:
+      if (gct != nullptr) lsda_hostile(out, *gct, rng);
+      break;
+    case Mutation::kPltDegenerate:
+      if (lay && plt != nullptr) plt_degenerate(out, *lay, *plt, rng);
+      break;
+    case Mutation::kNoteCorrupt:
+      if (note != nullptr) note_corrupt(out, *note, rng);
+      break;
+  }
+
+  // A structure-aware kind may have had no target (section absent,
+  // header unreadable) or written a value equal to the original. The
+  // engine promises a real mutant, so fall back to bit flips.
+  if (std::equal(out.begin(), out.end(), elf_bytes.begin(), elf_bytes.end()))
+    bit_flip(out, rng);
+  return out;
+}
+
+std::vector<FaultPlan> make_plans(std::uint64_t seed, std::size_t count) {
+  std::vector<FaultPlan> plans;
+  plans.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultPlan p;
+    p.seed = seed;
+    p.kind = static_cast<Mutation>(i % kMutationCount);
+    p.id = static_cast<std::uint32_t>(i);
+    plans.push_back(p);
+  }
+  return plans;
+}
+
+}  // namespace fsr::inject

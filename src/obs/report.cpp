@@ -77,8 +77,20 @@ void RunReport::add(const BinaryRunRecord& r) {
 
   std::fprintf(s.file,
                "{\"type\":\"binary\",\"binary\":\"%s\",\"profile\":\"%s\","
-               "\"prepare_seconds\":%.6f,\"decode_seconds\":%.6f,\"tools\":[",
+               "\"status\":\"%s\",",
                json_escape(r.binary).c_str(), json_escape(r.profile).c_str(),
+               json_escape(r.status).c_str());
+  if (!r.error.empty())
+    std::fprintf(s.file, "\"error\":\"%s\",", json_escape(r.error).c_str());
+  if (!r.diagnostics.empty()) {
+    std::fprintf(s.file, "\"diagnostics\":[");
+    for (std::size_t i = 0; i < r.diagnostics.size(); ++i)
+      std::fprintf(s.file, "%s\"%s\"", i == 0 ? "" : ",",
+                   json_escape(r.diagnostics[i]).c_str());
+    std::fprintf(s.file, "],");
+  }
+  std::fprintf(s.file,
+               "\"prepare_seconds\":%.6f,\"decode_seconds\":%.6f,\"tools\":[",
                r.prepare_seconds, r.decode_seconds);
   Digest d{r.binary, r.profile, r.prepare_seconds + r.decode_seconds, {}};
   for (std::size_t i = 0; i < r.tools.size(); ++i) {

@@ -30,6 +30,12 @@ struct BinaryRunRecord {
   double prepare_seconds = 0.0;
   double decode_seconds = 0.0;
   std::vector<ToolRunRecord> tools;
+  /// Containment outcome ("ok", "timed-out", "parse-failed", ...).
+  std::string status = "ok";
+  /// One-line failure cause when status != "ok".
+  std::string error;
+  /// Rendered lenient-parse diagnostics ("[bad-fde] .eh_frame+0x40: ...").
+  std::vector<std::string> diagnostics;
 };
 
 class RunReport {

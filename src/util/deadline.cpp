@@ -1,0 +1,56 @@
+#include "util/deadline.hpp"
+
+namespace fsr::util {
+
+namespace {
+
+// Per-thread ambient deadline state. `expired` is latched: once a poll
+// observes expiry, every later poll answers without touching the clock.
+thread_local Deadline tl_deadline;
+thread_local bool tl_active = false;
+thread_local bool tl_expired = false;
+thread_local std::uint32_t tl_tick = 0;
+
+}  // namespace
+
+Deadline Deadline::after_seconds(double seconds) {
+  Deadline d;
+  if (seconds <= 0.0) return d;  // unlimited
+  d.armed_ = true;
+  d.at_ = clock::now() + std::chrono::duration_cast<clock::duration>(
+                             std::chrono::duration<double>(seconds));
+  return d;
+}
+
+ScopedDeadline::ScopedDeadline(Deadline d) {
+  had_previous_ = tl_active;
+  previous_ = tl_deadline;
+  tl_deadline = d;
+  tl_active = !d.unlimited();
+  tl_expired = false;
+  tl_tick = 0;
+}
+
+ScopedDeadline::~ScopedDeadline() {
+  tl_deadline = previous_;
+  tl_active = had_previous_ && !previous_.unlimited();
+  tl_expired = false;
+  tl_tick = 0;
+}
+
+bool deadline_expired() {
+  if (!tl_active) return false;
+  if (tl_expired) return true;
+  if (++tl_tick % detail::kDeadlineStride != 0) return false;
+  tl_expired = tl_deadline.expired();
+  return tl_expired;
+}
+
+bool deadline_expired_now() {
+  if (!tl_active) return false;
+  if (tl_expired) return true;
+  tl_expired = tl_deadline.expired();
+  return tl_expired;
+}
+
+}  // namespace fsr::util

@@ -1,0 +1,71 @@
+// Cooperative per-binary time budgets.
+//
+// Pathological inputs can make otherwise-linear loops run for a very
+// long time (a mutated section header that admits a gigabyte "section",
+// a traversal over hostile flow). A Deadline is a point on the steady
+// clock; hot loops poll the *ambient* deadline — installed per worker
+// by ScopedDeadline — through deadline_expired(), which amortizes the
+// clock read over kStride calls so the check costs two thread-local
+// loads on the fast path.
+//
+// Expiry is monotonic: once a deadline has passed it stays passed, so a
+// single end-of-work check (eval::CorpusRunner does this) is enough to
+// flag a binary `timed_out` even if every loop only *breaks* on expiry
+// and returns partial results.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fsr::util {
+
+/// A wall-clock budget on the steady clock. Default-constructed
+/// deadlines are unlimited and never expire.
+class Deadline {
+public:
+  Deadline() = default;
+
+  /// Deadline `seconds` from now; non-positive budgets are unlimited.
+  static Deadline after_seconds(double seconds);
+
+  [[nodiscard]] bool unlimited() const { return !armed_; }
+  [[nodiscard]] bool expired() const {
+    return armed_ && clock::now() >= at_;
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  bool armed_ = false;
+  clock::time_point at_{};
+};
+
+/// Install `d` as the calling thread's ambient deadline for the scope's
+/// lifetime; the previous ambient deadline (if any) is restored on
+/// destruction, so scopes nest.
+class ScopedDeadline {
+public:
+  explicit ScopedDeadline(Deadline d);
+  ~ScopedDeadline();
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+private:
+  Deadline previous_;
+  bool had_previous_ = false;
+};
+
+/// Amortized poll of the ambient deadline: consults the clock once per
+/// kStride calls (per thread). Returns false when no deadline is
+/// installed. Safe and cheap to call from innermost loops.
+bool deadline_expired();
+
+/// Unamortized poll — reads the clock every call. Use at stage
+/// boundaries (e.g. "did anything in this binary time out?").
+bool deadline_expired_now();
+
+namespace detail {
+inline constexpr std::uint32_t kDeadlineStride = 1024;
+}
+
+}  // namespace fsr::util

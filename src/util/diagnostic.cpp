@@ -1,0 +1,73 @@
+#include "util/diagnostic.hpp"
+
+#include "util/str.hpp"
+
+namespace fsr::util {
+
+const char* to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kGeneric: return "generic";
+    case DiagCode::kTruncated: return "truncated";
+    case DiagCode::kBadHeader: return "bad-header";
+    case DiagCode::kSectionBounds: return "section-bounds";
+    case DiagCode::kBadString: return "bad-string";
+    case DiagCode::kBadSymbols: return "bad-symbols";
+    case DiagCode::kBadPlt: return "bad-plt";
+    case DiagCode::kBadCie: return "bad-cie";
+    case DiagCode::kBadFde: return "bad-fde";
+    case DiagCode::kBadLsda: return "bad-lsda";
+    case DiagCode::kBadEncoding: return "bad-encoding";
+    case DiagCode::kBadNote: return "bad-note";
+    case DiagCode::kBadEhFrameHdr: return "bad-eh-frame-hdr";
+    case DiagCode::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = "[";
+  out += util::to_string(code);
+  out += "] ";
+  out += section.empty() ? "file" : section;
+  out += "+";
+  out += hex(offset);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void Diagnostics::add(Diagnostic d) {
+  ++total_;
+  if (items_.size() < kMaxStored) items_.push_back(std::move(d));
+}
+
+void Diagnostics::add(DiagCode code, std::string section, std::uint64_t offset,
+                      std::string message) {
+  add(Diagnostic{code, std::move(section), offset, std::move(message)});
+}
+
+bool Diagnostics::has(DiagCode code) const {
+  for (const Diagnostic& d : items_)
+    if (d.code == code) return true;
+  return false;
+}
+
+std::string Diagnostics::summary() const {
+  std::string out;
+  for (const Diagnostic& d : items_) {
+    if (!out.empty()) out += "\n";
+    out += d.to_string();
+  }
+  if (dropped() > 0) {
+    if (!out.empty()) out += "\n";
+    out += "(+" + std::to_string(dropped()) + " more diagnostics dropped)";
+  }
+  return out;
+}
+
+void Diagnostics::clear() {
+  items_.clear();
+  total_ = 0;
+}
+
+}  // namespace fsr::util

@@ -1,0 +1,81 @@
+// Structured parse diagnostics.
+//
+// A Diagnostic pins a parse failure to a location (section + offset)
+// and a machine-readable code, replacing context-free what-strings.
+// Lenient parsers accumulate them into a Diagnostics sink and salvage
+// what they can; strict parsers throw fsr::ParseError carrying one.
+//
+// The sink is bounded: a hostile input that trips millions of failures
+// cannot grow memory without limit — overflow is counted, not stored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsr::util {
+
+/// What went wrong, machine-readable. Stable names (to_string) feed the
+/// JSONL run reports and the obs error counters.
+enum class DiagCode {
+  kGeneric,        // legacy string-only errors
+  kTruncated,      // input ends before a structure completes
+  kBadHeader,      // ELF ident / header field unusable
+  kSectionBounds,  // section data outside the file (incl. overflow)
+  kBadString,      // string-table offset / termination
+  kBadSymbols,     // malformed symbol table
+  kBadPlt,         // PLT / relocation reconstruction failed
+  kBadCie,         // malformed CIE record
+  kBadFde,         // malformed FDE record / broken CIE chain
+  kBadLsda,        // malformed LSDA call-site table
+  kBadEncoding,    // unsupported / corrupt DW_EH_PE encoding
+  kBadNote,        // malformed .note.gnu.property
+  kBadEhFrameHdr,  // malformed .eh_frame_hdr
+  kTimeout,        // per-binary deadline expired mid-parse
+};
+
+const char* to_string(DiagCode code);
+
+/// One structured parse diagnostic: code + where + human message.
+struct Diagnostic {
+  DiagCode code = DiagCode::kGeneric;
+  std::string section;        // "" when the whole file is meant
+  std::uint64_t offset = 0;   // byte offset within `section` (or file)
+  std::string message;
+
+  /// "[bad-fde] .eh_frame+0x40: FDE references unknown CIE"
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Bounded accumulator for lenient parsing. Passing one to a parser
+/// switches it into salvage mode: instead of throwing on the first
+/// malformed structure it records a Diagnostic here and returns
+/// everything decoded up to that point.
+class Diagnostics {
+public:
+  /// Stored-entry cap; additions beyond it only bump dropped().
+  static constexpr std::size_t kMaxStored = 64;
+
+  void add(Diagnostic d);
+  void add(DiagCode code, std::string section, std::uint64_t offset,
+           std::string message);
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t dropped() const { return total_ - items_.size(); }
+  [[nodiscard]] const std::vector<Diagnostic>& items() const { return items_; }
+
+  /// True when any diagnostic carries `code`.
+  [[nodiscard]] bool has(DiagCode code) const;
+
+  /// One line per stored diagnostic (plus a dropped-count trailer).
+  [[nodiscard]] std::string summary() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> items_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fsr::util

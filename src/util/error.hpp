@@ -5,10 +5,18 @@
 // arbitrary bytes (the linear-sweep disassembler) reports recoverable
 // failures through return values instead; exceptions are reserved for
 // "the caller handed us something structurally broken".
+//
+// ParseError carries a structured util::Diagnostic (error code +
+// section + offset + message) so catchers can report *where* an input
+// broke, not just that it did. The plain-string constructor remains for
+// sites with no positional context (code DiagCode::kGeneric).
 #pragma once
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "util/diagnostic.hpp"
 
 namespace fsr {
 
@@ -21,7 +29,18 @@ public:
 /// Raised when parsing a malformed or truncated binary structure.
 class ParseError : public Error {
 public:
-  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+  explicit ParseError(const std::string& what)
+      : Error("parse error: " + what),
+        diagnostic_{util::DiagCode::kGeneric, "", 0, what} {}
+  explicit ParseError(util::Diagnostic d)
+      : Error("parse error: " + d.to_string()), diagnostic_(std::move(d)) {}
+
+  /// Structured location + code of the failure (kGeneric for
+  /// string-only throws).
+  [[nodiscard]] const util::Diagnostic& diagnostic() const { return diagnostic_; }
+
+private:
+  util::Diagnostic diagnostic_;
 };
 
 /// Raised when an encoder/builder is asked to produce something it cannot.
@@ -34,6 +53,14 @@ public:
 class UsageError : public Error {
 public:
   explicit UsageError(const std::string& what) : Error("usage error: " + what) {}
+};
+
+/// Raised when a cooperative util::Deadline expires inside a stage that
+/// cannot return a partial result. Stages that can (the sweeps, the
+/// traversals, the lenient parsers) return what they have instead.
+class TimeoutError : public Error {
+public:
+  explicit TimeoutError(const std::string& what) : Error("timeout: " + what) {}
 };
 
 }  // namespace fsr

@@ -1,5 +1,6 @@
 #include "x86/sweep.hpp"
 
+#include "util/deadline.hpp"
 #include "x86/decoder.hpp"
 
 namespace fsr::x86 {
@@ -15,6 +16,10 @@ SweepResult linear_sweep(std::span<const std::uint8_t> code, std::uint64_t base,
   constexpr std::size_t kProbe = 256;
   std::size_t off = 0;
   while (off < code.size()) {
+    if (util::deadline_expired()) {
+      result.timed_out = true;
+      break;
+    }
     if (result.insns.size() == kProbe) {
       const std::size_t avg = (off + kProbe - 1) / kProbe;  // bytes/insn so far
       result.insns.reserve(code.size() / (avg > 0 ? avg : 1) + kProbe);

@@ -20,9 +20,14 @@ struct SweepResult {
   std::vector<Insn> insns;
   /// Addresses where decoding failed and the sweep resynced by one byte.
   std::vector<std::uint64_t> bad_bytes;
+  /// True when the ambient util::Deadline expired mid-sweep; insns and
+  /// bad_bytes cover only the prefix decoded before the cutoff.
+  bool timed_out = false;
 };
 
-/// Sweep `code`, which is loaded at virtual address `base`.
+/// Sweep `code`, which is loaded at virtual address `base`. Honors the
+/// ambient per-thread util::Deadline: on expiry the sweep stops early
+/// and the partial result is flagged `timed_out`.
 SweepResult linear_sweep(std::span<const std::uint8_t> code, std::uint64_t base,
                          Mode mode);
 

@@ -6,6 +6,7 @@
 #include "elf/reader.hpp"
 #include "elf/types.hpp"
 #include "elf/writer.hpp"
+#include "util/diagnostic.hpp"
 #include "util/error.hpp"
 
 namespace fsr::elf {
@@ -253,6 +254,58 @@ TEST(ElfWriter, FileOffsetsCongruentWithVaddr) {
   Image parsed = read_elf(bytes);
   EXPECT_EQ(parsed.text().addr, 0x400123u);
   EXPECT_EQ(parsed.text().data, img.text().data);
+}
+
+
+TEST(ElfReader, RejectsWrappingSectionBounds) {
+  // Regression: the bounds check used to be `offset + size > file_size`,
+  // which a near-2^64 sh_offset wraps past -- the sum comes out tiny,
+  // the check passes, and the reader slices wildly out of bounds.
+  Image img = minimal_image(Machine::kX8664, BinaryKind::kPie);
+  Section extra;
+  extra.name = ".rodata";
+  extra.type = kShtProgbits;
+  extra.flags = kShfAlloc;
+  extra.addr = img.sections[0].addr + 0x1000;
+  extra.align = 8;
+  extra.data.assign(32, 0xaa);
+  img.sections.push_back(std::move(extra));
+  auto bytes = write_elf(img);
+
+  const auto rd16 = [&](std::size_t at) {
+    return static_cast<std::uint16_t>(bytes[at] | bytes[at + 1] << 8);
+  };
+  const auto rd64 = [&](std::size_t at) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | bytes[at + static_cast<std::size_t>(i)];
+    return v;
+  };
+  const auto wr64 = [&](std::size_t at, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  };
+
+  const std::uint64_t shoff = rd64(0x28);
+  const std::uint16_t shentsize = rd16(0x3a);
+  const std::uint16_t shnum = rd16(0x3c);
+  // Find .rodata's header by its stored (offset, size) and retarget it
+  // so offset + size wraps to a small number.
+  bool patched = false;
+  for (std::uint16_t i = 1; i < shnum && !patched; ++i) {
+    const std::size_t sh = static_cast<std::size_t>(shoff) + std::size_t{i} * shentsize;
+    if (rd64(sh + 0x20) != 32) continue;  // sh_size of .rodata
+    wr64(sh + 0x18, ~std::uint64_t{0} - 16);  // sh_offset: wraps with size 32
+    patched = true;
+  }
+  ASSERT_TRUE(patched);
+
+  EXPECT_THROW(read_elf(bytes), ParseError);
+
+  util::Diagnostics diags;
+  const Image salvaged = read_elf(bytes, ReadOptions{true, &diags});
+  EXPECT_TRUE(diags.has(util::DiagCode::kSectionBounds)) << diags.summary();
+  // The wrapped section loses its data; the rest of the file survives.
+  EXPECT_EQ(salvaged.text().data, img.sections[0].data);
 }
 
 }  // namespace

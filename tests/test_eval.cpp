@@ -9,6 +9,10 @@
 #include "eval/truth.hpp"
 #include "util/error.hpp"
 
+#include <cstdlib>
+
+#include "synth/corpus.hpp"
+
 namespace fsr::eval {
 namespace {
 
@@ -168,6 +172,100 @@ TEST(Runner, FunSeekerConfigsAreOrderedAsInTableII) {
   // Config 4 restores precision while keeping most of the recall.
   EXPECT_GT(r4.score.precision(), 0.95);
   EXPECT_GE(r4.score.recall(), r2.score.recall());
+}
+
+
+// ---- Per-binary error containment (the fault-injection harness rides
+// ---- on these invariants: one hostile binary must cost exactly one
+// ---- result, never the run).
+
+TEST(Runner, BinaryStatusNames) {
+  EXPECT_EQ(to_string(BinaryStatus::kOk), "ok");
+  EXPECT_EQ(to_string(BinaryStatus::kTimedOut), "timed-out");
+  EXPECT_EQ(to_string(BinaryStatus::kParseFailed), "parse-failed");
+  EXPECT_EQ(to_string(BinaryStatus::kEncodeFailed), "encode-failed");
+  EXPECT_EQ(to_string(BinaryStatus::kAnalysisFailed), "analysis-failed");
+}
+
+TEST(Runner, ContainsOneHostileBinaryAndReportsExactlyIt) {
+  auto configs = synth::corpus_configs(0.01);
+  ASSERT_GE(configs.size(), 6u);
+  configs.resize(6);
+  const std::size_t hostile = 3;
+  for (std::size_t threads : {1u, 2u}) {
+    CorpusRunner runner(CorpusRunner::all_tools(), threads);
+    runner.set_mutator([&](std::size_t i, std::vector<std::uint8_t> bytes) {
+      if (i == hostile) bytes.resize(10);  // headerless stub: unsalvageable
+      return bytes;
+    });
+    std::size_t delivered = 0, failed = 0;
+    runner.run(configs, [&](const synth::BinaryConfig& cfg,
+                            const BinaryResult& r) {
+      ++delivered;
+      if (!r.ok()) {
+        ++failed;
+        EXPECT_EQ(cfg.name(), configs[hostile].name());
+        EXPECT_EQ(r.status, BinaryStatus::kParseFailed);
+        EXPECT_TRUE(r.per_job.empty());
+        EXPECT_FALSE(r.error.empty());
+      } else {
+        EXPECT_EQ(r.per_job.size(), runner.jobs().size());
+      }
+    });
+    EXPECT_EQ(delivered, configs.size()) << threads << " threads";
+    EXPECT_EQ(failed, 1u) << threads << " threads";
+  }
+}
+
+TEST(Runner, TimeBudgetDeliversTimedOutResultsNotCrashes) {
+  auto configs = synth::corpus_configs(0.01);
+  configs.resize(2);
+  // A budget too small to finish anything: every binary must come back
+  // flagged kTimedOut with per_job either complete (partial contents)
+  // or empty -- never ragged, never thrown out of run().
+  CorpusRunner runner(CorpusRunner::all_tools(), 1, 1e-9);
+  EXPECT_GT(runner.time_budget_seconds(), 0.0);
+  std::size_t delivered = 0, timed_out = 0;
+  runner.run(configs, [&](const synth::BinaryConfig&, const BinaryResult& r) {
+    ++delivered;
+    EXPECT_TRUE(r.per_job.empty() || r.per_job.size() == runner.jobs().size());
+    if (r.status == BinaryStatus::kTimedOut) ++timed_out;
+  });
+  EXPECT_EQ(delivered, configs.size());
+  EXPECT_EQ(timed_out, configs.size());
+}
+
+TEST(Runner, TimeBudgetFallsBackToEnvVar) {
+  setenv("REPRO_TIME_BUDGET", "2.5", 1);
+  CorpusRunner from_env({{Tool::kFunSeeker, {}}});
+  unsetenv("REPRO_TIME_BUDGET");
+  EXPECT_DOUBLE_EQ(from_env.time_budget_seconds(), 2.5);
+  CorpusRunner unlimited({{Tool::kFunSeeker, {}}});
+  EXPECT_DOUBLE_EQ(unlimited.time_budget_seconds(), 0.0);
+}
+
+TEST(Runner, MutatorIdentityKeepsScoresBitIdentical) {
+  auto configs = synth::corpus_configs(0.01);
+  configs.resize(3);
+  std::vector<Score> plain, via_mutator;
+  CorpusRunner runner({{Tool::kFunSeeker, {}}}, 1);
+  runner.run(configs, [&](const synth::BinaryConfig&, const BinaryResult& r) {
+    plain.push_back(r.per_job[0].score);
+  });
+  CorpusRunner mutated({{Tool::kFunSeeker, {}}}, 1);
+  mutated.set_mutator(
+      [](std::size_t, std::vector<std::uint8_t> bytes) { return bytes; });
+  mutated.run(configs, [&](const synth::BinaryConfig&, const BinaryResult& r) {
+    ASSERT_EQ(r.status, BinaryStatus::kOk);
+    EXPECT_TRUE(r.diagnostics.empty());
+    via_mutator.push_back(r.per_job[0].score);
+  });
+  ASSERT_EQ(plain.size(), via_mutator.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].tp, via_mutator[i].tp);
+    EXPECT_EQ(plain[i].fp, via_mutator[i].fp);
+    EXPECT_EQ(plain[i].fn, via_mutator[i].fn);
+  }
 }
 
 }  // namespace

@@ -8,12 +8,16 @@
 
 #include "arm64/sweep.hpp"
 #include "eh/eh_frame.hpp"
+#include "eh/eh_frame_hdr.hpp"
 #include "eh/lsda.hpp"
+#include "elf/gnu_property.hpp"
 #include "elf/reader.hpp"
 #include "elf/writer.hpp"
 #include "funseeker/funseeker.hpp"
+#include "inject/fault.hpp"
 #include "synth/corpus.hpp"
 #include "test_helpers.hpp"
+#include "util/diagnostic.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "x86/decoder.hpp"
@@ -171,6 +175,128 @@ TEST(Fuzz, WriterReaderClosureOnMutatedImages) {
       // EncodeError (overlap) or ParseError both acceptable
     }
   }
+}
+
+// ---- Structure-aware mutants (src/inject) against every parser, in
+// ---- both strictness modes. Strict may throw ParseError; lenient may
+// ---- only record diagnostics (a totally unusable ELF header is the
+// ---- one documented exception for the reader).
+
+std::vector<std::uint8_t> fuzz_sample_elf() {
+  synth::BinaryConfig cfg;
+  cfg.suite = synth::Suite::kSpec;
+  return synth::make_binary(cfg).stripped_bytes();
+}
+
+TEST(Fuzz, ReaderSurvivesStructureAwareMutantsBothModes) {
+  const auto pristine = fuzz_sample_elf();
+  for (const auto& plan : inject::make_plans(0x4ead, 10 * inject::kMutationCount)) {
+    const auto mutant = inject::mutate(pristine, plan);
+    try {
+      (void)elf::read_elf(mutant);  // strict
+    } catch (const ParseError&) {
+    }
+    util::Diagnostics diags;
+    try {
+      (void)elf::read_elf(mutant, elf::ReadOptions{true, &diags});
+    } catch (const ParseError&) {
+      // only reachable for an unusable header (no geometry to salvage)
+    }
+  }
+}
+
+TEST(Fuzz, AnalyzersSurviveStructureAwareMutantsLeniently) {
+  // End-to-end containment: lenient-parse the mutant, then push it
+  // through FunSeeker with a diagnostics sink. The only acceptable
+  // outcomes are a result or a ParseError from an unusable container.
+  const auto pristine = fuzz_sample_elf();
+  for (const auto& plan : inject::make_plans(0xa1a, 6 * inject::kMutationCount)) {
+    const auto mutant = inject::mutate(pristine, plan);
+    util::Diagnostics diags;
+    elf::Image img;
+    try {
+      img = elf::read_elf(mutant, elf::ReadOptions{true, &diags});
+    } catch (const ParseError&) {
+      continue;
+    }
+    if (img.machine == elf::Machine::kArm64 || img.find_section(".text") == nullptr)
+      continue;
+    funseeker::Options opts;
+    opts.diags = &diags;
+    try {
+      (void)funseeker::analyze(img, opts);
+    } catch (const Error&) {
+      // acceptable: damage outside the lenient parsers' reach
+    }
+  }
+}
+
+TEST(Fuzz, EhFrameLenientNeverThrowsOnRandomBytes) {
+  util::Rng rng(0xe401);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.range(0, 256));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    util::Diagnostics diags;
+    const eh::EhFrame frame = eh::parse_eh_frame(bytes, 0x1000, 8, &diags);
+    // Salvage invariant: on damage, everything before the first bad
+    // record is retained and the damage is recorded.
+    if (!diags.empty()) EXPECT_GT(diags.total(), 0u);
+    (void)frame;
+  }
+}
+
+TEST(Fuzz, EhFrameHdrLenientNeverThrowsOnRandomBytes) {
+  util::Rng rng(0x4d01);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.range(0, 128));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    util::Diagnostics diags;
+    const auto hdr = eh::parse_eh_frame_hdr(bytes, 0x2000, &diags);
+    // Lenient output must still honor the sortedness contract the
+    // binary-search consumers rely on.
+    for (std::size_t i = 1; i < hdr.entries.size(); ++i)
+      EXPECT_LE(hdr.entries[i - 1].pc_begin, hdr.entries[i].pc_begin);
+  }
+}
+
+TEST(Fuzz, LsdaLenientNeverThrowsOnRandomBytes) {
+  util::Rng rng(0x15db);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.range(1, 128));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    util::Diagnostics diags;
+    std::size_t end = 0;
+    (void)eh::parse_lsda(bytes, 0, 0x1000, end, &diags);
+    EXPECT_LE(end, bytes.size());
+  }
+}
+
+TEST(Fuzz, GnuPropertyLenientNeverThrowsOnRandomBytes) {
+  util::Rng rng(0x6709);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.range(0, 96));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    for (elf::Machine m : {elf::Machine::kX8664, elf::Machine::kArm64}) {
+      util::Diagnostics diags;
+      (void)elf::parse_gnu_property(bytes, m, &diags);
+    }
+  }
+}
+
+TEST(Fuzz, LenientOnCleanInputIsSilentAndEquivalent) {
+  // The lenient path must be a pure superset: on well-formed input it
+  // produces the same image as strict and records nothing.
+  const auto pristine = fuzz_sample_elf();
+  util::Diagnostics diags;
+  const elf::Image lenient = elf::read_elf(pristine, elf::ReadOptions{true, &diags});
+  const elf::Image strict = elf::read_elf(pristine);
+  EXPECT_TRUE(diags.empty()) << diags.summary();
+  ASSERT_EQ(lenient.sections.size(), strict.sections.size());
+  for (std::size_t i = 0; i < strict.sections.size(); ++i) {
+    EXPECT_EQ(lenient.sections[i].name, strict.sections[i].name);
+    EXPECT_EQ(lenient.sections[i].data, strict.sections[i].data);
+  }
+  EXPECT_EQ(lenient.plt.size(), strict.plt.size());
 }
 
 }  // namespace

@@ -50,7 +50,7 @@ namespace {
                "  disasm <file> [--at HEXADDR] [--n COUNT]\n"
                "  eh <file>\n"
                "  cfg <file> [--at HEXADDR]\n"
-               "  compare <file>\n"
+               "  compare <file...> [--keep-going|--strict]\n"
                "  gen <out.elf> [--suite coreutils|binutils|spec]\n"
                "                [--compiler gcc|clang] [--opt O0..Ofast]\n"
                "                [--arch x86|x64|arm64] [--pie|--no-pie] [--prog N]\n"
@@ -75,7 +75,8 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int first)
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) throw UsageError("unexpected argument " + key);
     key = key.substr(2);
-    if (key == "pie" || key == "no-pie") {
+    if (key == "pie" || key == "no-pie" || key == "keep-going" ||
+        key == "strict") {
       flags[key] = "1";
     } else {
       if (i + 1 >= argc) throw UsageError("flag --" + key + " needs a value");
@@ -246,21 +247,59 @@ int cmd_cfg(const std::string& path, const std::map<std::string, std::string>& f
   return 0;
 }
 
-int cmd_compare(const std::string& path) {
+/// One binary of a compare run. In keep-going mode the parse is lenient
+/// and salvage notes go to stderr; any failure is reported by throwing.
+void compare_one(const std::string& path, bool lenient, bool banner) {
   const auto bytes = read_file(path);
-  const elf::Image img = elf::read_elf(bytes);  // parsed once, shared by all tools
+  util::Diagnostics diags;
+  util::Diagnostics* sink = lenient ? &diags : nullptr;
+  const elf::Image img =
+      elf::read_elf(bytes, elf::ReadOptions{lenient, sink});  // parsed once
   if (img.machine == elf::Machine::kArm64)
     throw UsageError("compare runs the x86 tool set");
   const eval::SharedDecode decode = eval::decode_shared(img);  // decoded once too
   eval::Table table({"tool", "entries", "analysis ms"});
   for (eval::Tool tool : {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
                           eval::Tool::kGhidraLike, eval::Tool::kFetchLike}) {
-    const eval::RunResult r = eval::run_tool_on(tool, img, decode);
+    const eval::RunResult r = eval::run_tool_on(tool, img, decode, {}, sink);
     table.add_row({eval::to_string(tool), std::to_string(r.found.size()),
                    util::fixed(r.seconds * 1e3, 3)});
   }
+  if (banner) std::printf("== %s\n", path.c_str());
   std::printf("%s", table.render().c_str());
   std::printf("shared decode: %.3f ms\n", decode.decode_seconds * 1e3);
+  if (!diags.empty())
+    std::fprintf(stderr, "%s: %zu parse diagnostics salvaged:\n%s\n",
+                 path.c_str(), diags.total(), diags.summary().c_str());
+}
+
+int cmd_compare(const std::vector<std::string>& paths,
+                const std::map<std::string, std::string>& flags) {
+  const bool strict = flags.count("strict") != 0;
+  if (strict && flags.count("keep-going") != 0)
+    throw UsageError("--strict and --keep-going are mutually exclusive");
+  // Keep-going is the default: a hostile binary in a batch is reported,
+  // not fatal. --strict restores first-failure abort with strict parsing.
+  struct Failure {
+    std::string path, cause;
+  };
+  std::vector<Failure> failures;
+  for (const std::string& path : paths) {
+    try {
+      compare_one(path, /*lenient=*/!strict, /*banner=*/paths.size() > 1);
+    } catch (const std::exception& e) {
+      if (strict) throw;
+      failures.push_back({path, e.what()});
+      std::fprintf(stderr, "fsr: %s: %s (continuing)\n", path.c_str(), e.what());
+    }
+  }
+  if (!failures.empty()) {
+    std::fprintf(stderr, "%zu of %zu binaries failed:\n", failures.size(),
+                 paths.size());
+    for (const Failure& f : failures)
+      std::fprintf(stderr, "  %s: %s\n", f.path.c_str(), f.cause.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -317,20 +356,35 @@ int main(int argc, char** argv) {
   argc = obs::parse_cli_flags(argc, argv);  // --trace-out / --metrics-out / --report-out
   if (argc < 3) usage();
   const std::string command = argv[1];
-  const std::string target = argv[2];
+  // Positional arguments run until the first --flag; compare accepts
+  // several, every other command exactly one.
+  std::vector<std::string> targets;
+  int first_flag = 2;
+  while (first_flag < argc &&
+         std::strncmp(argv[first_flag], "--", 2) != 0)
+    targets.push_back(argv[first_flag++]);
   int rc = 0;
   try {
-    const auto flags = parse_flags(argc, argv, 3);
+    if (targets.empty()) throw UsageError(command + " needs a file argument");
+    if (targets.size() > 1 && command != "compare")
+      throw UsageError(command + " takes exactly one file");
+    const std::string& target = targets.front();
+    const auto flags = parse_flags(argc, argv, first_flag);
     if (command == "identify") rc = cmd_identify(target, flags);
     else if (command == "info") rc = cmd_info(target);
     else if (command == "disasm") rc = cmd_disasm(target, flags);
     else if (command == "eh") rc = cmd_eh(target);
     else if (command == "cfg") rc = cmd_cfg(target, flags);
-    else if (command == "compare") rc = cmd_compare(target);
+    else if (command == "compare") rc = cmd_compare(targets, flags);
     else if (command == "gen") rc = cmd_gen(target, flags);
     else usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "fsr: %s\n", e.what());
+    rc = 1;
+  } catch (const std::exception& e) {
+    // Hostile inputs must produce a diagnostic and an exit code, never
+    // an uncaught-exception abort.
+    std::fprintf(stderr, "fsr: unexpected error: %s\n", e.what());
     rc = 1;
   }
   obs::write_outputs();
