@@ -5,10 +5,18 @@
 //
 // Stages (per x86/x64 binary, summed over the corpus):
 //   decode      x86::build_code_view — linear sweep + flat address index
+//   substrate   x86::build_substrate — prefix sums + flow index + bitsets
 //   derive      funseeker::derive_sets — candidate sets from the view
 //   endbr_scan  x86::find_endbr_offsets — memchr-prefiltered raw scan
 //   traversal   baselines::recursive_traversal from the entry point
 //   analysis    each tool's analysis over the shared substrate
+//
+// FETCH-like is timed twice: in substrate mode (what bench_table3 runs,
+// reported as its analysis_seconds) and in faithful mode (FETCH's own
+// per-candidate decode-and-walk cost model, the §V-D number). Both runs
+// must produce identical function lists — the bench aborts otherwise —
+// and their frame-height probe/step counters are reported so the
+// probe-volume collapse is visible in the JSON trajectory.
 //
 // Runs single-threaded regardless of REPRO_THREADS (isolated stage
 // timings, not throughput). Emits BENCH_hotpath.json.
@@ -25,6 +33,7 @@
 #include "eval/tables.hpp"
 #include "funseeker/disassemble.hpp"
 #include "funseeker/funseeker.hpp"
+#include "obs/metrics.hpp"
 #include "synth/cache.hpp"
 #include "util/stopwatch.hpp"
 #include "util/str.hpp"
@@ -36,10 +45,15 @@ namespace {
 
 struct Stages {
   double decode = 0.0;
+  double substrate = 0.0;
   double derive = 0.0;
   double endbr_scan = 0.0;
   double traversal = 0.0;
   double analysis[4] = {0.0, 0.0, 0.0, 0.0};
+  double fetch_faithful = 0.0;
+  std::uint64_t probes = 0;          // frame-height probes (same both modes)
+  std::uint64_t substrate_steps = 0;  // walk iterations, substrate mode
+  std::uint64_t faithful_steps = 0;   // walk iterations (decodes), faithful mode
   std::size_t binaries = 0;
   std::size_t insns = 0;
 };
@@ -57,6 +71,7 @@ void write_json(const Stages& s, double scale) {
   std::fprintf(out, "  \"instructions\": %zu,\n", s.insns);
   std::fprintf(out, "  \"stages\": {\n");
   std::fprintf(out, "    \"decode_seconds\": %.4f,\n", s.decode);
+  std::fprintf(out, "    \"substrate_seconds\": %.4f,\n", s.substrate);
   std::fprintf(out, "    \"derive_seconds\": %.4f,\n", s.derive);
   std::fprintf(out, "    \"endbr_scan_seconds\": %.4f,\n", s.endbr_scan);
   std::fprintf(out, "    \"traversal_seconds\": %.4f,\n", s.traversal);
@@ -66,7 +81,16 @@ void write_json(const Stages& s, double scale) {
   for (std::size_t t = 0; t < 4; ++t)
     std::fprintf(out, "      \"%s\": %.4f%s\n", eval::to_string(kTools[t]).c_str(),
                  s.analysis[t], t + 1 < 4 ? "," : "");
-  std::fprintf(out, "    }\n  }\n}\n");
+  std::fprintf(out, "    }\n  },\n");
+  std::fprintf(out, "  \"fetch\": {\n");
+  std::fprintf(out, "    \"faithful_seconds\": %.4f,\n", s.fetch_faithful);
+  std::fprintf(out, "    \"frame_height_probes\": %llu,\n",
+               static_cast<unsigned long long>(s.probes));
+  std::fprintf(out, "    \"substrate_steps\": %llu,\n",
+               static_cast<unsigned long long>(s.substrate_steps));
+  std::fprintf(out, "    \"faithful_steps\": %llu\n",
+               static_cast<unsigned long long>(s.faithful_steps));
+  std::fprintf(out, "  }\n}\n");
   std::fclose(out);
 }
 
@@ -74,6 +98,8 @@ void write_json(const Stages& s, double scale) {
 
 int main(int argc, char** argv) {
   bench::obs_init(argc, argv);
+  obs::Counter& probes = obs::counter("fetch.frame_height_probes");
+  obs::Counter& steps = obs::counter("fetch.frame_height_steps");
   Stages s;
   for (const auto& cfg : bench::corpus()) {
     if (cfg.machine == elf::Machine::kArm64) continue;  // x86 pipeline only
@@ -84,8 +110,12 @@ int main(int argc, char** argv) {
         img.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
 
     bench::StageTimer timer;
-    const x86::CodeView view = x86::build_code_view(text.data, text.addr, mode);
+    x86::CodeView view =
+        x86::build_code_view(text.data, text.addr, mode, /*with_substrate=*/false);
     s.decode += timer.lap("hotpath.decode_ns");
+
+    x86::build_substrate(view);
+    s.substrate += timer.lap("hotpath.substrate_ns");
 
     const funseeker::DisasmSets sets = funseeker::derive_sets(view);
     s.derive += timer.lap("hotpath.derive_ns");
@@ -107,9 +137,34 @@ int main(int argc, char** argv) {
     const auto ghidra = baselines::ghidra_like_functions(img, view);
     s.analysis[2] += timer.lap("tool.Ghidra-like.analysis_ns");
     (void)ghidra;
-    const auto fetch = baselines::fetch_like_functions(img, view);
+
+    baselines::FetchOptions fast_opts;
+    fast_opts.mode = baselines::FetchMode::kSubstrate;
+    const std::uint64_t probes0 = probes.value();
+    const std::uint64_t steps0 = steps.value();
+    timer.lap("hotpath.counter_read_ns");
+    const auto fetch = baselines::fetch_like_functions(img, view, fast_opts);
     s.analysis[3] += timer.lap("tool.FETCH-like.analysis_ns");
-    (void)fetch;
+    const std::uint64_t steps1 = steps.value();
+
+    baselines::FetchOptions faithful_opts;
+    faithful_opts.mode = baselines::FetchMode::kFaithful;
+    timer.lap("hotpath.counter_read_ns");
+    const auto fetch_slow = baselines::fetch_like_functions(img, view, faithful_opts);
+    s.fetch_faithful += timer.lap("tool.FETCH-like.faithful_ns");
+    const std::uint64_t probes2 = probes.value();
+    const std::uint64_t steps2 = steps.value();
+
+    if (fetch_slow != fetch) {
+      std::fprintf(stderr,
+                   "bench_hotpath: FETCH-like substrate/faithful mismatch on %s\n",
+                   cfg.name().c_str());
+      return 1;
+    }
+    // Both modes fire the same probes; attribute each mode's steps.
+    s.probes += (probes2 - probes0) / 2;
+    s.substrate_steps += steps1 - steps0;
+    s.faithful_steps += steps2 - steps1;
 
     ++s.binaries;
     s.insns += view.insns.size();
@@ -121,6 +176,7 @@ int main(int argc, char** argv) {
                    util::fixed(s.binaries > 0 ? sec / s.binaries * 1e6 : 0.0, 1)});
   };
   row("decode (sweep + index)", s.decode);
+  row("analysis substrate", s.substrate);
   row("derive candidate sets", s.derive);
   row("endbr byte scan", s.endbr_scan);
   row("recursive traversal", s.traversal);
@@ -129,10 +185,16 @@ int main(int argc, char** argv) {
   row("IDA-like analysis", s.analysis[1]);
   row("Ghidra-like analysis", s.analysis[2]);
   row("FETCH-like analysis", s.analysis[3]);
+  row("FETCH-like (faithful)", s.fetch_faithful);
 
   std::printf("Hot-path stage timings over %zu x86/x64 binaries (%zu instructions)\n\n",
               s.binaries, s.insns);
   std::printf("%s", table.render().c_str());
+  std::printf("\nFETCH frame-height probes: %llu"
+              " (%llu walk steps faithful -> %llu on the substrate)\n",
+              static_cast<unsigned long long>(s.probes),
+              static_cast<unsigned long long>(s.faithful_steps),
+              static_cast<unsigned long long>(s.substrate_steps));
 
   write_json(s, bench::corpus_scale());
   return 0;

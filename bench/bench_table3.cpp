@@ -48,7 +48,8 @@ struct PassResult {
   Agg totals[4];
   eval::FailureBreakdown funseeker_failures;
   double prepare_seconds = 0.0;
-  double decode_seconds = 0.0;  // shared decode-once cost, all binaries
+  double decode_seconds = 0.0;    // shared decode-once cost, all binaries
+  double substrate_seconds = 0.0;  // substrate share of decode_seconds
   double wall_seconds = 0.0;
 };
 
@@ -90,6 +91,7 @@ PassResult run_pass(const std::vector<synth::BinaryConfig>& configs,
     pass.suite_seconds[key] += binary_seconds;
     pass.prepare_seconds += r.prepare_seconds;
     pass.decode_seconds += r.decode_seconds;
+    pass.substrate_seconds += r.substrate_seconds;
   });
   pass.wall_seconds = wall.seconds();
   return pass;
@@ -123,6 +125,7 @@ void write_json(const PassResult& pass, double scale, std::size_t threads,
     std::fprintf(out, "  \"speedup_vs_1_thread\": null,\n");
   std::fprintf(out, "  \"prepare_seconds\": %.3f,\n", pass.prepare_seconds);
   std::fprintf(out, "  \"decode_seconds\": %.3f,\n", pass.decode_seconds);
+  std::fprintf(out, "  \"substrate_seconds\": %.3f,\n", pass.substrate_seconds);
   std::fprintf(out, "  \"cache\": {\"hits\": %zu, \"misses\": %zu, \"bytes\": %zu},\n",
                cache.hits(), cache.misses(), cache.bytes());
   std::fprintf(out, "  \"suites\": [\n");
@@ -205,8 +208,9 @@ int main(int argc, char** argv) {
               pass.totals[0].binaries, threads, pass.wall_seconds);
   std::printf("%s\n", table.render().c_str());
   std::printf("shared per-binary setup: prepare %.2fs, decode %.2fs"
-              " (once per binary, not charged to any tool)\n",
-              pass.prepare_seconds, pass.decode_seconds);
+              " (of which analysis substrate %.2fs; once per binary,"
+              " not charged to any tool)\n",
+              pass.prepare_seconds, pass.decode_seconds, pass.substrate_seconds);
 
   const double fetch_speed = pass.totals[3].seconds / pass.totals[0].seconds;
   std::printf("FunSeeker vs FETCH-like average speedup: %.1fx (paper: 5.1x)\n\n",

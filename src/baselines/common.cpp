@@ -19,7 +19,7 @@ CodeView build_code_view(const elf::Image& bin) {
 }
 
 void traverse_into(const CodeView& view, std::span<const std::uint64_t> seeds,
-                   x86::AddrBitmap& visited, x86::AddrBitmap& is_function,
+                   x86::PosBitmap& visited, x86::AddrBitmap& is_function,
                    std::vector<std::uint64_t>& functions) {
   std::vector<std::uint64_t> work;
   for (std::uint64_t s : seeds) {
@@ -28,48 +28,58 @@ void traverse_into(const CodeView& view, std::span<const std::uint64_t> seeds,
     work.push_back(s);
   }
 
+  // Straight-line runs advance position-to-position through the flow
+  // index; a fall-through onto a bad byte or into the middle of an
+  // instruction has no next_slot and ends the run, exactly where the
+  // address walk's at() lookup came back null.
+  const bool flow = view.has_substrate;
   while (!work.empty()) {
     if (util::deadline_expired()) break;  // partial traversal; expiry is latched
-    std::uint64_t addr = work.back();
+    std::size_t pos = view.pos_of(work.back());
     work.pop_back();
-    // Walk a straight-line run of instructions from addr.
-    while (view.in_text(addr)) {
-      if (visited.test(addr)) break;
-      const x86::Insn* insn = view.at(addr);
-      if (insn == nullptr) break;  // landed inside an instruction / bad byte
-      visited.set(addr);
+    while (pos != CodeView::kNoInsn) {
+      if (visited.test(pos)) break;
+      visited.set(pos);
+      const x86::Insn& insn = view.insns[pos];
 
-      switch (insn->kind) {
+      switch (insn.kind) {
         case x86::Kind::kCallDirect:
-          if (view.in_text(insn->target) && !is_function.test_and_set(insn->target)) {
-            functions.push_back(insn->target);
-            work.push_back(insn->target);
+          if (view.in_text(insn.target) && !is_function.test_and_set(insn.target)) {
+            functions.push_back(insn.target);
+            work.push_back(insn.target);
           }
           break;
         case x86::Kind::kJmpDirect:
           // Followed as code, not promoted to a function.
-          if (view.in_text(insn->target)) work.push_back(insn->target);
+          if (view.in_text(insn.target)) work.push_back(insn.target);
           break;
         case x86::Kind::kJcc:
-          if (view.in_text(insn->target)) work.push_back(insn->target);
+          if (view.in_text(insn.target)) work.push_back(insn.target);
           break;
         default:
           break;
       }
-      if (insn->is_terminator()) break;
-      addr = insn->end();
+      if (insn.is_terminator()) break;
+      if (flow) {
+        const std::uint32_t next = view.next_slot[pos];
+        pos = next == 0 ? CodeView::kNoInsn : next - 1;
+      } else {
+        pos = view.pos_of(insn.end());
+      }
     }
   }
 }
 
 Traversal recursive_traversal(const CodeView& view,
                               const std::vector<std::uint64_t>& seeds) {
-  x86::AddrBitmap visited(view.text_begin, view.text_end);
+  x86::PosBitmap visited(view.insns.size());
   x86::AddrBitmap is_function(view.text_begin, view.text_end);
   Traversal out;
   traverse_into(view, seeds, visited, is_function, out.functions);
   std::sort(out.functions.begin(), out.functions.end());
-  out.visited = visited.to_sorted_addresses();
+  out.visited.reserve(64);
+  for (std::size_t pos : visited.to_sorted_positions())
+    out.visited.push_back(view.insns[pos].addr);
   return out;
 }
 

@@ -46,8 +46,15 @@ Traversal recursive_traversal(const CodeView& view,
 /// Because a previously explored region already promoted its own call
 /// targets, stopping early yields the same final function set the
 /// fresh-set-per-pass implementation reached by re-walking it.
+///
+/// `visited` is keyed by *instruction position* (only decoded
+/// instruction starts are ever visited, so the position bitmap is the
+/// byte-keyed set in 3-5x less space); the walk steps through the
+/// CodeView flow index (next_slot) when the view carries the substrate.
+/// `is_function` stays address-keyed: direct-call targets are promoted
+/// even when they land on bytes that decode to nothing.
 void traverse_into(const CodeView& view, std::span<const std::uint64_t> seeds,
-                   x86::AddrBitmap& visited, x86::AddrBitmap& is_function,
+                   x86::PosBitmap& visited, x86::AddrBitmap& is_function,
                    std::vector<std::uint64_t>& functions);
 
 /// Prologue signature match at instruction position i.

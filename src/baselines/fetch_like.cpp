@@ -1,6 +1,7 @@
 #include "baselines/fetch_like.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "baselines/common.hpp"
 #include "eh/eh_frame.hpp"
@@ -11,6 +12,14 @@
 
 namespace fsr::baselines {
 
+bool fetch_faithful_env() {
+  static const bool v = [] {
+    const char* e = std::getenv("REPRO_FETCH_FAITHFUL");
+    return e != nullptr && *e != '\0' && !(e[0] == '0' && e[1] == '\0');
+  }();
+  return v;
+}
+
 namespace {
 
 /// Sinks that keep the frame-height profiling from being optimized
@@ -18,10 +27,13 @@ namespace {
 /// computing heights it frequently discards). obs::Counter::add is an
 /// unconditional relaxed fetch_add on a per-thread shard, so it doubles
 /// as the optimizer barrier the old one-off atomic provided — and the
-/// probe volume now shows up in the metrics snapshot.
+/// probe volume now shows up in the metrics snapshot. `steps` counts
+/// walk iterations (decodes in faithful mode, one per query on the
+/// substrate), making the probe-volume collapse directly measurable.
 struct FetchMetrics {
   obs::Counter& probes = obs::counter("fetch.frame_height_probes");
   obs::Counter& checksum = obs::counter("fetch.frame_height_checksum");
+  obs::Counter& steps = obs::counter("fetch.frame_height_steps");
 };
 
 FetchMetrics& fetch_metrics() {
@@ -43,16 +55,44 @@ const Region* region_of(const std::vector<Region>& regions, std::uint64_t addr) 
   return addr < it->end ? &*it : nullptr;
 }
 
+/// Lockstep cursor over begin-sorted regions for address-ascending
+/// queries: advances to the last region whose begin <= addr, exactly
+/// the element region_of's upper_bound lands on, without the per-probe
+/// binary search.
+class RegionCursor {
+public:
+  explicit RegionCursor(const std::vector<Region>& regions) : regions_(regions) {}
+
+  /// Region containing addr, or nullptr. addr must not decrease across
+  /// calls on the same cursor.
+  const Region* find(std::uint64_t addr) {
+    while (at_ + 1 < static_cast<std::ptrdiff_t>(regions_.size()) &&
+           regions_[static_cast<std::size_t>(at_ + 1)].begin <= addr)
+      ++at_;
+    if (at_ < 0) return nullptr;
+    const Region& r = regions_[static_cast<std::size_t>(at_)];
+    return addr < r.end ? &r : nullptr;
+  }
+
+private:
+  const std::vector<Region>& regions_;
+  std::ptrdiff_t at_ = -1;
+};
+
 /// Simulate the stack-pointer height over [from, to). This is FETCH's
 /// frame-height analysis; each query is a fresh decode-and-walk over the
 /// raw bytes (FETCH lifts instructions per candidate rather than reusing
 /// a shared decoded stream — the per-candidate cost the paper's run-time
-/// comparison attributes FETCH's slowness to, §V-D).
+/// comparison attributes FETCH's slowness to, §V-D). Polls the ambient
+/// deadline: one pathological candidate must not stall REPRO_TIME_BUDGET
+/// expiry (the walk is O(|region|) per probe).
 std::int64_t stack_height(const CodeView& view, std::uint64_t from, std::uint64_t to) {
   std::int64_t height = 0;
   std::uint64_t addr = from;
   const std::span<const std::uint8_t> bytes(view.bytes);
   while (addr < to && view.in_text(addr)) {
+    if (util::deadline_expired()) break;  // partial height; expiry is latched
+    fetch_metrics().steps.add();
     const auto insn =
         x86::decode(bytes.subspan(static_cast<std::size_t>(addr - view.text_begin)),
                     addr, view.mode);
@@ -85,6 +125,21 @@ bool plausible_function_body(const CodeView& view, std::uint64_t entry,
     height += insn.stack_delta;
   }
   return false;
+}
+
+/// Substrate-backed plausibility: jump straight to the first
+/// walk-terminating instruction (next_stop) and answer the height test
+/// from the prefix sums. The walk above zeroes the height *before*
+/// adding a leave's own delta, which is frame_height_before's formula.
+bool plausible_function_body_fast(const CodeView& view, std::uint64_t entry,
+                                  std::uint64_t limit) {
+  const std::size_t start = view.pos_of(entry);
+  if (start == CodeView::kNoInsn) return false;
+  const std::size_t stop = view.next_stop_pos(start);
+  if (stop >= view.insns.size()) return false;           // ran off the section
+  if (view.insns[stop].addr >= limit) return false;      // past the walk limit
+  if (view.insns[stop].kind == x86::Kind::kJmpDirect) return true;
+  return view.frame_height_before(start, stop) >= -8;
 }
 
 void sort_unique(std::vector<std::uint64_t>& v) {
@@ -123,12 +178,19 @@ std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
     return funcs;
   }
 
+  const bool faithful =
+      opts.mode == FetchMode::kFaithful ||
+      (opts.mode == FetchMode::kAuto && fetch_faithful_env()) ||
+      !view.has_substrate;
+
   // Pass 2: frame-height profiling. FETCH evaluates the stack height at
   // every potential transfer point of every FDE region (each evaluation
   // is an independent walk from the region start — the per-candidate
-  // cost behind the ~5x slowdown the paper measures in §V-D).
+  // cost behind the ~5x slowdown the paper measures in §V-D; the
+  // substrate answers the same queries from the prefix sums).
   for (const Region& r : regions) {
     if (util::deadline_expired()) break;  // quadratic pass; honor the budget
+    const std::size_t i0 = faithful ? CodeView::kNoInsn : view.walk_start_pos(r.begin);
     for (std::size_t i = view.first_pos_at_or_after(r.begin);
          i < view.insns.size() && view.insns[i].addr < r.end; ++i) {
       const x86::Insn& insn = view.insns[i];
@@ -136,20 +198,35 @@ std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
           insn.kind == x86::Kind::kRet || insn.kind == x86::Kind::kCallDirect ||
           insn.kind == x86::Kind::kPush || insn.kind == x86::Kind::kPop ||
           insn.kind == x86::Kind::kLeave || insn.kind == x86::Kind::kMov) {
-        fetch_metrics().checksum.add(
-            static_cast<std::uint64_t>(stack_height(view, r.begin, insn.addr)));
+        // The probe iterates the stream, so position i IS the query's
+        // upper bound: [r.begin, insn.addr) == stream positions [i0, i).
+        std::int64_t h;
+        if (i0 == CodeView::kNoInsn) {
+          h = stack_height(view, r.begin, insn.addr);
+        } else {
+          fetch_metrics().steps.add();
+          h = view.stack_height_between(i0, i);
+        }
+        fetch_metrics().checksum.add(static_cast<std::uint64_t>(h));
         fetch_metrics().probes.add();
+        if (util::deadline_expired()) break;
       }
     }
   }
 
   // Pass 3: tail-call candidates. For every direct jump leaving its
   // region with a balanced frame, verify the target looks like a
-  // function under the calling convention, then promote it.
-  for (const x86::Insn& insn : view.insns) {
+  // function under the calling convention, then promote it. Jumps come
+  // out of the view in address order, so the source region is found by
+  // a lockstep cursor; targets jump around and keep the binary search.
+  RegionCursor src_cursor(regions);
+  const Region* cached_src = nullptr;  // last source region seen...
+  std::size_t cached_i0 = CodeView::kNoInsn;  // ...and its walk start
+  for (std::size_t i = 0; i < view.insns.size(); ++i) {
+    const x86::Insn& insn = view.insns[i];
     if (insn.kind != x86::Kind::kJmpDirect) continue;
     if (util::deadline_expired()) break;
-    const Region* src = region_of(regions, insn.addr);
+    const Region* src = src_cursor.find(insn.addr);
     if (src == nullptr) continue;
     if (!view.in_text(insn.target)) continue;
     const Region* dst = region_of(regions, insn.target);
@@ -158,9 +235,26 @@ std::vector<std::uint64_t> fetch_like_functions(const elf::Image& bin,
     if (dst != nullptr) continue;  // lands inside another function body
     // Frame-height analysis: a genuine sibling call transfers with the
     // caller's frame fully unwound.
-    if (stack_height(view, src->begin, insn.addr) != 0) continue;
-    if (plausible_function_body(view, insn.target, view.text_end))
-      funcs.push_back(insn.target);
+    if (faithful) {
+      if (stack_height(view, src->begin, insn.addr) != 0) continue;
+      if (plausible_function_body(view, insn.target, view.text_end))
+        funcs.push_back(insn.target);
+    } else {
+      if (src != cached_src) {
+        cached_src = src;
+        cached_i0 = view.walk_start_pos(src->begin);
+      }
+      std::int64_t h;
+      if (cached_i0 == CodeView::kNoInsn) {
+        h = stack_height(view, src->begin, insn.addr);
+      } else {
+        fetch_metrics().steps.add();
+        h = view.stack_height_between(cached_i0, i);
+      }
+      if (h != 0) continue;
+      if (plausible_function_body_fast(view, insn.target, view.text_end))
+        funcs.push_back(insn.target);
+    }
   }
 
   sort_unique(funcs);

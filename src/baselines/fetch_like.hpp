@@ -8,6 +8,15 @@
 // makes FETCH ~5x slower than FunSeeker (§V-D); its dependence on FDEs
 // is what collapses recall on x86 Clang C binaries, which carry no
 // call-frame information at all (§V-C).
+//
+// The verification runs in one of two modes with bit-identical output:
+//   faithful   FETCH's own cost model — every frame-height probe is a
+//              fresh decode-and-walk over the raw bytes (the quadratic
+//              hot path the paper's §V-D run-time comparison measures).
+//   substrate  the same queries answered from the CodeView analysis
+//              substrate (prefix sums + flow index) in O(1) per probe.
+// kAuto (the default) picks substrate when the view carries one, unless
+// REPRO_FETCH_FAITHFUL=1 pins the faithful path for §V-D fidelity runs.
 #pragma once
 
 #include <cstdint>
@@ -19,10 +28,22 @@
 
 namespace fsr::baselines {
 
+enum class FetchMode {
+  kAuto,       // substrate when available, unless REPRO_FETCH_FAITHFUL=1
+  kSubstrate,  // force substrate queries (falls back if the view has none)
+  kFaithful,   // force the per-candidate decode-and-walk cost model
+};
+
+/// True when REPRO_FETCH_FAITHFUL is set to a non-empty, non-"0" value
+/// (read once per process).
+bool fetch_faithful_env();
+
 struct FetchOptions {
   /// Run the expensive frame-height / calling-convention verification.
   /// Disabling it is the ablation that isolates FETCH's run-time cost.
   bool verify_tail_calls = true;
+  /// How the frame-height verification is evaluated (see file header).
+  FetchMode mode = FetchMode::kAuto;
   /// Lenient-parse sink: when set, damaged .eh_frame sections are
   /// salvaged (FDEs before the corruption still drive detection) and
   /// the damage is recorded instead of thrown.

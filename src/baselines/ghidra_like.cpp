@@ -11,7 +11,7 @@ std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin,
                                                  const CodeView& view,
                                                  util::Diagnostics* diags) {
   TRACE_SPAN("ghidra_like");
-  x86::AddrBitmap visited(view.text_begin, view.text_end);
+  x86::PosBitmap visited(view.insns.size());
   x86::AddrBitmap is_func(view.text_begin, view.text_end);
   std::vector<std::uint64_t> funcs;
 
@@ -27,8 +27,7 @@ std::vector<std::uint64_t> ghidra_like_functions(const elf::Image& bin,
   // Pass 2: prologue scan over bytes no function claimed yet. Not
   // end-branch aware: entries land on the push, after the marker.
   for (std::size_t i = 0; i < view.insns.size(); ++i) {
-    const x86::Insn& insn = view.insns[i];
-    if (visited.test(insn.addr)) continue;
+    if (visited.test(i)) continue;
     PrologueMatch m = match_frame_prologue(view, i, /*endbr_aware=*/false);
     if (!m.matched) continue;
     if (is_func.test(m.entry)) continue;

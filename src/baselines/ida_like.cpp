@@ -10,7 +10,7 @@ namespace fsr::baselines {
 std::vector<std::uint64_t> ida_like_functions(const elf::Image& bin,
                                               const CodeView& view) {
   TRACE_SPAN("ida_like");
-  x86::AddrBitmap visited(view.text_begin, view.text_end);
+  x86::PosBitmap visited(view.insns.size());
   x86::AddrBitmap is_func(view.text_begin, view.text_end);
   std::vector<std::uint64_t> funcs;
 
@@ -25,8 +25,7 @@ std::vector<std::uint64_t> ida_like_functions(const elf::Image& bin,
   // already-a-function) only ever grow, so re-scanning positions behind
   // the frontier can never surface a new match.
   for (std::size_t i = 0; i < view.insns.size(); ++i) {
-    const x86::Insn& insn = view.insns[i];
-    if (visited.test(insn.addr)) continue;
+    if (visited.test(i)) continue;
     PrologueMatch m = match_frame_prologue(view, i, /*endbr_aware=*/true);
     if (!m.matched) continue;
     if (is_func.test(m.entry)) continue;

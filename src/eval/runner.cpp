@@ -41,6 +41,7 @@ struct RunnerMetrics {
   };
   obs::Histogram& prepare_ns = obs::histogram("eval.prepare_ns");
   obs::Histogram& decode_ns = obs::histogram("eval.decode_ns");
+  obs::Histogram& substrate_ns = obs::histogram("eval.substrate_ns");
   obs::Counter& binaries = obs::counter("eval.binaries");
   obs::Counter& tool_runs = obs::counter("eval.tool_runs");
   obs::Counter& errors_parse = obs::counter("errors.parse");
@@ -71,7 +72,9 @@ SharedDecode decode_shared(const elf::Image& stripped) {
     sweep = std::make_shared<funseeker::DisasmSets>(funseeker::derive_sets(*view));
   }
   d.decode_seconds = watch.seconds();
+  d.substrate_seconds = view->substrate_seconds;
   runner_metrics().decode_ns.record_seconds(d.decode_seconds);
+  runner_metrics().substrate_ns.record_seconds(d.substrate_seconds);
   d.view = std::move(view);
   d.sweep = std::move(sweep);
   return d;
@@ -328,6 +331,7 @@ void CorpusRunner::run(const std::vector<synth::BinaryConfig>& configs,
                        : prepare(std::move(entry));
           r.prepare_seconds = p.prepare_seconds;
           r.decode_seconds = p.decode.decode_seconds;
+          r.substrate_seconds = p.decode.substrate_seconds;
           r.per_job.reserve(jobs_.size());
           util::Diagnostics* diags = mutator_ ? &r.diagnostics : nullptr;
           for (const ToolJob& job : jobs_)

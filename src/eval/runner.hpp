@@ -45,6 +45,10 @@ struct SharedDecode {
   std::shared_ptr<const x86::CodeView> view;
   std::shared_ptr<const funseeker::DisasmSets> sweep;
   double decode_seconds = 0.0;
+  /// Cost of the view's analysis substrate (prefix sums + flow index),
+  /// already included in decode_seconds — broken out so benches can
+  /// show where the decode stage's time goes.
+  double substrate_seconds = 0.0;
 };
 
 /// Linear-sweep the image's .text once and derive the FunSeeker
@@ -133,7 +137,8 @@ struct BinaryResult {
   std::shared_ptr<const synth::DatasetEntry> entry;
   std::vector<RunResult> per_job;
   double prepare_seconds = 0.0;
-  double decode_seconds = 0.0;  // shared decode, not charged to any tool
+  double decode_seconds = 0.0;    // shared decode, not charged to any tool
+  double substrate_seconds = 0.0;  // substrate share of decode_seconds
   BinaryStatus status = BinaryStatus::kOk;
   /// Salvage record from lenient parsing (empty on clean binaries).
   util::Diagnostics diagnostics;

@@ -1,8 +1,7 @@
 #include "funseeker/tail_call.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <utility>
 
 namespace fsr::funseeker {
 
@@ -16,22 +15,52 @@ std::ptrdiff_t region_of(const std::vector<std::uint64_t>& entries, std::uint64_
   return std::distance(entries.begin(), it) - 1;
 }
 
+/// Lockstep region lookup for the address-ascending instruction scans:
+/// entries are sorted and insn addresses only grow, so the containing
+/// region advances monotonically — no per-instruction binary search.
+class RegionCursor {
+public:
+  explicit RegionCursor(const std::vector<std::uint64_t>& entries)
+      : entries_(entries) {}
+
+  /// Same value as region_of(entries, addr); addr must not decrease
+  /// across calls on the same cursor.
+  std::ptrdiff_t find(std::uint64_t addr) {
+    while (at_ + 1 < static_cast<std::ptrdiff_t>(entries_.size()) &&
+           entries_[static_cast<std::size_t>(at_ + 1)] <= addr)
+      ++at_;
+    return at_;
+  }
+
+private:
+  const std::vector<std::uint64_t>& entries_;
+  std::ptrdiff_t at_ = -1;
+};
+
 }  // namespace
 
 std::vector<std::uint64_t> select_tail_calls(
     const DisasmSets& sets, const std::vector<std::uint64_t>& known_entries,
     const TailCallOptions& opts) {
   // Referencing regions per direct-branch target (calls and jumps both
-  // count as references for the multi-reference condition).
-  std::map<std::uint64_t, std::set<std::ptrdiff_t>> ref_regions;
+  // count as references for the multi-reference condition). Collected
+  // as flat (target, region) pairs and sort-uniqued: a target's
+  // distinct-region count is then the length of its run — the same sets
+  // the old map<target, set<region>> held, without the node churn.
+  std::vector<std::pair<std::uint64_t, std::ptrdiff_t>> refs;
+  refs.reserve(sets.insns.size() / 8);
+  RegionCursor ref_cursor(known_entries);
   for (const x86::Insn& insn : sets.insns) {
     if (insn.kind != x86::Kind::kCallDirect && insn.kind != x86::Kind::kJmpDirect)
       continue;
     if (insn.target == 0) continue;
-    ref_regions[insn.target].insert(region_of(known_entries, insn.addr));
+    refs.emplace_back(insn.target, ref_cursor.find(insn.addr));
   }
+  std::sort(refs.begin(), refs.end());
+  refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
 
-  std::set<std::uint64_t> selected;
+  std::vector<std::uint64_t> selected;
+  RegionCursor jump_cursor(known_entries);
   for (const x86::Insn& insn : sets.insns) {
     if (insn.kind != x86::Kind::kJmpDirect) continue;
     const std::uint64_t target = insn.target;
@@ -41,18 +70,29 @@ std::vector<std::uint64_t> select_tail_calls(
       continue;
 
     // Condition (1): the jump leaves its containing function.
-    const std::ptrdiff_t jump_region = region_of(known_entries, insn.addr);
+    const std::ptrdiff_t jump_region = jump_cursor.find(insn.addr);
     const std::ptrdiff_t target_region = region_of(known_entries, target);
     if (opts.require_cross_region && jump_region == target_region) continue;
 
     // Condition (2): the target is referenced by at least one function
     // other than the one performing this jump.
-    const auto& regions = ref_regions[target];
-    if (opts.require_multi_ref && regions.size() < 2) continue;
+    if (opts.require_multi_ref) {
+      auto it = std::lower_bound(
+          refs.begin(), refs.end(), target,
+          [](const auto& ref, std::uint64_t t) { return ref.first < t; });
+      std::size_t distinct = 0;
+      while (it != refs.end() && it->first == target && distinct < 2) {
+        ++distinct;
+        ++it;
+      }
+      if (distinct < 2) continue;
+    }
 
-    selected.insert(target);
+    selected.push_back(target);
   }
-  return {selected.begin(), selected.end()};
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()), selected.end());
+  return selected;
 }
 
 }  // namespace fsr::funseeker

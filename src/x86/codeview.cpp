@@ -3,9 +3,35 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/deadline.hpp"
+#include "util/stopwatch.hpp"
 #include "x86/sweep.hpp"
 
 namespace fsr::x86 {
+
+std::size_t PosBitmap::find_first_at_or_after(std::size_t i) const {
+  if (i >= size_) return npos;
+  std::size_t w = i >> 6;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (i & 63));
+  while (word == 0) {
+    if (++w == words_.size()) return npos;
+    word = words_[w];
+  }
+  return (w << 6) + static_cast<std::size_t>(__builtin_ctzll(word));
+}
+
+std::vector<std::size_t> PosBitmap::to_sorted_positions() const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      out.push_back((w << 6) + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
 
 std::size_t CodeView::first_pos_at_or_after(std::uint64_t addr) const {
   const auto it = std::lower_bound(
@@ -14,8 +40,98 @@ std::size_t CodeView::first_pos_at_or_after(std::uint64_t addr) const {
   return static_cast<std::size_t>(it - insns.begin());
 }
 
+void build_substrate(CodeView& view) {
+  if (view.has_substrate) return;
+  util::Stopwatch watch;
+  const std::size_t n = view.insns.size();
+
+  view.stack_prefix.assign(n + 1, 0);
+  view.prev_leave.assign(n, 0);
+  view.next_stop.assign(n, static_cast<std::uint32_t>(n));
+  view.target_slot.assign(n, 0);
+  view.next_slot.assign(n, 0);
+  view.kind_class.assign(n, 0);
+  view.ret_positions = PosBitmap(n);
+  view.leave_positions = PosBitmap(n);
+  view.call_positions = PosBitmap(n);
+  view.interior_words.assign(
+      (static_cast<std::size_t>(view.text_end - view.text_begin) + 63) / 64, 0);
+
+  const auto abandon = [&view] {
+    // Deadline expired mid-build: leave the view substrate-free rather
+    // than half-indexed — every consumer checks has_substrate and falls
+    // back to the naive walks.
+    view.stack_prefix.clear();
+    view.prev_leave.clear();
+    view.next_stop.clear();
+    view.target_slot.clear();
+    view.next_slot.clear();
+    view.kind_class.clear();
+    view.ret_positions = PosBitmap();
+    view.leave_positions = PosBitmap();
+    view.call_positions = PosBitmap();
+    view.interior_words.clear();
+    view.substrate_seconds = 0.0;
+  };
+
+  // Forward pass: prefix sums, segment pointers, flow slots, event
+  // bitsets, interior-byte map.
+  std::uint32_t last_leave = 0;  // position+1, 0 = none yet
+  for (std::size_t i = 0; i < n; ++i) {
+    if (util::deadline_expired()) return abandon();
+    const Insn& insn = view.insns[i];
+    view.stack_prefix[i + 1] = view.stack_prefix[i] + insn.stack_delta;
+    view.kind_class[i] = static_cast<std::uint8_t>(insn.kind);
+    switch (insn.kind) {
+      case Kind::kLeave:
+        last_leave = static_cast<std::uint32_t>(i + 1);
+        view.leave_positions.set(i);
+        break;
+      case Kind::kRet:
+        view.ret_positions.set(i);
+        break;
+      case Kind::kCallDirect:
+      case Kind::kCallIndirect:
+        view.call_positions.set(i);
+        break;
+      default:
+        break;
+    }
+    view.prev_leave[i] = last_leave;
+
+    if (insn.kind == Kind::kCallDirect || insn.kind == Kind::kJmpDirect ||
+        insn.kind == Kind::kJcc) {
+      const std::size_t t = view.pos_of(insn.target);
+      if (t != CodeView::kNoInsn)
+        view.target_slot[i] = static_cast<std::uint32_t>(t + 1);
+    }
+    const std::size_t next = view.pos_of(insn.end());
+    if (next != CodeView::kNoInsn)
+      view.next_slot[i] = static_cast<std::uint32_t>(next + 1);
+
+    for (std::uint64_t b = insn.addr + 1; b < insn.end(); ++b) {
+      const std::uint64_t off = b - view.text_begin;
+      view.interior_words[static_cast<std::size_t>(off) >> 6] |=
+          std::uint64_t{1} << (off & 63);
+    }
+  }
+
+  // Backward pass: first walk-terminating instruction at or after each
+  // position (FETCH's body walk stops at kRet or kJmpDirect).
+  std::uint32_t stop = static_cast<std::uint32_t>(n);
+  for (std::size_t i = n; i-- > 0;) {
+    const Kind k = view.insns[i].kind;
+    if (k == Kind::kRet || k == Kind::kJmpDirect)
+      stop = static_cast<std::uint32_t>(i);
+    view.next_stop[i] = stop;
+  }
+
+  view.has_substrate = true;
+  view.substrate_seconds = watch.seconds();
+}
+
 CodeView build_code_view(std::span<const std::uint8_t> code, std::uint64_t base,
-                         Mode mode) {
+                         Mode mode, bool with_substrate) {
   CodeView view;
   view.text_begin = base;
   view.text_end = base + code.size();
@@ -30,6 +146,8 @@ CodeView build_code_view(std::span<const std::uint8_t> code, std::uint64_t base,
   for (std::size_t i = 0; i < view.insns.size(); ++i)
     view.slots[static_cast<std::size_t>(view.insns[i].addr - base)] =
         static_cast<std::uint32_t>(i + 1);
+
+  if (with_substrate) build_substrate(view);
   return view;
 }
 

@@ -8,6 +8,23 @@
 // per visited instruction. AddrBitmap is the matching visited/function
 // membership structure: one bit per text byte, replacing the O(log n)
 // std::set node hops in the recursive-traversal fixed points.
+//
+// On top of the decoded stream sits the *analysis substrate*: immutable
+// per-instruction facts computed once per binary so that analyses which
+// used to re-decode or re-walk the stream per candidate become O(1)
+// lookups —
+//   - prefix sums of stack_delta plus a last-leave pointer per
+//     position, turning FETCH-like's per-candidate frame-height walk
+//     (the paper's §V-D quadratic hot path) into two array reads;
+//   - a packed flow index (kind byte, branch-target slot, next-insn
+//     slot) so traversals step position-to-position without re-deriving
+//     addr -> position;
+//   - position bitsets for ret/leave/call and a next-stop pointer for
+//     O(1) "first return after this entry" queries.
+// The substrate is derived purely from `insns`, so every query has a
+// naive decode-and-walk oracle it must match bit-for-bit
+// (tests/test_substrate.cpp proves this over the corpus and over
+// fault-injected mutants).
 #pragma once
 
 #include <cstddef>
@@ -18,6 +35,53 @@
 #include "x86/insn.hpp"
 
 namespace fsr::x86 {
+
+/// One bit per *instruction position* (index into CodeView::insns) —
+/// the position-space sibling of AddrBitmap. Traversal visited-sets are
+/// position-keyed: 3-5x denser than byte-keyed bitmaps, so the per-
+/// binary allocation and the cache footprint of the fixed-point loops
+/// shrink accordingly.
+class PosBitmap {
+public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  PosBitmap() = default;
+  explicit PosBitmap(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    if (i >= size_) return false;
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i) {
+    if (i >= size_) return;
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  /// Previous value of the bit, setting it as a side effect.
+  bool test_and_set(std::size_t i) {
+    if (i >= size_) return true;  // out of range: behave as "already set"
+    std::uint64_t& word = words_[i >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const bool prev = (word & mask) != 0;
+    word |= mask;
+    return prev;
+  }
+
+  /// Smallest set position >= i, or npos. Word-at-a-time + ctz, so the
+  /// expected cost is O(1) for the dense event sets the substrate keeps.
+  [[nodiscard]] std::size_t find_first_at_or_after(std::size_t i) const;
+
+  /// All set positions, ascending.
+  [[nodiscard]] std::vector<std::size_t> to_sorted_positions() const;
+
+private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
 
 /// Immutable decoded view of one executable region.
 struct CodeView {
@@ -32,11 +96,52 @@ struct CodeView {
   std::uint64_t text_begin = 0;
   std::uint64_t text_end = 0;
   /// Raw section bytes, kept so analyses that re-decode (FETCH-like's
-  /// frame-height walks) can do so from the source of truth.
+  /// faithful frame-height walks) can do so from the source of truth.
   std::vector<std::uint8_t> bytes;
   Mode mode = Mode::k64;
   /// Sweep resync count (bytes where decoding failed).
   std::size_t bad_bytes = 0;
+
+  // ----------------------------------------------------------------
+  // Analysis substrate (build_substrate; immutable afterwards).
+  // All position vectors have insns.size() entries unless noted.
+
+  /// True once build_substrate completed. False when the view was built
+  /// without it or the build was abandoned on deadline expiry — users
+  /// must fall back to the naive walks in that case.
+  bool has_substrate = false;
+  /// Wall-clock cost of build_substrate (reported inside the decode
+  /// stage by eval::decode_shared, and as its own stage by
+  /// bench_hotpath).
+  double substrate_seconds = 0.0;
+
+  /// stack_prefix[i] = sum of stack_delta over insns[0..i) (size n+1).
+  std::vector<std::int64_t> stack_prefix;
+  /// prev_leave[i] = position+1 of the last kLeave at or before i,
+  /// 0 when none — the segment break of the frame-height prefix sums.
+  std::vector<std::uint32_t> prev_leave;
+  /// next_stop[i] = first position >= i whose kind is kRet or
+  /// kJmpDirect (the two ways a frame-height walk terminates), or
+  /// insns.size() when none.
+  std::vector<std::uint32_t> next_stop;
+  /// Flow index: target_slot[i] = position+1 of the decoded in-text
+  /// instruction a direct transfer targets (0 when none / not decoded);
+  /// next_slot[i] = position+1 of the instruction at insns[i].end()
+  /// (0 when fall-through lands on a bad byte or leaves the section).
+  std::vector<std::uint32_t> target_slot;
+  std::vector<std::uint32_t> next_slot;
+  /// kind_class[i] = static_cast<uint8_t>(insns[i].kind): the one-byte
+  /// column traversals branch on without pulling whole Insn records.
+  std::vector<std::uint8_t> kind_class;
+  /// Event-position bitsets (rank/select style queries).
+  PosBitmap ret_positions;
+  PosBitmap leave_positions;
+  PosBitmap call_positions;
+  /// One bit per text byte: set when the byte lies strictly *inside* a
+  /// decoded instruction. A frame-height walk starting on such a byte
+  /// diverges from the sweep stream (it re-decodes mid-instruction), so
+  /// substrate queries refuse it and callers take the naive path.
+  std::vector<std::uint64_t> interior_words;
 
   [[nodiscard]] bool in_text(std::uint64_t addr) const {
     return addr >= text_begin && addr < text_end;
@@ -58,11 +163,78 @@ struct CodeView {
   /// Position of the first instruction with address >= addr (insns.size()
   /// when none). Used to iterate the instructions of an address range.
   [[nodiscard]] std::size_t first_pos_at_or_after(std::uint64_t addr) const;
+
+  // ------------------------------------------------- substrate queries
+
+  /// True when addr lies strictly inside a decoded instruction.
+  [[nodiscard]] bool interior_byte(std::uint64_t addr) const {
+    const std::uint64_t off = addr - text_begin;
+    if (off >= static_cast<std::uint64_t>(text_end - text_begin)) return false;
+    return (interior_words[static_cast<std::size_t>(off) >> 6] >> (off & 63)) & 1;
+  }
+
+  /// Start position for a frame-height walk beginning at `addr`: the
+  /// first instruction at or after addr when the walk provably follows
+  /// the sweep stream (addr is an instruction start or a sweep resync
+  /// byte), kNoInsn when it would re-decode mid-instruction (callers
+  /// must fall back to the naive decode-and-walk) or addr is outside
+  /// the section.
+  [[nodiscard]] std::size_t walk_start_pos(std::uint64_t addr) const {
+    if (!in_text(addr) || interior_byte(addr)) return kNoInsn;
+    return first_pos_at_or_after(addr);
+  }
+
+  /// Raw prefix-sum difference: sum of stack_delta over [i0, i1).
+  [[nodiscard]] std::int64_t stack_sum(std::size_t i0, std::size_t i1) const {
+    return stack_prefix[i1] - stack_prefix[i0];
+  }
+
+  /// Position of the last kLeave in [i0, i1), or kNoInsn.
+  [[nodiscard]] std::size_t last_leave_in(std::size_t i0, std::size_t i1) const {
+    if (i1 <= i0) return kNoInsn;
+    const std::uint32_t p = prev_leave[i1 - 1];
+    return (p != 0 && p - 1 >= i0) ? p - 1 : kNoInsn;
+  }
+
+  /// FETCH's stack_height over positions [i0, i1): the frame is zeroed
+  /// *after* a leave's own delta is applied, so the height is the delta
+  /// sum strictly after the last leave in the range.
+  [[nodiscard]] std::int64_t stack_height_between(std::size_t i0,
+                                                  std::size_t i1) const {
+    if (i1 <= i0) return 0;
+    const std::size_t leave = last_leave_in(i0, i1);
+    return leave == kNoInsn ? stack_sum(i0, i1) : stack_sum(leave + 1, i1);
+  }
+
+  /// FETCH's body-walk height at position `stop`, walking from `start`:
+  /// here the frame is zeroed *before* the leave's delta is applied, so
+  /// the leave's own delta survives into the sum.
+  [[nodiscard]] std::int64_t frame_height_before(std::size_t start,
+                                                 std::size_t stop) const {
+    if (stop <= start) return 0;
+    const std::size_t leave = last_leave_in(start, stop);
+    return leave == kNoInsn ? stack_sum(start, stop) : stack_sum(leave, stop);
+  }
+
+  /// First position >= pos whose instruction ends a frame-height body
+  /// walk (kRet or kJmpDirect); insns.size() when none remain.
+  [[nodiscard]] std::size_t next_stop_pos(std::size_t pos) const {
+    return pos < next_stop.size() ? next_stop[pos] : insns.size();
+  }
 };
 
 /// Linear-sweep `code` (loaded at `base`) and build the flat index.
+/// `with_substrate` additionally runs build_substrate (the default —
+/// bench_hotpath passes false to time the two stages separately).
 CodeView build_code_view(std::span<const std::uint8_t> code, std::uint64_t base,
-                         Mode mode);
+                         Mode mode, bool with_substrate = true);
+
+/// Compute the analysis substrate for an already-swept view (idempotent;
+/// one linear pass forward and one backward over `insns`). Cooperative:
+/// polls the ambient util::Deadline and abandons the build — leaving
+/// has_substrate false so callers use the naive paths — when a hostile
+/// binary's budget expires mid-build.
+void build_substrate(CodeView& view);
 
 /// One bit per text byte, addressed by virtual address. The traversal
 /// `visited` / `functions` sets of the baseline analyzers in bitmap

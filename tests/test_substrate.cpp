@@ -1,0 +1,425 @@
+// Property tests for the CodeView analysis substrate.
+//
+// Every substrate query (prefix-sum stack heights, the last-leave
+// segment pointer, first-stop / first-ret lookups, the flow index, the
+// event bitsets, the interior-byte map) is checked against a naive
+// decode-and-walk oracle — the walk the substrate replaced, reproduced
+// here verbatim — over the grid-complete synthetic corpus AND over 500
+// fault-injected mutants, at 1/2/8 threads. FETCH-like's substrate and
+// faithful modes must return identical function lists on every input.
+//
+// Also the budget regression: a pathological candidate (a megabyte-long
+// push sled covered by one FDE) used to stall REPRO_TIME_BUDGET expiry
+// inside the frame-height walk for hours; the deadline polls inside
+// stack_height and build_substrate must cut it short.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "baselines/fetch_like.hpp"
+#include "eh/eh_frame.hpp"
+#include "elf/reader.hpp"
+#include "eval/runner.hpp"
+#include "inject/fault.hpp"
+#include "synth/cache.hpp"
+#include "synth/corpus.hpp"
+#include "test_helpers.hpp"
+#include "util/deadline.hpp"
+#include "util/parallel.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+#include "x86/codeview.hpp"
+#include "x86/decoder.hpp"
+
+using namespace fsr;
+
+namespace {
+
+constexpr std::uint64_t kText = 0x401000;
+
+// One program per suite, every compiler/arch/kind/opt cell.
+std::vector<synth::BinaryConfig> tiny_corpus() {
+  return synth::corpus_configs(0.01);
+}
+
+bool is_x86(const synth::BinaryConfig& cfg) {
+  return cfg.machine != elf::Machine::kArm64;
+}
+
+void add_eh_frame(elf::Image& img, const std::vector<eh::Fde>& fdes) {
+  elf::Section s;
+  s.name = ".eh_frame";
+  s.type = elf::kShtProgbits;
+  s.flags = elf::kShfAlloc;
+  s.addr = 0x500000;
+  s.data = eh::build_eh_frame(fdes, s.addr, 8);
+  img.sections.push_back(std::move(s));
+}
+
+// ---------------------------------------------------------------------
+// Naive oracles: the pre-substrate walks, reproduced verbatim so the
+// O(1) queries are checked against the original semantics rather than
+// against themselves.
+
+/// FETCH's stack_height: fresh decode-and-walk over the raw bytes,
+/// zeroing the height *after* a leave's own delta.
+std::int64_t oracle_stack_height(const x86::CodeView& view, std::uint64_t from,
+                                 std::uint64_t to) {
+  std::int64_t height = 0;
+  std::uint64_t addr = from;
+  const std::span<const std::uint8_t> bytes(view.bytes);
+  while (addr < to && view.in_text(addr)) {
+    const auto insn =
+        x86::decode(bytes.subspan(static_cast<std::size_t>(addr - view.text_begin)),
+                    addr, view.mode);
+    if (!insn.has_value() || insn->length == 0) {
+      ++addr;
+      continue;
+    }
+    height += insn->stack_delta;
+    if (insn->kind == x86::Kind::kLeave) height = 0;
+    addr = insn->end();
+  }
+  return height;
+}
+
+/// FETCH's body walk: height at the first stop (ret / direct jump) at
+/// or after `start`, zeroing *before* the leave's delta is applied.
+/// Returns {stop position or insns.size(), height at the stop}.
+std::pair<std::size_t, std::int64_t> oracle_body_walk(const x86::CodeView& view,
+                                                      std::size_t start) {
+  std::int64_t height = 0;
+  for (std::size_t i = start; i < view.insns.size(); ++i) {
+    const x86::Insn& insn = view.insns[i];
+    if (insn.kind == x86::Kind::kLeave) height = 0;
+    if (insn.kind == x86::Kind::kRet || insn.kind == x86::Kind::kJmpDirect)
+      return {i, height};
+    height += insn.stack_delta;
+  }
+  return {view.insns.size(), height};
+}
+
+std::string at_pos(const char* what, std::size_t i) {
+  return std::string("FAIL ") + what + " @pos " + std::to_string(i);
+}
+
+/// Substrate vs oracles over one view; empty string when everything
+/// agrees. Sampling is deterministic (strides derived from the view),
+/// so the same view yields the same verdict on any thread.
+std::string check_view(const x86::CodeView& view) {
+  if (!view.has_substrate) return "FAIL substrate missing";
+  const std::size_t n = view.insns.size();
+  if (view.stack_prefix.size() != n + 1) return "FAIL stack_prefix size";
+
+  // Event-position lists collected by a plain forward scan: the
+  // independent ground truth for next_stop and the bitsets.
+  std::vector<std::size_t> stops, rets, leaves, calls;
+  for (std::size_t i = 0; i < n; ++i) {
+    const x86::Kind k = view.insns[i].kind;
+    if (k == x86::Kind::kRet || k == x86::Kind::kJmpDirect) stops.push_back(i);
+    if (k == x86::Kind::kRet) rets.push_back(i);
+    if (k == x86::Kind::kLeave) leaves.push_back(i);
+    if (k == x86::Kind::kCallDirect || k == x86::Kind::kCallIndirect)
+      calls.push_back(i);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const x86::Insn& insn = view.insns[i];
+    if (view.stack_prefix[i + 1] - view.stack_prefix[i] != insn.stack_delta)
+      return at_pos("stack_prefix delta", i);
+    if (view.kind_class[i] != static_cast<std::uint8_t>(insn.kind))
+      return at_pos("kind_class", i);
+
+    const auto stop_it = std::lower_bound(stops.begin(), stops.end(), i);
+    const std::size_t want_stop = stop_it == stops.end() ? n : *stop_it;
+    if (view.next_stop_pos(i) != want_stop) return at_pos("next_stop", i);
+
+    const auto ret_it = std::lower_bound(rets.begin(), rets.end(), i);
+    const std::size_t want_ret =
+        ret_it == rets.end() ? x86::PosBitmap::npos : *ret_it;
+    if (view.ret_positions.find_first_at_or_after(i) != want_ret)
+      return at_pos("first ret at-or-after", i);
+
+    if (view.ret_positions.test(i) != (insn.kind == x86::Kind::kRet))
+      return at_pos("ret bitset", i);
+    if (view.leave_positions.test(i) != (insn.kind == x86::Kind::kLeave))
+      return at_pos("leave bitset", i);
+    const bool is_call = insn.kind == x86::Kind::kCallDirect ||
+                         insn.kind == x86::Kind::kCallIndirect;
+    if (view.call_positions.test(i) != is_call) return at_pos("call bitset", i);
+
+    // Flow index: fall-through and branch-target slots vs pos_of.
+    const std::size_t want_next = view.pos_of(insn.end());
+    const std::size_t got_next =
+        view.next_slot[i] == 0 ? x86::CodeView::kNoInsn : view.next_slot[i] - 1;
+    if (got_next != want_next) return at_pos("next_slot", i);
+    std::size_t want_target = x86::CodeView::kNoInsn;
+    if (insn.kind == x86::Kind::kCallDirect || insn.kind == x86::Kind::kJmpDirect ||
+        insn.kind == x86::Kind::kJcc)
+      want_target = view.pos_of(insn.target);
+    const std::size_t got_target =
+        view.target_slot[i] == 0 ? x86::CodeView::kNoInsn : view.target_slot[i] - 1;
+    if (got_target != want_target) return at_pos("target_slot", i);
+
+    // Interior map: the start byte is not interior, every other byte
+    // of the instruction is.
+    if (view.interior_byte(insn.addr)) return at_pos("interior at start", i);
+    if (insn.length > 1 && !view.interior_byte(insn.addr + 1))
+      return at_pos("interior inside", i);
+  }
+
+  if (n == 0) return {};
+
+  // Stack-height queries vs the decode-and-walk oracle, from sampled
+  // instruction starts AND sampled raw byte addresses (bad bytes take
+  // the prefix sums too; interior bytes must be refused).
+  std::vector<std::uint64_t> starts;
+  const std::size_t pos_stride = std::max<std::size_t>(std::size_t{1}, n / 8);
+  for (std::size_t i = 0; i < n; i += pos_stride) starts.push_back(view.insns[i].addr);
+  const std::uint64_t text_size = view.text_end - view.text_begin;
+  for (int k = 0; k < 5; ++k)
+    starts.push_back(view.text_begin + (text_size * static_cast<std::uint64_t>(k)) / 5 +
+                     static_cast<std::uint64_t>(k));
+  for (std::uint64_t from : starts) {
+    const std::size_t i0 = view.walk_start_pos(from);
+    if (i0 == x86::CodeView::kNoInsn) {
+      if (view.in_text(from) && !view.interior_byte(from))
+        return "FAIL walk_start_pos refused a consistent start";
+      continue;
+    }
+    for (std::size_t k = 0; k < 8; ++k) {
+      const std::size_t i1 =
+          std::min(n, i0 + ((n - i0) * k) / 7 + (k == 7 ? n : 0));
+      const std::uint64_t to = i1 < n ? view.insns[i1].addr : view.text_end;
+      const std::size_t q1 = view.first_pos_at_or_after(to);
+      if (view.stack_height_between(i0, q1) != oracle_stack_height(view, from, to))
+        return "FAIL stack_height vs oracle from=" + std::to_string(from) +
+               " to=" + std::to_string(to);
+    }
+  }
+
+  // Body-walk queries (first stop + reset-before-add height) vs oracle.
+  for (std::size_t i = 0; i < n; i += pos_stride) {
+    const auto [stop, height] = oracle_body_walk(view, i);
+    if (view.next_stop_pos(i) != stop) return at_pos("body-walk stop", i);
+    if (stop < n && view.frame_height_before(i, stop) != height)
+      return at_pos("frame_height_before", i);
+  }
+  return {};
+}
+
+/// Bound on the faithful frame-height work fetch_like would do on this
+/// binary (sum over FDE regions of walk-steps), mirroring its region
+/// harvest. Mutants whose corrupt FDEs admit quadratic blowups are
+/// excluded from the two-mode comparison — the walk would be slow, not
+/// wrong — and the estimate is pure, so the exclusion is identical on
+/// every thread.
+std::uint64_t faithful_walk_estimate(const elf::Image& bin, const x86::CodeView& view,
+                                     util::Diagnostics* diags) {
+  const elf::Section* eh = bin.find_section(".eh_frame");
+  if (eh == nullptr || eh->data.empty()) return 0;
+  const int ptr_size = bin.machine == elf::Machine::kX8664 ? 8 : 4;
+  std::uint64_t total = 0;
+  const eh::EhFrame frame = eh::parse_eh_frame(eh->data, eh->addr, ptr_size, diags);
+  for (const eh::Fde& fde : frame.fdes) {
+    if (!view.in_text(fde.pc_begin)) continue;
+    std::uint64_t end = fde.pc_end();
+    if (end < fde.pc_begin || end > view.text_end) end = view.text_end;
+    const std::size_t i0 = view.first_pos_at_or_after(fde.pc_begin);
+    const std::size_t i1 = view.first_pos_at_or_after(end);
+    const std::uint64_t m = i1 > i0 ? i1 - i0 : 0;
+    total += m * m / 2;
+  }
+  return total;
+}
+
+/// One unit of the 1/2/8-thread determinism sweep: check a view's
+/// substrate against the oracles and the two FETCH modes against each
+/// other, reduced to a deterministic fingerprint string.
+std::string check_image(const elf::Image& img, bool lenient) {
+  util::Diagnostics diags;
+  util::Diagnostics* sink = lenient ? &diags : nullptr;
+  const x86::CodeView view = baselines::build_code_view(img);
+  const std::string verdict = check_view(view);
+  if (!verdict.empty()) return verdict;
+
+  baselines::FetchOptions fast;
+  fast.mode = baselines::FetchMode::kSubstrate;
+  fast.diags = sink;
+  const auto sub = baselines::fetch_like_functions(img, view, fast);
+
+  std::string tag = "ok n=" + std::to_string(view.insns.size()) +
+                    " sub=" + std::to_string(sub.size());
+  if (faithful_walk_estimate(img, view, sink) <= 2'000'000) {
+    baselines::FetchOptions slow;
+    slow.mode = baselines::FetchMode::kFaithful;
+    slow.diags = sink;
+    if (baselines::fetch_like_functions(img, view, slow) != sub)
+      return "FAIL substrate/faithful fetch mismatch";
+    tag += " both";
+  }
+  return tag;
+}
+
+std::string check_corpus_config(const synth::BinaryConfig& cfg) {
+  const auto entry = synth::cached_binary(cfg);
+  return check_image(elf::read_elf(entry->stripped_bytes()), /*lenient=*/false);
+}
+
+std::string check_mutant(const std::vector<std::uint8_t>& base,
+                         const inject::FaultPlan& plan) {
+  const std::vector<std::uint8_t> bytes = inject::mutate(base, plan);
+  util::Diagnostics diags;
+  elf::ReadOptions opts;
+  opts.lenient = true;
+  opts.diags = &diags;
+  try {
+    const elf::Image img = elf::read_elf(bytes, opts);
+    if (img.machine == elf::Machine::kArm64) return "skip arm64";
+    return check_image(img, /*lenient=*/true);
+  } catch (const std::exception& e) {
+    return std::string("skip ") + e.what();  // container beyond salvage
+  }
+}
+
+/// The whole property sweep (corpus + mutants) on `threads` workers,
+/// fingerprints in deterministic unit order.
+std::vector<std::string> run_sweep(std::size_t threads) {
+  std::vector<synth::BinaryConfig> configs;
+  for (const auto& cfg : tiny_corpus())
+    if (is_x86(cfg)) configs.push_back(cfg);
+
+  // Mutants over two base binaries (one per arch), families round-robin.
+  const std::vector<std::uint8_t> base64 =
+      synth::cached_binary(configs.front())->stripped_bytes();
+  const auto x86_it = std::find_if(configs.begin(), configs.end(),
+                                   [](const synth::BinaryConfig& c) {
+                                     return c.machine == elf::Machine::kX86;
+                                   });
+  const std::vector<std::uint8_t> base32 =
+      synth::cached_binary(x86_it == configs.end() ? configs.front() : *x86_it)
+          ->stripped_bytes();
+  const auto plans = inject::make_plans(0x5EED50B57 % 0xFFFFFFFF, 500);
+
+  const std::size_t units = configs.size() + plans.size();
+  std::vector<std::string> out(units);
+  util::ThreadPool pool(threads);
+  util::parallel_map_ordered<std::string>(
+      pool, units,
+      [&](std::size_t i) -> std::string {
+        if (i < configs.size()) return check_corpus_config(configs[i]);
+        const std::size_t m = i - configs.size();
+        return check_mutant(m % 2 == 0 ? base64 : base32, plans[m]);
+      },
+      [&](std::size_t i, std::string&& s) { out[i] = std::move(s); });
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+
+TEST(Substrate, MatchesNaiveOraclesOnCorpusAndMutantsAcrossThreadCounts) {
+  const std::vector<std::string> one = run_sweep(1);
+  std::size_t checked = 0, compared = 0;
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(one[i].rfind("FAIL", 0) != 0) << "unit " << i << ": " << one[i];
+    if (one[i].rfind("ok", 0) == 0) ++checked;
+    if (one[i].find(" both") != std::string::npos) ++compared;
+  }
+  // The sweep must actually exercise the substrate: most mutants stay
+  // parseable, and most parseable ones are cheap enough to run both
+  // FETCH modes.
+  EXPECT_GT(checked, one.size() / 2) << "too many units skipped";
+  EXPECT_GT(compared, checked / 2) << "too few two-mode comparisons";
+
+  EXPECT_EQ(run_sweep(2), one);
+  EXPECT_EQ(run_sweep(8), one);
+}
+
+TEST(Substrate, AbandonedBuildFallsBackToFaithfulWalks) {
+  // Budget expiry mid-build aborts build_substrate; the view must come
+  // out substrate-free (never half-indexed), and the analyses must
+  // still run — and agree — on the naive paths.
+  std::vector<std::uint8_t> code(4096, 0x55);  // push rbp sled
+  code.back() = 0xc3;                          // ret
+  x86::CodeView view =
+      x86::build_code_view(code, kText, x86::Mode::k64, /*with_substrate=*/false);
+  ASSERT_FALSE(view.insns.empty());
+  {
+    const util::ScopedDeadline guard(util::Deadline::after_seconds(1e-9));
+    while (!util::deadline_expired_now()) {
+    }
+    x86::build_substrate(view);
+  }
+  EXPECT_FALSE(view.has_substrate);
+  EXPECT_TRUE(view.stack_prefix.empty());
+  EXPECT_EQ(view.substrate_seconds, 0.0);
+
+  // A substrate-free view forces the faithful path even in kSubstrate
+  // mode; with the deadline scope gone the analysis runs to completion.
+  elf::Image img = test::image_from_code(
+      std::vector<std::uint8_t>(view.bytes), kText, elf::Machine::kX8664);
+  add_eh_frame(img, {{kText, 4096, std::nullopt}});
+  baselines::FetchOptions opts;
+  opts.mode = baselines::FetchMode::kSubstrate;
+  const auto fallback = baselines::fetch_like_functions(img, view, opts);
+  opts.mode = baselines::FetchMode::kFaithful;
+  EXPECT_EQ(fallback, baselines::fetch_like_functions(img, view, opts));
+}
+
+TEST(SubstrateDeadline, PathologicalFaithfulWalkHonorsBudget) {
+  // Regression: a megabyte push sled covered by a single FDE makes the
+  // faithful frame-height pass quadratic (~1M probes x ~500K decode
+  // steps each). Before stack_height polled the ambient deadline this
+  // ran to completion — hours — because the legacy pass only checked
+  // the budget once per region. Now the poll inside the walk latches
+  // expiry and every later probe returns immediately.
+  std::vector<std::uint8_t> code(1 << 20, 0x55);  // push rbp
+  code.back() = 0xc3;                             // ret
+  elf::Image img = test::image_from_code(std::move(code), kText,
+                                         elf::Machine::kX8664);
+  add_eh_frame(img, {{kText, std::uint64_t{1} << 20, std::nullopt}});
+  const x86::CodeView view = baselines::build_code_view(img);
+  ASSERT_TRUE(view.has_substrate);
+
+  util::Stopwatch watch;
+  const util::ScopedDeadline guard(util::Deadline::after_seconds(0.05));
+  baselines::FetchOptions opts;
+  opts.mode = baselines::FetchMode::kFaithful;
+  const auto funcs = baselines::fetch_like_functions(img, view, opts);
+  EXPECT_LT(watch.seconds(), 10.0) << "budget expiry stalled by the walk";
+  EXPECT_TRUE(util::deadline_expired_now());
+  EXPECT_FALSE(funcs.empty());  // partial results, never dropped
+}
+
+TEST(SubstrateDeadline, InjectMutantSweepStaysWithinBudget) {
+  // End-to-end budget containment through the corpus engine: hostile
+  // mutants run under REPRO_TIME_BUDGET-style per-binary deadlines that
+  // now also gate substrate construction; every mutant must be
+  // delivered (ok / timed-out / contained), never hung or dropped.
+  const auto configs_all = tiny_corpus();
+  const auto base_cfg = *std::find_if(configs_all.begin(), configs_all.end(), is_x86);
+  const std::vector<std::uint8_t> base =
+      synth::cached_binary(base_cfg)->stripped_bytes();
+  const auto plans = inject::make_plans(77, 56);  // all 14 families, 4x
+
+  const std::vector<synth::BinaryConfig> configs(plans.size(), base_cfg);
+  eval::CorpusRunner runner(eval::CorpusRunner::all_tools(), 2,
+                            /*time_budget_seconds=*/0.25);
+  runner.set_mutator([&](std::size_t i, std::vector<std::uint8_t>) {
+    return inject::mutate(base, plans[i]);
+  });
+
+  util::Stopwatch watch;
+  std::size_t delivered = 0;
+  runner.run(configs, [&](const synth::BinaryConfig&, const eval::BinaryResult& r) {
+    ++delivered;
+    EXPECT_TRUE(r.per_job.size() == 4 || r.per_job.empty());
+  });
+  EXPECT_EQ(delivered, plans.size());
+  EXPECT_LT(watch.seconds(), 60.0);
+}
