@@ -1,0 +1,190 @@
+// Decode-only microbenchmark: raw linear-sweep throughput (MB/s and
+// Minsn/s) over the corpus's x86/x64 text sections, isolated from
+// substrate construction and analysis.
+//
+// Three configurations:
+//   checked    the byte-at-a-time checked decoder driven the way the
+//              pre-table sweep drove it (the differential oracle's
+//              cost — kept as the reference point for the table-driven
+//              speedup)
+//   shards=1   linear_sweep: table-driven fast path, sequential
+//   shards=N   linear_sweep_sharded on the work-stealing pool
+//              (N = 2, 4, 8) — results are verified identical to the
+//              sequential stream before any number is reported
+//
+// Emits BENCH_decode.json. Wall-clock is summed per configuration over
+// the whole corpus; REPRO_THREADS sizes the pool for the sharded rows.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "elf/reader.hpp"
+#include "eval/tables.hpp"
+#include "synth/cache.hpp"
+#include "util/stopwatch.hpp"
+#include "util/str.hpp"
+#include "util/thread_pool.hpp"
+#include "x86/decoder.hpp"
+#include "x86/sweep.hpp"
+
+using namespace fsr;
+
+namespace {
+
+struct Region {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t addr = 0;
+  x86::Mode mode = x86::Mode::k64;
+};
+
+struct Row {
+  std::string name;
+  int shards = 1;
+  double seconds = 0.0;
+  bool identical = true;
+};
+
+std::uint64_t fingerprint(const x86::SweepResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const x86::Insn& i : r.insns) {
+    mix(i.addr);
+    mix((static_cast<std::uint64_t>(i.length) << 32) |
+        (static_cast<std::uint64_t>(i.kind) << 24) |
+        (static_cast<std::uint64_t>(i.opcode) << 8) | i.modrm);
+    mix(i.target);
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(i.stack_delta)));
+  }
+  for (const std::uint64_t b : r.bad_bytes) mix(b);
+  mix(r.insns.size());
+  mix(r.bad_bytes.size());
+  return h;
+}
+
+/// The pre-table sweep loop, verbatim semantics: checked decode per
+/// instruction, one-byte resync on failure.
+x86::SweepResult checked_sweep(const Region& region) {
+  x86::SweepResult out;
+  std::span<const std::uint8_t> code(region.bytes);
+  std::size_t off = 0;
+  while (off < code.size()) {
+    const auto insn =
+        x86::decode(code.subspan(off), region.addr + off, region.mode);
+    if (insn.has_value() && insn->length > 0) {
+      out.insns.push_back(*insn);
+      off += insn->length;
+    } else {
+      out.bad_bytes.push_back(region.addr + off);
+      ++off;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::obs_init(argc, argv);
+
+  std::vector<Region> regions;
+  std::size_t total_bytes = 0;
+  for (const auto& cfg : bench::corpus()) {
+    if (cfg.machine == elf::Machine::kArm64) continue;  // x86 pipeline only
+    const auto entry = synth::cached_binary(cfg);
+    const elf::Image img = elf::read_elf(entry->stripped_bytes());
+    const elf::Section& text = img.text();
+    Region r;
+    r.bytes.assign(text.data.begin(), text.data.end());
+    r.addr = text.addr;
+    r.mode = img.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
+    total_bytes += r.bytes.size();
+    regions.push_back(std::move(r));
+  }
+
+  util::ThreadPool pool(bench::threads());
+  std::vector<std::uint64_t> reference(regions.size(), 0);
+  std::size_t total_insns = 0;
+  std::vector<Row> rows;
+
+  {
+    Row row{"checked (oracle)", 0, 0.0, true};
+    util::Stopwatch watch;
+    for (std::size_t i = 0; i < regions.size(); ++i)
+      reference[i] = fingerprint(checked_sweep(regions[i]));
+    row.seconds = watch.seconds();
+    rows.push_back(row);
+  }
+
+  for (const int shards : {1, 2, 4, 8}) {
+    Row row{shards == 1 ? "table, shards=1" : "table, shards=" + std::to_string(shards),
+            shards, 0.0, true};
+    x86::SweepParallel par;
+    par.shards = shards;
+    par.pool = shards > 1 ? &pool : nullptr;
+    std::size_t insns = 0;
+    util::Stopwatch watch;
+    std::vector<x86::SweepResult> results(regions.size());
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      results[i] = shards == 1
+                       ? x86::linear_sweep(regions[i].bytes, regions[i].addr,
+                                           regions[i].mode)
+                       : x86::linear_sweep_sharded(regions[i].bytes, regions[i].addr,
+                                                   regions[i].mode, par);
+    }
+    row.seconds = watch.seconds();
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      insns += results[i].insns.size();
+      if (fingerprint(results[i]) != reference[i]) row.identical = false;
+    }
+    total_insns = insns;
+    if (!row.identical) {
+      std::fprintf(stderr, "bench_decode: shards=%d diverged from the oracle\n",
+                   shards);
+      return 1;
+    }
+    rows.push_back(row);
+  }
+
+  const double mb = static_cast<double>(total_bytes) / 1e6;
+  const double minsn = static_cast<double>(total_insns) / 1e6;
+
+  eval::Table table({"configuration", "seconds", "MB/s", "Minsn/s"});
+  for (const Row& row : rows) {
+    table.add_row({row.name, util::fixed(row.seconds, 4),
+                   util::fixed(row.seconds > 0 ? mb / row.seconds : 0.0, 1),
+                   util::fixed(row.seconds > 0 ? minsn / row.seconds : 0.0, 1)});
+  }
+  std::printf("Decode throughput over %zu x86/x64 binaries (%.2f MB, %zu insns)\n\n",
+              regions.size(), mb, total_insns);
+  std::printf("%s", table.render().c_str());
+
+  std::FILE* out = std::fopen("BENCH_decode.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_decode.json\n");
+    return 0;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_decode\",\n");
+  std::fprintf(out, "  \"scale\": %g,\n", bench::corpus_scale());
+  std::fprintf(out, "  \"binaries\": %zu,\n", regions.size());
+  std::fprintf(out, "  \"megabytes\": %.3f,\n", mb);
+  std::fprintf(out, "  \"instructions\": %zu,\n", total_insns);
+  std::fprintf(out, "  \"configurations\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"shards\": %d, \"seconds\": %.4f, "
+                 "\"mb_per_s\": %.1f, \"minsn_per_s\": %.1f, \"identical\": %s}%s\n",
+                 row.name.c_str(), row.shards, row.seconds,
+                 row.seconds > 0 ? mb / row.seconds : 0.0,
+                 row.seconds > 0 ? minsn / row.seconds : 0.0,
+                 row.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  bench::obs_finish();
+  return 0;
+}

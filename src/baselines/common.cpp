@@ -9,13 +9,14 @@
 
 namespace fsr::baselines {
 
-CodeView build_code_view(const elf::Image& bin) {
+CodeView build_code_view(const elf::Image& bin, const x86::SweepParallel& par) {
   if (bin.machine == elf::Machine::kArm64)
     throw UsageError("the baseline analyzers model x86/x86-64 tools only");
   const elf::Section& text = bin.text();
   const x86::Mode mode =
       bin.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
-  return x86::build_code_view(text.data, text.addr, mode);
+  return x86::build_code_view(text.data, text.addr, mode,
+                              /*with_substrate=*/true, par);
 }
 
 void traverse_into(const CodeView& view, std::span<const std::uint64_t> seeds,

@@ -21,8 +21,10 @@ namespace fsr::baselines {
 /// engine's prepare phase hands the same view to all four tools).
 using CodeView = x86::CodeView;
 
-/// Linear-sweep the image and build the flat index.
-CodeView build_code_view(const elf::Image& bin);
+/// Linear-sweep the image and build the flat index. `par` shards the
+/// sweep inside the binary (bit-identical output at any shard count).
+CodeView build_code_view(const elf::Image& bin,
+                         const x86::SweepParallel& par = {});
 
 /// Recursive-traversal result.
 struct Traversal {

@@ -55,16 +55,32 @@ RunnerMetrics& runner_metrics() {
   return m;
 }
 
+/// REPRO_SWEEP_SHARDS: intra-binary sweep shard count (default 1 =
+/// sequential). Cross-binary parallelism already saturates the pool on
+/// a full corpus run; sharding pays off when the binaries are few and
+/// large. The decoded views are bit-identical either way.
+int env_sweep_shards() {
+  static const int shards = [] {
+    const char* env = std::getenv("REPRO_SWEEP_SHARDS");
+    if (env == nullptr || *env == '\0') return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    if (v <= 1) return 1;
+    return v > 64 ? 64 : static_cast<int>(v);
+  }();
+  return shards;
+}
+
 }  // namespace
 
-SharedDecode decode_shared(const elf::Image& stripped) {
+SharedDecode decode_shared(const elf::Image& stripped,
+                           const x86::SweepParallel& par) {
   SharedDecode d;
   if (stripped.machine == elf::Machine::kArm64) return d;  // x86 tools only
   util::Stopwatch watch;
   std::shared_ptr<x86::CodeView> view;
   {
     TRACE_SPAN("decode");
-    view = std::make_shared<x86::CodeView>(baselines::build_code_view(stripped));
+    view = std::make_shared<x86::CodeView>(baselines::build_code_view(stripped, par));
   }
   std::shared_ptr<funseeker::DisasmSets> sweep;
   {
@@ -80,7 +96,8 @@ SharedDecode decode_shared(const elf::Image& stripped) {
   return d;
 }
 
-PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry) {
+PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry,
+                       const x86::SweepParallel& par) {
   PreparedBinary p;
   util::Stopwatch watch;
   {
@@ -89,14 +106,15 @@ PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry) {
   }
   p.prepare_seconds = watch.seconds();
   runner_metrics().prepare_ns.record_seconds(p.prepare_seconds);
-  p.decode = decode_shared(p.stripped);
+  p.decode = decode_shared(p.stripped, par);
   p.entry = std::move(entry);
   return p;
 }
 
 PreparedBinary prepare_bytes(std::shared_ptr<const synth::DatasetEntry> entry,
                              std::span<const std::uint8_t> bytes,
-                             util::Diagnostics* diags) {
+                             util::Diagnostics* diags,
+                             const x86::SweepParallel& par) {
   PreparedBinary p;
   util::Stopwatch watch;
   {
@@ -108,7 +126,7 @@ PreparedBinary prepare_bytes(std::shared_ptr<const synth::DatasetEntry> entry,
   }
   p.prepare_seconds = watch.seconds();
   runner_metrics().prepare_ns.record_seconds(p.prepare_seconds);
-  p.decode = decode_shared(p.stripped);
+  p.decode = decode_shared(p.stripped, par);
   p.entry = std::move(entry);
   return p;
 }
@@ -303,6 +321,10 @@ void CorpusRunner::run(const std::vector<synth::BinaryConfig>& configs,
                                                 const BinaryResult&)>& reduce) const {
   util::ThreadPool pool(threads_);
   const bool reporting = obs::RunReport::instance().enabled();
+  // Sweep shards are claimed from the same pool the binaries run on;
+  // the claim-based scheduling in linear_sweep_sharded keeps a
+  // saturated pool deadlock-free.
+  const x86::SweepParallel sweep_par{env_sweep_shards(), &pool};
   util::parallel_map_ordered<BinaryResult>(
       pool, configs.size(),
       [&](std::size_t i) {
@@ -327,8 +349,8 @@ void CorpusRunner::run(const std::vector<synth::BinaryConfig>& configs,
           // design: parse leniently and collect the salvage record.
           PreparedBinary p =
               mutator_ ? prepare_bytes(entry, mutator_(i, entry->stripped_bytes()),
-                                       &r.diagnostics)
-                       : prepare(std::move(entry));
+                                       &r.diagnostics, sweep_par)
+                       : prepare(std::move(entry), sweep_par);
           r.prepare_seconds = p.prepare_seconds;
           r.decode_seconds = p.decode.decode_seconds;
           r.substrate_seconds = p.decode.substrate_seconds;

@@ -53,7 +53,11 @@ struct SharedDecode {
 
 /// Linear-sweep the image's .text once and derive the FunSeeker
 /// candidate sets from it. No-op (null members) for AArch64 images.
-SharedDecode decode_shared(const elf::Image& stripped);
+/// `par` shards the sweep inside the binary (REPRO_SWEEP_SHARDS is the
+/// CorpusRunner's knob for it); the decoded view is bit-identical at
+/// any shard count.
+SharedDecode decode_shared(const elf::Image& stripped,
+                           const x86::SweepParallel& par = {});
 
 /// A dataset entry readied for analysis: stripped, serialized, parsed
 /// back, and decoded exactly once. The parsed image and the decoded
@@ -67,14 +71,16 @@ struct PreparedBinary {
 };
 
 /// strip + write_elf + read_elf + decode_shared, once.
-PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry);
+PreparedBinary prepare(std::shared_ptr<const synth::DatasetEntry> entry,
+                       const x86::SweepParallel& par = {});
 
 /// prepare() over externally supplied bytes — the fault-injection path.
 /// With a diagnostics sink the ELF parse is lenient (salvage + record);
 /// analysis then runs on whatever container structure survived.
 PreparedBinary prepare_bytes(std::shared_ptr<const synth::DatasetEntry> entry,
                              std::span<const std::uint8_t> bytes,
-                             util::Diagnostics* diags = nullptr);
+                             util::Diagnostics* diags = nullptr,
+                             const x86::SweepParallel& par = {});
 
 /// Time `tool`'s analysis over an already-parsed stripped image.
 /// No scoring (no ground truth needed) — this is the path `fsr compare`

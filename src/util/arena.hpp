@@ -1,0 +1,176 @@
+// Per-binary bump allocator for the decode-once analysis structures.
+//
+// A CodeView's flat address index and analysis substrate are eight-plus
+// parallel arrays allocated together, read for the lifetime of the
+// binary's evaluation, and dropped together. Giving each binary one
+// Arena turns that into a handful of block allocations bumped through
+// with pointer arithmetic and freed wholesale when the view goes away —
+// no per-vector capacity growth, no allocator round trips on the sweep
+// hot path, and no interleaving of substrate arrays with unrelated heap
+// traffic.
+//
+// Arena hands out raw uninitialized storage; ArenaArray<T> is the typed
+// fixed-size view the CodeView fields use, and ArenaVec<T> is the
+// growable builder the fused sweep appends through while the final
+// instruction count is still unknown (growth re-bumps a larger array
+// and abandons the old one — abandoned bytes are reclaimed with the
+// arena, which is the point of wholesale freeing).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace fsr::util {
+
+class Arena {
+public:
+  Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Uninitialized storage for `n` objects of T (trivial types only —
+  /// nothing in the arena is ever destructed).
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(raw_alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Zero-filled storage for `n` objects of T.
+  template <typename T>
+  T* alloc_zero(std::size_t n) {
+    T* p = alloc<T>(n);
+    std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+    return p;
+  }
+
+  /// Bytes handed out so far (includes storage abandoned by ArenaVec
+  /// growth — it is reclaimed only when the arena itself is freed).
+  [[nodiscard]] std::size_t bytes_used() const { return used_; }
+  /// Bytes reserved from the system allocator.
+  [[nodiscard]] std::size_t bytes_reserved() const { return reserved_; }
+
+private:
+  void* raw_alloc(std::size_t bytes, std::size_t align) {
+    std::size_t off = (cursor_ + align - 1) & ~(align - 1);
+    // blocks_.empty() guards the zero-byte-first-allocation case (an
+    // empty section's index): it must still return a valid pointer.
+    if (blocks_.empty() || off + bytes > block_size_) {
+      grow(bytes + align);
+      off = (cursor_ + align - 1) & ~(align - 1);
+    }
+    cursor_ = off + bytes;
+    used_ += bytes;
+    return blocks_.back().get() + off;
+  }
+
+  void grow(std::size_t at_least) {
+    // Geometric block growth keeps the block count logarithmic in the
+    // binary's size; the first block is sized for a small .text so tiny
+    // fixtures don't pay a megabyte up front.
+    std::size_t size = block_size_ == 0 ? std::size_t{1} << 16 : block_size_ * 2;
+    while (size < at_least) size *= 2;
+    blocks_.push_back(std::make_unique<std::byte[]>(size));
+    block_size_ = size;
+    cursor_ = 0;
+    reserved_ += size;
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::size_t block_size_ = 0;  // capacity of blocks_.back()
+  std::size_t cursor_ = 0;      // bump offset within blocks_.back()
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+/// Fixed-size typed view over arena storage. Vector-shaped read API so
+/// existing consumers (indexing, size/empty checks, range-for) compile
+/// unchanged; the owning structure keeps the Arena alive.
+template <typename T>
+class ArenaArray {
+public:
+  ArenaArray() = default;
+  ArenaArray(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  /// Allocate `n` zero-filled elements from `arena`.
+  static ArenaArray zeroed(Arena& arena, std::size_t n) {
+    return ArenaArray(arena.alloc_zero<T>(n), n);
+  }
+  /// Allocate `n` uninitialized elements (caller fills every slot).
+  static ArenaArray uninit(Arena& arena, std::size_t n) {
+    return ArenaArray(arena.alloc<T>(n), n);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+  /// Detach from the storage (the arena still owns the bytes).
+  void clear() {
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Growable arena-backed array for build loops where the final size is
+/// unknown until the end. push_back is a store + increment once the
+/// reservation covers the workload (the sweep pre-sizes from its
+/// density probe); growth bumps a doubled array and memcpys — the old
+/// storage is abandoned to the arena.
+template <typename T>
+class ArenaVec {
+public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  explicit ArenaVec(Arena& arena) : arena_(&arena) {}
+
+  void reserve(std::size_t n) {
+    if (n > cap_) regrow(n);
+  }
+
+  void push_back(T v) {
+    if (size_ == cap_) regrow(cap_ == 0 ? 64 : cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+
+  /// Freeze into the fixed-size view handed to consumers.
+  [[nodiscard]] ArenaArray<T> finish() { return ArenaArray<T>(data_, size_); }
+
+private:
+  void regrow(std::size_t cap) {
+    T* grown = arena_->alloc<T>(cap);
+    if (size_ > 0) std::memcpy(grown, data_, size_ * sizeof(T));
+    data_ = grown;
+    cap_ = cap;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace fsr::util

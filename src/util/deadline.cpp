@@ -46,6 +46,8 @@ bool deadline_expired() {
   return tl_expired;
 }
 
+Deadline current_deadline() { return tl_active ? tl_deadline : Deadline(); }
+
 bool deadline_expired_now() {
   if (!tl_active) return false;
   if (tl_expired) return true;

@@ -64,6 +64,12 @@ bool deadline_expired();
 /// boundaries (e.g. "did anything in this binary time out?").
 bool deadline_expired_now();
 
+/// The calling thread's ambient deadline (unlimited when none is
+/// installed). Lets work farmed out to other threads — the sharded
+/// sweep's decode jobs — re-install the originating binary's budget via
+/// ScopedDeadline on the worker that picked the job up.
+Deadline current_deadline();
+
 namespace detail {
 inline constexpr std::uint32_t kDeadlineStride = 1024;
 }

@@ -1,11 +1,12 @@
 #include "x86/codeview.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "util/deadline.hpp"
 #include "util/stopwatch.hpp"
-#include "x86/sweep.hpp"
+#include "x86/decoder.hpp"
 
 namespace fsr::x86 {
 
@@ -40,115 +41,330 @@ std::size_t CodeView::first_pos_at_or_after(std::uint64_t addr) const {
   return static_cast<std::size_t>(it - insns.begin());
 }
 
+namespace {
+
+// Which event lists an instruction kind lands in. A flat lookup keeps
+// the emit hot path to one load and one usually-false branch instead of
+// a jump table whose indirect branch mispredicts on mixed code.
+constexpr std::uint8_t kEvRet = 0x01;
+constexpr std::uint8_t kEvLeave = 0x02;
+constexpr std::uint8_t kEvCall = 0x04;
+constexpr std::uint8_t kEvBranch = 0x08;  // direct call/jmp/jcc: has a target
+
+constexpr std::array<std::uint8_t, 32> build_event_bits() {
+  std::array<std::uint8_t, 32> t{};
+  t[static_cast<std::size_t>(Kind::kRet)] = kEvRet;
+  t[static_cast<std::size_t>(Kind::kLeave)] = kEvLeave;
+  t[static_cast<std::size_t>(Kind::kCallDirect)] = kEvCall | kEvBranch;
+  t[static_cast<std::size_t>(Kind::kCallIndirect)] = kEvCall;
+  t[static_cast<std::size_t>(Kind::kJmpDirect)] = kEvBranch;
+  t[static_cast<std::size_t>(Kind::kJcc)] = kEvBranch;
+  return t;
+}
+constexpr auto kEventBits = build_event_bits();
+
+/// Single-pass substrate emission. One emit() per instruction, in
+/// stream order, over the decoded `insns` array — the columns are
+/// byte-identical however the instructions were produced (sequential
+/// or sharded sweep) because every emitted fact depends only on the
+/// instruction and the emission state so far. Facts that need the
+/// whole stream (branch-target slots, next_stop, the event bitmaps)
+/// are recorded as deferred work and resolved in finalize().
+class SubstrateBuilder {
+ public:
+  SubstrateBuilder(util::Arena& arena, std::size_t byte_count)
+      : arena_(arena),
+        rets_(arena),
+        leaves_(arena),
+        calls_(arena),
+        branches_(arena),
+        interior_(util::ArenaArray<std::uint64_t>::zeroed(arena,
+                                                          (byte_count + 63) / 64)) {}
+
+  void reserve(std::size_t n) {
+    if (n > cap_) regrow(n);
+  }
+
+  void emit(std::size_t i, const Insn& insn, std::uint64_t text_begin) {
+    // One capacity branch covers all four per-instruction columns; the
+    // stores then go through __restrict locals so the compiler keeps
+    // the cursors in registers instead of re-reading members after
+    // every byte store (kind_class_ is unsigned char*, which would
+    // otherwise be assumed to alias everything).
+    if (i == cap_) [[unlikely]] regrow(cap_ == 0 ? 512 : cap_ * 2);
+    size_ = i + 1;
+    std::int64_t* __restrict stack_prefix = stack_prefix_;
+    std::uint32_t* __restrict prev_leave = prev_leave_;
+    std::uint32_t* __restrict next_slot = next_slot_;
+    std::uint8_t* __restrict kind_class = kind_class_;
+
+    stack_sum_ += insn.stack_delta;
+    stack_prefix[i + 1] = stack_sum_;
+    kind_class[i] = static_cast<std::uint8_t>(insn.kind);
+    const std::uint8_t ev = kEventBits[static_cast<std::size_t>(insn.kind)];
+    if (ev != 0) [[unlikely]] {
+      const auto pos = static_cast<std::uint32_t>(i);
+      if (ev & kEvRet) rets_.push_back(pos);
+      if (ev & kEvLeave) {
+        last_leave_ = pos + 1;
+        leaves_.push_back(pos);
+      }
+      if (ev & kEvCall) calls_.push_back(pos);
+      if (ev & kEvBranch) branches_.push_back(pos);
+    }
+    prev_leave[i] = last_leave_;
+
+    // Fall-through slot, incrementally: the only instruction that can
+    // start at insns[i-1].end() is insns[i] itself (addresses strictly
+    // increase, and a resync byte there means nothing starts there), so
+    // pos_of(end) reduces to one comparison against the previous end.
+    next_slot[i] = 0;
+    if (i > 0 && insn.addr == prev_end_)
+      next_slot[i - 1] = static_cast<std::uint32_t>(i + 1);
+    prev_end_ = insn.end();
+
+    set_interior(insn.addr + 1 - text_begin, insn.end() - text_begin);
+  }
+
+  /// Resolve the deferred facts against the completed view (insns and
+  /// slots must be final) and attach every column.
+  void finalize(CodeView& view) {
+    const std::size_t n = view.insns.size();
+    if (cap_ == 0) regrow(8);  // empty stream still needs stack_prefix[0]
+    if (!interior_.empty()) interior_.data()[word_idx_] |= word_;  // flush
+    stack_prefix_[0] = 0;
+    view.stack_prefix = util::ArenaArray<std::int64_t>(stack_prefix_, n + 1);
+    view.prev_leave = util::ArenaArray<std::uint32_t>(prev_leave_, n);
+    view.next_slot = util::ArenaArray<std::uint32_t>(next_slot_, n);
+    view.kind_class = util::ArenaArray<std::uint8_t>(kind_class_, n);
+    view.interior_words = interior_;
+
+    view.ret_positions = PosBitmap(n);
+    for (const std::uint32_t p : rets_.finish()) view.ret_positions.set(p);
+    view.leave_positions = PosBitmap(n);
+    for (const std::uint32_t p : leaves_.finish()) view.leave_positions.set(p);
+    view.call_positions = PosBitmap(n);
+    for (const std::uint32_t p : calls_.finish()) view.call_positions.set(p);
+
+    // Branch-target slots need the complete flat index (targets point
+    // both ways), so they resolve here rather than at emit time.
+    auto target = util::ArenaArray<std::uint32_t>::zeroed(arena_, n);
+    for (const std::uint32_t p : branches_.finish()) {
+      const std::size_t t = view.pos_of(view.insns[p].target);
+      if (t != CodeView::kNoInsn) target[p] = static_cast<std::uint32_t>(t + 1);
+    }
+    view.target_slot = target;
+
+    // Backward pass: first walk-terminating instruction at or after
+    // each position (FETCH's body walk stops at kRet or kJmpDirect).
+    auto stops = util::ArenaArray<std::uint32_t>::uninit(arena_, n);
+    auto stop = static_cast<std::uint32_t>(n);
+    for (std::size_t i = n; i-- > 0;) {
+      const std::uint8_t k = view.kind_class[i];
+      if (k == static_cast<std::uint8_t>(Kind::kRet) ||
+          k == static_cast<std::uint8_t>(Kind::kJmpDirect))
+        stop = static_cast<std::uint32_t>(i);
+      stops[i] = stop;
+    }
+    view.next_stop = stops;
+  }
+
+ private:
+  /// Mark bytes [a, b) as instruction-interior. Successive instructions
+  /// cover strictly increasing ranges, so the word being filled only
+  /// ever advances; it is accumulated in a member the compiler keeps in
+  /// a register across inlined emits and flushed when the range moves to
+  /// a later word — one memory OR per 64 text bytes instead of a
+  /// load-or-store dependency chain on every instruction.
+  void set_interior(std::uint64_t a, std::uint64_t b) {
+    if (b <= a) return;  // 1-byte instruction: no interior bytes
+    std::uint64_t* __restrict words = interior_.data();
+    const std::size_t w0 = static_cast<std::size_t>(a >> 6);
+    const std::size_t w1 = static_cast<std::size_t>((b - 1) >> 6);
+    const std::uint64_t m0 = ~std::uint64_t{0} << (a & 63);
+    const std::uint64_t m1 = ~std::uint64_t{0} >> (63 - ((b - 1) & 63));
+    if (w0 != word_idx_) {
+      words[word_idx_] |= word_;
+      word_idx_ = w0;
+      word_ = 0;
+    }
+    if (w0 == w1) {
+      word_ |= m0 & m1;
+      return;
+    }
+    words[w0] |= word_ | m0;
+    for (std::size_t w = w0 + 1; w < w1; ++w) words[w] = ~std::uint64_t{0};
+    word_idx_ = w1;
+    word_ = m1;
+  }
+
+  void regrow(std::size_t cap) {
+    auto* stack_prefix = arena_.alloc<std::int64_t>(cap + 1);
+    auto* prev_leave = arena_.alloc<std::uint32_t>(cap);
+    auto* next_slot = arena_.alloc<std::uint32_t>(cap);
+    auto* kind_class = arena_.alloc<std::uint8_t>(cap);
+    if (size_ > 0) {
+      std::memcpy(stack_prefix + 1, stack_prefix_ + 1, size_ * sizeof(std::int64_t));
+      std::memcpy(prev_leave, prev_leave_, size_ * sizeof(std::uint32_t));
+      std::memcpy(next_slot, next_slot_, size_ * sizeof(std::uint32_t));
+      std::memcpy(kind_class, kind_class_, size_ * sizeof(std::uint8_t));
+    }
+    stack_prefix_ = stack_prefix;
+    prev_leave_ = prev_leave;
+    next_slot_ = next_slot;
+    kind_class_ = kind_class;
+    cap_ = cap;
+  }
+
+  util::Arena& arena_;
+  // Per-instruction columns: parallel arrays under one capacity, grown
+  // together (abandoned storage is reclaimed with the arena).
+  std::int64_t* stack_prefix_ = nullptr;  // [cap_+1]; slot 0 set in finalize
+  std::uint32_t* prev_leave_ = nullptr;
+  std::uint32_t* next_slot_ = nullptr;
+  std::uint8_t* kind_class_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+  util::ArenaVec<std::uint32_t> rets_;
+  util::ArenaVec<std::uint32_t> leaves_;
+  util::ArenaVec<std::uint32_t> calls_;
+  util::ArenaVec<std::uint32_t> branches_;  // call/jmp/jcc with direct targets
+  util::ArenaArray<std::uint64_t> interior_;
+  std::uint64_t word_ = 0;        // pending interior bits for words_[word_idx_]
+  std::size_t word_idx_ = 0;
+  std::int64_t stack_sum_ = 0;
+  std::uint32_t last_leave_ = 0;  // position+1, 0 = none yet
+  std::uint64_t prev_end_ = ~std::uint64_t{0};
+};
+
+/// Deadline expired mid-build: leave the view substrate-free rather
+/// than half-indexed — every consumer checks has_substrate and falls
+/// back to the naive walks. (Partially emitted arena storage is simply
+/// abandoned; the arena reclaims it with the view.)
+void abandon_substrate(CodeView& view) {
+  view.stack_prefix.clear();
+  view.prev_leave.clear();
+  view.next_stop.clear();
+  view.target_slot.clear();
+  view.next_slot.clear();
+  view.kind_class.clear();
+  view.ret_positions = PosBitmap();
+  view.leave_positions = PosBitmap();
+  view.call_positions = PosBitmap();
+  view.interior_words.clear();
+  view.substrate_seconds = 0.0;
+}
+
+/// Move a sweep's output into the view and build the flat index.
+void adopt_sweep(CodeView& view, SweepResult&& sweep, std::uint64_t base) {
+  view.bad_bytes = sweep.bad_bytes.size();
+  view.insns = std::move(sweep.insns);
+  for (std::size_t i = 0; i < view.insns.size(); ++i)
+    view.slots[static_cast<std::size_t>(view.insns[i].addr - base)] =
+        static_cast<std::uint32_t>(i + 1);
+}
+
+/// The one-call build: decode + flat index in a first tight pass, then
+/// the substrate columns in a second tight pass over the just-decoded
+/// (and therefore cache-warm) insns array. Measured head-to-head on the
+/// corpus, two small loops beat one mega-loop by ~1.5x: inlining the
+/// whole table decoder *and* the column emission into a single loop
+/// body spills the builder's running state (prefix sum, interior word,
+/// previous end) to the stack on every iteration, while the split form
+/// keeps each loop's state in registers and streams the columns
+/// sequentially. On deadline expiry the decoded prefix (insns, slots,
+/// bad-byte count) is kept and the substrate abandoned — the latched
+/// expiry makes build_substrate abandon on its first poll.
+void fused_build(CodeView& view, std::span<const std::uint8_t> code,
+                 std::uint64_t base, Mode mode) {
+  const std::uint8_t* data = code.data();
+  const std::size_t size = code.size();
+  constexpr std::size_t kProbe = 256;
+  std::size_t bad = 0;
+  std::size_t off = 0;
+  std::uint32_t tick = 0;
+  bool timed = false;
+  while (off < size) {
+    if ((tick++ & 1023u) == 0 && util::deadline_expired()) {
+      timed = true;
+      break;
+    }
+    if (view.insns.size() == kProbe) {
+      const std::size_t avg = (off + kProbe - 1) / kProbe;  // bytes/insn
+      view.insns.reserve(size / (avg > 0 ? avg : 1) + kProbe);
+    }
+    // Decode directly into the vector slot the instruction will occupy;
+    // a failed decode pops the (possibly partially written) slot off.
+    const std::size_t i = view.insns.size();
+    view.insns.emplace_back();
+    const std::uint32_t len = decode_at(data, size, off, base, mode, view.insns[i]);
+    if (len > 0) {
+      view.slots[off] = static_cast<std::uint32_t>(i + 1);
+      off += len;
+    } else {
+      view.insns.pop_back();
+      ++bad;
+      ++off;  // resync: skip one byte and try again
+    }
+  }
+  view.bad_bytes = bad;
+  if (timed) return;
+  build_substrate(view);
+}
+
+}  // namespace
+
 void build_substrate(CodeView& view) {
   if (view.has_substrate) return;
   util::Stopwatch watch;
+  if (!view.arena) view.arena = std::make_shared<util::Arena>();
   const std::size_t n = view.insns.size();
-
-  view.stack_prefix.assign(n + 1, 0);
-  view.prev_leave.assign(n, 0);
-  view.next_stop.assign(n, static_cast<std::uint32_t>(n));
-  view.target_slot.assign(n, 0);
-  view.next_slot.assign(n, 0);
-  view.kind_class.assign(n, 0);
-  view.ret_positions = PosBitmap(n);
-  view.leave_positions = PosBitmap(n);
-  view.call_positions = PosBitmap(n);
-  view.interior_words.assign(
-      (static_cast<std::size_t>(view.text_end - view.text_begin) + 63) / 64, 0);
-
-  const auto abandon = [&view] {
-    // Deadline expired mid-build: leave the view substrate-free rather
-    // than half-indexed — every consumer checks has_substrate and falls
-    // back to the naive walks.
-    view.stack_prefix.clear();
-    view.prev_leave.clear();
-    view.next_stop.clear();
-    view.target_slot.clear();
-    view.next_slot.clear();
-    view.kind_class.clear();
-    view.ret_positions = PosBitmap();
-    view.leave_positions = PosBitmap();
-    view.call_positions = PosBitmap();
-    view.interior_words.clear();
-    view.substrate_seconds = 0.0;
-  };
-
-  // Forward pass: prefix sums, segment pointers, flow slots, event
-  // bitsets, interior-byte map.
-  std::uint32_t last_leave = 0;  // position+1, 0 = none yet
+  SubstrateBuilder builder(*view.arena,
+                           static_cast<std::size_t>(view.text_end - view.text_begin));
+  builder.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (util::deadline_expired()) return abandon();
-    const Insn& insn = view.insns[i];
-    view.stack_prefix[i + 1] = view.stack_prefix[i] + insn.stack_delta;
-    view.kind_class[i] = static_cast<std::uint8_t>(insn.kind);
-    switch (insn.kind) {
-      case Kind::kLeave:
-        last_leave = static_cast<std::uint32_t>(i + 1);
-        view.leave_positions.set(i);
-        break;
-      case Kind::kRet:
-        view.ret_positions.set(i);
-        break;
-      case Kind::kCallDirect:
-      case Kind::kCallIndirect:
-        view.call_positions.set(i);
-        break;
-      default:
-        break;
-    }
-    view.prev_leave[i] = last_leave;
-
-    if (insn.kind == Kind::kCallDirect || insn.kind == Kind::kJmpDirect ||
-        insn.kind == Kind::kJcc) {
-      const std::size_t t = view.pos_of(insn.target);
-      if (t != CodeView::kNoInsn)
-        view.target_slot[i] = static_cast<std::uint32_t>(t + 1);
-    }
-    const std::size_t next = view.pos_of(insn.end());
-    if (next != CodeView::kNoInsn)
-      view.next_slot[i] = static_cast<std::uint32_t>(next + 1);
-
-    for (std::uint64_t b = insn.addr + 1; b < insn.end(); ++b) {
-      const std::uint64_t off = b - view.text_begin;
-      view.interior_words[static_cast<std::size_t>(off) >> 6] |=
-          std::uint64_t{1} << (off & 63);
-    }
+    // Amortized poll: latched expiry (a binary already over budget)
+    // still aborts on the very first iteration.
+    if ((i & 1023u) == 0 && util::deadline_expired()) return abandon_substrate(view);
+    builder.emit(i, view.insns[i], view.text_begin);
   }
-
-  // Backward pass: first walk-terminating instruction at or after each
-  // position (FETCH's body walk stops at kRet or kJmpDirect).
-  std::uint32_t stop = static_cast<std::uint32_t>(n);
-  for (std::size_t i = n; i-- > 0;) {
-    const Kind k = view.insns[i].kind;
-    if (k == Kind::kRet || k == Kind::kJmpDirect)
-      stop = static_cast<std::uint32_t>(i);
-    view.next_stop[i] = stop;
-  }
-
+  builder.finalize(view);
   view.has_substrate = true;
   view.substrate_seconds = watch.seconds();
 }
 
 CodeView build_code_view(std::span<const std::uint8_t> code, std::uint64_t base,
-                         Mode mode, bool with_substrate) {
+                         Mode mode, bool with_substrate,
+                         const SweepParallel& par) {
   CodeView view;
+  view.arena = std::make_shared<util::Arena>();
   view.text_begin = base;
   view.text_end = base + code.size();
   view.bytes.assign(code.begin(), code.end());
   view.mode = mode;
+  view.slots = util::ArenaArray<std::uint32_t>::zeroed(*view.arena, code.size());
 
-  SweepResult sweep = linear_sweep(code, base, mode);
-  view.bad_bytes = sweep.bad_bytes.size();
-  view.insns = std::move(sweep.insns);
-
-  view.slots.assign(code.size(), 0);
-  for (std::size_t i = 0; i < view.insns.size(); ++i)
-    view.slots[static_cast<std::size_t>(view.insns[i].addr - base)] =
-        static_cast<std::uint32_t>(i + 1);
-
-  if (with_substrate) build_substrate(view);
+  if (par.shards > 1) {
+    SweepResult sweep = linear_sweep_sharded(code, base, mode, par);
+    const bool timed = sweep.timed_out;
+    adopt_sweep(view, std::move(sweep), base);
+    // On timeout skip the substrate outright: the sequential fused
+    // build abandons it via the same latched expiry, but a shard's
+    // expiry latches on the worker thread, so make it explicit here.
+    if (with_substrate && !timed) build_substrate(view);
+    return view;
+  }
+  if (!with_substrate) {
+    adopt_sweep(view, linear_sweep(code, base, mode), base);
+    return view;
+  }
+  fused_build(view, code, base, mode);
   return view;
+}
+
+CodeView build_code_view(std::span<const std::uint8_t> code, std::uint64_t base,
+                         Mode mode, bool with_substrate) {
+  return build_code_view(code, base, mode, with_substrate, SweepParallel{});
 }
 
 std::vector<std::uint64_t> AddrBitmap::to_sorted_addresses() const {

@@ -29,10 +29,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "x86/insn.hpp"
+#include "x86/sweep.hpp"
 
 namespace fsr::x86 {
 
@@ -89,10 +92,16 @@ struct CodeView {
   static constexpr std::size_t kNoInsn = static_cast<std::size_t>(-1);
 
   std::vector<Insn> insns;  // address order (linear-sweep output)
+  /// Bump allocator owning the flat index and every substrate column.
+  /// The arrays below are views into it; copies of the CodeView share
+  /// it, and everything is freed wholesale when the last copy goes
+  /// away. (insns/bytes stay std::vector — they are moved across API
+  /// boundaries.)
+  std::shared_ptr<util::Arena> arena;
   /// Flat address index: slots[addr - text_begin] is the position in
   /// `insns` of the instruction starting at addr, plus one; 0 means no
   /// instruction starts at that byte.
-  std::vector<std::uint32_t> slots;
+  util::ArenaArray<std::uint32_t> slots;
   std::uint64_t text_begin = 0;
   std::uint64_t text_end = 0;
   /// Raw section bytes, kept so analyses that re-decode (FETCH-like's
@@ -106,33 +115,37 @@ struct CodeView {
   // Analysis substrate (build_substrate; immutable afterwards).
   // All position vectors have insns.size() entries unless noted.
 
-  /// True once build_substrate completed. False when the view was built
-  /// without it or the build was abandoned on deadline expiry — users
-  /// must fall back to the naive walks in that case.
+  /// True once the substrate is complete (fused into the sweep by
+  /// build_code_view, or computed after the fact by build_substrate).
+  /// False when the view was built without it or the build was
+  /// abandoned on deadline expiry — users must fall back to the naive
+  /// walks in that case.
   bool has_substrate = false;
-  /// Wall-clock cost of build_substrate (reported inside the decode
-  /// stage by eval::decode_shared, and as its own stage by
-  /// bench_hotpath).
+  /// Wall-clock cost of the substrate finalize/fix-up work (reported
+  /// inside the decode stage by eval::decode_shared, and as its own
+  /// stage by bench_hotpath). In the fused build the per-instruction
+  /// emission rides the decode loop, so this covers only the
+  /// deferred passes (flow-slot resolution, next_stop, bitmaps).
   double substrate_seconds = 0.0;
 
   /// stack_prefix[i] = sum of stack_delta over insns[0..i) (size n+1).
-  std::vector<std::int64_t> stack_prefix;
+  util::ArenaArray<std::int64_t> stack_prefix;
   /// prev_leave[i] = position+1 of the last kLeave at or before i,
   /// 0 when none — the segment break of the frame-height prefix sums.
-  std::vector<std::uint32_t> prev_leave;
+  util::ArenaArray<std::uint32_t> prev_leave;
   /// next_stop[i] = first position >= i whose kind is kRet or
   /// kJmpDirect (the two ways a frame-height walk terminates), or
   /// insns.size() when none.
-  std::vector<std::uint32_t> next_stop;
+  util::ArenaArray<std::uint32_t> next_stop;
   /// Flow index: target_slot[i] = position+1 of the decoded in-text
   /// instruction a direct transfer targets (0 when none / not decoded);
   /// next_slot[i] = position+1 of the instruction at insns[i].end()
   /// (0 when fall-through lands on a bad byte or leaves the section).
-  std::vector<std::uint32_t> target_slot;
-  std::vector<std::uint32_t> next_slot;
+  util::ArenaArray<std::uint32_t> target_slot;
+  util::ArenaArray<std::uint32_t> next_slot;
   /// kind_class[i] = static_cast<uint8_t>(insns[i].kind): the one-byte
   /// column traversals branch on without pulling whole Insn records.
-  std::vector<std::uint8_t> kind_class;
+  util::ArenaArray<std::uint8_t> kind_class;
   /// Event-position bitsets (rank/select style queries).
   PosBitmap ret_positions;
   PosBitmap leave_positions;
@@ -141,7 +154,7 @@ struct CodeView {
   /// decoded instruction. A frame-height walk starting on such a byte
   /// diverges from the sweep stream (it re-decodes mid-instruction), so
   /// substrate queries refuse it and callers take the naive path.
-  std::vector<std::uint64_t> interior_words;
+  util::ArenaArray<std::uint64_t> interior_words;
 
   [[nodiscard]] bool in_text(std::uint64_t addr) const {
     return addr >= text_begin && addr < text_end;
@@ -223,11 +236,24 @@ struct CodeView {
   }
 };
 
-/// Linear-sweep `code` (loaded at `base`) and build the flat index.
-/// `with_substrate` additionally runs build_substrate (the default —
-/// bench_hotpath passes false to time the two stages separately).
+/// Sweep `code` (loaded at `base`) and build the flat index. With
+/// `with_substrate` (the default) the substrate is *fused* into the
+/// decode loop: each instruction's prefix sums, kind byte, event list
+/// entries and interior bits are emitted as it decodes, and only the
+/// deferred passes (flow slots, next_stop, bitmaps) run afterwards —
+/// one pass over the bytes instead of decode-then-rescan.
+/// bench_hotpath passes false to time the sweep alone.
 CodeView build_code_view(std::span<const std::uint8_t> code, std::uint64_t base,
                          Mode mode, bool with_substrate = true);
+
+/// As above, with intra-binary sweep sharding. `par.shards > 1` decodes
+/// the region as concurrent shards stitched back to the bit-identical
+/// sequential stream (see linear_sweep_sharded); the substrate is then
+/// emitted over the stitched stream, so every derived structure is
+/// byte-identical to the sequential build at any shard/thread count.
+CodeView build_code_view(std::span<const std::uint8_t> code, std::uint64_t base,
+                         Mode mode, bool with_substrate,
+                         const SweepParallel& par);
 
 /// Compute the analysis substrate for an already-swept view (idempotent;
 /// one linear pass forward and one backward over `insns`). Cooperative:

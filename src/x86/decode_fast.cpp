@@ -1,0 +1,29 @@
+// Span-safe wrapper over the inline table-driven fast path (the
+// implementation itself lives in x86/decode_fast.hpp so the sweep
+// drivers inline it into their hot loops).
+#include <cstring>
+
+#include "x86/decoder.hpp"
+
+namespace fsr::x86 {
+
+std::optional<Insn> decode_table(std::span<const std::uint8_t> code,
+                                 std::uint64_t addr, Mode mode) {
+  Insn insn;
+  std::uint32_t len = 0;
+  if (code.size() >= kFastDecodeSlack) {
+    len = decode_fast(code.data(), code.size(), addr, mode, insn);
+  } else {
+    // Short span: satisfy the slack precondition with a zero-padded
+    // copy. Padding bytes can be *read* mid-parse but never change the
+    // result — any parse that consumed one fails the trailing
+    // length-vs-remaining check.
+    std::uint8_t buf[kFastDecodeSlack] = {0};
+    if (!code.empty()) std::memcpy(buf, code.data(), code.size());
+    len = decode_fast(buf, code.size(), addr, mode, insn);
+  }
+  if (len == 0) return std::nullopt;
+  return insn;
+}
+
+}  // namespace fsr::x86

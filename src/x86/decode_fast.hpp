@@ -1,0 +1,658 @@
+// Table-driven decoder front-end (inline implementation).
+//
+// The checked decoder in decoder.cpp walks a Cursor that bounds-tests
+// every byte; on the sweep hot path that is one compare-and-branch per
+// *byte* of .text. This front-end replaces the walk with three 256-entry
+// dispatch tables — a prefix classifier, the one-byte map, and the 0F
+// map — whose entries carry the operand shape (modrm present, immediate
+// length class, kind, stack-delta rule), so decoding one instruction is
+// a table load plus straight-line length arithmetic with a single
+// trailing bounds check.
+//
+// The implementation lives in a header, and decode_fast/decode_at are
+// `inline`, so the sweep drivers (sweep.cpp, codeview.cpp) inline the
+// whole decode into their per-instruction loop: no cross-TU call, no
+// 32-byte struct return through memory per instruction. Include via
+// x86/decoder.hpp, which supplies the checked decode() this fast path
+// falls back to for VEX/EVEX rows and short tails.
+//
+// Safety argument for the unchecked reads: every structural read
+// (prefixes, opcode bytes, ModRM, SIB, immediate loads) sits at an
+// offset bounded by a small constant — the prefix scan refuses to pass
+// index 14 (a run of 15+ prefixes cannot be part of a <=15-byte
+// instruction, which is exactly when the checked decoder's length cap
+// rejects too), and the widest tail after that is modrm+sib+disp32+imm32
+// — so no read ever touches past index kFastDecodeSlack-1. The caller
+// guarantees that many readable bytes. Any instruction whose parse
+// *needed* a byte at or past `remaining` necessarily has final length
+// > remaining, which the trailing check turns into the same failure the
+// checked decoder reports for a truncated span. The differential oracle
+// test (test_decode_table) enforces bit-identical results over the
+// synth corpus and hostile mutants.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+
+#include "x86/insn.hpp"
+
+namespace fsr::x86 {
+
+// Defined in decoder.cpp; declared here so the F_SPECIAL fallback and
+// the short-tail path can reach it without a circular include.
+std::optional<Insn> decode(std::span<const std::uint8_t> code, std::uint64_t addr,
+                           Mode mode);
+
+/// Bytes the table-driven fast path may touch beyond the start of an
+/// instruction before its single trailing bounds check rejects the
+/// result. decode_fast requires at least this many readable bytes at
+/// `code`; the sweep satisfies it by switching to the checked decoder
+/// for the final kFastDecodeSlack bytes of a section.
+inline constexpr std::size_t kFastDecodeSlack = 32;
+
+namespace detail {
+
+static_assert(std::endian::native == std::endian::little,
+              "decode_fast composes imm/disp with unaligned native loads");
+
+// Prefix classifier: 0 = not a prefix (the byte is the opcode — the hot
+// case, one predictable branch), otherwise which prefix flag to set.
+enum PrefixClass : std::uint8_t {
+  PFX_NONE,
+  PFX_66,
+  PFX_67,
+  PFX_F3,
+  PFX_3E,
+  PFX_OTHER,  // lock / repne / other segment overrides: consumed, untracked
+  PFX_REX,    // 40-4F: REX in long mode, inc/dec opcodes in 32-bit mode
+};
+
+constexpr std::array<std::uint8_t, 256> build_prefix_class() {
+  std::array<std::uint8_t, 256> t{};
+  t[0x66] = PFX_66;
+  t[0x67] = PFX_67;
+  t[0xf3] = PFX_F3;
+  t[0x3e] = PFX_3E;
+  for (const unsigned b : {0xf0u, 0xf2u, 0x2eu, 0x36u, 0x26u, 0x64u, 0x65u})
+    t[b] = PFX_OTHER;
+  for (unsigned b = 0x40; b <= 0x4f; ++b) t[b] = PFX_REX;
+  return t;
+}
+
+// Entry flags: mode validity plus "a ModRM byte follows the opcode".
+inline constexpr std::uint8_t kV32 = 0x01;
+inline constexpr std::uint8_t kV64 = 0x02;
+inline constexpr std::uint8_t kVBoth = kV32 | kV64;
+inline constexpr std::uint8_t kM = 0x04;  // ModRM (+SIB/disp) follows
+
+// Immediate length classes for F_SIMPLE rows.
+enum ImmClass : std::uint8_t {
+  I_NONE,
+  I_8,   // imm8
+  I_16,  // imm16 (ret/retf pop count)
+  I_Z,   // immz: 2 with 66h, else 4
+  I_3,   // enter imm16,imm8
+  I_6,   // far pointer ptr16:32
+};
+
+// One-byte-map forms. F_SIMPLE covers every row fully described by
+// flags+kind+imm+stack; the rest encode the handful of quirky rows.
+enum Form : std::uint8_t {
+  F_INVALID,
+  F_SIMPLE,
+  F_TWOBYTE,     // 0F escape
+  F_SPECIAL,     // C4/C5/62: VEX/EVEX vs les/lds/bound — checked decoder
+  F_PUSHREG,     // 50..57 (sets reg from REX.B)
+  F_POPREG,      // 58..5F
+  F_JCC8,        // 70..7F, E0..E3 rel8
+  F_JMP8,        // EB rel8
+  F_CALLREL32,   // E8 (66h form rejected)
+  F_JMPREL32,    // E9 (66h form rejected)
+  F_MOFFS,       // A0..A3 (67h rejected; 8-byte moffs in long mode)
+  F_MOVIMMV,     // B8..BF (REX.W -> 8, 66h -> 2, else 4)
+  F_GRP1_IMM8,   // 80/82
+  F_GRP1_IMMZ,   // 81 (reads imm for the rSP frame-delta rule)
+  F_GRP1_IMM8S,  // 83 (sign-extended imm8, same frame-delta rule)
+  F_GRP3B,       // F6 (ext 0/1 add imm8)
+  F_GRP3Z,       // F7 (ext 0/1 add immz)
+  F_GRP4,        // FE (ext > 1 invalid)
+  F_GRP5,        // FF (kind + NOTRACK + push delta by ext)
+};
+
+// 0F-map forms.
+enum Form2 : std::uint8_t {
+  F2_INVALID,
+  F2_SIMPLE,  // flags + kind + trailing imm8 count
+  F2_JCC,     // 80..8F rel32 (rel16 with 66h in 32-bit mode)
+  F2_3B,      // 38/3A three-byte maps (generic: op3 + modrm [+ imm8])
+  F2_NOP1E,   // 1E hint nop; F3-prefixed FA/FB are ENDBR64/ENDBR32
+};
+
+struct PEntry {
+  std::uint8_t form = F_INVALID;
+  std::uint8_t flags = 0;
+  std::uint8_t kind = 0;
+  std::uint8_t imm = I_NONE;
+  std::int8_t stack = 0;  // 0, ±1 = ∓word, ±2 = ∓32 (pusha/popa)
+};
+
+struct P2Entry {
+  std::uint8_t form = F2_INVALID;
+  std::uint8_t flags = 0;
+  std::uint8_t kind = 0;
+  std::uint8_t imm8 = 0;
+};
+
+constexpr std::array<PEntry, 256> build_primary() {
+  std::array<PEntry, 256> t{};
+  auto set = [&](unsigned op, Form f, std::uint8_t flags,
+                 Kind k = Kind::kOther, ImmClass imm = I_NONE,
+                 std::int8_t stack = 0) {
+    t[op] = PEntry{f, flags, static_cast<std::uint8_t>(k), imm, stack};
+  };
+
+  // ALU block 00-3F: low three bits select the operand form.
+  for (unsigned op = 0; op <= 0x3f; ++op) {
+    switch (op & 7) {
+      case 0: case 1: case 2: case 3:
+        set(op, F_SIMPLE, kVBoth | kM, Kind::kArith);
+        break;
+      case 4:
+        set(op, F_SIMPLE, kVBoth, Kind::kArith, I_8);
+        break;
+      case 5:
+        set(op, F_SIMPLE, kVBoth, Kind::kArith, I_Z);
+        break;
+      default:  // push/pop seg, daa/das/aaa/aas: 32-bit mode only
+        set(op, F_SIMPLE, kV32, Kind::kOther);
+        break;
+    }
+  }
+  set(0x0f, F_TWOBYTE, kVBoth);
+  // Prefix bytes are consumed by the prefix scan and never dispatch.
+  t[0x26] = t[0x2e] = t[0x36] = t[0x3e] = PEntry{};
+
+  for (unsigned op = 0x40; op <= 0x4f; ++op)  // inc/dec reg (REX in long mode)
+    set(op, F_SIMPLE, kV32, Kind::kArith);
+  for (unsigned op = 0x50; op <= 0x57; ++op)
+    set(op, F_PUSHREG, kVBoth, Kind::kPush);
+  for (unsigned op = 0x58; op <= 0x5f; ++op)
+    set(op, F_POPREG, kVBoth, Kind::kPop);
+  set(0x60, F_SIMPLE, kV32, Kind::kPush, I_NONE, -2);  // pusha
+  set(0x61, F_SIMPLE, kV32, Kind::kPop, I_NONE, 2);    // popa
+  set(0x62, F_SPECIAL, kVBoth);                        // EVEX / bound
+  set(0x63, F_SIMPLE, kVBoth | kM, Kind::kMov);        // arpl / movsxd
+  // 64-67 are prefixes; 6C-6F (ins/outs) are rejected like the checked path.
+  set(0x68, F_SIMPLE, kVBoth, Kind::kPush, I_Z, -1);
+  set(0x69, F_SIMPLE, kVBoth | kM, Kind::kArith, I_Z);
+  set(0x6a, F_SIMPLE, kVBoth, Kind::kPush, I_8, -1);
+  set(0x6b, F_SIMPLE, kVBoth | kM, Kind::kArith, I_8);
+  for (unsigned op = 0x70; op <= 0x7f; ++op)
+    set(op, F_JCC8, kVBoth, Kind::kJcc);
+  set(0x80, F_GRP1_IMM8, kVBoth | kM, Kind::kArith);
+  set(0x81, F_GRP1_IMMZ, kVBoth | kM, Kind::kArith);
+  set(0x82, F_GRP1_IMM8, kV32 | kM, Kind::kArith);  // 32-bit alias of 80
+  set(0x83, F_GRP1_IMM8S, kVBoth | kM, Kind::kArith);
+  set(0x84, F_SIMPLE, kVBoth | kM, Kind::kArith);  // test
+  set(0x85, F_SIMPLE, kVBoth | kM, Kind::kArith);
+  set(0x86, F_SIMPLE, kVBoth | kM, Kind::kOther);  // xchg
+  set(0x87, F_SIMPLE, kVBoth | kM, Kind::kOther);
+  for (unsigned op = 0x88; op <= 0x8b; ++op)
+    set(op, F_SIMPLE, kVBoth | kM, Kind::kMov);
+  set(0x8c, F_SIMPLE, kVBoth | kM, Kind::kMov);  // mov seg
+  set(0x8d, F_SIMPLE, kVBoth | kM, Kind::kLea);
+  set(0x8e, F_SIMPLE, kVBoth | kM, Kind::kMov);
+  set(0x8f, F_SIMPLE, kVBoth | kM, Kind::kPop, I_NONE, 1);  // pop r/m
+  set(0x90, F_SIMPLE, kVBoth, Kind::kNop);                  // also PAUSE
+  for (unsigned op = 0x91; op <= 0x97; ++op)
+    set(op, F_SIMPLE, kVBoth, Kind::kOther);  // xchg rAX, reg
+  set(0x98, F_SIMPLE, kVBoth, Kind::kOther);  // cwde
+  set(0x99, F_SIMPLE, kVBoth, Kind::kOther);  // cdq
+  set(0x9b, F_SIMPLE, kVBoth, Kind::kOther);  // wait
+  set(0x9c, F_SIMPLE, kVBoth, Kind::kPush, I_NONE, -1);  // pushf
+  set(0x9d, F_SIMPLE, kVBoth, Kind::kPop, I_NONE, 1);    // popf
+  set(0x9e, F_SIMPLE, kVBoth, Kind::kOther);             // sahf
+  set(0x9f, F_SIMPLE, kVBoth, Kind::kOther);             // lahf
+  for (unsigned op = 0xa0; op <= 0xa3; ++op)
+    set(op, F_MOFFS, kVBoth, Kind::kMov);
+  for (unsigned op = 0xa4; op <= 0xa7; ++op)
+    set(op, F_SIMPLE, kVBoth, Kind::kOther);  // movs/cmps
+  set(0xa8, F_SIMPLE, kVBoth, Kind::kArith, I_8);  // test al, imm8
+  set(0xa9, F_SIMPLE, kVBoth, Kind::kArith, I_Z);  // test eAX, immz
+  for (unsigned op = 0xaa; op <= 0xaf; ++op)
+    set(op, F_SIMPLE, kVBoth, Kind::kOther);  // stos/lods/scas
+  for (unsigned op = 0xb0; op <= 0xb7; ++op)
+    set(op, F_SIMPLE, kVBoth, Kind::kMov, I_8);  // mov r8, imm8
+  for (unsigned op = 0xb8; op <= 0xbf; ++op)
+    set(op, F_MOVIMMV, kVBoth, Kind::kMov);
+  set(0xc0, F_SIMPLE, kVBoth | kM, Kind::kArith, I_8);  // shift imm8
+  set(0xc1, F_SIMPLE, kVBoth | kM, Kind::kArith, I_8);
+  set(0xc2, F_SIMPLE, kVBoth, Kind::kRet, I_16);         // ret imm16
+  set(0xc3, F_SIMPLE, kVBoth, Kind::kRet, I_NONE, 1);    // ret
+  set(0xc4, F_SPECIAL, kVBoth);                          // VEX3 / les
+  set(0xc5, F_SPECIAL, kVBoth);                          // VEX2 / lds
+  set(0xc6, F_SIMPLE, kVBoth | kM, Kind::kMov, I_8);
+  set(0xc7, F_SIMPLE, kVBoth | kM, Kind::kMov, I_Z);
+  set(0xc8, F_SIMPLE, kVBoth, Kind::kPush, I_3);  // enter (delta unknown)
+  set(0xc9, F_SIMPLE, kVBoth, Kind::kLeave);
+  set(0xca, F_SIMPLE, kVBoth, Kind::kRet, I_16);  // retf imm16
+  set(0xcb, F_SIMPLE, kVBoth, Kind::kRet);        // retf
+  set(0xcc, F_SIMPLE, kVBoth, Kind::kInt3);
+  set(0xcd, F_SIMPLE, kVBoth, Kind::kOther, I_8);  // int imm8
+  set(0xce, F_SIMPLE, kV32, Kind::kOther);         // into
+  set(0xcf, F_SIMPLE, kVBoth, Kind::kRet);         // iret
+  for (unsigned op = 0xd0; op <= 0xd3; ++op)
+    set(op, F_SIMPLE, kVBoth | kM, Kind::kArith);  // shifts
+  set(0xd4, F_SIMPLE, kV32, Kind::kOther, I_8);    // aam
+  set(0xd5, F_SIMPLE, kV32, Kind::kOther, I_8);    // aad
+  set(0xd7, F_SIMPLE, kVBoth, Kind::kOther);       // xlat
+  for (unsigned op = 0xd8; op <= 0xdf; ++op)
+    set(op, F_SIMPLE, kVBoth | kM, Kind::kOther);  // x87
+  for (unsigned op = 0xe0; op <= 0xe3; ++op)
+    set(op, F_JCC8, kVBoth, Kind::kJcc);  // loop/jcxz
+  for (unsigned op = 0xe4; op <= 0xe7; ++op)
+    set(op, F_SIMPLE, kVBoth, Kind::kOther, I_8);  // in/out imm8
+  set(0xe8, F_CALLREL32, kVBoth, Kind::kCallDirect);
+  set(0xe9, F_JMPREL32, kVBoth, Kind::kJmpDirect);
+  set(0xea, F_SIMPLE, kV32, Kind::kJmpIndirect, I_6);  // far jmp
+  set(0xeb, F_JMP8, kVBoth, Kind::kJmpDirect);
+  for (unsigned op = 0xec; op <= 0xef; ++op)
+    set(op, F_SIMPLE, kVBoth, Kind::kOther);  // in/out dx
+  set(0xf1, F_SIMPLE, kVBoth, Kind::kOther);  // int1
+  set(0xf4, F_SIMPLE, kVBoth, Kind::kHlt);
+  set(0xf5, F_SIMPLE, kVBoth, Kind::kOther);  // cmc
+  set(0xf6, F_GRP3B, kVBoth | kM, Kind::kArith);
+  set(0xf7, F_GRP3Z, kVBoth | kM, Kind::kArith);
+  for (unsigned op = 0xf8; op <= 0xfd; ++op)
+    set(op, F_SIMPLE, kVBoth, Kind::kOther);  // flag ops
+  set(0xfe, F_GRP4, kVBoth | kM, Kind::kArith);
+  set(0xff, F_GRP5, kVBoth | kM);
+  return t;
+}
+
+constexpr std::array<P2Entry, 256> build_twobyte() {
+  std::array<P2Entry, 256> t{};
+  auto set = [&](unsigned op, Form2 f, std::uint8_t flags,
+                 Kind k = Kind::kOther, std::uint8_t imm8 = 0) {
+    t[op] = P2Entry{f, flags, static_cast<std::uint8_t>(k), imm8};
+  };
+
+  for (unsigned op = 0x80; op <= 0x8f; ++op)
+    set(op, F2_JCC, kVBoth, Kind::kJcc);
+  set(0x38, F2_3B, kVBoth);
+  set(0x3a, F2_3B, kVBoth);
+
+  set(0x05, F2_SIMPLE, kV64);  // syscall
+  set(0x06, F2_SIMPLE, kVBoth);
+  set(0x08, F2_SIMPLE, kVBoth);
+  set(0x09, F2_SIMPLE, kVBoth);
+  set(0x0b, F2_SIMPLE, kVBoth, Kind::kUd2);
+  for (unsigned op = 0x30; op <= 0x35; ++op)
+    set(op, F2_SIMPLE, kVBoth);  // wrmsr..sysexit
+  set(0x77, F2_SIMPLE, kVBoth);  // emms
+  set(0xa2, F2_SIMPLE, kVBoth);  // cpuid
+  set(0xa0, F2_SIMPLE, kVBoth);  // push/pop fs/gs
+  set(0xa1, F2_SIMPLE, kVBoth);
+  set(0xa8, F2_SIMPLE, kVBoth);
+  set(0xa9, F2_SIMPLE, kVBoth);
+  set(0x0d, F2_SIMPLE, kVBoth | kM);  // prefetch hints
+  for (unsigned op = 0x18; op <= 0x1d; ++op)
+    set(op, F2_SIMPLE, kVBoth | kM);
+  set(0x1e, F2_NOP1E, kVBoth | kM, Kind::kNop);
+  set(0x1f, F2_SIMPLE, kVBoth | kM, Kind::kNop);
+  for (unsigned op = 0xc8; op <= 0xcf; ++op)
+    set(op, F2_SIMPLE, kVBoth);  // bswap
+
+  // ModRM rows (kind kOther unless noted).
+  auto modrm_row = [&](unsigned lo, unsigned hi, Kind k = Kind::kOther) {
+    for (unsigned op = lo; op <= hi; ++op) set(op, F2_SIMPLE, kVBoth | kM, k);
+  };
+  modrm_row(0x00, 0x01);  // grp6/grp7
+  modrm_row(0x10, 0x17);  // SSE moves
+  modrm_row(0x20, 0x23);  // mov CR/DR
+  modrm_row(0x28, 0x2f);  // SSE conversions/compares
+  modrm_row(0x40, 0x4f);  // cmov
+  modrm_row(0x50, 0x6f);  // SSE arithmetic / packed
+  modrm_row(0x74, 0x76);  // pcmpeq
+  modrm_row(0x7c, 0x7f);  // hadd / movdq
+  modrm_row(0x90, 0x9f);  // setcc
+  modrm_row(0xa3, 0xa3);  // bt
+  modrm_row(0xa5, 0xa5);  // shld cl
+  modrm_row(0xab, 0xab);  // bts
+  modrm_row(0xad, 0xad);  // shrd cl
+  modrm_row(0xae, 0xae);  // grp15
+  modrm_row(0xaf, 0xaf, Kind::kArith);  // imul
+  modrm_row(0xb0, 0xb1);                // cmpxchg
+  modrm_row(0xb3, 0xb3);                // btr
+  modrm_row(0xb6, 0xb7, Kind::kMov);    // movzx
+  modrm_row(0xbb, 0xbd);                // btc/bsf/bsr
+  modrm_row(0xbe, 0xbf, Kind::kMov);    // movsx
+  modrm_row(0xc0, 0xc1);                // xadd
+  modrm_row(0xc3, 0xc3);                // movnti
+  modrm_row(0xc7, 0xc7);                // grp9
+  modrm_row(0xd0, 0xfe);                // SSE packed arithmetic
+
+  // ModRM + imm8 rows.
+  for (unsigned op : {0x70u, 0x71u, 0x72u, 0x73u, 0xa4u, 0xacu, 0xbau, 0xc2u,
+                      0xc4u, 0xc5u, 0xc6u})
+    set(op, F2_SIMPLE, kVBoth | kM, Kind::kOther, 1);
+  return t;
+}
+
+inline constexpr auto kPrefixClass = build_prefix_class();
+inline constexpr auto kPrimary = build_primary();
+inline constexpr auto kTwoByte = build_twobyte();
+
+constexpr std::uint64_t canon(std::uint64_t va, Mode mode) {
+  return mode == Mode::k32 ? (va & 0xffffffffULL) : va;
+}
+
+}  // namespace detail
+
+/// Table-driven decode of one instruction, written into `out`.
+/// `remaining` is the number of in-bounds bytes at `code`; the caller
+/// guarantees kFastDecodeSlack readable bytes there (reads beyond
+/// `remaining` can happen mid-parse, but any instruction needing them
+/// fails the trailing length check, so results are bit-identical to
+/// decode()).
+///
+/// Contract: `out` must be value-initialized on entry (the decoder only
+/// writes the fields a form uses — e.g. kind stays kOther for three-byte
+/// rows, reg stays 0xff outside push/pop-reg). Returns the instruction
+/// length, or 0 on failure — in which case `out` may hold partial
+/// writes and the caller must discard it. The out-param shape is the
+/// point: the sweeps decode straight into the vector slot the
+/// instruction will live in, so there is no 32-byte struct returned
+/// through memory and re-copied per instruction.
+inline std::uint32_t decode_fast(const std::uint8_t* code, std::size_t remaining,
+                                 std::uint64_t addr, Mode mode, Insn& out) {
+  using namespace detail;
+  std::size_t i = 0;
+  std::uint8_t rex = 0;
+  bool p66 = false, p67 = false, pf3 = false, p3e = false;
+  for (;;) {
+    // A 15-byte prefix run can never be part of a <=15-byte instruction,
+    // so bail exactly where the checked decoder's length cap would.
+    // This also bounds every later read: the widest parse after the
+    // opcode (modrm+sib+disp32 then a 4-byte immediate load) stays
+    // under kFastDecodeSlack.
+    if (i >= 15) return 0;
+    const std::uint8_t b = code[i];
+    const std::uint8_t cls = kPrefixClass[b];
+    if (cls == PFX_NONE) break;  // hot case: the byte is the opcode
+    if (cls == PFX_REX) {
+      if (mode != Mode::k64) break;  // 40-4F decode as inc/dec in 32-bit mode
+      rex = b;  // REX must be the final prefix before the opcode
+      ++i;
+      break;
+    }
+    p66 |= cls == PFX_66;
+    p67 |= cls == PFX_67;
+    pf3 |= cls == PFX_F3;
+    p3e |= cls == PFX_3E;
+    ++i;
+  }
+
+  const std::uint8_t op = code[i++];
+  const PEntry& e = kPrimary[op];
+  const std::uint8_t mbit = mode == Mode::k64 ? kV64 : kV32;
+  if (!(e.flags & mbit)) return 0;  // invalid rows have flags == 0
+
+  out.addr = addr;
+  const int word = mode == Mode::k64 ? 8 : 4;
+  std::uint16_t opcode_full = op;
+  std::uint8_t modrm = 0;
+  bool has_modrm = false;
+
+  auto read_mod = [&]() -> bool {
+    // 16-bit addressing (67h in 32-bit mode) uses a different ModRM
+    // layout; reject it exactly like the checked decoder.
+    if (mode == Mode::k32 && p67) return false;
+    modrm = code[i++];
+    has_modrm = true;
+    const std::uint8_t mod = modrm >> 6;
+    const std::uint8_t rm = modrm & 7;
+    if (mod != 3) {
+      if (rm == 4) {
+        const std::uint8_t sib = code[i++];
+        if (mod == 0 && (sib & 7) == 5) i += 4;  // disp32 with no base
+      }
+      if (mod == 0 && rm == 5) {
+        i += 4;
+      } else if (mod == 1) {
+        i += 1;
+      } else if (mod == 2) {
+        i += 4;
+      }
+    }
+    return true;
+  };
+  auto load16 = [&]() -> std::uint16_t {
+    std::uint16_t v;
+    std::memcpy(&v, code + i, 2);
+    i += 2;
+    return v;
+  };
+  auto load32 = [&]() -> std::uint32_t {
+    std::uint32_t v;
+    std::memcpy(&v, code + i, 4);
+    i += 4;
+    return v;
+  };
+  auto imm_z = [&] { i += p66 ? 2 : 4; };
+  auto finish = [&]() -> std::uint32_t {
+    if (i > remaining || i > 15) return 0;
+    out.length = static_cast<std::uint8_t>(i);
+    out.opcode = opcode_full;
+    if (has_modrm) {
+      out.modrm = modrm;
+      out.has_modrm = true;
+    }
+    return static_cast<std::uint32_t>(i);
+  };
+
+  switch (static_cast<Form>(e.form)) {
+    case F_SIMPLE: {
+      if ((e.flags & kM) && !read_mod()) return 0;
+      switch (static_cast<ImmClass>(e.imm)) {
+        case I_NONE: break;
+        case I_8: i += 1; break;
+        case I_16: i += 2; break;
+        case I_Z: imm_z(); break;
+        case I_3: i += 3; break;
+        case I_6: i += 6; break;
+      }
+      out.kind = static_cast<Kind>(e.kind);
+      if (e.stack == 1) {
+        out.stack_delta = word;
+      } else if (e.stack == -1) {
+        out.stack_delta = -word;
+      } else if (e.stack == 2) {
+        out.stack_delta = 32;
+      } else if (e.stack == -2) {
+        out.stack_delta = -32;
+      }
+      return finish();
+    }
+    case F_PUSHREG:
+    case F_POPREG:
+      out.kind = static_cast<Kind>(e.kind);
+      out.stack_delta = e.form == F_PUSHREG ? -word : word;
+      out.reg = static_cast<std::uint8_t>((op & 7) | ((rex & 1) << 3));
+      return finish();
+    case F_JCC8:
+    case F_JMP8: {
+      const std::int64_t rel = static_cast<std::int8_t>(code[i++]);
+      out.kind = static_cast<Kind>(e.kind);
+      out.target = canon(addr + i + static_cast<std::uint64_t>(rel), mode);
+      return finish();
+    }
+    case F_CALLREL32:
+    case F_JMPREL32: {
+      if (p66) return 0;  // rel16 form: never compiler-emitted
+      const std::int64_t rel = static_cast<std::int32_t>(load32());
+      out.kind = static_cast<Kind>(e.kind);
+      out.target = canon(addr + i + static_cast<std::uint64_t>(rel), mode);
+      return finish();
+    }
+    case F_MOFFS:
+      if (p67) return 0;
+      i += mode == Mode::k64 ? 8 : 4;
+      out.kind = Kind::kMov;
+      return finish();
+    case F_MOVIMMV:
+      i += (rex & 0x08) ? 8 : (p66 ? 2 : 4);
+      out.kind = Kind::kMov;
+      return finish();
+    case F_GRP1_IMM8:
+      if (!read_mod()) return 0;
+      i += 1;
+      out.kind = Kind::kArith;
+      return finish();
+    case F_GRP1_IMMZ: {
+      if (!read_mod()) return 0;
+      const std::uint32_t imm = p66 ? load16() : load32();
+      out.kind = Kind::kArith;
+      // add/sub rSP, imm — track the frame adjustment.
+      if ((modrm >> 6) == 3 && (modrm & 7) == 4 && (rex & 1) == 0) {
+        const std::uint8_t ext = (modrm >> 3) & 7;
+        if (ext == 0) out.stack_delta = static_cast<std::int32_t>(imm);
+        if (ext == 5) out.stack_delta = -static_cast<std::int32_t>(imm);
+      }
+      return finish();
+    }
+    case F_GRP1_IMM8S: {
+      if (!read_mod()) return 0;
+      const std::int64_t imm = static_cast<std::int8_t>(code[i++]);
+      out.kind = Kind::kArith;
+      if ((modrm >> 6) == 3 && (modrm & 7) == 4 && (rex & 1) == 0) {
+        const std::uint8_t ext = (modrm >> 3) & 7;
+        if (ext == 0) out.stack_delta = static_cast<std::int32_t>(imm);
+        if (ext == 5) out.stack_delta = -static_cast<std::int32_t>(imm);
+      }
+      return finish();
+    }
+    case F_GRP3B: {
+      if (!read_mod()) return 0;
+      const std::uint8_t ext = (modrm >> 3) & 7;
+      if (ext == 0 || ext == 1) i += 1;  // test imm8
+      out.kind = Kind::kArith;
+      return finish();
+    }
+    case F_GRP3Z: {
+      if (!read_mod()) return 0;
+      const std::uint8_t ext = (modrm >> 3) & 7;
+      if (ext == 0 || ext == 1) imm_z();  // test immz
+      out.kind = Kind::kArith;
+      return finish();
+    }
+    case F_GRP4: {
+      if (!read_mod()) return 0;
+      if (((modrm >> 3) & 7) > 1) return 0;
+      out.kind = Kind::kArith;
+      return finish();
+    }
+    case F_GRP5: {
+      if (!read_mod()) return 0;
+      switch ((modrm >> 3) & 7) {
+        case 0: case 1:
+          out.kind = Kind::kArith;  // inc/dec
+          return finish();
+        case 2: case 3:
+          out.kind = Kind::kCallIndirect;
+          out.notrack = p3e;
+          return finish();
+        case 4: case 5:
+          out.kind = Kind::kJmpIndirect;
+          out.notrack = p3e;
+          return finish();
+        case 6:
+          out.kind = Kind::kPush;
+          out.stack_delta = -word;
+          return finish();
+        default:
+          return 0;
+      }
+    }
+    case F_TWOBYTE: {
+      const std::uint8_t op2 = code[i++];
+      const P2Entry& e2 = kTwoByte[op2];
+      if (!(e2.flags & mbit)) return 0;
+      opcode_full = static_cast<std::uint16_t>(0x0f00 | op2);
+      switch (static_cast<Form2>(e2.form)) {
+        case F2_SIMPLE: {
+          if ((e2.flags & kM) && !read_mod()) return 0;
+          i += e2.imm8;
+          out.kind = static_cast<Kind>(e2.kind);
+          return finish();
+        }
+        case F2_JCC: {
+          const std::int64_t rel =
+              p66 && mode == Mode::k32
+                  ? static_cast<std::int16_t>(load16())
+                  : static_cast<std::int32_t>(load32());
+          out.kind = Kind::kJcc;
+          out.target = canon(addr + i + static_cast<std::uint64_t>(rel), mode);
+          return finish();
+        }
+        case F2_3B: {
+          ++i;  // third opcode byte (classified generically)
+          if (!read_mod()) return 0;
+          if (op2 == 0x3a) ++i;  // imm8
+          return finish();
+        }
+        case F2_NOP1E: {
+          if (!read_mod()) return 0;
+          out.kind = Kind::kNop;
+          if (pf3 && modrm == 0xfa) out.kind = Kind::kEndbr64;
+          if (pf3 && modrm == 0xfb) out.kind = Kind::kEndbr32;
+          return finish();
+        }
+        case F2_INVALID:
+        default:
+          return 0;
+      }
+    }
+    case F_SPECIAL: {
+      // VEX/EVEX (and their 32-bit les/lds/bound shadows) are rare
+      // enough that the checked decoder handles them outright; it is
+      // bounds-safe on the true remaining span.
+      const auto legacy = decode(std::span<const std::uint8_t>(code, remaining),
+                                 addr, mode);
+      if (legacy.has_value() && legacy->length > 0) {
+        out = *legacy;
+        return legacy->length;
+      }
+      return 0;
+    }
+    case F_INVALID:
+    default:
+      return 0;
+  }
+}
+
+/// Dispatch helper for the sweep drivers: decode one instruction at
+/// `off` of the `size`-byte buffer `data` loaded at `base`, into the
+/// value-initialized `out`. Fast path while kFastDecodeSlack readable
+/// bytes remain (everything but the last few bytes of a section),
+/// checked decode for the tail. Returns the length, or 0 on failure
+/// (`out` may hold partial writes the caller must discard).
+inline std::uint32_t decode_at(const std::uint8_t* data, std::size_t size,
+                               std::size_t off, std::uint64_t base, Mode mode,
+                               Insn& out) {
+  if (size - off >= kFastDecodeSlack)
+    return decode_fast(data + off, size - off, base + off, mode, out);
+  const auto insn = decode(
+      std::span<const std::uint8_t>(data + off, size - off), base + off, mode);
+  if (insn.has_value() && insn->length > 0) {
+    out = *insn;
+    return insn->length;
+  }
+  return 0;
+}
+
+}  // namespace fsr::x86

@@ -14,6 +14,7 @@
 #include <optional>
 #include <span>
 
+#include "x86/decode_fast.hpp"
 #include "x86/insn.hpp"
 
 namespace fsr::x86 {
@@ -21,7 +22,21 @@ namespace fsr::x86 {
 /// Decode one instruction at `addr` from `code` (the bytes at and after
 /// that address). Returns nullopt when the bytes do not form an
 /// instruction this decoder understands.
+///
+/// This is the byte-at-a-time *checked* decoder: every read is bounds
+/// tested, which makes it safe on arbitrary spans and the differential
+/// oracle for the table-driven fast path (decode_fast/decode_at in
+/// x86/decode_fast.hpp — tests compare the two instruction-by-
+/// instruction; the sweeps use the fast path and fall back to this one
+/// near the end of the buffer).
 std::optional<Insn> decode(std::span<const std::uint8_t> code, std::uint64_t addr,
                            Mode mode);
+
+/// Safe span wrapper over decode_fast (copies the tail into a padded
+/// local buffer when the span is shorter than kFastDecodeSlack).
+/// Bit-identical to decode() on every input — the property the
+/// differential oracle test enforces.
+std::optional<Insn> decode_table(std::span<const std::uint8_t> code,
+                                 std::uint64_t addr, Mode mode);
 
 }  // namespace fsr::x86

@@ -39,18 +39,14 @@ enum class Kind : std::uint8_t {
   kArith,         // add/sub/and/or/xor/cmp/test/imul/shift...
 };
 
-/// One decoded instruction.
+/// One decoded instruction. Field order packs the struct into 32 bytes
+/// — the sweep materializes roughly one million of these per corpus
+/// binary set, so the size is a measured decode-throughput lever.
 struct Insn {
   std::uint64_t addr = 0;
-  std::uint8_t length = 0;
-  Kind kind = Kind::kOther;
 
   /// Absolute target of a direct transfer (call/jmp/jcc); 0 otherwise.
   std::uint64_t target = 0;
-
-  /// True when a 3E prefix decorates an indirect jmp/call (Intel CET
-  /// NOTRACK: the target need not be an end-branch instruction).
-  bool notrack = false;
 
   /// Change to the stack pointer in bytes for the forms the FETCH-like
   /// baseline tracks (push/pop/sub-sp/add-sp/leave); 0 when unknown.
@@ -60,9 +56,18 @@ struct Insn {
   /// map (0x0F38/0x0F3A for the three-byte maps). Lets pattern-based
   /// analyzers (prologue signatures) match without re-decoding.
   std::uint16_t opcode = 0;
+
+  std::uint8_t length = 0;
+  Kind kind = Kind::kOther;
+
   /// Raw ModRM byte when the instruction has one.
   std::uint8_t modrm = 0;
   bool has_modrm = false;
+
+  /// True when a 3E prefix decorates an indirect jmp/call (Intel CET
+  /// NOTRACK: the target need not be an end-branch instruction).
+  bool notrack = false;
+
   /// Register operand for single-register push/pop forms (0..15).
   std::uint8_t reg = 0xff;
 

@@ -1,39 +1,284 @@
 #include "x86/sweep.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+
 #include "util/deadline.hpp"
+#include "util/thread_pool.hpp"
+#include "x86/codeview.hpp"
 #include "x86/decoder.hpp"
 
 namespace fsr::x86 {
 
-SweepResult linear_sweep(std::span<const std::uint8_t> code, std::uint64_t base,
-                         Mode mode) {
-  SweepResult result;
+namespace {
+
+/// One decoded range of a (possibly sharded) sweep.
+struct RangeSweep {
+  std::vector<Insn> insns;
+  std::vector<std::uint64_t> bad;
+  /// First offset at or past `stop` the decode front reached: where the
+  /// sequential stream continues after this range (the final
+  /// instruction may extend past `stop`).
+  std::size_t final_off = 0;
+  bool timed_out = false;
+};
+
+/// Decode from `start`; only instructions *starting* before `stop` are
+/// emitted, mirroring how the sequential stream crosses a shard
+/// boundary mid-instruction. Bounds checks always run against the full
+/// buffer, so a range decode at offset `off` is bit-identical to the
+/// sequential decode at `off`.
+RangeSweep sweep_range(std::span<const std::uint8_t> code, std::uint64_t base,
+                       Mode mode, std::size_t start, std::size_t stop) {
+  RangeSweep r;
+  const std::uint8_t* data = code.data();
+  const std::size_t size = code.size();
   // Instruction density varies ~2x across the corpus (tight O2 code
   // runs ~3 bytes/insn, O0 spills run past 5), so a fixed bytes/4 guess
   // both over- and under-reserves. Measure the first few hundred
-  // decoded instructions and size the vector from the observed density;
-  // bad_bytes stays lazy — it is empty for compiler-generated code.
+  // decoded instructions and size the vectors from the observed
+  // density. bad_bytes is empty for compiler-generated code, so it is
+  // pre-sized only when the probe window actually saw resyncs.
   constexpr std::size_t kProbe = 256;
-  std::size_t off = 0;
-  while (off < code.size()) {
-    if (util::deadline_expired()) {
-      result.timed_out = true;
+  std::size_t off = start;
+  std::uint32_t tick = 0;
+  while (off < stop) {
+    // Deadline poll hoisted out of the per-instruction path: one
+    // amortized check per 1024 decode steps keeps the cooperative
+    // budget responsive (a hostile binary still stops within ~1k
+    // single-byte resyncs) without a per-instruction TLS load.
+    if ((tick++ & 1023u) == 0 && util::deadline_expired()) {
+      r.timed_out = true;
       break;
     }
-    if (result.insns.size() == kProbe) {
-      const std::size_t avg = (off + kProbe - 1) / kProbe;  // bytes/insn so far
-      result.insns.reserve(code.size() / (avg > 0 ? avg : 1) + kProbe);
+    if (r.insns.size() == kProbe) {
+      const std::size_t decoded = off - start;
+      const std::size_t avg = (decoded + kProbe - 1) / kProbe;  // bytes/insn
+      const std::size_t range = stop - start;
+      r.insns.reserve(range / (avg > 0 ? avg : 1) + kProbe);
+      if (!r.bad.empty()) {
+        const std::size_t denom = decoded > 0 ? decoded : 1;
+        r.bad.reserve(r.bad.size() * range / denom + 16);
+      }
     }
-    auto insn = decode(code.subspan(off), base + off, mode);
-    if (insn.has_value() && insn->length > 0) {
-      result.insns.push_back(*insn);
-      off += insn->length;
+    // Decode straight into the slot the instruction will occupy; a
+    // failed decode pops the (possibly partially written) slot back off.
+    r.insns.emplace_back();
+    const std::uint32_t len = decode_at(data, size, off, base, mode, r.insns.back());
+    if (len > 0) {
+      off += len;
     } else {
-      result.bad_bytes.push_back(base + off);
+      r.insns.pop_back();
+      r.bad.push_back(base + off);
       ++off;  // resync: skip one byte and try again
     }
   }
-  return result;
+  r.final_off = off;
+  return r;
+}
+
+}  // namespace
+
+SweepResult linear_sweep(std::span<const std::uint8_t> code, std::uint64_t base,
+                         Mode mode) {
+  RangeSweep r = sweep_range(code, base, mode, 0, code.size());
+  SweepResult out;
+  out.insns = std::move(r.insns);
+  out.bad_bytes = std::move(r.bad);
+  out.timed_out = r.timed_out;
+  return out;
+}
+
+std::vector<std::size_t> plan_sweep_shards(std::span<const std::uint8_t> code,
+                                           Mode mode, int shards) {
+  std::vector<std::size_t> cuts;
+  // Below this a shard's stitch overhead rivals its decode cost.
+  constexpr std::size_t kMinShardBytes = 4096;
+  if (shards <= 1) return cuts;
+  const std::size_t size = code.size();
+  const std::size_t want =
+      std::min<std::size_t>(static_cast<std::size_t>(shards), size / kMinShardBytes);
+  if (want <= 1) return cuts;
+
+  const std::vector<std::size_t> endbrs = find_endbr_offsets(code, mode);
+  const std::size_t span_len = size / want;
+  std::size_t prev = 0;
+  for (std::size_t k = 1; k < want; ++k) {
+    const std::size_t target = span_len * k;
+    std::size_t cut = target;
+    // Prefer the first endbr at or after the target: in a CET binary it
+    // is a guaranteed instruction start, so the sequential stream hits
+    // it and the stitch converges with zero fix-up decodes.
+    const auto it = std::lower_bound(endbrs.begin(), endbrs.end(), target);
+    if (it != endbrs.end() && *it < target + span_len / 2) {
+      cut = *it;
+    } else {
+      // Fall back to the interior of a long single-byte padding run
+      // (0x90 nop sleds, 0xCC int3 fill): an instruction starting
+      // before the run reaches at most 14 bytes into it, after which
+      // the one-byte padding instructions carry the sequential stream
+      // to every later offset — so run_start + 16 is provably on the
+      // stream. A raw `target` cut is still correct (the stitch
+      // fix-up re-decodes the divergent prefix), just slower.
+      constexpr std::size_t kRun = 32;
+      const std::size_t scan_end = std::min(size, target + 4096);
+      std::size_t run_start = target;
+      std::size_t run_len = 0;
+      std::uint8_t run_byte = 0;
+      for (std::size_t j = target; j < scan_end; ++j) {
+        const std::uint8_t b = code[j];
+        if (b != 0x90 && b != 0xCC) {
+          run_len = 0;
+        } else if (run_len > 0 && b == run_byte) {
+          ++run_len;
+        } else {
+          run_byte = b;
+          run_start = j;
+          run_len = 1;
+        }
+        if (run_len >= kRun) {
+          cut = run_start + 16;
+          break;
+        }
+      }
+    }
+    if (cut > prev && cut < size) {
+      cuts.push_back(cut);
+      prev = cut;
+    }
+  }
+  return cuts;
+}
+
+SweepResult linear_sweep_sharded(std::span<const std::uint8_t> code,
+                                 std::uint64_t base, Mode mode,
+                                 const SweepParallel& par) {
+  const std::vector<std::size_t> cuts = plan_sweep_shards(code, mode, par.shards);
+  if (cuts.empty()) return linear_sweep(code, base, mode);
+
+  // Claim-based scheduling: shard indices are claimed from an atomic
+  // counter by pool workers *and* by the calling thread, so a saturated
+  // or absent pool cannot deadlock — the caller alone drains every
+  // shard in the worst case, and stray queued jobs that find nothing
+  // left to claim exit immediately. The jobs hold the state alive via
+  // shared_ptr because they may outlive this call.
+  struct State {
+    std::span<const std::uint8_t> code;
+    std::uint64_t base = 0;
+    Mode mode = Mode::k64;
+    std::vector<std::size_t> cuts;
+    std::vector<RangeSweep> parts;
+    util::Deadline deadline;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->code = code;
+  state->base = base;
+  state->mode = mode;
+  state->cuts = cuts;
+  state->parts.resize(cuts.size() + 1);
+  state->deadline = util::current_deadline();
+  const std::size_t count = state->parts.size();
+
+  const auto run_shards = [](const std::shared_ptr<State>& st,
+                             bool install_deadline) {
+    // Workers re-install the submitting binary's time budget; the
+    // caller already has it as its ambient deadline.
+    std::optional<util::ScopedDeadline> scope;
+    if (install_deadline) scope.emplace(st->deadline);
+    const std::size_t n = st->parts.size();
+    for (;;) {
+      const std::size_t s = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= n) break;
+      const std::size_t start = s == 0 ? 0 : st->cuts[s - 1];
+      const std::size_t stop = s < st->cuts.size() ? st->cuts[s] : st->code.size();
+      st->parts[s] = sweep_range(st->code, st->base, st->mode, start, stop);
+      if (st->done.fetch_add(1) + 1 == n) {
+        const std::lock_guard<std::mutex> lock(st->mu);
+        st->cv.notify_all();
+      }
+    }
+  };
+  if (par.pool != nullptr) {
+    for (std::size_t i = 1; i < count; ++i)
+      par.pool->submit([state, run_shards] { run_shards(state, true); });
+  }
+  run_shards(state, false);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done.load() >= count; });
+  }
+
+  // Stitch. `cont` is the offset where the sequential stream continues
+  // after everything emitted so far. Within each shard: drop shard
+  // events the sequential stream skipped, re-decode the (usually empty)
+  // divergent prefix until the shard has an event at exactly `cont`,
+  // then splice the rest of the shard's stream verbatim — decoding is a
+  // pure function of (bytes, offset), so from a common offset both
+  // streams are identical.
+  std::vector<RangeSweep>& parts = state->parts;
+  SweepResult out;
+  out.insns = std::move(parts[0].insns);
+  out.bad_bytes = std::move(parts[0].bad);
+  bool timed = parts[0].timed_out;
+  std::size_t cont = parts[0].final_off;
+  const std::uint8_t* data = code.data();
+  const std::size_t size = code.size();
+  std::uint32_t tick = 0;
+  for (std::size_t s = 1; s < count && !timed; ++s) {
+    RangeSweep& p = parts[s];
+    const std::size_t stop = s < cuts.size() ? cuts[s] : size;
+    std::size_t ii = 0;
+    std::size_t bi = 0;
+    const auto skip_past = [&](std::size_t off) {
+      while (ii < p.insns.size() &&
+             static_cast<std::size_t>(p.insns[ii].addr - base) < off)
+        ++ii;
+      while (bi < p.bad.size() &&
+             static_cast<std::size_t>(p.bad[bi] - base) < off)
+        ++bi;
+    };
+    skip_past(cont);
+    while (cont < stop) {
+      const std::size_t head_i =
+          ii < p.insns.size() ? static_cast<std::size_t>(p.insns[ii].addr - base)
+                              : size;
+      const std::size_t head_b =
+          bi < p.bad.size() ? static_cast<std::size_t>(p.bad[bi] - base) : size;
+      if (std::min(head_i, head_b) == cont) break;  // streams converged
+      if ((tick++ & 1023u) == 0 && util::deadline_expired()) {
+        timed = true;
+        break;
+      }
+      out.insns.emplace_back();
+      const std::uint32_t len = decode_at(data, size, cont, base, mode, out.insns.back());
+      if (len > 0) {
+        cont += len;
+      } else {
+        out.insns.pop_back();
+        out.bad_bytes.push_back(base + cont);
+        ++cont;
+      }
+      skip_past(cont);
+    }
+    if (timed) break;
+    // cont >= stop: the fix-up decoded (or an earlier instruction
+    // crossed) the whole shard — its speculative stream is discarded.
+    if (cont >= stop) continue;
+    out.insns.insert(out.insns.end(), p.insns.begin() + ii, p.insns.end());
+    out.bad_bytes.insert(out.bad_bytes.end(), p.bad.begin() + bi, p.bad.end());
+    cont = p.final_off;
+    timed = p.timed_out;
+  }
+  out.timed_out = timed;
+  return out;
 }
 
 }  // namespace fsr::x86

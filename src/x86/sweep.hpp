@@ -4,6 +4,21 @@
 // failure the program counter advances by a single byte and decoding
 // resumes — the recovery strategy FunSeeker uses, which suits
 // compiler-generated code where .text contains no interleaved data.
+//
+// Two drivers share one range-decoding core:
+//   linear_sweep          sequential, the reference semantics
+//   linear_sweep_sharded  splits the region at resync-stable offsets
+//                         (endbr markers, padding runs), decodes the
+//                         shards concurrently on a work-stealing
+//                         ThreadPool, and stitches the shard streams
+//                         back into the *byte-identical* sequential
+//                         result. Identity holds because decoding is a
+//                         pure function of (bytes, offset): once the
+//                         sequential continuation reaches any offset
+//                         the shard also decoded at, the two streams
+//                         coincide for the rest of the shard, so the
+//                         stitcher re-decodes at most the divergent
+//                         prefix of each shard (usually zero bytes).
 #pragma once
 
 #include <cstddef>
@@ -12,6 +27,10 @@
 #include <vector>
 
 #include "x86/insn.hpp"
+
+namespace fsr::util {
+class ThreadPool;
+}
 
 namespace fsr::x86 {
 
@@ -25,10 +44,38 @@ struct SweepResult {
   bool timed_out = false;
 };
 
+/// Intra-binary sweep parallelism. `shards <= 1` (the default) keeps
+/// the sweep sequential; otherwise the region is cut into up to
+/// `shards` ranges decoded concurrently. `pool == nullptr` decodes the
+/// shards inline on the calling thread (same stitch path, no threads —
+/// what the determinism tests use to cover boundary handling alone).
+struct SweepParallel {
+  int shards = 1;
+  util::ThreadPool* pool = nullptr;
+};
+
 /// Sweep `code`, which is loaded at virtual address `base`. Honors the
 /// ambient per-thread util::Deadline: on expiry the sweep stops early
 /// and the partial result is flagged `timed_out`.
 SweepResult linear_sweep(std::span<const std::uint8_t> code, std::uint64_t base,
                          Mode mode);
+
+/// Sharded sweep: bit-identical to linear_sweep at every shard count
+/// and thread count (timeouts excepted — a timed-out result is a valid
+/// prefix under either driver, but the cut point is wall-clock
+/// dependent). The caller's ambient util::Deadline is re-installed on
+/// every worker that picks up a shard.
+SweepResult linear_sweep_sharded(std::span<const std::uint8_t> code,
+                                 std::uint64_t base, Mode mode,
+                                 const SweepParallel& par);
+
+/// Shard boundary planner (exposed for tests and bench_decode): strictly
+/// increasing interior cut offsets splitting `code` into at most
+/// `shards` ranges. Cuts prefer endbr offsets (guaranteed instruction
+/// starts in CET binaries), then the interior of long 0x90/0xCC padding
+/// runs (no 15-byte instruction can carry the sequential stream past
+/// them), then fall back to raw offsets the stitcher repairs.
+std::vector<std::size_t> plan_sweep_shards(std::span<const std::uint8_t> code,
+                                           Mode mode, int shards);
 
 }  // namespace fsr::x86

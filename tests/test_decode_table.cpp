@@ -1,0 +1,277 @@
+// Differential oracle for the table-driven decoder and the sharded
+// sweep.
+//
+// The table-driven fast path (decode_fast / decode_table) must be
+// bit-identical to the byte-at-a-time checked decoder on EVERY input —
+// not just on instruction starts the sweep happens to visit, but at
+// every byte offset, where misaligned reads produce the hostile
+// prefix/truncation corner cases. This file proves it
+// instruction-by-instruction over the grid-complete synthetic corpus
+// AND over 500 fault-injected mutants, at 1/2/8 worker threads (the
+// sweep results must also be deterministic across thread counts).
+//
+// The sharded sweep gets the same treatment: linear_sweep_sharded must
+// reproduce the sequential stream byte-for-byte at any shard count,
+// including cuts that land mid-instruction, inside padding runs, and
+// in decode-hostile random bytes where the stitch fix-up has to
+// re-decode a divergent prefix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "elf/reader.hpp"
+#include "inject/fault.hpp"
+#include "synth/cache.hpp"
+#include "synth/corpus.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+#include "x86/decoder.hpp"
+#include "x86/sweep.hpp"
+
+using namespace fsr;
+
+namespace {
+
+std::vector<synth::BinaryConfig> tiny_corpus() {
+  return synth::corpus_configs(0.01);
+}
+
+bool is_x86(const synth::BinaryConfig& cfg) {
+  return cfg.machine != elf::Machine::kArm64;
+}
+
+x86::Mode mode_of(const elf::Image& img) {
+  return img.machine == elf::Machine::kX8664 ? x86::Mode::k64 : x86::Mode::k32;
+}
+
+bool same_insn(const x86::Insn& a, const x86::Insn& b) {
+  return a.addr == b.addr && a.length == b.length && a.kind == b.kind &&
+         a.target == b.target && a.notrack == b.notrack &&
+         a.stack_delta == b.stack_delta && a.opcode == b.opcode &&
+         a.modrm == b.modrm && a.has_modrm == b.has_modrm && a.reg == b.reg;
+}
+
+bool same_result(const x86::SweepResult& a, const x86::SweepResult& b) {
+  if (a.timed_out != b.timed_out) return false;
+  if (a.bad_bytes != b.bad_bytes) return false;
+  if (a.insns.size() != b.insns.size()) return false;
+  for (std::size_t i = 0; i < a.insns.size(); ++i)
+    if (!same_insn(a.insns[i], b.insns[i])) return false;
+  return true;
+}
+
+/// decode_table vs decode at every byte offset of `code`. Covers the
+/// padded-tail path too (the final kFastDecodeSlack-1 offsets go
+/// through the copy-into-padded-buffer branch of decode_table).
+std::string diff_every_offset(std::span<const std::uint8_t> code,
+                              std::uint64_t base, x86::Mode mode) {
+  for (std::size_t off = 0; off < code.size(); ++off) {
+    const auto legacy = x86::decode(code.subspan(off), base + off, mode);
+    const auto fast = x86::decode_table(code.subspan(off), base + off, mode);
+    const bool legacy_ok = legacy.has_value() && legacy->length > 0;
+    if (legacy_ok != fast.has_value())
+      return "FAIL presence off=" + std::to_string(off);
+    if (legacy_ok && !same_insn(*legacy, *fast))
+      return "FAIL fields off=" + std::to_string(off);
+  }
+  return "";
+}
+
+/// One unit of the determinism sweep: the per-offset differential plus
+/// sequential-vs-sharded equality at several shard counts (pool-less —
+/// the boundary/stitch logic alone, deterministic by construction).
+std::string check_region(std::span<const std::uint8_t> text, std::uint64_t base,
+                         x86::Mode mode) {
+  const std::string diff = diff_every_offset(text, base, mode);
+  if (!diff.empty()) return diff;
+
+  const x86::SweepResult seq = x86::linear_sweep(text, base, mode);
+  for (const int shards : {2, 3, 8}) {
+    x86::SweepParallel par;
+    par.shards = shards;
+    const x86::SweepResult sharded =
+        x86::linear_sweep_sharded(text, base, mode, par);
+    if (!same_result(seq, sharded))
+      return "FAIL shards=" + std::to_string(shards);
+  }
+  return "ok n=" + std::to_string(seq.insns.size()) +
+         " bad=" + std::to_string(seq.bad_bytes.size());
+}
+
+std::string check_corpus_config(const synth::BinaryConfig& cfg) {
+  const auto entry = synth::cached_binary(cfg);
+  const elf::Image img = elf::read_elf(entry->stripped_bytes());
+  const elf::Section& text = img.text();
+  return check_region(text.data, text.addr, mode_of(img));
+}
+
+std::string check_mutant(const std::vector<std::uint8_t>& base,
+                         const inject::FaultPlan& plan) {
+  const std::vector<std::uint8_t> bytes = inject::mutate(base, plan);
+  util::Diagnostics diags;
+  elf::ReadOptions opts;
+  opts.lenient = true;
+  opts.diags = &diags;
+  try {
+    const elf::Image img = elf::read_elf(bytes, opts);
+    if (img.machine == elf::Machine::kArm64) return "skip arm64";
+    const elf::Section& text = img.text();
+    return check_region(text.data, text.addr, mode_of(img));
+  } catch (const std::exception& e) {
+    return std::string("skip ") + e.what();  // container beyond salvage
+  }
+}
+
+/// Corpus + mutants on `threads` workers, fingerprints in deterministic
+/// unit order (the same sweep shape as test_substrate's).
+std::vector<std::string> run_sweep(std::size_t threads) {
+  std::vector<synth::BinaryConfig> configs;
+  for (const auto& cfg : tiny_corpus())
+    if (is_x86(cfg)) configs.push_back(cfg);
+
+  const std::vector<std::uint8_t> base64 =
+      synth::cached_binary(configs.front())->stripped_bytes();
+  const auto x86_it = std::find_if(configs.begin(), configs.end(),
+                                   [](const synth::BinaryConfig& c) {
+                                     return c.machine == elf::Machine::kX86;
+                                   });
+  const std::vector<std::uint8_t> base32 =
+      synth::cached_binary(x86_it == configs.end() ? configs.front() : *x86_it)
+          ->stripped_bytes();
+  const auto plans = inject::make_plans(0xD1FF0AC1EULL % 0xFFFFFFFF, 500);
+
+  const std::size_t units = configs.size() + plans.size();
+  std::vector<std::string> out(units);
+  util::ThreadPool pool(threads);
+  util::parallel_map_ordered<std::string>(
+      pool, units,
+      [&](std::size_t i) -> std::string {
+        if (i < configs.size()) return check_corpus_config(configs[i]);
+        const std::size_t m = i - configs.size();
+        return check_mutant(m % 2 == 0 ? base64 : base32, plans[m]);
+      },
+      [&](std::size_t i, std::string&& s) { out[i] = std::move(s); });
+  return out;
+}
+
+/// Deterministic pseudo-random bytes: decode-hostile input where shard
+/// cuts land at arbitrary stream positions and the stitch fix-up has
+/// to re-decode divergent prefixes.
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> out(n);
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    out[i] = static_cast<std::uint8_t>(s >> 33);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+
+TEST(DecodeTable, MatchesCheckedDecoderOnCorpusAndMutantsAcrossThreadCounts) {
+  const std::vector<std::string> one = run_sweep(1);
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(one[i].rfind("FAIL", 0) != 0) << "unit " << i << ": " << one[i];
+    if (one[i].rfind("ok", 0) == 0) ++checked;
+  }
+  // Most mutants stay parseable; the differential must actually run.
+  EXPECT_GT(checked, one.size() / 2) << "too many units skipped";
+
+  EXPECT_EQ(run_sweep(2), one);
+  EXPECT_EQ(run_sweep(8), one);
+}
+
+TEST(DecodeTable, ShardedSweepMatchesSequentialOnThreadPool) {
+  // The pool-backed path (concurrent shard decode + claim scheduling)
+  // over the corpus, at shard counts that exceed, match, and undercut
+  // the worker count.
+  std::vector<synth::BinaryConfig> configs;
+  for (const auto& cfg : tiny_corpus())
+    if (is_x86(cfg)) configs.push_back(cfg);
+  util::ThreadPool pool(8);
+  for (const auto& cfg : configs) {
+    const auto entry = synth::cached_binary(cfg);
+    const elf::Image img = elf::read_elf(entry->stripped_bytes());
+    const elf::Section& text = img.text();
+    const x86::Mode mode = mode_of(img);
+    const x86::SweepResult seq = x86::linear_sweep(text.data, text.addr, mode);
+    for (const int shards : {2, 8, 16}) {
+      x86::SweepParallel par;
+      par.shards = shards;
+      par.pool = &pool;
+      const x86::SweepResult sharded =
+          x86::linear_sweep_sharded(text.data, text.addr, mode, par);
+      EXPECT_TRUE(same_result(seq, sharded))
+          << cfg.name() << " shards=" << shards;
+    }
+  }
+}
+
+TEST(DecodeTable, ShardedSweepMatchesSequentialOnHostileBytes) {
+  // No endbr anchors, no padding runs: every cut is a raw offset and
+  // the stitcher must repair all of them.
+  const std::vector<std::uint8_t> hostile = random_bytes(96 * 1024, 0x5EED);
+  for (const x86::Mode mode : {x86::Mode::k64, x86::Mode::k32}) {
+    const x86::SweepResult seq = x86::linear_sweep(hostile, 0x401000, mode);
+    for (const int shards : {2, 5, 8, 13}) {
+      x86::SweepParallel par;
+      par.shards = shards;
+      const x86::SweepResult sharded =
+          x86::linear_sweep_sharded(hostile, 0x401000, mode, par);
+      EXPECT_TRUE(same_result(seq, sharded))
+          << "mode=" << (mode == x86::Mode::k64 ? 64 : 32)
+          << " shards=" << shards;
+    }
+  }
+}
+
+TEST(DecodeTable, ShardedSweepHandlesPaddingRunsAndCrossingInsns) {
+  // Long nop/int3 padding (the planner's run-interior cuts) broken up
+  // by 15-byte maximal instructions positioned to straddle likely cut
+  // points, plus trailing garbage.
+  std::vector<std::uint8_t> code;
+  const std::uint8_t maximal[] = {0x2e, 0x2e, 0x2e, 0x2e, 0x2e, 0x66, 0x48,
+                                  0x81, 0x84, 0x05, 0x78, 0x56, 0x34, 0x12,
+                                  0x99};  // 15-byte add with prefixes
+  for (int block = 0; block < 64; ++block) {
+    for (int i = 0; i < 300; ++i) code.push_back(block % 2 == 0 ? 0x90 : 0xCC);
+    code.insert(code.end(), std::begin(maximal), std::end(maximal));
+    for (int i = 0; i < 40; ++i) code.push_back(0x55);  // push rbp sled
+  }
+  const std::vector<std::uint8_t> tail = random_bytes(4096, 0xBEEF);
+  code.insert(code.end(), tail.begin(), tail.end());
+
+  const x86::SweepResult seq = x86::linear_sweep(code, 0x401000, x86::Mode::k64);
+  for (const int shards : {2, 4, 8}) {
+    x86::SweepParallel par;
+    par.shards = shards;
+    const x86::SweepResult sharded =
+        x86::linear_sweep_sharded(code, 0x401000, x86::Mode::k64, par);
+    EXPECT_TRUE(same_result(seq, sharded)) << "shards=" << shards;
+  }
+}
+
+TEST(DecodeTable, ShardPlanCutsAreStrictlyIncreasingAndInterior) {
+  const std::vector<std::uint8_t> bytes = random_bytes(256 * 1024, 0xCAFE);
+  for (const int shards : {1, 2, 7, 16, 64}) {
+    const auto cuts = x86::plan_sweep_shards(bytes, x86::Mode::k64, shards);
+    EXPECT_LE(cuts.size(), static_cast<std::size_t>(shards > 0 ? shards - 1 : 0));
+    std::size_t prev = 0;
+    for (const std::size_t c : cuts) {
+      EXPECT_GT(c, prev);
+      EXPECT_LT(c, bytes.size());
+      prev = c;
+    }
+  }
+  // Tiny regions never shard.
+  EXPECT_TRUE(x86::plan_sweep_shards(random_bytes(512, 1), x86::Mode::k64, 8)
+                  .empty());
+}
