@@ -44,9 +44,12 @@ inline std::size_t threads() { return util::ThreadPool::default_workers(); }
 
 /// Wire the obs layer for a bench main(): REPRO_TRACE / REPRO_METRICS /
 /// REPRO_REPORT env vars plus --trace-out / --metrics-out / --report-out
-/// flags. Returns argc with the obs flags consumed.
+/// flags. Installs the signal flusher so a ^C'd or SIGTERM'd bench
+/// still leaves partial artifacts behind (atexit alone never runs on a
+/// fatal signal). Returns argc with the obs flags consumed.
 inline int obs_init(int argc, char** argv) {
   obs::init_from_env();
+  obs::install_signal_flush();
   return obs::parse_cli_flags(argc, argv);
 }
 

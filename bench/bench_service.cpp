@@ -1,0 +1,276 @@
+// Service load bench: drives an in-process fsrd Server over its Unix
+// socket with N client threads issuing mixed hot/cold traffic, and
+// reports sustained req/s plus client-side latency percentiles split by
+// cache outcome. Emits BENCH_service.json.
+//
+// Traffic model per client thread: 7 of 8 requests are *hot* — an
+// `identify` naming a warmed content key, served from the result layer
+// without touching decode — and 1 of 8 is *cold*: a template binary
+// with a unique trailer appended, so its ContentId has never been seen
+// and the daemon pays the full parse + decode + substrate + analysis
+// path. Responses self-describe via their "cache" field; the split uses
+// that, not the client's intent, so a cold upload that dedups against a
+// concurrent identical upload counts as the hit it actually was.
+//
+//   bench_service [--seconds S] [--threads N] [--out FILE]
+//
+// REPRO_SCALE stretches the duration the same way it scales corpora.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "obs/json.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "synth/corpus.hpp"
+
+using namespace fsr;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Sample {
+  std::uint64_t ns;
+  bool hit;
+};
+
+struct ThreadResult {
+  std::vector<Sample> samples;
+  std::uint64_t errors = 0;
+};
+
+std::uint64_t percentile_ns(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+std::string identify_by_key(const std::string& key) {
+  return "{\"op\":\"identify\",\"key\":\"" + key + "\",\"tool\":\"funseeker\"}";
+}
+
+std::string identify_by_elf(const std::string& b64) {
+  return "{\"op\":\"identify\",\"elf\":\"" + b64 + "\",\"tool\":\"funseeker\"}";
+}
+
+void client_loop(const std::string& socket_path, Clock::time_point deadline,
+                 const std::vector<std::string>& hot_requests,
+                 const std::vector<std::vector<std::uint8_t>>& templates,
+                 unsigned thread_id, ThreadResult& out) {
+  service::Client client;
+  if (!client.connect(socket_path)) {
+    ++out.errors;
+    return;
+  }
+  out.samples.reserve(1 << 16);
+  std::uint64_t seq = 0;
+  while (Clock::now() < deadline) {
+    std::string request;
+    if (seq % 8 == 7) {
+      // Unique trailer -> never-seen ContentId -> full cold path.
+      // Templates rotate so misses sample the whole size spectrum.
+      std::vector<std::uint8_t> cold = templates[(seq / 8) % templates.size()];
+      char trailer[32];
+      const int n = std::snprintf(trailer, sizeof trailer, "#%u:%llu", thread_id,
+                                  static_cast<unsigned long long>(seq));
+      cold.insert(cold.end(), trailer, trailer + n);
+      request = identify_by_elf(service::b64_encode(cold));
+    } else {
+      request = hot_requests[seq % hot_requests.size()];
+    }
+    ++seq;
+
+    const auto t0 = Clock::now();
+    const auto response = client.request(request);
+    const auto t1 = Clock::now();
+    if (!response.has_value()) {
+      ++out.errors;
+      if (!client.connect(socket_path)) break;
+      continue;
+    }
+    const auto parsed = obs::json_parse(*response);
+    if (!parsed.has_value() || !parsed->get_bool("ok", false)) {
+      ++out.errors;
+      continue;
+    }
+    out.samples.push_back(
+        {static_cast<std::uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()),
+         parsed->get_string("cache") == "hit"});
+  }
+}
+
+struct Split {
+  std::vector<std::uint64_t> ns;
+  std::uint64_t p50 = 0, p95 = 0, p99 = 0;
+  void finalize() {
+    std::sort(ns.begin(), ns.end());
+    p50 = percentile_ns(ns, 0.50);
+    p95 = percentile_ns(ns, 0.95);
+    p99 = percentile_ns(ns, 0.99);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  argc = bench::obs_init(argc, argv);
+  double seconds = 3.0 * bench::corpus_scale();
+  std::size_t threads = bench::threads();
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_service: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seconds") seconds = std::atof(value());
+    else if (arg == "--threads") threads = static_cast<std::size_t>(std::atoll(value()));
+    else if (arg == "--out") out_path = value();
+    else {
+      std::fprintf(stderr, "usage: bench_service [--seconds S] [--threads N] [--out FILE]\n");
+      return 2;
+    }
+  }
+  if (seconds <= 0.0) seconds = 3.0;
+  if (threads == 0) threads = 1;
+
+  // Template binaries: the largest x86/x64 corpus entries, so the cold
+  // path pays a realistic parse + decode rather than a toy one.
+  std::vector<std::vector<std::uint8_t>> binaries;
+  for (const auto& cfg : bench::corpus()) {
+    if (cfg.machine == elf::Machine::kArm64) continue;
+    binaries.push_back(synth::cached_binary(cfg)->stripped_bytes());
+  }
+  std::sort(binaries.begin(), binaries.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  if (binaries.size() > 6) binaries.resize(6);
+  if (binaries.empty()) {
+    std::fprintf(stderr, "bench_service: empty corpus\n");
+    return 1;
+  }
+
+  service::ServerOptions opts;
+  opts.socket_path = "/tmp/fsrd-bench-" + std::to_string(::getpid()) + ".sock";
+  opts.threads = threads;
+  service::Server server(std::move(opts));
+  server.start();
+
+  // Warm the cache: one upload per template makes every key hot.
+  std::vector<std::string> hot_requests;
+  {
+    service::Client warm;
+    if (!warm.connect(server.socket_path())) {
+      std::fprintf(stderr, "bench_service: cannot connect to %s\n",
+                   server.socket_path().c_str());
+      return 1;
+    }
+    for (const auto& bytes : binaries) {
+      const auto response = warm.request(identify_by_elf(service::b64_encode(bytes)));
+      if (!response.has_value()) {
+        std::fprintf(stderr, "bench_service: warmup request failed\n");
+        return 1;
+      }
+      const auto parsed = obs::json_parse(*response);
+      if (!parsed.has_value() || !parsed->get_bool("ok", false)) {
+        std::fprintf(stderr, "bench_service: warmup rejected: %s\n", response->c_str());
+        return 1;
+      }
+      hot_requests.push_back(identify_by_key(parsed->get_string("key")));
+    }
+  }
+
+  std::printf("bench_service: %zu client threads, %zu workers, %.1f s, %zu templates\n",
+              threads, server.workers(), seconds, binaries.size());
+
+  const auto t_start = Clock::now();
+  const auto deadline =
+      t_start + std::chrono::nanoseconds(static_cast<std::int64_t>(seconds * 1e9));
+  std::vector<ThreadResult> results(threads);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+      workers.emplace_back(client_loop, server.socket_path(), deadline,
+                           std::cref(hot_requests), std::cref(binaries),
+                           static_cast<unsigned>(t), std::ref(results[t]));
+    for (auto& w : workers) w.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+
+  Split hit, miss;
+  std::uint64_t errors = 0;
+  for (const auto& r : results) {
+    errors += r.errors;
+    for (const Sample& s : r.samples) (s.hit ? hit : miss).ns.push_back(s.ns);
+  }
+  hit.finalize();
+  miss.finalize();
+  const std::uint64_t total = hit.ns.size() + miss.ns.size();
+  const double rps = wall > 0.0 ? static_cast<double>(total) / wall : 0.0;
+  const double ratio =
+      hit.p99 > 0 ? static_cast<double>(miss.p99) / static_cast<double>(hit.p99) : 0.0;
+
+  std::printf("  %llu requests in %.2f s -> %.0f req/s (%llu errors)\n",
+              static_cast<unsigned long long>(total), wall, rps,
+              static_cast<unsigned long long>(errors));
+  std::printf("  hit : %8zu  p50 %7.1f us  p95 %7.1f us  p99 %7.1f us\n", hit.ns.size(),
+              hit.p50 / 1e3, hit.p95 / 1e3, hit.p99 / 1e3);
+  std::printf("  miss: %8zu  p50 %7.1f us  p95 %7.1f us  p99 %7.1f us\n", miss.ns.size(),
+              miss.p50 / 1e3, miss.p95 / 1e3, miss.p99 / 1e3);
+  std::printf("  miss p99 / hit p99 = %.1fx\n", ratio);
+
+  // Final daemon-side picture for the JSON (cache + pool gauges).
+  std::string stats = "{}";
+  {
+    service::Client c;
+    if (c.connect(server.socket_path()))
+      if (auto r = c.request("{\"op\":\"stats\"}")) stats = *r;
+  }
+  server.stop();
+  server.wait();
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
+  } else {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"bench_service\",\n");
+    std::fprintf(out, "  \"threads\": %zu,\n", threads);
+    std::fprintf(out, "  \"duration_seconds\": %.3f,\n", wall);
+    std::fprintf(out, "  \"requests\": %llu,\n", static_cast<unsigned long long>(total));
+    std::fprintf(out, "  \"errors\": %llu,\n", static_cast<unsigned long long>(errors));
+    std::fprintf(out, "  \"req_per_sec\": %.1f,\n", rps);
+    std::fprintf(out, "  \"hit\": {\"count\": %zu, \"p50_ns\": %llu, \"p95_ns\": %llu, \"p99_ns\": %llu},\n",
+                 hit.ns.size(), static_cast<unsigned long long>(hit.p50),
+                 static_cast<unsigned long long>(hit.p95),
+                 static_cast<unsigned long long>(hit.p99));
+    std::fprintf(out, "  \"miss\": {\"count\": %zu, \"p50_ns\": %llu, \"p95_ns\": %llu, \"p99_ns\": %llu},\n",
+                 miss.ns.size(), static_cast<unsigned long long>(miss.p50),
+                 static_cast<unsigned long long>(miss.p95),
+                 static_cast<unsigned long long>(miss.p99));
+    std::fprintf(out, "  \"miss_p99_over_hit_p99\": %.2f,\n", ratio);
+    std::fprintf(out, "  \"daemon_stats\": %s\n", stats.c_str());
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+  }
+
+  bench::obs_finish();
+  if (errors > total / 100 + 4) {
+    std::fprintf(stderr, "bench_service: error rate too high\n");
+    return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace fsr::obs {
 
@@ -147,6 +148,199 @@ bool json_valid(std::string_view text) {
   if (!p.parse_value(0)) return false;
   p.skip_ws();
   return p.done();
+}
+
+const std::string& JsonValue::as_string(const std::string& fallback) const {
+  return kind_ == Kind::kString ? str_ : fallback;
+}
+
+double JsonValue::as_number(double fallback) const {
+  return kind_ == Kind::kNumber ? num_ : fallback;
+}
+
+bool JsonValue::as_bool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_string(fallback);
+}
+
+double JsonValue::get_number(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_number(fallback);
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_bool(fallback);
+}
+
+namespace detail {
+
+/// Value-building twin of the validating Parser above; kept separate so
+/// the hot validation path stays allocation-free.
+struct ValueParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r'))
+      ++pos;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (done() || peek() != '"') return false;
+    ++pos;
+    while (!done()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (done()) return false;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (done()) return false;
+            const char h = text[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          append_utf8(out, cp);  // BMP only; surrogate pairs unneeded here
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > 64) return false;
+    skip_ws();
+    if (done()) return false;
+    switch (peek()) {
+      case '{': {
+        out.kind_ = JsonValue::Kind::kObject;
+        ++pos;
+        skip_ws();
+        if (!done() && peek() == '}') { ++pos; return true; }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (done() || text[pos++] != ':') return false;
+          JsonValue member;
+          if (!parse_value(member, depth + 1)) return false;
+          out.obj_.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (done()) return false;
+          const char c = text[pos++];
+          if (c == '}') return true;
+          if (c != ',') return false;
+        }
+      }
+      case '[': {
+        out.kind_ = JsonValue::Kind::kArray;
+        ++pos;
+        skip_ws();
+        if (!done() && peek() == ']') { ++pos; return true; }
+        for (;;) {
+          JsonValue item;
+          if (!parse_value(item, depth + 1)) return false;
+          out.arr_.push_back(std::move(item));
+          skip_ws();
+          if (done()) return false;
+          const char c = text[pos++];
+          if (c == ']') return true;
+          if (c != ',') return false;
+        }
+      }
+      case '"':
+        out.kind_ = JsonValue::Kind::kString;
+        return parse_string(out.str_);
+      case 't':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = true;
+        return literal("true");
+      case 'f':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = false;
+        return literal("false");
+      case 'n':
+        out.kind_ = JsonValue::Kind::kNull;
+        return literal("null");
+      default: {
+        // Reuse the validator's number scanner for the grammar, then
+        // convert the accepted slice.
+        Parser num{text, pos};
+        if (!num.parse_number()) return false;
+        out.kind_ = JsonValue::Kind::kNumber;
+        out.num_ = std::strtod(std::string(text.substr(pos, num.pos - pos)).c_str(), nullptr);
+        pos = num.pos;
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  detail::ValueParser p{text};
+  JsonValue value;
+  if (!p.parse_value(value, 0)) return std::nullopt;
+  p.skip_ws();
+  if (!p.done()) return std::nullopt;
+  return value;
 }
 
 }  // namespace fsr::obs

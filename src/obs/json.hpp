@@ -7,10 +7,17 @@
 // without pulling in an external JSON library.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace fsr::obs {
+
+namespace detail {
+struct ValueParser;
+}
 
 /// Escape `s` for embedding inside a JSON string literal (quotes are
 /// not added). Control characters become \u00XX.
@@ -21,5 +28,53 @@ std::string json_escape(std::string_view s);
 /// optional whitespace. Depth-limited so malformed input cannot blow
 /// the stack.
 bool json_valid(std::string_view text);
+
+/// A parsed JSON value — the read side of the obs JSON story, used by
+/// the fsrd service to decode protocol requests. Deliberately tiny:
+/// numbers are doubles, objects keep insertion order with linear
+/// lookup (protocol frames have a handful of keys), and parsing shares
+/// the validator's strictness and depth limit.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+
+  /// Typed reads with a fallback when the value has another kind.
+  [[nodiscard]] const std::string& as_string(const std::string& fallback) const;
+  [[nodiscard]] double as_number(double fallback) const;
+  [[nodiscard]] bool as_bool(bool fallback) const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return arr_; }
+
+  /// Object member by key, nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Shorthands for `find(key)` + typed read with fallback.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       const std::string& fallback = "") const;
+  [[nodiscard]] double get_number(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+ private:
+  friend std::optional<JsonValue> json_parse(std::string_view text);
+  friend struct detail::ValueParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Parse exactly one JSON value (plus surrounding whitespace), or
+/// nullopt on any syntax error. Same grammar json_valid accepts.
+std::optional<JsonValue> json_parse(std::string_view text);
 
 }  // namespace fsr::obs

@@ -1,8 +1,12 @@
 #include "obs/obs.hpp"
 
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+
+#include <unistd.h>
 
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -132,5 +136,50 @@ void write_outputs() {
   if (!metrics.empty()) Registry::instance().write_json(metrics);
   RunReport::instance().finalize();
 }
+
+namespace {
+
+std::atomic<int> g_notify_fd{-1};
+std::atomic<int> g_last_signal{0};
+std::atomic<bool> g_flushing{false};
+
+void signal_handler(int sig) {
+  g_last_signal.store(sig, std::memory_order_relaxed);
+  const int fd = g_notify_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    // Notify mode: one async-signal-safe write; the event loop owns the
+    // actual shutdown + flush.
+    const char byte = static_cast<char>(sig);
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+    return;
+  }
+  // Terminate mode. write_outputs() is not strictly async-signal-safe
+  // (it allocates), but the alternative is losing every artifact of an
+  // interrupted run; the exchange guard at least makes a second signal
+  // during the flush die immediately instead of re-entering.
+  if (!g_flushing.exchange(true, std::memory_order_acq_rel)) write_outputs();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void install_signal_flush() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa{};
+    sa.sa_handler = signal_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+  });
+}
+
+void set_signal_notify_fd(int fd) {
+  g_notify_fd.store(fd, std::memory_order_relaxed);
+}
+
+int last_signal() { return g_last_signal.load(std::memory_order_relaxed); }
 
 }  // namespace fsr::obs

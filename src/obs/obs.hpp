@@ -38,4 +38,29 @@ int parse_cli_flags(int argc, char** argv);
 /// the report finalize is idempotent).
 void write_outputs();
 
+/// Install SIGINT/SIGTERM handlers that flush the configured artifacts
+/// before the process dies. atexit alone loses every artifact on a
+/// signal (atexit handlers only run on normal exit), so a ^C'd bench or
+/// a SIGTERM'd daemon used to leave nothing behind. Two modes:
+///
+///  - Default (terminate mode): the handler flushes once — guarded by
+///    an atomic so a second signal mid-flush cannot re-enter — then
+///    restores the default disposition and re-raises, preserving the
+///    conventional 128+sig exit status.
+///  - Notify mode (set_signal_notify_fd): the handler only write()s one
+///    byte to `fd` — async-signal-safe — and returns; a long-lived
+///    event loop (fsrd's accept loop) sees the byte, drains, and
+///    flushes on its normal shutdown path.
+///
+/// Idempotent; safe to call before or after paths are configured.
+void install_signal_flush();
+
+/// Switch installed handlers into notify mode (-1 reverts to terminate
+/// mode). The daemon points this at its self-pipe.
+void set_signal_notify_fd(int fd);
+
+/// The last signal a handler observed (0 when none). Lets shutdown
+/// paths report *why* they are exiting.
+int last_signal();
+
 }  // namespace fsr::obs

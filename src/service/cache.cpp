@@ -1,0 +1,130 @@
+#include "service/cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "elf/reader.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
+
+namespace fsr::service {
+
+ContentId content_id(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return ContentId{h, bytes.size()};
+}
+
+std::string ContentId::to_string() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%016llx-%llu",
+                static_cast<unsigned long long>(hash),
+                static_cast<unsigned long long>(size));
+  return buf;
+}
+
+std::optional<ContentId> ContentId::parse(std::string_view text) {
+  if (text.size() < 18 || text[16] != '-') return std::nullopt;
+  std::uint64_t hash = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const char c = text[i];
+    hash <<= 4;
+    if (c >= '0' && c <= '9') hash |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') hash |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  std::uint64_t size = 0;
+  for (std::size_t i = 17; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    if (size > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) return std::nullopt;
+    size = size * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return ContentId{hash, size};
+}
+
+CachedImage make_cached_image(std::span<const std::uint8_t> bytes) {
+  CachedImage ci;
+  ci.input_bytes = bytes.size();
+  util::Stopwatch watch;
+  {
+    TRACE_SPAN("svc.parse");
+    ci.image = elf::read_elf(bytes, elf::ReadOptions{true, &ci.diagnostics});
+  }
+  ci.prepare_seconds = watch.seconds();
+  ci.decode = eval::decode_shared(ci.image);
+  return ci;
+}
+
+std::size_t CachedImage::approx_bytes() const {
+  std::size_t n = sizeof(CachedImage);
+  for (const auto& s : image.sections)
+    n += s.data.capacity() + s.name.capacity() + sizeof(s);
+  for (const auto& sym : image.symbols) n += sizeof(sym) + sym.name.capacity();
+  for (const auto& sym : image.dynsymbols) n += sizeof(sym) + sym.name.capacity();
+  for (const auto& p : image.plt) n += sizeof(p) + p.symbol.capacity();
+  if (decode.view != nullptr) {
+    const x86::CodeView& v = *decode.view;
+    n += v.insns.capacity() * sizeof(v.insns[0]);
+    n += v.bytes.capacity();
+    if (v.arena != nullptr) n += v.arena->bytes_used();  // slots + substrate columns
+  }
+  if (decode.sweep != nullptr) {
+    const funseeker::DisasmSets& s = *decode.sweep;
+    n += s.insns.capacity() * sizeof(s.insns[0]);
+    n += (s.endbrs.capacity() + s.call_targets.capacity() +
+          s.jmp_targets.capacity()) * sizeof(std::uint64_t);
+  }
+  return n;
+}
+
+namespace {
+
+std::size_t result_bytes(const eval::RunResult& r) {
+  return sizeof(eval::RunResult) + r.found.capacity() * sizeof(std::uint64_t);
+}
+
+}  // namespace
+
+AnalysisCache::AnalysisCache(std::size_t capacity_bytes)
+    : images_(capacity_bytes - capacity_bytes / 16),
+      results_(capacity_bytes / 16) {}
+
+std::shared_ptr<const CachedImage> AnalysisCache::find_image(const ContentId& id) {
+  return images_.find(id);
+}
+
+std::shared_ptr<const CachedImage> AnalysisCache::insert_image(
+    const ContentId& id, std::shared_ptr<const CachedImage> img) {
+  const std::size_t cost = img->approx_bytes();
+  return images_.insert(id, std::move(img), cost).resident;
+}
+
+std::shared_ptr<const eval::RunResult> AnalysisCache::find_result(const ResultKey& key) {
+  return results_.find(key);
+}
+
+std::shared_ptr<const eval::RunResult> AnalysisCache::insert_result(
+    const ResultKey& key, eval::RunResult result) {
+  auto value = std::make_shared<const eval::RunResult>(std::move(result));
+  const std::size_t cost = result_bytes(*value);
+  return results_.insert(key, std::move(value), cost).resident;
+}
+
+void AnalysisCache::clear() {
+  images_.clear();
+  results_.clear();
+}
+
+std::size_t AnalysisCache::default_capacity_bytes() {
+  if (const char* env = std::getenv("REPRO_CACHE_MB"); env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 0) return static_cast<std::size_t>(v) << 20;
+  }
+  return std::size_t{768} << 20;
+}
+
+}  // namespace fsr::service

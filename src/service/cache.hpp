@@ -1,0 +1,129 @@
+// Content-addressed analysis cache — the heart of the fsrd daemon.
+//
+// The batch pipeline pays parse → decode → substrate → analyze from a
+// cold start on every run. A long-lived service can amortize all of it:
+// the input ELF bytes are hashed (FNV-1a 64 over the content, plus the
+// length as a collision backstop) and everything derived from them is
+// cached under that ContentId —
+//
+//   image layer   ContentId -> CachedImage (parsed elf::Image + the
+//                 decode-once SharedDecode substrate + salvage
+//                 diagnostics). A repeat upload, or a request that
+//                 names the id directly via `key`, skips parse+decode
+//                 entirely.
+//   result layer  (ContentId, tool, config) -> eval::RunResult. A
+//                 repeat identify/compare skips the analyzer too and
+//                 the request becomes a pure lookup.
+//
+// Both layers ride util::LruCache (the BinaryCache generalization):
+// byte-budgeted, LRU-evicted, shared_ptr values so eviction never
+// invalidates an in-flight request. Entries are immutable — a cache
+// hit returns bit-identical results to the cold path, so the cache can
+// only change latency, never answers (the stress test asserts this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "eval/runner.hpp"
+#include "util/diagnostic.hpp"
+#include "util/lru.hpp"
+
+namespace fsr::service {
+
+/// Identity of analyzed content: hash of the bytes + their length. The
+/// wire form ("<16-hex-digit hash>-<size>") is what responses hand out
+/// and `key` fields hand back.
+struct ContentId {
+  std::uint64_t hash = 0;
+  std::uint64_t size = 0;
+  friend bool operator==(const ContentId&, const ContentId&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+  static std::optional<ContentId> parse(std::string_view text);
+};
+
+struct ContentIdHash {
+  std::size_t operator()(const ContentId& id) const {
+    return static_cast<std::size_t>(id.hash ^ (id.size * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// FNV-1a 64 over the content.
+ContentId content_id(std::span<const std::uint8_t> bytes);
+
+/// One fully prepared binary: what PreparedBinary holds for the batch
+/// engine, minus the synth entry (the daemon sees raw bytes, not
+/// configs). Parsing is always lenient — a daemon salvages what it can
+/// and reports diagnostics per request instead of dying.
+struct CachedImage {
+  elf::Image image;
+  eval::SharedDecode decode;
+  util::Diagnostics diagnostics;
+  double prepare_seconds = 0.0;  // lenient parse
+  std::uint64_t input_bytes = 0;
+
+  /// Approximate resident heap cost (image sections + decoded view +
+  /// substrate columns + derived sets) for the LRU budget.
+  [[nodiscard]] std::size_t approx_bytes() const;
+};
+
+/// Parse (lenient) + decode_shared over raw bytes. Throws fsr::Error
+/// when even salvage parsing cannot produce an image.
+CachedImage make_cached_image(std::span<const std::uint8_t> bytes);
+
+/// Which analyzer a cached result belongs to. eval::Tool plus the
+/// daemon-only BTI path for AArch64 uploads.
+inline constexpr int kToolBti = 100;
+
+struct ResultKey {
+  ContentId id;
+  int tool = 0;    // static_cast<int>(eval::Tool) or kToolBti
+  int config = 0;  // FunSeeker Table II configuration (0 elsewhere)
+  friend bool operator==(const ResultKey&, const ResultKey&) = default;
+};
+
+struct ResultKeyHash {
+  std::size_t operator()(const ResultKey& k) const {
+    std::size_t h = ContentIdHash{}(k.id);
+    h ^= static_cast<std::size_t>(k.tool) * 1315423911u + static_cast<std::size_t>(k.config) +
+         (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+class AnalysisCache {
+public:
+  /// One byte budget covers both layers; results are tiny next to
+  /// images, so the split is 15/16 images, 1/16 results.
+  explicit AnalysisCache(std::size_t capacity_bytes = default_capacity_bytes());
+
+  [[nodiscard]] std::shared_ptr<const CachedImage> find_image(const ContentId& id);
+  std::shared_ptr<const CachedImage> insert_image(const ContentId& id,
+                                                  std::shared_ptr<const CachedImage> img);
+
+  [[nodiscard]] std::shared_ptr<const eval::RunResult> find_result(const ResultKey& key);
+  std::shared_ptr<const eval::RunResult> insert_result(const ResultKey& key,
+                                                       eval::RunResult result);
+
+  void clear();
+
+  [[nodiscard]] util::LruStats image_stats() const { return images_.stats(); }
+  [[nodiscard]] util::LruStats result_stats() const { return results_.stats(); }
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return images_.capacity_bytes() + results_.capacity_bytes();
+  }
+
+  /// REPRO_CACHE_MB (MiB) if set, else 768 MiB — the same knob the
+  /// generation cache honors; each daemon instance owns its own budget.
+  static std::size_t default_capacity_bytes();
+
+private:
+  util::LruCache<ContentId, CachedImage, ContentIdHash> images_;
+  util::LruCache<ResultKey, eval::RunResult, ResultKeyHash> results_;
+};
+
+}  // namespace fsr::service

@@ -1,0 +1,88 @@
+#include "service/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace fsr::service {
+
+bool Client::connect(const std::string& socket_path) {
+  fd_.reset();
+  error_.clear();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    error_ = "socket path too long";
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    error_ = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    error_ = "connect(" + socket_path + "): " + std::strerror(errno);
+    return false;
+  }
+  fd_ = std::move(fd);
+  return true;
+}
+
+std::optional<std::string> Client::request(std::string_view json) {
+  return raw_frame(json, nullptr);
+}
+
+std::optional<std::string> Client::raw_frame(std::string_view payload, FrameStatus* status) {
+  if (!fd_.valid()) {
+    error_ = "not connected";
+    if (status != nullptr) *status = FrameStatus::kError;
+    return std::nullopt;
+  }
+  if (!write_frame(fd_.get(), payload)) {
+    error_ = "write failed";
+    fd_.reset();
+    if (status != nullptr) *status = FrameStatus::kError;
+    return std::nullopt;
+  }
+  return read_response(status);
+}
+
+bool Client::send_bytes(std::string_view bytes) {
+  if (!fd_.valid()) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fd_.reset();
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> Client::read_response(FrameStatus* status) {
+  std::string response;
+  const FrameStatus st = read_frame(fd_.get(), response);
+  if (status != nullptr) *status = st;
+  if (st != FrameStatus::kOk) {
+    error_ = std::string("read: ") + to_string(st);
+    fd_.reset();
+    return std::nullopt;
+  }
+  return response;
+}
+
+}  // namespace fsr::service

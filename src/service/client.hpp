@@ -1,0 +1,53 @@
+// Minimal blocking client for the fsrd Unix-domain socket protocol.
+//
+// One Client is one connection; it is NOT thread-safe (the bench gives
+// each load-generator thread its own Client). request() speaks the
+// length-prefixed JSON framing from proto.hpp; raw_frame() bypasses
+// the JSON layer so tests can deliver deliberately hostile payloads
+// (garbage bytes, oversized length announcements).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "service/proto.hpp"
+
+namespace fsr::service {
+
+class Client {
+public:
+  Client() = default;
+
+  /// Connect to a listening fsrd socket. Returns false (and records the
+  /// error) when the socket is absent or refuses.
+  bool connect(const std::string& socket_path);
+
+  [[nodiscard]] bool connected() const { return fd_.valid(); }
+  void close() { fd_.reset(); }
+
+  /// Send one JSON request and block for the JSON response. Empty
+  /// optional means the transport failed (daemon gone, frame mangled).
+  std::optional<std::string> request(std::string_view json);
+
+  /// Send a raw payload as one frame and read one response frame.
+  /// `status` receives the read-side outcome so hostile-input tests can
+  /// distinguish "server answered" from "server dropped us".
+  std::optional<std::string> raw_frame(std::string_view payload, FrameStatus* status = nullptr);
+
+  /// Write `bytes` verbatim to the socket (no framing). Used to send a
+  /// corrupt length prefix.
+  bool send_bytes(std::string_view bytes);
+
+  /// Read one frame off the socket (for use after send_bytes).
+  std::optional<std::string> read_response(FrameStatus* status = nullptr);
+
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+
+private:
+  UniqueFd fd_;
+  std::string error_;
+};
+
+}  // namespace fsr::service

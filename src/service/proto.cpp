@@ -1,0 +1,166 @@
+#include "service/proto.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fsr::service {
+
+namespace {
+
+/// read(2) exactly n bytes; EINTR restarts. Returns bytes read (< n on
+/// EOF), or -1 on error.
+ssize_t read_exact(int fd, void* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, static_cast<char*>(buf) + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+/// send(2) with MSG_NOSIGNAL: writing to a peer that already hung up
+/// must fail with EPIPE, not kill the process with SIGPIPE.
+bool write_exact(int fd, const void* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w =
+        ::send(fd, static_cast<const char*>(buf) + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kClosed: return "closed";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kTruncated: return "truncated";
+    case FrameStatus::kError: return "error";
+  }
+  return "?";
+}
+
+FrameStatus read_frame(int fd, std::string& payload, std::uint32_t max_bytes) {
+  std::uint8_t header[4];
+  const ssize_t h = read_exact(fd, header, sizeof header);
+  if (h < 0) return FrameStatus::kError;
+  if (h == 0) return FrameStatus::kClosed;
+  if (h < 4) return FrameStatus::kTruncated;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            static_cast<std::uint32_t>(header[1]) << 8 |
+                            static_cast<std::uint32_t>(header[2]) << 16 |
+                            static_cast<std::uint32_t>(header[3]) << 24;
+  if (len > max_bytes) return FrameStatus::kOversized;
+  payload.resize(len);
+  if (len == 0) return FrameStatus::kOk;
+  const ssize_t b = read_exact(fd, payload.data(), len);
+  if (b < 0) return FrameStatus::kError;
+  if (static_cast<std::uint32_t>(b) < len) return FrameStatus::kTruncated;
+  return FrameStatus::kOk;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(len),
+      static_cast<std::uint8_t>(len >> 8),
+      static_cast<std::uint8_t>(len >> 16),
+      static_cast<std::uint8_t>(len >> 24),
+  };
+  return write_exact(fd, header, sizeof header) &&
+         write_exact(fd, payload.data(), payload.size());
+}
+
+namespace {
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+}  // namespace
+
+std::string b64_encode(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes[i]) << 16 |
+                            static_cast<std::uint32_t>(bytes[i + 1]) << 8 |
+                            bytes[i + 2];
+    out += kB64Alphabet[(v >> 18) & 63];
+    out += kB64Alphabet[(v >> 12) & 63];
+    out += kB64Alphabet[(v >> 6) & 63];
+    out += kB64Alphabet[v & 63];
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes[i]) << 16;
+    out += kB64Alphabet[(v >> 18) & 63];
+    out += kB64Alphabet[(v >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes[i]) << 16 |
+                            static_cast<std::uint32_t>(bytes[i + 1]) << 8;
+    out += kB64Alphabet[(v >> 18) & 63];
+    out += kB64Alphabet[(v >> 12) & 63];
+    out += kB64Alphabet[(v >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> b64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  static constexpr auto table = [] {
+    std::array<std::int8_t, 256> t{};
+    for (auto& v : t) v = -1;
+    for (int i = 0; i < 64; ++i)
+      t[static_cast<unsigned char>(kB64Alphabet[i])] = static_cast<std::int8_t>(i);
+    return t;
+  }();
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding only in the last group's final two slots.
+        if (i + 4 != text.size() || j < 2) return std::nullopt;
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) return std::nullopt;  // data after '='
+      const std::int8_t d = table[static_cast<unsigned char>(c)];
+      if (d < 0) return std::nullopt;
+      v = v << 6 | static_cast<std::uint32_t>(d);
+    }
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(v >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+void UniqueFd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace fsr::service

@@ -1,0 +1,102 @@
+// fsrd wire protocol: length-prefixed JSON frames over a Unix-domain
+// stream socket.
+//
+// One frame = a 4-byte little-endian payload length followed by that
+// many bytes of UTF-8 JSON. Requests and responses are single frames;
+// binary payloads (an uploaded ELF) travel base64-encoded inside the
+// JSON so a frame is always self-describing and printable. The length
+// prefix is capped (kMaxFrameBytes): a hostile client announcing a
+// multi-gigabyte frame is refused before a single payload byte is
+// buffered.
+//
+// Request object (all strings; unknown keys are ignored):
+//   op      "ping" | "identify" | "compare" | "disasm" | "stats" |
+//           "shutdown"
+//   elf     base64 of the ELF to analyze (uploads; optional when `key`
+//           names already-cached content)
+//   key     content id from a previous response ("<fnv64hex>-<size>")
+//   config  FunSeeker Table II configuration 1..4 (identify; default 4)
+//   tool    "funseeker" | "ida" | "ghidra" | "fetch" (identify)
+//   at      hex address (disasm; default: start of .text)
+//   count   number of instructions (disasm; default 32)
+//
+// Responses always carry "ok" plus either the op's payload or an
+// "error"/"code" pair; analysis responses add "key" (the content id)
+// and "cache" ("hit" when both the decoded image and the tool result
+// came out of the analysis cache).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsr::service {
+
+/// Hard cap on one frame's payload (base64 inflates 4/3, so this
+/// admits ELFs up to ~48 MiB — far beyond anything the corpus or a
+/// reverse engineer's interactive session ships).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// What reading one frame from a stream yielded.
+enum class FrameStatus {
+  kOk,         // payload filled
+  kClosed,     // clean EOF at a frame boundary
+  kOversized,  // announced length exceeds the cap (stream unusable)
+  kTruncated,  // EOF mid-header or mid-payload
+  kError,      // read(2) failed
+};
+
+const char* to_string(FrameStatus s);
+
+/// Blocking frame read (EINTR-restarted). On kOversized no payload
+/// bytes have been consumed — the connection should be dropped, since
+/// the stream cannot be resynchronized.
+FrameStatus read_frame(int fd, std::string& payload,
+                       std::uint32_t max_bytes = kMaxFrameBytes);
+
+/// Blocking frame write (EINTR-restarted, handles short writes).
+/// False when the peer vanished or write(2) failed.
+bool write_frame(int fd, std::string_view payload);
+
+/// Standard base64 (RFC 4648, with padding).
+std::string b64_encode(std::span<const std::uint8_t> bytes);
+
+/// Strict decode: padding required, whitespace rejected; nullopt on any
+/// malformed input.
+std::optional<std::vector<std::uint8_t>> b64_decode(std::string_view text);
+
+/// Owning file descriptor (close-on-destroy), shared by the server,
+/// client, and tests.
+class UniqueFd {
+public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+private:
+  int fd_ = -1;
+};
+
+}  // namespace fsr::service

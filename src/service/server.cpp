@@ -1,0 +1,236 @@
+#include "service/server.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace fsr::service {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter& connections = obs::counter("svc.connections");
+  obs::Counter& frames_rejected = obs::counter("svc.frames_rejected");
+  obs::Gauge& queue_depth = obs::gauge("svc.queue_depth");
+  obs::Gauge& workers = obs::gauge("svc.workers");
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m;
+  return m;
+}
+
+/// Live pool submissions, mirrored into the svc.queue_depth gauge so
+/// `stats` can report instantaneous and high-water request pressure.
+std::atomic<std::int64_t> g_inflight{0};
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), service_(opts_.service) {}
+
+Server::~Server() {
+  stop();
+  wait();
+}
+
+std::size_t Server::workers() const {
+  return pool_ != nullptr ? pool_->worker_count() : 0;
+}
+
+void Server::start() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (started_) return;
+    started_ = true;
+  }
+  if (opts_.socket_path.empty()) throw Error("fsrd: socket path must not be empty");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path))
+    throw Error("fsrd: socket path too long: " + opts_.socket_path);
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw Error(std::string("fsrd: socket(): ") + std::strerror(errno));
+  ::unlink(opts_.socket_path.c_str());  // stale socket from a previous run
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+    throw Error("fsrd: bind(" + opts_.socket_path + "): " + std::strerror(errno));
+  if (::listen(fd.get(), 64) != 0)
+    throw Error(std::string("fsrd: listen(): ") + std::strerror(errno));
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC | O_NONBLOCK) != 0)
+    throw Error(std::string("fsrd: pipe2(): ") + std::strerror(errno));
+  pipe_rd_ = UniqueFd(pipe_fds[0]);
+  pipe_wr_ = UniqueFd(pipe_fds[1]);
+
+  listen_fd_ = std::move(fd);
+  pool_ = std::make_unique<util::ThreadPool>(opts_.threads);
+  server_metrics().workers.set(static_cast<std::int64_t>(pool_->worker_count()));
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  // Wake the accept loop; it owns the teardown sequence. write() to the
+  // nonblocking pipe is safe from any context (including the request
+  // path executing a `shutdown` op on a pool worker).
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(pipe_wr_.get(), &byte, 1);
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  if (!started_) return;
+  stopped_cv_.wait(lock, [this] { return stopped_; });
+  // stopped_ is the accept loop's final act; reap the thread itself.
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_.get(), POLLIN, 0}, {pipe_rd_.get(), POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (stopping_) break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // self-pipe byte: shutdown
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int conn = ::accept4(listen_fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listening socket gone
+    }
+    server_metrics().connections.add();
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    reap_finished_locked();
+    auto c = std::make_unique<Connection>();
+    c->fd = UniqueFd(conn);
+    Connection* raw = c.get();
+    connections_.push_back(std::move(c));
+    raw->thread = std::thread([this, raw] { connection_loop(raw); });
+  }
+
+  // Teardown: make sure stop() state is set (the loop may have exited
+  // via the pipe without stop() being called first).
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopping_ = true;
+  }
+  // Unblock every connection reader, then join them.
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns.swap(connections_);
+  }
+  for (auto& c : conns)
+    if (c->fd.valid()) ::shutdown(c->fd.get(), SHUT_RDWR);
+  for (auto& c : conns)
+    if (c->thread.joinable()) c->thread.join();
+  conns.clear();
+
+  pool_.reset();  // drains queued requests
+  listen_fd_.reset();
+  ::unlink(opts_.socket_path.c_str());
+
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  stopped_ = true;
+  stopped_cv_.notify_all();
+}
+
+std::string Server::execute_on_pool(std::string payload, bool& shutdown_requested) {
+  struct Pending {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Service::Outcome out;
+  };
+  auto pending = std::make_shared<Pending>();
+  ServerMetrics& m = server_metrics();
+  m.queue_depth.set(g_inflight.fetch_add(1, std::memory_order_relaxed) + 1);
+  pool_->submit([this, pending, payload = std::move(payload)] {
+    Service::Outcome out = service_.handle(payload);
+    server_metrics().queue_depth.set(
+        g_inflight.fetch_sub(1, std::memory_order_relaxed) - 1);
+    std::lock_guard<std::mutex> lock(pending->m);
+    pending->out = std::move(out);
+    pending->done = true;
+    pending->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(pending->m);
+  pending->cv.wait(lock, [&] { return pending->done; });
+  if (pending->out.shutdown) shutdown_requested = true;
+  return std::move(pending->out.json);
+}
+
+// Drop entries whose reader has finished (client hung up). Keeps the
+// connection list bounded for long-lived daemons with churny clients.
+// Caller holds conn_mutex_; `done` is set as the very last statement of
+// connection_loop, so join() here returns almost immediately.
+void Server::reap_finished_locked() {
+  std::vector<std::unique_ptr<Connection>> live;
+  live.reserve(connections_.size());
+  for (auto& c : connections_) {
+    if (c->done.load(std::memory_order_acquire)) {
+      if (c->thread.joinable()) c->thread.join();
+    } else {
+      live.push_back(std::move(c));
+    }
+  }
+  connections_.swap(live);
+}
+
+void Server::connection_loop(Connection* conn) {
+  const int fd = conn->fd.get();
+  std::string payload;
+  for (;;) {
+    const FrameStatus st = read_frame(fd, payload);
+    if (st == FrameStatus::kClosed || st == FrameStatus::kTruncated ||
+        st == FrameStatus::kError)
+      break;
+    if (st == FrameStatus::kOversized) {
+      // The announced length is beyond the cap; the stream cannot be
+      // resynchronized, so answer once and drop the connection.
+      server_metrics().frames_rejected.add();
+      write_frame(fd, "{\"ok\":false,\"code\":\"oversized\","
+                      "\"error\":\"frame exceeds the 64 MiB limit\"}");
+      break;
+    }
+    bool shutdown_requested = false;
+    const std::string response = execute_on_pool(std::move(payload), shutdown_requested);
+    payload.clear();
+    const bool wrote = write_frame(fd, response);
+    if (shutdown_requested) {
+      stop();
+      break;
+    }
+    if (!wrote) break;
+  }
+  // Half-open sockets would leave the peer blocked on a response that
+  // will never come; the fd itself is closed when the entry is reaped.
+  ::shutdown(fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+}  // namespace fsr::service

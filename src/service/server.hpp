@@ -1,0 +1,98 @@
+// Unix-domain socket front end for the Service.
+//
+// Threading model: one accept thread polls the listening socket plus a
+// self-pipe; each accepted connection gets a lightweight reader thread
+// that parses frames and *executes* every request on the shared
+// work-stealing ThreadPool — connection threads only block on I/O and
+// on their own request's completion, so a slow client never occupies a
+// pool worker and request-level parallelism is bounded by the pool,
+// not by the connection count.
+//
+// Shutdown is cooperative and signal-safe: SIGINT/SIGTERM handlers
+// (obs::set_signal_notify_fd wired to signal_notify_fd()) write one
+// byte to the self-pipe; the accept loop wakes, stops accepting,
+// shuts down every live connection, joins the readers, drains the
+// pool, and unlinks the socket. A `shutdown` protocol request takes
+// the same path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/proto.hpp"
+#include "service/service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fsr::service {
+
+struct ServerOptions {
+  std::string socket_path;  // required
+  std::size_t threads = 0;  // pool workers; 0 = REPRO_THREADS / hardware
+  ServiceOptions service{};
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept thread. Throws fsr::Error when
+  /// the socket cannot be created (path too long, address in use, ...).
+  void start();
+
+  /// Request a graceful stop (idempotent, callable from any thread).
+  void stop();
+
+  /// Block until the server has fully stopped (accept thread and every
+  /// connection joined). Returns immediately if never started.
+  void wait();
+
+  /// Write end of the self-pipe: a single byte written here (e.g. by
+  /// the obs signal handler) triggers the same graceful stop as stop().
+  [[nodiscard]] int signal_notify_fd() const { return pipe_wr_.get(); }
+
+  [[nodiscard]] const std::string& socket_path() const { return opts_.socket_path; }
+  [[nodiscard]] Service& service() { return service_; }
+  [[nodiscard]] std::size_t workers() const;
+
+private:
+  struct Connection;
+
+  void accept_loop();
+  void reap_finished_locked();
+  void connection_loop(Connection* conn);
+  std::string execute_on_pool(std::string payload, bool& shutdown_requested);
+
+  ServerOptions opts_;
+  Service service_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  UniqueFd listen_fd_;
+  UniqueFd pipe_rd_, pipe_wr_;
+  std::thread accept_thread_;
+
+  struct Connection {
+    UniqueFd fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::mutex conn_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::mutex state_mutex_;
+  std::condition_variable stopped_cv_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace fsr::service

@@ -1,0 +1,515 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bti/btiseeker.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/proto.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "util/str.hpp"
+#include "util/version.hpp"
+#include "x86/format.hpp"
+
+namespace fsr::service {
+
+namespace {
+
+struct SvcMetrics {
+  obs::Counter& requests = obs::counter("svc.requests");
+  obs::Counter& errors = obs::counter("svc.errors");
+  obs::Counter& cache_hits = obs::counter("svc.cache.hit_requests");
+  obs::Counter& cache_misses = obs::counter("svc.cache.miss_requests");
+  obs::Histogram& latency_hit = obs::histogram("svc.latency.hit_ns");
+  obs::Histogram& latency_miss = obs::histogram("svc.latency.miss_ns");
+};
+
+SvcMetrics& svc_metrics() {
+  static SvcMetrics m;
+  return m;
+}
+
+std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  out += obs::json_escape(s);
+  out += '"';
+  return out;
+}
+
+/// Minimal JSON object builder (keys are trusted literals, values are
+/// escaped where they are strings).
+class ObjBuilder {
+ public:
+  ObjBuilder() : out_("{") {}
+
+  void raw(std::string_view key, std::string_view json) {
+    sep();
+    out_ += quoted(key);
+    out_ += ':';
+    out_ += json;
+  }
+  void str(std::string_view key, std::string_view value) { raw(key, quoted(value)); }
+  void boolean(std::string_view key, bool v) { raw(key, v ? "true" : "false"); }
+  void num(std::string_view key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    raw(key, buf);
+  }
+  void integer(std::string_view key, std::uint64_t v) {
+    raw(key, std::to_string(v));
+  }
+
+  std::string close() {
+    out_ += '}';
+    return std::move(out_);
+  }
+
+ private:
+  void sep() {
+    if (out_.size() > 1) out_ += ',';
+  }
+  std::string out_;
+};
+
+std::string hex_array(const std::vector<std::uint64_t>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += quoted(util::hex(values[i]));
+  }
+  out += ']';
+  return out;
+}
+
+std::string diag_array(const util::Diagnostics& diags) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diags.items().size(); ++i) {
+    if (i != 0) out += ',';
+    out += quoted(diags.items()[i].to_string());
+  }
+  out += ']';
+  return out;
+}
+
+std::string lru_stats_json(const util::LruStats& s) {
+  ObjBuilder b;
+  b.integer("hits", s.hits);
+  b.integer("misses", s.misses);
+  b.integer("evictions", s.evictions);
+  b.integer("rejected", s.rejected);
+  b.integer("bytes", s.bytes);
+  b.integer("entries", s.entries);
+  return b.close();
+}
+
+/// Tool-name parsing: accepts the short protocol spellings and the
+/// display names eval::to_string emits, case-insensitively on the
+/// leading token.
+std::optional<eval::Tool> parse_tool(std::string_view name) {
+  auto starts = [&](std::string_view prefix) {
+    if (name.size() < prefix.size()) return false;
+    for (std::size_t i = 0; i < prefix.size(); ++i)
+      if (std::tolower(static_cast<unsigned char>(name[i])) != prefix[i]) return false;
+    return true;
+  };
+  if (name.empty() || starts("funseeker")) return eval::Tool::kFunSeeker;
+  if (starts("ida")) return eval::Tool::kIdaLike;
+  if (starts("ghidra")) return eval::Tool::kGhidraLike;
+  if (starts("fetch")) return eval::Tool::kFetchLike;
+  return std::nullopt;
+}
+
+/// The resolved input of an analysis request: the cached (or freshly
+/// prepared) image plus whether the image layer was a hit.
+struct ResolvedImage {
+  std::shared_ptr<const CachedImage> img;
+  ContentId id;
+  bool hit = false;
+  std::string error;  // non-empty: resolution failed
+  std::string code;
+};
+
+ResolvedImage fail(std::string code, std::string error) {
+  ResolvedImage r;
+  r.code = std::move(code);
+  r.error = std::move(error);
+  return r;
+}
+
+/// Locate (or build and insert) the request's binary. Upload dedup is
+/// content-addressed: re-uploading bytes the cache already holds is a
+/// hit even without a `key`. Images built under an already-expired
+/// deadline are served but never cached — a partial substrate must not
+/// answer later requests.
+ResolvedImage resolve_image(AnalysisCache& cache, const obs::JsonValue& req) {
+  ResolvedImage r;
+  const std::string key = req.get_string("key");
+  const obs::JsonValue* elf = req.find("elf");
+  if (!key.empty()) {
+    const auto id = ContentId::parse(key);
+    if (!id.has_value()) return fail("bad-key", "malformed content key");
+    r.id = *id;
+    r.img = cache.find_image(*id);
+    if (r.img != nullptr) {
+      r.hit = true;
+      return r;
+    }
+    if (elf == nullptr)
+      return fail("unknown-key", "content key not cached (evicted?); re-upload elf");
+  }
+  if (elf == nullptr || !elf->is_string())
+    return fail("bad-request", "request needs \"elf\" (base64) or a cached \"key\"");
+  const auto bytes = b64_decode(elf->as_string(""));
+  if (!bytes.has_value()) return fail("bad-request", "elf field is not valid base64");
+  r.id = content_id(*bytes);
+  r.img = cache.find_image(r.id);
+  if (r.img != nullptr) {
+    r.hit = true;
+    return r;
+  }
+  try {
+    TRACE_SPAN("svc.prepare");
+    auto built = std::make_shared<const CachedImage>(make_cached_image(*bytes));
+    if (util::deadline_expired_now())
+      return fail("timeout", "request deadline expired during decode");
+    r.img = cache.insert_image(r.id, std::move(built));
+  } catch (const std::exception& e) {
+    return fail("parse-failed", std::string("unusable binary: ") + e.what());
+  }
+  return r;
+}
+
+/// One tool's result for a resolved image, through the result layer.
+struct ToolRun {
+  std::shared_ptr<const eval::RunResult> result;
+  bool hit = false;
+  std::string tool_name;
+};
+
+ToolRun run_tool_cached(AnalysisCache& cache, const ResolvedImage& r,
+                        eval::Tool tool, int config) {
+  ToolRun tr;
+  tr.tool_name = eval::to_string(tool);
+  const bool is_fs = tool == eval::Tool::kFunSeeker;
+  const ResultKey rk{r.id, static_cast<int>(tool), is_fs ? config : 0};
+  if (auto hit = cache.find_result(rk)) {
+    tr.result = std::move(hit);
+    tr.hit = true;
+    return tr;
+  }
+  util::Diagnostics diags;  // lenient exception-table reads mid-analysis
+  eval::RunResult res = eval::run_tool_on(
+      tool, r.img->image, r.img->decode,
+      is_fs ? funseeker::Options::config(config) : funseeker::Options{}, &diags);
+  if (util::deadline_expired_now()) {
+    // Partial answer: serve it once, never cache it.
+    tr.result = std::make_shared<const eval::RunResult>(std::move(res));
+  } else {
+    tr.result = cache.insert_result(rk, std::move(res));
+  }
+  return tr;
+}
+
+/// The daemon's AArch64 path: BtiSeeker wrapped into the same result
+/// shape (the x86 eval::Tool enum has no BTI member; kToolBti keys it).
+ToolRun run_bti_cached(AnalysisCache& cache, const ResolvedImage& r) {
+  ToolRun tr;
+  tr.tool_name = "BtiSeeker";
+  const ResultKey rk{r.id, kToolBti, 0};
+  if (auto hit = cache.find_result(rk)) {
+    tr.result = std::move(hit);
+    tr.hit = true;
+    return tr;
+  }
+  util::Stopwatch watch;
+  eval::RunResult res;
+  {
+    TRACE_SPAN("svc.bti");
+    res.found = bti::analyze(r.img->image).functions;
+  }
+  res.seconds = watch.seconds();
+  if (util::deadline_expired_now()) {
+    tr.result = std::make_shared<const eval::RunResult>(std::move(res));
+  } else {
+    tr.result = cache.insert_result(rk, std::move(res));
+  }
+  return tr;
+}
+
+Service::Outcome error_outcome(std::string_view op, std::string_view code,
+                               std::string_view message) {
+  ObjBuilder b;
+  b.boolean("ok", false);
+  if (!op.empty()) b.str("op", op);
+  b.str("code", code);
+  b.str("error", message);
+  Service::Outcome out;
+  out.json = b.close();
+  out.ok = false;
+  return out;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions opts)
+    : cache_(opts.cache_bytes > 0 ? opts.cache_bytes
+                                  : AnalysisCache::default_capacity_bytes()),
+      deadline_seconds_(opts.request_deadline_seconds),
+      start_ns_(obs::now_ns()) {
+  if (deadline_seconds_ <= 0.0) {
+    if (const char* env = std::getenv("REPRO_TIME_BUDGET"); env != nullptr) {
+      const double v = std::atof(env);
+      if (v > 0.0) deadline_seconds_ = v;
+    }
+  }
+}
+
+Service::Outcome Service::handle(std::string_view request_json) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  SvcMetrics& m = svc_metrics();
+  m.requests.add();
+  util::Stopwatch watch;
+  TRACE_SPAN("svc.request");
+
+  Outcome out;
+  // Every request runs under its own cooperative deadline; hostile
+  // content that drags decode or analysis into pathological territory
+  // is cut off and answered with a timeout error instead of wedging a
+  // pool worker forever.
+  const util::ScopedDeadline guard(
+      deadline_seconds_ > 0.0 ? util::Deadline::after_seconds(deadline_seconds_)
+                              : util::Deadline());
+  try {
+    out = dispatch(request_json);
+  } catch (const std::exception& e) {
+    ObjBuilder b;
+    b.boolean("ok", false);
+    b.str("code", "internal");
+    b.str("error", e.what());
+    out.json = b.close();
+    out.ok = false;
+  } catch (...) {
+    ObjBuilder b;
+    b.boolean("ok", false);
+    b.str("code", "internal");
+    b.str("error", "unknown error");
+    out.json = b.close();
+    out.ok = false;
+  }
+
+  if (!out.ok) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    m.errors.add();
+  }
+  // The hit/miss latency split only makes sense for analysis ops;
+  // control traffic (ping/stats/shutdown) would pollute both series.
+  if (out.analysis) {
+    if (out.cache_hit) {
+      m.cache_hits.add();
+      m.latency_hit.record(watch.elapsed_ns());
+    } else {
+      m.cache_misses.add();
+      m.latency_miss.record(watch.elapsed_ns());
+    }
+  }
+  return out;
+}
+
+Service::Outcome Service::dispatch(std::string_view request_json) {
+  const auto parsed = obs::json_parse(request_json);
+  if (!parsed.has_value() || !parsed->is_object())
+    return error_outcome("", "bad-request", "request is not a JSON object");
+  const obs::JsonValue& req = *parsed;
+  const std::string op = req.get_string("op");
+
+  if (op == "ping") {
+    ObjBuilder b;
+    b.boolean("ok", true);
+    b.str("op", "ping");
+    b.str("version", util::kVersion);
+    Outcome out;
+    out.json = b.close();
+    return out;
+  }
+  if (op == "stats") {
+    Outcome out;
+    out.json = stats_json();
+    return out;
+  }
+  if (op == "shutdown") {
+    ObjBuilder b;
+    b.boolean("ok", true);
+    b.str("op", "shutdown");
+    Outcome out;
+    out.json = b.close();
+    out.shutdown = true;
+    return out;
+  }
+  if (op == "identify") return do_identify(req);
+  if (op == "compare") return do_compare(req);
+  if (op == "disasm") return do_disasm(req);
+  return error_outcome(op, "unknown-op",
+                       "unknown op (expected ping/identify/compare/disasm/stats/shutdown)");
+}
+
+Service::Outcome Service::do_identify(const obs::JsonValue& req) {
+  const ResolvedImage r = resolve_image(cache_, req);
+  if (!r.error.empty()) return error_outcome("identify", r.code, r.error);
+  int config = static_cast<int>(req.get_number("config", 4));
+  config = std::clamp(config, 1, 4);
+
+  ToolRun tr;
+  bool is_x86 = r.img->image.machine != elf::Machine::kArm64;
+  if (is_x86) {
+    const auto tool = parse_tool(req.get_string("tool"));
+    if (!tool.has_value())
+      return error_outcome("identify", "bad-request",
+                           "unknown tool (expected funseeker/ida/ghidra/fetch)");
+    tr = run_tool_cached(cache_, r, *tool, config);
+  } else {
+    tr = run_bti_cached(cache_, r);
+  }
+  if (util::deadline_expired_now())
+    return error_outcome("identify", "timeout", "request deadline expired");
+
+  Outcome out;
+  out.analysis = true;
+  out.cache_hit = r.hit && tr.hit;
+  ObjBuilder b;
+  b.boolean("ok", true);
+  b.str("op", "identify");
+  b.str("key", r.id.to_string());
+  b.str("tool", tr.tool_name);
+  if (is_x86 && tr.tool_name == "FunSeeker") b.integer("config", static_cast<std::uint64_t>(config));
+  b.str("cache", out.cache_hit ? "hit" : "miss");
+  b.integer("count", tr.result->found.size());
+  b.raw("functions", hex_array(tr.result->found));
+  b.num("analysis_seconds", tr.result->seconds);
+  b.num("decode_seconds", r.img->decode.decode_seconds);
+  if (!r.img->diagnostics.empty()) {
+    b.integer("diagnostic_count", r.img->diagnostics.total());
+    b.raw("diagnostics", diag_array(r.img->diagnostics));
+  }
+  out.json = b.close();
+  return out;
+}
+
+Service::Outcome Service::do_compare(const obs::JsonValue& req) {
+  const ResolvedImage r = resolve_image(cache_, req);
+  if (!r.error.empty()) return error_outcome("compare", r.code, r.error);
+  if (r.img->image.machine == elf::Machine::kArm64)
+    return error_outcome("compare", "unsupported", "compare runs the x86 tool set");
+
+  bool all_hit = true;
+  std::string tools = "[";
+  for (const eval::Tool tool : {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
+                                eval::Tool::kGhidraLike, eval::Tool::kFetchLike}) {
+    const ToolRun tr = run_tool_cached(cache_, r, tool, 4);
+    if (util::deadline_expired_now())
+      return error_outcome("compare", "timeout", "request deadline expired");
+    all_hit = all_hit && tr.hit;
+    ObjBuilder tb;
+    tb.str("tool", tr.tool_name);
+    tb.integer("count", tr.result->found.size());
+    tb.num("analysis_seconds", tr.result->seconds);
+    tb.str("cache", tr.hit ? "hit" : "miss");
+    if (tools.size() > 1) tools += ',';
+    tools += tb.close();
+  }
+  tools += ']';
+
+  Outcome out;
+  out.analysis = true;
+  out.cache_hit = r.hit && all_hit;
+  ObjBuilder b;
+  b.boolean("ok", true);
+  b.str("op", "compare");
+  b.str("key", r.id.to_string());
+  b.str("cache", out.cache_hit ? "hit" : "miss");
+  b.raw("tools", tools);
+  b.num("decode_seconds", r.img->decode.decode_seconds);
+  if (!r.img->diagnostics.empty()) {
+    b.integer("diagnostic_count", r.img->diagnostics.total());
+    b.raw("diagnostics", diag_array(r.img->diagnostics));
+  }
+  out.json = b.close();
+  return out;
+}
+
+Service::Outcome Service::do_disasm(const obs::JsonValue& req) {
+  const ResolvedImage r = resolve_image(cache_, req);
+  if (!r.error.empty()) return error_outcome("disasm", r.code, r.error);
+  const auto& view_ptr = r.img->decode.view;
+  if (view_ptr == nullptr)
+    return error_outcome("disasm", "unsupported", "disasm supports x86/x86-64 binaries");
+  const x86::CodeView& view = *view_ptr;
+
+  std::uint64_t at = view.text_begin;
+  if (const std::string at_str = req.get_string("at"); !at_str.empty())
+    at = std::strtoull(at_str.c_str(), nullptr, 16);
+  std::size_t count = 32;
+  if (const obs::JsonValue* c = req.find("count"); c != nullptr && c->is_number())
+    count = static_cast<std::size_t>(std::clamp(c->as_number(32), 1.0, 4096.0));
+
+  std::string lines = "[";
+  std::size_t shown = 0;
+  for (std::size_t pos = view.first_pos_at_or_after(at);
+       pos < view.insns.size() && shown < count; ++pos, ++shown) {
+    if (shown != 0) lines += ',';
+    lines += quoted(x86::format_line(view.insns[pos], view.bytes, view.text_begin));
+  }
+  lines += ']';
+
+  Outcome out;
+  out.analysis = true;
+  out.cache_hit = r.hit;  // formatting is trivial; the image is the cost
+  ObjBuilder b;
+  b.boolean("ok", true);
+  b.str("op", "disasm");
+  b.str("key", r.id.to_string());
+  b.str("cache", out.cache_hit ? "hit" : "miss");
+  b.integer("count", shown);
+  b.raw("lines", lines);
+  b.integer("bad_bytes", view.bad_bytes);
+  out.json = b.close();
+  return out;
+}
+
+std::string Service::stats_json() const {
+  ObjBuilder b;
+  b.boolean("ok", true);
+  b.str("op", "stats");
+  b.str("version", util::kVersion);
+  b.num("uptime_seconds", static_cast<double>(obs::now_ns() - start_ns_) / 1e9);
+  b.integer("requests", requests_.load(std::memory_order_relaxed));
+  b.integer("errors", errors_.load(std::memory_order_relaxed));
+  b.num("deadline_seconds", deadline_seconds_);
+  {
+    ObjBuilder cache_obj;
+    cache_obj.integer("capacity_bytes", cache_.capacity_bytes());
+    cache_obj.raw("images", lru_stats_json(cache_.image_stats()));
+    cache_obj.raw("results", lru_stats_json(cache_.result_stats()));
+    b.raw("cache", cache_obj.close());
+  }
+  {
+    // The server mirrors its pool shape into these gauges; a Service
+    // used in-process (tests, bench warmup) reports zeros.
+    ObjBuilder pool;
+    pool.integer("workers",
+                 static_cast<std::uint64_t>(obs::gauge("svc.workers").value()));
+    pool.integer("queue_depth",
+                 static_cast<std::uint64_t>(obs::gauge("svc.queue_depth").value()));
+    pool.integer("queue_depth_max",
+                 static_cast<std::uint64_t>(obs::gauge("svc.queue_depth").max()));
+    b.raw("pool", pool.close());
+  }
+  return b.close();
+}
+
+}  // namespace fsr::service

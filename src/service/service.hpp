@@ -1,0 +1,74 @@
+// Request executor for the fsrd daemon.
+//
+// Service is the socket-independent middle: it takes one request's
+// JSON text, runs it against the content-addressed AnalysisCache, and
+// returns the response JSON. The Unix-domain Server feeds it from
+// connection threads via the work-stealing pool; the tests and the
+// load bench can also call handle() in-process.
+//
+// Containment contract (the daemon's survival property): handle()
+// never throws and never crashes the process on hostile input. Every
+// request runs under a cooperative util::Deadline (REPRO_TIME_BUDGET
+// or the explicit option), exceptions from parsing/decoding/analysis
+// are caught and become {"ok":false,...} error responses, and work
+// performed under an expired deadline is never inserted into the cache
+// (partial substrates must not poison later exact answers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/cache.hpp"
+
+namespace fsr::obs {
+class JsonValue;
+}
+
+namespace fsr::service {
+
+struct ServiceOptions {
+  std::size_t cache_bytes = 0;          // 0: AnalysisCache::default_capacity_bytes()
+  double request_deadline_seconds = 0;  // <=0: REPRO_TIME_BUDGET (unset = unlimited)
+};
+
+class Service {
+public:
+  explicit Service(ServiceOptions opts = {});
+
+  struct Outcome {
+    std::string json;        // the response frame payload
+    bool shutdown = false;   // request asked the daemon to stop
+    bool cache_hit = false;  // served without decode or analysis
+    bool analysis = false;   // identify/compare/disasm (vs control ops)
+    bool ok = true;
+  };
+
+  /// Execute one request. Never throws.
+  Outcome handle(std::string_view request_json);
+
+  [[nodiscard]] AnalysisCache& cache() { return cache_; }
+  [[nodiscard]] std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double deadline_seconds() const { return deadline_seconds_; }
+
+private:
+  Outcome dispatch(std::string_view request_json);
+  Outcome do_identify(const obs::JsonValue& req);
+  Outcome do_compare(const obs::JsonValue& req);
+  Outcome do_disasm(const obs::JsonValue& req);
+  [[nodiscard]] std::string stats_json() const;
+
+  AnalysisCache cache_;
+  double deadline_seconds_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::uint64_t start_ns_;
+};
+
+}  // namespace fsr::service

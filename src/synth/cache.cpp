@@ -13,9 +13,8 @@ namespace {
 struct CacheMetrics {
   obs::Counter& hits = obs::counter("cache.hits");
   obs::Counter& misses = obs::counter("cache.misses");
-  // The cache never replaces entries; it stops inserting at the byte
-  // budget. Each budget-rejected insert is the eviction-equivalent
-  // event (the entry is generated, used, and thrown away).
+  // LRU eviction plus the budget-rejected case (an entry bigger than
+  // the whole budget is generated, used, and thrown away).
   obs::Counter& evictions = obs::counter("cache.evictions");
   obs::Gauge& bytes = obs::gauge("cache.bytes");
   obs::Gauge& entries = obs::gauge("cache.entries");
@@ -41,8 +40,7 @@ BinaryCache& BinaryCache::instance() {
   return cache;
 }
 
-BinaryCache::BinaryCache(std::size_t capacity_bytes)
-    : capacity_bytes_(capacity_bytes) {}
+BinaryCache::BinaryCache(std::size_t capacity_bytes) : lru_(capacity_bytes) {}
 
 std::size_t BinaryCache::default_capacity_bytes() {
   if (const char* env = std::getenv("REPRO_CACHE_MB"); env != nullptr) {
@@ -72,68 +70,46 @@ std::shared_ptr<const DatasetEntry> BinaryCache::get(const BinaryConfig& cfg,
                                                      bool manual_endbr,
                                                      double data_in_text) {
   const Key key{cfg, manual_endbr, data_in_text};
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (auto it = map_.find(key); it != map_.end()) {
-      ++hits_;
-      cache_metrics().hits.add();
-      return it->second;
-    }
-    ++misses_;
-    cache_metrics().misses.add();
+  CacheMetrics& m = cache_metrics();
+  if (auto hit = lru_.find(key)) {
+    m.hits.add();
+    return hit;
   }
+  m.misses.add();
 
-  // Generate outside the lock: concurrent misses on different configs
-  // must not serialize. Two threads racing on the *same* config both
-  // generate (identical bytes — generation is deterministic); the
-  // second insert is a no-op.
-  std::shared_ptr<const DatasetEntry> entry;
-  {
-    // (make_binary_variant opens the "generate" trace span itself.)
-    const std::uint64_t t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
-    entry = std::make_shared<const DatasetEntry>(
-        make_binary_variant(cfg, manual_endbr, data_in_text));
-    if (t0 != 0) cache_metrics().generate_ns.record(obs::now_ns() - t0);
-  }
+  // Generate outside the cache lock: concurrent misses on different
+  // configs must not serialize. Two threads racing on the *same* config
+  // both generate (identical bytes — generation is deterministic);
+  // insert keeps the incumbent.
+  // (make_binary_variant opens the "generate" trace span itself.)
+  const std::uint64_t t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
+  auto entry = std::make_shared<const DatasetEntry>(
+      make_binary_variant(cfg, manual_endbr, data_in_text));
+  if (t0 != 0) m.generate_ns.record(obs::now_ns() - t0);
+
   const std::size_t cost = approx_bytes(*entry);
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (auto it = map_.find(key); it != map_.end()) return it->second;
-  if (bytes_ + cost <= capacity_bytes_) {
-    map_.emplace(key, entry);
-    bytes_ += cost;
-    cache_metrics().bytes.set(static_cast<std::int64_t>(bytes_));
-    cache_metrics().entries.set(static_cast<std::int64_t>(map_.size()));
-  } else {
-    cache_metrics().evictions.add();
-  }
-  return entry;
+  const auto outcome = lru_.insert(key, std::move(entry), cost);
+  if (outcome.evicted > 0) m.evictions.add(outcome.evicted);
+  if (outcome.rejected) m.evictions.add();
+  const auto s = lru_.stats();
+  m.bytes.set(static_cast<std::int64_t>(s.bytes));
+  m.entries.set(static_cast<std::int64_t>(s.entries));
+  return outcome.resident;
 }
 
-void BinaryCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  map_.clear();
-  bytes_ = hits_ = misses_ = 0;
-}
+void BinaryCache::clear() { lru_.clear(); }
 
-std::size_t BinaryCache::entry_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return map_.size();
-}
+std::size_t BinaryCache::entry_count() const { return lru_.stats().entries; }
 
-std::size_t BinaryCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return bytes_;
-}
+std::size_t BinaryCache::bytes() const { return lru_.stats().bytes; }
 
-std::size_t BinaryCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
-}
+std::size_t BinaryCache::hits() const { return lru_.stats().hits; }
 
-std::size_t BinaryCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+std::size_t BinaryCache::misses() const { return lru_.stats().misses; }
+
+std::size_t BinaryCache::evictions() const {
+  const auto s = lru_.stats();
+  return s.evictions + s.rejected;
 }
 
 std::shared_ptr<const DatasetEntry> cached_binary(const BinaryConfig& cfg) {

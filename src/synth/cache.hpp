@@ -4,10 +4,14 @@
 // of magnitude more than looking it up, and multi-pass benches walk the
 // exact same deterministic corpus several times (bench_ablation's four
 // sections, a speedup-baseline pass in bench_table3). The cache keys on
-// the BinaryConfig hash plus the variant knobs, holds entries by
-// shared_ptr so concurrent readers never copy an image, and stops
-// inserting at a byte budget (REPRO_CACHE_MB, default 768) so huge
-// corpora degrade to plain regeneration instead of exhausting memory.
+// the BinaryConfig hash plus the variant knobs and holds entries by
+// shared_ptr so concurrent readers never copy an image.
+//
+// Storage is a util::LruCache under a byte budget (REPRO_CACHE_MB,
+// default 768): when a corpus outgrows the budget the least-recently-
+// used entries are evicted, so huge corpora degrade to regeneration of
+// the coldest configs instead of exhausting memory. (The service's
+// AnalysisCache rides the same LruCache substrate.)
 //
 // Cached entries are immutable; hits and misses return the same bytes
 // a fresh make_binary_variant call would, so caching never changes
@@ -16,10 +20,9 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 
 #include "synth/corpus.hpp"
+#include "util/lru.hpp"
 
 namespace fsr::synth {
 
@@ -44,6 +47,7 @@ public:
   [[nodiscard]] std::size_t bytes() const;
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t evictions() const;
 
   /// REPRO_CACHE_MB (in MiB) if set, else 768 MiB.
   static std::size_t default_capacity_bytes();
@@ -62,12 +66,7 @@ private:
     std::size_t operator()(const Key& k) const;
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<Key, std::shared_ptr<const DatasetEntry>, KeyHash> map_;
-  std::size_t capacity_bytes_;
-  std::size_t bytes_ = 0;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  util::LruCache<Key, DatasetEntry, KeyHash> lru_;
 };
 
 }  // namespace fsr::synth

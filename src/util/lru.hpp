@@ -1,0 +1,150 @@
+// Byte-budgeted LRU cache template.
+//
+// The generalization of what synth::BinaryCache grew organically: a
+// thread-safe map from key to shared_ptr<const Value> where every entry
+// carries an explicit byte cost and the total is held under a budget by
+// evicting the least-recently-used entries. Values are handed out by
+// shared_ptr, so an eviction racing with a reader never invalidates the
+// reader's copy — eviction only drops the cache's reference.
+//
+// Two caches ride on this today: synth::BinaryCache (generated corpus
+// entries) and service::AnalysisCache (content-addressed parsed images
+// + decoded views + per-tool results for the fsrd daemon). Both need
+// the same discipline: expensive construction runs *outside* the lock,
+// concurrent misses on the same key both construct (deterministic
+// construction makes the copies identical) and the loser's insert is a
+// no-op, and an entry whose cost alone exceeds the budget is served but
+// never retained.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace fsr::util {
+
+/// Monotonically counted cache statistics, read under the cache lock so
+/// a snapshot is always self-consistent.
+struct LruStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;   // entries dropped to fit the budget
+  std::size_t rejected = 0;    // entries larger than the whole budget
+  std::size_t bytes = 0;       // current resident cost
+  std::size_t entries = 0;     // current resident count
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+public:
+  using ValuePtr = std::shared_ptr<const Value>;
+
+  explicit LruCache(std::size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Look up `key`; a hit refreshes its recency. Counts a hit or miss.
+  [[nodiscard]] ValuePtr find(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second.order);
+    return it->second.value;
+  }
+
+  /// What one insert() did — returned explicitly so callers that mirror
+  /// cache activity into external metrics see *their own* operation's
+  /// effect, not a racy before/after stats diff.
+  struct InsertOutcome {
+    ValuePtr resident;         // the entry now answering for `key`
+    std::size_t evicted = 0;   // LRU entries dropped to make room
+    bool rejected = false;     // cost alone exceeded the budget
+    bool inserted = false;     // false on a key race (incumbent kept)
+  };
+
+  /// Insert `value` with the given byte cost, evicting LRU entries
+  /// until it fits. If `key` is already resident the existing entry is
+  /// kept (first insert wins — concurrent misses construct identical
+  /// values, so preferring the incumbent never changes results). An
+  /// entry costlier than the entire budget is rejected, not inserted —
+  /// the caller still gets `value` back to use once.
+  InsertOutcome insert(const Key& key, ValuePtr value, std::size_t cost) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = map_.find(key); it != map_.end()) {
+      order_.splice(order_.begin(), order_, it->second.order);
+      return {it->second.value, 0, false, false};
+    }
+    if (cost > capacity_bytes_) {
+      ++stats_.rejected;
+      return {std::move(value), 0, true, false};
+    }
+    InsertOutcome out{nullptr, 0, false, true};
+    while (stats_.bytes + cost > capacity_bytes_ && !order_.empty()) {
+      evict_last_locked();
+      ++out.evicted;
+    }
+    order_.push_front(key);
+    map_.emplace(key, Entry{value, cost, order_.begin()});
+    stats_.bytes += cost;
+    stats_.entries = map_.size();
+    out.resident = std::move(value);
+    return out;
+  }
+
+  /// find(), else build via `make` (outside the lock) and insert() at
+  /// `cost(value)`. The convenience path both cache users want.
+  template <typename Make, typename Cost>
+  ValuePtr get_or(const Key& key, Make&& make, Cost&& cost) {
+    if (ValuePtr hit = find(key)) return hit;
+    ValuePtr built = std::forward<Make>(make)();
+    if (built == nullptr) return nullptr;  // construction declined to cache
+    const std::size_t bytes = std::forward<Cost>(cost)(*built);
+    return insert(key, std::move(built), bytes).resident;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    order_.clear();
+    stats_ = LruStats{};
+  }
+
+  [[nodiscard]] LruStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+private:
+  struct Entry {
+    ValuePtr value;
+    std::size_t cost = 0;
+    typename std::list<Key>::iterator order;
+  };
+
+  void evict_last_locked() {
+    const Key& victim = order_.back();
+    auto it = map_.find(victim);
+    stats_.bytes -= it->second.cost;
+    map_.erase(it);
+    order_.pop_back();
+    ++stats_.evictions;
+    stats_.entries = map_.size();
+  }
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Entry, Hash> map_;
+  std::list<Key> order_;  // front = most recently used
+  std::size_t capacity_bytes_;
+  LruStats stats_;
+};
+
+}  // namespace fsr::util

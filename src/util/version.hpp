@@ -1,0 +1,12 @@
+// Single source of truth for the toolchain version string, shared by
+// every front end (`fsr --version`, `fsrd --version`, the service
+// handshake's `stats` response) so a client can tell which build a
+// daemon is running.
+#pragma once
+
+namespace fsr::util {
+
+inline constexpr const char* kVersion = "0.7.0";
+inline constexpr const char* kProjectName = "funseeker-repro";
+
+}  // namespace fsr::util

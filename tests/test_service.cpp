@@ -1,0 +1,281 @@
+// fsrd service tests: protocol plumbing (framing, base64, the JSON
+// value parser) and an end-to-end integration pass — a real Server on a
+// temp socket, a real client, every request type, hostile uploads from
+// the fault injector, malformed frames, and both shutdown paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "inject/fault.hpp"
+#include "obs/json.hpp"
+#include "service/client.hpp"
+#include "service/proto.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "synth/corpus.hpp"
+
+using namespace fsr;
+
+namespace {
+
+// ---------------------------------------------------------------- base64
+
+TEST(Base64, RoundTrips) {
+  for (std::size_t n = 0; n < 32; ++n) {
+    std::vector<std::uint8_t> bytes;
+    for (std::size_t i = 0; i < n; ++i)
+      bytes.push_back(static_cast<std::uint8_t>(i * 37 + n));
+    const std::string enc = service::b64_encode(bytes);
+    const auto dec = service::b64_decode(enc);
+    ASSERT_TRUE(dec.has_value()) << "n=" << n;
+    EXPECT_EQ(*dec, bytes) << "n=" << n;
+  }
+}
+
+TEST(Base64, KnownVectors) {
+  const std::vector<std::uint8_t> man = {'M', 'a', 'n'};
+  EXPECT_EQ(service::b64_encode(man), "TWFu");
+  const std::vector<std::uint8_t> ma = {'M', 'a'};
+  EXPECT_EQ(service::b64_encode(ma), "TWE=");
+  EXPECT_EQ(service::b64_encode({}), "");
+}
+
+TEST(Base64, RejectsMalformedInput) {
+  EXPECT_FALSE(service::b64_decode("TWF").has_value());    // bad length
+  EXPECT_FALSE(service::b64_decode("TW!u").has_value());   // bad alphabet
+  EXPECT_FALSE(service::b64_decode("TW=u").has_value());   // data after pad
+  EXPECT_FALSE(service::b64_decode("====").has_value());
+  EXPECT_TRUE(service::b64_decode("").has_value());
+}
+
+// ------------------------------------------------------------ JSON values
+
+TEST(JsonValue, ParsesNestedStructures) {
+  const auto v = obs::json_parse(
+      R"({"op":"identify","n":3.5,"flag":true,"nil":null,"arr":[1,"two"],"obj":{"k":"v"}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_string("op"), "identify");
+  EXPECT_DOUBLE_EQ(v->get_number("n", 0), 3.5);
+  EXPECT_TRUE(v->get_bool("flag", false));
+  const obs::JsonValue* arr = v->find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(arr->items()[0].as_number(0), 1.0);
+  EXPECT_EQ(arr->items()[1].as_string(""), "two");
+  const obs::JsonValue* obj = v->find("obj");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->get_string("k"), "v");
+}
+
+TEST(JsonValue, UnescapesStrings) {
+  const auto v = obs::json_parse(R"({"s":"a\"b\\c\ndA"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_string("s"), "a\"b\\c\ndA");
+}
+
+TEST(JsonValue, RejectsGarbage) {
+  EXPECT_FALSE(obs::json_parse("").has_value());
+  EXPECT_FALSE(obs::json_parse("{").has_value());
+  EXPECT_FALSE(obs::json_parse("{\"a\":}").has_value());
+  EXPECT_FALSE(obs::json_parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(obs::json_parse("\x01\x02\x03").has_value());
+}
+
+// ------------------------------------------------------------ integration
+
+std::vector<std::uint8_t> sample_binary() {
+  synth::BinaryConfig cfg;
+  cfg.kind = elf::BinaryKind::kPie;
+  return synth::make_binary(cfg).stripped_bytes();
+}
+
+class ServiceIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service::ServerOptions opts;
+    opts.socket_path =
+        "/tmp/fsrd-test-" + std::to_string(::getpid()) + "-" +
+        std::to_string(reinterpret_cast<std::uintptr_t>(this) & 0xffff) + ".sock";
+    opts.threads = 2;
+    server_ = std::make_unique<service::Server>(std::move(opts));
+    server_->start();
+    ASSERT_TRUE(client_.connect(server_->socket_path())) << client_.last_error();
+  }
+
+  void TearDown() override {
+    client_.close();
+    server_->stop();
+    server_->wait();
+  }
+
+  obs::JsonValue roundtrip(const std::string& request) {
+    const auto response = client_.request(request);
+    EXPECT_TRUE(response.has_value()) << client_.last_error();
+    if (!response.has_value()) return obs::JsonValue{};
+    const auto parsed = obs::json_parse(*response);
+    EXPECT_TRUE(parsed.has_value()) << *response;
+    return parsed.value_or(obs::JsonValue{});
+  }
+
+  std::unique_ptr<service::Server> server_;
+  service::Client client_;
+};
+
+TEST_F(ServiceIntegration, PingReportsVersion) {
+  const auto r = roundtrip("{\"op\":\"ping\"}");
+  EXPECT_TRUE(r.get_bool("ok", false));
+  EXPECT_FALSE(r.get_string("version").empty());
+}
+
+TEST_F(ServiceIntegration, IdentifyThenHitByKey) {
+  const auto bytes = sample_binary();
+  const auto cold = roundtrip("{\"op\":\"identify\",\"elf\":\"" +
+                              service::b64_encode(bytes) + "\"}");
+  ASSERT_TRUE(cold.get_bool("ok", false)) << cold.get_string("error");
+  EXPECT_EQ(cold.get_string("cache"), "miss");
+  EXPECT_GT(cold.get_number("count", 0), 0.0);
+  const std::string key = cold.get_string("key");
+  ASSERT_FALSE(key.empty());
+
+  // Same content by key: result-layer hit, identical function list.
+  const auto hot = roundtrip("{\"op\":\"identify\",\"key\":\"" + key + "\"}");
+  ASSERT_TRUE(hot.get_bool("ok", false));
+  EXPECT_EQ(hot.get_string("cache"), "hit");
+  ASSERT_NE(cold.find("functions"), nullptr);
+  ASSERT_NE(hot.find("functions"), nullptr);
+  ASSERT_EQ(hot.find("functions")->items().size(), cold.find("functions")->items().size());
+  for (std::size_t i = 0; i < hot.find("functions")->items().size(); ++i)
+    EXPECT_EQ(hot.find("functions")->items()[i].as_string(""),
+              cold.find("functions")->items()[i].as_string(""));
+
+  // Re-uploading the same bytes dedups content-addressed, no key needed.
+  const auto dedup = roundtrip("{\"op\":\"identify\",\"elf\":\"" +
+                               service::b64_encode(bytes) + "\"}");
+  EXPECT_EQ(dedup.get_string("cache"), "hit");
+  EXPECT_EQ(dedup.get_string("key"), key);
+}
+
+TEST_F(ServiceIntegration, CompareRunsAllFourTools) {
+  const auto r = roundtrip("{\"op\":\"compare\",\"elf\":\"" +
+                           service::b64_encode(sample_binary()) + "\"}");
+  ASSERT_TRUE(r.get_bool("ok", false)) << r.get_string("error");
+  const obs::JsonValue* tools = r.find("tools");
+  ASSERT_NE(tools, nullptr);
+  ASSERT_EQ(tools->items().size(), 4u);
+  EXPECT_EQ(tools->items()[0].get_string("tool"), "FunSeeker");
+  for (const auto& t : tools->items()) EXPECT_GT(t.get_number("count", 0), 0.0);
+}
+
+TEST_F(ServiceIntegration, DisasmReturnsLines) {
+  const auto r = roundtrip("{\"op\":\"disasm\",\"elf\":\"" +
+                           service::b64_encode(sample_binary()) +
+                           "\",\"count\":16}");
+  ASSERT_TRUE(r.get_bool("ok", false)) << r.get_string("error");
+  const obs::JsonValue* lines = r.find("lines");
+  ASSERT_NE(lines, nullptr);
+  EXPECT_EQ(lines->items().size(), 16u);
+  EXPECT_FALSE(lines->items()[0].as_string("").empty());
+}
+
+TEST_F(ServiceIntegration, StatsReflectTraffic) {
+  roundtrip("{\"op\":\"identify\",\"elf\":\"" + service::b64_encode(sample_binary()) +
+            "\"}");
+  const auto r = roundtrip("{\"op\":\"stats\"}");
+  ASSERT_TRUE(r.get_bool("ok", false));
+  EXPECT_GE(r.get_number("requests", 0), 2.0);
+  const obs::JsonValue* cache = r.find("cache");
+  ASSERT_NE(cache, nullptr);
+  ASSERT_NE(cache->find("images"), nullptr);
+  EXPECT_GE(cache->find("images")->get_number("entries", -1), 1.0);
+}
+
+TEST_F(ServiceIntegration, RejectsBadRequestsWithoutDying) {
+  EXPECT_FALSE(roundtrip("{\"op\":\"identify\"}").get_bool("ok", true));
+  EXPECT_FALSE(roundtrip("{\"op\":\"identify\",\"elf\":\"!!notb64!!\"}").get_bool("ok", true));
+  EXPECT_FALSE(roundtrip("{\"op\":\"identify\",\"key\":\"bogus\"}").get_bool("ok", true));
+  EXPECT_FALSE(roundtrip("{\"op\":\"frobnicate\"}").get_bool("ok", true));
+  EXPECT_FALSE(roundtrip("this is not json").get_bool("ok", true));
+  // The daemon is still healthy afterwards.
+  EXPECT_TRUE(roundtrip("{\"op\":\"ping\"}").get_bool("ok", false));
+}
+
+TEST_F(ServiceIntegration, SurvivesHostileUploads) {
+  const auto base = sample_binary();
+  // One mutant per mutation family. Responses may be ok (salvage) or a
+  // structured error; the requirement is no crash and a live daemon.
+  for (const inject::FaultPlan& plan : inject::make_plans(7, inject::kMutationCount)) {
+    const auto mutant = inject::mutate(base, plan);
+    const auto r = roundtrip("{\"op\":\"identify\",\"elf\":\"" +
+                             service::b64_encode(mutant) + "\"}");
+    EXPECT_NE(r.find("ok"), nullptr) << plan.label();
+  }
+  EXPECT_TRUE(roundtrip("{\"op\":\"ping\"}").get_bool("ok", false));
+}
+
+TEST_F(ServiceIntegration, OversizedFrameIsRejectedAndConnectionDropped) {
+  // A length prefix way past kMaxFrameBytes. The server answers with a
+  // structured error, then closes (the stream cannot be resynced).
+  const std::uint32_t huge = service::kMaxFrameBytes + 1;
+  char prefix[4];
+  std::memcpy(prefix, &huge, 4);
+  ASSERT_TRUE(client_.send_bytes(std::string_view(prefix, 4)));
+  service::FrameStatus st = service::FrameStatus::kOk;
+  const auto r = client_.read_response(&st);
+  ASSERT_TRUE(r.has_value());
+  const auto parsed = obs::json_parse(*r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->get_bool("ok", true));
+  EXPECT_EQ(parsed->get_string("code"), "oversized");
+  // Connection is gone; a fresh one works.
+  EXPECT_FALSE(client_.request("{\"op\":\"ping\"}").has_value());
+  ASSERT_TRUE(client_.connect(server_->socket_path()));
+  EXPECT_TRUE(roundtrip("{\"op\":\"ping\"}").get_bool("ok", false));
+}
+
+TEST_F(ServiceIntegration, TruncatedFrameDropsConnectionOnly) {
+  // Announce 100 bytes, send 3, hang up: the reader sees a truncated
+  // frame and closes without wedging the daemon.
+  const std::uint32_t len = 100;
+  char prefix[4];
+  std::memcpy(prefix, &len, 4);
+  ASSERT_TRUE(client_.send_bytes(std::string_view(prefix, 4)));
+  ASSERT_TRUE(client_.send_bytes("abc"));
+  client_.close();
+  ASSERT_TRUE(client_.connect(server_->socket_path()));
+  EXPECT_TRUE(roundtrip("{\"op\":\"ping\"}").get_bool("ok", false));
+}
+
+TEST_F(ServiceIntegration, ShutdownOpStopsTheServer) {
+  const auto r = roundtrip("{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(r.get_bool("ok", false));
+  server_->wait();  // returns: the shutdown op triggered a full stop
+  // The socket is unlinked; new connections fail.
+  service::Client late;
+  EXPECT_FALSE(late.connect(server_->socket_path()));
+}
+
+TEST(ServiceInProcess, HandleNeverThrowsOnFuzzedRequests) {
+  service::Service svc;
+  const char* nasty[] = {
+      "",
+      "{",
+      "[]",
+      "42",
+      "{\"op\":\"identify\",\"elf\":123}",
+      "{\"op\":\"disasm\",\"elf\":\"AAAA\"}",
+      "{\"op\":\"compare\",\"key\":\"0000000000000000-0\"}",
+      "{\"op\":[1,2],\"elf\":null}",
+  };
+  for (const char* request : nasty) {
+    const service::Service::Outcome out = svc.handle(request);
+    EXPECT_FALSE(out.json.empty());
+    EXPECT_FALSE(out.ok) << request;
+  }
+}
+
+}  // namespace

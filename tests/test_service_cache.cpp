@@ -1,0 +1,224 @@
+// Concurrency and correctness tests for the cache substrate the fsrd
+// daemon rides: the util::LruCache template, the BinaryCache built on
+// it, and the content-addressed AnalysisCache. The stress tests run the
+// same workload at 1, 2, and 8 threads under a deliberately tight byte
+// budget, so lookups race evictions constantly — run them under TSan
+// (the CI sanitizer job does) to certify the locking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "synth/cache.hpp"
+#include "synth/corpus.hpp"
+#include "util/lru.hpp"
+
+using namespace fsr;
+
+namespace {
+
+using IntCache = util::LruCache<int, std::string>;
+
+std::shared_ptr<const std::string> val(const char* s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(LruCache, HitMissAndStats) {
+  IntCache cache(100);
+  EXPECT_EQ(cache.find(1), nullptr);
+  cache.insert(1, val("one"), 10);
+  const auto hit = cache.find(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "one");
+  const util::LruStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.bytes, 10u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  IntCache cache(30);
+  cache.insert(1, val("a"), 10);
+  cache.insert(2, val("b"), 10);
+  cache.insert(3, val("c"), 10);
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(cache.find(1), nullptr);
+  const auto out = cache.insert(4, val("d"), 10);
+  EXPECT_EQ(out.evicted, 1u);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr);  // evicted
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_NE(cache.find(4), nullptr);
+}
+
+TEST(LruCache, RejectsEntriesLargerThanBudgetButServesThem) {
+  IntCache cache(10);
+  const auto out = cache.insert(1, val("huge"), 50);
+  EXPECT_TRUE(out.rejected);
+  EXPECT_FALSE(out.inserted);
+  ASSERT_NE(out.resident, nullptr);  // caller still gets the value once
+  EXPECT_EQ(*out.resident, "huge");
+  EXPECT_EQ(cache.find(1), nullptr);  // but it was never retained
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(LruCache, FirstInsertWinsOnKeyRace) {
+  IntCache cache(100);
+  cache.insert(1, val("first"), 10);
+  const auto out = cache.insert(1, val("second"), 10);
+  EXPECT_FALSE(out.inserted);
+  ASSERT_NE(out.resident, nullptr);
+  EXPECT_EQ(*out.resident, "first");  // incumbent answers
+  EXPECT_EQ(cache.stats().bytes, 10u);
+}
+
+TEST(LruCache, EvictionDoesNotInvalidateLiveReaders) {
+  IntCache cache(10);
+  cache.insert(1, val("held"), 10);
+  const auto held = cache.find(1);
+  ASSERT_NE(held, nullptr);
+  cache.insert(2, val("evictor"), 10);  // evicts key 1
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(*held, "held");  // our shared_ptr still owns the value
+}
+
+TEST(LruCache, GetOrBuildsOnceOutsideLock) {
+  IntCache cache(100);
+  int builds = 0;
+  auto make = [&] {
+    ++builds;
+    return val("built");
+  };
+  auto cost = [](const std::string&) { return std::size_t{5}; };
+  EXPECT_EQ(*cache.get_or(7, make, cost), "built");
+  EXPECT_EQ(*cache.get_or(7, make, cost), "built");
+  EXPECT_EQ(builds, 1);
+}
+
+TEST(ContentId, RoundTripsThroughWireForm) {
+  const std::vector<std::uint8_t> bytes = {0xde, 0xad, 0xbe, 0xef};
+  const service::ContentId id = service::content_id(bytes);
+  EXPECT_EQ(id.size, 4u);
+  const auto back = service::ContentId::parse(id.to_string());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, id);
+  EXPECT_FALSE(service::ContentId::parse("").has_value());
+  EXPECT_FALSE(service::ContentId::parse("nothexnothexnoth-12").has_value());
+  EXPECT_FALSE(service::ContentId::parse("0123456789abcdef_12").has_value());
+  EXPECT_FALSE(service::ContentId::parse("0123456789abcdef-").has_value());
+}
+
+TEST(ContentId, DistinctBytesDistinctIds) {
+  const std::vector<std::uint8_t> a = {1, 2, 3};
+  std::vector<std::uint8_t> b = a;
+  b.push_back(4);
+  EXPECT_FALSE(service::content_id(a) == service::content_id(b));
+  std::vector<std::uint8_t> c = a;
+  c[0] = 9;
+  EXPECT_FALSE(service::content_id(a) == service::content_id(c));
+}
+
+/// The stress workload: T threads hammer a cache whose budget only fits
+/// a fraction of the working set, so every thread's lookups race other
+/// threads' insert-evict cycles.
+void stress_binary_cache(std::size_t threads) {
+  // A budget of ~2 entries for an 8-config working set.
+  synth::BinaryCache cache(2 * (128 << 10));
+  const auto configs = synth::corpus_configs(0.25);
+  ASSERT_GE(configs.size(), 4u);
+
+  // Cold-path truth: what an uncached generation returns.
+  std::vector<std::vector<std::uint8_t>> expected;
+  for (const auto& cfg : configs)
+    expected.push_back(synth::make_binary(cfg).stripped_bytes());
+
+  std::atomic<bool> failed{false};
+  auto worker = [&](unsigned seed) {
+    for (int round = 0; round < 12 && !failed.load(); ++round) {
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        const std::size_t pick = (i + seed) % configs.size();
+        const auto entry = cache.get(configs[pick]);
+        if (entry == nullptr || entry->stripped_bytes() != expected[pick]) {
+          failed.store(true);
+          return;
+        }
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, static_cast<unsigned>(t));
+  for (auto& t : pool) t.join();
+  EXPECT_FALSE(failed.load()) << "cached entry differed from cold generation";
+  EXPECT_GT(cache.misses(), 0u);
+  if (threads > 1) EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(BinaryCacheStress, OneThread) { stress_binary_cache(1); }
+TEST(BinaryCacheStress, TwoThreads) { stress_binary_cache(2); }
+TEST(BinaryCacheStress, EightThreads) { stress_binary_cache(8); }
+
+/// Same discipline for the daemon's cache: concurrent image lookups and
+/// inserts under a budget that forces eviction, with hit results
+/// required to be bit-identical to the cold path.
+void stress_analysis_cache(std::size_t threads) {
+  const auto configs = synth::corpus_configs(0.25);
+  std::vector<std::vector<std::uint8_t>> binaries;
+  std::vector<std::vector<std::uint64_t>> expected;  // cold-path FunSeeker answers
+  for (const auto& cfg : configs) {
+    if (cfg.machine == elf::Machine::kArm64) continue;
+    binaries.push_back(synth::make_binary(cfg).stripped_bytes());
+    const service::CachedImage cold = service::make_cached_image(binaries.back());
+    expected.push_back(
+        eval::run_tool_on(eval::Tool::kFunSeeker, cold.image, cold.decode, {}, nullptr)
+            .found);
+    if (binaries.size() == 6) break;
+  }
+  ASSERT_GE(binaries.size(), 4u);
+
+  // Budget ≈ two images: constant eviction pressure.
+  service::AnalysisCache cache(2 * service::make_cached_image(binaries[0]).approx_bytes());
+
+  std::atomic<bool> failed{false};
+  auto worker = [&](unsigned seed) {
+    for (int round = 0; round < 8 && !failed.load(); ++round) {
+      for (std::size_t i = 0; i < binaries.size(); ++i) {
+        const std::size_t pick = (i + seed) % binaries.size();
+        const service::ContentId id = service::content_id(binaries[pick]);
+        auto img = cache.find_image(id);
+        if (img == nullptr)
+          img = cache.insert_image(
+              id, std::make_shared<const service::CachedImage>(
+                      service::make_cached_image(binaries[pick])));
+        const service::ResultKey rk{id, static_cast<int>(eval::Tool::kFunSeeker), 4};
+        auto result = cache.find_result(rk);
+        if (result == nullptr)
+          result = cache.insert_result(
+              rk, eval::run_tool_on(eval::Tool::kFunSeeker, img->image, img->decode, {},
+                                    nullptr));
+        if (result == nullptr || result->found != expected[pick]) {
+          failed.store(true);
+          return;
+        }
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, static_cast<unsigned>(t));
+  for (auto& t : pool) t.join();
+  EXPECT_FALSE(failed.load()) << "cache hit differed from the cold path";
+  const util::LruStats s = cache.image_stats();
+  EXPECT_GT(s.misses, 0u);
+  EXPECT_GT(s.evictions + s.rejected, 0u);  // the tight budget did its job
+}
+
+TEST(AnalysisCacheStress, OneThread) { stress_analysis_cache(1); }
+TEST(AnalysisCacheStress, TwoThreads) { stress_analysis_cache(2); }
+TEST(AnalysisCacheStress, EightThreads) { stress_analysis_cache(8); }
+
+}  // namespace

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "synth/corpus.hpp"
 #include "util/error.hpp"
 #include "util/str.hpp"
+#include "util/version.hpp"
 #include "x86/format.hpp"
 #include "x86/sweep.hpp"
 
@@ -54,6 +56,7 @@ namespace {
                "  gen <out.elf> [--suite coreutils|binutils|spec]\n"
                "                [--compiler gcc|clang] [--opt O0..Ofast]\n"
                "                [--arch x86|x64|arm64] [--pie|--no-pie] [--prog N]\n"
+               "  --version     print version and exit\n"
                "observability (any command; also REPRO_TRACE/REPRO_METRICS/REPRO_REPORT):\n"
                "  --trace-out FILE      Chrome trace-event JSON (Perfetto-loadable)\n"
                "  --metrics-out FILE    counters/gauges/latency-percentile snapshot\n"
@@ -68,13 +71,23 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
                                    std::istreambuf_iterator<char>());
 }
 
-/// Trivial flag parser: --key value pairs after the positional args.
-std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+/// Trivial flag parser: --key value pairs after the positional args,
+/// checked against the command's allowlist. A typo'd or misplaced flag
+/// used to be accepted here and then silently ignored by the command;
+/// now it is a usage error (nonzero exit).
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first,
+                                               const std::vector<const char*>& allowed) {
+  auto known = [&](const std::string& key) {
+    for (const char* a : allowed)
+      if (key == a) return true;
+    return false;
+  };
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) throw UsageError("unexpected argument " + key);
     key = key.substr(2);
+    if (!known(key)) throw UsageError("unknown flag --" + key);
     if (key == "pie" || key == "no-pie" || key == "keep-going" ||
         key == "strict") {
       flags[key] = "1";
@@ -349,11 +362,28 @@ int cmd_gen(const std::string& out, const std::map<std::string, std::string>& fl
   return 0;
 }
 
+/// Per-command flag allowlist; unknown commands return nullopt.
+std::optional<std::vector<const char*>> allowed_flags(const std::string& command) {
+  if (command == "identify") return {{"config"}};
+  if (command == "info" || command == "eh") return {{}};
+  if (command == "disasm") return {{"at", "n"}};
+  if (command == "cfg") return {{"at"}};
+  if (command == "compare") return {{"keep-going", "strict"}};
+  if (command == "gen")
+    return {{"suite", "compiler", "opt", "arch", "prog", "pie", "no-pie"}};
+  return std::nullopt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   obs::init_from_env();
+  obs::install_signal_flush();  // ^C must still flush --trace-out etc.
   argc = obs::parse_cli_flags(argc, argv);  // --trace-out / --metrics-out / --report-out
+  if (argc == 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("fsr (%s) %s\n", util::kProjectName, util::kVersion);
+    return 0;
+  }
   if (argc < 3) usage();
   const std::string command = argv[1];
   // Positional arguments run until the first --flag; compare accepts
@@ -363,13 +393,15 @@ int main(int argc, char** argv) {
   while (first_flag < argc &&
          std::strncmp(argv[first_flag], "--", 2) != 0)
     targets.push_back(argv[first_flag++]);
+  const auto allowed = allowed_flags(command);
+  if (!allowed.has_value()) usage();  // unknown subcommand: exit 2
   int rc = 0;
   try {
     if (targets.empty()) throw UsageError(command + " needs a file argument");
     if (targets.size() > 1 && command != "compare")
       throw UsageError(command + " takes exactly one file");
     const std::string& target = targets.front();
-    const auto flags = parse_flags(argc, argv, first_flag);
+    const auto flags = parse_flags(argc, argv, first_flag, *allowed);
     if (command == "identify") rc = cmd_identify(target, flags);
     else if (command == "info") rc = cmd_info(target);
     else if (command == "disasm") rc = cmd_disasm(target, flags);

@@ -1,0 +1,121 @@
+// fsrd — persistent analysis daemon for the FunSeeker reproduction.
+//
+//   fsrd --socket /run/fsrd.sock [--threads N] [--cache-mb N]
+//        [--time-budget SECONDS]
+//
+// Listens on a Unix-domain socket for length-prefixed JSON requests
+// (identify / compare / disasm / stats / ping / shutdown — see
+// src/service/proto.hpp for the framing and field reference) and
+// serves them out of a content-addressed analysis cache: repeated
+// queries against the same ELF bytes skip parsing and decoding
+// entirely. SIGINT/SIGTERM drain in-flight requests and flush the
+// configured obs artifacts before exiting.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+#include "util/version.hpp"
+
+using namespace fsr;
+
+namespace {
+
+[[noreturn]] void usage(int rc) {
+  std::fprintf(rc == 0 ? stdout : stderr,
+               "usage: fsrd --socket PATH [options]\n"
+               "  --socket PATH        Unix-domain socket to listen on (required)\n"
+               "  --threads N          analysis pool workers (default: REPRO_THREADS or cores)\n"
+               "  --cache-mb N         analysis cache budget in MiB (default: REPRO_CACHE_MB or 768)\n"
+               "  --time-budget SEC    per-request deadline (default: REPRO_TIME_BUDGET or unlimited)\n"
+               "  --version            print version and exit\n"
+               "  --help               this text\n"
+               "observability (also REPRO_TRACE/REPRO_METRICS/REPRO_REPORT):\n"
+               "  --trace-out FILE     Chrome trace-event JSON\n"
+               "  --metrics-out FILE   counters/gauges/latency snapshot\n"
+               "  --report-out FILE    per-request JSONL reports\n");
+  std::exit(rc);
+}
+
+long parse_long(const char* flag, const char* text) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "fsrd: %s needs a non-negative integer, got '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::init_from_env();
+  argc = obs::parse_cli_flags(argc, argv);
+
+  service::ServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fsrd: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--version") {
+      std::printf("fsrd (%s) %s\n", util::kProjectName, util::kVersion);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--socket") {
+      opts.socket_path = value();
+    } else if (arg == "--threads") {
+      opts.threads = static_cast<std::size_t>(parse_long("--threads", value()));
+    } else if (arg == "--cache-mb") {
+      opts.service.cache_bytes = static_cast<std::size_t>(parse_long("--cache-mb", value())) << 20;
+    } else if (arg == "--time-budget") {
+      char* end = nullptr;
+      const char* text = value();
+      const double v = std::strtod(text, &end);
+      if (end == text || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "fsrd: --time-budget needs a non-negative number, got '%s'\n", text);
+        return 2;
+      }
+      opts.service.request_deadline_seconds = v;
+    } else {
+      std::fprintf(stderr, "fsrd: unknown argument '%s'\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (opts.socket_path.empty()) {
+    std::fprintf(stderr, "fsrd: --socket PATH is required\n");
+    usage(2);
+  }
+
+  int rc = 0;
+  try {
+    service::Server server(std::move(opts));
+    server.start();
+    // Signals notify the accept loop through the self-pipe; the normal
+    // shutdown path below then drains and flushes.
+    obs::install_signal_flush();
+    obs::set_signal_notify_fd(server.signal_notify_fd());
+    std::fprintf(stderr, "fsrd %s listening on %s (%zu workers)\n", util::kVersion,
+                 server.socket_path().c_str(), server.workers());
+    server.wait();
+    obs::set_signal_notify_fd(-1);
+    if (const int sig = obs::last_signal(); sig != 0)
+      std::fprintf(stderr, "fsrd: exiting on signal %d\n", sig);
+    else
+      std::fprintf(stderr, "fsrd: exiting on shutdown request\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fsrd: %s\n", e.what());
+    rc = 1;
+  }
+  obs::write_outputs();
+  return rc;
+}
