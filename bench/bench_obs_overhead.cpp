@@ -1,6 +1,10 @@
 // Overhead gate for the observability layer: the corpus engine run with
-// tracing + metrics fully enabled must stay within a few percent of the
-// disabled run, and must produce bit-identical precision/recall.
+// tracing + metrics + the structured event log fully enabled must stay
+// within a few percent of the disabled run, and must produce
+// bit-identical precision/recall. Since PR 8 the "on" mode also
+// exercises the rolling-window histograms (eval.binary_ns) and the
+// per-binary event log records, so the gate prices the whole live
+// telemetry surface, not just spans and counters.
 //
 // Method: one untimed warmup pass populates the BinaryCache (so both
 // modes time analysis, not generation), then alternating off/on passes;
@@ -19,6 +23,7 @@
 
 #include "bench_common.hpp"
 #include "eval/runner.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "synth/cache.hpp"
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
   // Warmup: generate every binary once so the timed passes hit the cache.
   obs::set_trace_enabled(false);
   obs::set_metrics_enabled(false);
+  obs::set_log_enabled(false);
   const Pass warmup = run_pass(configs);
 
   double min_off = -1.0, min_on = -1.0;
@@ -82,13 +88,16 @@ int main(int argc, char** argv) {
   for (int rep = 0; rep < reps; ++rep) {
     obs::set_trace_enabled(false);
     obs::set_metrics_enabled(false);
+    obs::set_log_enabled(false);
     const Pass off = run_pass(configs);
     if (min_off < 0.0 || off.wall_seconds < min_off) min_off = off.wall_seconds;
     off_pass = off;
 
     obs::set_trace_enabled(true);
     obs::set_metrics_enabled(true);
+    obs::set_log_enabled(true);
     obs::clear_trace();  // fresh rings each rep: steady-state cost, not growth
+    obs::clear_log();
     obs::Registry::instance().reset();
     const Pass on = run_pass(configs);
     if (min_on < 0.0 || on.wall_seconds < min_on) min_on = on.wall_seconds;
@@ -96,6 +105,7 @@ int main(int argc, char** argv) {
   }
   obs::set_trace_enabled(false);
   obs::set_metrics_enabled(false);
+  obs::set_log_enabled(false);
 
   const bool scores_equal =
       same_scores(off_pass, on_pass) && same_scores(warmup, on_pass);
@@ -105,6 +115,7 @@ int main(int argc, char** argv) {
   const bool overhead_ok = !gated || overhead <= max_overhead;
 
   const obs::TraceStats ts = obs::trace_stats();
+  const obs::LogStats ls = obs::log_stats();
   std::printf("obs overhead gate over %zu binaries (%d reps, min wall)\n",
               on_pass.binaries, reps);
   std::printf("  disabled: %.4fs   enabled: %.4fs   delta: %+.4fs (%+.2f%%)\n",
@@ -112,6 +123,10 @@ int main(int argc, char** argv) {
   std::printf("  spans recorded: %llu (dropped %llu) on %zu threads\n",
               static_cast<unsigned long long>(ts.recorded),
               static_cast<unsigned long long>(ts.dropped), ts.threads);
+  std::printf("  log events recorded: %llu (dropped %llu, suppressed %llu)\n",
+              static_cast<unsigned long long>(ls.recorded),
+              static_cast<unsigned long long>(ls.dropped),
+              static_cast<unsigned long long>(ls.suppressed));
   std::printf("  P/R identical off vs on: %s\n", scores_equal ? "yes" : "NO");
   if (!gated)
     std::printf("  overhead assert skipped: delta under %.0f ms absolute slack\n",
@@ -135,6 +150,12 @@ int main(int argc, char** argv) {
     std::fprintf(out, "  \"overhead_gated\": %s,\n", gated ? "true" : "false");
     std::fprintf(out, "  \"spans_recorded\": %llu,\n",
                  static_cast<unsigned long long>(ts.recorded));
+    std::fprintf(out, "  \"log_events_recorded\": %llu,\n",
+                 static_cast<unsigned long long>(ls.recorded));
+    std::fprintf(out, "  \"log_events_dropped\": %llu,\n",
+                 static_cast<unsigned long long>(ls.dropped));
+    std::fprintf(out, "  \"log_events_suppressed\": %llu,\n",
+                 static_cast<unsigned long long>(ls.suppressed));
     std::fprintf(out, "  \"scores_identical\": %s,\n", scores_equal ? "true" : "false");
     std::fprintf(out, "  \"pass\": %s\n",
                  scores_equal && overhead_ok ? "true" : "false");

@@ -9,9 +9,11 @@
 #include "baselines/ida_like.hpp"
 #include "elf/reader.hpp"
 #include "elf/writer.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
@@ -48,6 +50,9 @@ struct RunnerMetrics {
   obs::Counter& errors_encode = obs::counter("errors.encode");
   obs::Counter& errors_timeout = obs::counter("errors.timeout");
   obs::Counter& errors_other = obs::counter("errors.other");
+  /// Rolling per-binary wall window: `fsr --metrics-out` and the fsrd
+  /// `metrics` op report a live corpus rate, not just lifetime totals.
+  obs::WindowHistogram& binary_window = obs::window("eval.binary_ns");
 };
 
 RunnerMetrics& runner_metrics() {
@@ -332,6 +337,7 @@ void CorpusRunner::run(const std::vector<synth::BinaryConfig>& configs,
         // inherits this binary's index as its trace id.
         obs::ScopedItemId item(i);
         TRACE_SPAN("binary", i);
+        util::Stopwatch binary_watch;
         BinaryResult r;
         // Per-binary time budget, cooperative: sweeps, traversals, and
         // lenient parsers break early once it expires; expiry is
@@ -388,6 +394,27 @@ void CorpusRunner::run(const std::vector<synth::BinaryConfig>& configs,
         // that merely ran over budget (cooperative expiry, no throw)
         // keeps its complete, per-tool-partial results.
         if (r.per_job.size() != jobs_.size()) r.per_job.clear();
+        // Live telemetry: per-binary wall feeds the rolling window, and
+        // the event log hears every completion — debug for the normal
+        // case, warn (with the containment reason) for a failed one.
+        const std::uint64_t binary_ns = binary_watch.elapsed_ns();
+        if (obs::metrics_enabled())
+          runner_metrics().binary_window.record(binary_ns);
+        if (obs::log_enabled()) {
+          if (r.ok()) {
+            obs::log_event(obs::Severity::kDebug, "binary.done",
+                           obs::LogFields{}
+                               .str("binary", configs[i].name())
+                               .integer("wall_us", binary_ns / 1000));
+          } else {
+            obs::log_event(obs::Severity::kWarn, "binary.contained",
+                           obs::LogFields{}
+                               .str("binary", configs[i].name())
+                               .str("status", to_string(r.status))
+                               .str("error", r.error)
+                               .integer("wall_us", binary_ns / 1000));
+          }
+        }
         return r;
       },
       [&](std::size_t i, BinaryResult&& r) {

@@ -1,0 +1,494 @@
+#include "obs/eventlog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace fsr::obs {
+
+namespace detail {
+std::atomic<bool> g_log_enabled{false};
+}  // namespace detail
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "info";
+}
+
+void set_log_enabled(bool on) {
+  detail::g_log_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------ LogFields
+
+namespace {
+
+void append_member_key(std::string& out, std::string_view key) {
+  if (!out.empty()) out += ',';
+  out += '"';
+  out += json_escape(key);
+  out += "\":";
+}
+
+}  // namespace
+
+LogFields& LogFields::str(std::string_view key, std::string_view value) {
+  append_member_key(body_, key);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+LogFields& LogFields::num(std::string_view key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  append_member_key(body_, key);
+  body_ += buf;
+  return *this;
+}
+
+LogFields& LogFields::integer(std::string_view key, std::uint64_t value) {
+  append_member_key(body_, key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+LogFields& LogFields::boolean(std::string_view key, bool value) {
+  append_member_key(body_, key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+LogFields& LogFields::raw(std::string_view key, std::string_view json) {
+  append_member_key(body_, key);
+  body_ += json;
+  return *this;
+}
+
+// ----------------------------------------------------------- ring slots
+
+namespace {
+
+/// Seqlocked event slot. Every member is an atomic, so a reader racing
+/// the owning writer never has a data race; the version counter tells
+/// it whether the snapshot it copied is consistent (even and unchanged
+/// across the copy) or must be discarded.
+struct Slot {
+  static constexpr std::size_t kTextBytes = 1920;
+  static constexpr std::size_t kTextWords = kTextBytes / 8;
+  static constexpr std::uint32_t kMaxNameBytes = 128;
+
+  std::atomic<std::uint64_t> version{0};
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::atomic<std::uint64_t> request_id{0};
+  std::atomic<std::uint64_t> suppressed{0};
+  std::atomic<std::uint32_t> severity{0};
+  std::atomic<std::uint32_t> name_len{0};
+  std::atomic<std::uint32_t> fields_len{0};
+  std::atomic<std::uint32_t> truncated{0};
+  std::atomic<std::uint64_t> text[kTextWords];
+};
+
+struct LogBuffer {
+  std::unique_ptr<Slot[]> ring;
+  std::size_t capacity = 0;
+  std::atomic<std::uint64_t> recorded{0};
+  /// Streaming cursor: events below this recorded-index have been
+  /// appended to the stream file. Guarded by the stream mutex.
+  std::uint64_t drained = 0;
+};
+
+struct LogState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<LogBuffer>> buffers;
+  std::size_t capacity = 1024;  // events per thread (~2 MiB, lazily allocated)
+};
+
+LogState& state() {
+  static LogState* s = new LogState;  // never destroyed: threads may outlive main
+  return *s;
+}
+
+std::atomic<std::uint64_t> g_seq{0};
+std::atomic<std::uint64_t> g_suppressed{0};
+std::atomic<std::uint64_t> g_rate_limit{128};  // events / thread / name / second
+
+LogBuffer& local_buffer() {
+  thread_local std::shared_ptr<LogBuffer> buf = [] {
+    auto b = std::make_shared<LogBuffer>();
+    LogState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    b->capacity = s.capacity;
+    b->ring = std::make_unique<Slot[]>(b->capacity);
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+/// Per-thread token bucket keyed by event name: `count` admissions in
+/// second `sec`, `suppressed` rejections awaiting the next admission.
+struct RateState {
+  std::uint64_t sec = ~std::uint64_t{0};
+  std::uint64_t count = 0;
+  std::uint64_t suppressed = 0;
+};
+
+std::unordered_map<std::string, RateState>& rate_map() {
+  // Plain thread_local (not leaked like the ring, which the exporter
+  // must outlive): nothing reads another thread's rate state, and a
+  // per-connection daemon thread must not leak its map on exit.
+  thread_local std::unordered_map<std::string, RateState> m;
+  return m;
+}
+
+void store_text(Slot& s, std::string_view name, std::string_view fields) {
+  char buf[Slot::kTextBytes];
+  if (!name.empty()) std::memcpy(buf, name.data(), name.size());
+  // A dropped field body arrives as a default view whose data() is null.
+  if (!fields.empty())
+    std::memcpy(buf + name.size(), fields.data(), fields.size());
+  const std::size_t bytes = name.size() + fields.size();
+  const std::size_t words = (bytes + 7) / 8;
+  if (const std::size_t tail = words * 8 - bytes; tail != 0)
+    std::memset(buf + bytes, 0, tail);
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t word;
+    std::memcpy(&word, buf + w * 8, 8);
+    s.text[w].store(word, std::memory_order_relaxed);
+  }
+}
+
+/// Copy one slot under its seqlock. False when the slot is empty or the
+/// writer lapped us during the copy (the event was overwritten anyway).
+bool read_slot(const Slot& s, LogEvent& out) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint64_t v1 = s.version.load(std::memory_order_acquire);
+    if ((v1 & 1) != 0) continue;  // mid-write
+    LogEvent e;
+    e.seq = s.seq.load(std::memory_order_relaxed);
+    e.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+    e.request_id = s.request_id.load(std::memory_order_relaxed);
+    e.suppressed = s.suppressed.load(std::memory_order_relaxed);
+    e.severity = static_cast<Severity>(
+        s.severity.load(std::memory_order_relaxed) & 0x3);
+    e.truncated = s.truncated.load(std::memory_order_relaxed) != 0;
+    std::uint32_t nlen = s.name_len.load(std::memory_order_relaxed);
+    std::uint32_t flen = s.fields_len.load(std::memory_order_relaxed);
+    nlen = std::min<std::uint32_t>(nlen, Slot::kTextBytes);
+    flen = std::min<std::uint32_t>(flen, Slot::kTextBytes - nlen);
+    char buf[Slot::kTextBytes];
+    const std::size_t words = (static_cast<std::size_t>(nlen) + flen + 7) / 8;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t word = s.text[w].load(std::memory_order_relaxed);
+      std::memcpy(buf + w * 8, &word, 8);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.version.load(std::memory_order_relaxed) != v1) continue;
+    if (e.seq == 0) return false;  // never written
+    e.event.assign(buf, nlen);
+    e.fields.assign(buf + nlen, flen);
+    out = std::move(e);
+    return true;
+  }
+  return false;  // writer keeps lapping this slot; its event is gone anyway
+}
+
+/// Retained events of one buffer with recorded-index in [from, n).
+/// Caller provides n = recorded.load(acquire).
+void collect_buffer(const LogBuffer& b, std::uint64_t from, std::uint64_t n,
+                    std::vector<LogEvent>& out) {
+  const std::uint64_t cap = b.capacity;
+  const std::uint64_t oldest = n > cap ? n - cap : 0;
+  for (std::uint64_t k = std::max(from, oldest); k < n; ++k) {
+    LogEvent e;
+    if (read_slot(b.ring[static_cast<std::size_t>(k % cap)], e))
+      out.push_back(std::move(e));
+  }
+}
+
+std::vector<LogEvent> collect_all() {
+  std::vector<LogEvent> events;
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& b : s.buffers)
+    collect_buffer(*b, 0, b->recorded.load(std::memory_order_acquire), events);
+  std::sort(events.begin(), events.end(),
+            [](const LogEvent& a, const LogEvent& b) { return a.seq < b.seq; });
+  return events;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- record path
+
+namespace detail {
+
+void log_event_at(Severity sev, std::string_view event, const LogFields& fields,
+                  std::uint64_t ts_ns) {
+  if (!log_enabled()) return;
+
+  // Rate limit before touching the ring: repeated events burn a map
+  // lookup and nothing else.
+  RateState& rs = rate_map()[std::string(event)];
+  const std::uint64_t sec = ts_ns / 1000000000ull;
+  if (rs.sec != sec) {
+    rs.sec = sec;
+    rs.count = 0;
+  }
+  if (rs.count >= g_rate_limit.load(std::memory_order_relaxed)) {
+    ++rs.suppressed;
+    g_suppressed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++rs.count;
+  const std::uint64_t carried = rs.suppressed;
+  rs.suppressed = 0;
+
+  LogBuffer& b = local_buffer();
+  const std::uint64_t n = b.recorded.load(std::memory_order_relaxed);
+  Slot& s = b.ring[static_cast<std::size_t>(n % b.capacity)];
+
+  std::string_view name = event.substr(0, Slot::kMaxNameBytes);
+  std::string_view body = fields.body();
+  bool truncated = false;
+  if (name.size() + body.size() > Slot::kTextBytes) {
+    // The field body is rendered JSON; cutting it mid-member would
+    // corrupt the line, so an oversized body is dropped whole.
+    body = {};
+    truncated = true;
+  }
+
+  const std::uint64_t v = s.version.load(std::memory_order_relaxed);
+  s.version.store(v + 1, std::memory_order_relaxed);  // odd: write in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  s.seq.store(g_seq.fetch_add(1, std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+  s.ts_ns.store(ts_ns, std::memory_order_relaxed);
+  s.request_id.store(current_item_id(), std::memory_order_relaxed);
+  s.suppressed.store(carried, std::memory_order_relaxed);
+  s.severity.store(static_cast<std::uint32_t>(sev), std::memory_order_relaxed);
+  s.name_len.store(static_cast<std::uint32_t>(name.size()),
+                   std::memory_order_relaxed);
+  s.fields_len.store(static_cast<std::uint32_t>(body.size()),
+                     std::memory_order_relaxed);
+  s.truncated.store(truncated ? 1 : 0, std::memory_order_relaxed);
+  store_text(s, name, body);
+  s.version.store(v + 2, std::memory_order_release);  // even: consistent
+
+  b.recorded.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void log_event(Severity sev, std::string_view event) {
+  detail::log_event_at(sev, event, LogFields{}, now_ns());
+}
+
+void log_event(Severity sev, std::string_view event, const LogFields& fields) {
+  detail::log_event_at(sev, event, fields, now_ns());
+}
+
+// -------------------------------------------------------------- queries
+
+LogStats log_stats() {
+  LogStats out;
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  out.threads = s.buffers.size();
+  for (const auto& b : s.buffers) {
+    const std::uint64_t n = b->recorded.load(std::memory_order_acquire);
+    out.recorded += n;
+    if (n > b->capacity) out.dropped += n - b->capacity;
+  }
+  out.suppressed = g_suppressed.load(std::memory_order_relaxed);
+  return out;
+}
+
+void set_log_buffer_capacity(std::size_t events) {
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.capacity = events < 8 ? 8 : events;
+}
+
+void set_log_rate_limit(std::uint64_t per_second) {
+  g_rate_limit.store(per_second < 1 ? 1 : per_second, std::memory_order_relaxed);
+}
+
+std::vector<LogEvent> log_tail(std::size_t max) {
+  std::vector<LogEvent> events = collect_all();
+  if (events.size() > max)
+    events.erase(events.begin(),
+                 events.begin() + static_cast<std::ptrdiff_t>(events.size() - max));
+  return events;
+}
+
+std::string LogEvent::to_json() const {
+  std::string out = "{\"seq\":" + std::to_string(seq);
+  out += ",\"ts_ns\":" + std::to_string(ts_ns);
+  out += ",\"sev\":\"";
+  out += obs::to_string(severity);
+  out += "\",\"req\":" + std::to_string(request_id);
+  out += ",\"event\":\"";
+  out += json_escape(event);
+  out += '"';
+  if (!fields.empty()) {
+    out += ',';
+    out += fields;
+  }
+  if (suppressed != 0) out += ",\"suppressed\":" + std::to_string(suppressed);
+  if (truncated) out += ",\"truncated\":true";
+  out += '}';
+  return out;
+}
+
+std::string log_jsonl() {
+  std::string out;
+  for (const LogEvent& e : collect_all()) {
+    out += e.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_log(const std::string& path) {
+  const std::string text = log_jsonl();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// ------------------------------------------------------------ streaming
+
+namespace {
+
+struct StreamState {
+  std::mutex mutex;  // guards file/path and the buffers' drained cursors
+  std::FILE* file = nullptr;
+  std::string path;
+
+  std::thread flusher;
+  std::mutex cv_mutex;
+  std::condition_variable cv;
+  bool stop = false;
+  bool atexit_registered = false;
+};
+
+StreamState& stream() {
+  static StreamState* s = new StreamState;
+  return *s;
+}
+
+/// Append every not-yet-drained event to the stream file. Batches are
+/// sorted by seq; across batches, a writer that stalled mid-record can
+/// land a lower seq in a later batch — consumers sort on the embedded
+/// seq when exact global order matters.
+void drain_locked(StreamState& st) {
+  if (st.file == nullptr) return;
+  std::vector<LogEvent> batch;
+  {
+    LogState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& b : s.buffers) {
+      const std::uint64_t n = b->recorded.load(std::memory_order_acquire);
+      collect_buffer(*b, b->drained, n, batch);
+      b->drained = n;
+    }
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const LogEvent& a, const LogEvent& b) { return a.seq < b.seq; });
+  for (const LogEvent& e : batch) {
+    const std::string line = e.to_json();
+    std::fwrite(line.data(), 1, line.size(), st.file);
+    std::fputc('\n', st.file);
+  }
+  if (!batch.empty()) std::fflush(st.file);
+}
+
+void stop_flusher(StreamState& st) {
+  if (!st.flusher.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(st.cv_mutex);
+    st.stop = true;
+  }
+  st.cv.notify_all();
+  st.flusher.join();
+  st.stop = false;
+}
+
+}  // namespace
+
+void drain_log_stream() {
+  StreamState& st = stream();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  drain_locked(st);
+}
+
+void set_log_stream_path(const std::string& path) {
+  StreamState& st = stream();
+  stop_flusher(st);
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (st.file != nullptr) {
+      drain_locked(st);
+      std::fclose(st.file);
+      st.file = nullptr;
+      st.path.clear();
+    }
+    if (!path.empty()) {
+      st.file = std::fopen(path.c_str(), "a");
+      if (st.file != nullptr) st.path = path;
+    }
+  }
+  if (st.file == nullptr) return;
+
+  set_log_enabled(true);
+  if (!st.atexit_registered) {
+    st.atexit_registered = true;
+    // Normal exit: join the flusher and close the file before stdio
+    // teardown. Fatal signals skip this — the periodic drain is what
+    // preserves the log in that case.
+    std::atexit([] { set_log_stream_path(""); });
+  }
+  st.flusher = std::thread([&st] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(st.cv_mutex);
+        st.cv.wait_for(lock, std::chrono::milliseconds(200),
+                       [&st] { return st.stop; });
+        if (st.stop) return;
+      }
+      drain_log_stream();
+    }
+  });
+}
+
+void clear_log() {
+  StreamState& st = stream();
+  std::lock_guard<std::mutex> stream_lock(st.mutex);
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& b : s.buffers) {
+    b->recorded.store(0, std::memory_order_release);
+    b->drained = 0;
+  }
+}
+
+}  // namespace fsr::obs

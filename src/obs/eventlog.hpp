@@ -1,0 +1,137 @@
+// Structured event log: what is the process *doing*, as data.
+//
+// The trace/metrics/report trio from PR 3 is batch-shaped — buffered in
+// memory, flushed at exit. A long-lived daemon needs a live log:
+// events appear on disk while the process runs, a `tail` query can
+// return the newest entries over the wire, and a repeated event cannot
+// flood either.
+//
+// Write path: one event is one slot in a lock-free per-thread ring.
+// Slots are seqlocked arrays of atomics (version counter around relaxed
+// word stores), so a concurrent export — the daemon's `tail` op racing
+// live request threads — copies a consistent snapshot or skips the slot
+// entirely; there is no mutex anywhere on the record path and no data
+// race anywhere at all (TSan-clean by construction). Each event carries
+// a global sequence number, a steady-clock timestamp, a severity, the
+// ambient request/item id (obs::ScopedItemId — the same mechanism spans
+// use), an event name, and a pre-rendered JSON field body.
+//
+// Rate limiting: at most `rate limit` events per (thread, name) per
+// second are admitted; the rest are counted, and the next admitted
+// event of that name carries a "suppressed" tally so nothing vanishes
+// silently.
+//
+// Export: JSONL, one self-describing object per line, merged across
+// thread rings in sequence order. Two modes:
+//  - snapshot (log_jsonl / write_log): everything currently retained;
+//  - streaming (set_log_stream_path): a background flusher appends new
+//    events to the file every ~200 ms, so a SIGKILLed daemon still
+//    leaves its log behind — no atexit required.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsr::obs {
+
+enum class Severity : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+const char* to_string(Severity s);
+
+namespace detail {
+extern std::atomic<bool> g_log_enabled;
+}  // namespace detail
+
+/// Record-path gate: one relaxed load. Call sites that build LogFields
+/// should check this first so a disabled log costs nothing.
+inline bool log_enabled() {
+  return detail::g_log_enabled.load(std::memory_order_relaxed);
+}
+
+void set_log_enabled(bool on);
+
+/// Incrementally rendered JSON members for one event ("k":v,"k2":v2).
+/// String values are escaped; raw() trusts the caller's JSON.
+class LogFields {
+ public:
+  LogFields& str(std::string_view key, std::string_view value);
+  LogFields& num(std::string_view key, double value);
+  LogFields& integer(std::string_view key, std::uint64_t value);
+  LogFields& boolean(std::string_view key, bool value);
+  LogFields& raw(std::string_view key, std::string_view json);
+  [[nodiscard]] const std::string& body() const { return body_; }
+  [[nodiscard]] bool empty() const { return body_.empty(); }
+
+ private:
+  std::string body_;
+};
+
+/// One exported event — the copy a tail query or a test sees.
+struct LogEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t ts_ns = 0;       // obs::now_ns timebase (steady clock)
+  std::uint64_t request_id = 0;  // ambient ScopedItemId at the record site
+  Severity severity = Severity::kInfo;
+  std::uint64_t suppressed = 0;  // rate-limited occurrences folded in
+  bool truncated = false;        // fields did not fit the slot
+  std::string event;             // event name
+  std::string fields;            // rendered JSON members ("" when none)
+
+  /// The event as one JSONL object.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Append one event to the calling thread's ring (no-op when the log is
+/// disabled). The ambient request/item id is captured automatically.
+void log_event(Severity sev, std::string_view event);
+void log_event(Severity sev, std::string_view event, const LogFields& fields);
+
+namespace detail {
+/// Timestamp-injected variant so rate-limit and window tests are
+/// deterministic. Production paths use log_event (ts = now_ns()).
+void log_event_at(Severity sev, std::string_view event, const LogFields& fields,
+                  std::uint64_t ts_ns);
+}  // namespace detail
+
+struct LogStats {
+  std::size_t threads = 0;        // registered rings
+  std::uint64_t recorded = 0;     // events ever admitted to a ring
+  std::uint64_t dropped = 0;      // overwritten by ring wraparound
+  std::uint64_t suppressed = 0;   // rejected by the rate limiter
+};
+
+LogStats log_stats();
+
+/// Ring capacity (events per thread) for rings registered after this
+/// call; existing rings keep their size. Minimum 8.
+void set_log_buffer_capacity(std::size_t events);
+
+/// Events per (thread, name) per second before suppression. Minimum 1.
+void set_log_rate_limit(std::uint64_t per_second);
+
+/// Drop every retained event (rings stay registered). Streaming cursors
+/// advance past the cleared events.
+void clear_log();
+
+/// The newest `max` retained events across all rings, oldest first.
+std::vector<LogEvent> log_tail(std::size_t max);
+
+/// Every retained event as JSONL, in sequence order.
+std::string log_jsonl();
+
+/// log_jsonl() to a file (rewrite). False on I/O failure.
+bool write_log(const std::string& path);
+
+/// Streaming mode: append newly recorded events to `path` every ~200 ms
+/// from a background flusher (started on demand, stopped and joined on
+/// set_log_stream_path("")). Enables the log. Events are appended in
+/// per-batch sequence order; a wrapped ring drops the lines it
+/// overwrote (counted in LogStats::dropped).
+void set_log_stream_path(const std::string& path);
+
+/// Flush pending events to the stream now (no-op without a stream).
+void drain_log_stream();
+
+}  // namespace fsr::obs

@@ -1,0 +1,54 @@
+#include "obs/flight.hpp"
+
+#include "obs/json.hpp"
+
+namespace fsr::obs {
+
+namespace detail {
+thread_local FlightScope* t_flight = nullptr;
+}  // namespace detail
+
+FlightScope::FlightScope(std::size_t max_spans)
+    : max_spans_(max_spans < 1 ? 1 : max_spans), prev_(detail::t_flight) {
+  spans_.reserve(max_spans_ < 64 ? max_spans_ : 64);
+  detail::t_flight = this;
+}
+
+FlightScope::~FlightScope() { detail::t_flight = prev_; }
+
+void FlightScope::note_span(const char* name, std::uint64_t id,
+                            std::uint64_t begin_ns, std::uint64_t end_ns) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(Rec{name, id, begin_ns, end_ns});
+}
+
+std::string FlightScope::spans_json(std::uint64_t epoch_ns) const {
+  std::string out = "[";
+  bool first = true;
+  for (const Rec& r : spans_) {
+    if (!first) out += ',';
+    first = false;
+    const std::uint64_t at =
+        r.begin_ns > epoch_ns ? (r.begin_ns - epoch_ns) / 1000 : 0;
+    const std::uint64_t dur =
+        r.end_ns > r.begin_ns ? (r.end_ns - r.begin_ns) / 1000 : 0;
+    out += "{\"name\":\"";
+    out += json_escape(r.name);
+    out += "\",\"item\":" + std::to_string(r.id);
+    out += ",\"at_us\":" + std::to_string(at);
+    out += ",\"dur_us\":" + std::to_string(dur);
+    out += '}';
+  }
+  if (dropped_ != 0) {
+    if (!first) out += ',';
+    out += "{\"name\":\"...dropped\",\"item\":0,\"at_us\":0,\"dur_us\":0,"
+           "\"count\":" + std::to_string(dropped_) + '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace fsr::obs

@@ -1,0 +1,64 @@
+// Per-request flight recorder: keep the span tree of ONE request in
+// hand, so a slow or deadline-expired request can be dumped as a
+// structured event with full stage attribution — without globally
+// enabling tracing (whose rings interleave every thread and are
+// exported in batch, the wrong shape for "why was request #8812 slow").
+//
+// A FlightScope is an RAII thread-local capture: while one is alive on
+// a thread, every Span that thread completes is appended to the scope
+// (bounded; overflow is counted, not grown). TRACE_SPAN sites need no
+// changes — Span's constructor gate is span_capture_enabled(), which
+// is true when tracing is on OR a flight scope is active. When the
+// request finishes fast, the scope is destroyed and the spans are
+// discarded for free; when it was slow, spans_json() renders the tree
+// into the slow-request event.
+//
+// Scopes nest (the previous scope is restored on destruction) and are
+// strictly thread-local: a request that must be recorded has to run
+// its work on the thread that owns the scope — which is exactly how
+// the service executes a request (one pool task).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace fsr::obs {
+
+class FlightScope {
+ public:
+  explicit FlightScope(std::size_t max_spans = 256);
+  ~FlightScope();
+  FlightScope(const FlightScope&) = delete;
+  FlightScope& operator=(const FlightScope&) = delete;
+
+  /// Called by record_span for every completed span on this thread.
+  /// `name` must outlive the scope (string literals at trace sites).
+  void note_span(const char* name, std::uint64_t id, std::uint64_t begin_ns,
+                 std::uint64_t end_ns);
+
+  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  /// The captured spans as a JSON array, timestamps re-based to
+  /// microseconds after `epoch_ns` (the request's start):
+  ///   [{"name":"decode","item":3,"at_us":12,"dur_us":840}, ...]
+  [[nodiscard]] std::string spans_json(std::uint64_t epoch_ns) const;
+
+ private:
+  struct Rec {
+    const char* name;
+    std::uint64_t id;
+    std::uint64_t begin_ns;
+    std::uint64_t end_ns;
+  };
+  std::vector<Rec> spans_;
+  std::size_t max_spans_;
+  std::size_t dropped_ = 0;
+  FlightScope* prev_;
+};
+
+}  // namespace fsr::obs

@@ -17,9 +17,14 @@ std::string json_escape(std::string_view s) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        // Control chars and DEL escape to \u00XX; everything else —
+        // including multi-byte UTF-8 sequences — passes through as-is
+        // (JSON strings are Unicode; the bytes stay valid UTF-8).
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) == 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;

@@ -51,6 +51,11 @@ class JsonValue {
   [[nodiscard]] double as_number(double fallback) const;
   [[nodiscard]] bool as_bool(bool fallback) const;
   [[nodiscard]] const std::vector<JsonValue>& items() const { return arr_; }
+  /// Object members in insertion order (empty for non-objects).
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const {
+    return obj_;
+  }
 
   /// Object member by key, nullptr when absent or not an object.
   [[nodiscard]] const JsonValue* find(std::string_view key) const;

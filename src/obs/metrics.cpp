@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "obs/json.hpp"
+#include "obs/window.hpp"
 
 namespace fsr::obs {
 
@@ -130,6 +131,7 @@ struct RegistryState {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<WindowHistogram>, std::less<>> windows;
 };
 
 RegistryState& reg_state() {
@@ -168,6 +170,11 @@ Gauge& Registry::gauge(std::string_view name) {
 Histogram& Registry::histogram(std::string_view name) {
   RegistryState& s = reg_state();
   return find_or_create(s.histograms, name, s.mutex);
+}
+
+WindowHistogram& Registry::window(std::string_view name) {
+  RegistryState& s = reg_state();
+  return find_or_create(s.windows, name, s.mutex);
 }
 
 std::string Registry::to_json() const {
@@ -211,6 +218,32 @@ std::string Registry::to_json() const {
     out += buf;
     first = false;
   }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"windows\": {";
+  first = true;
+  for (const auto& [name, w] : s.windows) {
+    // Two views per window: the last 10s and the last 60s.
+    const WindowHistogram::Snapshot w10 = w->snapshot(10);
+    const WindowHistogram::Snapshot w60 = w->snapshot(60);
+    const auto emit_view = [&](const char* key,
+                               const WindowHistogram::Snapshot& v) {
+      std::snprintf(buf, sizeof buf,
+                    "\"%s\": {\"count\": %llu, \"rate_per_sec\": %.3f,"
+                    " \"p50_ns\": %.0f, \"p95_ns\": %.0f, \"p99_ns\": %.0f,"
+                    " \"max_ns\": %llu}",
+                    key, static_cast<unsigned long long>(v.count),
+                    v.rate_per_sec, v.p50_ns, v.p95_ns, v.p99_ns,
+                    static_cast<unsigned long long>(v.max_ns));
+      out += buf;
+    };
+    out += first ? "" : ",";
+    out += "\n    \"" + json_escape(name) + "\": {";
+    emit_view("last_10s", w10);
+    out += ", ";
+    emit_view("last_60s", w60);
+    out += '}';
+    first = false;
+  }
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;
 }
@@ -229,12 +262,16 @@ void Registry::reset() {
   for (auto& [name, c] : s.counters) c->reset();
   for (auto& [name, g] : s.gauges) g->reset();
   for (auto& [name, h] : s.histograms) h->reset();
+  for (auto& [name, w] : s.windows) w->reset();
 }
 
 Counter& counter(std::string_view name) { return Registry::instance().counter(name); }
 Gauge& gauge(std::string_view name) { return Registry::instance().gauge(name); }
 Histogram& histogram(std::string_view name) {
   return Registry::instance().histogram(name);
+}
+WindowHistogram& window(std::string_view name) {
+  return Registry::instance().window(name);
 }
 
 }  // namespace fsr::obs

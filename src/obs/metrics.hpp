@@ -106,6 +106,8 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+class WindowHistogram;  // window.hpp — rolling 1s-slot latency windows
+
 class Registry {
  public:
   static Registry& instance();
@@ -113,6 +115,7 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  WindowHistogram& window(std::string_view name);
 
   /// Deterministic snapshot (names sorted) of every instrument.
   [[nodiscard]] std::string to_json() const;
@@ -127,5 +130,6 @@ class Registry {
 Counter& counter(std::string_view name);
 Gauge& gauge(std::string_view name);
 Histogram& histogram(std::string_view name);
+WindowHistogram& window(std::string_view name);
 
 }  // namespace fsr::obs

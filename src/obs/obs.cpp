@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -20,6 +21,7 @@ struct Config {
   std::mutex mutex;
   std::string trace_path;
   std::string metrics_path;
+  std::string log_path;
   bool env_loaded = false;
   bool atexit_registered = false;
   std::string report_path_copy;  // mirror of RunReport's path, for report_path()
@@ -61,6 +63,18 @@ void set_metrics_path(std::string path) {
   if (!c.metrics_path.empty()) register_atexit_locked(c);
 }
 
+void set_log_path(std::string path) {
+  Config& c = config();
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.log_path = path;
+    if (!path.empty()) register_atexit_locked(c);
+  }
+  // The stream owns its own flusher thread + atexit; it also enables
+  // the log when a path is set.
+  set_log_stream_path(path);
+}
+
 void set_report_path(std::string path) {
   Config& c = config();
   {
@@ -89,6 +103,12 @@ const std::string& report_path() {
   return c.report_path_copy;
 }
 
+const std::string& log_path() {
+  Config& c = config();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.log_path;
+}
+
 void init_from_env() {
   {
     Config& c = config();
@@ -102,6 +122,8 @@ void init_from_env() {
     set_metrics_path(std::move(p));
   if (std::string p = env_path("REPRO_REPORT", "run.report.jsonl"); !p.empty())
     set_report_path(std::move(p));
+  if (std::string p = env_path("REPRO_LOG", "run.log.jsonl"); !p.empty())
+    set_log_path(std::move(p));
 }
 
 int parse_cli_flags(int argc, char** argv) {
@@ -117,6 +139,8 @@ int parse_cli_flags(int argc, char** argv) {
       set_metrics_path(v2);
     } else if (const char* v3 = takes_value("--report-out"); v3 != nullptr) {
       set_report_path(v3);
+    } else if (const char* v4 = takes_value("--log-out"); v4 != nullptr) {
+      set_log_path(v4);
     } else {
       argv[out++] = argv[i];
     }
@@ -134,6 +158,7 @@ void write_outputs() {
   }
   if (!trace.empty()) write_chrome_trace(trace);
   if (!metrics.empty()) Registry::instance().write_json(metrics);
+  drain_log_stream();  // no-op without a stream
   RunReport::instance().finalize();
 }
 

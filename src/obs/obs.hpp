@@ -21,16 +21,25 @@ void set_trace_path(std::string path);    // "" disables trace export + recordin
 void set_metrics_path(std::string path);  // "" disables metrics export + recording
 void set_report_path(std::string path);   // "" disables run reports
 
+/// Structured event log (eventlog.hpp), streaming: events append to the
+/// file every ~200 ms while the process runs — the live-log shape a
+/// daemon needs, vs the write-at-exit shape of the other three.
+/// "" stops the stream; the log stays enabled if it already was.
+void set_log_path(std::string path);
+
 const std::string& trace_path();
 const std::string& metrics_path();
 const std::string& report_path();
+const std::string& log_path();
 
-/// Read REPRO_TRACE / REPRO_METRICS / REPRO_REPORT. Idempotent.
+/// Read REPRO_TRACE / REPRO_METRICS / REPRO_REPORT / REPRO_LOG.
+/// Idempotent.
 void init_from_env();
 
-/// Consume --trace-out P / --metrics-out P / --report-out P from argv
-/// (compacting it in place; argv[0] untouched) and return the new argc.
-/// Unknown arguments pass through for the caller's own parser.
+/// Consume --trace-out P / --metrics-out P / --report-out P /
+/// --log-out P from argv (compacting it in place; argv[0] untouched)
+/// and return the new argc. Unknown arguments pass through for the
+/// caller's own parser.
 int parse_cli_flags(int argc, char** argv);
 
 /// Write every configured artifact: trace JSON, metrics JSON, report

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 
 namespace fsr::obs {
@@ -88,6 +89,13 @@ ScopedItemId::~ScopedItemId() { t_item_id = prev_; }
 void record_span(const char* name, std::uint64_t id, std::uint64_t begin_ns,
                  std::uint64_t end_ns) {
   if (id == kAmbientId) id = t_item_id;
+  if (detail::t_flight != nullptr) {
+    detail::t_flight->note_span(name, id, begin_ns, end_ns);
+    // Flight-only capture: the span was admitted by span_capture_enabled()
+    // solely for this scope, so keep it out of the global trace rings.
+    // Direct record_span calls with no scope active append as always.
+    if (!trace_enabled()) return;
+  }
   ThreadBuffer& b = local_buffer();
   const std::uint64_t n = b.recorded.load(std::memory_order_relaxed);
   b.ring[static_cast<std::size_t>(n % b.ring.size())] = {name, id, begin_ns, end_ns};

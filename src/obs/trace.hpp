@@ -34,12 +34,23 @@ inline std::uint64_t now_ns() {
           .count());
 }
 
+class FlightScope;
+
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
+/// Active per-request flight recorder on this thread (flight.hpp), or
+/// nullptr. Non-null makes spans record even with tracing off.
+extern thread_local FlightScope* t_flight;
 }  // namespace detail
 
 inline bool trace_enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Should a Span capture? True when global tracing is on or a
+/// FlightScope is recording this thread's spans.
+inline bool span_capture_enabled() {
+  return trace_enabled() || detail::t_flight != nullptr;
 }
 
 void set_trace_enabled(bool on);
@@ -80,7 +91,7 @@ void record_span(const char* name, std::uint64_t id, std::uint64_t begin_ns,
 class Span {
  public:
   explicit Span(const char* name, std::uint64_t id = kAmbientId) {
-    if (!trace_enabled()) return;  // the whole disabled-path cost
+    if (!span_capture_enabled()) return;  // the whole disabled-path cost
     name_ = name;
     id_ = id;
     begin_ns_ = now_ns();

@@ -1,0 +1,104 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/trace.hpp"
+
+namespace fsr::obs {
+
+void WindowHistogram::record(std::uint64_t value_ns) {
+  record_at(value_ns, now_ns());
+}
+
+void WindowHistogram::record_at(std::uint64_t value_ns, std::uint64_t ts_ns) {
+  const std::uint64_t sec = ts_ns / 1000000000ull;
+  Slot& s = slots_[static_cast<std::size_t>(sec % kSlots)];
+  std::uint64_t epoch = s.epoch.load(std::memory_order_relaxed);
+  if (epoch != sec) {
+    // Claim the slot for this second; the winner wipes the previous
+    // second's contents. Losers fall through and record immediately —
+    // a sample can land before the wipe finishes (documented smear).
+    if (s.epoch.compare_exchange_strong(epoch, sec,
+                                        std::memory_order_relaxed)) {
+      s.count.store(0, std::memory_order_relaxed);
+      s.max.store(0, std::memory_order_relaxed);
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    } else if (epoch != sec) {
+      return;  // a third epoch raced in; drop rather than pollute it
+    }
+  }
+  s.buckets[std::bit_width(value_ns)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t prev = s.max.load(std::memory_order_relaxed);
+  while (value_ns > prev &&
+         !s.max.compare_exchange_weak(prev, value_ns,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+WindowHistogram::Snapshot WindowHistogram::snapshot(
+    std::uint64_t window_seconds) const {
+  return snapshot_at(window_seconds, now_ns());
+}
+
+WindowHistogram::Snapshot WindowHistogram::snapshot_at(
+    std::uint64_t window_seconds, std::uint64_t ts_ns) const {
+  window_seconds = std::clamp<std::uint64_t>(window_seconds, 1, kMaxWindow);
+  const std::uint64_t sec = ts_ns / 1000000000ull;
+  const std::uint64_t begin = sec >= window_seconds - 1 ? sec - (window_seconds - 1) : 0;
+
+  std::uint64_t merged[kBuckets] = {};
+  Snapshot out;
+  out.window_seconds = window_seconds;
+  for (const Slot& s : slots_) {
+    const std::uint64_t epoch = s.epoch.load(std::memory_order_relaxed);
+    if (epoch == kIdle || epoch < begin || epoch > sec) continue;
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.max_ns = std::max(out.max_ns, s.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b)
+      merged[b] += s.buckets[b].load(std::memory_order_relaxed);
+  }
+  out.rate_per_sec =
+      static_cast<double>(out.count) / static_cast<double>(window_seconds);
+
+  // Percentiles: nearest-rank with linear interpolation inside the
+  // winning log2 bucket — the same estimate obs::Histogram reports, so
+  // lifetime and windowed figures are comparable.
+  const auto percentile = [&](double p) -> double {
+    if (out.count == 0) return 0.0;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(out.count));
+    rank = std::clamp<std::uint64_t>(rank, 1, out.count);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (merged[b] == 0) continue;
+      if (seen + merged[b] >= rank) {
+        const double lo =
+            b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+        const double hi = static_cast<double>(
+            b >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << b));
+        const double frac =
+            static_cast<double>(rank - seen) / static_cast<double>(merged[b]);
+        return lo + (hi - lo) * frac;
+      }
+      seen += merged[b];
+    }
+    return static_cast<double>(out.max_ns);
+  };
+  out.p50_ns = percentile(50);
+  out.p95_ns = percentile(95);
+  out.p99_ns = percentile(99);
+  return out;
+}
+
+void WindowHistogram::reset() {
+  for (Slot& s : slots_) {
+    s.epoch.store(kIdle, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace fsr::obs

@@ -1,0 +1,71 @@
+// Rolling-window latency histogram: "what is the p99 *right now*?"
+//
+// obs::Histogram is cumulative since process start — after an hour of
+// traffic, a latency regression takes another hour to move its p50. A
+// WindowHistogram is a ring of 64 one-second slots, each a small log2
+// histogram; a snapshot over the last N seconds (N <= 60) merges the
+// slots whose epoch falls inside the window, yielding req/s and
+// p50/p95/p99 that track live behavior within seconds.
+//
+// Recording is lock-free: the slot for the current second is claimed by
+// a CAS on its epoch; the winner zeroes the slot before publishing the
+// new epoch. A recorder racing the rollover can land a sample from the
+// previous second in the fresh slot (or lose one to the wipe) — a
+// bounded smear of a few samples per second boundary, which is noise at
+// the request rates these windows summarize and irrelevant to the
+// 2×-accuracy contract the service bench checks.
+//
+// record()/snapshot() stamp with now_ns(); the _at variants take the
+// timestamp so tests are deterministic across second boundaries.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace fsr::obs {
+
+class WindowHistogram {
+ public:
+  static constexpr std::size_t kSlots = 64;     // one-second slots
+  static constexpr std::uint64_t kMaxWindow = 60;  // snapshot limit, seconds
+  static constexpr std::size_t kBuckets = 64;   // log2, as obs::Histogram
+
+  struct Snapshot {
+    std::uint64_t window_seconds = 0;
+    std::uint64_t count = 0;
+    double rate_per_sec = 0.0;
+    double p50_ns = 0.0;
+    double p95_ns = 0.0;
+    double p99_ns = 0.0;
+    std::uint64_t max_ns = 0;
+  };
+
+  /// Record one sample into the current second's slot. Unconditional —
+  /// call sites gate on metrics_enabled()/their own flag; window
+  /// recording is request-granularity, not hot-loop-granularity.
+  void record(std::uint64_t value_ns);
+  void record_at(std::uint64_t value_ns, std::uint64_t ts_ns);
+
+  /// Merge the slots covering the last `window_seconds` (clamped to
+  /// [1, kMaxWindow]), including the current partial second.
+  [[nodiscard]] Snapshot snapshot(std::uint64_t window_seconds) const;
+  [[nodiscard]] Snapshot snapshot_at(std::uint64_t window_seconds,
+                                     std::uint64_t ts_ns) const;
+
+  void reset();
+
+ private:
+  struct Slot {
+    /// Second this slot currently represents; kIdle when never used.
+    std::atomic<std::uint64_t> epoch{kIdle};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> max{0};
+    std::atomic<std::uint64_t> buckets[kBuckets]{};
+  };
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  Slot slots_[kSlots];
+};
+
+}  // namespace fsr::obs

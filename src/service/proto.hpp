@@ -11,14 +11,20 @@
 //
 // Request object (all strings; unknown keys are ignored):
 //   op      "ping" | "identify" | "compare" | "disasm" | "stats" |
-//           "shutdown"
+//           "metrics" | "tail" | "shutdown"
 //   elf     base64 of the ELF to analyze (uploads; optional when `key`
 //           names already-cached content)
 //   key     content id from a previous response ("<fnv64hex>-<size>")
 //   config  FunSeeker Table II configuration 1..4 (identify; default 4)
 //   tool    "funseeker" | "ida" | "ghidra" | "fetch" (identify)
 //   at      hex address (disasm; default: start of .text)
-//   count   number of instructions (disasm; default 32)
+//   count   number of instructions (disasm; default 32) — also the
+//           number of events for `tail` (default 50, max 1000)
+//
+// Telemetry ops: `stats` reports lifetime + per-op counters, rolling
+// 10s/60s latency windows, cache/pool/log state; `metrics` returns the
+// full obs registry snapshot; `tail` returns the newest structured log
+// events (requires the daemon's event log, on by default in fsrd).
 //
 // Responses always carry "ok" plus either the op's payload or an
 // "error"/"code" pair; analysis responses add "key" (the content id)

@@ -10,7 +10,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "util/error.hpp"
 
 namespace fsr::service {
@@ -22,6 +25,12 @@ struct ServerMetrics {
   obs::Counter& frames_rejected = obs::counter("svc.frames_rejected");
   obs::Gauge& queue_depth = obs::gauge("svc.queue_depth");
   obs::Gauge& workers = obs::gauge("svc.workers");
+  // Ingress latency windows: submit -> response ready, queue wait
+  // included — the figure `stats` reports and fsrtop renders. Always
+  // recorded (a handful of relaxed adds per request).
+  obs::WindowHistogram& win_request = obs::window("svc.window.request_ns");
+  obs::WindowHistogram& win_hit = obs::window("svc.window.hit_ns");
+  obs::WindowHistogram& win_miss = obs::window("svc.window.miss_ns");
 };
 
 ServerMetrics& server_metrics() {
@@ -123,6 +132,8 @@ void Server::accept_loop() {
       break;  // listening socket gone
     }
     server_metrics().connections.add();
+    if (obs::log_enabled())
+      obs::log_event(obs::Severity::kDebug, "svc.connection");
     std::lock_guard<std::mutex> lock(conn_mutex_);
     reap_finished_locked();
     auto c = std::make_unique<Connection>();
@@ -169,10 +180,15 @@ std::string Server::execute_on_pool(std::string payload, bool& shutdown_requeste
   auto pending = std::make_shared<Pending>();
   ServerMetrics& m = server_metrics();
   m.queue_depth.set(g_inflight.fetch_add(1, std::memory_order_relaxed) + 1);
-  pool_->submit([this, pending, payload = std::move(payload)] {
+  const std::uint64_t submit_ns = obs::now_ns();
+  pool_->submit([this, pending, submit_ns, payload = std::move(payload)] {
     Service::Outcome out = service_.handle(payload);
-    server_metrics().queue_depth.set(
-        g_inflight.fetch_sub(1, std::memory_order_relaxed) - 1);
+    ServerMetrics& sm = server_metrics();
+    sm.queue_depth.set(g_inflight.fetch_sub(1, std::memory_order_relaxed) - 1);
+    const std::uint64_t latency = obs::now_ns() - submit_ns;
+    sm.win_request.record(latency);
+    if (out.analysis)
+      (out.cache_hit ? sm.win_hit : sm.win_miss).record(latency);
     std::lock_guard<std::mutex> lock(pending->m);
     pending->out = std::move(out);
     pending->done = true;
@@ -213,6 +229,9 @@ void Server::connection_loop(Connection* conn) {
       // The announced length is beyond the cap; the stream cannot be
       // resynchronized, so answer once and drop the connection.
       server_metrics().frames_rejected.add();
+      if (obs::log_enabled())
+        obs::log_event(obs::Severity::kWarn, "svc.frame_rejected",
+                       obs::LogFields().str("reason", "oversized"));
       write_frame(fd, "{\"ok\":false,\"code\":\"oversized\","
                       "\"error\":\"frame exceeds the 64 MiB limit\"}");
       break;

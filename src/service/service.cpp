@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bti/btiseeker.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "service/proto.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
@@ -18,6 +22,37 @@
 #include "x86/format.hpp"
 
 namespace fsr::service {
+
+const char* to_string(OpKind op) {
+  switch (op) {
+    case OpKind::kPing: return "ping";
+    case OpKind::kIdentify: return "identify";
+    case OpKind::kCompare: return "compare";
+    case OpKind::kDisasm: return "disasm";
+    case OpKind::kStats: return "stats";
+    case OpKind::kMetrics: return "metrics";
+    case OpKind::kTail: return "tail";
+    case OpKind::kShutdown: return "shutdown";
+    case OpKind::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+OpKind parse_op(std::string_view op) {
+  if (op == "ping") return OpKind::kPing;
+  if (op == "identify") return OpKind::kIdentify;
+  if (op == "compare") return OpKind::kCompare;
+  if (op == "disasm") return OpKind::kDisasm;
+  if (op == "stats") return OpKind::kStats;
+  if (op == "metrics") return OpKind::kMetrics;
+  if (op == "tail") return OpKind::kTail;
+  if (op == "shutdown") return OpKind::kShutdown;
+  return OpKind::kUnknown;
+}
+
+}  // namespace
 
 namespace {
 
@@ -252,7 +287,25 @@ Service::Outcome error_outcome(std::string_view op, std::string_view code,
   Service::Outcome out;
   out.json = b.close();
   out.ok = false;
+  out.code = code;
   return out;
+}
+
+std::string window_json(const obs::WindowHistogram& w) {
+  const auto view = [](const obs::WindowHistogram::Snapshot& v) {
+    ObjBuilder b;
+    b.integer("count", v.count);
+    b.num("rate_per_sec", v.rate_per_sec);
+    b.num("p50_ns", v.p50_ns);
+    b.num("p95_ns", v.p95_ns);
+    b.num("p99_ns", v.p99_ns);
+    b.integer("max_ns", v.max_ns);
+    return b.close();
+  };
+  ObjBuilder b;
+  b.raw("last_10s", view(w.snapshot(10)));
+  b.raw("last_60s", view(w.snapshot(60)));
+  return b.close();
 }
 
 }  // namespace
@@ -261,6 +314,7 @@ Service::Service(ServiceOptions opts)
     : cache_(opts.cache_bytes > 0 ? opts.cache_bytes
                                   : AnalysisCache::default_capacity_bytes()),
       deadline_seconds_(opts.request_deadline_seconds),
+      slow_seconds_(opts.slow_request_seconds),
       start_ns_(obs::now_ns()) {
   if (deadline_seconds_ <= 0.0) {
     if (const char* env = std::getenv("REPRO_TIME_BUDGET"); env != nullptr) {
@@ -271,10 +325,21 @@ Service::Service(ServiceOptions opts)
 }
 
 Service::Outcome Service::handle(std::string_view request_json) {
+  // Request id: ambient for the whole execution, so every span and
+  // every log event this request produces carries it.
+  const std::uint64_t rid = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const obs::ScopedItemId request_scope(rid);
   requests_.fetch_add(1, std::memory_order_relaxed);
   SvcMetrics& m = svc_metrics();
   m.requests.add();
   util::Stopwatch watch;
+  const std::uint64_t begin_ns = obs::now_ns();
+
+  // Flight recorder: while the event log is on, capture this request's
+  // spans so a slow/expired request can dump its stage breakdown. Fast
+  // requests pay a thread-local store and drop the vector on return.
+  std::optional<obs::FlightScope> flight;
+  if (obs::log_enabled()) flight.emplace();
   TRACE_SPAN("svc.request");
 
   Outcome out;
@@ -294,6 +359,7 @@ Service::Outcome Service::handle(std::string_view request_json) {
     b.str("error", e.what());
     out.json = b.close();
     out.ok = false;
+    out.code = "internal";
   } catch (...) {
     ObjBuilder b;
     b.boolean("ok", false);
@@ -301,22 +367,52 @@ Service::Outcome Service::handle(std::string_view request_json) {
     b.str("error", "unknown error");
     out.json = b.close();
     out.ok = false;
+    out.code = "internal";
   }
 
+  op_requests_[static_cast<std::size_t>(out.op)].fetch_add(
+      1, std::memory_order_relaxed);
   if (!out.ok) {
     errors_.fetch_add(1, std::memory_order_relaxed);
+    op_errors_[static_cast<std::size_t>(out.op)].fetch_add(
+        1, std::memory_order_relaxed);
     m.errors.add();
   }
   // The hit/miss latency split only makes sense for analysis ops;
   // control traffic (ping/stats/shutdown) would pollute both series.
+  const std::uint64_t elapsed_ns = watch.elapsed_ns();
   if (out.analysis) {
     if (out.cache_hit) {
       m.cache_hits.add();
-      m.latency_hit.record(watch.elapsed_ns());
+      m.latency_hit.record(elapsed_ns);
     } else {
       m.cache_misses.add();
-      m.latency_miss.record(watch.elapsed_ns());
+      m.latency_miss.record(elapsed_ns);
     }
+  }
+
+  // Slow-request dump: threshold exceeded or deadline expired (the
+  // deadline guard is still in scope here). Severity warn; the rate
+  // limiter caps a pathological flood.
+  const bool expired = util::deadline_expired_now();
+  const bool slow = slow_seconds_ > 0.0 &&
+                    static_cast<double>(elapsed_ns) / 1e9 >= slow_seconds_;
+  if ((slow || expired) && obs::log_enabled()) {
+    slow_requests_.fetch_add(1, std::memory_order_relaxed);
+    obs::LogFields f;
+    f.str("op", to_string(out.op))
+        .integer("elapsed_us", elapsed_ns / 1000)
+        .boolean("ok", out.ok)
+        .boolean("deadline_expired", expired)
+        .str("cache", out.analysis ? (out.cache_hit ? "hit" : "miss") : "n/a");
+    if (!out.code.empty()) f.str("code", out.code);
+    if (flight.has_value()) {
+      f.integer("span_count", flight->span_count())
+          .raw("spans", flight->spans_json(begin_ns));
+    }
+    obs::log_event(obs::Severity::kWarn, "svc.slow_request", f);
+  } else if (slow || expired) {
+    slow_requests_.fetch_add(1, std::memory_order_relaxed);
   }
   return out;
 }
@@ -327,35 +423,81 @@ Service::Outcome Service::dispatch(std::string_view request_json) {
     return error_outcome("", "bad-request", "request is not a JSON object");
   const obs::JsonValue& req = *parsed;
   const std::string op = req.get_string("op");
+  const OpKind kind = parse_op(op);
 
-  if (op == "ping") {
-    ObjBuilder b;
-    b.boolean("ok", true);
-    b.str("op", "ping");
-    b.str("version", util::kVersion);
-    Outcome out;
-    out.json = b.close();
-    return out;
+  Outcome out;
+  switch (kind) {
+    case OpKind::kPing: {
+      ObjBuilder b;
+      b.boolean("ok", true);
+      b.str("op", "ping");
+      b.str("version", util::kVersion);
+      out.json = b.close();
+      break;
+    }
+    case OpKind::kStats:
+      out.json = stats_json();
+      break;
+    case OpKind::kMetrics: {
+      ObjBuilder b;
+      b.boolean("ok", true);
+      b.str("op", "metrics");
+      b.raw("registry", obs::Registry::instance().to_json());
+      out.json = b.close();
+      break;
+    }
+    case OpKind::kTail:
+      out = do_tail(req);
+      break;
+    case OpKind::kShutdown: {
+      ObjBuilder b;
+      b.boolean("ok", true);
+      b.str("op", "shutdown");
+      out.json = b.close();
+      out.shutdown = true;
+      break;
+    }
+    case OpKind::kIdentify:
+      out = do_identify(req);
+      break;
+    case OpKind::kCompare:
+      out = do_compare(req);
+      break;
+    case OpKind::kDisasm:
+      out = do_disasm(req);
+      break;
+    case OpKind::kUnknown:
+      out = error_outcome(op, "unknown-op",
+                          "unknown op (expected ping/identify/compare/disasm/"
+                          "stats/metrics/tail/shutdown)");
+      break;
   }
-  if (op == "stats") {
-    Outcome out;
-    out.json = stats_json();
-    return out;
+  out.op = kind;
+  return out;
+}
+
+Service::Outcome Service::do_tail(const obs::JsonValue& req) {
+  std::size_t count = 50;
+  if (const obs::JsonValue* c = req.find("count"); c != nullptr && c->is_number())
+    count = static_cast<std::size_t>(std::clamp(c->as_number(50), 1.0, 1000.0));
+
+  std::string events = "[";
+  bool first = true;
+  for (const obs::LogEvent& e : obs::log_tail(count)) {
+    if (!first) events += ',';
+    first = false;
+    events += e.to_json();
   }
-  if (op == "shutdown") {
-    ObjBuilder b;
-    b.boolean("ok", true);
-    b.str("op", "shutdown");
-    Outcome out;
-    out.json = b.close();
-    out.shutdown = true;
-    return out;
-  }
-  if (op == "identify") return do_identify(req);
-  if (op == "compare") return do_compare(req);
-  if (op == "disasm") return do_disasm(req);
-  return error_outcome(op, "unknown-op",
-                       "unknown op (expected ping/identify/compare/disasm/stats/shutdown)");
+  events += ']';
+
+  Outcome out;
+  ObjBuilder b;
+  b.boolean("ok", true);
+  b.str("op", "tail");
+  b.boolean("log_enabled", obs::log_enabled());
+  b.raw("events", events);
+  out.json = b.close();
+  return out;
 }
 
 Service::Outcome Service::do_identify(const obs::JsonValue& req) {
@@ -489,7 +631,42 @@ std::string Service::stats_json() const {
   b.num("uptime_seconds", static_cast<double>(obs::now_ns() - start_ns_) / 1e9);
   b.integer("requests", requests_.load(std::memory_order_relaxed));
   b.integer("errors", errors_.load(std::memory_order_relaxed));
+  b.integer("slow_requests", slow_requests_.load(std::memory_order_relaxed));
   b.num("deadline_seconds", deadline_seconds_);
+  b.num("slow_seconds", slow_seconds_);
+  {
+    // Per-op request/error counters, only for ops seen at least once
+    // (keeps the object small and the round-trip test honest).
+    ObjBuilder ops;
+    for (std::size_t i = 0; i < kOpCount; ++i) {
+      const std::uint64_t n = op_requests_[i].load(std::memory_order_relaxed);
+      const std::uint64_t e = op_errors_[i].load(std::memory_order_relaxed);
+      if (n == 0 && e == 0) continue;
+      ObjBuilder one;
+      one.integer("requests", n);
+      one.integer("errors", e);
+      ops.raw(to_string(static_cast<OpKind>(i)), one.close());
+    }
+    b.raw("ops", ops.close());
+  }
+  {
+    // Rolling windows, recorded by the Server at ingress (queue wait
+    // included — the closest the daemon can get to what clients see).
+    ObjBuilder win;
+    win.raw("request", window_json(obs::window("svc.window.request_ns")));
+    win.raw("hit", window_json(obs::window("svc.window.hit_ns")));
+    win.raw("miss", window_json(obs::window("svc.window.miss_ns")));
+    b.raw("windows", win.close());
+  }
+  {
+    const obs::LogStats ls = obs::log_stats();
+    ObjBuilder log;
+    log.boolean("enabled", obs::log_enabled());
+    log.integer("recorded", ls.recorded);
+    log.integer("dropped", ls.dropped);
+    log.integer("suppressed", ls.suppressed);
+    b.raw("log", log.close());
+  }
   {
     ObjBuilder cache_obj;
     cache_obj.integer("capacity_bytes", cache_.capacity_bytes());

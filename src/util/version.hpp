@@ -6,7 +6,7 @@
 
 namespace fsr::util {
 
-inline constexpr const char* kVersion = "0.7.0";
+inline constexpr const char* kVersion = "0.8.0";
 inline constexpr const char* kProjectName = "funseeker-repro";
 
 }  // namespace fsr::util

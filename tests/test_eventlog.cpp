@@ -1,0 +1,516 @@
+// Tests for the live-telemetry substrate from PR 8: the structured
+// event log (seqlocked per-thread rings, rate limiting, JSONL export,
+// streaming), the rolling-window latency histograms, and the
+// per-request flight recorder. Mirrors the determinism patterns of
+// test_obs.cpp: fresh std::threads get fresh rings, stats are checked
+// as deltas, and every exported artifact must satisfy json_valid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/eventlog.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/window.hpp"
+
+namespace fsr::obs {
+namespace {
+
+constexpr std::uint64_t kNsPerSec = 1000000000ull;
+
+/// Shared setup: the log is on, empty, and back at its defaults when
+/// each test starts and ends, regardless of what the previous one did.
+class EventLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_on_ = log_enabled();
+    set_log_enabled(true);
+    set_log_rate_limit(128);
+    set_log_buffer_capacity(1024);
+    clear_log();
+  }
+  void TearDown() override {
+    set_log_stream_path("");
+    clear_log();
+    set_log_rate_limit(128);
+    set_log_buffer_capacity(1024);
+    set_log_enabled(was_on_);
+  }
+
+ private:
+  bool was_on_ = false;
+};
+
+std::vector<LogEvent> events_named(const std::vector<LogEvent>& all,
+                                   std::string_view name) {
+  std::vector<LogEvent> out;
+  for (const LogEvent& e : all)
+    if (e.event == name) out.push_back(e);
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) out.push_back(line);
+  return out;
+}
+
+// ----------------------------------------------------------- record path
+
+TEST_F(EventLogTest, EventRoundTripsThroughJson) {
+  const ScopedItemId id(4242);
+  log_event(Severity::kWarn, "roundtrip",
+            LogFields{}
+                .str("path", "a\"b\nc")
+                .num("score", 0.5)
+                .integer("bytes", 123456789)
+                .boolean("hit", true)
+                .raw("list", "[1,2]"));
+
+  const auto mine = events_named(log_tail(64), "roundtrip");
+  ASSERT_EQ(mine.size(), 1u);
+  const LogEvent& e = mine[0];
+  EXPECT_EQ(e.request_id, 4242u);
+  EXPECT_EQ(e.severity, Severity::kWarn);
+  EXPECT_FALSE(e.truncated);
+  EXPECT_GT(e.seq, 0u);
+  EXPECT_GT(e.ts_ns, 0u);
+
+  const std::string line = e.to_json();
+  ASSERT_TRUE(json_valid(line)) << line;
+  const auto parsed = json_parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get_string("event"), "roundtrip");
+  EXPECT_EQ(parsed->get_string("sev"), "warn");
+  EXPECT_EQ(parsed->get_number("req", 0), 4242.0);
+  EXPECT_EQ(parsed->get_string("path"), "a\"b\nc");
+  EXPECT_EQ(parsed->get_number("bytes", 0), 123456789.0);
+  EXPECT_TRUE(parsed->get_bool("hit", false));
+  const JsonValue* list = parsed->find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_TRUE(list->is_array());
+  EXPECT_EQ(list->items().size(), 2u);
+}
+
+TEST_F(EventLogTest, DisabledLogRecordsNothing) {
+  set_log_enabled(false);
+  const LogStats before = log_stats();
+  log_event(Severity::kInfo, "while_disabled");
+  const LogStats after = log_stats();
+  EXPECT_EQ(after.recorded, before.recorded);
+  EXPECT_TRUE(events_named(log_tail(64), "while_disabled").empty());
+  set_log_enabled(true);
+}
+
+TEST_F(EventLogTest, RingWraparoundKeepsNewestEvents) {
+  set_log_buffer_capacity(16);
+  const LogStats before = log_stats();
+
+  // A fresh thread registers a fresh 16-slot ring.
+  std::thread t([] {
+    for (std::uint64_t i = 0; i < 40; ++i)
+      log_event(Severity::kDebug, "wrap", LogFields{}.integer("i", i));
+  });
+  t.join();
+
+  const LogStats after = log_stats();
+  EXPECT_EQ(after.recorded, before.recorded + 40);
+  EXPECT_EQ(after.dropped, before.dropped + 24);
+  EXPECT_EQ(after.threads, before.threads + 1);
+
+  const auto mine = events_named(log_tail(4096), "wrap");
+  ASSERT_EQ(mine.size(), 16u);
+  std::set<double> ids;
+  for (const LogEvent& e : mine) {
+    const auto parsed = json_parse(e.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    ids.insert(parsed->get_number("i", -1));
+  }
+  // Exactly the newest 16 survive: 24..39.
+  EXPECT_EQ(ids.size(), 16u);
+  EXPECT_EQ(*ids.begin(), 24.0);
+  EXPECT_EQ(*ids.rbegin(), 39.0);
+}
+
+TEST_F(EventLogTest, MergeIsDeterministicAcrossThreadCounts) {
+  set_log_rate_limit(1u << 20);  // this test is about merging, not limiting
+  constexpr std::uint64_t kPerThread = 200;
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    clear_log();
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t)
+      pool.emplace_back([t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i)
+          log_event(Severity::kInfo, "merge",
+                    LogFields{}.integer("t", t).integer("i", i));
+      });
+    for (auto& th : pool) th.join();
+
+    const auto lines = split_lines(log_jsonl());
+    ASSERT_EQ(lines.size(), threads * kPerThread) << threads << " threads";
+
+    // Export is sorted by sequence number, every line is valid JSON,
+    // and the (thread, index) multiset is complete — the same logical
+    // log regardless of how many rings it was sharded across.
+    std::set<std::pair<double, double>> seen;
+    double prev_seq = 0;
+    for (const std::string& line : lines) {
+      ASSERT_TRUE(json_valid(line)) << line;
+      const auto parsed = json_parse(line);
+      ASSERT_TRUE(parsed.has_value());
+      const double seq = parsed->get_number("seq", 0);
+      EXPECT_GT(seq, prev_seq);
+      prev_seq = seq;
+      seen.emplace(parsed->get_number("t", -1), parsed->get_number("i", -1));
+    }
+    EXPECT_EQ(seen.size(), threads * kPerThread);
+    for (std::size_t t = 0; t < threads; ++t)
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        EXPECT_TRUE(seen.count({static_cast<double>(t), static_cast<double>(i)}))
+            << "missing t=" << t << " i=" << i;
+  }
+}
+
+// ---------------------------------------------------------- rate limiting
+
+TEST_F(EventLogTest, RateLimitSuppressesAndCarriesTally) {
+  set_log_rate_limit(4);
+  const LogStats before = log_stats();
+
+  // Fresh thread => fresh per-thread rate map; injected timestamps make
+  // the second boundaries deterministic.
+  std::thread t([] {
+    const std::uint64_t sec0 = 5000 * kNsPerSec;
+    for (int i = 0; i < 10; ++i)
+      detail::log_event_at(Severity::kInfo, "limited", LogFields{},
+                           sec0 + static_cast<std::uint64_t>(i));
+    // Next second: admitted again, carrying the tally of the 6 drops.
+    detail::log_event_at(Severity::kInfo, "limited", LogFields{},
+                         sec0 + kNsPerSec);
+  });
+  t.join();
+
+  const LogStats after = log_stats();
+  EXPECT_EQ(after.recorded, before.recorded + 5);  // 4 admitted + 1 carrier
+  EXPECT_EQ(after.suppressed, before.suppressed + 6);
+
+  const auto mine = events_named(log_tail(64), "limited");
+  ASSERT_EQ(mine.size(), 5u);
+  for (std::size_t i = 0; i + 1 < mine.size(); ++i)
+    EXPECT_EQ(mine[i].suppressed, 0u);
+  EXPECT_EQ(mine.back().suppressed, 6u);
+
+  // The carried tally is visible in the JSONL line.
+  const auto parsed = json_parse(mine.back().to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get_number("suppressed", 0), 6.0);
+}
+
+TEST_F(EventLogTest, RateLimitIsPerEventName) {
+  set_log_rate_limit(2);
+  const LogStats before = log_stats();
+  std::thread t([] {
+    const std::uint64_t ts = 6000 * kNsPerSec;
+    for (int i = 0; i < 5; ++i) {
+      detail::log_event_at(Severity::kInfo, "name_a", LogFields{}, ts);
+      detail::log_event_at(Severity::kInfo, "name_b", LogFields{}, ts);
+    }
+  });
+  t.join();
+  const LogStats after = log_stats();
+  EXPECT_EQ(after.recorded, before.recorded + 4);  // 2 per name
+  EXPECT_EQ(after.suppressed, before.suppressed + 6);
+}
+
+// ------------------------------------------------------------- truncation
+
+TEST_F(EventLogTest, OversizedFieldBodyIsDroppedWholeAndFlagged) {
+  log_event(Severity::kError, "too_big",
+            LogFields{}.str("blob", std::string(4096, 'x')));
+  const auto mine = events_named(log_tail(64), "too_big");
+  ASSERT_EQ(mine.size(), 1u);
+  EXPECT_TRUE(mine[0].truncated);
+  EXPECT_TRUE(mine[0].fields.empty());  // whole body dropped, never cut mid-member
+
+  const std::string line = mine[0].to_json();
+  ASSERT_TRUE(json_valid(line)) << line;
+  const auto parsed = json_parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->get_bool("truncated", false));
+}
+
+TEST_F(EventLogTest, LongEventNameIsCapped) {
+  const std::string name(300, 'n');
+  log_event(Severity::kInfo, name);
+  const auto tail = log_tail(64);
+  bool found = false;
+  for (const LogEvent& e : tail)
+    if (e.event.size() == 128 && e.event == name.substr(0, 128)) found = true;
+  EXPECT_TRUE(found);
+}
+
+// ------------------------------------------------------ export & streaming
+
+TEST_F(EventLogTest, ClearLogDropsRetainedEvents) {
+  log_event(Severity::kInfo, "pre_clear");
+  ASSERT_FALSE(events_named(log_tail(64), "pre_clear").empty());
+  clear_log();
+  EXPECT_TRUE(log_tail(64).empty());
+  EXPECT_TRUE(log_jsonl().empty());
+}
+
+TEST_F(EventLogTest, TailReturnsNewestOldestFirst) {
+  for (std::uint64_t i = 0; i < 6; ++i)
+    log_event(Severity::kInfo, "tail_order", LogFields{}.integer("i", i));
+  const auto tail = log_tail(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_LT(tail[0].seq, tail[1].seq);
+  EXPECT_LT(tail[1].seq, tail[2].seq);
+  const auto parsed = json_parse(tail.back().to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get_number("i", -1), 5.0);  // newest retained wins
+}
+
+TEST_F(EventLogTest, WriteLogProducesValidJsonl) {
+  log_event(Severity::kInfo, "to_file", LogFields{}.integer("i", 1));
+  const std::string path = ::testing::TempDir() + "eventlog_write.jsonl";
+  ASSERT_TRUE(write_log(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto lines = split_lines(buf.str());
+  ASSERT_FALSE(lines.empty());
+  for (const std::string& line : lines) EXPECT_TRUE(json_valid(line)) << line;
+  std::remove(path.c_str());
+}
+
+TEST_F(EventLogTest, StreamingAppendsNewEventsAcrossDrains) {
+  const std::string path = ::testing::TempDir() + "eventlog_stream.jsonl";
+  std::remove(path.c_str());
+
+  set_log_stream_path(path);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    log_event(Severity::kInfo, "streamed", LogFields{}.integer("i", i));
+  drain_log_stream();
+
+  const auto read_lines = [&] {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return split_lines(buf.str());
+  };
+
+  auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 5u);
+  for (const std::string& line : lines) EXPECT_TRUE(json_valid(line)) << line;
+
+  // The drained cursor advances: a second drain appends only new events.
+  log_event(Severity::kInfo, "streamed", LogFields{}.integer("i", 5));
+  drain_log_stream();
+  lines = read_lines();
+  ASSERT_EQ(lines.size(), 6u);
+  const auto parsed = json_parse(lines.back());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get_number("i", -1), 5.0);
+
+  // Stopping the stream detaches the file; later events stay in memory.
+  set_log_stream_path("");
+  log_event(Severity::kInfo, "streamed", LogFields{}.integer("i", 6));
+  drain_log_stream();
+  EXPECT_EQ(read_lines().size(), 6u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- window histogram
+
+std::uint64_t ts(std::uint64_t sec) { return sec * kNsPerSec; }
+
+TEST(WindowHistogram, CountsRatesAndPercentilesOverWindow) {
+  WindowHistogram h;
+  const std::uint64_t base = 1000000;  // far from any real clock second
+  for (int i = 0; i < 100; ++i) h.record_at(1000, ts(base));
+  for (int i = 0; i < 10; ++i) h.record_at(1000000, ts(base + 5));
+
+  const auto w1 = h.snapshot_at(1, ts(base + 5));
+  EXPECT_EQ(w1.window_seconds, 1u);
+  EXPECT_EQ(w1.count, 10u);
+  EXPECT_DOUBLE_EQ(w1.rate_per_sec, 10.0);
+  EXPECT_EQ(w1.max_ns, 1000000u);
+
+  const auto w10 = h.snapshot_at(10, ts(base + 5));
+  EXPECT_EQ(w10.count, 110u);
+  EXPECT_DOUBLE_EQ(w10.rate_per_sec, 11.0);
+  EXPECT_EQ(w10.max_ns, 1000000u);
+  // 100/110 samples are ~1us, 10/110 are ~1ms: p50 sits in the small
+  // bucket, p99 in the big one; the log2 interpolation bounds both.
+  EXPECT_GE(w10.p50_ns, 512.0);
+  EXPECT_LE(w10.p50_ns, 2048.0);
+  EXPECT_GE(w10.p99_ns, 512.0 * 1024.0);
+  EXPECT_LE(w10.p99_ns, 2048.0 * 1024.0);
+  EXPECT_LE(w10.p50_ns, w10.p95_ns);
+  EXPECT_LE(w10.p95_ns, w10.p99_ns);
+}
+
+TEST(WindowHistogram, OldSecondsFallOutOfTheWindow) {
+  WindowHistogram h;
+  const std::uint64_t base = 2000000;
+  for (int i = 0; i < 7; ++i) h.record_at(500, ts(base));
+
+  EXPECT_EQ(h.snapshot_at(10, ts(base + 20)).count, 0u);   // 20s ago > 10s window
+  EXPECT_EQ(h.snapshot_at(60, ts(base + 20)).count, 7u);   // still inside 60s
+  EXPECT_EQ(h.snapshot_at(60, ts(base + 70)).count, 0u);   // aged out entirely
+}
+
+TEST(WindowHistogram, SlotReuseWipesThePreviousEpoch) {
+  WindowHistogram h;
+  const std::uint64_t base = 3000000;
+  for (int i = 0; i < 5; ++i) h.record_at(100, ts(base));
+  // 64 seconds later the ring wraps onto the same slot.
+  for (int i = 0; i < 3; ++i) h.record_at(200, ts(base + WindowHistogram::kSlots));
+
+  const auto snap = h.snapshot_at(60, ts(base + WindowHistogram::kSlots));
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.max_ns, 200u);
+}
+
+TEST(WindowHistogram, SnapshotWindowIsClamped) {
+  WindowHistogram h;
+  const std::uint64_t base = 4000000;
+  h.record_at(100, ts(base));
+  EXPECT_EQ(h.snapshot_at(0, ts(base)).window_seconds, 1u);
+  EXPECT_EQ(h.snapshot_at(100000, ts(base)).window_seconds,
+            WindowHistogram::kMaxWindow);
+}
+
+TEST(WindowHistogram, ResetClearsEverySlot) {
+  WindowHistogram h;
+  const std::uint64_t base = 5000000;
+  for (int i = 0; i < 9; ++i) h.record_at(100, ts(base));
+  h.reset();
+  const auto snap = h.snapshot_at(60, ts(base));
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.max_ns, 0u);
+  EXPECT_EQ(snap.p99_ns, 0.0);
+}
+
+TEST(WindowHistogram, RegistryWindowIsSharedAndExported) {
+  WindowHistogram& a = window("test.win.shared_ns");
+  WindowHistogram& b = window("test.win.shared_ns");
+  EXPECT_EQ(&a, &b);
+  a.record(1000);
+
+  const std::string snap = Registry::instance().to_json();
+  ASSERT_TRUE(json_valid(snap)) << snap;
+  EXPECT_NE(snap.find("\"windows\""), std::string::npos);
+  EXPECT_NE(snap.find("test.win.shared_ns"), std::string::npos);
+  EXPECT_NE(snap.find("last_10s"), std::string::npos);
+  EXPECT_NE(snap.find("last_60s"), std::string::npos);
+}
+
+// -------------------------------------------------------- flight recorder
+
+TEST(FlightScope, CapturesSpansWithoutGlobalTracing) {
+  const bool was_tracing = trace_enabled();
+  set_trace_enabled(false);
+  const TraceStats before = trace_stats();
+  ASSERT_FALSE(span_capture_enabled());
+
+  {
+    FlightScope flight;
+    EXPECT_TRUE(span_capture_enabled());
+    {
+      TRACE_SPAN("flight.outer");
+      TRACE_SPAN("flight.inner", 7);
+    }
+    EXPECT_EQ(flight.span_count(), 2u);
+    EXPECT_EQ(flight.dropped(), 0u);
+
+    const std::string spans = flight.spans_json(0);
+    ASSERT_TRUE(json_valid(spans)) << spans;
+    const auto parsed = json_parse(spans);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->is_array());
+    ASSERT_EQ(parsed->items().size(), 2u);
+    std::set<std::string> names;
+    for (const JsonValue& s : parsed->items()) names.insert(s.get_string("name"));
+    EXPECT_TRUE(names.count("flight.outer"));
+    EXPECT_TRUE(names.count("flight.inner"));
+  }
+  EXPECT_FALSE(span_capture_enabled());
+
+  // Flight-only spans never touch the global trace rings.
+  const TraceStats after = trace_stats();
+  EXPECT_EQ(after.recorded, before.recorded);
+  set_trace_enabled(was_tracing);
+}
+
+TEST(FlightScope, NestedScopesRestoreTheOuterOne) {
+  const bool was_tracing = trace_enabled();
+  set_trace_enabled(false);
+
+  FlightScope outer;
+  {
+    FlightScope inner;
+    { TRACE_SPAN("flight.nested"); }
+    EXPECT_EQ(inner.span_count(), 1u);
+    EXPECT_EQ(outer.span_count(), 0u);
+  }
+  { TRACE_SPAN("flight.restored"); }
+  EXPECT_EQ(outer.span_count(), 1u);
+  const std::string spans = outer.spans_json(0);
+  EXPECT_NE(spans.find("flight.restored"), std::string::npos);
+  EXPECT_EQ(spans.find("flight.nested"), std::string::npos);
+  set_trace_enabled(was_tracing);
+}
+
+TEST(FlightScope, OverflowIsCountedNotGrown) {
+  const bool was_tracing = trace_enabled();
+  set_trace_enabled(false);
+
+  FlightScope flight(4);
+  for (int i = 0; i < 6; ++i) { TRACE_SPAN("flight.many"); }
+  EXPECT_EQ(flight.span_count(), 4u);
+  EXPECT_EQ(flight.dropped(), 2u);
+
+  const std::string spans = flight.spans_json(0);
+  ASSERT_TRUE(json_valid(spans)) << spans;
+  EXPECT_NE(spans.find("...dropped"), std::string::npos);
+  EXPECT_NE(spans.find("\"count\":2"), std::string::npos);
+  set_trace_enabled(was_tracing);
+}
+
+TEST(FlightScope, SpanTimingsAreRebasedToTheEpoch) {
+  const bool was_tracing = trace_enabled();
+  set_trace_enabled(false);
+
+  FlightScope flight;
+  const std::uint64_t epoch = now_ns();
+  { TRACE_SPAN("flight.timed"); }
+  const auto parsed = json_parse(flight.spans_json(epoch));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->items().size(), 1u);
+  const JsonValue& s = parsed->items()[0];
+  // Began at/after the epoch, and both figures are sane microseconds.
+  EXPECT_GE(s.get_number("at_us", -1), 0.0);
+  EXPECT_LT(s.get_number("at_us", -1), 60.0 * 1e6);
+  EXPECT_GE(s.get_number("dur_us", -1), 0.0);
+  set_trace_enabled(was_tracing);
+}
+
+}  // namespace
+}  // namespace fsr::obs

@@ -4,14 +4,19 @@
 // on does not change a corpus run's precision/recall.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "eval/runner.hpp"
 #include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -57,6 +62,58 @@ TEST(ObsJson, EscapesControlCharacters) {
   EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
   EXPECT_EQ(json_escape("x\n\t"), "x\\n\\t");
   EXPECT_TRUE(json_valid("\"" + json_escape(std::string(1, '\x01')) + "\""));
+}
+
+TEST(ObsJson, EscapesDelAndPassesUtf8Through) {
+  // DEL is a control character too — RFC 8259 only *requires* escaping
+  // below 0x20, but a raw 0x7f in a log line confuses terminals.
+  EXPECT_EQ(json_escape(std::string(1, '\x7f')), "\\u007f");
+  // Multi-byte UTF-8 sequences are data, not control: byte-for-byte
+  // passthrough keeps names like "héllo — 世界" readable in the JSONL.
+  const std::string utf8 = "h\xc3\xa9llo \xe2\x80\x94 \xe4\xb8\x96\xe7\x95\x8c";
+  EXPECT_EQ(json_escape(utf8), utf8);
+  EXPECT_TRUE(json_valid("\"" + json_escape(utf8) + "\""));
+}
+
+TEST(ObsJson, EscapeRoundTripsArbitraryBytes) {
+  // Any byte string must survive escape -> parse unchanged: controls
+  // (and DEL) become \u00XX which the parser decodes back to the same
+  // single byte, everything else passes through verbatim.
+  std::mt19937 rng(0xC0FFEE);
+  std::uniform_int_distribution<int> len_dist(0, 64);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string s;
+    const int len = len_dist(rng);
+    for (int i = 0; i < len; ++i) s += static_cast<char>(byte_dist(rng));
+    const std::string doc = "\"" + json_escape(s) + "\"";
+    ASSERT_TRUE(json_valid(doc)) << "iter " << iter;
+    const auto parsed = json_parse(doc);
+    ASSERT_TRUE(parsed.has_value()) << "iter " << iter;
+    EXPECT_EQ(parsed->as_string("<fail>"), s) << "iter " << iter;
+  }
+}
+
+// ------------------------------------------------------- signal handling
+
+/// Notify mode: the handler's only action is one write() to the
+/// configured fd — the byte shows up, the process does not die, and
+/// last_signal() records why. This is exactly the fsrd self-pipe path.
+TEST(ObsSignals, NotifyModeWritesOneByteAndReturns) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  install_signal_flush();
+  set_signal_notify_fd(fds[1]);
+
+  ASSERT_EQ(std::raise(SIGTERM), 0);  // delivered synchronously
+
+  char byte = 0;
+  ASSERT_EQ(read(fds[0], &byte, 1), 1);  // handler wrote the wake-up byte
+  EXPECT_EQ(last_signal(), SIGTERM);
+
+  set_signal_notify_fd(-1);  // revert to terminate mode
+  close(fds[0]);
+  close(fds[1]);
 }
 
 // -------------------------------------------------------------- metrics

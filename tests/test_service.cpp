@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "inject/fault.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/json.hpp"
 #include "service/client.hpp"
 #include "service/proto.hpp"
@@ -194,6 +195,77 @@ TEST_F(ServiceIntegration, StatsReflectTraffic) {
   EXPECT_GE(cache->find("images")->get_number("entries", -1), 1.0);
 }
 
+TEST_F(ServiceIntegration, StatsRoundTripPerOpCounters) {
+  // Known traffic mix: 2 ok pings + 1 failing identify, then read the
+  // per-op counters back. The stats request itself is counted after
+  // dispatch, so it never perturbs the numbers it reports.
+  EXPECT_TRUE(roundtrip("{\"op\":\"ping\"}").get_bool("ok", false));
+  EXPECT_TRUE(roundtrip("{\"op\":\"ping\"}").get_bool("ok", false));
+  EXPECT_FALSE(roundtrip("{\"op\":\"identify\"}").get_bool("ok", true));
+
+  const auto r = roundtrip("{\"op\":\"stats\"}");
+  ASSERT_TRUE(r.get_bool("ok", false));
+  const obs::JsonValue* ops = r.find("ops");
+  ASSERT_NE(ops, nullptr);
+  const obs::JsonValue* ping = ops->find("ping");
+  ASSERT_NE(ping, nullptr);
+  EXPECT_EQ(ping->get_number("requests", -1), 2.0);
+  EXPECT_EQ(ping->get_number("errors", -1), 0.0);
+  const obs::JsonValue* identify = ops->find("identify");
+  ASSERT_NE(identify, nullptr);
+  EXPECT_EQ(identify->get_number("requests", -1), 1.0);
+  EXPECT_EQ(identify->get_number("errors", -1), 1.0);
+
+  // Ingress windows: the server recorded every request so far (the
+  // snapshot runs inside the 4th, so at least the first 3 are in).
+  const obs::JsonValue* windows = r.find("windows");
+  ASSERT_NE(windows, nullptr);
+  const obs::JsonValue* req_win = windows->find("request");
+  ASSERT_NE(req_win, nullptr);
+  const obs::JsonValue* w10 = req_win->find("last_10s");
+  ASSERT_NE(w10, nullptr);
+  EXPECT_GE(w10->get_number("count", 0), 3.0);
+  EXPECT_GT(w10->get_number("rate_per_sec", 0), 0.0);
+  ASSERT_NE(windows->find("hit"), nullptr);
+  ASSERT_NE(windows->find("miss"), nullptr);
+
+  const obs::JsonValue* log = r.find("log");
+  ASSERT_NE(log, nullptr);
+  ASSERT_NE(log->find("enabled"), nullptr);
+  ASSERT_NE(log->find("recorded"), nullptr);
+}
+
+TEST_F(ServiceIntegration, MetricsOpReturnsRegistrySnapshot) {
+  const auto r = roundtrip("{\"op\":\"metrics\"}");
+  ASSERT_TRUE(r.get_bool("ok", false));
+  const obs::JsonValue* registry = r.find("registry");
+  ASSERT_NE(registry, nullptr);
+  ASSERT_TRUE(registry->is_object());
+  EXPECT_NE(registry->find("counters"), nullptr);
+  EXPECT_NE(registry->find("windows"), nullptr);
+}
+
+TEST_F(ServiceIntegration, TailOpReturnsRecentEvents) {
+  const bool was_on = obs::log_enabled();
+  obs::set_log_enabled(true);
+  obs::log_event(obs::Severity::kInfo, "test.tail_marker",
+                 obs::LogFields{}.integer("n", 17));
+
+  const auto r = roundtrip("{\"op\":\"tail\",\"count\":500}");
+  ASSERT_TRUE(r.get_bool("ok", false));
+  EXPECT_TRUE(r.get_bool("log_enabled", false));
+  const obs::JsonValue* events = r.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool found = false;
+  for (const obs::JsonValue& e : events->items())
+    if (e.get_string("event") == "test.tail_marker" &&
+        e.get_number("n", 0) == 17.0)
+      found = true;
+  EXPECT_TRUE(found);
+  obs::set_log_enabled(was_on);
+}
+
 TEST_F(ServiceIntegration, RejectsBadRequestsWithoutDying) {
   EXPECT_FALSE(roundtrip("{\"op\":\"identify\"}").get_bool("ok", true));
   EXPECT_FALSE(roundtrip("{\"op\":\"identify\",\"elf\":\"!!notb64!!\"}").get_bool("ok", true));
@@ -276,6 +348,56 @@ TEST(ServiceInProcess, HandleNeverThrowsOnFuzzedRequests) {
     EXPECT_FALSE(out.json.empty());
     EXPECT_FALSE(out.ok) << request;
   }
+}
+
+/// Flight-recorder acceptance: with an immediately-expiring deadline,
+/// EVERY handled request — including the hostile-upload mutants — must
+/// leave exactly one svc.slow_request event behind.
+TEST(ServiceInProcess, DeadlineExpiredRequestsEmitSlowRequestEvents) {
+  const bool was_on = obs::log_enabled();
+  obs::set_log_enabled(true);
+  obs::set_log_rate_limit(1u << 16);  // the tally must not be rate-limited here
+  obs::clear_log();
+
+  service::ServiceOptions opts;
+  opts.request_deadline_seconds = 1e-9;  // expires before any work happens
+  service::Service svc(opts);
+
+  const auto base = sample_binary();
+  std::size_t handled = 0;
+  std::size_t timeouts = 0;
+  for (const inject::FaultPlan& plan : inject::make_plans(11, inject::kMutationCount)) {
+    const auto mutant = inject::mutate(base, plan);
+    const auto out = svc.handle("{\"op\":\"identify\",\"elf\":\"" +
+                                service::b64_encode(mutant) + "\"}");
+    ++handled;
+    const auto parsed = obs::json_parse(out.json);
+    ASSERT_TRUE(parsed.has_value()) << plan.label();
+    EXPECT_FALSE(parsed->get_bool("ok", true)) << plan.label();
+    if (parsed->get_string("code") == "timeout") ++timeouts;
+  }
+  ASSERT_GT(handled, 0u);
+  EXPECT_GT(timeouts, 0u);  // the cooperative deadline actually fired
+
+  // One dump per expired request — no more, no less — and each one
+  // carries the flight recorder's span list plus the op/elapsed facts.
+  std::size_t dumps = 0;
+  for (const obs::LogEvent& e : obs::log_tail(1000)) {
+    if (e.event != "svc.slow_request") continue;
+    dumps += 1 + e.suppressed;
+    const auto parsed = obs::json_parse(e.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->get_string("op"), "identify");
+    EXPECT_TRUE(parsed->get_bool("deadline_expired", false));
+    EXPECT_NE(parsed->find("spans"), nullptr);
+    EXPECT_GE(parsed->get_number("elapsed_us", -1), 0.0);
+  }
+  EXPECT_EQ(dumps, handled);
+  EXPECT_EQ(svc.slow_requests(), handled);
+
+  obs::clear_log();
+  obs::set_log_rate_limit(128);
+  obs::set_log_enabled(was_on);
 }
 
 }  // namespace

@@ -4,17 +4,24 @@
 //        [--time-budget SECONDS]
 //
 // Listens on a Unix-domain socket for length-prefixed JSON requests
-// (identify / compare / disasm / stats / ping / shutdown — see
-// src/service/proto.hpp for the framing and field reference) and
-// serves them out of a content-addressed analysis cache: repeated
-// queries against the same ELF bytes skip parsing and decoding
-// entirely. SIGINT/SIGTERM drain in-flight requests and flush the
-// configured obs artifacts before exiting.
+// (identify / compare / disasm / stats / metrics / tail / ping /
+// shutdown — see src/service/proto.hpp for the framing and field
+// reference) and serves them out of a content-addressed analysis
+// cache: repeated queries against the same ELF bytes skip parsing and
+// decoding entirely. SIGINT/SIGTERM drain in-flight requests and flush
+// the configured obs artifacts before exiting.
+//
+// The structured event log is always on (in-memory rings, so `tail`
+// and slow-request dumps work out of the box); --log-out streams it to
+// a JSONL file. `fsrtop --socket ...` renders the live stats.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include <unistd.h>
+
+#include "obs/eventlog.hpp"
 #include "obs/obs.hpp"
 #include "service/server.hpp"
 #include "util/error.hpp"
@@ -31,12 +38,15 @@ namespace {
                "  --threads N          analysis pool workers (default: REPRO_THREADS or cores)\n"
                "  --cache-mb N         analysis cache budget in MiB (default: REPRO_CACHE_MB or 768)\n"
                "  --time-budget SEC    per-request deadline (default: REPRO_TIME_BUDGET or unlimited)\n"
+               "  --slow-ms N          dump a slow-request event past N milliseconds (default: 0 = off;\n"
+               "                       deadline-expired requests always dump)\n"
                "  --version            print version and exit\n"
                "  --help               this text\n"
-               "observability (also REPRO_TRACE/REPRO_METRICS/REPRO_REPORT):\n"
+               "observability (also REPRO_TRACE/REPRO_METRICS/REPRO_REPORT/REPRO_LOG):\n"
                "  --trace-out FILE     Chrome trace-event JSON\n"
                "  --metrics-out FILE   counters/gauges/latency snapshot\n"
-               "  --report-out FILE    per-request JSONL reports\n");
+               "  --report-out FILE    per-request JSONL reports\n"
+               "  --log-out FILE       stream the structured event log (JSONL, ~200ms flush)\n");
   std::exit(rc);
 }
 
@@ -86,6 +96,9 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.service.request_deadline_seconds = v;
+    } else if (arg == "--slow-ms") {
+      opts.service.slow_request_seconds =
+          static_cast<double>(parse_long("--slow-ms", value())) / 1e3;
     } else {
       std::fprintf(stderr, "fsrd: unknown argument '%s'\n", arg.c_str());
       usage(2);
@@ -96,6 +109,17 @@ int main(int argc, char** argv) {
     usage(2);
   }
 
+  // The event log is always on: its in-memory rings are what the
+  // `tail` op and slow-request dumps read. --log-out/REPRO_LOG
+  // additionally streams them to disk (handled by obs wiring above).
+  obs::set_log_enabled(true);
+
+  const std::size_t cache_mb =
+      (opts.service.cache_bytes > 0
+           ? opts.service.cache_bytes
+           : service::AnalysisCache::default_capacity_bytes()) >>
+      20;
+
   int rc = 0;
   try {
     service::Server server(std::move(opts));
@@ -104,14 +128,36 @@ int main(int argc, char** argv) {
     // shutdown path below then drains and flushes.
     obs::install_signal_flush();
     obs::set_signal_notify_fd(server.signal_notify_fd());
-    std::fprintf(stderr, "fsrd %s listening on %s (%zu workers)\n", util::kVersion,
-                 server.socket_path().c_str(), server.workers());
+
+    // Startup banner: one parseable line per fact, all on stderr so
+    // piped stdout stays clean.
+    const service::Service& svc = server.service();
+    std::fprintf(stderr, "fsrd %s (%s) pid %ld\n", util::kVersion,
+                 util::kProjectName, static_cast<long>(::getpid()));
+    std::fprintf(stderr, "fsrd: listening on %s\n", server.socket_path().c_str());
+    std::fprintf(stderr, "fsrd: %zu pool workers, %zu MiB analysis cache\n",
+                 server.workers(), cache_mb);
+    if (svc.deadline_seconds() > 0.0)
+      std::fprintf(stderr, "fsrd: per-request deadline %.3fs\n",
+                   svc.deadline_seconds());
+    if (svc.slow_seconds() > 0.0)
+      std::fprintf(stderr, "fsrd: slow-request threshold %.0fms\n",
+                   svc.slow_seconds() * 1e3);
+    std::fprintf(stderr, "fsrd: event log %s\n",
+                 obs::log_path().empty() ? "in-memory (tail op only)"
+                                         : obs::log_path().c_str());
+
     server.wait();
     obs::set_signal_notify_fd(-1);
     if (const int sig = obs::last_signal(); sig != 0)
       std::fprintf(stderr, "fsrd: exiting on signal %d\n", sig);
     else
       std::fprintf(stderr, "fsrd: exiting on shutdown request\n");
+    std::fprintf(stderr,
+                 "fsrd: served %llu requests (%llu errors, %llu slow)\n",
+                 static_cast<unsigned long long>(svc.requests()),
+                 static_cast<unsigned long long>(svc.errors()),
+                 static_cast<unsigned long long>(svc.slow_requests()));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fsrd: %s\n", e.what());
     rc = 1;

@@ -1,0 +1,219 @@
+// fsrtop — live view of a running fsrd daemon.
+//
+//   fsrtop --socket /run/fsrd.sock [--interval SEC] [--once] [--json]
+//
+// Polls the daemon's `stats` op over the Unix-domain socket and
+// renders a refreshing terminal view: req/s and p50/p99 over the last
+// 10s/60s windows, cache hit rate and bytes, pool pressure, event-log
+// and slow-request state. `--once` prints a single snapshot and exits;
+// with `--json` the snapshot is the raw stats response, which is what
+// scripts and the CI smoke test consume.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "obs/json.hpp"
+#include "service/client.hpp"
+#include "util/version.hpp"
+
+using namespace fsr;
+
+namespace {
+
+[[noreturn]] void usage(int rc) {
+  std::fprintf(rc == 0 ? stdout : stderr,
+               "usage: fsrtop --socket PATH [options]\n"
+               "  --socket PATH    fsrd Unix-domain socket (required)\n"
+               "  --interval SEC   refresh period (default: 2)\n"
+               "  --once           one snapshot, then exit\n"
+               "  --json           print the raw stats JSON (implies no screen clearing)\n"
+               "  --version        print version and exit\n"
+               "  --help           this text\n");
+  std::exit(rc);
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+/// Safe nested lookup: obj.a.b returns nullptr when any hop is absent.
+const obs::JsonValue* walk(const obs::JsonValue* v, const char* a,
+                           const char* b = nullptr) {
+  if (v == nullptr) return nullptr;
+  v = v->find(a);
+  if (v == nullptr || b == nullptr) return v;
+  return v->find(b);
+}
+
+double num_at(const obs::JsonValue* obj, const char* key) {
+  const obs::JsonValue* v = obj != nullptr ? obj->find(key) : nullptr;
+  return v != nullptr ? v->as_number(0) : 0.0;
+}
+
+std::string fmt_ns(double ns) {
+  char buf[32];
+  if (ns >= 1e9)
+    std::snprintf(buf, sizeof buf, "%.2fs", ns / 1e9);
+  else if (ns >= 1e6)
+    std::snprintf(buf, sizeof buf, "%.1fms", ns / 1e6);
+  else if (ns >= 1e3)
+    std::snprintf(buf, sizeof buf, "%.1fus", ns / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  return buf;
+}
+
+std::string fmt_bytes(double b) {
+  char buf[32];
+  if (b >= double{1 << 30} * 1.0)
+    std::snprintf(buf, sizeof buf, "%.2fGiB", b / double{1 << 30});
+  else if (b >= double{1 << 20} * 1.0)
+    std::snprintf(buf, sizeof buf, "%.1fMiB", b / double{1 << 20});
+  else
+    std::snprintf(buf, sizeof buf, "%.0fKiB", b / double{1 << 10});
+  return buf;
+}
+
+void render(const obs::JsonValue& stats, const std::string& socket) {
+  const double uptime = num_at(&stats, "uptime_seconds");
+  std::printf("fsrd %s on %s — up %.0fs\n",
+              stats.get_string("version").c_str(), socket.c_str(), uptime);
+  std::printf("requests %.0f   errors %.0f   slow %.0f\n",
+              num_at(&stats, "requests"), num_at(&stats, "errors"),
+              num_at(&stats, "slow_requests"));
+
+  const obs::JsonValue* windows = stats.find("windows");
+  const auto window_row = [&](const char* label, const char* key) {
+    const obs::JsonValue* w = walk(windows, key);
+    const obs::JsonValue* w10 = walk(w, "last_10s");
+    const obs::JsonValue* w60 = walk(w, "last_60s");
+    std::printf("%-8s 10s: %7.1f req/s  p50 %8s  p99 %8s   | 60s: %7.1f req/s  p99 %8s\n",
+                label, num_at(w10, "rate_per_sec"),
+                fmt_ns(num_at(w10, "p50_ns")).c_str(),
+                fmt_ns(num_at(w10, "p99_ns")).c_str(),
+                num_at(w60, "rate_per_sec"),
+                fmt_ns(num_at(w60, "p99_ns")).c_str());
+  };
+  std::printf("\nlatency (ingress, queue wait included)\n");
+  window_row("all", "request");
+  window_row("hit", "hit");
+  window_row("miss", "miss");
+
+  const obs::JsonValue* cache = stats.find("cache");
+  const obs::JsonValue* images = walk(cache, "images");
+  const obs::JsonValue* results = walk(cache, "results");
+  const double hits = num_at(images, "hits") + num_at(results, "hits");
+  const double misses = num_at(images, "misses") + num_at(results, "misses");
+  const double lookups = hits + misses;
+  const double bytes = num_at(images, "bytes") + num_at(results, "bytes");
+  std::printf("\ncache    %5.1f%% hit of %.0f lookups   %s of %s   "
+              "%.0f images  %.0f results\n",
+              lookups > 0 ? 100.0 * hits / lookups : 0.0, lookups,
+              fmt_bytes(bytes).c_str(),
+              fmt_bytes(num_at(cache, "capacity_bytes")).c_str(),
+              num_at(images, "entries"), num_at(results, "entries"));
+
+  const obs::JsonValue* pool = stats.find("pool");
+  std::printf("pool     %.0f workers   queue %.0f (max %.0f)\n",
+              num_at(pool, "workers"), num_at(pool, "queue_depth"),
+              num_at(pool, "queue_depth_max"));
+
+  const obs::JsonValue* log = stats.find("log");
+  const obs::JsonValue* enabled = walk(log, "enabled");
+  std::printf("log      %s   %.0f recorded  %.0f dropped  %.0f suppressed\n",
+              (enabled != nullptr && enabled->as_bool(false)) ? "on" : "off",
+              num_at(log, "recorded"), num_at(log, "dropped"),
+              num_at(log, "suppressed"));
+
+  const obs::JsonValue* ops = stats.find("ops");
+  if (ops != nullptr && ops->is_object() && !ops->members().empty()) {
+    std::printf("\nop            requests    errors\n");
+    for (const auto& [name, counters] : ops->members())
+      std::printf("%-12s %9.0f %9.0f\n", name.c_str(),
+                  num_at(&counters, "requests"), num_at(&counters, "errors"));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket;
+  double interval = 2.0;
+  bool once = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fsrtop: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--version") {
+      std::printf("fsrtop (%s) %s\n", util::kProjectName, util::kVersion);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--socket") {
+      socket = value();
+    } else if (arg == "--interval") {
+      interval = std::strtod(value(), nullptr);
+      if (interval <= 0.0) interval = 2.0;
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "fsrtop: unknown argument '%s'\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (socket.empty()) {
+    std::fprintf(stderr, "fsrtop: --socket PATH is required\n");
+    usage(2);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  service::Client client;
+  if (!client.connect(socket)) {
+    std::fprintf(stderr, "fsrtop: cannot connect to %s: %s\n", socket.c_str(),
+                 client.last_error().c_str());
+    return 1;
+  }
+
+  while (g_stop == 0) {
+    const auto response = client.request("{\"op\":\"stats\"}");
+    if (!response.has_value()) {
+      std::fprintf(stderr, "fsrtop: daemon went away (%s)\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    if (json) {
+      std::printf("%s\n", response->c_str());
+    } else {
+      const auto parsed = obs::json_parse(*response);
+      if (!parsed.has_value() || !parsed->is_object()) {
+        std::fprintf(stderr, "fsrtop: malformed stats response\n");
+        return 1;
+      }
+      if (!once) std::printf("\x1b[H\x1b[2J");  // home + clear
+      render(*parsed, socket);
+    }
+    std::fflush(stdout);
+    if (once) break;
+
+    // Sleep in small steps so ^C exits promptly.
+    const long steps = static_cast<long>(interval * 10.0);
+    for (long s = 0; s < steps && g_stop == 0; ++s) {
+      timespec ts{0, 100 * 1000 * 1000};
+      nanosleep(&ts, nullptr);
+    }
+  }
+  return 0;
+}
