@@ -4,7 +4,11 @@
 // bit-identical precision/recall. Since PR 8 the "on" mode also
 // exercises the rolling-window histograms (eval.binary_ns) and the
 // per-binary event log records, so the gate prices the whole live
-// telemetry surface, not just spans and counters.
+// telemetry surface, not just spans and counters. Since PR 9 the
+// decode entry point also carries a disarmed failpoint check
+// (util::failpoint("eval.decode"), one relaxed atomic load), so both
+// modes price the fault-injection layer at its permanent default-off
+// cost under the same <3% budget.
 //
 // Method: one untimed warmup pass populates the BinaryCache (so both
 // modes time analysis, not generation), then alternating off/on passes;

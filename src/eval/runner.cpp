@@ -16,6 +16,7 @@
 #include "obs/window.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/stopwatch.hpp"
 
 namespace fsr::eval {
@@ -79,6 +80,11 @@ int env_sweep_shards() {
 
 SharedDecode decode_shared(const elf::Image& stripped,
                            const x86::SweepParallel& par) {
+  // The allocation-heaviest entry point in the tree; the failpoint
+  // models an OOM-class failure here. Callers (CorpusRunner, service)
+  // already contain per-binary throws, so injection stays scoped to
+  // one binary's result.
+  if (util::failpoint("eval.decode")) throw Error("failpoint: eval.decode");
   SharedDecode d;
   if (stripped.machine == elf::Machine::kArm64) return d;  // x86 tools only
   util::Stopwatch watch;

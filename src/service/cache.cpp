@@ -5,6 +5,8 @@
 
 #include "elf/reader.hpp"
 #include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/stopwatch.hpp"
 
 namespace fsr::service {
@@ -47,6 +49,10 @@ std::optional<ContentId> ContentId::parse(std::string_view text) {
 }
 
 CachedImage make_cached_image(std::span<const std::uint8_t> bytes) {
+  // Simulated parse failure under memory pressure; the service catches
+  // this like any malformed input and answers with a structured error.
+  if (util::failpoint("cache.build_image"))
+    throw Error("failpoint: cache.build_image");
   CachedImage ci;
   ci.input_bytes = bytes.size();
   util::Stopwatch watch;
@@ -99,6 +105,9 @@ std::shared_ptr<const CachedImage> AnalysisCache::find_image(const ContentId& id
 
 std::shared_ptr<const CachedImage> AnalysisCache::insert_image(
     const ContentId& id, std::shared_ptr<const CachedImage> img) {
+  // A lost insert is not an error: the caller keeps its own reference
+  // and the next request simply rebuilds (cache is an optimization).
+  if (util::failpoint("cache.insert_image")) return img;
   const std::size_t cost = img->approx_bytes();
   return images_.insert(id, std::move(img), cost).resident;
 }
@@ -110,6 +119,7 @@ std::shared_ptr<const eval::RunResult> AnalysisCache::find_result(const ResultKe
 std::shared_ptr<const eval::RunResult> AnalysisCache::insert_result(
     const ResultKey& key, eval::RunResult result) {
   auto value = std::make_shared<const eval::RunResult>(std::move(result));
+  if (util::failpoint("cache.insert_result")) return value;
   const std::size_t cost = result_bytes(*value);
   return results_.insert(key, std::move(value), cost).resident;
 }

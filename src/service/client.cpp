@@ -1,17 +1,62 @@
 #include "service/client.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 namespace fsr::service {
 
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool retryable_errno(int err) {
+  switch (err) {
+    case ECONNREFUSED:  // daemon not yet re-listening
+    case ENOENT:        // socket path unlinked mid-restart
+    case ECONNRESET:    // died mid-exchange
+    case EPIPE:
+    case EAGAIN:        // SO_RCVTIMEO/SO_SNDTIMEO expiry
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ETIMEDOUT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Client::Client(const ClientOptions& opts) : opts_(opts), jitter_(opts.backoff_seed) {}
+
+bool Client::apply_timeouts() {
+  if (opts_.op_timeout_seconds <= 0.0) return true;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(opts_.op_timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (opts_.op_timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  return ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0 &&
+         ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) == 0;
+}
+
 bool Client::connect(const std::string& socket_path) {
   fd_.reset();
   error_.clear();
+  last_errno_ = 0;
+  timed_out_ = false;
+  path_ = socket_path;
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -23,7 +68,8 @@ bool Client::connect(const std::string& socket_path) {
 
   UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) {
-    error_ = std::string("socket(): ") + std::strerror(errno);
+    last_errno_ = errno;
+    error_ = std::string("socket(): ") + std::strerror(last_errno_);
     return false;
   }
   int rc;
@@ -31,15 +77,62 @@ bool Client::connect(const std::string& socket_path) {
     rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) {
-    error_ = "connect(" + socket_path + "): " + std::strerror(errno);
+    last_errno_ = errno;
+    error_ = "connect(" + socket_path + "): " + std::strerror(last_errno_);
     return false;
   }
   fd_ = std::move(fd);
+  apply_timeouts();
   return true;
 }
 
 std::optional<std::string> Client::request(std::string_view json) {
   return raw_frame(json, nullptr);
+}
+
+std::optional<std::string> Client::call(std::string_view json, bool idempotent) {
+  const int attempts = opts_.max_attempts > 0 ? opts_.max_attempts : 1;
+  const double deadline = opts_.total_budget_seconds > 0.0
+                              ? now_seconds() + opts_.total_budget_seconds
+                              : 0.0;
+  for (int attempt = 1;; ++attempt) {
+    bool sent = false;
+    if (fd_.valid() || connect(path_)) {
+      if (write_frame(fd_.get(), json)) {
+        sent = true;
+        auto response = read_response(nullptr);
+        if (response) return response;
+      } else {
+        last_errno_ = errno;
+        timed_out_ = last_errno_ == EAGAIN || last_errno_ == EWOULDBLOCK;
+        error_ = std::string("write: ") + std::strerror(last_errno_);
+        fd_.reset();
+      }
+    }
+    // A request that was sent may have executed server-side; only an
+    // idempotent op can be safely re-issued after that point.
+    if (sent && !idempotent) return std::nullopt;
+    if (attempt >= attempts) return std::nullopt;
+    if (!retryable_errno(last_errno_)) return std::nullopt;
+
+    double backoff_ms = opts_.backoff_base_ms;
+    for (int i = 1; i < attempt && backoff_ms < opts_.backoff_max_ms; ++i)
+      backoff_ms *= 2.0;
+    if (backoff_ms > opts_.backoff_max_ms) backoff_ms = opts_.backoff_max_ms;
+    backoff_ms *= 0.5 + jitter_.uniform();  // [0.5, 1.5): desynchronize peers
+    if (deadline > 0.0) {
+      const double left = deadline - now_seconds();
+      if (left <= 0.0) {
+        timed_out_ = true;
+        error_ = "retry budget exhausted";
+        return std::nullopt;
+      }
+      if (backoff_ms > left * 1e3) backoff_ms = left * 1e3;
+    }
+    ++retries_;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<long>(backoff_ms * 1e3)));
+  }
 }
 
 std::optional<std::string> Client::raw_frame(std::string_view payload, FrameStatus* status) {
@@ -49,6 +142,8 @@ std::optional<std::string> Client::raw_frame(std::string_view payload, FrameStat
     return std::nullopt;
   }
   if (!write_frame(fd_.get(), payload)) {
+    last_errno_ = errno;
+    timed_out_ = last_errno_ == EAGAIN || last_errno_ == EWOULDBLOCK;
     error_ = "write failed";
     fd_.reset();
     if (status != nullptr) *status = FrameStatus::kError;
@@ -65,6 +160,7 @@ bool Client::send_bytes(std::string_view bytes) {
         ::send(fd_.get(), bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      last_errno_ = errno;
       fd_.reset();
       return false;
     }
@@ -76,8 +172,18 @@ bool Client::send_bytes(std::string_view bytes) {
 std::optional<std::string> Client::read_response(FrameStatus* status) {
   std::string response;
   const FrameStatus st = read_frame(fd_.get(), response);
+  const int saved_errno = errno;  // before any allocating call below
   if (status != nullptr) *status = st;
   if (st != FrameStatus::kOk) {
+    if (st == FrameStatus::kError) {
+      last_errno_ = saved_errno;
+      timed_out_ = saved_errno == EAGAIN || saved_errno == EWOULDBLOCK;
+    } else {
+      // kClosed/kTruncated: the peer vanished — model as reset so the
+      // retry policy treats a mid-read server death as retryable.
+      last_errno_ = ECONNRESET;
+      timed_out_ = false;
+    }
     error_ = std::string("read: ") + to_string(st);
     fd_.reset();
     return std::nullopt;

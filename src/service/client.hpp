@@ -5,6 +5,29 @@
 // length-prefixed JSON framing from proto.hpp; raw_frame() bypasses
 // the JSON layer so tests can deliver deliberately hostile payloads
 // (garbage bytes, oversized length announcements).
+//
+// Failure model (PR 9): call() layers per-op deadlines and a retry
+// policy on top of the raw transport, so a daemon mid-restart is
+// invisible to callers:
+//
+//   - SO_RCVTIMEO/SO_SNDTIMEO bound every individual recv/send
+//     (op_timeout_seconds), and a monotonic overall budget
+//     (total_budget_seconds) bounds the whole call including backoff
+//     sleeps — a client can hang on neither a dead peer nor a retry
+//     loop.
+//   - A failed *send* means the request never reached the daemon and
+//     is always safe to retry. A failed *read* after a successful send
+//     may have executed server-side, so it is retried only when the
+//     caller says the operation is idempotent (every fsrd op except
+//     `shutdown` is).
+//   - Retryable transport errors: ECONNREFUSED/ENOENT (daemon not yet
+//     re-listening), ECONNRESET/EPIPE (died mid-exchange), and
+//     EAGAIN/ETIMEDOUT (op deadline fired). Structured responses —
+//     including `overloaded` rejects — are returned to the caller,
+//     never retried here; backoff policy for overload lives with the
+//     caller who knows the load it is generating.
+//   - Backoff between attempts is exponential with multiplicative
+//     jitter from util::Rng, deterministic per backoff_seed.
 #pragma once
 
 #include <cstdint>
@@ -13,12 +36,23 @@
 #include <string_view>
 
 #include "service/proto.hpp"
+#include "util/rng.hpp"
 
 namespace fsr::service {
 
+struct ClientOptions {
+  double op_timeout_seconds = 0.0;     // per recv/send; 0 = block forever
+  double total_budget_seconds = 0.0;   // whole call() incl. retries; 0 = none
+  int max_attempts = 1;                // 1 = no retry
+  double backoff_base_ms = 50.0;       // doubles per attempt...
+  double backoff_max_ms = 2000.0;      // ...capped here, then jittered
+  std::uint64_t backoff_seed = 1;      // deterministic jitter stream
+};
+
 class Client {
 public:
-  Client() = default;
+  Client() : Client(ClientOptions{}) {}
+  explicit Client(const ClientOptions& opts);
 
   /// Connect to a listening fsrd socket. Returns false (and records the
   /// error) when the socket is absent or refuses.
@@ -29,7 +63,13 @@ public:
 
   /// Send one JSON request and block for the JSON response. Empty
   /// optional means the transport failed (daemon gone, frame mangled).
+  /// One attempt, no retry — the primitive call() is built on.
   std::optional<std::string> request(std::string_view json);
+
+  /// request() plus the retry policy above. Reconnects as needed (the
+  /// socket path from the last connect() is remembered). Non-idempotent
+  /// calls never retry after a successful send.
+  std::optional<std::string> call(std::string_view json, bool idempotent = true);
 
   /// Send a raw payload as one frame and read one response frame.
   /// `status` receives the read-side outcome so hostile-input tests can
@@ -44,10 +84,24 @@ public:
   std::optional<std::string> read_response(FrameStatus* status = nullptr);
 
   [[nodiscard]] const std::string& last_error() const { return error_; }
+  /// errno of the last transport failure (0 when none was recorded).
+  [[nodiscard]] int last_errno() const { return last_errno_; }
+  /// True when the last failure was an op-deadline expiry.
+  [[nodiscard]] bool timed_out() const { return timed_out_; }
+  /// Retries performed across all call() invocations on this client.
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
 
 private:
+  bool apply_timeouts();
+
+  ClientOptions opts_;
   UniqueFd fd_;
+  std::string path_;      // last connect() target, for call() reconnects
   std::string error_;
+  int last_errno_ = 0;
+  bool timed_out_ = false;
+  std::uint64_t retries_ = 0;
+  util::Rng jitter_;
 };
 
 }  // namespace fsr::service

@@ -7,6 +7,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "util/failpoint.hpp"
+
 namespace fsr::service {
 
 namespace {
@@ -57,6 +59,7 @@ const char* to_string(FrameStatus s) {
 }
 
 FrameStatus read_frame(int fd, std::string& payload, std::uint32_t max_bytes) {
+  if (util::failpoint("svc.read_frame")) return FrameStatus::kError;
   std::uint8_t header[4];
   const ssize_t h = read_exact(fd, header, sizeof header);
   if (h < 0) return FrameStatus::kError;
@@ -76,6 +79,7 @@ FrameStatus read_frame(int fd, std::string& payload, std::uint32_t max_bytes) {
 }
 
 bool write_frame(int fd, std::string_view payload) {
+  if (util::failpoint("svc.write_frame")) return false;
   if (payload.size() > kMaxFrameBytes) return false;
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   const std::uint8_t header[4] = {

@@ -7,6 +7,8 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -15,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "obs/window.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace fsr::service {
 
@@ -31,6 +34,11 @@ struct ServerMetrics {
   obs::WindowHistogram& win_request = obs::window("svc.window.request_ns");
   obs::WindowHistogram& win_hit = obs::window("svc.window.hit_ns");
   obs::WindowHistogram& win_miss = obs::window("svc.window.miss_ns");
+  // Overload-shedding telemetry: rejected requests/connections, idle
+  // connections dropped to free fds, accept(2) transient-errno retries.
+  obs::Counter& overloaded = obs::counter("svc.overloaded");
+  obs::Counter& shed_connections = obs::counter("svc.shed_connections");
+  obs::Counter& accept_retries = obs::counter("svc.accept_retries");
 };
 
 ServerMetrics& server_metrics() {
@@ -41,6 +49,20 @@ ServerMetrics& server_metrics() {
 /// Live pool submissions, mirrored into the svc.queue_depth gauge so
 /// `stats` can report instantaneous and high-water request pressure.
 std::atomic<std::int64_t> g_inflight{0};
+
+constexpr std::string_view kOverloadedFrame =
+    "{\"ok\":false,\"code\":\"overloaded\","
+    "\"error\":\"server is shedding load; retry with backoff\"}";
+
+/// Liveness-probe a UDS path left behind by a previous daemon. A
+/// successful connect means someone is serving on it; a refused one
+/// means the bind outlived its process and the path is safe to reclaim.
+bool socket_is_live(const sockaddr_un& addr) {
+  UniqueFd probe(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!probe.valid()) return false;
+  return ::connect(probe.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) == 0;
+}
 
 }  // namespace
 
@@ -62,6 +84,19 @@ void Server::start() {
     if (started_) return;
     started_ = true;
   }
+  // A throw below must leave the server stoppable: nothing is running
+  // yet, so roll the flag back or ~Server would wait for an accept
+  // loop that never existed.
+  try {
+    start_locked();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    started_ = false;
+    throw;
+  }
+}
+
+void Server::start_locked() {
   if (opts_.socket_path.empty()) throw Error("fsrd: socket path must not be empty");
 
   sockaddr_un addr{};
@@ -72,7 +107,21 @@ void Server::start() {
 
   UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) throw Error(std::string("fsrd: socket(): ") + std::strerror(errno));
-  ::unlink(opts_.socket_path.c_str());  // stale socket from a previous run
+
+  // Stale-socket recovery: a SIGKILLed predecessor leaves its bound
+  // path behind. Reclaim it only after proving nothing answers there —
+  // unlinking a live daemon's socket would silently orphan it — and
+  // never unlink a path that is not a socket at all.
+  struct stat st{};
+  if (::lstat(opts_.socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode))
+      throw Error("fsrd: " + opts_.socket_path + " exists and is not a socket");
+    if (socket_is_live(addr))
+      throw Error("fsrd: a daemon is already listening on " + opts_.socket_path);
+    ::unlink(opts_.socket_path.c_str());
+    if (obs::log_enabled())
+      obs::log_event(obs::Severity::kInfo, "svc.stale_socket_reclaimed");
+  }
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
     throw Error("fsrd: bind(" + opts_.socket_path + "): " + std::strerror(errno));
   if (::listen(fd.get(), 64) != 0)
@@ -126,21 +175,83 @@ void Server::accept_loop() {
     if ((fds[1].revents & POLLIN) != 0) break;  // self-pipe byte: shutdown
     if ((fds[0].revents & POLLIN) == 0) continue;
 
-    const int conn = ::accept4(listen_fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    int conn;
+    int fp_errno = 0;
+    if (util::failpoint("svc.accept", &fp_errno)) {
+      conn = -1;
+      errno = fp_errno != 0 ? fp_errno : EMFILE;
+    } else {
+      conn = ::accept4(listen_fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    }
     if (conn < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listening socket gone
+      const int err = errno;  // before any allocating/logging call
+      if (err == EINTR || err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+        // Resource exhaustion is transient by definition: free what we
+        // can (an idle connection's fd), breathe, and keep accepting.
+        // Breaking here would silently wedge the daemon forever.
+        server_metrics().accept_retries.add();
+        {
+          std::lock_guard<std::mutex> lock(conn_mutex_);
+          reap_finished_locked();
+          shed_oldest_idle_locked();
+        }
+        if (obs::log_enabled())
+          obs::log_event(obs::Severity::kWarn, "svc.accept_backoff",
+                         obs::LogFields().num("errno", err));
+        accept_pause_ms(10);
+        continue;
+      }
+      if (err == EBADF || err == EINVAL) break;  // listening socket gone
+      // Unknown errno: log and keep going — an accept loop that dies
+      // quietly is the worst possible failure mode for a daemon.
+      if (obs::log_enabled())
+        obs::log_event(obs::Severity::kError, "svc.accept_error",
+                       obs::LogFields().num("errno", err));
+      accept_pause_ms(10);
+      continue;
     }
     server_metrics().connections.add();
     if (obs::log_enabled())
       obs::log_event(obs::Severity::kDebug, "svc.connection");
+    UniqueFd conn_fd(conn);
+    if (opts_.write_budget_seconds > 0.0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(opts_.write_budget_seconds);
+      tv.tv_usec = static_cast<suseconds_t>(
+          (opts_.write_budget_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+      ::setsockopt(conn_fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    }
     std::lock_guard<std::mutex> lock(conn_mutex_);
     reap_finished_locked();
+    if (opts_.max_connections > 0 && connections_.size() >= opts_.max_connections) {
+      server_metrics().overloaded.add();
+      if (obs::log_enabled())
+        obs::log_event(obs::Severity::kWarn, "svc.overloaded",
+                       obs::LogFields().str("reason", "connections"));
+      write_frame(conn_fd.get(), kOverloadedFrame);
+      continue;  // conn_fd closes on scope exit
+    }
     auto c = std::make_unique<Connection>();
-    c->fd = UniqueFd(conn);
+    c->fd = std::move(conn_fd);
     Connection* raw = c.get();
+    bool spawn_failed = util::failpoint("svc.spawn");
+    if (!spawn_failed) {
+      try {
+        raw->thread = std::thread([this, raw] { connection_loop(raw); });
+      } catch (const std::system_error&) {
+        spawn_failed = true;  // EAGAIN: thread limit reached
+      }
+    }
+    if (spawn_failed) {
+      server_metrics().overloaded.add();
+      if (obs::log_enabled())
+        obs::log_event(obs::Severity::kWarn, "svc.overloaded",
+                       obs::LogFields().str("reason", "spawn"));
+      write_frame(c->fd.get(), kOverloadedFrame);
+      continue;  // Connection (and its fd) destroyed, thread never ran
+    }
     connections_.push_back(std::move(c));
-    raw->thread = std::thread([this, raw] { connection_loop(raw); });
   }
 
   // Teardown: make sure stop() state is set (the loop may have exited
@@ -217,6 +328,31 @@ void Server::reap_finished_locked() {
   connections_.swap(live);
 }
 
+// Free the fd of the longest-idle connection (no request on the pool).
+// Called under conn_mutex_ when accept(2) hits fd exhaustion: the shed
+// reader sees its socket shut down and exits; the entry is reaped on
+// the next pass. Busy connections are never shed — their response is
+// already paid for.
+void Server::shed_oldest_idle_locked() {
+  for (auto& c : connections_) {
+    if (c->done.load(std::memory_order_acquire)) continue;
+    if (c->busy.load(std::memory_order_acquire)) continue;
+    ::shutdown(c->fd.get(), SHUT_RDWR);
+    server_metrics().shed_connections.add();
+    if (obs::log_enabled())
+      obs::log_event(obs::Severity::kWarn, "svc.connection_shed");
+    return;
+  }
+}
+
+// Brief accept-loop breather that stays responsive to shutdown: polls
+// the self-pipe instead of sleeping, so a stop() during backoff is
+// seen on the next loop iteration, not after the nap.
+void Server::accept_pause_ms(int ms) {
+  pollfd pfd{pipe_rd_.get(), POLLIN, 0};
+  ::poll(&pfd, 1, ms);
+}
+
 void Server::connection_loop(Connection* conn) {
   const int fd = conn->fd.get();
   std::string payload;
@@ -236,8 +372,23 @@ void Server::connection_loop(Connection* conn) {
                       "\"error\":\"frame exceeds the 64 MiB limit\"}");
       break;
     }
+    if (opts_.max_inflight > 0 &&
+        g_inflight.load(std::memory_order_relaxed) >=
+            static_cast<std::int64_t>(opts_.max_inflight)) {
+      // Shed rather than queue: the client gets a prompt, structured
+      // answer it can back off on, and the connection stays usable.
+      server_metrics().overloaded.add();
+      if (obs::log_enabled())
+        obs::log_event(obs::Severity::kWarn, "svc.overloaded",
+                       obs::LogFields().str("reason", "inflight"));
+      payload.clear();
+      if (!write_frame(fd, kOverloadedFrame)) break;
+      continue;
+    }
     bool shutdown_requested = false;
+    conn->busy.store(true, std::memory_order_release);
     const std::string response = execute_on_pool(std::move(payload), shutdown_requested);
+    conn->busy.store(false, std::memory_order_release);
     payload.clear();
     const bool wrote = write_frame(fd, response);
     if (shutdown_requested) {

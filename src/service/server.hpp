@@ -35,6 +35,15 @@ struct ServerOptions {
   std::string socket_path;  // required
   std::size_t threads = 0;  // pool workers; 0 = REPRO_THREADS / hardware
   ServiceOptions service{};
+  // Overload shedding: past these limits the server answers with a
+  // structured `overloaded` frame instead of queueing without bound.
+  // 0 disables the respective limit.
+  std::size_t max_connections = 256;  // concurrent reader threads
+  std::size_t max_inflight = 128;     // requests submitted to the pool
+  // Slow-client write budget (SO_SNDTIMEO): a peer that stops draining
+  // its socket for this long gets its connection dropped instead of
+  // parking a reader thread forever. 0 disables.
+  double write_budget_seconds = 30.0;
 };
 
 class Server {
@@ -67,8 +76,11 @@ public:
 private:
   struct Connection;
 
+  void start_locked();
   void accept_loop();
   void reap_finished_locked();
+  void shed_oldest_idle_locked();
+  void accept_pause_ms(int ms);
   void connection_loop(Connection* conn);
   std::string execute_on_pool(std::string payload, bool& shutdown_requested);
 
@@ -84,6 +96,7 @@ private:
     UniqueFd fd;
     std::thread thread;
     std::atomic<bool> done{false};
+    std::atomic<bool> busy{false};  // a request of ours is on the pool
   };
   std::mutex conn_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;

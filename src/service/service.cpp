@@ -315,6 +315,7 @@ Service::Service(ServiceOptions opts)
                                   : AnalysisCache::default_capacity_bytes()),
       deadline_seconds_(opts.request_deadline_seconds),
       slow_seconds_(opts.slow_request_seconds),
+      restart_count_(opts.restart_count),
       start_ns_(obs::now_ns()) {
   if (deadline_seconds_ <= 0.0) {
     if (const char* env = std::getenv("REPRO_TIME_BUDGET"); env != nullptr) {
@@ -632,6 +633,8 @@ std::string Service::stats_json() const {
   b.integer("requests", requests_.load(std::memory_order_relaxed));
   b.integer("errors", errors_.load(std::memory_order_relaxed));
   b.integer("slow_requests", slow_requests_.load(std::memory_order_relaxed));
+  b.integer("restarts", static_cast<std::uint64_t>(
+                            restart_count_ < 0 ? 0 : restart_count_));
   b.num("deadline_seconds", deadline_seconds_);
   b.num("slow_seconds", slow_seconds_);
   {
@@ -673,6 +676,18 @@ std::string Service::stats_json() const {
     cache_obj.raw("images", lru_stats_json(cache_.image_stats()));
     cache_obj.raw("results", lru_stats_json(cache_.result_stats()));
     b.raw("cache", cache_obj.close());
+  }
+  {
+    // Overload-shedding counters, recorded by the Server; zeros for an
+    // in-process Service.
+    ObjBuilder ov;
+    ov.integer("rejected_requests",
+               obs::counter("svc.overloaded").value());
+    ov.integer("shed_connections",
+               obs::counter("svc.shed_connections").value());
+    ov.integer("accept_retries",
+               obs::counter("svc.accept_retries").value());
+    b.raw("overload", ov.close());
   }
   {
     // The server mirrors its pool shape into these gauges; a Service

@@ -32,6 +32,7 @@ struct ServiceOptions {
   std::size_t cache_bytes = 0;          // 0: AnalysisCache::default_capacity_bytes()
   double request_deadline_seconds = 0;  // <=0: REPRO_TIME_BUDGET (unset = unlimited)
   double slow_request_seconds = 0;      // >0: dump a slow-request event past this
+  int restart_count = 0;                // crashes survived (set by --supervise)
 };
 
 /// Protocol operations, including the telemetry surface. kUnknown also
@@ -91,6 +92,7 @@ public:
   }
   [[nodiscard]] double deadline_seconds() const { return deadline_seconds_; }
   [[nodiscard]] double slow_seconds() const { return slow_seconds_; }
+  [[nodiscard]] int restart_count() const { return restart_count_; }
 
 private:
   Outcome dispatch(std::string_view request_json);
@@ -103,6 +105,7 @@ private:
   AnalysisCache cache_;
   double deadline_seconds_;
   double slow_seconds_;
+  int restart_count_ = 0;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> slow_requests_{0};

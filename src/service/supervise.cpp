@@ -1,0 +1,167 @@
+#include "service/supervise.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+namespace fsr::service {
+
+namespace {
+
+double monotonic_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// Signal plumbing is process-global state, so only one supervise() may
+// run per process (fsrd runs exactly one). The handler forwards the
+// operator's signal to the child and flags the loop to stop once the
+// child is reaped — crash-only means even "graceful" stop is just
+// "stop the child and don't restart it".
+volatile sig_atomic_t g_stop_requested = 0;
+volatile sig_atomic_t g_forwarded_signal = 0;
+volatile sig_atomic_t g_child_pid = 0;
+
+void forward_signal(int sig) {
+  g_stop_requested = 1;
+  g_forwarded_signal = sig;
+  const pid_t child = static_cast<pid_t>(g_child_pid);
+  if (child > 0) ::kill(child, sig);
+}
+
+void write_pid_file(const std::string& path, pid_t pid) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "%d\n", static_cast<int>(pid));
+  std::fclose(f);
+}
+
+// Sleep that wakes early when a stop signal arrives, so ctrl-C during
+// a backoff nap is honored immediately instead of after five seconds.
+void interruptible_sleep_ms(double ms) {
+  const double until = monotonic_seconds() + ms / 1e3;
+  while (g_stop_requested == 0) {
+    const double left = until - monotonic_seconds();
+    if (left <= 0.0) return;
+    timespec ts{};
+    const double chunk = left < 0.05 ? left : 0.05;
+    ts.tv_nsec = static_cast<long>(chunk * 1e9);
+    nanosleep(&ts, nullptr);
+  }
+}
+
+}  // namespace
+
+double supervise_backoff_ms(int restart, const SuperviseOptions& opts,
+                            util::Rng& rng) {
+  double ms = opts.backoff_base_ms;
+  for (int i = 1; i < restart && ms < opts.backoff_max_ms; ++i) ms *= 2.0;
+  if (ms > opts.backoff_max_ms) ms = opts.backoff_max_ms;
+  return ms * (0.5 + rng.uniform());
+}
+
+bool RestartWindow::allow(double now_seconds) {
+  std::vector<double> keep;
+  keep.reserve(events_.size() + 1);
+  for (const double t : events_)
+    if (now_seconds - t < window_) keep.push_back(t);
+  events_.swap(keep);
+  if (static_cast<int>(events_.size()) >= max_) return false;
+  events_.push_back(now_seconds);
+  return true;
+}
+
+SuperviseResult supervise(const std::function<int(int restart_count)>& child,
+                          const SuperviseOptions& opts) {
+  SuperviseResult result;
+  util::Rng rng(opts.jitter_seed);
+  RestartWindow window(opts.max_restarts, opts.window_seconds);
+
+  g_stop_requested = 0;
+  g_forwarded_signal = 0;
+  g_child_pid = 0;
+
+  struct sigaction sa{};
+  sa.sa_handler = forward_signal;
+  sigemptyset(&sa.sa_mask);
+  struct sigaction old_term{}, old_int{};
+  ::sigaction(SIGTERM, &sa, &old_term);
+  ::sigaction(SIGINT, &sa, &old_int);
+
+  int restart = 0;
+  for (;;) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      std::fprintf(stderr, "supervise: fork(): %s\n", std::strerror(err));
+      result.exit_code = 1;
+      result.gave_up = true;
+      break;
+    }
+    if (pid == 0) {
+      // Child: restore default signal handling (the daemon installs its
+      // own graceful-stop plumbing) and run the body. _exit, not exit:
+      // no flushing of parent-inherited stdio buffers.
+      ::sigaction(SIGTERM, &old_term, nullptr);
+      ::sigaction(SIGINT, &old_int, nullptr);
+      ::_exit(child(restart));
+    }
+
+    g_child_pid = static_cast<sig_atomic_t>(pid);
+    write_pid_file(opts.pid_file, pid);
+
+    int status = 0;
+    pid_t reaped;
+    do {
+      reaped = ::waitpid(pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    g_child_pid = 0;
+
+    const bool signaled = WIFSIGNALED(status);
+    const int sig = signaled ? WTERMSIG(status) : 0;
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + sig;
+    result.exit_code = code;
+    result.last_signal = sig;
+
+    // Stop conditions: operator stop (we forwarded a signal, or the
+    // child caught it and exited on its own) or a clean exit.
+    if (g_stop_requested != 0) break;
+    if (!signaled && code == 0) break;
+
+    if (!window.allow(monotonic_seconds())) {
+      std::fprintf(stderr,
+                   "supervise: giving up — %d restarts within %.0fs "
+                   "(last exit: %s %d); the failure is not transient\n",
+                   opts.max_restarts, opts.window_seconds,
+                   signaled ? "signal" : "status", signaled ? sig : code);
+      result.gave_up = true;
+      break;
+    }
+
+    ++restart;
+    result.restarts = restart;
+    const double backoff = supervise_backoff_ms(restart, opts, rng);
+    if (!opts.quiet)
+      std::fprintf(stderr,
+                   "supervise: child %d died (%s %d); restart %d in %.0f ms\n",
+                   static_cast<int>(pid), signaled ? "signal" : "status",
+                   signaled ? sig : code, restart, backoff);
+    interruptible_sleep_ms(backoff);
+    if (g_stop_requested != 0) break;
+  }
+
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGINT, &old_int, nullptr);
+  if (!opts.pid_file.empty()) ::unlink(opts.pid_file.c_str());
+  return result;
+}
+
+}  // namespace fsr::service

@@ -1,0 +1,79 @@
+// Crash-only supervision for the fsrd daemon.
+//
+// The daemon is designed to be killable at any instruction: its durable
+// state is nothing (the analysis cache is content-addressed and
+// rebuildable), so recovery is simply "run it again". supervise() is
+// the loop that does so: fork a child, run the daemon body in it, reap
+// it, and decide — a clean exit (status 0) or an exit caused by a
+// signal the supervisor itself forwarded (operator ctrl-C) ends the
+// loop; anything else (crash, abort, OOM-kill) restarts the child
+// after a capped exponential backoff with multiplicative jitter.
+//
+// A restart *budget* bounds flapping: more than max_restarts within a
+// sliding window_seconds means the failure is not transient (bad
+// config, poisoned input replayed from a client loop) and the
+// supervisor gives up loudly rather than burning CPU forever.
+//
+// Fork-safety: the parent process must be boring. It installs signal
+// forwarders, forks, and waits — it must NOT start threads or
+// initialize the obs stack (a background log-flusher thread held
+// across fork() deadlocks the child). fsrd arranges this by deferring
+// all obs wiring into the child body.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fsr::service {
+
+struct SuperviseOptions {
+  int max_restarts = 5;          // budget within window_seconds
+  double window_seconds = 60.0;  // sliding restart-budget window
+  double backoff_base_ms = 100.0;
+  double backoff_max_ms = 5000.0;
+  std::uint64_t jitter_seed = 1;
+  std::string pid_file;  // written with the child pid after each fork
+  bool quiet = false;    // suppress stderr narration (tests)
+};
+
+struct SuperviseResult {
+  int exit_code = 0;    // last child exit status (or 128+signal)
+  int restarts = 0;     // restarts performed (not counting first start)
+  bool gave_up = false; // restart budget exhausted
+  int last_signal = 0;  // signal that killed the last child, 0 if none
+};
+
+/// Backoff before restart n (n >= 1): base * 2^(n-1), capped, then
+/// multiplied by a jitter factor in [0.5, 1.5). Exposed for tests.
+double supervise_backoff_ms(int restart, const SuperviseOptions& opts,
+                            util::Rng& rng);
+
+/// Sliding-window restart budget: allow() records an event at
+/// `now_seconds` and returns false when more than `max` events landed
+/// within the trailing window. Exposed for tests.
+class RestartWindow {
+public:
+  RestartWindow(int max, double window_seconds)
+      : max_(max), window_(window_seconds) {}
+
+  bool allow(double now_seconds);
+  [[nodiscard]] int recorded() const { return static_cast<int>(events_.size()); }
+
+private:
+  int max_;
+  double window_;
+  std::vector<double> events_;  // timestamps inside the current window
+};
+
+/// Run `child` (receiving the restart count: 0 first start, 1 after the
+/// first crash, ...) in a forked process under the restart policy
+/// above. Returns when the child exits cleanly, is stopped by a
+/// forwarded SIGTERM/SIGINT, or the budget is exhausted.
+SuperviseResult supervise(const std::function<int(int restart_count)>& child,
+                          const SuperviseOptions& opts);
+
+}  // namespace fsr::service

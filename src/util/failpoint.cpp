@@ -1,0 +1,324 @@
+#include "util/failpoint.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace fsr::util {
+
+namespace detail {
+std::atomic<bool> g_failpoints_armed{false};
+}  // namespace detail
+
+namespace {
+
+// One slot per compiled-in site, index-matched to kFailpointSites. All
+// fields are atomics so sites can be evaluated from any thread while a
+// test (re)configures the registry; the fast path never takes a lock.
+struct Point {
+  std::atomic<bool> armed{false};
+  std::atomic<double> probability{0.0};
+  std::atomic<std::uint8_t> mode{0};
+  std::atomic<int> arg{0};
+  // -1 unlimited; >0 fires remaining; 0 exhausted (point self-disarms).
+  std::atomic<std::int64_t> remaining{-1};
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+Point g_points[kFailpointSiteCount];
+std::atomic<std::uint64_t> g_seed{1};
+std::atomic<std::uint64_t> g_seq{0};
+
+std::vector<std::string_view> split_on(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim_ws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+int site_index(std::string_view name) {
+  for (std::size_t i = 0; i < kFailpointSiteCount; ++i)
+    if (kFailpointSites[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+void refresh_armed_flag() {
+  bool any = false;
+  for (const Point& p : g_points)
+    if (p.armed.load(std::memory_order_relaxed)) { any = true; break; }
+  detail::g_failpoints_armed.store(any, std::memory_order_relaxed);
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Seeded, sequence-numbered roll in [0,1). Global sequence rather than
+// per-thread state: cross-thread interleaving changes *which* requests
+// a fault lands on, never the long-run rate, and keeps a single-threaded
+// sweep exactly reproducible for a given seed.
+double roll() {
+  const std::uint64_t n = g_seq.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h =
+      splitmix64(g_seed.load(std::memory_order_relaxed) ^ (n * 0xd1342543de82ef95ULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Claim one fire from the point's budget; false when exhausted. An
+// exhausted point disarms itself so a `:count`-capped spec (e.g. three
+// forced EMFILEs) stops cleanly without a configuration round-trip.
+bool claim_fire(Point& p) {
+  std::int64_t cur = p.remaining.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur < 0) return true;  // unlimited
+    if (cur == 0) return false;
+    if (p.remaining.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed))
+      break;
+  }
+  if (cur == 1) {  // we consumed the last fire
+    p.armed.store(false, std::memory_order_relaxed);
+    refresh_armed_flag();
+  }
+  return true;
+}
+
+const char* mode_name(FailMode m) {
+  switch (m) {
+    case FailMode::kError: return "error";
+    case FailMode::kDelay: return "delay";
+    case FailMode::kAbort: return "abort";
+  }
+  return "?";
+}
+
+// Errno names accepted in `error-<NAME>` specs. Only the ones a chaos
+// spec plausibly wants; anything else can be given numerically.
+struct ErrnoName { const char* name; int value; };
+constexpr ErrnoName kErrnoNames[] = {
+    {"EIO", EIO},           {"EMFILE", EMFILE},   {"ENFILE", ENFILE},
+    {"ENOBUFS", ENOBUFS},   {"ENOMEM", ENOMEM},   {"ECONNRESET", ECONNRESET},
+    {"ECONNREFUSED", ECONNREFUSED}, {"EPIPE", EPIPE}, {"EAGAIN", EAGAIN},
+    {"ETIMEDOUT", ETIMEDOUT}, {"EINTR", EINTR},
+};
+
+bool parse_errno(std::string_view s, int* out) {
+  for (const ErrnoName& e : kErrnoNames)
+    if (s == e.name) { *out = e.value; return true; }
+  int v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  if (s.empty() || v <= 0) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_entry(std::string_view entry, FailpointConfig* cfg, std::string* error) {
+  const std::vector<std::string_view> fields = split_on(entry, ':');
+  if (fields.size() < 3 || fields.size() > 4) {
+    if (error) *error = "expected name:prob:mode[:count] in '" + std::string(entry) + "'";
+    return false;
+  }
+  if (site_index(fields[0]) < 0) {
+    if (error) *error = "unknown failpoint '" + std::string(fields[0]) + "'";
+    return false;
+  }
+  cfg->name = fields[0];
+
+  char* end = nullptr;
+  const std::string prob_str(fields[1]);
+  cfg->probability = std::strtod(prob_str.c_str(), &end);
+  if (end == prob_str.c_str() || *end != '\0' || cfg->probability < 0.0 ||
+      cfg->probability > 1.0) {
+    if (error) *error = "bad probability '" + prob_str + "' (want [0,1])";
+    return false;
+  }
+
+  const std::string_view mode = fields[2];
+  if (mode == "error") {
+    cfg->mode = FailMode::kError;
+    cfg->arg = 0;
+  } else if (mode.rfind("error-", 0) == 0) {
+    cfg->mode = FailMode::kError;
+    if (!parse_errno(mode.substr(6), &cfg->arg)) {
+      if (error) *error = "bad errno in '" + std::string(mode) + "'";
+      return false;
+    }
+  } else if (mode.rfind("delay-", 0) == 0) {
+    cfg->mode = FailMode::kDelay;
+    const std::string ms(mode.substr(6));
+    end = nullptr;
+    const long v = std::strtol(ms.c_str(), &end, 10);
+    if (end == ms.c_str() || *end != '\0' || v < 0 || v > 60'000) {
+      if (error) *error = "bad delay '" + ms + "' (want 0..60000 ms)";
+      return false;
+    }
+    cfg->arg = static_cast<int>(v);
+  } else if (mode == "abort") {
+    cfg->mode = FailMode::kAbort;
+    cfg->arg = 0;
+  } else {
+    if (error) *error = "unknown mode '" + std::string(mode) + "'";
+    return false;
+  }
+
+  cfg->max_fires = 0;
+  if (fields.size() == 4) {
+    const std::string count(fields[3]);
+    end = nullptr;
+    const long long v = std::strtoll(count.c_str(), &end, 10);
+    if (end == count.c_str() || *end != '\0' || v <= 0) {
+      if (error) *error = "bad fire count '" + count + "' (want > 0)";
+      return false;
+    }
+    cfg->max_fires = static_cast<std::uint64_t>(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool failpoint_fire(std::string_view name, int* errno_out) {
+  const int idx = site_index(name);
+  if (idx < 0) return false;  // unregistered caller name: never fires
+  Point& p = g_points[static_cast<std::size_t>(idx)];
+  if (!p.armed.load(std::memory_order_relaxed)) return false;
+  p.evaluations.fetch_add(1, std::memory_order_relaxed);
+  const double prob = p.probability.load(std::memory_order_relaxed);
+  if (prob < 1.0 && roll() >= prob) return false;
+  if (!claim_fire(p)) return false;
+  p.fires.fetch_add(1, std::memory_order_relaxed);
+
+  const FailMode mode = static_cast<FailMode>(p.mode.load(std::memory_order_relaxed));
+  const int arg = p.arg.load(std::memory_order_relaxed);
+  switch (mode) {
+    case FailMode::kError: {
+      const int err = arg != 0 ? arg : EIO;
+      errno = err;
+      if (errno_out != nullptr) *errno_out = err;
+      return true;
+    }
+    case FailMode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(arg));
+      return false;
+    case FailMode::kAbort:
+      std::fprintf(stderr, "failpoint '%.*s': abort\n",
+                   static_cast<int>(name.size()), name.data());
+      std::fflush(stderr);
+      std::abort();
+  }
+  return false;
+}
+
+}  // namespace detail
+
+void set_failpoint(const FailpointConfig& cfg) {
+  const int idx = site_index(cfg.name);
+  if (idx < 0)
+    throw UsageError("unknown failpoint '" + std::string(cfg.name) + "'");
+  if (cfg.probability < 0.0 || cfg.probability > 1.0)
+    throw UsageError("failpoint probability must be in [0,1]");
+  Point& p = g_points[static_cast<std::size_t>(idx)];
+  p.probability.store(cfg.probability, std::memory_order_relaxed);
+  p.mode.store(static_cast<std::uint8_t>(cfg.mode), std::memory_order_relaxed);
+  p.arg.store(cfg.arg, std::memory_order_relaxed);
+  p.remaining.store(cfg.max_fires == 0 ? -1
+                                       : static_cast<std::int64_t>(cfg.max_fires),
+                    std::memory_order_relaxed);
+  p.armed.store(true, std::memory_order_relaxed);
+  detail::g_failpoints_armed.store(true, std::memory_order_relaxed);
+}
+
+void clear_failpoints() {
+  for (Point& p : g_points) {
+    p.armed.store(false, std::memory_order_relaxed);
+    p.probability.store(0.0, std::memory_order_relaxed);
+    p.mode.store(0, std::memory_order_relaxed);
+    p.arg.store(0, std::memory_order_relaxed);
+    p.remaining.store(-1, std::memory_order_relaxed);
+    p.evaluations.store(0, std::memory_order_relaxed);
+    p.fires.store(0, std::memory_order_relaxed);
+  }
+  detail::g_failpoints_armed.store(false, std::memory_order_relaxed);
+}
+
+bool configure_failpoints(std::string_view spec, std::string* error) {
+  // Validate the whole spec before arming anything: a half-applied
+  // config is worse for a test than a rejected one.
+  std::vector<FailpointConfig> parsed;
+  for (std::string_view entry : split_on(spec, ',')) {
+    entry = trim_ws(entry);
+    if (entry.empty()) continue;
+    FailpointConfig cfg;
+    if (!parse_entry(entry, &cfg, error)) return false;
+    parsed.push_back(cfg);
+  }
+  for (const FailpointConfig& cfg : parsed) set_failpoint(cfg);
+  return true;
+}
+
+bool failpoints_init_from_env() {
+  const char* seed = std::getenv("REPRO_FAILPOINT_SEED");
+  if (seed != nullptr && *seed != '\0')
+    set_failpoint_seed(std::strtoull(seed, nullptr, 10));
+  const char* spec = std::getenv("REPRO_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  std::string error;
+  if (!configure_failpoints(spec, &error)) {
+    std::fprintf(stderr, "REPRO_FAILPOINTS ignored: %s\n", error.c_str());
+    return false;
+  }
+  return detail::g_failpoints_armed.load(std::memory_order_relaxed);
+}
+
+void set_failpoint_seed(std::uint64_t seed) {
+  g_seed.store(seed, std::memory_order_relaxed);
+  g_seq.store(0, std::memory_order_relaxed);
+}
+
+std::vector<FailpointStats> failpoint_stats() {
+  std::vector<FailpointStats> out;
+  for (std::size_t i = 0; i < kFailpointSiteCount; ++i) {
+    const Point& p = g_points[i];
+    const std::uint64_t evals = p.evaluations.load(std::memory_order_relaxed);
+    const std::uint64_t fires = p.fires.load(std::memory_order_relaxed);
+    if (evals == 0 && fires == 0 && !p.armed.load(std::memory_order_relaxed))
+      continue;
+    out.push_back({kFailpointSites[i], evals, fires});
+  }
+  return out;
+}
+
+std::uint64_t failpoint_fires() {
+  std::uint64_t total = 0;
+  for (const Point& p : g_points) total += p.fires.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace fsr::util

@@ -1,0 +1,117 @@
+// Named, seeded failpoints: deliberate fault injection for the service
+// stack.
+//
+// PR 4's inject engine mutates *inputs*; failpoints mutate the
+// *environment* — a read(2) that fails mid-frame, an accept(2) that
+// reports EMFILE, a decode that dies under memory pressure, a cache
+// insert that never lands. Each site in the tree is a named point
+// (see kFailpointSites); arming one attaches a probability, a mode,
+// and an optional fire budget:
+//
+//   error    the site reports failure (errno is set to the configured
+//            value when one is given) and the caller's normal error
+//            path runs — the whole point is that this path exists
+//   delay    the site sleeps N milliseconds, then proceeds normally
+//            (slow-disk / scheduler-stall simulation)
+//   abort    the process dies on the spot (crash-only supervision food)
+//
+// Configuration comes from code (set_failpoint, used by tests) or the
+// environment:
+//
+//   REPRO_FAILPOINTS=name:prob:mode[,name:prob:mode...]
+//     mode := error | error-<ERRNO|number> | delay-<ms> | abort
+//     an optional 4th field caps total fires: svc.accept:1:error-EMFILE:3
+//   REPRO_FAILPOINT_SEED=N   seeds the probability rolls (default 1)
+//
+// Cost contract: a site whose registry has nothing armed is ONE relaxed
+// atomic load and a predicted branch — cheap enough for per-frame and
+// per-decode placement, priced by the existing <3% bench_obs_overhead
+// gate (the eval.decode site sits on the corpus hot path it measures).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsr::util {
+
+enum class FailMode : std::uint8_t { kError = 0, kDelay = 1, kAbort = 2 };
+
+struct FailpointConfig {
+  std::string_view name;     // must be one of kFailpointSites
+  double probability = 1.0;  // chance each evaluation fires, [0,1]
+  FailMode mode = FailMode::kError;
+  int arg = 0;               // error: errno to set (0 = EIO); delay: milliseconds
+  std::uint64_t max_fires = 0;  // 0 = unlimited; else auto-disarm after N fires
+};
+
+struct FailpointStats {
+  std::string_view name;
+  std::uint64_t evaluations = 0;  // times an armed site was reached
+  std::uint64_t fires = 0;        // times it actually injected
+};
+
+/// Every failpoint site compiled into the tree. Chaos sweeps iterate
+/// this list; configure_failpoints() rejects names not on it, so a
+/// typo'd spec fails loudly instead of silently injecting nothing.
+inline constexpr std::string_view kFailpointSites[] = {
+    "svc.read_frame",      // proto read_frame entry (server and client side)
+    "svc.write_frame",     // proto write_frame entry
+    "svc.accept",          // Server accept loop: forces the accept errno
+    "svc.spawn",           // Server connection-reader spawn
+    "cache.insert_image",  // AnalysisCache image insert -> served uncached
+    "cache.insert_result", // AnalysisCache result insert -> served uncached
+    "cache.build_image",   // make_cached_image entry -> parse failure
+    "eval.decode",         // decode_shared entry (allocation-heavy front-end)
+};
+inline constexpr std::size_t kFailpointSiteCount =
+    sizeof(kFailpointSites) / sizeof(kFailpointSites[0]);
+
+namespace detail {
+extern std::atomic<bool> g_failpoints_armed;
+/// Slow path: registry lookup + probability roll + mode side effects.
+/// Returns true only for a fired `error` point (delay sleeps and
+/// returns false; abort never returns).
+bool failpoint_fire(std::string_view name, int* errno_out);
+}  // namespace detail
+
+/// Evaluate the named failpoint. False (after one relaxed load) when
+/// nothing is armed anywhere. On a fired `error` point: returns true,
+/// sets errno to the configured value, and writes it to *errno_out when
+/// given — the caller runs its normal error path.
+inline bool failpoint(std::string_view name, int* errno_out = nullptr) {
+  if (!detail::g_failpoints_armed.load(std::memory_order_relaxed)) return false;
+  return detail::failpoint_fire(name, errno_out);
+}
+
+/// Arm one point. Throws UsageError for a name not in kFailpointSites
+/// or a probability outside [0,1].
+void set_failpoint(const FailpointConfig& cfg);
+
+/// Disarm everything and zero the per-point counters.
+void clear_failpoints();
+
+/// Parse and arm a "name:prob:mode[:count],..." spec. On a malformed
+/// entry nothing is armed, *error (when given) describes the problem,
+/// and false is returned.
+bool configure_failpoints(std::string_view spec, std::string* error = nullptr);
+
+/// Arm from REPRO_FAILPOINTS / REPRO_FAILPOINT_SEED. A malformed spec
+/// is reported on stderr and ignored (a daemon must not die to a typo).
+/// Returns true when the env armed at least one point.
+bool failpoints_init_from_env();
+
+/// Seed the probability rolls (and reset the roll sequence) so a chaos
+/// run is reproducible. clear_failpoints() keeps the current seed.
+void set_failpoint_seed(std::uint64_t seed);
+
+/// Per-point counters for every armed-or-ever-armed site this process.
+std::vector<FailpointStats> failpoint_stats();
+
+/// Total fires across all points (cheap aggregate for gates).
+std::uint64_t failpoint_fires();
+
+}  // namespace fsr::util

@@ -1,0 +1,242 @@
+// Failpoint registry tests: spec parsing, deterministic seeded rolls,
+// fire budgets, mode side effects, and the wiring into proto framing
+// and the analysis cache. Chaos behavior at the full-daemon level
+// lives in bench_chaos; this file proves the mechanism itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/cache.hpp"
+#include "service/proto.hpp"
+#include "synth/corpus.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+using namespace fsr;
+
+namespace {
+
+// Every test starts and ends disarmed; failpoints are process-global.
+class Failpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { util::clear_failpoints(); }
+  void TearDown() override { util::clear_failpoints(); }
+};
+
+TEST_F(Failpoint, DisabledSiteNeverFires) {
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_FALSE(util::failpoint("svc.read_frame"));
+  // Disarmed evaluations are not even counted: the fast path must not
+  // touch per-point state.
+  EXPECT_TRUE(util::failpoint_stats().empty());
+}
+
+TEST_F(Failpoint, ErrorModeSetsErrno) {
+  util::FailpointConfig cfg;
+  cfg.name = "svc.read_frame";
+  cfg.mode = util::FailMode::kError;
+  cfg.arg = ECONNRESET;
+  util::set_failpoint(cfg);
+
+  int err = 0;
+  errno = 0;
+  EXPECT_TRUE(util::failpoint("svc.read_frame", &err));
+  EXPECT_EQ(err, ECONNRESET);
+  EXPECT_EQ(errno, ECONNRESET);
+}
+
+TEST_F(Failpoint, ErrorModeDefaultsToEio) {
+  util::FailpointConfig cfg;
+  cfg.name = "svc.write_frame";
+  util::set_failpoint(cfg);
+  int err = 0;
+  EXPECT_TRUE(util::failpoint("svc.write_frame", &err));
+  EXPECT_EQ(err, EIO);
+}
+
+TEST_F(Failpoint, UnknownNamesAreRejected) {
+  util::FailpointConfig cfg;
+  cfg.name = "svc.nonexistent";
+  EXPECT_THROW(util::set_failpoint(cfg), Error);
+
+  std::string error;
+  EXPECT_FALSE(util::configure_failpoints("svc.nonexistent:1:error", &error));
+  EXPECT_NE(error.find("unknown failpoint"), std::string::npos);
+}
+
+TEST_F(Failpoint, SpecGrammarParses) {
+  std::string error;
+  ASSERT_TRUE(util::configure_failpoints(
+      "svc.read_frame:0.5:error-ECONNRESET, cache.insert_image:1:delay-10,"
+      "svc.accept:1:error-EMFILE:3",
+      &error))
+      << error;
+  // Three armed points; none evaluated yet.
+  EXPECT_EQ(util::failpoint_stats().size(), 3u);
+}
+
+TEST_F(Failpoint, MalformedSpecsArmNothing) {
+  std::string error;
+  // Second entry is bad: the whole spec must be rejected atomically.
+  EXPECT_FALSE(util::configure_failpoints(
+      "svc.read_frame:1:error,svc.write_frame:2.0:error", &error));
+  EXPECT_FALSE(util::failpoint("svc.read_frame"));
+
+  EXPECT_FALSE(util::configure_failpoints("svc.read_frame:1:explode", &error));
+  EXPECT_FALSE(util::configure_failpoints("svc.read_frame:1:error-EWHAT", &error));
+  EXPECT_FALSE(util::configure_failpoints("svc.read_frame:1:delay-abc", &error));
+  EXPECT_FALSE(util::configure_failpoints("svc.read_frame:1:error:0", &error));
+  EXPECT_FALSE(util::configure_failpoints("svc.read_frame", &error));
+}
+
+TEST_F(Failpoint, SeededRollsAreDeterministic) {
+  const auto pattern = [](std::uint64_t seed) {
+    util::clear_failpoints();
+    util::set_failpoint_seed(seed);
+    util::FailpointConfig cfg;
+    cfg.name = "eval.decode";
+    cfg.probability = 0.5;
+    util::set_failpoint(cfg);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(util::failpoint("eval.decode"));
+    return fires;
+  };
+  const auto a = pattern(42);
+  const auto b = pattern(42);
+  const auto c = pattern(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // A 0.5 probability should land roughly half the time.
+  const auto fired = static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired, 60u);
+  EXPECT_LT(fired, 140u);
+}
+
+TEST_F(Failpoint, FireBudgetDisarmsThePoint) {
+  util::FailpointConfig cfg;
+  cfg.name = "svc.accept";
+  cfg.arg = EMFILE;
+  cfg.max_fires = 3;
+  util::set_failpoint(cfg);
+
+  int fired = 0;
+  for (int i = 0; i < 10; ++i)
+    if (util::failpoint("svc.accept")) ++fired;
+  EXPECT_EQ(fired, 3);
+  // Exhausted and alone -> the global armed flag drops back to zero
+  // and the fast path short-circuits again.
+  EXPECT_FALSE(util::detail::g_failpoints_armed.load());
+
+  const auto stats = util::failpoint_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "svc.accept");
+  EXPECT_EQ(stats[0].fires, 3u);
+  EXPECT_EQ(util::failpoint_fires(), 3u);
+}
+
+TEST_F(Failpoint, DelayModeSleepsAndProceeds) {
+  util::FailpointConfig cfg;
+  cfg.name = "cache.insert_result";
+  cfg.mode = util::FailMode::kDelay;
+  cfg.arg = 60;
+  util::set_failpoint(cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(util::failpoint("cache.insert_result"));  // delays, no error
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_GE(ms, 50);
+}
+
+TEST_F(Failpoint, AbortModeKillsTheProcess) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        util::FailpointConfig cfg;
+        cfg.name = "svc.spawn";
+        cfg.mode = util::FailMode::kAbort;
+        util::set_failpoint(cfg);
+        util::failpoint("svc.spawn");
+      },
+      "failpoint 'svc.spawn': abort");
+}
+
+// ------------------------------------------------- wiring into the tree
+
+TEST_F(Failpoint, ReadFrameReportsInjectedError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(service::write_frame(fds[0], "{\"op\":\"ping\"}"));
+
+  util::FailpointConfig cfg;
+  cfg.name = "svc.read_frame";
+  cfg.arg = ECONNRESET;
+  util::set_failpoint(cfg);
+  std::string payload;
+  EXPECT_EQ(service::read_frame(fds[1], payload), service::FrameStatus::kError);
+
+  util::clear_failpoints();
+  EXPECT_EQ(service::read_frame(fds[1], payload), service::FrameStatus::kOk);
+  EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(Failpoint, WriteFrameReportsInjectedError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  util::FailpointConfig cfg;
+  cfg.name = "svc.write_frame";
+  cfg.arg = EPIPE;
+  cfg.max_fires = 1;
+  util::set_failpoint(cfg);
+  EXPECT_FALSE(service::write_frame(fds[0], "x"));
+  EXPECT_TRUE(service::write_frame(fds[0], "x"));  // budget spent
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(Failpoint, LostCacheInsertIsServedUncached) {
+  service::AnalysisCache cache(64 << 20);
+  synth::BinaryConfig bc;
+  bc.kind = elf::BinaryKind::kPie;
+  const auto bytes = synth::make_binary(bc).stripped_bytes();
+  const service::ContentId id = service::content_id(bytes);
+  auto img = std::make_shared<const service::CachedImage>(
+      service::make_cached_image(bytes));
+
+  util::FailpointConfig cfg;
+  cfg.name = "cache.insert_image";
+  util::set_failpoint(cfg);
+  // The caller still gets a usable image back...
+  const auto resident = cache.insert_image(id, img);
+  ASSERT_NE(resident, nullptr);
+  // ...but nothing landed in the cache.
+  EXPECT_EQ(cache.find_image(id), nullptr);
+
+  util::clear_failpoints();
+  cache.insert_image(id, img);
+  EXPECT_NE(cache.find_image(id), nullptr);
+}
+
+TEST_F(Failpoint, BuildImageFailureThrowsContained) {
+  synth::BinaryConfig bc;
+  bc.kind = elf::BinaryKind::kPie;
+  const auto bytes = synth::make_binary(bc).stripped_bytes();
+  util::FailpointConfig cfg;
+  cfg.name = "cache.build_image";
+  util::set_failpoint(cfg);
+  EXPECT_THROW(service::make_cached_image(bytes), Error);
+  util::clear_failpoints();
+  EXPECT_NO_THROW(service::make_cached_image(bytes));
+}
+
+}  // namespace

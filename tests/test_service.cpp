@@ -4,21 +4,32 @@
 // the fault injector, malformed frames, and both shutdown paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "inject/fault.hpp"
 #include "obs/eventlog.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/proto.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
 #include "synth/corpus.hpp"
+#include "util/failpoint.hpp"
 
 using namespace fsr;
 
@@ -398,6 +409,309 @@ TEST(ServiceInProcess, DeadlineExpiredRequestsEmitSlowRequestEvents) {
   obs::clear_log();
   obs::set_log_rate_limit(128);
   obs::set_log_enabled(was_on);
+}
+
+// ------------------------------------------------- robustness (PR 9)
+
+std::string fresh_socket_path(const char* tag) {
+  static std::atomic<int> counter{0};
+  return "/tmp/fsrd-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// Minimal hand-rolled server for client-hardening tests: listens on
+/// `path`, accepts ONE connection, runs `handler(conn_fd)`, closes.
+/// Returns the thread to join; the listening fd closes when the thread
+/// finishes, so start-up ordering is handled by the caller connecting.
+std::thread fake_server_once(const std::string& path,
+                             std::function<void(int)> handler) {
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(listen_fd, 0);
+  EXPECT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  EXPECT_EQ(::listen(listen_fd, 4), 0);
+  return std::thread([listen_fd, handler = std::move(handler)] {
+    const int conn = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn >= 0) {
+      handler(conn);
+      ::close(conn);
+    }
+    ::close(listen_fd);
+  });
+}
+
+TEST(ClientHardening, TruncatedFrameMidReadIsARetryableError) {
+  // The server dies after the length prefix and 10 of the announced
+  // 100 payload bytes: the client must fail promptly (no hang) and
+  // classify the death as retryable (connection reset).
+  const std::string path = fresh_socket_path("trunc");
+  std::thread server = fake_server_once(path, [](int conn) {
+    std::string req;
+    service::read_frame(conn, req);
+    const std::uint32_t len = 100;
+    char prefix[4];
+    std::memcpy(prefix, &len, 4);
+    (void)!::send(conn, prefix, 4, MSG_NOSIGNAL);
+    (void)!::send(conn, "0123456789", 10, MSG_NOSIGNAL);
+    // close: the remaining 90 bytes never arrive
+  });
+  service::Client client;
+  ASSERT_TRUE(client.connect(path));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.request("{\"op\":\"ping\"}").has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 5);
+  EXPECT_EQ(client.last_errno(), ECONNRESET);
+  server.join();
+  ::unlink(path.c_str());
+}
+
+TEST(ClientHardening, NeverRespondingServerHitsTheOpDeadline) {
+  // The server accepts and reads but never answers; SO_RCVTIMEO must
+  // bound the client's wait.
+  const std::string path = fresh_socket_path("silent");
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::thread server = fake_server_once(path, [&](int conn) {
+    std::string req;
+    service::read_frame(conn, req);
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  service::ClientOptions copts;
+  copts.op_timeout_seconds = 0.25;
+  service::Client client(copts);
+  ASSERT_TRUE(client.connect(path));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.request("{\"op\":\"ping\"}").has_value());
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_GE(ms, 200);
+  EXPECT_LT(ms, 3000);
+  EXPECT_TRUE(client.timed_out());
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+    cv.notify_one();
+  }
+  server.join();
+  ::unlink(path.c_str());
+}
+
+TEST(ClientHardening, RetrySucceedsAfterServerRestart) {
+  // The daemon is down when the first attempt happens; it comes back
+  // ~300ms later on the same path. call() with retry must make the
+  // outage invisible to the caller.
+  const std::string path = fresh_socket_path("retry");
+  {
+    service::ServerOptions opts;
+    opts.socket_path = path;
+    opts.threads = 1;
+    service::Server first(std::move(opts));
+    first.start();
+    service::Client warm;
+    ASSERT_TRUE(warm.connect(path));
+    first.stop();
+    first.wait();  // socket unlinked: full outage
+  }
+
+  std::thread restarter([&path] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    service::ServerOptions opts;
+    opts.socket_path = path;
+    opts.threads = 1;
+    service::Server second(std::move(opts));
+    second.start();
+    // Serve until the test's request has been answered, then drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    second.stop();
+    second.wait();
+  });
+
+  service::ClientOptions copts;
+  copts.max_attempts = 10;
+  copts.op_timeout_seconds = 2.0;
+  copts.total_budget_seconds = 8.0;
+  copts.backoff_base_ms = 50.0;
+  service::Client client(copts);
+  client.connect(path);  // may fail: the retry loop reconnects
+  const auto r = client.call("{\"op\":\"ping\"}");
+  ASSERT_TRUE(r.has_value()) << client.last_error();
+  const auto parsed = obs::json_parse(*r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->get_bool("ok", false));
+  EXPECT_GT(client.retries(), 0u);
+  restarter.join();
+  ::unlink(path.c_str());
+}
+
+TEST(ServerRobustness, AcceptLoopSurvivesForcedEmfile) {
+  // Regression for the fatal `break` on transient accept errnos: force
+  // EMFILE three times via the failpoint; the accept loop must back
+  // off, keep accepting, and serve the very connection that triggered
+  // the storm.
+  util::clear_failpoints();
+  service::ServerOptions opts;
+  opts.socket_path = fresh_socket_path("emfile");
+  opts.threads = 1;
+  service::Server server(std::move(opts));
+  server.start();
+
+  const std::uint64_t retries_before = obs::counter("svc.accept_retries").value();
+  util::FailpointConfig cfg;
+  cfg.name = "svc.accept";
+  cfg.arg = EMFILE;
+  cfg.max_fires = 3;
+  util::set_failpoint(cfg);
+
+  service::Client client;
+  ASSERT_TRUE(client.connect(server.socket_path()));
+  const auto r = client.request("{\"op\":\"ping\"}");
+  ASSERT_TRUE(r.has_value()) << client.last_error();
+  EXPECT_NE(r->find("\"ok\":true"), std::string::npos);
+  EXPECT_GE(obs::counter("svc.accept_retries").value(), retries_before + 3);
+
+  util::clear_failpoints();
+  server.stop();
+  server.wait();
+}
+
+TEST(ServerRobustness, StaleSocketIsReclaimedLiveSocketIsRefused) {
+  const std::string path = fresh_socket_path("stale");
+  // Simulate a SIGKILLed predecessor: a bound socket whose owner is
+  // gone (fd closed, path left behind — exactly what kill -9 leaves).
+  {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+    ASSERT_EQ(::listen(fd, 1), 0);
+    ::close(fd);  // no unlink: stale path remains
+  }
+
+  service::ServerOptions opts;
+  opts.socket_path = path;
+  opts.threads = 1;
+  service::Server server(std::move(opts));
+  server.start();  // must probe, reclaim, and bind
+  service::Client client;
+  ASSERT_TRUE(client.connect(path));
+  EXPECT_TRUE(client.request("{\"op\":\"ping\"}").has_value());
+
+  // A second server on the same path must refuse: the socket is live.
+  service::ServerOptions dup;
+  dup.socket_path = path;
+  dup.threads = 1;
+  service::Server second(std::move(dup));
+  EXPECT_THROW(second.start(), Error);
+  // And the refusal must not have unlinked the live daemon's socket.
+  service::Client again;
+  EXPECT_TRUE(again.connect(path));
+
+  server.stop();
+  server.wait();
+}
+
+TEST(ServerRobustness, RefusesToReclaimANonSocketPath) {
+  const std::string path = fresh_socket_path("notsock");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("precious user data\n", f);
+  std::fclose(f);
+
+  service::ServerOptions opts;
+  opts.socket_path = path;
+  service::Server server(std::move(opts));
+  EXPECT_THROW(server.start(), Error);
+  // The file survived.
+  EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+  ::unlink(path.c_str());
+}
+
+TEST(ServerRobustness, InflightCapShedsWithStructuredReject) {
+  util::clear_failpoints();
+  service::ServerOptions opts;
+  opts.socket_path = fresh_socket_path("inflight");
+  opts.threads = 1;
+  opts.max_inflight = 1;
+  service::Server server(std::move(opts));
+  server.start();
+
+  // Pin one slow request in flight: the build_image failpoint delays
+  // the (uncached) identify for 600ms on the single pool worker.
+  util::FailpointConfig cfg;
+  cfg.name = "cache.build_image";
+  cfg.mode = util::FailMode::kDelay;
+  cfg.arg = 600;
+  cfg.max_fires = 1;
+  util::set_failpoint(cfg);
+
+  const auto bytes = sample_binary();
+  std::thread slow([&] {
+    service::Client c;
+    ASSERT_TRUE(c.connect(server.socket_path()));
+    const auto r = c.request("{\"op\":\"identify\",\"elf\":\"" +
+                             service::b64_encode(bytes) + "\"}");
+    EXPECT_TRUE(r.has_value());
+  });
+
+  // Give the slow request time to be submitted, then expect shedding.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  service::Client fast;
+  ASSERT_TRUE(fast.connect(server.socket_path()));
+  const auto r = fast.request("{\"op\":\"ping\"}");
+  ASSERT_TRUE(r.has_value()) << fast.last_error();
+  const auto parsed = obs::json_parse(*r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->get_bool("ok", true));
+  EXPECT_EQ(parsed->get_string("code"), "overloaded");
+  // The connection survived the reject: once the slow request drains,
+  // the same client is served normally.
+  slow.join();
+  const auto ok = fast.request("{\"op\":\"ping\"}");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_NE(ok->find("\"ok\":true"), std::string::npos);
+
+  util::clear_failpoints();
+  server.stop();
+  server.wait();
+}
+
+TEST(ServerRobustness, ConnectionCapShedsNewcomers) {
+  service::ServerOptions opts;
+  opts.socket_path = fresh_socket_path("connlimit");
+  opts.threads = 1;
+  opts.max_connections = 1;
+  service::Server server(std::move(opts));
+  server.start();
+
+  service::Client first;
+  ASSERT_TRUE(first.connect(server.socket_path()));
+  ASSERT_TRUE(first.request("{\"op\":\"ping\"}").has_value());
+
+  // The second connection is told why it was turned away, then closed.
+  service::Client second;
+  ASSERT_TRUE(second.connect(server.socket_path()));
+  service::FrameStatus st = service::FrameStatus::kOk;
+  const auto reject = second.read_response(&st);
+  ASSERT_TRUE(reject.has_value());
+  const auto parsed = obs::json_parse(*reject);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get_string("code"), "overloaded");
+
+  // The first (admitted) client is unaffected.
+  EXPECT_TRUE(first.request("{\"op\":\"ping\"}").has_value());
+  server.stop();
+  server.wait();
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+// Crash-only supervision tests. The child bodies here are deliberately
+// thread-free (abort/_exit/sleep only): supervise() forks, and these
+// tests run under the TSan matrix where a forked child of a threaded
+// parent must not try to create threads of its own.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "service/supervise.hpp"
+#include "util/rng.hpp"
+
+using namespace fsr;
+
+namespace {
+
+service::SuperviseOptions fast_opts() {
+  service::SuperviseOptions opts;
+  opts.backoff_base_ms = 1.0;
+  opts.backoff_max_ms = 5.0;
+  opts.quiet = true;
+  return opts;
+}
+
+TEST(SuperviseBackoff, GrowsExponentiallyWithCapAndJitter) {
+  service::SuperviseOptions opts;
+  opts.backoff_base_ms = 100.0;
+  opts.backoff_max_ms = 1000.0;
+  util::Rng rng(7);
+  for (int restart = 1; restart <= 8; ++restart) {
+    const double ms = service::supervise_backoff_ms(restart, opts, rng);
+    double expected = 100.0;
+    for (int i = 1; i < restart && expected < 1000.0; ++i) expected *= 2.0;
+    if (expected > 1000.0) expected = 1000.0;
+    EXPECT_GE(ms, expected * 0.5) << "restart " << restart;
+    EXPECT_LT(ms, expected * 1.5) << "restart " << restart;
+  }
+  // Deterministic per seed.
+  util::Rng a(3), b(3);
+  EXPECT_EQ(service::supervise_backoff_ms(4, opts, a),
+            service::supervise_backoff_ms(4, opts, b));
+}
+
+TEST(RestartWindow, EnforcesSlidingBudget) {
+  service::RestartWindow w(3, 10.0);
+  EXPECT_TRUE(w.allow(0.0));
+  EXPECT_TRUE(w.allow(1.0));
+  EXPECT_TRUE(w.allow(2.0));
+  EXPECT_FALSE(w.allow(3.0));  // 3 events inside the trailing 10s
+  EXPECT_FALSE(w.allow(9.0));
+  // The earliest events age out of the window and free budget.
+  EXPECT_TRUE(w.allow(11.5));
+  EXPECT_TRUE(w.allow(12.5));
+  EXPECT_TRUE(w.allow(12.6));   // the t=2 event aged out at t=12
+  EXPECT_FALSE(w.allow(12.7));  // three events now inside the window
+}
+
+TEST(Supervise, CleanExitEndsTheLoop) {
+  const auto r = service::supervise([](int) { return 0; }, fast_opts());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.restarts, 0);
+  EXPECT_FALSE(r.gave_up);
+}
+
+TEST(Supervise, RestartsCrashesUntilCleanExit) {
+  // Crash twice (abort, then nonzero exit), then come up clean. The
+  // child body sees the restart count the daemon would.
+  const auto r = service::supervise(
+      [](int restart_count) -> int {
+        if (restart_count == 0) ::abort();
+        if (restart_count == 1) return 7;
+        return 0;
+      },
+      fast_opts());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.restarts, 2);
+  EXPECT_FALSE(r.gave_up);
+  EXPECT_EQ(r.last_signal, 0);  // final child exited cleanly
+}
+
+TEST(Supervise, GivesUpWhenBudgetIsExhausted) {
+  auto opts = fast_opts();
+  opts.max_restarts = 3;
+  opts.window_seconds = 60.0;
+  const auto r = service::supervise([](int) { return 1; }, opts);
+  EXPECT_TRUE(r.gave_up);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.restarts, 3);
+}
+
+TEST(Supervise, SigkilledChildrenAreRestarted) {
+  const auto r = service::supervise(
+      [](int restart_count) -> int {
+        if (restart_count < 2) ::kill(::getpid(), SIGKILL);
+        return 0;
+      },
+      fast_opts());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.restarts, 2);
+  EXPECT_FALSE(r.gave_up);
+}
+
+TEST(Supervise, PidFileTracksTheServingChild) {
+  const std::string pid_file =
+      "/tmp/fsrd-test-sup-" + std::to_string(::getpid()) + ".pid";
+  const auto r = service::supervise(
+      [&pid_file](int) -> int {
+        // The supervisor writes our pid right after fork; poll briefly
+        // for it, then verify it names us.
+        for (int i = 0; i < 200; ++i) {
+          if (std::FILE* f = std::fopen(pid_file.c_str(), "r")) {
+            long pid = 0;
+            const int got = std::fscanf(f, "%ld", &pid);
+            std::fclose(f);
+            if (got == 1 && pid == static_cast<long>(::getpid())) return 0;
+          }
+          ::usleep(5000);
+        }
+        return 1;  // never saw our own pid
+      },
+      [&] {
+        auto opts = fast_opts();
+        opts.pid_file = pid_file;
+        return opts;
+      }());
+  EXPECT_EQ(r.exit_code, 0);
+  // Cleaned up on exit.
+  EXPECT_NE(::access(pid_file.c_str(), F_OK), 0);
+}
+
+}  // namespace

@@ -80,9 +80,9 @@ void render(const obs::JsonValue& stats, const std::string& socket) {
   const double uptime = num_at(&stats, "uptime_seconds");
   std::printf("fsrd %s on %s — up %.0fs\n",
               stats.get_string("version").c_str(), socket.c_str(), uptime);
-  std::printf("requests %.0f   errors %.0f   slow %.0f\n",
+  std::printf("requests %.0f   errors %.0f   slow %.0f   restarts %.0f\n",
               num_at(&stats, "requests"), num_at(&stats, "errors"),
-              num_at(&stats, "slow_requests"));
+              num_at(&stats, "slow_requests"), num_at(&stats, "restarts"));
 
   const obs::JsonValue* windows = stats.find("windows");
   const auto window_row = [&](const char* label, const char* key) {
@@ -119,6 +119,12 @@ void render(const obs::JsonValue& stats, const std::string& socket) {
   std::printf("pool     %.0f workers   queue %.0f (max %.0f)\n",
               num_at(pool, "workers"), num_at(pool, "queue_depth"),
               num_at(pool, "queue_depth_max"));
+
+  const obs::JsonValue* overload = stats.find("overload");
+  std::printf("overload %.0f rejected   %.0f shed conns   %.0f accept retries\n",
+              num_at(overload, "rejected_requests"),
+              num_at(overload, "shed_connections"),
+              num_at(overload, "accept_retries"));
 
   const obs::JsonValue* log = stats.find("log");
   const obs::JsonValue* enabled = walk(log, "enabled");
