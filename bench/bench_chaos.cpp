@@ -11,12 +11,15 @@
 //      in delay mode at once: latency only, zero errors allowed.
 //
 //   2. Kill storm — the daemon runs under service::supervise() as a
-//      re-exec'ed child (`bench_chaos --serve`), pinger threads hammer
-//      identify while the bench SIGKILLs the serving child three
-//      times. Gates: exactly 3 restarts observed, client success rate
-//      >= 99.9% across the storm, and every successful response's
-//      function list is bit-identical to the pre-crash baseline (the
-//      cache dies with the daemon; recomputation must agree).
+//      re-exec'ed child (`bench_chaos --serve`) with a persistent
+//      cache segment, pinger threads hammer identify while the bench
+//      SIGKILLs the serving child three times. Gates: exactly 3
+//      restarts observed, client success rate >= 99.9% across the
+//      storm, every successful response's function list is
+//      bit-identical to the pre-crash baseline, and the surviving
+//      daemon's stats prove the persistent layer actually served them
+//      (pcache hits and rehydrated results both nonzero — post-restart
+//      answers came off the segment, not from recomputation).
 //
 //   3. Overload flood — a small pool (max_inflight=2) is pinned by
 //      delay-mode decode failpoints while no-retry clients flood it.
@@ -26,12 +29,20 @@
 //      the accept path (svc.accept failpoint, bounded fires) must not
 //      kill the accept loop: a fresh ping succeeds promptly.
 //
+//   4. Segment corruption — a daemon populates a persistent segment,
+//      dies, and one byte of the newest record's payload is flipped on
+//      disk. Gates: the restarted daemon detects the damage (corrupt
+//      payload counted, tail truncated), keeps every earlier record,
+//      serves answers bit-identical to the pre-corruption baseline
+//      (rehydrating what survived, recomputing what did not), and the
+//      re-verified segment recovers cleanly a second time.
+//
 // A watchdog thread gives the "zero hangs, zero deadlocks" claim
 // teeth: if the whole bench overruns its deadline it _exit(3)s loudly
 // instead of wedging CI.
 //
 //   bench_chaos [--kills N] [--sweep-requests N] [--out FILE]
-//   bench_chaos --serve SOCKET [--serve-threads N]   (internal child)
+//   bench_chaos --serve SOCKET [--serve-threads N] [--pcache PATH]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -39,6 +50,7 @@
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -205,6 +217,7 @@ const char* sweep_spec_for(std::string_view site) {
   if (site == "cache.insert_result") return "cache.insert_result:0.4:error";
   if (site == "cache.build_image") return "cache.build_image:0.3:error";
   if (site == "eval.decode") return "eval.decode:0.3:error";
+  if (site == "pcache.write") return "pcache.write:0.4:error";
   return nullptr;
 }
 
@@ -225,6 +238,11 @@ bool run_sweep(int requests_per_site,
     service::ServerOptions opts;
     opts.socket_path = fresh_socket("sweep");
     opts.threads = 2;
+    // Every sweep daemon writes through to a persistent segment so the
+    // pcache.write site has real traffic to fire on.
+    const std::string pcache = opts.socket_path + ".pcache";
+    opts.service.pcache_path = pcache;
+    opts.service.pcache_bytes = std::size_t{32} << 20;
     service::Server server(std::move(opts));
     server.start();
 
@@ -256,6 +274,8 @@ bool run_sweep(int requests_per_site,
 
     server.stop();
     server.wait();
+    ::unlink(pcache.c_str());
+    ::unlink((pcache + ".tmp").c_str());
   }
 
   // Delay pass: every site at once, latency only. Any error here means
@@ -269,6 +289,9 @@ bool run_sweep(int requests_per_site,
     service::ServerOptions opts;
     opts.socket_path = fresh_socket("delay");
     opts.threads = 2;
+    const std::string pcache = opts.socket_path + ".pcache";
+    opts.service.pcache_path = pcache;
+    opts.service.pcache_bytes = std::size_t{32} << 20;
     service::Server server(std::move(opts));
     server.start();
 
@@ -291,6 +314,8 @@ bool run_sweep(int requests_per_site,
 
     server.stop();
     server.wait();
+    ::unlink(pcache.c_str());
+    ::unlink((pcache + ".tmp").c_str());
   }
   return true;
 }
@@ -305,6 +330,10 @@ struct StormResult {
   int restarts = 0;
   bool supervisor_returned = false;
   bool clean_exit = false;
+  // From the last surviving daemon's stats: proof the storm's
+  // post-restart answers came off the persistent segment.
+  double pcache_hits = 0.0;
+  double rehydrated_results = 0.0;
 };
 
 long read_pid_file(const std::string& path) {
@@ -328,12 +357,14 @@ bool run_storm(int kills, const std::vector<std::uint8_t>& binary,
 
   const std::string sock = fresh_socket("storm");
   const std::string pid_file = sock + ".pid";
+  const std::string pcache = sock + ".pcache";
   out.kills = kills;
 
   // argv for the re-exec'ed serving child, built before any fork so the
-  // post-fork path is execv + _exit only (async-signal-safe).
-  std::vector<std::string> arg_store = {exe, "--serve", sock,
-                                        "--serve-threads", "2"};
+  // post-fork path is execv + _exit only (async-signal-safe). Every
+  // respawn reopens the same persistent segment.
+  std::vector<std::string> arg_store = {exe,  "--serve", sock, "--serve-threads",
+                                        "2",  "--pcache", pcache};
   std::vector<char*> argv;
   for (auto& a : arg_store) argv.push_back(a.data());
   argv.push_back(nullptr);
@@ -457,6 +488,32 @@ bool run_storm(int kills, const std::vector<std::uint8_t>& binary,
   stop.store(true);
   for (auto& p : pingers) p.join();
 
+  // The last child is still serving: its stats must show the hot
+  // content coming off the persistent segment (a hit on reopen plus
+  // results rehydrated into the memory LRU) — bit-identity above plus
+  // these counters is the "served from the persistent layer" proof.
+  {
+    service::ClientOptions c;
+    c.max_attempts = 10;
+    c.op_timeout_seconds = 2.0;
+    c.total_budget_seconds = 8.0;
+    service::Client probe(c);
+    probe.connect(sock);
+    const auto resp = probe.call("{\"op\":\"stats\"}");
+    if (resp.has_value()) {
+      const auto parsed = obs::json_parse(*resp);
+      if (parsed.has_value() && parsed->is_object()) {
+        if (const obs::JsonValue* pc = parsed->find("pcache"); pc != nullptr) {
+          const obs::JsonValue* hits = pc->find("hits");
+          const obs::JsonValue* rehydrated = pc->find("rehydrated_results");
+          if (hits != nullptr) out.pcache_hits = hits->as_number(0);
+          if (rehydrated != nullptr)
+            out.rehydrated_results = rehydrated->as_number(0);
+        }
+      }
+    }
+  }
+
   // Graceful end: ask the daemon to shut down; a clean exit 0 ends the
   // supervise loop. Retried manually because `shutdown` is the one
   // non-idempotent op.
@@ -484,6 +541,8 @@ bool run_storm(int kills, const std::vector<std::uint8_t>& binary,
   }
   out.restarts = sup_result.restarts;
   out.clean_exit = !sup_result.gave_up && sup_result.exit_code == 0;
+  ::unlink(pcache.c_str());
+  ::unlink((pcache + ".tmp").c_str());
   return storm_ok;
 }
 
@@ -618,6 +677,162 @@ bool run_flood(const std::vector<std::vector<std::uint8_t>>& templates,
   return true;
 }
 
+// ------------------------------------- phase 4: segment corruption
+
+struct CorruptResult {
+  bool populated = false;
+  bool detected = false;        // recovery counted the damaged payload
+  bool answers_match = false;   // every key still answers the baseline
+  bool rehydrated = false;      // surviving records actually served
+  bool clean_rerecovery = false;
+  double torn_truncations = 0.0;
+  double corrupt_payloads = 0.0;
+  double records_after = 0.0;
+};
+
+/// Flip one byte 9 bytes before EOF: record payloads are padded to 8
+/// bytes, so the final 8 bytes may be padding the checksum ignores —
+/// offset -9 is always inside the newest record's checksummed payload.
+bool flip_tail_byte(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return false;
+  bool ok = false;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long size = std::ftell(f);
+    if (size >= 9 && std::fseek(f, size - 9, SEEK_SET) == 0) {
+      const int c = std::fgetc(f);
+      if (c != EOF && std::fseek(f, size - 9, SEEK_SET) == 0)
+        ok = std::fputc(c ^ 0xff, f) != EOF;
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+const obs::JsonValue* stats_pcache(const std::optional<std::string>& resp,
+                                   std::optional<obs::JsonValue>& parsed) {
+  if (!resp.has_value()) return nullptr;
+  parsed = obs::json_parse(*resp);
+  if (!parsed.has_value() || !parsed->is_object()) return nullptr;
+  return parsed->find("pcache");
+}
+
+bool run_corruption(const std::vector<std::vector<std::uint8_t>>& templates,
+                    CorruptResult& out) {
+  const std::string pcache = fresh_socket("corrupt-seg") + ".pcache";
+  service::ClientOptions copts;
+  copts.max_attempts = 5;
+  copts.op_timeout_seconds = 5.0;
+
+  auto make_opts = [&] {
+    service::ServerOptions opts;
+    opts.socket_path = fresh_socket("corrupt");
+    opts.threads = 2;
+    opts.service.pcache_path = pcache;
+    opts.service.pcache_bytes = std::size_t{32} << 20;
+    return opts;
+  };
+
+  std::vector<std::string> keys;
+  std::vector<std::string> baselines;
+
+  // Life 1: populate the segment, capture per-content baselines.
+  {
+    service::Server server(make_opts());
+    server.start();
+    service::Client client(copts);
+    if (!client.connect(server.socket_path())) return false;
+    for (const auto& bytes : templates) {
+      const auto resp =
+          client.call(identify_by_elf(service::b64_encode(bytes)));
+      if (!resp.has_value()) return false;
+      const auto parsed = obs::json_parse(*resp);
+      if (!parsed.has_value() || !parsed->get_bool("ok", false)) return false;
+      keys.push_back(parsed->get_string("key"));
+      baselines.push_back(functions_of(*resp));
+      if (keys.back().empty() || baselines.back().empty()) return false;
+    }
+    server.stop();
+    server.wait();
+  }
+  out.populated = true;
+
+  // The bit rot, while no daemon is looking.
+  if (!flip_tail_byte(pcache)) return false;
+
+  // Life 2: recovery at open must count the damage and truncate the
+  // tail; the earlier records survive and every key must still answer
+  // the baseline (rehydrated where the record lives, recomputed from
+  // the surviving raw image where it was lost).
+  {
+    service::Server server(make_opts());
+    server.start();
+    service::Client client(copts);
+    if (!client.connect(server.socket_path())) return false;
+
+    std::optional<obs::JsonValue> parsed;
+    const obs::JsonValue* pc = stats_pcache(client.call("{\"op\":\"stats\"}"), parsed);
+    if (pc == nullptr) return false;
+    const obs::JsonValue* corrupt = pc->find("corrupt_payloads");
+    const obs::JsonValue* torn = pc->find("torn_truncations");
+    out.corrupt_payloads = corrupt != nullptr ? corrupt->as_number(0) : 0.0;
+    out.torn_truncations = torn != nullptr ? torn->as_number(0) : 0.0;
+    out.detected = out.corrupt_payloads + out.torn_truncations >= 1.0;
+
+    out.answers_match = true;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto resp = client.call("{\"op\":\"identify\",\"key\":\"" + keys[i] +
+                                    "\",\"tool\":\"funseeker\"}");
+      if (!resp.has_value()) return false;
+      const auto r = obs::json_parse(*resp);
+      if (!r.has_value() || !r->get_bool("ok", false) ||
+          functions_of(*resp) != baselines[i])
+        out.answers_match = false;
+    }
+
+    std::optional<obs::JsonValue> parsed2;
+    const obs::JsonValue* pc2 =
+        stats_pcache(client.call("{\"op\":\"stats\"}"), parsed2);
+    if (pc2 != nullptr) {
+      const obs::JsonValue* rehydrated = pc2->find("rehydrated_results");
+      // With a single template its only result record was the damaged
+      // one — nothing left to rehydrate — so only gate with >= 2.
+      out.rehydrated =
+          keys.size() < 2 ||
+          (rehydrated != nullptr && rehydrated->as_number(0) >= 1.0);
+    }
+    server.stop();
+    server.wait();
+  }
+
+  // Life 3: the truncated-and-repaired segment recovers with zero
+  // complaints — the corruption was excised, not papered over.
+  {
+    service::Server server(make_opts());
+    server.start();
+    service::Client client(copts);
+    if (!client.connect(server.socket_path())) return false;
+    std::optional<obs::JsonValue> parsed;
+    const obs::JsonValue* pc = stats_pcache(client.call("{\"op\":\"stats\"}"), parsed);
+    if (pc != nullptr) {
+      const obs::JsonValue* corrupt = pc->find("corrupt_payloads");
+      const obs::JsonValue* torn = pc->find("torn_truncations");
+      const obs::JsonValue* records = pc->find("records");
+      out.records_after = records != nullptr ? records->as_number(0) : 0.0;
+      out.clean_rerecovery =
+          (corrupt == nullptr || corrupt->as_number(0) == 0.0) &&
+          (torn == nullptr || torn->as_number(0) == 0.0) &&
+          out.records_after >= 1.0;
+    }
+    server.stop();
+    server.wait();
+  }
+
+  ::unlink(pcache.c_str());
+  ::unlink((pcache + ".tmp").c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -627,9 +842,12 @@ int main(int argc, char** argv) {
     service::ServerOptions opts;
     opts.socket_path = argv[2];
     opts.threads = 2;
-    for (int i = 3; i + 1 < argc; i += 2)
+    for (int i = 3; i + 1 < argc; i += 2) {
       if (std::strcmp(argv[i], "--serve-threads") == 0)
         opts.threads = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+      else if (std::strcmp(argv[i], "--pcache") == 0)
+        opts.service.pcache_path = argv[i + 1];
+    }
     try {
       service::Server server(std::move(opts));
       server.start();
@@ -722,15 +940,20 @@ int main(int argc, char** argv) {
   const bool storm_ok = storm_ran && storm.supervisor_returned &&
                         storm.clean_exit && storm.restarts == kills &&
                         storm.mismatches == 0 && storm_total > 0 &&
-                        success_rate >= 0.999;
+                        success_rate >= 0.999 && storm.pcache_hits >= 1.0 &&
+                        storm.rehydrated_results >= 1.0;
   std::printf("  %d kills -> %d restarts, %llu/%llu client calls ok "
-              "(%.4f%%), %llu mismatches, clean exit %s — %s\n",
+              "(%.4f%%), %llu mismatches, clean exit %s\n",
               storm.kills, storm.restarts,
               static_cast<unsigned long long>(storm.ok),
               static_cast<unsigned long long>(storm_total),
               success_rate * 100.0,
               static_cast<unsigned long long>(storm.mismatches),
-              storm.clean_exit ? "yes" : "NO", storm_ok ? "ok" : "FAIL");
+              storm.clean_exit ? "yes" : "NO");
+  std::printf("  persistent layer: %.0f pcache hits, %.0f rehydrated results "
+              "in the surviving daemon — %s\n",
+              storm.pcache_hits, storm.rehydrated_results,
+              storm_ok ? "ok" : "FAIL");
 
   std::printf("bench_chaos: phase 3 — overload flood + EMFILE burst\n");
   FloodResult flood;
@@ -749,8 +972,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(flood.emfile_retries),
               flood_ok ? "ok" : "FAIL");
 
+  std::printf("bench_chaos: phase 4 — persistent-segment corruption "
+              "(flipped payload byte)\n");
+  CorruptResult corrupt;
+  const bool corrupt_ran = run_corruption(templates, corrupt);
+  const bool corrupt_ok = corrupt_ran && corrupt.populated &&
+                          corrupt.detected && corrupt.answers_match &&
+                          corrupt.rehydrated && corrupt.clean_rerecovery;
+  std::printf("  damage detected (%.0f corrupt, %.0f torn), answers %s "
+              "baseline, rehydration %s, clean re-recovery with %.0f "
+              "records — %s\n",
+              corrupt.corrupt_payloads, corrupt.torn_truncations,
+              corrupt.answers_match ? "match" : "DIVERGE from",
+              corrupt.rehydrated ? "observed" : "MISSING",
+              corrupt.records_after, corrupt_ok ? "ok" : "FAIL");
+
   const double wall = seconds_since(bench_start);
-  const bool pass = sweep_ok && storm_ok && flood_ok;
+  const bool pass = sweep_ok && storm_ok && flood_ok && corrupt_ok;
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -787,6 +1025,9 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(storm.mismatches));
     std::fprintf(out, "    \"clean_exit\": %s,\n",
                  storm.clean_exit ? "true" : "false");
+    std::fprintf(out, "    \"pcache_hits\": %.0f,\n", storm.pcache_hits);
+    std::fprintf(out, "    \"rehydrated_results\": %.0f,\n",
+                 storm.rehydrated_results);
     std::fprintf(out, "    \"ok\": %s\n", storm_ok ? "true" : "false");
     std::fprintf(out, "  },\n");
     std::fprintf(out, "  \"overload\": {\n");
@@ -805,6 +1046,22 @@ int main(int argc, char** argv) {
     std::fprintf(out, "    \"emfile_accept_retries\": %llu,\n",
                  static_cast<unsigned long long>(flood.emfile_retries));
     std::fprintf(out, "    \"ok\": %s\n", flood_ok ? "true" : "false");
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"corruption\": {\n");
+    std::fprintf(out, "    \"detected\": %s,\n",
+                 corrupt.detected ? "true" : "false");
+    std::fprintf(out, "    \"corrupt_payloads\": %.0f,\n",
+                 corrupt.corrupt_payloads);
+    std::fprintf(out, "    \"torn_truncations\": %.0f,\n",
+                 corrupt.torn_truncations);
+    std::fprintf(out, "    \"answers_match_baseline\": %s,\n",
+                 corrupt.answers_match ? "true" : "false");
+    std::fprintf(out, "    \"rehydrated_from_survivors\": %s,\n",
+                 corrupt.rehydrated ? "true" : "false");
+    std::fprintf(out, "    \"clean_rerecovery\": %s,\n",
+                 corrupt.clean_rerecovery ? "true" : "false");
+    std::fprintf(out, "    \"records_after\": %.0f,\n", corrupt.records_after);
+    std::fprintf(out, "    \"ok\": %s\n", corrupt_ok ? "true" : "false");
     std::fprintf(out, "  },\n");
     std::fprintf(out, "  \"pass\": %s\n", pass ? "true" : "false");
     std::fprintf(out, "}\n");

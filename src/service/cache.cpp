@@ -5,6 +5,8 @@
 
 #include "elf/reader.hpp"
 #include "obs/trace.hpp"
+#include "service/pcache.hpp"
+#include "util/checksum.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/stopwatch.hpp"
@@ -12,12 +14,7 @@
 namespace fsr::service {
 
 ContentId content_id(std::span<const std::uint8_t> bytes) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 1099511628211ULL;
-  }
-  return ContentId{h, bytes.size()};
+  return ContentId{util::fnv1a64(bytes), bytes.size()};
 }
 
 std::string ContentId::to_string() const {
@@ -89,8 +86,25 @@ std::size_t CachedImage::approx_bytes() const {
 
 namespace {
 
+// Meta entries are a few hundred bytes; 64Ki of them is a few tens of
+// MiB at the absolute worst — clear-on-overflow keeps it a memo, not a
+// third cache layer with its own eviction policy.
+constexpr std::size_t kMetaMemoCap = 64 * 1024;
+
 std::size_t result_bytes(const eval::RunResult& r) {
   return sizeof(eval::RunResult) + r.found.capacity() * sizeof(std::uint64_t);
+}
+
+PersistedMeta meta_of(const CachedImage& img) {
+  PersistedMeta meta;
+  meta.machine = static_cast<std::uint32_t>(img.image.machine);
+  meta.prepare_seconds = img.prepare_seconds;
+  meta.decode_seconds = img.decode.decode_seconds;
+  meta.substrate_seconds = img.decode.substrate_seconds;
+  meta.input_bytes = img.input_bytes;
+  meta.diag_total = img.diagnostics.total();
+  meta.diags = img.diagnostics.items();
+  return meta;
 }
 
 }  // namespace
@@ -98,6 +112,12 @@ std::size_t result_bytes(const eval::RunResult& r) {
 AnalysisCache::AnalysisCache(std::size_t capacity_bytes)
     : images_(capacity_bytes - capacity_bytes / 16),
       results_(capacity_bytes / 16) {}
+
+AnalysisCache::~AnalysisCache() = default;
+
+void AnalysisCache::attach_persistent(std::unique_ptr<PersistentStore> store) {
+  pstore_ = std::move(store);
+}
 
 std::shared_ptr<const CachedImage> AnalysisCache::find_image(const ContentId& id) {
   return images_.find(id);
@@ -112,21 +132,74 @@ std::shared_ptr<const CachedImage> AnalysisCache::insert_image(
   return images_.insert(id, std::move(img), cost).resident;
 }
 
+std::shared_ptr<const CachedImage> AnalysisCache::insert_image(
+    const ContentId& id, std::shared_ptr<const CachedImage> img,
+    std::span<const std::uint8_t> raw_bytes) {
+  if (pstore_ != nullptr) {
+    PersistedMeta meta = meta_of(*img);
+    pstore_->put_image(id, meta, raw_bytes);
+    // Memoize now: the first identify hit after an upload should not
+    // have to read (and checksum) the image record back off disk.
+    std::lock_guard lock(meta_memo_mutex_);
+    if (meta_memo_.size() >= kMetaMemoCap) meta_memo_.clear();
+    meta_memo_.emplace(id, std::make_shared<const PersistedMeta>(std::move(meta)));
+  }
+  return insert_image(id, std::move(img));
+}
+
 std::shared_ptr<const eval::RunResult> AnalysisCache::find_result(const ResultKey& key) {
-  return results_.find(key);
+  if (auto hit = results_.find(key)) return hit;
+  if (pstore_ == nullptr) return nullptr;
+  auto persisted = pstore_->get_result(key);
+  if (!persisted.has_value()) return nullptr;
+  // Rehydrate into the memory LRU without writing back through (the
+  // record is already durable). Plain insert, no failpoint: the value
+  // comes from disk, not from an analysis whose loss we simulate.
+  rehydrated_results_.fetch_add(1, std::memory_order_relaxed);
+  auto value = std::make_shared<const eval::RunResult>(std::move(*persisted));
+  const std::size_t cost = result_bytes(*value);
+  return results_.insert(key, std::move(value), cost).resident;
 }
 
 std::shared_ptr<const eval::RunResult> AnalysisCache::insert_result(
     const ResultKey& key, eval::RunResult result) {
   auto value = std::make_shared<const eval::RunResult>(std::move(result));
   if (util::failpoint("cache.insert_result")) return value;
+  if (pstore_ != nullptr) pstore_->put_result(key, *value);
   const std::size_t cost = result_bytes(*value);
   return results_.insert(key, std::move(value), cost).resident;
+}
+
+std::optional<PersistedMeta> AnalysisCache::persistent_meta(const ContentId& id) {
+  if (pstore_ == nullptr) return std::nullopt;
+  {
+    std::lock_guard lock(meta_memo_mutex_);
+    if (const auto it = meta_memo_.find(id); it != meta_memo_.end()) return *it->second;
+  }
+  // First touch pays the full image-record read (the store checksums
+  // meta + raw ELF together); every later touch is the memo above.
+  auto meta = pstore_->get_meta(id);
+  if (!meta.has_value()) return std::nullopt;
+  std::lock_guard lock(meta_memo_mutex_);
+  if (meta_memo_.size() >= kMetaMemoCap) meta_memo_.clear();
+  meta_memo_.emplace(id, std::make_shared<const PersistedMeta>(*meta));
+  return meta;
+}
+
+std::optional<std::vector<std::uint8_t>> AnalysisCache::persistent_raw(
+    const ContentId& id) {
+  if (pstore_ == nullptr) return std::nullopt;
+  auto raw = pstore_->get_raw(id);
+  if (raw.has_value())
+    rehydrated_images_.fetch_add(1, std::memory_order_relaxed);
+  return raw;
 }
 
 void AnalysisCache::clear() {
   images_.clear();
   results_.clear();
+  std::lock_guard lock(meta_memo_mutex_);
+  meta_memo_.clear();
 }
 
 std::size_t AnalysisCache::default_capacity_bytes() {

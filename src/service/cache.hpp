@@ -22,17 +22,24 @@
 // only change latency, never answers (the stress test asserts this).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "eval/runner.hpp"
 #include "util/diagnostic.hpp"
 #include "util/lru.hpp"
 
 namespace fsr::service {
+
+class PersistentStore;
+struct PersistedMeta;
 
 /// Identity of analyzed content: hash of the bytes + their length. The
 /// wire form ("<16-hex-digit hash>-<size>") is what responses hand out
@@ -100,14 +107,39 @@ public:
   /// One byte budget covers both layers; results are tiny next to
   /// images, so the split is 15/16 images, 1/16 results.
   explicit AnalysisCache(std::size_t capacity_bytes = default_capacity_bytes());
+  ~AnalysisCache();  // out-of-line: PersistentStore is incomplete here
+
+  /// Attach the crash-safe persistent layer (see pcache.hpp). Inserts
+  /// write through to it; find_result() rehydrates from it lazily, so a
+  /// restarted daemon refills its memory cache on demand instead of
+  /// re-running analysis.
+  void attach_persistent(std::unique_ptr<PersistentStore> store);
+  [[nodiscard]] PersistentStore* persistent() const { return pstore_.get(); }
 
   [[nodiscard]] std::shared_ptr<const CachedImage> find_image(const ContentId& id);
   std::shared_ptr<const CachedImage> insert_image(const ContentId& id,
                                                   std::shared_ptr<const CachedImage> img);
+  /// Write-through insert: also persists the image's meta + raw bytes
+  /// so a future process can serve (or rebuild) it.
+  std::shared_ptr<const CachedImage> insert_image(const ContentId& id,
+                                                  std::shared_ptr<const CachedImage> img,
+                                                  std::span<const std::uint8_t> raw_bytes);
 
+  /// Memory layer first, then the persistent layer: a persistent hit
+  /// deserializes into the memory LRU (counted as rehydrated) and is
+  /// indistinguishable from a memory hit to the caller.
   [[nodiscard]] std::shared_ptr<const eval::RunResult> find_result(const ResultKey& key);
   std::shared_ptr<const eval::RunResult> insert_result(const ResultKey& key,
                                                        eval::RunResult result);
+
+  /// Persistent-layer lookups for content the memory cache no longer
+  /// (or never) held. Meta answers identify/compare hits without an
+  /// image; raw bytes let the service rebuild one for everything else.
+  /// Meta is memoized in memory after the first disk read — the store
+  /// verifies a checksum over the whole image record (meta + raw ELF)
+  /// on every read, far too expensive to pay per hot request.
+  [[nodiscard]] std::optional<PersistedMeta> persistent_meta(const ContentId& id);
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> persistent_raw(const ContentId& id);
 
   void clear();
 
@@ -115,6 +147,15 @@ public:
   [[nodiscard]] util::LruStats result_stats() const { return results_.stats(); }
   [[nodiscard]] std::size_t capacity_bytes() const {
     return images_.capacity_bytes() + results_.capacity_bytes();
+  }
+  /// Results pulled from the persistent layer into the memory LRU.
+  [[nodiscard]] std::uint64_t rehydrated_results() const {
+    return rehydrated_results_.load(std::memory_order_relaxed);
+  }
+  /// Images rebuilt from persisted raw bytes (counted by the service
+  /// when it uses persistent_raw()).
+  [[nodiscard]] std::uint64_t rehydrated_images() const {
+    return rehydrated_images_.load(std::memory_order_relaxed);
   }
 
   /// REPRO_CACHE_MB (MiB) if set, else 768 MiB — the same knob the
@@ -124,6 +165,12 @@ public:
 private:
   util::LruCache<ContentId, CachedImage, ContentIdHash> images_;
   util::LruCache<ResultKey, eval::RunResult, ResultKeyHash> results_;
+  std::unique_ptr<PersistentStore> pstore_;
+  std::mutex meta_memo_mutex_;
+  std::unordered_map<ContentId, std::shared_ptr<const PersistedMeta>, ContentIdHash>
+      meta_memo_;
+  std::atomic<std::uint64_t> rehydrated_results_{0};
+  std::atomic<std::uint64_t> rehydrated_images_{0};
 };
 
 }  // namespace fsr::service

@@ -135,6 +135,53 @@ std::optional<std::string> Client::call(std::string_view json, bool idempotent) 
   }
 }
 
+bool Client::pipeline_send(std::string_view json) {
+  if (!fd_.valid() && !connect(path_)) return false;
+  if (!write_frame(fd_.get(), json)) {
+    last_errno_ = errno;
+    timed_out_ = last_errno_ == EAGAIN || last_errno_ == EWOULDBLOCK;
+    error_ = std::string("write: ") + std::strerror(last_errno_);
+    fd_.reset();
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> Client::pipeline_recv() {
+  if (!fd_.valid()) {
+    error_ = "not connected";
+    return std::nullopt;
+  }
+  return read_response(nullptr);
+}
+
+std::optional<std::vector<std::string>> Client::call_pipelined(
+    const std::vector<std::string>& requests) {
+  // One buffered send for the whole batch: the server reads the burst
+  // off its socket in one go instead of waking once per frame.
+  if (!fd_.valid() && !connect(path_)) return std::nullopt;
+  std::string batch;
+  for (const std::string& req : requests) {
+    if (!append_frame(batch, req)) {
+      error_ = "frame rejected";
+      return std::nullopt;
+    }
+  }
+  if (!send_bytes(batch)) {
+    timed_out_ = last_errno_ == EAGAIN || last_errno_ == EWOULDBLOCK;
+    error_ = std::string("write: ") + std::strerror(last_errno_);
+    return std::nullopt;
+  }
+  std::vector<std::string> responses;
+  responses.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto r = pipeline_recv();
+    if (!r.has_value()) return std::nullopt;
+    responses.push_back(std::move(*r));
+  }
+  return responses;
+}
+
 std::optional<std::string> Client::raw_frame(std::string_view payload, FrameStatus* status) {
   if (!fd_.valid()) {
     error_ = "not connected";

@@ -34,6 +34,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "service/proto.hpp"
 #include "util/rng.hpp"
@@ -70,6 +71,25 @@ public:
   /// socket path from the last connect() is remembered). Non-idempotent
   /// calls never retry after a successful send.
   std::optional<std::string> call(std::string_view json, bool idempotent = true);
+
+  /// Pipelining: queue one request frame without waiting for its
+  /// response. The server answers strictly in request order, so N
+  /// pipeline_send() calls are balanced by N pipeline_recv() calls.
+  /// False when the transport failed (nothing was queued).
+  bool pipeline_send(std::string_view json);
+
+  /// Read the next in-order pipelined response. Empty optional on
+  /// transport failure — responses to frames queued after the failure
+  /// point are gone with the connection.
+  std::optional<std::string> pipeline_recv();
+
+  /// Batch convenience: send every request back-to-back, then collect
+  /// every response in order. One round-trip worth of socket latency
+  /// is paid once instead of per request. No retry policy: a transport
+  /// failure mid-batch returns nullopt (some requests may have
+  /// executed server-side — the caller decides what is safe to replay).
+  std::optional<std::vector<std::string>> call_pipelined(
+      const std::vector<std::string>& requests);
 
   /// Send a raw payload as one frame and read one response frame.
   /// `status` receives the read-side outcome so hostile-input tests can

@@ -1,0 +1,573 @@
+#include "service/pcache.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/bytes.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace fsr::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'S', 'R', 'P', 'C', 'C', 'H', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint64_t kHeaderSize = 64;     // checksummed prefix: 32
+constexpr std::uint64_t kRecordHeaderSize = 56;  // checksummed prefix: 48
+
+constexpr std::uint32_t kImageRecord = 1;
+constexpr std::uint32_t kResultRecord = 2;
+
+constexpr std::uint32_t kPayloadVersion = 1;
+
+std::uint64_t pad8(std::uint64_t n) { return (n + 7) & ~std::uint64_t{7}; }
+
+std::span<const std::uint8_t> bytes_of(const std::vector<std::uint8_t>& v) {
+  return {v.data(), v.size()};
+}
+
+/// The 64-byte file header. committed_bytes is the commit record: a
+/// record is durable once the header pointing past it has been written.
+std::vector<std::uint8_t> encode_header(std::uint64_t generation,
+                                        std::uint64_t committed_bytes) {
+  util::ByteWriter w;
+  w.bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof kMagic));
+  w.u32(kFormatVersion);
+  w.u32(static_cast<std::uint32_t>(kHeaderSize));
+  w.u64(generation);
+  w.u64(committed_bytes);
+  w.u64(util::fnv1a64(std::span(w.data().data(), 32)));
+  w.fill(kHeaderSize - w.size());
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_record_header(std::uint32_t kind,
+                                               const ResultKey& key,
+                                               std::uint64_t payload_len,
+                                               std::uint64_t payload_fnv) {
+  util::ByteWriter w;
+  w.u32(kind);
+  w.u32(0);  // flags, reserved
+  w.u64(key.id.hash);
+  w.u64(key.id.size);
+  w.i32(key.tool);
+  w.i32(key.config);
+  w.u64(payload_len);
+  w.u64(payload_fnv);
+  w.u64(util::fnv1a64(std::span(w.data().data(), 48)));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_image_payload(const PersistedMeta& meta,
+                                               std::span<const std::uint8_t> raw) {
+  util::ByteWriter w;
+  w.u32(kPayloadVersion);
+  w.u32(meta.machine);
+  w.f64(meta.prepare_seconds);
+  w.f64(meta.decode_seconds);
+  w.f64(meta.substrate_seconds);
+  w.u64(meta.input_bytes);
+  w.u64(meta.diag_total);
+  w.u32(static_cast<std::uint32_t>(meta.diags.size()));
+  for (const util::Diagnostic& d : meta.diags) {
+    w.u32(static_cast<std::uint32_t>(d.code));
+    w.u64(d.offset);
+    w.str32(d.section);
+    w.str32(d.message);
+  }
+  w.u64(raw.size());
+  w.bytes(raw);
+  return w.take();
+}
+
+/// Throws fsr::ParseError on any structural problem; callers treat a
+/// throw like a checksum mismatch (drop the entry, count corruption).
+PersistedMeta decode_image_meta(util::ByteReader& r) {
+  if (r.u32() != kPayloadVersion) throw ParseError("pcache: image payload version");
+  PersistedMeta meta;
+  meta.machine = r.u32();
+  meta.prepare_seconds = r.f64();
+  meta.decode_seconds = r.f64();
+  meta.substrate_seconds = r.f64();
+  meta.input_bytes = r.u64();
+  meta.diag_total = r.u64();
+  const std::uint32_t n = r.u32();
+  if (n > util::Diagnostics::kMaxStored) throw ParseError("pcache: diag count");
+  meta.diags.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    util::Diagnostic d;
+    d.code = static_cast<util::DiagCode>(r.u32());
+    d.offset = r.u64();
+    d.section = r.str32();
+    d.message = r.str32();
+    meta.diags.push_back(std::move(d));
+  }
+  return meta;
+}
+
+std::vector<std::uint8_t> encode_result_payload(const eval::RunResult& res) {
+  util::ByteWriter w;
+  w.u32(kPayloadVersion);
+  w.f64(res.seconds);
+  w.u64(res.score.tp);
+  w.u64(res.score.fp);
+  w.u64(res.score.fn);
+  w.u64(res.failures.fn_dead);
+  w.u64(res.failures.fn_other);
+  w.u64(res.failures.fp_fragment);
+  w.u64(res.failures.fp_other);
+  w.u64(res.found.size());
+  for (const std::uint64_t addr : res.found) w.u64(addr);
+  return w.take();
+}
+
+eval::RunResult decode_result_payload(std::span<const std::uint8_t> payload) {
+  util::ByteReader r(payload);
+  if (r.u32() != kPayloadVersion) throw ParseError("pcache: result payload version");
+  eval::RunResult res;
+  res.seconds = r.f64();
+  res.score.tp = static_cast<std::size_t>(r.u64());
+  res.score.fp = static_cast<std::size_t>(r.u64());
+  res.score.fn = static_cast<std::size_t>(r.u64());
+  res.failures.fn_dead = static_cast<std::size_t>(r.u64());
+  res.failures.fn_other = static_cast<std::size_t>(r.u64());
+  res.failures.fp_fragment = static_cast<std::size_t>(r.u64());
+  res.failures.fp_other = static_cast<std::size_t>(r.u64());
+  const std::uint64_t n = r.u64();
+  if (n * 8 > r.remaining()) throw ParseError("pcache: found count");
+  res.found.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) res.found.push_back(r.u64());
+  return res;
+}
+
+/// One parsed on-disk record header (not yet payload-verified).
+struct RecordView {
+  std::uint32_t kind = 0;
+  ResultKey key;
+  std::uint64_t payload_len = 0;
+  std::uint64_t payload_fnv = 0;
+  std::uint64_t total_bytes = 0;  // header + padded payload
+};
+
+/// Validate the header checksum and bounds of the record at `offset`.
+/// nullopt: torn or corrupt — the scan must stop here.
+std::optional<RecordView> parse_record_at(std::span<const std::uint8_t> file,
+                                          std::uint64_t offset) {
+  if (offset + kRecordHeaderSize > file.size()) return std::nullopt;
+  const std::uint8_t* p = file.data() + offset;
+  if (util::fnv1a64(std::span(p, 48)) !=
+      util::ByteReader(std::span(p, kRecordHeaderSize), 48).u64())
+    return std::nullopt;
+  util::ByteReader r(std::span(p, kRecordHeaderSize));
+  RecordView v;
+  v.kind = r.u32();
+  r.u32();  // flags
+  v.key.id.hash = r.u64();
+  v.key.id.size = r.u64();
+  v.key.tool = r.i32();
+  v.key.config = r.i32();
+  v.payload_len = r.u64();
+  v.payload_fnv = r.u64();
+  if (v.kind != kImageRecord && v.kind != kResultRecord) return std::nullopt;
+  const std::uint64_t padded = pad8(v.payload_len);
+  if (padded < v.payload_len) return std::nullopt;  // length overflow
+  v.total_bytes = kRecordHeaderSize + padded;
+  if (offset + v.total_bytes > file.size() || offset + v.total_bytes < offset)
+    return std::nullopt;
+  return v;
+}
+
+bool pwrite_all(int fd, const void* data, std::size_t len, std::uint64_t offset) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    offset += static_cast<std::uint64_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+PersistentStore::PersistentStore(Options opts) : opts_(std::move(opts)) {}
+
+PersistentStore::~PersistentStore() {
+  if (map_ != nullptr) ::munmap(const_cast<std::uint8_t*>(map_), map_size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<PersistentStore> PersistentStore::open(Options opts,
+                                                       std::string* error) {
+  auto store = std::unique_ptr<PersistentStore>(new PersistentStore(std::move(opts)));
+  if (!store->open_and_recover(error)) return nullptr;
+  return store;
+}
+
+bool PersistentStore::ensure_mapped_locked(std::size_t need) {
+  if (need <= map_size_ && map_ != nullptr) return true;
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_size_);
+    map_ = nullptr;
+    map_size_ = 0;
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return false;
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size < need) return false;
+  void* m = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd_, 0);
+  if (m == MAP_FAILED) return false;
+  map_ = static_cast<const std::uint8_t*>(m);
+  map_size_ = size;
+  return true;
+}
+
+bool PersistentStore::write_header_locked() {
+  const auto header = encode_header(generation_, committed_bytes_);
+  return pwrite_all(fd_, header.data(), header.size(), 0);
+}
+
+bool PersistentStore::open_and_recover(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg + ": " + std::strerror(errno);
+    return false;
+  };
+  if (opts_.path.empty()) {
+    if (error != nullptr) *error = "pcache path must not be empty";
+    return false;
+  }
+  fd_ = ::open(opts_.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return fail("open(" + opts_.path + ")");
+
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return fail("fstat");
+  std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
+
+  // Fresh (or unusably small) file: start a new generation from zero.
+  // An existing header that fails its magic/version/checksum is the
+  // same case — the whole file is untrustworthy, not just its tail.
+  bool fresh = file_size < kHeaderSize;
+  if (!fresh) {
+    if (!ensure_mapped_locked(static_cast<std::size_t>(file_size)))
+      return fail("mmap(" + opts_.path + ")");
+    util::ByteReader r(std::span(map_, map_size_));
+    std::uint8_t magic[8];
+    std::memcpy(magic, map_, 8);
+    r.skip(8);
+    const std::uint32_t version = r.u32();
+    const std::uint32_t header_size = r.u32();
+    const std::uint64_t generation = r.u64();
+    r.u64();  // committed_bytes: advisory — the scan below re-derives it
+    const std::uint64_t header_fnv = r.u64();
+    if (std::memcmp(magic, kMagic, 8) != 0 || version != kFormatVersion ||
+        header_size != kHeaderSize ||
+        header_fnv != util::fnv1a64(std::span(map_, 32))) {
+      fresh = true;
+      ++stats_.torn_truncations;
+    } else {
+      generation_ = generation;
+    }
+  }
+  if (fresh) {
+    if (map_ != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(map_), map_size_);
+      map_ = nullptr;
+      map_size_ = 0;
+    }
+    if (::ftruncate(fd_, 0) != 0) return fail("ftruncate");
+    committed_bytes_ = kHeaderSize;
+    if (!write_header_locked()) return fail("write header");
+    if (::ftruncate(fd_, static_cast<off_t>(kHeaderSize)) != 0)
+      return fail("ftruncate");
+    if (!ensure_mapped_locked(kHeaderSize)) return fail("mmap");
+    stats_.resident_bytes = committed_bytes_;
+    stats_.generation = generation_;
+    return true;
+  }
+
+  // Recovery scan: walk records validating both checksums; the first
+  // invalid one marks the torn tail and the file is cut there. Records
+  // past the old committed_bytes that validate fully are kept — the
+  // crash hit between the record write and its commit, and the record
+  // is complete.
+  const std::span<const std::uint8_t> file(map_, map_size_);
+  std::uint64_t pos = kHeaderSize;
+  while (pos < file_size) {
+    const auto rec = parse_record_at(file, pos);
+    if (!rec.has_value()) break;
+    const std::uint8_t* payload = map_ + pos + kRecordHeaderSize;
+    if (util::fnv1a64(std::span(payload, rec->payload_len)) != rec->payload_fnv)
+      break;
+    if (rec->kind == kImageRecord)
+      images_.try_emplace(rec->key.id, pos);
+    else
+      results_.try_emplace(rec->key, pos);
+    order_.push_back(pos);
+    pos += rec->total_bytes;
+  }
+  committed_bytes_ = pos;
+  if (pos < file_size) {
+    ++stats_.torn_truncations;
+    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) return fail("ftruncate");
+  }
+  if (!write_header_locked()) return fail("write header");
+  stats_.resident_bytes = committed_bytes_;
+  stats_.resident_records = images_.size() + results_.size();
+  stats_.generation = generation_;
+  return true;
+}
+
+bool PersistentStore::append_locked(std::uint32_t kind, const ResultKey& key,
+                                    const std::vector<std::uint8_t>& payload) {
+  // A dropped write is not an error the caller can act on: the entry
+  // simply stays memory-only and the next restart rebuilds it cold.
+  if (util::failpoint("pcache.write")) {
+    ++stats_.write_failures;
+    return false;
+  }
+  const std::uint64_t padded = pad8(payload.size());
+  const std::uint64_t record_bytes = kRecordHeaderSize + padded;
+  if (record_bytes > opts_.budget_bytes) {
+    ++stats_.rejected;
+    return false;
+  }
+  if (committed_bytes_ - kHeaderSize + record_bytes > opts_.budget_bytes &&
+      !compact_locked(static_cast<std::size_t>(record_bytes)))
+    return false;
+
+  util::ByteWriter w;
+  w.bytes(bytes_of(encode_record_header(kind, key, payload.size(),
+                                        util::fnv1a64(bytes_of(payload)))));
+  w.bytes(bytes_of(payload));
+  w.align(8);
+  if (!pwrite_all(fd_, w.data().data(), w.size(), committed_bytes_)) {
+    ++stats_.write_failures;
+    return false;
+  }
+  const std::uint64_t offset = committed_bytes_;
+  committed_bytes_ += w.size();
+  if (!write_header_locked()) {
+    // The record is on disk but uncommitted; recovery will still keep
+    // it (it validates), so index it — but count the failed commit.
+    ++stats_.write_failures;
+  }
+  if (kind == kImageRecord)
+    images_[key.id] = offset;
+  else
+    results_[key] = offset;
+  order_.push_back(offset);
+  ++stats_.appended_records;
+  stats_.appended_bytes += record_bytes;
+  stats_.resident_bytes = committed_bytes_;
+  stats_.resident_records = images_.size() + results_.size();
+  return true;
+}
+
+/// Rewrite the segment keeping the newest records (by append order)
+/// that fit in 3/4 of the budget, leaving room for `incoming_bytes`.
+/// Classic copying collection: build the survivor file at path.tmp,
+/// fsync, rename over, bump the generation, remap, reindex.
+bool PersistentStore::compact_locked(std::size_t incoming_bytes) {
+  if (!ensure_mapped_locked(static_cast<std::size_t>(committed_bytes_)))
+    return false;
+  const std::span<const std::uint8_t> file(map_, map_size_);
+
+  const std::uint64_t target =
+      opts_.budget_bytes - opts_.budget_bytes / 4 > incoming_bytes
+          ? opts_.budget_bytes - opts_.budget_bytes / 4 - incoming_bytes
+          : 0;
+  std::uint64_t kept_bytes = 0;
+  std::size_t first_kept = order_.size();
+  while (first_kept > 0) {
+    const auto rec = parse_record_at(file, order_[first_kept - 1]);
+    if (!rec.has_value()) return false;  // index out of sync with disk
+    if (kept_bytes + rec->total_bytes > target) break;
+    kept_bytes += rec->total_bytes;
+    --first_kept;
+  }
+
+  const std::string tmp = opts_.path + ".tmp";
+  const int tmp_fd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) return false;
+  bool ok = true;
+  std::uint64_t out_pos = kHeaderSize;
+  std::vector<std::uint64_t> new_order;
+  std::unordered_map<ContentId, std::uint64_t, ContentIdHash> new_images;
+  std::unordered_map<ResultKey, std::uint64_t, ResultKeyHash> new_results;
+  for (std::size_t i = first_kept; i < order_.size() && ok; ++i) {
+    const auto rec = parse_record_at(file, order_[i]);
+    ok = rec.has_value() &&
+         pwrite_all(tmp_fd, map_ + order_[i],
+                    static_cast<std::size_t>(rec->total_bytes), out_pos);
+    if (!ok) break;
+    if (rec->kind == kImageRecord)
+      new_images[rec->key.id] = out_pos;
+    else
+      new_results[rec->key] = out_pos;
+    new_order.push_back(out_pos);
+    out_pos += rec->total_bytes;
+  }
+  if (ok) {
+    const auto header = encode_header(generation_ + 1, out_pos);
+    ok = pwrite_all(tmp_fd, header.data(), header.size(), 0) &&
+         ::fsync(tmp_fd) == 0;
+  }
+  ::close(tmp_fd);
+  if (!ok || ::rename(tmp.c_str(), opts_.path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    ++stats_.write_failures;
+    return false;
+  }
+
+  // Swap to the new file: the old mapping (and fd) die, reads remap.
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_size_);
+    map_ = nullptr;
+    map_size_ = 0;
+  }
+  ::close(fd_);
+  fd_ = ::open(opts_.path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd_ < 0) return false;
+  ++generation_;
+  committed_bytes_ = out_pos;
+  images_.swap(new_images);
+  results_.swap(new_results);
+  order_.swap(new_order);
+  ++stats_.compactions;
+  stats_.generation = generation_;
+  stats_.resident_bytes = committed_bytes_;
+  stats_.resident_records = images_.size() + results_.size();
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> PersistentStore::read_payload_locked(
+    std::uint64_t offset) {
+  if (!ensure_mapped_locked(static_cast<std::size_t>(committed_bytes_)))
+    return std::nullopt;
+  const auto rec = parse_record_at(std::span(map_, map_size_), offset);
+  if (!rec.has_value()) return std::nullopt;
+  const std::uint8_t* payload = map_ + offset + kRecordHeaderSize;
+  if (util::fnv1a64(std::span(payload, rec->payload_len)) != rec->payload_fnv)
+    return std::nullopt;
+  return std::vector<std::uint8_t>(payload, payload + rec->payload_len);
+}
+
+bool PersistentStore::put_image(const ContentId& id, const PersistedMeta& meta,
+                                std::span<const std::uint8_t> raw) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (images_.contains(id)) {
+    ++stats_.skipped_existing;
+    return true;
+  }
+  return append_locked(kImageRecord, ResultKey{id, 0, 0},
+                       encode_image_payload(meta, raw));
+}
+
+bool PersistentStore::put_result(const ResultKey& key, const eval::RunResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (results_.contains(key)) {
+    ++stats_.skipped_existing;
+    return true;
+  }
+  return append_locked(kResultRecord, key, encode_result_payload(result));
+}
+
+std::optional<PersistedMeta> PersistentStore::get_meta(const ContentId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = images_.find(id);
+  if (it == images_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto payload = read_payload_locked(it->second);
+  if (payload.has_value()) {
+    try {
+      util::ByteReader r(bytes_of(*payload));
+      PersistedMeta meta = decode_image_meta(r);
+      ++stats_.hits;
+      return meta;
+    } catch (const std::exception&) {
+    }
+  }
+  ++stats_.corrupt_payloads;
+  ++stats_.misses;
+  images_.erase(it);
+  stats_.resident_records = images_.size() + results_.size();
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> PersistentStore::get_raw(const ContentId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = images_.find(id);
+  if (it == images_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto payload = read_payload_locked(it->second);
+  if (payload.has_value()) {
+    try {
+      util::ByteReader r(bytes_of(*payload));
+      decode_image_meta(r);  // skip the meta block
+      const std::uint64_t raw_len = r.u64();
+      if (raw_len != id.size) throw ParseError("pcache: raw length mismatch");
+      std::vector<std::uint8_t> raw =
+          r.bytes(static_cast<std::size_t>(raw_len));
+      ++stats_.hits;
+      return raw;
+    } catch (const std::exception&) {
+    }
+  }
+  ++stats_.corrupt_payloads;
+  ++stats_.misses;
+  images_.erase(it);
+  stats_.resident_records = images_.size() + results_.size();
+  return std::nullopt;
+}
+
+std::optional<eval::RunResult> PersistentStore::get_result(const ResultKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = results_.find(key);
+  if (it == results_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto payload = read_payload_locked(it->second);
+  if (payload.has_value()) {
+    try {
+      eval::RunResult res = decode_result_payload(bytes_of(*payload));
+      ++stats_.hits;
+      return res;
+    } catch (const std::exception&) {
+    }
+  }
+  ++stats_.corrupt_payloads;
+  ++stats_.misses;
+  results_.erase(it);
+  stats_.resident_records = images_.size() + results_.size();
+  return std::nullopt;
+}
+
+bool PersistentStore::has_image(const ContentId& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return images_.contains(id);
+}
+
+PersistentStore::Stats PersistentStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace fsr::service

@@ -1,0 +1,153 @@
+// Persistent content-addressed store — the crash-safe layer under
+// AnalysisCache.
+//
+// PR 9 made fsrd crash-only, but every supervised restart still paid a
+// fully cold cache: the 48× hit/miss latency gap became a post-restart
+// cliff exactly when the supervisor was churning. This store closes it.
+// Analysis results are deterministic per content hash (the cache-vs-
+// cold stress test asserts bit-identity), which is what makes reusing
+// them across process lifetimes sound: a (ContentId, tool, config)
+// key names exactly one answer, forever.
+//
+// On-disk layout — one append-only segment file:
+//
+//   [64-byte header] [record] [record] ... [maybe a torn tail]
+//
+//   header   magic "FSRPCCH1", format version, generation (bumped per
+//            compaction), committed_bytes (the commit record: everything
+//            below it was fully written), FNV-1a64 over the fixed
+//            prefix.
+//   record   56-byte header (kind, key, tool/config, payload length,
+//            payload checksum, header checksum) + payload padded to 8.
+//            kImage payloads hold the serialized PersistedMeta followed
+//            by the raw ELF bytes; kResult payloads a serialized
+//            eval::RunResult.
+//
+// Crash-safety contract: appends write the record first, then commit it
+// by rewriting the header's committed_bytes (both plain pwrite — the
+// page cache survives process death, so SIGKILL needs no fsync; only
+// compaction, which replaces the whole file, fsyncs before rename).
+// Recovery scans from the header, keeps every record whose checksums
+// validate (including fully-written but uncommitted tails), and
+// truncates the file at the first torn or corrupt record. A checksum
+// mismatch discovered later, on a read, drops that entry and counts it
+// — the store can lose entries, never serve wrong bytes.
+//
+// Reads go through a shared mmap view (remapped as the file grows);
+// appends and compaction serialize on one mutex. Everything is an
+// optimization: any failure (open, write, checksum) degrades to the
+// cold path, never to an error the client sees.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/runner.hpp"
+#include "service/cache.hpp"
+#include "util/diagnostic.hpp"
+
+namespace fsr::service {
+
+/// The slice of a CachedImage that persists: enough to answer an
+/// identify/compare hit (machine routing, reported timings, salvage
+/// diagnostics) without rebuilding the image itself. The raw ELF bytes
+/// ride alongside in the same record so the image CAN be rebuilt when a
+/// request actually needs one (disasm, a tool miss).
+struct PersistedMeta {
+  std::uint32_t machine = 0;  // static_cast<elf::Machine>
+  double prepare_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double substrate_seconds = 0.0;
+  std::uint64_t input_bytes = 0;
+  std::uint64_t diag_total = 0;  // includes entries dropped by the cap
+  std::vector<util::Diagnostic> diags;  // the stored (bounded) items
+};
+
+class PersistentStore {
+public:
+  struct Options {
+    std::string path;                        // segment file (required)
+    std::size_t budget_bytes = 256u << 20;   // compaction threshold
+  };
+
+  /// Counters mirrored into the `stats` op ("pcache" section) and the
+  /// fsrtop display. Monotonic except the resident_* gauges.
+  struct Stats {
+    std::uint64_t hits = 0;              // get_* calls that found a valid record
+    std::uint64_t misses = 0;            // get_* calls with nothing indexed
+    std::uint64_t appended_records = 0;
+    std::uint64_t appended_bytes = 0;
+    std::uint64_t skipped_existing = 0;  // first-insert-wins no-ops
+    std::uint64_t write_failures = 0;    // I/O errors + pcache.write failpoint
+    std::uint64_t rejected = 0;          // single record over the whole budget
+    std::uint64_t torn_truncations = 0;  // recovery cut a torn/corrupt tail
+    std::uint64_t corrupt_payloads = 0;  // checksum mismatch on a read
+    std::uint64_t compactions = 0;
+    std::uint64_t resident_bytes = 0;    // committed file bytes
+    std::uint64_t resident_records = 0;  // indexed entries
+    std::uint64_t generation = 0;
+  };
+
+  /// Open (or create) the segment at opts.path, running recovery.
+  /// Returns null (with *error set) only when the path is unusable —
+  /// an existing-but-corrupt file is recovered, not refused.
+  static std::unique_ptr<PersistentStore> open(Options opts, std::string* error = nullptr);
+
+  ~PersistentStore();
+  PersistentStore(const PersistentStore&) = delete;
+  PersistentStore& operator=(const PersistentStore&) = delete;
+
+  /// Append an image record (meta + raw bytes) / a result record.
+  /// First insert wins; failures are counted and absorbed (the store is
+  /// an optimization). Returns whether the key is durable afterwards.
+  bool put_image(const ContentId& id, const PersistedMeta& meta,
+                 std::span<const std::uint8_t> raw);
+  bool put_result(const ResultKey& key, const eval::RunResult& result);
+
+  /// Reads re-verify the payload checksum every time; a mismatch drops
+  /// the entry from the index (counted) and reports a miss.
+  std::optional<PersistedMeta> get_meta(const ContentId& id);
+  std::optional<std::vector<std::uint8_t>> get_raw(const ContentId& id);
+  std::optional<eval::RunResult> get_result(const ResultKey& key);
+
+  [[nodiscard]] bool has_image(const ContentId& id) const;
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::string& path() const { return opts_.path; }
+  [[nodiscard]] std::size_t budget_bytes() const { return opts_.budget_bytes; }
+
+private:
+  explicit PersistentStore(Options opts);
+
+  bool open_and_recover(std::string* error);
+  bool ensure_mapped_locked(std::size_t need);
+  bool append_locked(std::uint32_t kind, const ResultKey& key,
+                     const std::vector<std::uint8_t>& payload);
+  bool compact_locked(std::size_t incoming_bytes);
+  bool write_header_locked();
+  std::optional<std::vector<std::uint8_t>> read_payload_locked(std::uint64_t offset);
+
+  Options opts_;
+  int fd_ = -1;
+  const std::uint8_t* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t committed_bytes_ = 0;
+
+  // Offsets point at record starts; images and results live in separate
+  // indexes because an image ContentId and a result key share the hash.
+  std::unordered_map<ContentId, std::uint64_t, ContentIdHash> images_;
+  std::unordered_map<ResultKey, std::uint64_t, ResultKeyHash> results_;
+  std::vector<std::uint64_t> order_;  // record offsets, append order
+
+  mutable std::mutex mutex_;
+  Stats stats_;
+};
+
+}  // namespace fsr::service

@@ -92,6 +92,25 @@ bool write_frame(int fd, std::string_view payload) {
          write_exact(fd, payload.data(), payload.size());
 }
 
+bool append_frame(std::string& buf, std::string_view payload) {
+  if (util::failpoint("svc.write_frame")) return false;
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const char header[4] = {
+      static_cast<char>(len),
+      static_cast<char>(len >> 8),
+      static_cast<char>(len >> 16),
+      static_cast<char>(len >> 24),
+  };
+  buf.append(header, sizeof header);
+  buf.append(payload);
+  return true;
+}
+
+bool write_bytes(int fd, std::string_view bytes) {
+  return write_exact(fd, bytes.data(), bytes.size());
+}
+
 namespace {
 constexpr char kB64Alphabet[] =
     "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";

@@ -9,6 +9,15 @@
 // multi-gigabyte frame is refused before a single payload byte is
 // buffered.
 //
+// Pipelining contract: a client may send multiple request frames
+// without waiting for responses; the server executes them concurrently
+// (bounded per connection) but writes response frames strictly in
+// request order — frames carry no correlation ids, order IS the
+// correlation. A stop-and-wait client is just the depth-1 special
+// case. Responses never interleave mid-frame, and a connection-fatal
+// condition (oversized frame) is answered only after every response
+// owed for earlier frames has been written.
+//
 // Request object (all strings; unknown keys are ignored):
 //   op      "ping" | "identify" | "compare" | "disasm" | "stats" |
 //           "metrics" | "tail" | "shutdown"
@@ -66,6 +75,15 @@ FrameStatus read_frame(int fd, std::string& payload,
 /// Blocking frame write (EINTR-restarted, handles short writes).
 /// False when the peer vanished or write(2) failed.
 bool write_frame(int fd, std::string_view payload);
+
+/// Append one length-prefixed frame to a write buffer, for batching
+/// several frames into a single send. Same refusal contract as
+/// write_frame (cap + the svc.write_frame failpoint), minus the I/O.
+bool append_frame(std::string& buf, std::string_view payload);
+
+/// Blocking write of pre-framed bytes built with append_frame
+/// (EINTR-restarted, short-write safe).
+bool write_bytes(int fd, std::string_view bytes);
 
 /// Standard base64 (RFC 4648, with padding).
 std::string b64_encode(std::span<const std::uint8_t> bytes);

@@ -281,18 +281,16 @@ void Server::accept_loop() {
   stopped_cv_.notify_all();
 }
 
-std::string Server::execute_on_pool(std::string payload, bool& shutdown_requested) {
-  struct Pending {
-    std::mutex m;
-    std::condition_variable cv;
-    bool done = false;
-    Service::Outcome out;
-  };
-  auto pending = std::make_shared<Pending>();
+// Run one frame on the pool; the finished response lands in the
+// connection's reorder map and the completion pipe wakes the reader.
+// The reader guarantees `conn` outlives every outstanding submission
+// (it drains its inflight count before exiting on any path), so the
+// raw pointer capture is safe.
+void Server::submit_on_pool(Connection* conn, std::uint64_t seq, std::string payload) {
   ServerMetrics& m = server_metrics();
   m.queue_depth.set(g_inflight.fetch_add(1, std::memory_order_relaxed) + 1);
   const std::uint64_t submit_ns = obs::now_ns();
-  pool_->submit([this, pending, submit_ns, payload = std::move(payload)] {
+  pool_->submit([this, conn, seq, submit_ns, payload = std::move(payload)] {
     Service::Outcome out = service_.handle(payload);
     ServerMetrics& sm = server_metrics();
     sm.queue_depth.set(g_inflight.fetch_sub(1, std::memory_order_relaxed) - 1);
@@ -300,15 +298,13 @@ std::string Server::execute_on_pool(std::string payload, bool& shutdown_requeste
     sm.win_request.record(latency);
     if (out.analysis)
       (out.cache_hit ? sm.win_hit : sm.win_miss).record(latency);
-    std::lock_guard<std::mutex> lock(pending->m);
-    pending->out = std::move(out);
-    pending->done = true;
-    pending->cv.notify_one();
+    {
+      std::lock_guard<std::mutex> lock(conn->resp_mutex);
+      conn->ready.emplace(seq, Ready{std::move(out.json), out.shutdown});
+    }
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(conn->comp_wr.get(), &byte, 1);
   });
-  std::unique_lock<std::mutex> lock(pending->m);
-  pending->cv.wait(lock, [&] { return pending->done; });
-  if (pending->out.shutdown) shutdown_requested = true;
-  return std::move(pending->out.json);
 }
 
 // Drop entries whose reader has finished (client hung up). Keeps the
@@ -355,48 +351,162 @@ void Server::accept_pause_ms(int ms) {
 
 void Server::connection_loop(Connection* conn) {
   const int fd = conn->fd.get();
-  std::string payload;
-  for (;;) {
-    const FrameStatus st = read_frame(fd, payload);
-    if (st == FrameStatus::kClosed || st == FrameStatus::kTruncated ||
-        st == FrameStatus::kError)
-      break;
-    if (st == FrameStatus::kOversized) {
-      // The announced length is beyond the cap; the stream cannot be
-      // resynchronized, so answer once and drop the connection.
-      server_metrics().frames_rejected.add();
+
+  // The completion pipe, created here so a failed pipe2 only costs this
+  // connection. Nonblocking on both ends: workers drop the wakeup byte
+  // when the pipe is full (a pending byte is already there to wake us)
+  // and the reader drains it without blocking.
+  {
+    int comp[2];
+    if (::pipe2(comp, O_CLOEXEC | O_NONBLOCK) != 0) {
       if (obs::log_enabled())
-        obs::log_event(obs::Severity::kWarn, "svc.frame_rejected",
-                       obs::LogFields().str("reason", "oversized"));
-      write_frame(fd, "{\"ok\":false,\"code\":\"oversized\","
-                      "\"error\":\"frame exceeds the 64 MiB limit\"}");
-      break;
+        obs::log_event(obs::Severity::kError, "svc.pipe_failed");
+      ::shutdown(fd, SHUT_RDWR);
+      conn->done.store(true, std::memory_order_release);
+      return;
     }
-    if (opts_.max_inflight > 0 &&
-        g_inflight.load(std::memory_order_relaxed) >=
-            static_cast<std::int64_t>(opts_.max_inflight)) {
-      // Shed rather than queue: the client gets a prompt, structured
-      // answer it can back off on, and the connection stays usable.
-      server_metrics().overloaded.add();
-      if (obs::log_enabled())
-        obs::log_event(obs::Severity::kWarn, "svc.overloaded",
-                       obs::LogFields().str("reason", "inflight"));
-      payload.clear();
-      if (!write_frame(fd, kOverloadedFrame)) break;
+    conn->comp_rd = UniqueFd(comp[0]);
+    conn->comp_wr = UniqueFd(comp[1]);
+  }
+
+  std::string payload;
+  std::uint64_t next_seq = 0;   // assigned to frames as they arrive
+  std::uint64_t flush_seq = 0;  // next response owed to the socket
+  std::size_t inflight = 0;     // submitted (or queued-ready) - flushed
+  bool reading = true;          // false after EOF/error/oversized
+  bool oversized = false;       // answer once after draining, then drop
+  bool discard = false;         // write failed: drain without writing
+  bool shutdown_requested = false;
+
+  // Deposit a response locally (overload rejects), keeping seq order
+  // with pool-executed neighbors.
+  auto reject = [&](std::string_view json) {
+    std::lock_guard<std::mutex> lock(conn->resp_mutex);
+    conn->ready.emplace(next_seq, Ready{std::string(json), false});
+  };
+
+  // Write every consecutive finished response. Frames are batched into
+  // one buffer and flushed with a single send — a pipelining client's
+  // burst of responses costs one syscall, not two per frame. On a
+  // failed write the connection switches to discard mode: it stops the
+  // socket but keeps draining, because pool workers still hold `conn`.
+  std::string outbuf;
+  auto flush_ready = [&] {
+    outbuf.clear();
+    for (;;) {
+      Ready r;
+      {
+        std::lock_guard<std::mutex> lock(conn->resp_mutex);
+        auto it = conn->ready.find(flush_seq);
+        if (it == conn->ready.end()) break;
+        r = std::move(it->second);
+        conn->ready.erase(it);
+      }
+      ++flush_seq;
+      --inflight;
+      if (!discard && !append_frame(outbuf, r.json)) {
+        discard = true;
+        reading = false;
+      }
+      if (r.shutdown) {
+        // The goodbye is buffered (ordered after everything owed);
+        // stop reading and take the daemon down once stragglers drain.
+        reading = false;
+        shutdown_requested = true;
+      }
+    }
+    conn->busy.store(inflight > 0, std::memory_order_release);
+    if (!discard && !outbuf.empty() && !write_bytes(fd, outbuf)) {
+      discard = true;
+      reading = false;
+    }
+  };
+
+  while (true) {
+    flush_ready();
+    if (shutdown_requested) {
+      // Begin the daemon-wide stop now, but keep draining: pool
+      // workers may still hold `conn` for frames pipelined behind the
+      // shutdown op.
+      stop();
+      shutdown_requested = false;
+    }
+    if (!reading && inflight == 0) break;
+
+    const bool want_read =
+        reading &&
+        (opts_.max_pipeline == 0 || inflight < opts_.max_pipeline);
+    pollfd fds[2] = {{conn->comp_rd.get(), POLLIN, 0}, {fd, POLLIN, 0}};
+    const int rc = ::poll(fds, want_read ? 2 : 1, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      reading = false;
+      discard = true;
       continue;
     }
-    bool shutdown_requested = false;
-    conn->busy.store(true, std::memory_order_release);
-    const std::string response = execute_on_pool(std::move(payload), shutdown_requested);
-    conn->busy.store(false, std::memory_order_release);
-    payload.clear();
-    const bool wrote = write_frame(fd, response);
-    if (shutdown_requested) {
-      stop();
-      break;
+    if ((fds[0].revents & POLLIN) != 0) {
+      char buf[64];
+      while (::read(conn->comp_rd.get(), buf, sizeof buf) > 0) {
+      }
     }
-    if (!wrote) break;
+    if (!want_read || (fds[1].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+      continue;
+
+    // Data (or EOF) on the socket: pull frames in a burst. After each
+    // frame a zero-timeout poll asks whether more bytes are already
+    // waiting — a pipelining client's whole batch costs one blocking
+    // poll, not one per frame. read_frame itself still blocks until a
+    // started frame completes; a mid-frame stall delays the flush of
+    // later responses, which is the same head-of-line behavior the
+    // serial server had, bounded by the peer's own send.
+    while (true) {
+      const FrameStatus st = read_frame(fd, payload);
+      if (st == FrameStatus::kClosed || st == FrameStatus::kTruncated ||
+          st == FrameStatus::kError) {
+        reading = false;
+        break;  // drain what is still in flight
+      }
+      if (st == FrameStatus::kOversized) {
+        // The announced length is beyond the cap; the stream cannot be
+        // resynchronized, so answer once (after the drain) and drop.
+        server_metrics().frames_rejected.add();
+        if (obs::log_enabled())
+          obs::log_event(obs::Severity::kWarn, "svc.frame_rejected",
+                         obs::LogFields().str("reason", "oversized"));
+        reading = false;
+        oversized = true;
+        break;
+      }
+      if (opts_.max_inflight > 0 &&
+          g_inflight.load(std::memory_order_relaxed) >=
+              static_cast<std::int64_t>(opts_.max_inflight)) {
+        // Shed rather than queue: the client gets a prompt, structured
+        // answer it can back off on, and the connection stays usable.
+        // The reject takes this frame's seq so interleaved responses
+        // stay ordered.
+        server_metrics().overloaded.add();
+        if (obs::log_enabled())
+          obs::log_event(obs::Severity::kWarn, "svc.overloaded",
+                         obs::LogFields().str("reason", "inflight"));
+        reject(kOverloadedFrame);
+      } else {
+        submit_on_pool(conn, next_seq, std::move(payload));
+      }
+      ++next_seq;
+      ++inflight;
+      payload.clear();
+      conn->busy.store(true, std::memory_order_release);
+      if (opts_.max_pipeline != 0 && inflight >= opts_.max_pipeline) break;
+      pollfd probe{fd, POLLIN, 0};
+      if (::poll(&probe, 1, 0) <= 0 ||
+          (probe.revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+        break;  // nothing buffered — go back to the blocking poll
+    }
   }
+
+  if (oversized && !discard)
+    write_frame(fd, "{\"ok\":false,\"code\":\"oversized\","
+                    "\"error\":\"frame exceeds the 64 MiB limit\"}");
   // Half-open sockets would leave the peer blocked on a response that
   // will never come; the fd itself is closed when the entry is reaped.
   ::shutdown(fd, SHUT_RDWR);

@@ -3,10 +3,18 @@
 // Threading model: one accept thread polls the listening socket plus a
 // self-pipe; each accepted connection gets a lightweight reader thread
 // that parses frames and *executes* every request on the shared
-// work-stealing ThreadPool — connection threads only block on I/O and
-// on their own request's completion, so a slow client never occupies a
-// pool worker and request-level parallelism is bounded by the pool,
-// not by the connection count.
+// work-stealing ThreadPool — connection threads only block on I/O, so
+// a slow client never occupies a pool worker and request-level
+// parallelism is bounded by the pool, not by the connection count.
+//
+// Connections are pipelined: the reader keeps up to max_pipeline
+// frames in flight on the pool per connection and writes responses
+// strictly in request order (the protocol has no request ids, so order
+// IS the correlation). All socket writes happen on the reader thread —
+// pool workers deposit finished responses into a per-connection
+// reorder map and wake the reader through a completion pipe. A client
+// that sends one frame and waits sees exactly the old serial behavior;
+// one that streams frames overlaps its round trips.
 //
 // Shutdown is cooperative and signal-safe: SIGINT/SIGTERM handlers
 // (obs::set_signal_notify_fd wired to signal_notify_fd()) write one
@@ -19,6 +27,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +54,10 @@ struct ServerOptions {
   // its socket for this long gets its connection dropped instead of
   // parking a reader thread forever. 0 disables.
   double write_budget_seconds = 30.0;
+  // Frames one connection may have in flight on the pool before its
+  // reader stops pulling new ones off the socket (flow control, and a
+  // bound on per-connection response buffering). 0 = unlimited.
+  std::size_t max_pipeline = 32;
 };
 
 class Server {
@@ -82,7 +96,7 @@ private:
   void shed_oldest_idle_locked();
   void accept_pause_ms(int ms);
   void connection_loop(Connection* conn);
-  std::string execute_on_pool(std::string payload, bool& shutdown_requested);
+  void submit_on_pool(Connection* conn, std::uint64_t seq, std::string payload);
 
   ServerOptions opts_;
   Service service_;
@@ -92,11 +106,24 @@ private:
   UniqueFd pipe_rd_, pipe_wr_;
   std::thread accept_thread_;
 
+  /// One finished response waiting for its in-order turn on the socket.
+  struct Ready {
+    std::string json;
+    bool shutdown = false;  // response to a `shutdown` op
+  };
+
   struct Connection {
     UniqueFd fd;
     std::thread thread;
     std::atomic<bool> done{false};
-    std::atomic<bool> busy{false};  // a request of ours is on the pool
+    std::atomic<bool> busy{false};  // requests of ours are on the pool
+    // Pipelining state. Pool workers deposit under resp_mutex and wake
+    // the reader via comp_wr; the reader drains in seq order. The
+    // reader never exits while responses are outstanding, so workers
+    // can hold the raw pointer safely.
+    UniqueFd comp_rd, comp_wr;
+    std::mutex resp_mutex;
+    std::map<std::uint64_t, Ready> ready;
   };
   std::mutex conn_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/window.hpp"
+#include "service/pcache.hpp"
 #include "service/proto.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
@@ -122,14 +123,18 @@ std::string hex_array(const std::vector<std::uint64_t>& values) {
   return out;
 }
 
-std::string diag_array(const util::Diagnostics& diags) {
+std::string diag_array(const std::vector<util::Diagnostic>& items) {
   std::string out = "[";
-  for (std::size_t i = 0; i < diags.items().size(); ++i) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
     if (i != 0) out += ',';
-    out += quoted(diags.items()[i].to_string());
+    out += quoted(items[i].to_string());
   }
   out += ']';
   return out;
+}
+
+std::string diag_array(const util::Diagnostics& diags) {
+  return diag_array(diags.items());
 }
 
 std::string lru_stats_json(const util::LruStats& s) {
@@ -160,6 +165,44 @@ std::optional<eval::Tool> parse_tool(std::string_view name) {
   return std::nullopt;
 }
 
+/// The request's content identity, resolved before any expensive work:
+/// either from uploaded bytes (decoded and hashed) or from a `key`.
+struct ResolvedId {
+  ContentId id;
+  std::optional<std::vector<std::uint8_t>> upload;  // decoded elf bytes
+  std::string error;  // non-empty: resolution failed
+  std::string code;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+ResolvedId resolve_id(const obs::JsonValue& req) {
+  auto fail_id = [](std::string code, std::string error) {
+    ResolvedId r;
+    r.code = std::move(code);
+    r.error = std::move(error);
+    return r;
+  };
+  ResolvedId r;
+  const std::string key = req.get_string("key");
+  const obs::JsonValue* elf = req.find("elf");
+  if (elf != nullptr && elf->is_string()) {
+    auto bytes = b64_decode(elf->as_string(""));
+    if (!bytes.has_value())
+      return fail_id("bad-request", "elf field is not valid base64");
+    r.id = content_id(*bytes);
+    r.upload = std::move(bytes);
+    return r;
+  }
+  if (!key.empty()) {
+    const auto id = ContentId::parse(key);
+    if (!id.has_value()) return fail_id("bad-key", "malformed content key");
+    r.id = *id;
+    return r;
+  }
+  return fail_id("bad-request",
+                 "request needs \"elf\" (base64) or a cached \"key\"");
+}
+
 /// The resolved input of an analysis request: the cached (or freshly
 /// prepared) image plus whether the image layer was a hit.
 struct ResolvedImage {
@@ -179,41 +222,36 @@ ResolvedImage fail(std::string code, std::string error) {
 
 /// Locate (or build and insert) the request's binary. Upload dedup is
 /// content-addressed: re-uploading bytes the cache already holds is a
-/// hit even without a `key`. Images built under an already-expired
-/// deadline are served but never cached — a partial substrate must not
-/// answer later requests.
-ResolvedImage resolve_image(AnalysisCache& cache, const obs::JsonValue& req) {
+/// hit even without a `key`. A key whose image fell out of memory is
+/// rebuilt from the persistent layer's raw bytes when it has them —
+/// only then does the request fail with unknown-key. Images built under
+/// an already-expired deadline are served but never cached — a partial
+/// substrate must not answer later requests.
+ResolvedImage resolve_image(AnalysisCache& cache, const ResolvedId& in,
+                            std::shared_ptr<const CachedImage> mem_hit) {
   ResolvedImage r;
-  const std::string key = req.get_string("key");
-  const obs::JsonValue* elf = req.find("elf");
-  if (!key.empty()) {
-    const auto id = ContentId::parse(key);
-    if (!id.has_value()) return fail("bad-key", "malformed content key");
-    r.id = *id;
-    r.img = cache.find_image(*id);
-    if (r.img != nullptr) {
-      r.hit = true;
-      return r;
-    }
-    if (elf == nullptr)
-      return fail("unknown-key", "content key not cached (evicted?); re-upload elf");
-  }
-  if (elf == nullptr || !elf->is_string())
-    return fail("bad-request", "request needs \"elf\" (base64) or a cached \"key\"");
-  const auto bytes = b64_decode(elf->as_string(""));
-  if (!bytes.has_value()) return fail("bad-request", "elf field is not valid base64");
-  r.id = content_id(*bytes);
-  r.img = cache.find_image(r.id);
-  if (r.img != nullptr) {
+  r.id = in.id;
+  if (mem_hit != nullptr) {
+    r.img = std::move(mem_hit);
     r.hit = true;
     return r;
   }
+  std::span<const std::uint8_t> bytes;
+  std::optional<std::vector<std::uint8_t>> persisted;
+  if (in.upload.has_value()) {
+    bytes = std::span(in.upload->data(), in.upload->size());
+  } else {
+    persisted = cache.persistent_raw(in.id);
+    if (!persisted.has_value())
+      return fail("unknown-key", "content key not cached (evicted?); re-upload elf");
+    bytes = std::span(persisted->data(), persisted->size());
+  }
   try {
     TRACE_SPAN("svc.prepare");
-    auto built = std::make_shared<const CachedImage>(make_cached_image(*bytes));
+    auto built = std::make_shared<const CachedImage>(make_cached_image(bytes));
     if (util::deadline_expired_now())
       return fail("timeout", "request deadline expired during decode");
-    r.img = cache.insert_image(r.id, std::move(built));
+    r.img = cache.insert_image(r.id, std::move(built), bytes);
   } catch (const std::exception& e) {
     return fail("parse-failed", std::string("unusable binary: ") + e.what());
   }
@@ -321,6 +359,24 @@ Service::Service(ServiceOptions opts)
     if (const char* env = std::getenv("REPRO_TIME_BUDGET"); env != nullptr) {
       const double v = std::atof(env);
       if (v > 0.0) deadline_seconds_ = v;
+    }
+  }
+  if (!opts.pcache_path.empty()) {
+    PersistentStore::Options popts;
+    popts.path = opts.pcache_path;
+    if (opts.pcache_bytes > 0) popts.budget_bytes = opts.pcache_bytes;
+    std::string err;
+    auto store = PersistentStore::open(std::move(popts), &err);
+    if (store != nullptr) {
+      cache_.attach_persistent(std::move(store));
+    } else {
+      // Memory-only degradation: persistence is an optimization, and a
+      // daemon that refuses to serve over a bad cache path would turn
+      // a disk problem into an outage.
+      std::fprintf(stderr, "fsrd: pcache disabled: %s\n", err.c_str());
+      if (obs::log_enabled())
+        obs::log_event(obs::Severity::kError, "svc.pcache_open_failed",
+                       obs::LogFields().str("error", err));
     }
   }
 }
@@ -502,13 +558,72 @@ Service::Outcome Service::do_tail(const obs::JsonValue& req) {
 }
 
 Service::Outcome Service::do_identify(const obs::JsonValue& req) {
-  const ResolvedImage r = resolve_image(cache_, req);
-  if (!r.error.empty()) return error_outcome("identify", r.code, r.error);
+  const ResolvedId in = resolve_id(req);
+  if (!in.ok()) return error_outcome("identify", in.code, in.error);
   int config = static_cast<int>(req.get_number("config", 4));
   config = std::clamp(config, 1, 4);
 
+  auto respond = [&](std::string_view tool_name, bool fs_config, bool hit,
+                     const eval::RunResult& res, double decode_seconds,
+                     std::uint64_t diag_total,
+                     const std::vector<util::Diagnostic>& diag_items) {
+    Outcome out;
+    out.analysis = true;
+    out.cache_hit = hit;
+    ObjBuilder b;
+    b.boolean("ok", true);
+    b.str("op", "identify");
+    b.str("key", in.id.to_string());
+    b.str("tool", tool_name);
+    if (fs_config) b.integer("config", static_cast<std::uint64_t>(config));
+    b.str("cache", hit ? "hit" : "miss");
+    b.integer("count", res.found.size());
+    b.raw("functions", hex_array(res.found));
+    b.num("analysis_seconds", res.seconds);
+    b.num("decode_seconds", decode_seconds);
+    if (diag_total > 0) {
+      b.integer("diagnostic_count", diag_total);
+      b.raw("diagnostics", diag_array(diag_items));
+    }
+    out.json = b.close();
+    return out;
+  };
+
+  std::shared_ptr<const CachedImage> mem = cache_.find_image(in.id);
+
+  // Warm-restart fast path: the image fell out of memory (typically a
+  // fresh process after a crash) but the persistent layer still knows
+  // this content AND the requested result. Serve straight from the
+  // persisted meta + rehydrated result — no parse, no decode, no
+  // analysis. This is what keeps post-restart hit p99 near steady
+  // state instead of at cold-miss latency.
+  if (mem == nullptr && cache_.persistent() != nullptr) {
+    if (const auto meta = cache_.persistent_meta(in.id)) {
+      const bool is_x86 =
+          meta->machine != static_cast<std::uint32_t>(elf::Machine::kArm64);
+      ResultKey rk{in.id, kToolBti, 0};
+      std::string tool_name = "BtiSeeker";
+      bool is_fs = false;
+      if (is_x86) {
+        const auto tool = parse_tool(req.get_string("tool"));
+        if (!tool.has_value())
+          return error_outcome("identify", "bad-request",
+                               "unknown tool (expected funseeker/ida/ghidra/fetch)");
+        is_fs = *tool == eval::Tool::kFunSeeker;
+        rk = ResultKey{in.id, static_cast<int>(*tool), is_fs ? config : 0};
+        tool_name = eval::to_string(*tool);
+      }
+      if (const auto res = cache_.find_result(rk))
+        return respond(tool_name, is_fs, true, *res, meta->decode_seconds,
+                       meta->diag_total, meta->diags);
+    }
+  }
+
+  const ResolvedImage r = resolve_image(cache_, in, std::move(mem));
+  if (!r.error.empty()) return error_outcome("identify", r.code, r.error);
+
   ToolRun tr;
-  bool is_x86 = r.img->image.machine != elf::Machine::kArm64;
+  const bool is_x86 = r.img->image.machine != elf::Machine::kArm64;
   if (is_x86) {
     const auto tool = parse_tool(req.get_string("tool"));
     if (!tool.has_value())
@@ -521,38 +636,83 @@ Service::Outcome Service::do_identify(const obs::JsonValue& req) {
   if (util::deadline_expired_now())
     return error_outcome("identify", "timeout", "request deadline expired");
 
-  Outcome out;
-  out.analysis = true;
-  out.cache_hit = r.hit && tr.hit;
-  ObjBuilder b;
-  b.boolean("ok", true);
-  b.str("op", "identify");
-  b.str("key", r.id.to_string());
-  b.str("tool", tr.tool_name);
-  if (is_x86 && tr.tool_name == "FunSeeker") b.integer("config", static_cast<std::uint64_t>(config));
-  b.str("cache", out.cache_hit ? "hit" : "miss");
-  b.integer("count", tr.result->found.size());
-  b.raw("functions", hex_array(tr.result->found));
-  b.num("analysis_seconds", tr.result->seconds);
-  b.num("decode_seconds", r.img->decode.decode_seconds);
-  if (!r.img->diagnostics.empty()) {
-    b.integer("diagnostic_count", r.img->diagnostics.total());
-    b.raw("diagnostics", diag_array(r.img->diagnostics));
-  }
-  out.json = b.close();
-  return out;
+  return respond(tr.tool_name, is_x86 && tr.tool_name == "FunSeeker",
+                 r.hit && tr.hit, *tr.result, r.img->decode.decode_seconds,
+                 r.img->diagnostics.total(), r.img->diagnostics.items());
 }
 
 Service::Outcome Service::do_compare(const obs::JsonValue& req) {
-  const ResolvedImage r = resolve_image(cache_, req);
+  const ResolvedId in = resolve_id(req);
+  if (!in.ok()) return error_outcome("compare", in.code, in.error);
+
+  constexpr eval::Tool kAllTools[] = {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
+                                      eval::Tool::kGhidraLike, eval::Tool::kFetchLike};
+
+  auto respond = [&](bool hit, const std::string& tools, double decode_seconds,
+                     std::uint64_t diag_total,
+                     const std::vector<util::Diagnostic>& diag_items) {
+    Outcome out;
+    out.analysis = true;
+    out.cache_hit = hit;
+    ObjBuilder b;
+    b.boolean("ok", true);
+    b.str("op", "compare");
+    b.str("key", in.id.to_string());
+    b.str("cache", hit ? "hit" : "miss");
+    b.raw("tools", tools);
+    b.num("decode_seconds", decode_seconds);
+    if (diag_total > 0) {
+      b.integer("diagnostic_count", diag_total);
+      b.raw("diagnostics", diag_array(diag_items));
+    }
+    out.json = b.close();
+    return out;
+  };
+
+  std::shared_ptr<const CachedImage> mem = cache_.find_image(in.id);
+
+  // Warm-restart fast path: serve from persisted meta when ALL four
+  // tool results are already available (memory or persistent layer) —
+  // a partial set would force a rebuild anyway, so only the complete
+  // case skips it.
+  if (mem == nullptr && cache_.persistent() != nullptr) {
+    if (const auto meta = cache_.persistent_meta(in.id);
+        meta.has_value() &&
+        meta->machine != static_cast<std::uint32_t>(elf::Machine::kArm64)) {
+      std::string tools = "[";
+      bool all = true;
+      for (const eval::Tool tool : kAllTools) {
+        const auto res = cache_.find_result(
+            {in.id, static_cast<int>(tool),
+             tool == eval::Tool::kFunSeeker ? 4 : 0});
+        if (res == nullptr) {
+          all = false;
+          break;
+        }
+        ObjBuilder tb;
+        tb.str("tool", eval::to_string(tool));
+        tb.integer("count", res->found.size());
+        tb.num("analysis_seconds", res->seconds);
+        tb.str("cache", "hit");
+        if (tools.size() > 1) tools += ',';
+        tools += tb.close();
+      }
+      if (all) {
+        tools += ']';
+        return respond(true, tools, meta->decode_seconds, meta->diag_total,
+                       meta->diags);
+      }
+    }
+  }
+
+  const ResolvedImage r = resolve_image(cache_, in, std::move(mem));
   if (!r.error.empty()) return error_outcome("compare", r.code, r.error);
   if (r.img->image.machine == elf::Machine::kArm64)
     return error_outcome("compare", "unsupported", "compare runs the x86 tool set");
 
   bool all_hit = true;
   std::string tools = "[";
-  for (const eval::Tool tool : {eval::Tool::kFunSeeker, eval::Tool::kIdaLike,
-                                eval::Tool::kGhidraLike, eval::Tool::kFetchLike}) {
+  for (const eval::Tool tool : kAllTools) {
     const ToolRun tr = run_tool_cached(cache_, r, tool, 4);
     if (util::deadline_expired_now())
       return error_outcome("compare", "timeout", "request deadline expired");
@@ -567,26 +727,16 @@ Service::Outcome Service::do_compare(const obs::JsonValue& req) {
   }
   tools += ']';
 
-  Outcome out;
-  out.analysis = true;
-  out.cache_hit = r.hit && all_hit;
-  ObjBuilder b;
-  b.boolean("ok", true);
-  b.str("op", "compare");
-  b.str("key", r.id.to_string());
-  b.str("cache", out.cache_hit ? "hit" : "miss");
-  b.raw("tools", tools);
-  b.num("decode_seconds", r.img->decode.decode_seconds);
-  if (!r.img->diagnostics.empty()) {
-    b.integer("diagnostic_count", r.img->diagnostics.total());
-    b.raw("diagnostics", diag_array(r.img->diagnostics));
-  }
-  out.json = b.close();
-  return out;
+  return respond(r.hit && all_hit, tools, r.img->decode.decode_seconds,
+                 r.img->diagnostics.total(), r.img->diagnostics.items());
 }
 
 Service::Outcome Service::do_disasm(const obs::JsonValue& req) {
-  const ResolvedImage r = resolve_image(cache_, req);
+  const ResolvedId in = resolve_id(req);
+  if (!in.ok()) return error_outcome("disasm", in.code, in.error);
+  // No meta fast path here: formatting needs the decoded view, so the
+  // best persistence can do is rebuild from the stored raw bytes.
+  const ResolvedImage r = resolve_image(cache_, in, cache_.find_image(in.id));
   if (!r.error.empty()) return error_outcome("disasm", r.code, r.error);
   const auto& view_ptr = r.img->decode.view;
   if (view_ptr == nullptr)
@@ -676,6 +826,34 @@ std::string Service::stats_json() const {
     cache_obj.raw("images", lru_stats_json(cache_.image_stats()));
     cache_obj.raw("results", lru_stats_json(cache_.result_stats()));
     b.raw("cache", cache_obj.close());
+  }
+  {
+    // Persistent-layer counters: all zeros (enabled=false) for a
+    // memory-only service, the full picture when --pcache-path is set.
+    ObjBuilder pc;
+    const PersistentStore* store = cache_.persistent();
+    pc.boolean("enabled", store != nullptr);
+    if (store != nullptr) {
+      const PersistentStore::Stats ps = store->stats();
+      pc.str("path", store->path());
+      pc.integer("budget_bytes", store->budget_bytes());
+      pc.integer("hits", ps.hits);
+      pc.integer("misses", ps.misses);
+      pc.integer("bytes", ps.resident_bytes);
+      pc.integer("records", ps.resident_records);
+      pc.integer("appended_records", ps.appended_records);
+      pc.integer("appended_bytes", ps.appended_bytes);
+      pc.integer("skipped_existing", ps.skipped_existing);
+      pc.integer("write_failures", ps.write_failures);
+      pc.integer("rejected", ps.rejected);
+      pc.integer("torn_truncations", ps.torn_truncations);
+      pc.integer("corrupt_payloads", ps.corrupt_payloads);
+      pc.integer("compactions", ps.compactions);
+      pc.integer("generation", ps.generation);
+      pc.integer("rehydrated_results", cache_.rehydrated_results());
+      pc.integer("rehydrated_images", cache_.rehydrated_images());
+    }
+    b.raw("pcache", pc.close());
   }
   {
     // Overload-shedding counters, recorded by the Server; zeros for an

@@ -33,6 +33,11 @@ struct ServiceOptions {
   double request_deadline_seconds = 0;  // <=0: REPRO_TIME_BUDGET (unset = unlimited)
   double slow_request_seconds = 0;      // >0: dump a slow-request event past this
   int restart_count = 0;                // crashes survived (set by --supervise)
+  // Cross-restart persistence (pcache.hpp). Empty path: memory-only.
+  // A store that fails to open degrades to memory-only with a stderr
+  // note — persistence must never keep the daemon from serving.
+  std::string pcache_path;
+  std::size_t pcache_bytes = 0;         // 0: PersistentStore default budget
 };
 
 /// Protocol operations, including the telemetry surface. kUnknown also

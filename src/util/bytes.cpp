@@ -1,5 +1,7 @@
 #include "util/bytes.hpp"
 
+#include <cstring>
+
 #include "util/error.hpp"
 
 namespace fsr::util {
@@ -77,6 +79,22 @@ std::string ByteReader::cstring() {
   return out;
 }
 
+double ByteReader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  static_assert(sizeof(v) == sizeof(bits));
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str32() {
+  const std::uint32_t n = u32();
+  require(n);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
 std::uint8_t ByteReader::peek(std::size_t delta) const {
   if (pos_ + delta >= data_.size())
     throw ParseError("peek past end of buffer");
@@ -124,6 +142,19 @@ void ByteWriter::patch_u64(std::size_t at, std::uint64_t v) {
   if (at + 8 > buf_.size()) throw UsageError("patch_u64 out of range");
   for (int i = 0; i < 8; ++i)
     buf_[at + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(v) == sizeof(bits));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str32(std::string_view s) {
+  if (s.size() > 0xffffffffu) throw UsageError("str32 string too long");
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
 }  // namespace fsr::util

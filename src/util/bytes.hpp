@@ -53,6 +53,12 @@ public:
   /// Peek a byte at pos()+delta without moving the cursor.
   [[nodiscard]] std::uint8_t peek(std::size_t delta = 0) const;
 
+  /// IEEE-754 double stored as its u64 bit pattern (bit-exact round
+  /// trip; serialization must never re-round a timing).
+  double f64();
+  /// u32 length followed by that many bytes (ByteWriter::str32's form).
+  std::string str32();
+
 private:
   void require(std::size_t n) const;
 
@@ -90,6 +96,13 @@ public:
   /// length fields and relative offsets).
   void patch_u32(std::size_t at, std::uint32_t v);
   void patch_u64(std::size_t at, std::uint64_t v);
+
+  /// IEEE-754 double as its u64 bit pattern.
+  void f64(double v);
+  /// u32 length prefix + the string bytes (no terminator). The
+  /// persistent cache's string form: length-checked on read, so a
+  /// corrupt length cannot walk out of the record.
+  void str32(std::string_view s);
 
 private:
   std::vector<std::uint8_t> buf_;

@@ -1,0 +1,32 @@
+// FNV-1a 64 checksums.
+//
+// One hash, three users: the service's content addressing (ContentId),
+// the persistent cache's per-record integrity checks, and the decode
+// bench's output fingerprints. FNV-1a is not cryptographic — it guards
+// against torn writes, bit rot, and accidental corruption, not an
+// adversary who can write the cache file — but it is branch-free,
+// allocation-free, and fast enough to run over every record payload on
+// every persistent-cache read.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fsr::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Continue an FNV-1a 64 hash over `bytes` from a previous state (or
+/// the offset basis). Feeding buffers piecewise matches hashing their
+/// concatenation.
+[[nodiscard]] inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                                           std::uint64_t state = kFnvOffsetBasis) {
+  for (const std::uint8_t b : bytes) {
+    state ^= b;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+}  // namespace fsr::util

@@ -66,6 +66,7 @@ inline constexpr std::string_view kFailpointSites[] = {
     "cache.insert_result", // AnalysisCache result insert -> served uncached
     "cache.build_image",   // make_cached_image entry -> parse failure
     "eval.decode",         // decode_shared entry (allocation-heavy front-end)
+    "pcache.write",        // PersistentStore append -> record not persisted
 };
 inline constexpr std::size_t kFailpointSiteCount =
     sizeof(kFailpointSites) / sizeof(kFailpointSites[0]);

@@ -121,7 +121,25 @@ public:
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
   }
-  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_bytes_;
+  }
+
+  /// Re-budget at runtime, evicting LRU entries until the resident
+  /// bytes fit. Outstanding shared_ptr readers keep their values —
+  /// shrinking only drops the cache's references. Returns the number of
+  /// entries evicted to fit the new budget.
+  std::size_t set_capacity_bytes(std::size_t capacity_bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_bytes_ = capacity_bytes;
+    std::size_t evicted = 0;
+    while (stats_.bytes > capacity_bytes_ && !order_.empty()) {
+      evict_last_locked();
+      ++evicted;
+    }
+    return evicted;
+  }
 
 private:
   struct Entry {

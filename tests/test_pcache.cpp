@@ -1,0 +1,459 @@
+// PersistentStore tests: the crash-safety contract of the mmap-backed
+// content-addressed segment file under fsrd's AnalysisCache.
+//
+// The store's promise is narrow and absolute — it may LOSE entries
+// (torn tail, corrupt record, compaction) but may never SERVE wrong
+// bytes. The tests here attack exactly that: round trips, process
+// "restarts" (close + reopen), deliberately torn tails, flipped bytes,
+// a garbage header, budget-forced compaction, and the pcache.write
+// failpoint. The final fixtures drive the same machinery through
+// AnalysisCache to prove cross-instance rehydration end to end.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "service/cache.hpp"
+#include "service/pcache.hpp"
+#include "synth/corpus.hpp"
+#include "util/failpoint.hpp"
+
+using namespace fsr;
+
+namespace {
+
+std::string fresh_path(const char* tag) {
+  static int counter = 0;
+  return "/tmp/fsr-pcache-test-" + std::to_string(::getpid()) + "-" + tag +
+         "-" + std::to_string(counter++) + ".bin";
+}
+
+/// RAII unlink so failed tests do not leave segment files behind.
+struct PathGuard {
+  std::string path;
+  explicit PathGuard(std::string p) : path(std::move(p)) {}
+  ~PathGuard() {
+    ::unlink(path.c_str());
+    ::unlink((path + ".tmp").c_str());
+  }
+};
+
+std::vector<std::uint8_t> some_bytes(std::size_t n, std::uint8_t salt) {
+  std::vector<std::uint8_t> bytes(n);
+  for (std::size_t i = 0; i < n; ++i)
+    bytes[i] = static_cast<std::uint8_t>(i * 131 + salt);
+  return bytes;
+}
+
+service::PersistedMeta some_meta() {
+  service::PersistedMeta meta;
+  meta.machine = 1;
+  meta.prepare_seconds = 0.25;
+  meta.decode_seconds = 1.5;
+  meta.substrate_seconds = 0.125;
+  meta.input_bytes = 4096;
+  meta.diag_total = 70;  // more than stored: the cap survived the trip
+  meta.diags.push_back({util::DiagCode::kBadFde, ".eh_frame", 0x40,
+                        "FDE references unknown CIE"});
+  meta.diags.push_back({util::DiagCode::kTruncated, "", 12, "short file"});
+  return meta;
+}
+
+eval::RunResult some_result(std::uint64_t salt) {
+  eval::RunResult r;
+  for (std::uint64_t i = 0; i < 5; ++i) r.found.push_back(0x1000 + salt + i * 16);
+  r.score.tp = 5;
+  r.score.fp = 1;
+  r.score.fn = 2;
+  r.failures.fn_dead = 1;
+  r.failures.fn_other = 1;
+  r.failures.fp_fragment = 1;
+  r.seconds = 0.001 * static_cast<double>(salt + 1);
+  return r;
+}
+
+std::unique_ptr<service::PersistentStore> open_store(
+    const std::string& path, std::size_t budget = 4u << 20) {
+  service::PersistentStore::Options opts;
+  opts.path = path;
+  opts.budget_bytes = budget;
+  std::string error;
+  auto store = service::PersistentStore::open(opts, &error);
+  EXPECT_NE(store, nullptr) << error;
+  return store;
+}
+
+std::size_t file_size(const std::string& path) {
+  struct stat st{};
+  EXPECT_EQ(::stat(path.c_str(), &st), 0);
+  return static_cast<std::size_t>(st.st_size);
+}
+
+void flip_byte(const std::string& path, long offset_from_end) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset_from_end, SEEK_END), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset_from_end, SEEK_END), 0);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+}
+
+TEST(PersistentStore, RoundTripsImageAndResult) {
+  PathGuard guard(fresh_path("roundtrip"));
+  auto store = open_store(guard.path);
+  ASSERT_NE(store, nullptr);
+
+  const auto raw = some_bytes(2048, 7);
+  const service::ContentId id = service::content_id(raw);
+  EXPECT_FALSE(store->has_image(id));
+  EXPECT_TRUE(store->put_image(id, some_meta(), raw));
+  EXPECT_TRUE(store->has_image(id));
+
+  const service::ResultKey rk{id, 0, 4};
+  EXPECT_TRUE(store->put_result(rk, some_result(3)));
+
+  const auto meta = store->get_meta(id);
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->machine, 1u);
+  EXPECT_DOUBLE_EQ(meta->decode_seconds, 1.5);
+  EXPECT_EQ(meta->input_bytes, 4096u);
+  EXPECT_EQ(meta->diag_total, 70u);
+  ASSERT_EQ(meta->diags.size(), 2u);
+  EXPECT_EQ(meta->diags[0].code, util::DiagCode::kBadFde);
+  EXPECT_EQ(meta->diags[0].section, ".eh_frame");
+  EXPECT_EQ(meta->diags[0].offset, 0x40u);
+  EXPECT_EQ(meta->diags[0].message, "FDE references unknown CIE");
+
+  const auto back = store->get_raw(id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, raw);
+
+  const auto result = store->get_result(rk);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->found, some_result(3).found);
+  EXPECT_EQ(result->score.tp, 5);
+  EXPECT_EQ(result->failures.fn_dead, 1u);
+  EXPECT_DOUBLE_EQ(result->seconds, 0.004);
+
+  // A different (tool, config) under the same content is a distinct key.
+  EXPECT_FALSE(store->get_result({id, 1, 0}).has_value());
+  const auto s = store->stats();
+  EXPECT_EQ(s.appended_records, 2u);
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.misses, 0u);
+  EXPECT_EQ(s.torn_truncations, 0u);
+}
+
+TEST(PersistentStore, SurvivesReopenLikeARestart) {
+  PathGuard guard(fresh_path("reopen"));
+  const auto raw = some_bytes(512, 9);
+  const service::ContentId id = service::content_id(raw);
+  const service::ResultKey rk{id, 2, 0};
+  {
+    auto store = open_store(guard.path);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->put_image(id, some_meta(), raw));
+    ASSERT_TRUE(store->put_result(rk, some_result(1)));
+  }  // destructor = the process dying (no extra flush path exists)
+
+  auto store = open_store(guard.path);
+  ASSERT_NE(store, nullptr);
+  const auto s = store->stats();
+  EXPECT_EQ(s.resident_records, 2u);
+  EXPECT_EQ(s.torn_truncations, 0u);
+  const auto back = store->get_raw(id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, raw);
+  const auto result = store->get_result(rk);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->found, some_result(1).found);
+}
+
+TEST(PersistentStore, FirstInsertWins) {
+  PathGuard guard(fresh_path("firstwins"));
+  auto store = open_store(guard.path);
+  ASSERT_NE(store, nullptr);
+  const auto raw = some_bytes(256, 1);
+  const service::ContentId id = service::content_id(raw);
+  EXPECT_TRUE(store->put_image(id, some_meta(), raw));
+  EXPECT_TRUE(store->put_image(id, some_meta(), raw));  // durable either way
+  const service::ResultKey rk{id, 0, 4};
+  EXPECT_TRUE(store->put_result(rk, some_result(1)));
+  EXPECT_TRUE(store->put_result(rk, some_result(2)));  // loser: not stored
+  const auto s = store->stats();
+  EXPECT_EQ(s.appended_records, 2u);
+  EXPECT_EQ(s.skipped_existing, 2u);
+  const auto result = store->get_result(rk);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->found, some_result(1).found);  // the incumbent answers
+}
+
+TEST(PersistentStore, TornTailIsTruncatedEarlierRecordsSurvive) {
+  PathGuard guard(fresh_path("torn"));
+  const auto raw_a = some_bytes(512, 3);
+  const auto raw_b = some_bytes(512, 4);
+  const service::ContentId id_a = service::content_id(raw_a);
+  const service::ContentId id_b = service::content_id(raw_b);
+  {
+    auto store = open_store(guard.path);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->put_image(id_a, some_meta(), raw_a));
+    ASSERT_TRUE(store->put_image(id_b, some_meta(), raw_b));
+  }
+  // A SIGKILL mid-append leaves a partial final record; simulate by
+  // cutting the file 5 bytes short (the header still commits past it).
+  const std::size_t size = file_size(guard.path);
+  ASSERT_EQ(::truncate(guard.path.c_str(), static_cast<off_t>(size - 5)), 0);
+
+  auto store = open_store(guard.path);
+  ASSERT_NE(store, nullptr);
+  const auto s = store->stats();
+  EXPECT_EQ(s.torn_truncations, 1u);
+  EXPECT_EQ(s.resident_records, 1u);
+  const auto a = store->get_raw(id_a);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, raw_a);
+  EXPECT_FALSE(store->get_raw(id_b).has_value());  // lost, not wrong
+
+  // The truncated store is append-able again: re-adding B works.
+  EXPECT_TRUE(store->put_image(id_b, some_meta(), raw_b));
+  const auto b = store->get_raw(id_b);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, raw_b);
+}
+
+TEST(PersistentStore, FlippedPayloadByteIsDetectedOnRecovery) {
+  PathGuard guard(fresh_path("flip"));
+  const auto raw_a = some_bytes(512, 5);
+  const auto raw_b = some_bytes(512, 6);
+  const service::ContentId id_a = service::content_id(raw_a);
+  const service::ContentId id_b = service::content_id(raw_b);
+  {
+    auto store = open_store(guard.path);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->put_image(id_a, some_meta(), raw_a));
+    ASSERT_TRUE(store->put_image(id_b, some_meta(), raw_b));
+  }
+  // Offset -9 from EOF is always inside the final record's checksummed
+  // payload (trailing padding is at most 7 bytes).
+  flip_byte(guard.path, -9);
+
+  auto store = open_store(guard.path);
+  ASSERT_NE(store, nullptr);
+  const auto s = store->stats();
+  EXPECT_EQ(s.torn_truncations, 1u);
+  EXPECT_EQ(s.resident_records, 1u);
+  const auto a = store->get_raw(id_a);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, raw_a);                             // untouched record intact
+  EXPECT_FALSE(store->get_raw(id_b).has_value());   // poisoned record dropped
+}
+
+TEST(PersistentStore, GarbageHeaderResetsTheStore) {
+  PathGuard guard(fresh_path("header"));
+  const auto raw = some_bytes(256, 8);
+  const service::ContentId id = service::content_id(raw);
+  {
+    auto store = open_store(guard.path);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->put_image(id, some_meta(), raw));
+  }
+  std::FILE* f = std::fopen(guard.path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTMAGIC", f);
+  std::fclose(f);
+
+  auto store = open_store(guard.path);
+  ASSERT_NE(store, nullptr);  // recovered as empty, not refused
+  EXPECT_EQ(store->stats().torn_truncations, 1u);
+  EXPECT_EQ(store->stats().resident_records, 0u);
+  EXPECT_FALSE(store->get_raw(id).has_value());
+  EXPECT_TRUE(store->put_image(id, some_meta(), raw));  // usable again
+}
+
+TEST(PersistentStore, CompactionKeepsNewestWithinBudget) {
+  PathGuard guard(fresh_path("compact"));
+  // Budget fits only a handful of 4 KiB image records.
+  const std::size_t budget = 24u << 10;
+  auto store = open_store(guard.path, budget);
+  ASSERT_NE(store, nullptr);
+
+  std::vector<service::ContentId> ids;
+  for (std::uint8_t i = 0; i < 12; ++i) {
+    const auto raw = some_bytes(4096, i);
+    ids.push_back(service::content_id(raw));
+    EXPECT_TRUE(store->put_image(ids.back(), some_meta(), raw));
+  }
+  const auto s = store->stats();
+  EXPECT_GE(s.compactions, 1u);
+  EXPECT_GE(s.generation, 1u);
+  EXPECT_LE(s.resident_bytes, budget);
+  // The newest insert always survives its own compaction.
+  EXPECT_TRUE(store->has_image(ids.back()));
+  const auto back = store->get_raw(ids.back());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, some_bytes(4096, 11));
+
+  // And the compacted file recovers cleanly like any other.
+  const std::uint64_t survivors = s.resident_records;
+  store.reset();
+  store = open_store(guard.path, budget);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->stats().resident_records, survivors);
+  EXPECT_EQ(store->stats().torn_truncations, 0u);
+  EXPECT_TRUE(store->has_image(ids.back()));
+}
+
+TEST(PersistentStore, SingleRecordOverBudgetIsRejected) {
+  PathGuard guard(fresh_path("reject"));
+  auto store = open_store(guard.path, 4096);
+  ASSERT_NE(store, nullptr);
+  const auto raw = some_bytes(64u << 10, 2);
+  EXPECT_FALSE(store->put_image(service::content_id(raw), some_meta(), raw));
+  EXPECT_EQ(store->stats().rejected, 1u);
+  EXPECT_EQ(store->stats().appended_records, 0u);
+}
+
+TEST(PersistentStore, WriteFailpointDropsTheRecordNotTheStore) {
+  PathGuard guard(fresh_path("failpoint"));
+  auto store = open_store(guard.path);
+  ASSERT_NE(store, nullptr);
+  const auto raw = some_bytes(256, 3);
+  const service::ContentId id = service::content_id(raw);
+
+  util::clear_failpoints();
+  std::string error;
+  ASSERT_TRUE(util::configure_failpoints("pcache.write:1:error", &error)) << error;
+  EXPECT_FALSE(store->put_image(id, some_meta(), raw));
+  EXPECT_FALSE(store->has_image(id));
+  EXPECT_EQ(store->stats().write_failures, 1u);
+  util::clear_failpoints();
+
+  // The store itself is unharmed: the same put succeeds now.
+  EXPECT_TRUE(store->put_image(id, some_meta(), raw));
+  EXPECT_TRUE(store->has_image(id));
+}
+
+TEST(PersistentStore, ConcurrentPutsAndGetsStayConsistent) {
+  PathGuard guard(fresh_path("stress"));
+  auto store = open_store(guard.path, 1u << 20);
+  ASSERT_NE(store, nullptr);
+
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 16;
+  std::vector<std::vector<std::uint8_t>> raws;
+  std::vector<service::ContentId> ids;
+  for (int k = 0; k < kKeys; ++k) {
+    raws.push_back(some_bytes(1024, static_cast<std::uint8_t>(k)));
+    ids.push_back(service::content_id(raws.back()));
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int round = 0; round < 20 && !failed.load(); ++round) {
+        const int k = (round + t) % kKeys;
+        store->put_image(ids[k], some_meta(), raws[k]);
+        store->put_result({ids[k], 0, 4},
+                          some_result(static_cast<std::uint64_t>(k)));
+        const auto raw = store->get_raw(ids[k]);
+        if (raw.has_value() && *raw != raws[k]) failed.store(true);
+        const auto res = store->get_result({ids[k], 0, 4});
+        if (res.has_value() &&
+            res->found != some_result(static_cast<std::uint64_t>(k)).found)
+          failed.store(true);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_FALSE(failed.load()) << "a read returned bytes that were never written";
+  EXPECT_EQ(store->stats().corrupt_payloads, 0u);
+}
+
+// ------------------------------------- AnalysisCache integration
+
+std::vector<std::uint8_t> sample_binary() {
+  synth::BinaryConfig cfg;
+  cfg.kind = elf::BinaryKind::kPie;
+  return synth::make_binary(cfg).stripped_bytes();
+}
+
+TEST(AnalysisCachePersistence, RehydratesAcrossInstances) {
+  PathGuard guard(fresh_path("rehydrate"));
+  const auto bytes = sample_binary();
+  const service::ContentId id = service::content_id(bytes);
+  const service::ResultKey rk{id, static_cast<int>(eval::Tool::kFunSeeker), 4};
+  std::vector<std::uint64_t> expected;
+  {
+    service::AnalysisCache cache(64u << 20);
+    cache.attach_persistent(
+        service::PersistentStore::open({guard.path, 64u << 20}));
+    ASSERT_NE(cache.persistent(), nullptr);
+    auto img = cache.insert_image(
+        id, std::make_shared<const service::CachedImage>(
+                service::make_cached_image(bytes)),
+        bytes);
+    auto res = cache.insert_result(
+        rk, eval::run_tool_on(eval::Tool::kFunSeeker, img->image, img->decode,
+                              {}, nullptr));
+    ASSERT_NE(res, nullptr);
+    expected = res->found;
+  }  // first instance gone — like a killed daemon
+
+  service::AnalysisCache fresh(64u << 20);
+  fresh.attach_persistent(
+      service::PersistentStore::open({guard.path, 64u << 20}));
+  ASSERT_NE(fresh.persistent(), nullptr);
+  // The memory LRU is empty, but find_result() rehydrates transparently.
+  EXPECT_EQ(fresh.find_image(id), nullptr);
+  const auto res = fresh.find_result(rk);
+  ASSERT_NE(res, nullptr);
+  EXPECT_EQ(res->found, expected);
+  EXPECT_EQ(fresh.rehydrated_results(), 1u);
+  // Second lookup is a pure memory hit (no second rehydration).
+  ASSERT_NE(fresh.find_result(rk), nullptr);
+  EXPECT_EQ(fresh.rehydrated_results(), 1u);
+
+  // Meta + raw serve image-less requests and rebuilds.
+  const auto meta = fresh.persistent_meta(id);
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->machine, static_cast<std::uint32_t>(elf::Machine::kX8664));
+  EXPECT_EQ(meta->input_bytes, bytes.size());
+  const auto raw = fresh.persistent_raw(id);
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(*raw, bytes);
+  EXPECT_EQ(fresh.rehydrated_images(), 1u);
+}
+
+TEST(AnalysisCachePersistence, InsertResultFailpointSkipsBothLayers) {
+  PathGuard guard(fresh_path("fp-both"));
+  service::AnalysisCache cache(64u << 20);
+  cache.attach_persistent(
+      service::PersistentStore::open({guard.path, 64u << 20}));
+  ASSERT_NE(cache.persistent(), nullptr);
+
+  const auto bytes = some_bytes(128, 1);
+  const service::ResultKey rk{service::content_id(bytes), 0, 4};
+  util::clear_failpoints();
+  std::string error;
+  ASSERT_TRUE(
+      util::configure_failpoints("cache.insert_result:1:error", &error))
+      << error;
+  const auto res = cache.insert_result(rk, some_result(1));
+  ASSERT_NE(res, nullptr);  // caller still gets the value once
+  util::clear_failpoints();
+  // Neither layer retained it: a lost insert is lost consistently.
+  EXPECT_EQ(cache.find_result(rk), nullptr);
+  EXPECT_EQ(cache.persistent()->stats().appended_records, 0u);
+}
+
+}  // namespace

@@ -686,6 +686,222 @@ TEST(ServerRobustness, InflightCapShedsWithStructuredReject) {
   server.wait();
 }
 
+// ------------------------------------------- persistence (PR 10)
+
+/// Functions array as raw text — the bit-identity comparator.
+std::string functions_text(const obs::JsonValue& r) {
+  const obs::JsonValue* fns = r.find("functions");
+  if (fns == nullptr) return {};
+  std::string out;
+  for (const obs::JsonValue& f : fns->items()) out += f.as_string("") + ",";
+  return out;
+}
+
+TEST(ServicePersistence, WarmRestartServesFromPersistentLayer) {
+  const std::string sock = fresh_socket_path("pcache");
+  const std::string pcache = sock + ".pcache";
+  ::unlink(pcache.c_str());
+  const auto bytes = sample_binary();
+
+  // First daemon lifetime: populate.
+  std::string key, cold_functions;
+  {
+    service::ServerOptions opts;
+    opts.socket_path = sock;
+    opts.threads = 2;
+    opts.service.pcache_path = pcache;
+    opts.service.pcache_bytes = 64u << 20;
+    service::Server server(std::move(opts));
+    server.start();
+    service::Client client;
+    ASSERT_TRUE(client.connect(sock));
+    const auto resp = client.request("{\"op\":\"identify\",\"elf\":\"" +
+                                     service::b64_encode(bytes) + "\"}");
+    ASSERT_TRUE(resp.has_value());
+    const auto parsed = obs::json_parse(*resp);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->get_bool("ok", false)) << *resp;
+    key = parsed->get_string("key");
+    cold_functions = functions_text(*parsed);
+    ASSERT_FALSE(key.empty());
+    ASSERT_FALSE(cold_functions.empty());
+    server.stop();
+    server.wait();
+  }
+
+  // Second lifetime, same segment file: a key-only identify — which a
+  // memory-only daemon would refuse as unknown-key — must be served as
+  // a hit from the persistent layer, bit-identical, without rebuilding.
+  {
+    service::ServerOptions opts;
+    opts.socket_path = sock;
+    opts.threads = 2;
+    opts.service.pcache_path = pcache;
+    opts.service.pcache_bytes = 64u << 20;
+    service::Server server(std::move(opts));
+    server.start();
+    service::Client client;
+    ASSERT_TRUE(client.connect(sock));
+    const auto resp =
+        client.request("{\"op\":\"identify\",\"key\":\"" + key + "\"}");
+    ASSERT_TRUE(resp.has_value());
+    const auto parsed = obs::json_parse(*resp);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->get_bool("ok", false)) << *resp;
+    EXPECT_EQ(parsed->get_string("cache"), "hit");
+    EXPECT_EQ(functions_text(*parsed), cold_functions);
+
+    // compare also rides the meta fast path (all four results persisted
+    // by the first lifetime's... only funseeker ran; compare misses the
+    // other tools, rebuilds from persisted raw bytes, and still agrees.
+    const auto cmp =
+        client.request("{\"op\":\"compare\",\"key\":\"" + key + "\"}");
+    ASSERT_TRUE(cmp.has_value());
+    const auto cparsed = obs::json_parse(*cmp);
+    ASSERT_TRUE(cparsed.has_value());
+    EXPECT_TRUE(cparsed->get_bool("ok", false)) << *cmp;
+
+    // And disasm, which genuinely needs an image, rebuilds from raw.
+    const auto dis = client.request("{\"op\":\"disasm\",\"key\":\"" + key +
+                                    "\",\"count\":4}");
+    ASSERT_TRUE(dis.has_value());
+    const auto dparsed = obs::json_parse(*dis);
+    ASSERT_TRUE(dparsed.has_value());
+    EXPECT_TRUE(dparsed->get_bool("ok", false)) << *dis;
+
+    // The stats op reports the persistent layer's counters.
+    const auto stats = client.request("{\"op\":\"stats\"}");
+    ASSERT_TRUE(stats.has_value());
+    const auto sparsed = obs::json_parse(*stats);
+    ASSERT_TRUE(sparsed.has_value());
+    const obs::JsonValue* pc = sparsed->find("pcache");
+    ASSERT_NE(pc, nullptr);
+    EXPECT_TRUE(pc->get_bool("enabled", false));
+    EXPECT_GT(pc->get_number("hits", 0), 0.0);
+    EXPECT_GT(pc->get_number("rehydrated_results", 0), 0.0);
+    EXPECT_EQ(pc->get_number("torn_truncations", -1), 0.0);
+    server.stop();
+    server.wait();
+  }
+  ::unlink(pcache.c_str());
+}
+
+TEST(ServicePersistence, UnusablePcachePathDegradesToMemoryOnly) {
+  service::ServerOptions opts;
+  opts.socket_path = fresh_socket_path("badpcache");
+  opts.threads = 1;
+  opts.service.pcache_path = "/nonexistent-dir/sub/pcache.bin";
+  service::Server server(std::move(opts));
+  server.start();  // must come up anyway
+  service::Client client;
+  ASSERT_TRUE(client.connect(server.socket_path()));
+  const auto resp = client.request("{\"op\":\"identify\",\"elf\":\"" +
+                                   service::b64_encode(sample_binary()) + "\"}");
+  ASSERT_TRUE(resp.has_value());
+  const auto parsed = obs::json_parse(*resp);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->get_bool("ok", false));
+  const auto stats = client.request("{\"op\":\"stats\"}");
+  ASSERT_TRUE(stats.has_value());
+  const auto sparsed = obs::json_parse(*stats);
+  ASSERT_TRUE(sparsed.has_value());
+  const obs::JsonValue* pc = sparsed->find("pcache");
+  ASSERT_NE(pc, nullptr);
+  EXPECT_FALSE(pc->get_bool("enabled", true));
+  server.stop();
+  server.wait();
+}
+
+// ------------------------------------------- pipelining (PR 10)
+
+TEST_F(ServiceIntegration, PipelinedResponsesArriveInRequestOrder) {
+  const auto bytes_a = sample_binary();
+  synth::BinaryConfig cfg_b;
+  cfg_b.kind = elf::BinaryKind::kPie;
+  cfg_b.program_index = 3;  // distinct content from bytes_a
+  const auto bytes_b = synth::make_binary(cfg_b).stripped_bytes();
+  const std::string key_a = service::content_id(bytes_a).to_string();
+  const std::string key_b = service::content_id(bytes_b).to_string();
+
+  // Interleave ops whose responses are distinguishable, all in flight
+  // at once; order of arrival must equal order of send.
+  const std::vector<std::string> reqs = {
+      "{\"op\":\"ping\"}",
+      "{\"op\":\"identify\",\"elf\":\"" + service::b64_encode(bytes_a) + "\"}",
+      "{\"op\":\"ping\"}",
+      "{\"op\":\"identify\",\"elf\":\"" + service::b64_encode(bytes_b) + "\"}",
+      "{\"op\":\"identify\",\"key\":\"" + key_a + "\"}",
+      "{\"op\":\"stats\"}",
+  };
+  const auto resps = client_.call_pipelined(reqs);
+  ASSERT_TRUE(resps.has_value()) << client_.last_error();
+  ASSERT_EQ(resps->size(), reqs.size());
+  std::vector<obs::JsonValue> parsed;
+  for (const std::string& r : *resps) {
+    auto p = obs::json_parse(r);
+    ASSERT_TRUE(p.has_value()) << r;
+    EXPECT_TRUE(p->get_bool("ok", false)) << r;
+    parsed.push_back(std::move(*p));
+  }
+  EXPECT_FALSE(parsed[0].get_string("version").empty());
+  EXPECT_EQ(parsed[1].get_string("key"), key_a);
+  EXPECT_FALSE(parsed[2].get_string("version").empty());
+  EXPECT_EQ(parsed[3].get_string("key"), key_b);
+  EXPECT_EQ(parsed[4].get_string("key"), key_a);
+  // Pipelined request 5 (identify by key) repeats request 1's content:
+  // same functions either way the scheduler interleaved them.
+  EXPECT_EQ(functions_text(parsed[4]), functions_text(parsed[1]));
+  EXPECT_NE(parsed[5].find("ops"), nullptr);
+}
+
+TEST(ServerPipelining, FlowControlCapStillAnswersEverything) {
+  service::ServerOptions opts;
+  opts.socket_path = fresh_socket_path("pipecap");
+  opts.threads = 2;
+  opts.max_pipeline = 2;  // reader stops pulling past 2 in flight
+  service::Server server(std::move(opts));
+  server.start();
+
+  service::Client client;
+  ASSERT_TRUE(client.connect(server.socket_path()));
+  constexpr int kBurst = 64;
+  for (int i = 0; i < kBurst; ++i)
+    ASSERT_TRUE(client.pipeline_send("{\"op\":\"ping\"}"));
+  for (int i = 0; i < kBurst; ++i) {
+    const auto r = client.pipeline_recv();
+    ASSERT_TRUE(r.has_value()) << "response " << i << ": " << client.last_error();
+    const auto parsed = obs::json_parse(*r);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->get_bool("ok", false));
+  }
+  server.stop();
+  server.wait();
+}
+
+TEST(ServerPipelining, ShutdownMidPipelineAnswersEveryOwedFrame) {
+  service::ServerOptions opts;
+  opts.socket_path = fresh_socket_path("pipeshut");
+  opts.threads = 2;
+  service::Server server(std::move(opts));
+  server.start();
+
+  service::Client client;
+  ASSERT_TRUE(client.connect(server.socket_path()));
+  ASSERT_TRUE(client.pipeline_send("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(client.pipeline_send("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(client.pipeline_send("{\"op\":\"shutdown\"}"));
+  for (int i = 0; i < 3; ++i) {
+    const auto r = client.pipeline_recv();
+    ASSERT_TRUE(r.has_value()) << "response " << i;
+    const auto parsed = obs::json_parse(*r);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->get_bool("ok", false));
+  }
+  server.wait();  // the pipelined shutdown stopped the server
+  service::Client late;
+  EXPECT_FALSE(late.connect(server.socket_path()));
+}
+
 TEST(ServerRobustness, ConnectionCapShedsNewcomers) {
   service::ServerOptions opts;
   opts.socket_path = fresh_socket_path("connlimit");

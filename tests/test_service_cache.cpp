@@ -88,6 +88,50 @@ TEST(LruCache, EvictionDoesNotInvalidateLiveReaders) {
   EXPECT_EQ(*held, "held");  // our shared_ptr still owns the value
 }
 
+TEST(LruCache, ShrinkEvictsToFitWithoutInvalidatingReaders) {
+  IntCache cache(100);
+  for (int k = 1; k <= 5; ++k)
+    cache.insert(k, val(("v" + std::to_string(k)).c_str()), 20);
+  ASSERT_EQ(cache.stats().bytes, 100u);
+
+  // A reader holds entry 1 while the budget collapses under it.
+  const auto held = cache.find(1);  // also makes 1 most-recently-used
+  ASSERT_NE(held, nullptr);
+
+  const std::size_t evicted = cache.set_capacity_bytes(40);
+  EXPECT_EQ(evicted, 3u);  // 2, 3, 4 go; 5 and the just-touched 1 stay
+  EXPECT_EQ(cache.capacity_bytes(), 40u);
+  EXPECT_LE(cache.stats().bytes, 40u);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_EQ(cache.find(3), nullptr);
+  EXPECT_EQ(cache.find(4), nullptr);
+  EXPECT_NE(cache.find(5), nullptr);
+  EXPECT_EQ(*held, "v1");  // outstanding shared_ptr unaffected throughout
+
+  // New inserts respect the shrunken budget.
+  cache.insert(6, val("v6"), 20);
+  EXPECT_LE(cache.stats().bytes, 40u);
+}
+
+TEST(LruCache, ShrinkToZeroEmptiesGrowRestores) {
+  IntCache cache(50);
+  cache.insert(1, val("a"), 10);
+  cache.insert(2, val("b"), 10);
+  const auto held = cache.find(2);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(cache.set_capacity_bytes(0), 2u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(*held, "b");  // live reader still owns its value
+
+  // Growing back re-admits entries; nothing resurrects by itself.
+  EXPECT_EQ(cache.set_capacity_bytes(50), 0u);
+  EXPECT_EQ(cache.find(2), nullptr);
+  cache.insert(3, val("c"), 10);
+  EXPECT_NE(cache.find(3), nullptr);
+}
+
 TEST(LruCache, GetOrBuildsOnceOutsideLock) {
   IntCache cache(100);
   int builds = 0;

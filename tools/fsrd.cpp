@@ -48,6 +48,8 @@ namespace {
                "  --socket PATH        Unix-domain socket to listen on (required)\n"
                "  --threads N          analysis pool workers (default: REPRO_THREADS or cores)\n"
                "  --cache-mb N         analysis cache budget in MiB (default: REPRO_CACHE_MB or 768)\n"
+               "  --pcache-path PATH   persistent cache segment file (survives restarts; off by default)\n"
+               "  --pcache-mb N        persistent cache budget in MiB (default: 256)\n"
                "  --time-budget SEC    per-request deadline (default: REPRO_TIME_BUDGET or unlimited)\n"
                "  --slow-ms N          dump a slow-request event past N milliseconds (default: 0 = off;\n"
                "                       deadline-expired requests always dump)\n"
@@ -117,6 +119,11 @@ int run_daemon(int argc, char** argv, int restart_count,
       opts.threads = static_cast<std::size_t>(parse_long("--threads", value()));
     } else if (arg == "--cache-mb") {
       opts.service.cache_bytes = static_cast<std::size_t>(parse_long("--cache-mb", value())) << 20;
+    } else if (arg == "--pcache-path") {
+      opts.service.pcache_path = value();
+    } else if (arg == "--pcache-mb") {
+      opts.service.pcache_bytes =
+          static_cast<std::size_t>(parse_long("--pcache-mb", value())) << 20;
     } else if (arg == "--time-budget") {
       opts.service.request_deadline_seconds = parse_seconds("--time-budget", value());
     } else if (arg == "--slow-ms") {
@@ -149,6 +156,7 @@ int run_daemon(int argc, char** argv, int restart_count,
            ? opts.service.cache_bytes
            : service::AnalysisCache::default_capacity_bytes()) >>
       20;
+  const std::string pcache_path = opts.service.pcache_path;
 
   int rc = 0;
   try {
@@ -180,6 +188,8 @@ int run_daemon(int argc, char** argv, int restart_count,
     std::fprintf(stderr, "fsrd: listening on %s\n", server.socket_path().c_str());
     std::fprintf(stderr, "fsrd: %zu pool workers, %zu MiB analysis cache\n",
                  server.workers(), cache_mb);
+    if (!pcache_path.empty())
+      std::fprintf(stderr, "fsrd: persistent cache %s\n", pcache_path.c_str());
     if (restart_count > 0)
       std::fprintf(stderr, "fsrd: restart %d (crash-only recovery)\n", restart_count);
     if (svc.deadline_seconds() > 0.0)

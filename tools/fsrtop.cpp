@@ -4,8 +4,9 @@
 //
 // Polls the daemon's `stats` op over the Unix-domain socket and
 // renders a refreshing terminal view: req/s and p50/p99 over the last
-// 10s/60s windows, cache hit rate and bytes, pool pressure, event-log
-// and slow-request state. `--once` prints a single snapshot and exits;
+// 10s/60s windows, cache hit rate and bytes, persistent-cache (pcache)
+// hit rate / segment health, pool pressure, event-log and slow-request
+// state. `--once` prints a single snapshot and exits;
 // with `--json` the snapshot is the raw stats response, which is what
 // scripts and the CI smoke test consume.
 #include <csignal>
@@ -114,6 +115,26 @@ void render(const obs::JsonValue& stats, const std::string& socket) {
               fmt_bytes(bytes).c_str(),
               fmt_bytes(num_at(cache, "capacity_bytes")).c_str(),
               num_at(images, "entries"), num_at(results, "entries"));
+
+  const obs::JsonValue* pcache = stats.find("pcache");
+  const obs::JsonValue* penabled = walk(pcache, "enabled");
+  if (penabled != nullptr && penabled->as_bool(false)) {
+    const double phits = num_at(pcache, "hits");
+    const double plookups = phits + num_at(pcache, "misses");
+    const double rehydrated = num_at(pcache, "rehydrated_results") +
+                              num_at(pcache, "rehydrated_images");
+    std::printf("pcache   %5.1f%% hit of %.0f lookups   %s of %s   "
+                "%.0f records  %.0f rehydrated  gen %.0f  torn %.0f  corrupt %.0f\n",
+                plookups > 0 ? 100.0 * phits / plookups : 0.0, plookups,
+                fmt_bytes(num_at(pcache, "bytes")).c_str(),
+                fmt_bytes(num_at(pcache, "budget_bytes")).c_str(),
+                num_at(pcache, "records"), rehydrated,
+                num_at(pcache, "generation"),
+                num_at(pcache, "torn_truncations"),
+                num_at(pcache, "corrupt_payloads"));
+  } else {
+    std::printf("pcache   off (start fsrd with --pcache-path to persist across restarts)\n");
+  }
 
   const obs::JsonValue* pool = stats.find("pool");
   std::printf("pool     %.0f workers   queue %.0f (max %.0f)\n",
